@@ -1,0 +1,244 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "ceaff/common/timer.h"
+
+namespace ceaff::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<size_t>(std::atoll(v)) : fallback;
+}
+
+}  // namespace
+
+double DatasetScale() { return EnvDouble("CEAFF_SCALE", 0.25); }
+
+embed::GcnOptions BenchGcnOptions() {
+  embed::GcnOptions o;
+  o.dim = EnvSize("CEAFF_GCN_DIM", 128);
+  o.epochs = EnvSize("CEAFF_GCN_EPOCHS", 200);
+  o.learning_rate = 1.0f;
+  return o;
+}
+
+core::CeaffOptions BenchCeaffOptions() {
+  core::CeaffOptions o;
+  o.gcn = BenchGcnOptions();
+  return o;
+}
+
+const data::SyntheticBenchmark& GetBenchmark(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<data::SyntheticBenchmark>>*
+      cache = new std::map<std::string,
+                           std::unique_ptr<data::SyntheticBenchmark>>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    auto cfg = data::BenchmarkConfigByName(name, DatasetScale());
+    CEAFF_CHECK(cfg.ok()) << cfg.status();
+    auto bench = data::GenerateBenchmark(cfg.value());
+    CEAFF_CHECK(bench.ok()) << bench.status();
+    it = cache
+             ->emplace(name, std::make_unique<data::SyntheticBenchmark>(
+                                 std::move(bench).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+StatusOr<Measured> RunMethod(const std::string& method,
+                             const data::SyntheticBenchmark& bench) {
+  WallTimer timer;
+  Measured out;
+
+  auto from_baseline = [&](baselines::Baseline* b) -> Status {
+    CEAFF_ASSIGN_OR_RETURN(baselines::BaselineResult r, b->Run(bench.pair));
+    out.accuracy = r.accuracy;
+    out.hits_at_10 = r.ranking.hits_at_10;
+    out.mrr = r.ranking.mrr;
+    return Status::OK();
+  };
+  auto from_ceaff = [&](core::CeaffOptions options) -> Status {
+    core::CeaffPipeline pipe(&bench.pair, &bench.store, options);
+    CEAFF_ASSIGN_OR_RETURN(core::CeaffResult r, pipe.Run());
+    out.accuracy = r.accuracy;
+    out.hits_at_10 = r.ranking.hits_at_10;
+    out.mrr = r.ranking.mrr;
+    return Status::OK();
+  };
+
+  embed::TranseOptions transe;
+  transe.dim = 64;
+  transe.epochs = 80;
+
+  if (method == "MTransE") {
+    baselines::MTransE b(transe);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "TransE-shared") {
+    baselines::TransEShared b(transe);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "IPTransE") {
+    baselines::IPTransE::Options o;
+    o.transe = transe;
+    baselines::IPTransE b(o);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "GCN-Align") {
+    baselines::GcnAlignStructural b(BenchGcnOptions());
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "BootEA-lite") {
+    baselines::BootEALite::Options o;
+    o.gcn = BenchGcnOptions();
+    baselines::BootEALite b(o);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "NAEA-lite") {
+    baselines::NaeaLite::Options o;
+    o.gcn = BenchGcnOptions();
+    baselines::NaeaLite b(o);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "RWalk-align") {
+    baselines::RandomWalkAlign::Options o;
+    o.walk.dim = 64;
+    baselines::RandomWalkAlign b(o);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "JAPE-lite") {
+    baselines::JapeLite::Options o;
+    o.gcn = BenchGcnOptions();
+    baselines::JapeLite b(o);
+    CEAFF_RETURN_IF_ERROR(from_baseline(&b));
+  } else if (method == "CEAFF") {
+    CEAFF_RETURN_IF_ERROR(from_ceaff(BenchCeaffOptions()));
+  } else if (method == "CEAFF w/o C") {
+    core::CeaffOptions o = BenchCeaffOptions();
+    o.decision_mode = core::DecisionMode::kIndependent;
+    CEAFF_RETURN_IF_ERROR(from_ceaff(o));
+  } else if (method == "CEAFF w/o Ml") {
+    core::CeaffOptions o = BenchCeaffOptions();
+    o.use_string = false;
+    CEAFF_RETURN_IF_ERROR(from_ceaff(o));
+  } else {
+    return Status::NotFound("unknown method: " + method);
+  }
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+std::optional<double> PaperAccuracy(const std::string& method,
+                                    const std::string& dataset) {
+  // Accuracy (Hits@1) numbers transcribed from Tables III and IV of the
+  // paper. Methods the paper does not report on a dataset are absent.
+  static const std::map<std::string, std::map<std::string, double>>* kTable =
+      new std::map<std::string, std::map<std::string, double>>{
+          {"MTransE",
+           {{"DBP15K_ZH_EN", 0.308}, {"DBP15K_JA_EN", 0.279},
+            {"DBP15K_FR_EN", 0.244}, {"SRPRS_EN_FR", 0.251},
+            {"SRPRS_EN_DE", 0.312}, {"DBP100K_DBP_WD", 0.281},
+            {"DBP100K_DBP_YG", 0.252}, {"SRPRS_DBP_WD", 0.223},
+            {"SRPRS_DBP_YG", 0.246}}},
+          {"IPTransE",
+           {{"DBP15K_ZH_EN", 0.406}, {"DBP15K_JA_EN", 0.367},
+            {"DBP15K_FR_EN", 0.333}, {"SRPRS_EN_FR", 0.255},
+            {"SRPRS_EN_DE", 0.313}, {"DBP100K_DBP_WD", 0.349},
+            {"DBP100K_DBP_YG", 0.297}, {"SRPRS_DBP_WD", 0.231},
+            {"SRPRS_DBP_YG", 0.227}}},
+          {"BootEA",
+           {{"DBP15K_ZH_EN", 0.629}, {"DBP15K_JA_EN", 0.622},
+            {"DBP15K_FR_EN", 0.653}, {"SRPRS_EN_FR", 0.313},
+            {"SRPRS_EN_DE", 0.442}, {"DBP100K_DBP_WD", 0.748},
+            {"DBP100K_DBP_YG", 0.761}, {"SRPRS_DBP_WD", 0.323},
+            {"SRPRS_DBP_YG", 0.313}}},
+          {"RSNs",
+           {{"DBP15K_ZH_EN", 0.581}, {"DBP15K_JA_EN", 0.563},
+            {"DBP15K_FR_EN", 0.607}, {"SRPRS_EN_FR", 0.348},
+            {"SRPRS_EN_DE", 0.497}, {"DBP100K_DBP_WD", 0.656},
+            {"DBP100K_DBP_YG", 0.711}, {"SRPRS_DBP_WD", 0.399},
+            {"SRPRS_DBP_YG", 0.402}}},
+          {"MuGNN",
+           {{"DBP15K_ZH_EN", 0.494}, {"DBP15K_JA_EN", 0.501},
+            {"DBP15K_FR_EN", 0.495}, {"SRPRS_EN_FR", 0.139},
+            {"SRPRS_EN_DE", 0.255}, {"DBP100K_DBP_WD", 0.616},
+            {"DBP100K_DBP_YG", 0.741}, {"SRPRS_DBP_WD", 0.151},
+            {"SRPRS_DBP_YG", 0.175}}},
+          {"NAEA",
+           {{"DBP15K_ZH_EN", 0.650}, {"DBP15K_JA_EN", 0.641},
+            {"DBP15K_FR_EN", 0.673}, {"SRPRS_EN_FR", 0.195},
+            {"SRPRS_EN_DE", 0.321}, {"DBP100K_DBP_WD", 0.767},
+            {"DBP100K_DBP_YG", 0.779}, {"SRPRS_DBP_WD", 0.215},
+            {"SRPRS_DBP_YG", 0.211}}},
+          {"GCN-Align",
+           {{"DBP15K_ZH_EN", 0.413}, {"DBP15K_JA_EN", 0.399},
+            {"DBP15K_FR_EN", 0.373}, {"SRPRS_EN_FR", 0.155},
+            {"SRPRS_EN_DE", 0.253}, {"DBP100K_DBP_WD", 0.477},
+            {"DBP100K_DBP_YG", 0.601}, {"SRPRS_DBP_WD", 0.177},
+            {"SRPRS_DBP_YG", 0.193}}},
+          {"JAPE",
+           {{"DBP15K_ZH_EN", 0.412}, {"DBP15K_JA_EN", 0.363},
+            {"DBP15K_FR_EN", 0.324}, {"SRPRS_EN_FR", 0.256},
+            {"SRPRS_EN_DE", 0.320}, {"DBP100K_DBP_WD", 0.318},
+            {"DBP100K_DBP_YG", 0.236}, {"SRPRS_DBP_WD", 0.219},
+            {"SRPRS_DBP_YG", 0.233}}},
+          {"RDGCN",
+           {{"DBP15K_ZH_EN", 0.708}, {"DBP15K_JA_EN", 0.767},
+            {"DBP15K_FR_EN", 0.886}, {"SRPRS_EN_FR", 0.514},
+            {"SRPRS_EN_DE", 0.613}, {"DBP100K_DBP_WD", 0.902},
+            {"DBP100K_DBP_YG", 0.864}, {"SRPRS_DBP_WD", 0.834},
+            {"SRPRS_DBP_YG", 0.852}}},
+          {"GM-Align",
+           {{"DBP15K_ZH_EN", 0.679}, {"DBP15K_JA_EN", 0.740},
+            {"DBP15K_FR_EN", 0.894}, {"SRPRS_EN_FR", 0.627},
+            {"SRPRS_EN_DE", 0.677}, {"SRPRS_DBP_WD", 0.815},
+            {"SRPRS_DBP_YG", 0.828}}},
+          {"MultiKE",
+           {{"DBP100K_DBP_WD", 0.915}, {"DBP100K_DBP_YG", 0.880}}},
+          {"CEAFF w/o Ml",
+           {{"DBP100K_DBP_WD", 0.992}, {"DBP100K_DBP_YG", 0.955},
+            {"SRPRS_DBP_WD", 0.915}, {"SRPRS_DBP_YG", 0.937}}},
+          {"CEAFF",
+           {{"DBP15K_ZH_EN", 0.795}, {"DBP15K_JA_EN", 0.860},
+            {"DBP15K_FR_EN", 0.964}, {"SRPRS_EN_FR", 0.964},
+            {"SRPRS_EN_DE", 0.977}, {"DBP100K_DBP_WD", 1.000},
+            {"DBP100K_DBP_YG", 1.000}, {"SRPRS_DBP_WD", 1.000},
+            {"SRPRS_DBP_YG", 1.000}}},
+      };
+  auto mit = kTable->find(method);
+  if (mit == kTable->end()) return std::nullopt;
+  auto dit = mit->second.find(dataset);
+  if (dit == mit->second.end()) return std::nullopt;
+  return dit->second;
+}
+
+void PrintRow(const std::string& name,
+              const std::vector<std::optional<double>>& cells,
+              int name_width) {
+  std::printf("%-*s", name_width, name.c_str());
+  for (const std::optional<double>& c : cells) {
+    if (c.has_value()) {
+      std::printf("  %6.3f", *c);
+    } else {
+      std::printf("  %6s", "-");
+    }
+  }
+  std::printf("\n");
+}
+
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns, int name_width) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%-*s", name_width, "");
+  for (const std::string& c : columns) std::printf("  %6s", c.c_str());
+  std::printf("\n");
+  int total = name_width + static_cast<int>(columns.size()) * 8;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+}  // namespace ceaff::bench

@@ -1,0 +1,66 @@
+#ifndef CEAFF_BENCH_BENCH_UTIL_H_
+#define CEAFF_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ceaff/baselines/baselines.h"
+#include "ceaff/core/pipeline.h"
+#include "ceaff/data/synthetic.h"
+
+namespace ceaff::bench {
+
+/// Scale of the synthetic datasets relative to the paper's (gold pairs:
+/// scale x 1000, or x 2000 for the DBP100K-like configs). Overridable via
+/// the CEAFF_SCALE environment variable; default 0.25 keeps a full table
+/// run within a few minutes on one core.
+double DatasetScale();
+
+/// GCN settings used by every table bench (smaller than the paper's
+/// ds = 300 / 300 epochs, matching the reduced dataset scale). Overridable
+/// via CEAFF_GCN_DIM / CEAFF_GCN_EPOCHS.
+embed::GcnOptions BenchGcnOptions();
+
+/// CEAFF options used by the table benches (paper defaults elsewhere).
+core::CeaffOptions BenchCeaffOptions();
+
+/// Generates (and memoises per process) the named standard benchmark at
+/// DatasetScale().
+const data::SyntheticBenchmark& GetBenchmark(const std::string& name);
+
+/// One measured cell: methods column x dataset row.
+struct Measured {
+  double accuracy = 0.0;
+  double hits_at_10 = 0.0;
+  double mrr = 0.0;
+  double seconds = 0.0;
+};
+
+/// Runs a named method on a benchmark. Methods:
+///   MTransE, IPTransE, TransE-shared, BootEA-lite, GCN-Align (baselines);
+///   CEAFF, CEAFF w/o C, CEAFF w/o Ml (the paper's own rows).
+/// Unknown method names return NotFound.
+StatusOr<Measured> RunMethod(const std::string& method,
+                             const data::SyntheticBenchmark& bench);
+
+/// Accuracy reported in the paper for (method, dataset), if the paper
+/// reports one. Dataset keys match the StandardBenchmarkConfigs names.
+std::optional<double> PaperAccuracy(const std::string& method,
+                                    const std::string& dataset);
+
+/// Prints one table row: name column then fixed-width numeric cells
+/// ("  -  " for absent values).
+void PrintRow(const std::string& name,
+              const std::vector<std::optional<double>>& cells,
+              int name_width = 22);
+
+/// Prints a header row of dataset/metric labels aligned with PrintRow.
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns,
+                 int name_width = 22);
+
+}  // namespace ceaff::bench
+
+#endif  // CEAFF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Extension experiment (beyond the paper's tables, motivated by its
+// Sec. I): adaptive fusion with a *fourth* feature. The paper argues
+// hand-tuned outcome-level weights become impractical as features
+// multiply; here the attribute feature Ma joins {Ms, Mn, Ml} with no
+// re-tuning — the adaptive weights absorb it. JAPE-lite provides the
+// attribute-aware baseline reference.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ceaff;
+
+int main() {
+  const std::vector<std::string> datasets = {
+      "DBP15K_ZH_EN", "DBP15K_FR_EN", "SRPRS_EN_DE", "SRPRS_DBP_YG"};
+  const std::vector<std::string> columns = {"ZH-EN", "FR-EN", "EN-DE",
+                                            "SR-YG"};
+
+  std::printf("Extension — attribute feature as a fourth signal "
+              "(scale %.2f)\n\n", bench::DatasetScale());
+
+  bench::PrintHeader("measured:", columns);
+
+  // JAPE-lite baseline (structure + attribute types, fixed weights).
+  {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) {
+      baselines::JapeLite::Options o;
+      o.gcn = bench::BenchGcnOptions();
+      baselines::JapeLite b(o);
+      auto r = b.Run(bench::GetBenchmark(d).pair);
+      cells.push_back(r.ok() ? std::optional<double>(r->accuracy)
+                             : std::nullopt);
+    }
+    bench::PrintRow("JAPE-lite", cells);
+  }
+
+  // Attribute feature alone (collective decisions).
+  {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) {
+      core::CeaffOptions o = bench::BenchCeaffOptions();
+      o.use_structural = o.use_semantic = o.use_string = false;
+      o.use_attribute = true;
+      const data::SyntheticBenchmark& b = bench::GetBenchmark(d);
+      core::CeaffPipeline pipe(&b.pair, &b.store, o);
+      auto r = pipe.Run();
+      cells.push_back(r.ok() ? std::optional<double>(r->accuracy)
+                             : std::nullopt);
+    }
+    bench::PrintRow("Ma only (collective)", cells);
+  }
+
+  // CEAFF with three, four and five features.
+  struct Variant {
+    const char* label;
+    bool attr;
+    bool rel;
+  };
+  for (Variant v : {Variant{"CEAFF (3 features)", false, false},
+                    Variant{"CEAFF + Ma (4 features)", true, false},
+                    Variant{"CEAFF + Ma + Mr (5 feats)", true, true}}) {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) {
+      core::CeaffOptions o = bench::BenchCeaffOptions();
+      o.use_attribute = v.attr;
+      o.use_relation = v.rel;
+      const data::SyntheticBenchmark& b = bench::GetBenchmark(d);
+      core::CeaffPipeline pipe(&b.pair, &b.store, o);
+      auto r = pipe.Run();
+      cells.push_back(r.ok() ? std::optional<double>(r->accuracy)
+                             : std::nullopt);
+    }
+    bench::PrintRow(v.label, cells, 26);
+  }
+
+  std::printf(
+      "\nExpected shape: the fourth feature never needs manual weight\n"
+      "tuning — adaptive fusion assigns it a share proportional to its\n"
+      "confident-correspondence evidence, so CEAFF+Ma matches or improves\n"
+      "CEAFF, and both dominate the attribute-aware JAPE-lite baseline.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension experiment for the paper's future work ("explore other
+// collective matching methods"): five decision procedures on the same
+// fused similarity matrices — independent argmax, source-proposing DAA
+// (CEAFF), target-proposing DAA, Hungarian max-weight, Sinkhorn transport.
+// Also reports blocking pairs and total matched weight so quality is
+// visible beyond accuracy.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "ceaff/matching/matching.h"
+#include "ceaff/matching/sinkhorn.h"
+
+using namespace ceaff;
+
+int main() {
+  const std::vector<std::string> datasets = {"DBP15K_ZH_EN", "DBP15K_JA_EN",
+                                             "SRPRS_EN_FR"};
+  std::printf("Collective decision methods on CEAFF's fused matrices "
+              "(scale %.2f)\n\n", bench::DatasetScale());
+
+  for (const std::string& d : datasets) {
+    const data::SyntheticBenchmark& b = bench::GetBenchmark(d);
+    core::CeaffPipeline pipe(&b.pair, &b.store, bench::BenchCeaffOptions());
+    auto features = pipe.GenerateFeatures();
+    CEAFF_CHECK(features.ok()) << features.status();
+    auto fused_result = pipe.RunOnFeatures(features.value());
+    CEAFF_CHECK(fused_result.ok()) << fused_result.status();
+    const la::Matrix& fused = fused_result->fused;
+
+    std::vector<int64_t> gold(fused.rows());
+    std::iota(gold.begin(), gold.end(), int64_t{0});
+
+    struct Row {
+      const char* name;
+      matching::MatchResult match;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"independent argmax", matching::GreedyIndependent(fused)});
+    rows.push_back({"DAA source-proposing", matching::DeferredAcceptance(fused)});
+    rows.push_back({"DAA target-proposing",
+                    matching::DeferredAcceptanceTargetProposing(fused)});
+    rows.push_back({"greedy one-to-one", matching::GreedyOneToOne(fused)});
+    rows.push_back({"Hungarian (max weight)",
+                    matching::HungarianMatch(fused).value()});
+    rows.push_back({"Sinkhorn + decode", matching::SinkhornMatch(fused)});
+
+    std::printf("--- %s ---\n", d.c_str());
+    std::printf("%-24s %10s %12s %14s\n", "method", "accuracy",
+                "blocking", "total weight");
+    for (const Row& row : rows) {
+      std::printf("%-24s %10.3f %12zu %14.2f\n", row.name,
+                  eval::Accuracy(row.match, gold),
+                  matching::CountBlockingPairs(fused, row.match),
+                  matching::TotalWeight(fused, row.match));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: every collective method beats independent argmax;\n"
+      "both DAA variants have zero blocking pairs; Hungarian maximises\n"
+      "total weight; accuracies of the collective methods are close —\n"
+      "supporting the paper's choice of DAA on efficiency grounds.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Extension experiment for the paper's Sec. II/V argument: outcome-level
+// fusion (similarity matrices combined after per-feature scoring) beats
+// representation-level fusion (one unified embedding per entity). The
+// RepFusion baseline concatenates the L2-normalised structural and name
+// view embeddings (MultiKE/GM-Align style); the outcome-level rows fuse
+// the same two signals as matrices. All rows use independent decisions so
+// the comparison isolates the fusion level.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "ceaff/matching/matching.h"
+
+using namespace ceaff;
+
+namespace {
+
+double OutcomeLevelAccuracy(const data::SyntheticBenchmark& b,
+                            core::FusionMode mode) {
+  core::CeaffOptions o = bench::BenchCeaffOptions();
+  o.use_string = false;  // same two views as RepFusion: structure + name
+  o.fusion_mode = mode;
+  o.decision_mode = core::DecisionMode::kIndependent;
+  core::CeaffPipeline pipe(&b.pair, &b.store, o);
+  auto r = pipe.Run();
+  CEAFF_CHECK(r.ok()) << r.status();
+  return r->accuracy;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> datasets = {
+      "DBP15K_ZH_EN", "DBP15K_JA_EN", "DBP15K_FR_EN", "SRPRS_EN_FR"};
+  const std::vector<std::string> columns = {"ZH-EN", "JA-EN", "FR-EN",
+                                            "EN-FR"};
+
+  std::printf("Extension — representation-level vs outcome-level fusion "
+              "(scale %.2f)\n", bench::DatasetScale());
+  std::printf("(two views everywhere: GCN structure + name semantics; "
+              "independent decisions)\n\n");
+
+  bench::PrintHeader("measured:", columns, 30);
+
+  // Representation-level variants: additive unified space (lossy) and
+  // concatenation (provably equal to fixed outcome-level fusion).
+  for (auto mode : {baselines::RepresentationFusionAlign::Options::Mode::kAdditive,
+                    baselines::RepresentationFusionAlign::Options::Mode::kConcat}) {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) {
+      const data::SyntheticBenchmark& b = bench::GetBenchmark(d);
+      baselines::RepresentationFusionAlign::Options o;
+      o.gcn = bench::BenchGcnOptions();
+      o.mode = mode;
+      baselines::RepresentationFusionAlign rep(o, &b.store);
+      auto r = rep.Run(b.pair);
+      cells.push_back(r.ok() ? std::optional<double>(r->accuracy)
+                             : std::nullopt);
+    }
+    bool additive =
+        mode == baselines::RepresentationFusionAlign::Options::Mode::kAdditive;
+    bench::PrintRow(additive ? "rep-level, additive space"
+                             : "rep-level, concatenated", cells, 30);
+  }
+
+  // Outcome-level with fixed and adaptive weights.
+  {
+    std::vector<std::optional<double>> fixed, adaptive;
+    for (const std::string& d : datasets) {
+      const data::SyntheticBenchmark& b = bench::GetBenchmark(d);
+      fixed.push_back(OutcomeLevelAccuracy(b, core::FusionMode::kFixed));
+      adaptive.push_back(
+          OutcomeLevelAccuracy(b, core::FusionMode::kAdaptive));
+    }
+    bench::PrintRow("outcome-level, fixed weights", fixed, 30);
+    bench::PrintRow("outcome-level, adaptive (CEAFF)", adaptive, 30);
+  }
+
+  std::printf(
+      "\nPaper claim (Sec. II): 'directly unifying feature representations\n"
+      "inevitably causes the loss of feature-specific characteristics' —\n"
+      "the outcome-level rows should dominate the representation-level row\n"
+      "on every dataset, with adaptive weighting adding a further margin.\n");
+  return 0;
+}

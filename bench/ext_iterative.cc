@@ -1,0 +1,52 @@
+// Extension experiment: iterative (self-training) CEAFF — the direction
+// of the paper's future work. Confident matches from each round are
+// promoted to pseudo-seeds for the GCN; gains concentrate where the
+// structural feature is supervision-starved (few seeds, distant
+// languages).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ceaff/core/iterative.h"
+
+using namespace ceaff;
+
+int main() {
+  std::printf("Iterative CEAFF (self-training rounds, scale %.2f)\n\n",
+              bench::DatasetScale());
+  std::printf("%-14s %-8s %10s %10s %10s %10s\n", "dataset", "seeds",
+              "round 0", "round 1", "round 2", "promoted");
+
+  for (double seed_fraction : {0.1, 0.3}) {
+    for (const char* name : {"DBP15K_ZH_EN", "SRPRS_EN_FR"}) {
+      auto cfg = data::BenchmarkConfigByName(name, bench::DatasetScale());
+      CEAFF_CHECK(cfg.ok()) << cfg.status();
+      cfg->seed_fraction = seed_fraction;
+      auto b = data::GenerateBenchmark(cfg.value());
+      CEAFF_CHECK(b.ok()) << b.status();
+
+      core::IterativeCeaffOptions opt;
+      opt.base = bench::BenchCeaffOptions();
+      opt.rounds = 2;
+      auto r = core::RunIterativeCeaff(b->pair, b->store, opt);
+      CEAFF_CHECK(r.ok()) << r.status();
+
+      size_t promoted = 0;
+      for (size_t p : r->promoted_per_round) promoted += p;
+      std::printf("%-14s %-8.2f", name, seed_fraction);
+      for (size_t round = 0; round < 3; ++round) {
+        if (round < r->accuracy_per_round.size()) {
+          std::printf(" %10.3f", r->accuracy_per_round[round]);
+        } else {
+          std::printf(" %10s", "-");
+        }
+      }
+      std::printf(" %10zu\n", promoted);
+    }
+  }
+  std::printf(
+      "\nExpected shape: with scarce seeds (10%%), self-training lifts\n"
+      "accuracy over rounds by feeding the GCN pseudo-seeds; at the\n"
+      "paper's 30%% seeds the headroom is smaller.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 1 / Example 1: independent EA decisions on a 3x3
+// fused similarity matrix produce two mismatches; the collective stable
+// matching recovers the correct alignment. (Matrix values reconstructed so
+// the narrated behaviour matches the paper exactly.)
+
+#include <cstdio>
+
+#include "ceaff/la/matrix.h"
+#include "ceaff/matching/matching.h"
+
+using namespace ceaff;
+
+int main() {
+  la::Matrix m = la::Matrix::FromRows(
+      {{0.9f, 0.6f, 0.1f}, {0.7f, 0.5f, 0.2f}, {0.2f, 0.4f, 0.3f}});
+  std::printf("Figure 1 — independent vs collective EA decisions\n\n");
+  std::printf("fused similarity matrix (rows u1..u3, cols v1..v3):\n%s\n",
+              m.ToString(1).c_str());
+
+  matching::MatchResult indep = matching::GreedyIndependent(m);
+  std::printf("independent decisions (state-of-the-art default):\n");
+  for (size_t i = 0; i < 3; ++i) {
+    bool correct = indep.target_of_source[i] == static_cast<int64_t>(i);
+    std::printf("  u%zu -> v%lld  %s\n", i + 1,
+                static_cast<long long>(indep.target_of_source[i] + 1),
+                correct ? "(correct)" : "(WRONG)");
+  }
+  std::printf("  u1 and u2 both chose v1 — the conflict Example 1 "
+              "describes.\n\n");
+
+  matching::MatchResult collective = matching::DeferredAcceptance(m);
+  std::printf("collective decisions (CEAFF, stable matching):\n");
+  for (size_t i = 0; i < 3; ++i) {
+    bool correct = collective.target_of_source[i] == static_cast<int64_t>(i);
+    std::printf("  u%zu -> v%lld  %s\n", i + 1,
+                static_cast<long long>(collective.target_of_source[i] + 1),
+                correct ? "(correct)" : "(WRONG)");
+  }
+  std::printf("\nblocking pairs in the collective matching: %zu "
+              "(stable by construction)\n",
+              matching::CountBlockingPairs(m, collective));
+  (void)indep;
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 3: the adaptive weight assignment walkthrough. Three
+// feature matrices produce six candidate confident correspondences; the
+// conflicting ones (entity u2) are filtered; correspondence weights are
+// 1/n with the θ1/θ2 clamp; feature weights are their normalised sums.
+
+#include <cstdio>
+
+#include "ceaff/fusion/adaptive_fusion.h"
+#include "ceaff/la/matrix.h"
+
+using namespace ceaff;
+
+namespace {
+void PrintCandidates(const char* name,
+                     const std::vector<fusion::Correspondence>& cs) {
+  std::printf("  %s:", name);
+  if (cs.empty()) std::printf("  (none)");
+  for (const fusion::Correspondence& c : cs) {
+    std::printf("  (u%u, v%u) %.1f", c.source + 1, c.target + 1, c.score);
+  }
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  la::Matrix ms = la::Matrix::FromRows(
+      {{0.6f, 0.8f, 0.2f}, {0.2f, 1.0f, 0.3f}, {0.1f, 0.2f, 0.4f}});
+  la::Matrix mn = la::Matrix::FromRows(
+      {{1.0f, 0.5f, 0.1f}, {0.2f, 1.0f, 0.5f}, {0.2f, 0.2f, 0.3f}});
+  la::Matrix ml = la::Matrix::FromRows(
+      {{0.6f, 0.5f, 0.4f}, {0.1f, 0.3f, 0.6f}, {0.4f, 0.4f, 0.3f}});
+
+  std::printf("Figure 3 — adaptive weight assignment walkthrough "
+              "(theta1 = 0.98, theta2 = 0.1)\n\n");
+  fusion::FeatureWeightReport rep;
+  auto fused = fusion::AdaptiveFuse({&ms, &mn, &ml}, {}, &rep);
+  CEAFF_CHECK(fused.ok()) << fused.status();
+
+  const char* names[] = {"Ms", "Mn", "Ml"};
+  std::printf("candidate confident correspondences (row & column "
+              "maxima):\n");
+  for (int f = 0; f < 3; ++f) PrintCandidates(names[f], rep.candidates[f]);
+
+  std::printf("\nretained after filtering (u2's candidates conflict across "
+              "features -> all pruned):\n");
+  for (int f = 0; f < 3; ++f) PrintCandidates(names[f], rep.retained[f]);
+
+  std::printf("\nweighting scores and feature weights:\n");
+  for (int f = 0; f < 3; ++f) {
+    std::printf("  %s: score %.3f  ->  weight %.3f\n", names[f],
+                rep.scores[f], rep.weights[f]);
+  }
+  std::printf(
+      "\npaper's expected outcome: Ms keeps (u3,v3) alone -> score 1;\n"
+      "(u1,v1) is shared by Mn and Ml -> 1/2 each, but Mn's instance "
+      "scores\n1.0 > theta1 and is clamped to theta2 = 0.1; weights are\n"
+      "1/1.6, 0.1/1.6, 0.5/1.6 = 0.625, 0.0625, 0.3125.\n");
+
+  std::printf("\nfused matrix:\n%s", fused.value().ToString(3).c_str());
+  return 0;
+}

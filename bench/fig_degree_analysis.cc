@@ -1,0 +1,64 @@
+// Extension figure: accuracy by source-entity degree. The paper explains
+// the DBP15K-vs-SRPRS gap by density — structure-based methods live off
+// well-connected entities. This bench makes that visible directly:
+// per-degree-bucket accuracy of the structural baseline vs full CEAFF on
+// a dense and a sparse pair.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "ceaff/eval/analysis.h"
+#include "ceaff/matching/matching.h"
+
+using namespace ceaff;
+
+namespace {
+
+void Analyze(const char* dataset) {
+  const data::SyntheticBenchmark& b = bench::GetBenchmark(dataset);
+  std::vector<uint32_t> test_src, test_tgt;
+  core::TestIds(b.pair, &test_src, &test_tgt);
+  std::vector<int64_t> gold(test_src.size());
+  std::iota(gold.begin(), gold.end(), int64_t{0});
+
+  // Structural-only baseline.
+  baselines::GcnAlignStructural gcn(bench::BenchGcnOptions());
+  auto gcn_result = gcn.Run(b.pair);
+  CEAFF_CHECK(gcn_result.ok()) << gcn_result.status();
+  matching::MatchResult gcn_match =
+      matching::GreedyIndependent(gcn_result->similarity);
+
+  // Full CEAFF.
+  core::CeaffPipeline pipe(&b.pair, &b.store, bench::BenchCeaffOptions());
+  auto ceaff_result = pipe.Run();
+  CEAFF_CHECK(ceaff_result.ok()) << ceaff_result.status();
+
+  std::printf("--- %s ---\n", dataset);
+  std::printf("GCN-Align (structure only):\n%s",
+              eval::FormatDegreeBuckets(
+                  eval::AccuracyByDegree(b.pair.kg1, test_src, gcn_match,
+                                         gold))
+                  .c_str());
+  std::printf("CEAFF:\n%s\n",
+              eval::FormatDegreeBuckets(
+                  eval::AccuracyByDegree(b.pair.kg1, test_src,
+                                         ceaff_result->match, gold))
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Degree-bucket analysis (scale %.2f)\n\n",
+              bench::DatasetScale());
+  Analyze("DBP15K_FR_EN");   // dense
+  Analyze("SRPRS_EN_FR");    // sparse, real-life degree profile
+  std::printf(
+      "Expected shape: the structural baseline's accuracy climbs steeply\n"
+      "with degree (low-degree entities have little neighbourhood to\n"
+      "match on), while CEAFF stays flat — its text features do not care\n"
+      "about connectivity. This is the mechanism behind the paper's\n"
+      "DBP15K-vs-SRPRS observations.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Sensitivity sweep (extension): accuracy vs seed-alignment fraction. The
+// paper fixes seeds at 30% of the gold standard; this bench regenerates a
+// dataset at several fractions to show how CEAFF and the structural
+// baseline degrade as supervision shrinks — CEAFF's text features make it
+// far less seed-hungry, one of the practical advantages the Sec. VII
+// analysis implies.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ceaff;
+
+int main() {
+  std::printf("Seed-fraction sweep on DBP15K_ZH_EN-like data "
+              "(scale %.2f)\n\n", bench::DatasetScale());
+  std::printf("%-10s  %10s  %14s  %12s\n", "seeds", "CEAFF",
+              "CEAFF w/o C", "GCN-Align");
+
+  for (double fraction : {0.05, 0.1, 0.2, 0.3, 0.5}) {
+    auto cfg =
+        data::BenchmarkConfigByName("DBP15K_ZH_EN", bench::DatasetScale());
+    CEAFF_CHECK(cfg.ok()) << cfg.status();
+    cfg->seed_fraction = fraction;
+    auto bench_data = data::GenerateBenchmark(cfg.value());
+    CEAFF_CHECK(bench_data.ok()) << bench_data.status();
+
+    auto ceaff_r = bench::RunMethod("CEAFF", bench_data.value());
+    auto indep_r = bench::RunMethod("CEAFF w/o C", bench_data.value());
+    auto gcn_r = bench::RunMethod("GCN-Align", bench_data.value());
+    CEAFF_CHECK(ceaff_r.ok() && indep_r.ok() && gcn_r.ok());
+    std::printf("%-10.2f  %10.3f  %14.3f  %12.3f\n", fraction,
+                ceaff_r->accuracy, indep_r->accuracy, gcn_r->accuracy);
+  }
+
+  std::printf("\nExpected shape: the structural baseline decays quickly as\n"
+              "seeds shrink; CEAFF stays usable even at 5%% seeds because\n"
+              "its semantic/string features need no supervision, and the\n"
+              "collective stage keeps correcting conflicts.\n");
+  return 0;
+}

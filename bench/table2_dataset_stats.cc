@@ -1,0 +1,33 @@
+// Reproduces Table II: statistics of the evaluation benchmark. The nine
+// synthetic KG pairs mirror the paper's datasets at laptop scale (see
+// DESIGN.md); this bench prints their generated statistics plus the
+// Kolmogorov–Smirnov degree check SRPRS used (Sec. VII-A).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ceaff;
+
+int main() {
+  std::printf("Table II — statistics of the synthetic evaluation benchmark "
+              "(scale %.2f)\n\n", bench::DatasetScale());
+  std::printf("%-16s %10s %10s %10s %10s %8s %8s %8s\n", "Dataset",
+              "#Triples1", "#Entities1", "#Triples2", "#Entities2", "#Seed",
+              "#Test", "KS(deg)");
+  for (const auto& cfg : data::StandardBenchmarkConfigs()) {
+    const data::SyntheticBenchmark& b = bench::GetBenchmark(cfg.name);
+    double ks = data::KsStatistic(b.pair.kg1.Degrees(),
+                                  b.pair.kg2.Degrees());
+    std::printf("%-16s %10zu %10zu %10zu %10zu %8zu %8zu %8.3f\n",
+                cfg.name.c_str(), b.pair.kg1.num_triples(),
+                b.pair.kg1.num_entities(), b.pair.kg2.num_triples(),
+                b.pair.kg2.num_entities(), b.pair.seed_alignment.size(),
+                b.pair.test_alignment.size(), ks);
+  }
+  std::printf("\nDense (DBP15K/DBP100K-like) pairs carry ~2.5x the average "
+              "degree of the\nsparse real-life-profile (SRPRS-like) pairs; "
+              "each pair's two KGs keep\nnear-identical degree "
+              "distributions (low KS), as in the paper's Table II.\n");
+  return 0;
+}

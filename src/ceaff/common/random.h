@@ -1,0 +1,75 @@
+#ifndef CEAFF_COMMON_RANDOM_H_
+#define CEAFF_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ceaff {
+
+/// Deterministic pseudo-random generator used everywhere in the library.
+///
+/// Wraps SplitMix64 (for seeding / hashing) feeding a xoshiro256** core.
+/// All experiments are bit-reproducible given the same seed; no global
+/// RNG state exists anywhere in the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  /// Normal truncated to [-2σ, 2σ] around `mean` (resampling), matching the
+  /// TensorFlow `truncated_normal` used by GCN-Align for feature init.
+  double NextTruncatedNormal(double mean, double stddev);
+
+  /// Returns a derived generator whose stream is independent of this one.
+  /// Used to give each module / worker its own reproducible stream.
+  Rng Fork();
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// SplitMix64 single step; usable as a deterministic 64-bit hash mixer.
+  static uint64_t SplitMix64(uint64_t x);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Deterministic 64-bit hash of a byte string (FNV-1a folded through
+/// SplitMix64). Used for seeding per-token embedding streams.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_RANDOM_H_

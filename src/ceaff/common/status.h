@@ -1,0 +1,120 @@
+#ifndef CEAFF_COMMON_STATUS_H_
+#define CEAFF_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace ceaff {
+
+/// Error category carried by a Status. Mirrors the RocksDB/Arrow convention
+/// of a small closed set of codes plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Library code never throws; fallible
+/// functions return Status (or StatusOr<T> when they produce a value).
+///
+/// The class is cheap to copy in the OK case (no allocation) and stores the
+/// message inline otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace ceaff
+
+/// Propagates a non-OK Status to the caller. Usable in any function that
+/// returns Status.
+#define CEAFF_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::ceaff::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates an expression yielding StatusOr<T>; on error propagates the
+/// Status, otherwise moves the value into `lhs`.
+#define CEAFF_ASSIGN_OR_RETURN(lhs, expr)               \
+  CEAFF_ASSIGN_OR_RETURN_IMPL(                          \
+      CEAFF_STATUS_CONCAT(_status_or, __LINE__), lhs, expr)
+
+#define CEAFF_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define CEAFF_STATUS_CONCAT(a, b) CEAFF_STATUS_CONCAT_IMPL(a, b)
+#define CEAFF_STATUS_CONCAT_IMPL(a, b) a##b
+
+#endif  // CEAFF_COMMON_STATUS_H_

@@ -1,0 +1,61 @@
+#ifndef CEAFF_COMMON_STATUSOR_H_
+#define CEAFF_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "ceaff/common/status.h"
+
+namespace ceaff {
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. The usual return type for fallible factory/compute functions.
+///
+/// Invariant: exactly one of {status is non-OK, value is present} holds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK — an OK
+  /// status without a value would violate the class invariant.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok(). Accessing the value of an errored StatusOr is a
+  /// programming error (asserted in debug builds).
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_STATUSOR_H_

@@ -1,0 +1,102 @@
+#include "ceaff/common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ceaff {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view StripAsciiWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string NormalizeEntityName(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_space = false;
+  for (char c : raw) {
+    bool is_sep = (c == '_') || std::isspace(static_cast<unsigned char>(c));
+    if (is_sep) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace ceaff

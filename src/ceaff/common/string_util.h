@@ -1,0 +1,39 @@
+#ifndef CEAFF_COMMON_STRING_UTIL_H_
+#define CEAFF_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceaff {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// ASCII lower-casing (bytes >= 0x80 are left untouched).
+std::string AsciiToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces '_' with ' ' and collapses whitespace runs — the usual
+/// normalisation applied to DBpedia-style entity local names.
+std::string NormalizeEntityName(std::string_view raw);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_STRING_UTIL_H_

@@ -1,0 +1,29 @@
+#ifndef CEAFF_COMMON_TIMER_H_
+#define CEAFF_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ceaff {
+
+/// Monotonic wall-clock stopwatch for coarse experiment timing.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_TIMER_H_

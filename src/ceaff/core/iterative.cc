@@ -1,0 +1,65 @@
+#include "ceaff/core/iterative.h"
+
+#include <algorithm>
+
+namespace ceaff::core {
+
+StatusOr<IterativeCeaffResult> RunIterativeCeaff(
+    const kg::KgPair& pair, const text::WordEmbeddingStore& store,
+    const IterativeCeaffOptions& options) {
+  IterativeCeaffResult out;
+  // Working copy whose seed set grows across rounds.
+  kg::KgPair working = pair;
+
+  CeaffPipeline initial(&working, &store, options.base);
+  CEAFF_ASSIGN_OR_RETURN(CeaffResult result, initial.Run());
+  out.accuracy_per_round.push_back(result.accuracy);
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    // Collect matched pairs with their fused scores.
+    struct Scored {
+      size_t row;
+      int64_t col;
+      float score;
+    };
+    std::vector<Scored> matched;
+    for (size_t i = 0; i < result.match.target_of_source.size(); ++i) {
+      int64_t t = result.match.target_of_source[i];
+      if (t < 0) continue;
+      matched.push_back({i, t, result.fused.at(i, static_cast<size_t>(t))});
+    }
+    if (matched.empty()) break;
+    // Quantile threshold over this round's matched scores.
+    std::vector<float> scores;
+    scores.reserve(matched.size());
+    for (const Scored& s : matched) scores.push_back(s.score);
+    size_t q_index = static_cast<size_t>(
+        options.promote_quantile * static_cast<double>(scores.size()));
+    q_index = std::min(q_index, scores.size() - 1);
+    std::nth_element(scores.begin(),
+                     scores.begin() + static_cast<long>(q_index),
+                     scores.end());
+    float threshold = std::max(scores[q_index], options.min_similarity);
+
+    // Promote confident pairs to pseudo-seeds (keeping them in the test
+    // set for scoring — the enlarged seeds only feed the GCN).
+    size_t promoted = 0;
+    for (const Scored& s : matched) {
+      if (s.score < threshold) continue;
+      working.seed_alignment.push_back(
+          {pair.test_alignment[s.row].source,
+           pair.test_alignment[static_cast<size_t>(s.col)].target});
+      ++promoted;
+    }
+    out.promoted_per_round.push_back(promoted);
+    if (promoted == 0) break;
+
+    CeaffPipeline pipe(&working, &store, options.base);
+    CEAFF_ASSIGN_OR_RETURN(result, pipe.Run());
+    out.accuracy_per_round.push_back(result.accuracy);
+  }
+  out.final_result = std::move(result);
+  return out;
+}
+
+}  // namespace ceaff::core

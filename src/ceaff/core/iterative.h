@@ -1,0 +1,44 @@
+#ifndef CEAFF_CORE_ITERATIVE_H_
+#define CEAFF_CORE_ITERATIVE_H_
+
+#include "ceaff/core/pipeline.h"
+
+namespace ceaff::core {
+
+/// Iterative (self-training) CEAFF — an extension in the direction of the
+/// paper's future work and of IPTransE/BootEA's bootstrapping: after each
+/// full CEAFF run, the most confident matched test pairs are promoted to
+/// seed pairs and the structural feature is retrained with the enlarged
+/// supervision. Text features are seed-independent, so only the GCN
+/// benefits, which is exactly where extra seeds help (cf. the
+/// seed-fraction sweep bench).
+struct IterativeCeaffOptions {
+  CeaffOptions base;
+  /// Bootstrapping rounds after the initial run (0 = plain CEAFF).
+  size_t rounds = 2;
+  /// A matched pair is promoted when its fused similarity is at least
+  /// this quantile of all matched-pair scores in the round.
+  double promote_quantile = 0.5;
+  /// And its fused similarity is at least this absolute value.
+  float min_similarity = 0.5f;
+};
+
+/// Outcome of the final round plus bookkeeping.
+struct IterativeCeaffResult {
+  CeaffResult final_result;
+  /// Accuracy after each round (index 0 = initial run).
+  std::vector<double> accuracy_per_round;
+  /// Promoted pseudo-seed pairs per round (test-set positions).
+  std::vector<size_t> promoted_per_round;
+};
+
+/// Runs iterative CEAFF on `pair`. The gold test alignment is only used
+/// for scoring, never for promotion decisions (promotion is by model
+/// confidence). Rounds that promote nothing terminate the loop early.
+StatusOr<IterativeCeaffResult> RunIterativeCeaff(
+    const kg::KgPair& pair, const text::WordEmbeddingStore& store,
+    const IterativeCeaffOptions& options);
+
+}  // namespace ceaff::core
+
+#endif  // CEAFF_CORE_ITERATIVE_H_

@@ -1,0 +1,309 @@
+#include "ceaff/core/pipeline.h"
+
+#include <numeric>
+
+#include "ceaff/common/timer.h"
+#include "ceaff/la/csls.h"
+#include "ceaff/la/ops.h"
+#include "ceaff/text/levenshtein.h"
+#include "ceaff/text/name_embedding.h"
+#include "ceaff/text/ngram_similarity.h"
+
+namespace ceaff::core {
+
+la::Matrix GatherRows(const la::Matrix& emb,
+                      const std::vector<uint32_t>& ids) {
+  la::Matrix out(ids.size(), emb.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* src = emb.row(ids[i]);
+    float* dst = out.row(i);
+    for (size_t c = 0; c < emb.cols(); ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+std::vector<std::string> GatherNames(const kg::KnowledgeGraph& g,
+                                     const std::vector<uint32_t>& ids) {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (uint32_t id : ids) out.push_back(g.entity_name(id));
+  return out;
+}
+
+void TestIds(const kg::KgPair& pair, std::vector<uint32_t>* sources,
+             std::vector<uint32_t>* targets) {
+  sources->clear();
+  targets->clear();
+  for (const kg::AlignmentPair& p : pair.test_alignment) {
+    sources->push_back(p.source);
+    targets->push_back(p.target);
+  }
+}
+
+CeaffPipeline::CeaffPipeline(const kg::KgPair* pair,
+                             const text::WordEmbeddingStore* store,
+                             const CeaffOptions& options)
+    : pair_(pair), store_(store), options_(options) {}
+
+StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
+  if (pair_->test_alignment.empty()) {
+    return Status::InvalidArgument("pair has no test alignment");
+  }
+  if (store_ == nullptr && options_.use_semantic) {
+    return Status::InvalidArgument(
+        "semantic feature enabled but no word-embedding store given");
+  }
+  // Validate alignment ids before any feature generator dereferences them.
+  auto ids_ok = [this](const std::vector<kg::AlignmentPair>& pairs) {
+    for (const kg::AlignmentPair& p : pairs) {
+      if (p.source >= pair_->kg1.num_entities() ||
+          p.target >= pair_->kg2.num_entities()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (!ids_ok(pair_->test_alignment) || !ids_ok(pair_->seed_alignment)) {
+    return Status::InvalidArgument(
+        "alignment references an entity id outside its KG");
+  }
+  WallTimer timer;
+  CeaffFeatures features;
+  std::vector<uint32_t> test_src, test_tgt, seed_src, seed_tgt;
+  TestIds(*pair_, &test_src, &test_tgt);
+  for (const kg::AlignmentPair& p : pair_->seed_alignment) {
+    seed_src.push_back(p.source);
+    seed_tgt.push_back(p.target);
+  }
+
+  if (options_.use_structural) {
+    la::SparseMatrix a1 = kg::BuildAdjacency(pair_->kg1, options_.adjacency);
+    la::SparseMatrix a2 = kg::BuildAdjacency(pair_->kg2, options_.adjacency);
+    embed::GcnAligner gcn(std::move(a1), std::move(a2), options_.gcn);
+    CEAFF_ASSIGN_OR_RETURN(features.gcn_final_loss,
+                           gcn.Train(pair_->seed_alignment));
+    features.structural =
+        la::CosineSimilarity(GatherRows(gcn.embeddings1(), test_src),
+                             GatherRows(gcn.embeddings2(), test_tgt));
+    if (!seed_src.empty()) {
+      features.seed_structural =
+          la::CosineSimilarity(GatherRows(gcn.embeddings1(), seed_src),
+                               GatherRows(gcn.embeddings2(), seed_tgt));
+    }
+  }
+  std::vector<std::string> src_names = GatherNames(pair_->kg1, test_src);
+  std::vector<std::string> tgt_names = GatherNames(pair_->kg2, test_tgt);
+  std::vector<std::string> seed_src_names =
+      GatherNames(pair_->kg1, seed_src);
+  std::vector<std::string> seed_tgt_names =
+      GatherNames(pair_->kg2, seed_tgt);
+  if (options_.use_semantic) {
+    features.semantic =
+        text::SemanticSimilarityMatrix(*store_, src_names, tgt_names);
+    if (!seed_src.empty()) {
+      features.seed_semantic = text::SemanticSimilarityMatrix(
+          *store_, seed_src_names, seed_tgt_names);
+    }
+  }
+  if (options_.use_string) {
+    if (options_.string_metric == CeaffOptions::StringMetric::kNgramDice) {
+      features.string_sim = text::NgramSimilarityMatrix(src_names, tgt_names);
+      if (!seed_src.empty()) {
+        features.seed_string =
+            text::NgramSimilarityMatrix(seed_src_names, seed_tgt_names);
+      }
+    } else {
+      features.string_sim =
+          text::StringSimilarityMatrix(src_names, tgt_names);
+      if (!seed_src.empty()) {
+        features.seed_string =
+            text::StringSimilarityMatrix(seed_src_names, seed_tgt_names);
+      }
+    }
+  }
+  if (options_.use_relation) {
+    features.relation = kg::RelationSimilarityMatrix(
+        pair_->kg1, pair_->kg2, test_src, test_tgt, options_.relation);
+    if (!seed_src.empty()) {
+      features.seed_relation = kg::RelationSimilarityMatrix(
+          pair_->kg1, pair_->kg2, seed_src, seed_tgt, options_.relation);
+    }
+  }
+  if (options_.use_attribute) {
+    features.attribute = kg::AttributeSimilarityMatrix(
+        pair_->kg1, pair_->kg2, test_src, test_tgt, options_.attribute);
+    if (!seed_src.empty()) {
+      features.seed_attribute = kg::AttributeSimilarityMatrix(
+          pair_->kg1, pair_->kg2, seed_src, seed_tgt, options_.attribute);
+    }
+  }
+  features.seconds = timer.ElapsedSeconds();
+  return features;
+}
+
+Status CeaffPipeline::FuseFeatures(const CeaffFeatures& features,
+                                   CeaffResult* result) {
+  std::vector<const la::Matrix*> enabled;
+  std::vector<const la::Matrix*> enabled_seed;
+  if (options_.use_structural) {
+    enabled.push_back(&features.structural);
+    enabled_seed.push_back(&features.seed_structural);
+  }
+  if (options_.use_semantic) {
+    enabled.push_back(&features.semantic);
+    enabled_seed.push_back(&features.seed_semantic);
+  }
+  if (options_.use_string) {
+    enabled.push_back(&features.string_sim);
+    enabled_seed.push_back(&features.seed_string);
+  }
+  if (options_.use_attribute) {
+    enabled.push_back(&features.attribute);
+    enabled_seed.push_back(&features.seed_attribute);
+  }
+  if (options_.use_relation) {
+    enabled.push_back(&features.relation);
+    enabled_seed.push_back(&features.seed_relation);
+  }
+  if (enabled.empty()) {
+    return Status::InvalidArgument("all features disabled");
+  }
+  for (const la::Matrix* m : enabled) {
+    if (m->empty()) {
+      return Status::FailedPrecondition(
+          "an enabled feature is missing from the provided feature set");
+    }
+  }
+  if (enabled.size() == 1) {
+    result->fused = *enabled[0];
+    result->final_weights = {1.0};
+    return Status::OK();
+  }
+
+  switch (options_.fusion_mode) {
+    case FusionMode::kAdaptive: {
+      if (options_.use_structural && options_.use_semantic &&
+          options_.use_string) {
+        std::vector<const la::Matrix*> extras;
+        if (options_.use_attribute) extras.push_back(&features.attribute);
+        if (options_.use_relation) extras.push_back(&features.relation);
+        if (!extras.empty()) {
+          // Extended two-stage pipeline: (Mn ⊕ Ml) → textual, then
+          // Ms ⊕ textual ⊕ extras in the final stage.
+          fusion::FeatureWeightReport rep1;
+          la::Matrix textual;
+          CEAFF_ASSIGN_OR_RETURN(
+              textual, fusion::AdaptiveFuse(
+                           {&features.semantic, &features.string_sim},
+                           options_.fusion, &rep1));
+          result->textual_weights = rep1.weights;
+          std::vector<const la::Matrix*> final_inputs = {
+              &features.structural, &textual};
+          final_inputs.insert(final_inputs.end(), extras.begin(),
+                              extras.end());
+          fusion::FeatureWeightReport rep2;
+          CEAFF_ASSIGN_OR_RETURN(
+              result->fused,
+              fusion::AdaptiveFuse(final_inputs, options_.fusion, &rep2));
+          result->final_weights = rep2.weights;
+          return Status::OK();
+        }
+        // Full two-stage pipeline: (Mn ⊕ Ml) → textual, then Ms ⊕ textual.
+        CEAFF_ASSIGN_OR_RETURN(
+            fusion::TwoStageFusionResult two,
+            fusion::TwoStageFuse(features.structural, features.semantic,
+                                 features.string_sim, options_.fusion));
+        result->fused = std::move(two.fused);
+        result->textual_weights = std::move(two.textual_weights);
+        result->final_weights = std::move(two.final_weights);
+      } else {
+        fusion::FeatureWeightReport report;
+        CEAFF_ASSIGN_OR_RETURN(
+            result->fused,
+            fusion::AdaptiveFuse(enabled, options_.fusion, &report));
+        result->final_weights = report.weights;
+      }
+      return Status::OK();
+    }
+    case FusionMode::kFixed: {
+      CEAFF_ASSIGN_OR_RETURN(result->fused, fusion::FixedFuse(enabled));
+      result->final_weights.assign(enabled.size(),
+                                   1.0 / static_cast<double>(enabled.size()));
+      return Status::OK();
+    }
+    case FusionMode::kLearned: {
+      // Fit LR on the seed-restricted matrices (gold pairs are (i, i)),
+      // then apply the learned weights to the test matrices.
+      if (pair_->seed_alignment.empty()) {
+        return Status::FailedPrecondition(
+            "learned fusion requires seed alignment");
+      }
+      for (const la::Matrix* m : enabled_seed) {
+        if (m->empty()) {
+          return Status::FailedPrecondition(
+              "learned fusion requires seed feature matrices");
+        }
+      }
+      std::vector<kg::AlignmentPair> seed_gold;
+      for (uint32_t i = 0; i < pair_->seed_alignment.size(); ++i) {
+        seed_gold.push_back({i, i});
+      }
+      fusion::LogisticRegressionFusion lr(options_.lr);
+      CEAFF_RETURN_IF_ERROR(lr.Train(enabled_seed, seed_gold));
+      CEAFF_ASSIGN_OR_RETURN(result->fused, lr.Fuse(enabled));
+      result->final_weights = lr.FusionWeights();
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown fusion mode");
+}
+
+StatusOr<CeaffResult> CeaffPipeline::RunOnFeatures(
+    const CeaffFeatures& features) {
+  CeaffResult result;
+  result.structural = features.structural;
+  result.semantic = features.semantic;
+  result.string_sim = features.string_sim;
+  result.gcn_final_loss = features.gcn_final_loss;
+  result.seconds_features = features.seconds;
+  CEAFF_RETURN_IF_ERROR(FuseFeatures(features, &result));
+  if (options_.csls_k > 0) {
+    result.fused = la::CslsRescale(result.fused, options_.csls_k);
+  }
+
+  WallTimer decision_timer;
+  switch (options_.decision_mode) {
+    case DecisionMode::kCollective:
+      result.match = matching::DeferredAcceptance(result.fused);
+      break;
+    case DecisionMode::kIndependent:
+      result.match = matching::GreedyIndependent(result.fused);
+      break;
+    case DecisionMode::kHungarian: {
+      CEAFF_ASSIGN_OR_RETURN(result.match,
+                             matching::HungarianMatch(result.fused));
+      break;
+    }
+    case DecisionMode::kGreedyOneToOne:
+      result.match = matching::GreedyOneToOne(result.fused);
+      break;
+    case DecisionMode::kSinkhorn:
+      result.match = matching::SinkhornMatch(result.fused);
+      break;
+  }
+  result.seconds_decision = decision_timer.ElapsedSeconds();
+
+  // Test matrices are ordered by test_alignment ⇒ gold of row i is col i.
+  std::vector<int64_t> gold(result.fused.rows());
+  std::iota(gold.begin(), gold.end(), int64_t{0});
+  result.accuracy = eval::Accuracy(result.match, gold);
+  result.ranking = eval::ComputeRankingMetrics(result.fused, gold);
+  return result;
+}
+
+StatusOr<CeaffResult> CeaffPipeline::Run() {
+  CEAFF_ASSIGN_OR_RETURN(CeaffFeatures features, GenerateFeatures());
+  return RunOnFeatures(features);
+}
+
+}  // namespace ceaff::core

@@ -1,0 +1,159 @@
+#ifndef CEAFF_CORE_PIPELINE_H_
+#define CEAFF_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/embed/gcn.h"
+#include "ceaff/eval/metrics.h"
+#include "ceaff/fusion/adaptive_fusion.h"
+#include "ceaff/fusion/logistic_regression.h"
+#include "ceaff/kg/adjacency.h"
+#include "ceaff/kg/attribute_similarity.h"
+#include "ceaff/kg/relation_similarity.h"
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/matching/matching.h"
+#include "ceaff/matching/sinkhorn.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::core {
+
+/// How the fused similarity matrix is produced (Sec. V / Sec. VII-E).
+enum class FusionMode {
+  kAdaptive,  // CEAFF's adaptive feature fusion (two-stage when 3 features)
+  kFixed,     // equal weights — the "w/o AFF" ablation
+  kLearned,   // logistic regression on seed pairs — the "LR" baseline
+};
+
+/// How EA decisions are made from the fused matrix (Sec. VI).
+enum class DecisionMode {
+  kCollective,     // stable matching via deferred acceptance (CEAFF)
+  kIndependent,    // row-argmax, the "w/o C" ablation / prior-work default
+  kHungarian,      // max-weight bipartite matching (Sec. VI discussion)
+  kGreedyOneToOne,  // globally greedy one-to-one (extra design baseline)
+  kSinkhorn,       // entropic transport plan + one-to-one decoding
+};
+
+/// Full configuration of a CEAFF run. Every Table V ablation is a toggle
+/// here.
+struct CeaffOptions {
+  bool use_structural = true;  // Ms   ("w/o Ms" when false)
+  bool use_semantic = true;    // Mn   ("w/o Mn")
+  bool use_string = true;      // Ml   ("w/o Ml")
+  /// Ma — the attribute extension feature (off by default: the paper's
+  /// CEAFF uses exactly Ms/Mn/Ml; enabling this exercises the adaptive
+  /// fusion with a fourth signal).
+  bool use_attribute = false;
+  kg::AttributeSimilarityOptions attribute;
+  /// Mr — the relation-signature extension feature (off by default).
+  bool use_relation = false;
+  kg::RelationSimilarityOptions relation;
+  /// Metric behind Ml: the paper's Levenshtein ratio (lev*, default) or
+  /// the O(n)-per-pair character-trigram Dice alternative (a DESIGN.md
+  /// ablation).
+  enum class StringMetric { kLevenshteinRatio, kNgramDice };
+  StringMetric string_metric = StringMetric::kLevenshteinRatio;
+  FusionMode fusion_mode = FusionMode::kAdaptive;
+  DecisionMode decision_mode = DecisionMode::kCollective;
+  fusion::FusionOptions fusion;  // θ1 / θ2 ("w/o θ1,θ2" via use_score_clamp)
+  /// Apply CSLS hubness correction with this neighbourhood size to the
+  /// fused matrix before the decision stage. 0 (default, the paper's
+  /// setting) disables it; an extension ablation, see la/csls.h.
+  size_t csls_k = 0;
+  fusion::LrOptions lr;          // kLearned parameters
+  embed::GcnOptions gcn;         // structural feature training
+  kg::AdjacencyOptions adjacency;
+};
+
+/// Everything a CEAFF run produces. Feature/fused matrices are restricted
+/// to test rows (sources) x test columns (targets), ordered like
+/// KgPair::test_alignment, so ground truth for row i is column i.
+struct CeaffResult {
+  la::Matrix structural;  // Ms (empty when disabled)
+  la::Matrix semantic;    // Mn
+  la::Matrix string_sim;  // Ml
+  la::Matrix fused;
+  /// Stage-one weights (Mn, Ml) — empty unless all three features fused
+  /// adaptively.
+  std::vector<double> textual_weights;
+  /// Final-stage weights over the matrices entering the last fusion.
+  std::vector<double> final_weights;
+  matching::MatchResult match;
+  double accuracy = 0.0;
+  /// Ranking view of the fused matrix (how "CEAFF w/o C" is scored in
+  /// Table VI).
+  eval::RankingMetrics ranking;
+  double gcn_final_loss = 0.0;
+  double seconds_features = 0.0;
+  double seconds_decision = 0.0;
+};
+
+/// The generated feature matrices of one run, both over the test split
+/// (rows/cols ordered by test_alignment; gold on the diagonal) and over the
+/// seed split (for the learned-fusion baseline). Disabled features stay
+/// empty.
+struct CeaffFeatures {
+  la::Matrix structural;
+  la::Matrix semantic;
+  la::Matrix string_sim;
+  la::Matrix attribute;
+  la::Matrix relation;
+  la::Matrix seed_structural;
+  la::Matrix seed_semantic;
+  la::Matrix seed_string;
+  la::Matrix seed_attribute;
+  la::Matrix seed_relation;
+  double gcn_final_loss = 0.0;
+  double seconds = 0.0;
+};
+
+/// End-to-end CEAFF (Fig. 2): feature generation → adaptive fusion →
+/// collective EA. The word-embedding store provides the semantic feature's
+/// (simulated) multilingual word vectors.
+///
+/// The two stages are also exposed separately: GenerateFeatures() is the
+/// expensive part (GCN training, O(n²) name similarities); RunOnFeatures()
+/// is cheap, so ablation studies can reuse one feature set across many
+/// fusion/decision configurations.
+class CeaffPipeline {
+ public:
+  CeaffPipeline(const kg::KgPair* pair, const text::WordEmbeddingStore* store,
+                const CeaffOptions& options);
+
+  /// Runs the full pipeline. InvalidArgument when no feature is enabled or
+  /// the pair has no test alignment.
+  StatusOr<CeaffResult> Run();
+
+  /// Stage 1 only: builds the enabled feature matrices.
+  StatusOr<CeaffFeatures> GenerateFeatures();
+
+  /// Stages 2–3 on precomputed features. Features required by the options
+  /// (use_*) must be non-empty in `features` (FailedPrecondition
+  /// otherwise), so a superset feature set can serve every ablation.
+  StatusOr<CeaffResult> RunOnFeatures(const CeaffFeatures& features);
+
+ private:
+  /// Fuses the enabled features into result->fused.
+  Status FuseFeatures(const CeaffFeatures& features, CeaffResult* result);
+
+  const kg::KgPair* pair_;
+  const text::WordEmbeddingStore* store_;
+  CeaffOptions options_;
+};
+
+/// Extracts the rows of `emb` listed in `ids` (order preserved).
+la::Matrix GatherRows(const la::Matrix& emb, const std::vector<uint32_t>& ids);
+
+/// The display names of the given entities.
+std::vector<std::string> GatherNames(const kg::KnowledgeGraph& g,
+                                     const std::vector<uint32_t>& ids);
+
+/// Test-set source/target entity ids of a pair, in test_alignment order.
+void TestIds(const kg::KgPair& pair, std::vector<uint32_t>* sources,
+             std::vector<uint32_t>* targets);
+
+}  // namespace ceaff::core
+
+#endif  // CEAFF_CORE_PIPELINE_H_

@@ -1,0 +1,75 @@
+#include "ceaff/data/name_generator.h"
+
+#include "ceaff/common/random.h"
+
+namespace ceaff::data {
+
+namespace {
+
+constexpr char kConsonants[] = "bcdfghjklmnprstvwz";
+constexpr char kVowels[] = "aeiou";
+
+}  // namespace
+
+std::string BaseToken(uint64_t concept_id, uint64_t seed) {
+  Rng rng(Rng::SplitMix64(concept_id ^ Rng::SplitMix64(seed)));
+  size_t len = 4 + rng.NextBounded(6);  // 4..9 characters
+  std::string token;
+  token.reserve(len);
+  // Alternate consonant/vowel for pronounceable pseudo-words.
+  bool consonant = rng.NextBounded(2) == 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (consonant) {
+      token.push_back(kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)]);
+    } else {
+      token.push_back(kVowels[rng.NextBounded(sizeof(kVowels) - 1)]);
+    }
+    consonant = !consonant;
+  }
+  return token;
+}
+
+std::string SurfaceToken(uint64_t concept_id, const LanguageSpec& lang,
+                         uint64_t seed) {
+  if (lang.script == Script::kCjk) {
+    // Unrelated pseudo-word over the Cyrillic block (2-byte UTF-8), like a
+    // Chinese surface form next to an English one: no byte-level overlap.
+    uint64_t lang_seed =
+        HashBytes(lang.code.data(), lang.code.size(), seed ^ 0xc1cull);
+    Rng rng(Rng::SplitMix64(concept_id ^ lang_seed));
+    size_t len = 2 + rng.NextBounded(3);  // 2..4 "characters"
+    std::string token;
+    for (size_t i = 0; i < len; ++i) {
+      // U+0430..U+044F -> 0xD0 0xB0 .. 0xD1 0x8F
+      uint32_t cp = 0x0430 + static_cast<uint32_t>(rng.NextBounded(32));
+      token.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      token.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+    return token;
+  }
+  std::string token = BaseToken(concept_id, seed);
+  if (lang.edit_fraction <= 0.0) return token;
+  uint64_t lang_seed =
+      HashBytes(lang.code.data(), lang.code.size(), seed ^ 0x1a76ull);
+  Rng rng(Rng::SplitMix64(concept_id ^ lang_seed));
+  size_t edits = static_cast<size_t>(lang.edit_fraction *
+                                     static_cast<double>(token.size()));
+  for (size_t e = 0; e < edits && !token.empty(); ++e) {
+    size_t pos = rng.NextBounded(token.size());
+    switch (rng.NextBounded(3)) {
+      case 0:  // substitution
+        token[pos] = kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)];
+        break;
+      case 1:  // insertion
+        token.insert(token.begin() + static_cast<long>(pos),
+                     kVowels[rng.NextBounded(sizeof(kVowels) - 1)]);
+        break;
+      default:  // deletion (keep a minimum length of 2)
+        if (token.size() > 2) token.erase(token.begin() + static_cast<long>(pos));
+        break;
+    }
+  }
+  return token;
+}
+
+}  // namespace ceaff::data

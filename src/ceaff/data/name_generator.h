@@ -1,0 +1,45 @@
+#ifndef CEAFF_DATA_NAME_GENERATOR_H_
+#define CEAFF_DATA_NAME_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ceaff::data {
+
+/// Writing system of a synthetic language. Latin languages render concept
+/// tokens as lowercase ASCII pseudo-words; CJK-like languages render them
+/// as Cyrillic-range multi-byte pseudo-words, giving (as with real
+/// Chinese/Japanese vs English) essentially zero byte overlap for the
+/// string feature while remaining valid UTF-8.
+enum class Script { kLatin, kCjk };
+
+/// A synthetic language: how concepts become surface tokens, and how
+/// reliable its (simulated) multilingual word embeddings are.
+struct LanguageSpec {
+  std::string code = "en";
+  Script script = Script::kLatin;
+  /// Fraction of characters perturbed relative to the pivot (base) surface
+  /// form. 0 = identical spelling (mono-lingual), ~0.15 = closely related
+  /// (EN-FR), 1 or kCjk = unrelated surface forms.
+  double edit_fraction = 0.0;
+  /// Noise scale of this language's word embeddings around the shared
+  /// concept anchors — simulates MUSE cross-lingual alignment error.
+  double semantic_noise = 0.0;
+  /// Probability that a (rare) token lacks a word embedding entirely.
+  double oov_rate = 0.0;
+};
+
+/// Deterministic pivot surface form of a concept: a pronounceable
+/// lowercase pseudo-word of 4–9 letters, fully determined by (concept_id,
+/// seed).
+std::string BaseToken(uint64_t concept_id, uint64_t seed);
+
+/// Deterministic surface form of `concept_id` in language `lang`.
+/// Latin: the pivot token with floor(edit_fraction · len) character edits.
+/// CJK: an unrelated Cyrillic-range pseudo-word of 2–4 characters.
+std::string SurfaceToken(uint64_t concept_id, const LanguageSpec& lang,
+                         uint64_t seed);
+
+}  // namespace ceaff::data
+
+#endif  // CEAFF_DATA_NAME_GENERATOR_H_

@@ -1,0 +1,93 @@
+#ifndef CEAFF_DATA_SYNTHETIC_H_
+#define CEAFF_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/data/name_generator.h"
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::data {
+
+/// Recipe for one synthetic KG pair. The generator builds a shared "world"
+/// graph over common concepts, then derives two heterogeneous KGs from it:
+/// each keeps a random subset of the world triples, adds its own noise
+/// triples and distractor entities, and renders entity names in its own
+/// language. This reproduces the *relative* properties the paper's datasets
+/// differ in — density profile (DBP15K vs SRPRS), language distance
+/// (ZH-EN vs FR-EN vs mono-lingual) — at laptop scale (see DESIGN.md).
+struct SyntheticKgOptions {
+  std::string name = "synthetic";
+  /// Aligned (shared) entities = size of the gold standard.
+  size_t num_entities = 1000;
+  /// Per-KG unaligned distractor entities (exist in only one KG).
+  size_t extra_entities = 100;
+  /// Mean undirected degree of the world graph. DBP15K-like configs use
+  /// ~7, SRPRS-like ~2.8.
+  double avg_degree = 6.0;
+  /// Zipf exponent of entity popularity; larger = heavier-tailed hubs.
+  double degree_exponent = 1.0;
+  size_t num_relations = 24;
+  /// Probability each KG keeps a given world triple (structural overlap).
+  double triple_keep_prob = 0.85;
+  /// Extra per-KG random triples as a fraction of kept triples.
+  double noise_triple_frac = 0.10;
+  LanguageSpec lang1;
+  LanguageSpec lang2;
+  /// Probability a modifier token is dropped from one KG's rendering of a
+  /// name (naming heterogeneity across KGs).
+  double name_token_drop = 0.05;
+  /// Size of the attribute (datatype property) pool. 0 disables attribute
+  /// generation entirely.
+  size_t num_attributes = 12;
+  /// Mean number of attribute facts per entity in the world graph.
+  double attrs_per_entity = 2.0;
+  /// Probability each KG keeps a given world attribute fact — models the
+  /// attribute incompleteness the paper cites (Sec. II).
+  double attr_keep_prob = 0.7;
+  /// Fraction of gold pairs used as seed alignment (paper: 30%).
+  double seed_fraction = 0.3;
+  /// Word-embedding dimensionality of the generated store.
+  size_t embedding_dim = 64;
+  uint64_t seed = 123;
+};
+
+/// A generated benchmark: the KG pair (with gold split) and a word
+/// embedding store covering both languages' vocabularies.
+struct SyntheticBenchmark {
+  kg::KgPair pair;
+  text::WordEmbeddingStore store;
+
+  SyntheticBenchmark() : store(0, 0) {}
+};
+
+/// Generates a benchmark deterministically from `options`.
+/// InvalidArgument on nonsensical parameters (no entities, probabilities
+/// outside [0,1], fewer than 1 relation).
+StatusOr<SyntheticBenchmark> GenerateBenchmark(
+    const SyntheticKgOptions& options);
+
+/// The nine named KG-pair configurations mirroring Table II, scaled so the
+/// gold standard has `scale` x 1000 pairs (DBP100K-like configs get 2x).
+/// Names: DBP15K_ZH_EN, DBP15K_JA_EN, DBP15K_FR_EN, DBP100K_DBP_WD,
+/// DBP100K_DBP_YG, SRPRS_EN_FR, SRPRS_EN_DE, SRPRS_DBP_WD, SRPRS_DBP_YG.
+std::vector<SyntheticKgOptions> StandardBenchmarkConfigs(
+    double scale = 1.0, uint64_t seed = 2020);
+
+/// Finds a standard config by name (NotFound otherwise).
+StatusOr<SyntheticKgOptions> BenchmarkConfigByName(const std::string& name,
+                                                   double scale = 1.0,
+                                                   uint64_t seed = 2020);
+
+/// Two-sample Kolmogorov–Smirnov statistic between two degree samples —
+/// the check SRPRS used to keep sampled distributions faithful. Returns
+/// sup |F1 - F2| in [0, 1].
+double KsStatistic(const std::vector<uint32_t>& sample1,
+                   const std::vector<uint32_t>& sample2);
+
+}  // namespace ceaff::data
+
+#endif  // CEAFF_DATA_SYNTHETIC_H_

@@ -1,0 +1,34 @@
+#include "ceaff/embed/bootstrap.h"
+
+#include <vector>
+
+#include "ceaff/la/ops.h"
+
+namespace ceaff::embed {
+
+std::vector<kg::AlignmentPair> HarvestConfidentPairs(
+    const la::Matrix& similarity, const std::vector<kg::AlignmentPair>& known,
+    const BootstrapOptions& options) {
+  std::vector<char> used_src(similarity.rows(), 0);
+  std::vector<char> used_dst(similarity.cols(), 0);
+  for (const kg::AlignmentPair& p : known) {
+    if (p.source < used_src.size()) used_src[p.source] = 1;
+    if (p.target < used_dst.size()) used_dst[p.target] = 1;
+  }
+  std::vector<size_t> row_best = la::RowArgmax(similarity);
+  std::vector<size_t> col_best = la::ColArgmax(similarity);
+  std::vector<kg::AlignmentPair> out;
+  for (size_t i = 0; i < similarity.rows(); ++i) {
+    if (used_src[i]) continue;
+    size_t j = row_best[i];
+    if (used_dst[j]) continue;
+    if (options.mutual_nearest && col_best[j] != i) continue;
+    if (similarity.at(i, j) < options.min_similarity) continue;
+    out.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+    used_src[i] = 1;
+    used_dst[j] = 1;
+  }
+  return out;
+}
+
+}  // namespace ceaff::embed

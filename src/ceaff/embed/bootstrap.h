@@ -1,0 +1,30 @@
+#ifndef CEAFF_EMBED_BOOTSTRAP_H_
+#define CEAFF_EMBED_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::embed {
+
+/// Options for confident-pair harvesting used by the iterative baselines
+/// (IPTransE's soft alignment, BootEA's one-to-one bootstrapping).
+struct BootstrapOptions {
+  /// Minimum cosine similarity for a harvested pair.
+  float min_similarity = 0.7f;
+  /// Require the pair to be mutual nearest neighbours (row- and
+  /// column-argmax of the similarity matrix), BootEA's one-to-one editing.
+  bool mutual_nearest = true;
+};
+
+/// Harvests new likely-equivalent pairs from a similarity matrix, skipping
+/// entities already covered by `known` on either side. Returned pairs are
+/// disjoint from `known` and one-to-one.
+std::vector<kg::AlignmentPair> HarvestConfidentPairs(
+    const la::Matrix& similarity, const std::vector<kg::AlignmentPair>& known,
+    const BootstrapOptions& options);
+
+}  // namespace ceaff::embed
+
+#endif  // CEAFF_EMBED_BOOTSTRAP_H_

@@ -1,0 +1,291 @@
+#include "ceaff/embed/gcn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ceaff/common/logging.h"
+
+namespace ceaff::embed {
+
+GcnAligner::GcnAligner(la::SparseMatrix a1, la::SparseMatrix a2,
+                       const GcnOptions& options)
+    : options_(options), a1_(std::move(a1)), a2_(std::move(a2)) {
+  CEAFF_CHECK(a1_.rows() == a1_.cols()) << "A1 must be square";
+  CEAFF_CHECK(a2_.rows() == a2_.cols()) << "A2 must be square";
+  Rng rng(options_.seed);
+  // "The initial feature matrix X is sampled from truncated normal
+  // distribution with L2-normalization on rows" (Sec. IV-A).
+  x1_ = la::Matrix::TruncatedNormal(a1_.rows(), options_.dim, 1.0f, &rng);
+  x1_.L2NormalizeRows();
+  x2_ = la::Matrix::TruncatedNormal(a2_.rows(), options_.dim, 1.0f, &rng);
+  x2_.L2NormalizeRows();
+  w1_ = la::Matrix::GlorotUniform(options_.dim, options_.dim, &rng);
+  w2_ = la::Matrix::GlorotUniform(options_.dim, options_.dim, &rng);
+  Forward();
+}
+
+void GcnAligner::ForwardKg(const la::SparseMatrix& a, const la::Matrix& x,
+                           ForwardCache* cache, la::Matrix* z) const {
+  cache->ax = a.Multiply(x);
+  if (options_.use_weight_transform) {
+    cache->pre = la::MatMul(cache->ax, w1_);
+  } else {
+    cache->pre = cache->ax;
+  }
+  cache->h1 = cache->pre;
+  if (options_.use_relu && options_.use_weight_transform) {
+    cache->h1.ReluInPlace();
+  }
+  cache->ah1 = a.Multiply(cache->h1);
+  if (options_.use_weight_transform) {
+    *z = la::MatMul(cache->ah1, w2_);
+  } else {
+    *z = cache->ah1;
+  }
+}
+
+void GcnAligner::Forward() {
+  ForwardCache c1, c2;
+  ForwardKg(a1_, x1_, &c1, &z1_);
+  ForwardKg(a2_, x2_, &c2, &z2_);
+}
+
+void GcnAligner::BackwardKg(const la::SparseMatrix& a,
+                            const la::Matrix& /*x*/,
+                            const ForwardCache& cache, const la::Matrix& dz,
+                            la::Matrix* dw1, la::Matrix* dw2,
+                            la::Matrix* dx) const {
+  if (!options_.use_weight_transform) {
+    // Z = A·(A·X): pure propagation; dX = A^T A^T dZ.
+    if (dx != nullptr) {
+      *dx = a.MultiplyTransposed(a.MultiplyTransposed(dz));
+    }
+    return;
+  }
+  // Z = (A·H1)·W2
+  dw2->Add(la::MatMulAT(cache.ah1, dz));
+  // dL/dH1 = A^T · (dZ · W2^T).
+  la::Matrix dh1 = a.MultiplyTransposed(la::MatMulBT(dz, w2_));
+  // ReLU mask.
+  if (options_.use_relu) {
+    for (size_t i = 0; i < dh1.size(); ++i) {
+      if (cache.pre.data()[i] <= 0.0f) dh1.data()[i] = 0.0f;
+    }
+  }
+  // P = (A·X)·W1
+  dw1->Add(la::MatMulAT(cache.ax, dh1));
+  if (dx != nullptr) {
+    *dx = a.MultiplyTransposed(la::MatMulBT(dh1, w1_));
+  }
+}
+
+StatusOr<double> GcnAligner::Train(
+    const std::vector<kg::AlignmentPair>& seed_pairs) {
+  for (const kg::AlignmentPair& p : seed_pairs) {
+    if (p.source >= a1_.rows() || p.target >= a2_.rows()) {
+      return Status::InvalidArgument("seed pair id outside KG");
+    }
+  }
+  if (seed_pairs.empty()) {
+    Forward();
+    return 0.0;
+  }
+  if (options_.tie_seed_features) {
+    for (const kg::AlignmentPair& p : seed_pairs) {
+      const float* src = x1_.row(p.source);
+      float* dst = x2_.row(p.target);
+      for (size_t c = 0; c < x1_.cols(); ++c) dst[c] = src[c];
+    }
+  }
+  Rng rng(Rng::SplitMix64(options_.seed ^ 0x5eedull));
+  std::vector<NegativePair> negatives;
+  double mean_loss = 0.0;
+  const float lr = options_.learning_rate /
+                   static_cast<float>(seed_pairs.size());
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    ForwardCache c1, c2;
+    ForwardKg(a1_, x1_, &c1, &z1_);
+    ForwardKg(a2_, x2_, &c2, &z2_);
+    if (epoch % std::max<size_t>(1, options_.negative_resample_every) == 0) {
+      if (options_.hard_negative_topk > 0) {
+        negatives = SampleHardNegatives(seed_pairs, z1_, z2_,
+                                        options_.negatives_per_positive,
+                                        options_.hard_negative_topk, &rng);
+      } else {
+        negatives = SampleNegatives(seed_pairs, a1_.rows(), a2_.rows(),
+                                    options_.negatives_per_positive, &rng);
+      }
+    }
+
+    la::Matrix dz1(z1_.rows(), z1_.cols());
+    la::Matrix dz2(z2_.rows(), z2_.cols());
+    double loss = MarginRankingLossGrad(z1_, z2_, seed_pairs, negatives,
+                                        options_.margin, &dz1, &dz2);
+    mean_loss = loss / static_cast<double>(seed_pairs.size());
+
+    la::Matrix dw1(w1_.rows(), w1_.cols());
+    la::Matrix dw2(w2_.rows(), w2_.cols());
+    la::Matrix dx1, dx2;
+    BackwardKg(a1_, x1_, c1, dz1, &dw1, &dw2,
+               options_.train_inputs ? &dx1 : nullptr);
+    BackwardKg(a2_, x2_, c2, dz2, &dw1, &dw2,
+               options_.train_inputs ? &dx2 : nullptr);
+
+    w1_.Axpy(-lr, dw1);
+    w2_.Axpy(-lr, dw2);
+    if (options_.train_inputs) {
+      x1_.Axpy(-lr, dx1);
+      x2_.Axpy(-lr, dx2);
+      if (options_.renormalize_inputs) {
+        x1_.L2NormalizeRows();
+        x2_.L2NormalizeRows();
+      }
+    }
+    // Rescale weights that outgrow the cap; the margin objective otherwise
+    // inflates the embedding scale without bound.
+    const float cap = options_.weight_norm_cap_factor *
+                      std::sqrt(static_cast<float>(options_.dim));
+    for (la::Matrix* w : {&w1_, &w2_}) {
+      float norm = w->FrobeniusNorm();
+      if (norm > cap) w->Scale(cap / norm);
+    }
+  }
+  Forward();
+  return mean_loss;
+}
+
+size_t GcnAligner::NumParameters() const {
+  size_t n = 2 * options_.dim * options_.dim;
+  if (options_.train_inputs) n += x1_.size() + x2_.size();
+  return n;
+}
+
+std::vector<NegativePair> SampleNegatives(
+    const std::vector<kg::AlignmentPair>& positives, size_t n1, size_t n2,
+    size_t k, Rng* rng) {
+  std::vector<NegativePair> out;
+  out.reserve(positives.size() * k);
+  for (size_t i = 0; i < positives.size(); ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      NegativePair np;
+      np.positive_index = static_cast<uint32_t>(i);
+      np.source = positives[i].source;
+      np.target = positives[i].target;
+      // Corrupt one side, chosen uniformly.
+      if (rng->NextBounded(2) == 0) {
+        np.source = static_cast<uint32_t>(rng->NextBounded(n1));
+      } else {
+        np.target = static_cast<uint32_t>(rng->NextBounded(n2));
+      }
+      out.push_back(np);
+    }
+  }
+  return out;
+}
+
+std::vector<NegativePair> SampleHardNegatives(
+    const std::vector<kg::AlignmentPair>& positives, const la::Matrix& z1,
+    const la::Matrix& z2, size_t k, size_t topk, Rng* rng) {
+  // Nearest candidates are computed around the *positive* pair's entities:
+  // corrupting the target draws from entities near v in KG2 (they are the
+  // confusable ones), and symmetrically for the source.
+  std::vector<NegativePair> out;
+  out.reserve(positives.size() * k);
+  // Normalised copies once; per-seed similarity rows afterwards.
+  la::Matrix z1n = z1, z2n = z2;
+  z1n.L2NormalizeRows();
+  z2n.L2NormalizeRows();
+  auto nearest = [&](const la::Matrix& zn, uint32_t anchor, size_t exclude,
+                     std::vector<uint32_t>* cand) {
+    const float* a = zn.row(anchor);
+    std::vector<std::pair<float, uint32_t>> scored;
+    scored.reserve(zn.rows());
+    for (size_t r = 0; r < zn.rows(); ++r) {
+      if (r == exclude) continue;
+      const float* b = zn.row(r);
+      float dot = 0.0f;
+      for (size_t c = 0; c < zn.cols(); ++c) dot += a[c] * b[c];
+      scored.push_back({dot, static_cast<uint32_t>(r)});
+    }
+    size_t take = std::min(topk, scored.size());
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<long>(take), scored.end(),
+                      [](const auto& x, const auto& y) {
+                        return x.first > y.first;
+                      });
+    cand->clear();
+    for (size_t i = 0; i < take; ++i) cand->push_back(scored[i].second);
+  };
+  std::vector<uint32_t> cand1, cand2;
+  for (size_t i = 0; i < positives.size(); ++i) {
+    // Confusable substitutes for the source (in KG1, near u) and for the
+    // target (in KG2, near v).
+    nearest(z1n, positives[i].source, positives[i].source, &cand1);
+    nearest(z2n, positives[i].target, positives[i].target, &cand2);
+    for (size_t j = 0; j < k; ++j) {
+      NegativePair np;
+      np.positive_index = static_cast<uint32_t>(i);
+      np.source = positives[i].source;
+      np.target = positives[i].target;
+      if (rng->NextBounded(2) == 0 && !cand1.empty()) {
+        np.source = cand1[rng->NextBounded(cand1.size())];
+      } else if (!cand2.empty()) {
+        np.target = cand2[rng->NextBounded(cand2.size())];
+      }
+      out.push_back(np);
+    }
+  }
+  return out;
+}
+
+double MarginRankingLossGrad(const la::Matrix& z1, const la::Matrix& z2,
+                             const std::vector<kg::AlignmentPair>& positives,
+                             const std::vector<NegativePair>& negatives,
+                             float margin, la::Matrix* dz1, la::Matrix* dz2) {
+  CEAFF_CHECK(z1.cols() == z2.cols());
+  dz1->SetZero();
+  dz2->SetZero();
+  const size_t d = z1.cols();
+
+  // L1 distance of each positive pair, shared across its negatives.
+  std::vector<double> pos_dist(positives.size());
+  for (size_t i = 0; i < positives.size(); ++i) {
+    const float* u = z1.row(positives[i].source);
+    const float* v = z2.row(positives[i].target);
+    double s = 0.0;
+    for (size_t c = 0; c < d; ++c) s += std::fabs(u[c] - v[c]);
+    pos_dist[i] = s;
+  }
+
+  double loss = 0.0;
+  for (const NegativePair& np : negatives) {
+    const kg::AlignmentPair& pos = positives[np.positive_index];
+    const float* un = z1.row(np.source);
+    const float* vn = z2.row(np.target);
+    double neg_dist = 0.0;
+    for (size_t c = 0; c < d; ++c) neg_dist += std::fabs(un[c] - vn[c]);
+
+    double hinge = pos_dist[np.positive_index] - neg_dist + margin;
+    if (hinge <= 0.0) continue;
+    loss += hinge;
+
+    // d|u - v| / du = sign(u - v); subgradient 0 at equality.
+    const float* up = z1.row(pos.source);
+    const float* vp = z2.row(pos.target);
+    float* dup = dz1->row(pos.source);
+    float* dvp = dz2->row(pos.target);
+    float* dun = dz1->row(np.source);
+    float* dvn = dz2->row(np.target);
+    for (size_t c = 0; c < d; ++c) {
+      float sp = up[c] > vp[c] ? 1.0f : (up[c] < vp[c] ? -1.0f : 0.0f);
+      dup[c] += sp;
+      dvp[c] -= sp;
+      float sn = un[c] > vn[c] ? 1.0f : (un[c] < vn[c] ? -1.0f : 0.0f);
+      dun[c] -= sn;
+      dvn[c] += sn;
+    }
+  }
+  return loss;
+}
+
+}  // namespace ceaff::embed

@@ -1,0 +1,150 @@
+#ifndef CEAFF_EMBED_GCN_H_
+#define CEAFF_EMBED_GCN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/la/sparse_matrix.h"
+
+namespace ceaff::embed {
+
+/// Hyper-parameters of the structural-embedding model (Sec. IV-A).
+/// Paper defaults: ds = 300, γ = 3, 300 epochs, 5 negatives per positive.
+/// The synthetic benchmarks in this reproduction are an order of magnitude
+/// smaller than DBP15K, so the benches shrink ds/epochs (see bench code);
+/// the defaults here match the paper.
+struct GcnOptions {
+  /// Dimensionality ds of the feature matrix in all GCN layers.
+  size_t dim = 300;
+  /// Margin γ of the ranking loss (Eq. 1).
+  float margin = 3.0f;
+  /// Full-batch training epochs.
+  size_t epochs = 300;
+  /// Negative pairs sampled per positive seed pair.
+  size_t negatives_per_positive = 5;
+  /// SGD learning rate (scaled internally by 1/|S|).
+  float learning_rate = 0.25f;
+  /// Cap on ‖W1‖F and ‖W2‖F; exceeding weights are rescaled after each
+  /// update. Keeps the unbounded-margin objective from blowing up the
+  /// embedding scale (cosine similarity is scale-free anyway).
+  float weight_norm_cap_factor = 2.0f;
+  /// Re-L2-normalise the rows of the trainable input features after every
+  /// epoch, like TransE's entity renormalisation.
+  bool renormalize_inputs = true;
+  /// Also train the input feature matrices X (GCN-Align does); turning it
+  /// off freezes the random features and trains only W1/W2.
+  bool train_inputs = true;
+  /// Apply the shared ds x ds weight transforms W1/W2. GCN-Align's
+  /// released structural channel fixes them to the identity so layers act
+  /// as pure (normalised) propagation and all capacity lives in X — that
+  /// setting trains far more stably, so it is the default here; enable for
+  /// the literal Sec. IV-A parameterisation.
+  bool use_weight_transform = false;
+  /// ReLU between the two layers (disabled automatically alongside
+  /// use_weight_transform = false, matching the propagation-only reading).
+  bool use_relu = true;
+  /// Re-sample negatives every this many epochs (1 = every epoch).
+  size_t negative_resample_every = 10;
+  /// Draw negatives from the K nearest entities of the corrupted side
+  /// (ε-truncated sampling, as in BootEA) instead of uniformly. 0 disables.
+  /// Hard negatives sharpen the margin loss considerably on small KGs.
+  size_t hard_negative_topk = 0;
+  /// Initialise the input features of each seed pair to the *same* random
+  /// vector (X2[v] := X1[u]) before training. Seeds are training data, so
+  /// this leaks nothing; it seeds the propagation with exact anchor
+  /// agreement, which Eq. 1 otherwise has to grind towards for hundreds of
+  /// epochs.
+  bool tie_seed_features = true;
+  /// RNG seed controlling init and negative sampling.
+  uint64_t seed = 42;
+};
+
+/// Two 2-layer GCNs with *shared* weight matrices W1, W2 (one GCN per KG,
+/// Sec. IV-A), trained to minimise the margin-based ranking loss (Eq. 1)
+/// over seed entity pairs with uniform corruption negatives.
+///
+/// Forward (per KG): Z = A · ReLU(A · X · W1) · W2, where A is the
+/// functionality-weighted, self-looped, symmetrically normalised adjacency
+/// and X is a truncated-normal, row-L2-normalised feature matrix.
+/// Gradients are computed analytically — no autodiff dependency.
+class GcnAligner {
+ public:
+  /// `a1`/`a2` are the propagation matrices of the two KGs (square,
+  /// n1 x n1 and n2 x n2).
+  GcnAligner(la::SparseMatrix a1, la::SparseMatrix a2,
+             const GcnOptions& options);
+
+  /// Runs full-batch training on `seed_pairs`. Returns the final epoch's
+  /// mean loss. Invalid pair ids return InvalidArgument.
+  StatusOr<double> Train(const std::vector<kg::AlignmentPair>& seed_pairs);
+
+  /// Embeddings of KG1 / KG2 entities after (or before) training.
+  const la::Matrix& embeddings1() const { return z1_; }
+  const la::Matrix& embeddings2() const { return z2_; }
+
+  /// Runs a forward pass with current parameters and refreshes
+  /// embeddings1/2. Train() already leaves them fresh.
+  void Forward();
+
+  /// Number of trainable parameters (2 ds² for the shared weights, plus the
+  /// feature matrices when train_inputs).
+  size_t NumParameters() const;
+
+ private:
+  struct ForwardCache {
+    la::Matrix ax;    // A · X
+    la::Matrix pre;   // A · X · W1 (pre-activation)
+    la::Matrix h1;    // ReLU(pre)
+    la::Matrix ah1;   // A · H1
+  };
+
+  void ForwardKg(const la::SparseMatrix& a, const la::Matrix& x,
+                 ForwardCache* cache, la::Matrix* z) const;
+  /// Accumulates dL/dW1, dL/dW2 (and optionally dL/dX) for one KG given
+  /// dL/dZ.
+  void BackwardKg(const la::SparseMatrix& a, const la::Matrix& x,
+                  const ForwardCache& cache, const la::Matrix& dz,
+                  la::Matrix* dw1, la::Matrix* dw2, la::Matrix* dx) const;
+
+  GcnOptions options_;
+  la::SparseMatrix a1_, a2_;
+  la::Matrix x1_, x2_;  // input features (trainable when train_inputs)
+  la::Matrix w1_, w2_;  // shared layer weights
+  la::Matrix z1_, z2_;  // output embeddings
+};
+
+/// A corrupted (negative) seed pair plus the positive it was derived from.
+struct NegativePair {
+  uint32_t positive_index;  // index into the seed list
+  uint32_t source;          // corrupted source entity (KG1)
+  uint32_t target;          // corrupted target entity (KG2)
+};
+
+/// Uniformly corrupts each positive pair `k` times, substituting either the
+/// source or the target with a random entity of the same KG (Sec. IV-A).
+std::vector<NegativePair> SampleNegatives(
+    const std::vector<kg::AlignmentPair>& positives, size_t n1, size_t n2,
+    size_t k, Rng* rng);
+
+/// Hard-negative variant: corrupted entities are drawn from the `topk`
+/// nearest rows (cosine) of the corresponding embedding matrix to the
+/// corrupted entity, excluding the entity itself.
+std::vector<NegativePair> SampleHardNegatives(
+    const std::vector<kg::AlignmentPair>& positives, const la::Matrix& z1,
+    const la::Matrix& z2, size_t k, size_t topk, Rng* rng);
+
+/// Margin ranking loss (Eq. 1) and its gradient with respect to the two
+/// embedding matrices. Returns the summed loss; `dz1`/`dz2` (same shapes as
+/// z1/z2) receive the gradients (overwritten, not accumulated).
+double MarginRankingLossGrad(const la::Matrix& z1, const la::Matrix& z2,
+                             const std::vector<kg::AlignmentPair>& positives,
+                             const std::vector<NegativePair>& negatives,
+                             float margin, la::Matrix* dz1, la::Matrix* dz2);
+
+}  // namespace ceaff::embed
+
+#endif  // CEAFF_EMBED_GCN_H_

@@ -1,0 +1,112 @@
+#include "ceaff/embed/random_walk.h"
+
+#include <cmath>
+
+namespace ceaff::embed {
+
+RandomWalkEmbedder::RandomWalkEmbedder(size_t num_nodes,
+                                       const RandomWalkOptions& options)
+    : options_(options) {
+  Rng rng(options_.seed);
+  float bound = 0.5f / static_cast<float>(options_.dim);
+  embeddings_ = la::Matrix(num_nodes, options_.dim);
+  for (size_t i = 0; i < embeddings_.size(); ++i) {
+    embeddings_.data()[i] =
+        static_cast<float>(rng.NextUniform(-bound, bound));
+  }
+  context_ = la::Matrix(num_nodes, options_.dim);  // zero init, as word2vec
+}
+
+Status RandomWalkEmbedder::Train(
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  const size_t n = embeddings_.rows();
+  for (const auto& [a, b] : edges) {
+    if (a >= n || b >= n) {
+      return Status::InvalidArgument("edge references unknown node");
+    }
+  }
+  // Undirected adjacency lists.
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+
+  Rng rng(Rng::SplitMix64(options_.seed ^ 0x3a1cull));
+  const size_t d = options_.dim;
+  const float lr = options_.learning_rate;
+  std::vector<uint32_t> walk;
+  walk.reserve(options_.walk_length);
+
+  auto sigmoid = [](double x) {
+    if (x > 8) return 1.0;
+    if (x < -8) return 0.0;
+    return 1.0 / (1.0 + std::exp(-x));
+  };
+
+  // One (center, context, label) SGNS update.
+  auto update = [&](uint32_t center, uint32_t ctx, float label) {
+    float* v = embeddings_.row(center);
+    float* u = context_.row(ctx);
+    double dot = 0.0;
+    for (size_t c = 0; c < d; ++c) dot += v[c] * u[c];
+    float g = lr * static_cast<float>(label - sigmoid(dot));
+    for (size_t c = 0; c < d; ++c) {
+      float vc = v[c];
+      v[c] += g * u[c];
+      u[c] += g * vc;
+    }
+  };
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (uint32_t start = 0; start < n; ++start) {
+      if (adj[start].empty()) continue;
+      for (size_t w = 0; w < options_.walks_per_node; ++w) {
+        // Uniform random walk from `start`.
+        walk.clear();
+        uint32_t cur = start;
+        walk.push_back(cur);
+        for (size_t step = 1; step < options_.walk_length; ++step) {
+          const std::vector<uint32_t>& nb = adj[cur];
+          if (nb.empty()) break;
+          cur = nb[rng.NextBounded(nb.size())];
+          walk.push_back(cur);
+        }
+        // Skip-gram with negative sampling over the walk.
+        for (size_t i = 0; i < walk.size(); ++i) {
+          size_t lo = i > options_.window ? i - options_.window : 0;
+          size_t hi = std::min(walk.size(), i + options_.window + 1);
+          for (size_t j = lo; j < hi; ++j) {
+            if (j == i) continue;
+            update(walk[i], walk[j], 1.0f);
+            for (size_t k = 0; k < options_.negatives; ++k) {
+              update(walk[i], static_cast<uint32_t>(rng.NextBounded(n)),
+                     0.0f);
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MergedEdgeList(
+    const kg::KgPair& pair, const std::vector<kg::AlignmentPair>& anchors) {
+  const uint32_t offset = static_cast<uint32_t>(pair.kg1.num_entities());
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(pair.kg1.num_triples() + pair.kg2.num_triples() +
+                anchors.size());
+  for (const kg::Triple& t : pair.kg1.triples()) {
+    edges.emplace_back(t.head, t.tail);
+  }
+  for (const kg::Triple& t : pair.kg2.triples()) {
+    edges.emplace_back(t.head + offset, t.tail + offset);
+  }
+  for (const kg::AlignmentPair& p : anchors) {
+    edges.emplace_back(p.source, p.target + offset);
+  }
+  return edges;
+}
+
+}  // namespace ceaff::embed

@@ -1,0 +1,57 @@
+#ifndef CEAFF_EMBED_RANDOM_WALK_H_
+#define CEAFF_EMBED_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::embed {
+
+/// Hyper-parameters of the DeepWalk-style embedding (random walks +
+/// skip-gram with negative sampling). This is the path-based structural
+/// substrate standing in for RSNs' long-term relational dependencies: a
+/// walk of length L exposes up-to-L-hop context, versus the GCN's 2 hops.
+struct RandomWalkOptions {
+  size_t dim = 64;
+  size_t walks_per_node = 8;
+  size_t walk_length = 16;
+  /// Skip-gram window radius.
+  size_t window = 4;
+  /// Negative samples per (center, context) pair.
+  size_t negatives = 4;
+  size_t epochs = 2;
+  float learning_rate = 0.025f;
+  uint64_t seed = 97;
+};
+
+/// Trains node embeddings on an undirected view of the graph edges.
+/// `num_nodes` bounds node ids appearing in `edges`.
+class RandomWalkEmbedder {
+ public:
+  RandomWalkEmbedder(size_t num_nodes, const RandomWalkOptions& options);
+
+  /// Trains on the edge list. Isolated nodes keep their random init.
+  /// InvalidArgument if an edge references an out-of-range node.
+  Status Train(const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  const la::Matrix& embeddings() const { return embeddings_; }
+
+ private:
+  RandomWalkOptions options_;
+  la::Matrix embeddings_;      // "input" vectors (used as the result)
+  la::Matrix context_;         // "output" vectors
+};
+
+/// Cross-KG edge list: KG1 edges, KG2 edges with ids offset by |E1|, plus
+/// one anchor edge per seed pair so walks cross between the graphs and the
+/// two KGs share one embedding space.
+std::vector<std::pair<uint32_t, uint32_t>> MergedEdgeList(
+    const kg::KgPair& pair, const std::vector<kg::AlignmentPair>& anchors);
+
+}  // namespace ceaff::embed
+
+#endif  // CEAFF_EMBED_RANDOM_WALK_H_

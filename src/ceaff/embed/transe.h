@@ -1,0 +1,64 @@
+#ifndef CEAFF_EMBED_TRANSE_H_
+#define CEAFF_EMBED_TRANSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::embed {
+
+/// TransE hyper-parameters (substrate for the MTransE / IPTransE /
+/// BootEA-lite baselines of Tables III/IV).
+struct TranseOptions {
+  size_t dim = 75;
+  float margin = 1.0f;
+  float learning_rate = 0.01f;
+  size_t epochs = 200;
+  /// Minibatch size in triples (0 = full batch).
+  size_t batch_size = 512;
+  uint64_t seed = 7;
+};
+
+/// Plain TransE (Bordes et al.) on one KG: h + r ≈ t with margin ranking
+/// loss over corrupted triples, SGD, entities re-normalised to the unit
+/// ball each epoch. Embeddings are exposed for the alignment baselines.
+class TranseModel {
+ public:
+  TranseModel(size_t num_entities, size_t num_relations,
+              const TranseOptions& options);
+
+  /// Trains on `triples`; returns the final epoch's mean loss.
+  StatusOr<double> Train(const std::vector<kg::Triple>& triples);
+
+  const la::Matrix& entity_embeddings() const { return entities_; }
+  const la::Matrix& relation_embeddings() const { return relations_; }
+  la::Matrix* mutable_entity_embeddings() { return &entities_; }
+
+  /// One SGD pass over the given triples (used by iterative baselines that
+  /// interleave training with alignment augmentation).
+  double TrainEpoch(const std::vector<kg::Triple>& triples, Rng* rng);
+
+ private:
+  TranseOptions options_;
+  la::Matrix entities_;
+  la::Matrix relations_;
+};
+
+/// Learns the linear transfer matrix M of MTransE's alignment model by
+/// ridge-regularised least squares: min_M Σ ‖M·u − v‖² + λ‖M‖²,
+/// solved in closed form (Cholesky on the d x d normal equations).
+/// Rows of `src`/`dst` indexed by the seed pairs are the supervision.
+la::Matrix LearnLinearTransform(const la::Matrix& src, const la::Matrix& dst,
+                                const std::vector<kg::AlignmentPair>& seeds,
+                                float ridge = 1e-3f);
+
+/// Applies M to every row of `src` (out = src · M^T).
+la::Matrix ApplyLinearTransform(const la::Matrix& src, const la::Matrix& m);
+
+}  // namespace ceaff::embed
+
+#endif  // CEAFF_EMBED_TRANSE_H_

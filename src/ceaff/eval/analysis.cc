@@ -1,0 +1,58 @@
+#include "ceaff/eval/analysis.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::eval {
+
+std::vector<DegreeBucket> AccuracyByDegree(
+    const kg::KnowledgeGraph& kg1, const std::vector<uint32_t>& test_sources,
+    const matching::MatchResult& match,
+    const std::vector<int64_t>& gold_target_of_row,
+    const std::vector<uint32_t>& boundaries) {
+  CEAFF_CHECK(test_sources.size() == match.target_of_source.size());
+  CEAFF_CHECK(test_sources.size() == gold_target_of_row.size());
+  std::vector<uint32_t> degrees = kg1.Degrees();
+
+  std::vector<DegreeBucket> buckets;
+  uint32_t lo = 0;
+  for (uint32_t b : boundaries) {
+    buckets.push_back({lo, b, 0, 0});
+    lo = b + 1;
+  }
+  buckets.push_back({lo, std::numeric_limits<uint32_t>::max(), 0, 0});
+
+  for (size_t i = 0; i < test_sources.size(); ++i) {
+    uint32_t deg = degrees[test_sources[i]];
+    for (DegreeBucket& bucket : buckets) {
+      if (deg >= bucket.min_degree && deg <= bucket.max_degree) {
+        bucket.count++;
+        if (match.target_of_source[i] >= 0 &&
+            match.target_of_source[i] == gold_target_of_row[i]) {
+          bucket.correct++;
+        }
+        break;
+      }
+    }
+  }
+  return buckets;
+}
+
+std::string FormatDegreeBuckets(const std::vector<DegreeBucket>& buckets) {
+  std::string out =
+      StrFormat("%-12s %8s %10s\n", "degree", "#pairs", "accuracy");
+  for (const DegreeBucket& b : buckets) {
+    std::string range =
+        b.max_degree == std::numeric_limits<uint32_t>::max()
+            ? StrFormat("%u+", b.min_degree)
+            : StrFormat("%u-%u", b.min_degree, b.max_degree);
+    out += StrFormat("%-12s %8zu %10.3f\n", range.c_str(), b.count,
+                     b.accuracy());
+  }
+  return out;
+}
+
+}  // namespace ceaff::eval

@@ -1,0 +1,44 @@
+#ifndef CEAFF_EVAL_ANALYSIS_H_
+#define CEAFF_EVAL_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/matching/matching.h"
+
+namespace ceaff::eval {
+
+/// Accuracy broken down by source-entity degree — the lens behind the
+/// paper's DBP15K-vs-SRPRS discussion (structure-based methods live off
+/// well-connected entities; SRPRS's real-life long tail starves them).
+struct DegreeBucket {
+  uint32_t min_degree;  // inclusive
+  uint32_t max_degree;  // inclusive; UINT32_MAX = unbounded
+  size_t count = 0;
+  size_t correct = 0;
+
+  double accuracy() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Buckets the test rows of `match` by the degree of their source entity
+/// in `kg1`. `boundaries` are the inclusive upper edges of all but the
+/// last bucket (e.g. {1, 3, 7, 15} → [0,1], [2,3], [4,7], [8,15], [16,∞)).
+/// `gold_target_of_row[i]` is the expected column of row i, and
+/// `test_sources[i]` the KG1 entity id behind row i.
+std::vector<DegreeBucket> AccuracyByDegree(
+    const kg::KnowledgeGraph& kg1, const std::vector<uint32_t>& test_sources,
+    const matching::MatchResult& match,
+    const std::vector<int64_t>& gold_target_of_row,
+    const std::vector<uint32_t>& boundaries = {1, 3, 7, 15});
+
+/// Render a bucket table as aligned text (for benches/examples).
+std::string FormatDegreeBuckets(const std::vector<DegreeBucket>& buckets);
+
+}  // namespace ceaff::eval
+
+#endif  // CEAFF_EVAL_ANALYSIS_H_

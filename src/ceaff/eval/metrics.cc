@@ -1,0 +1,100 @@
+#include "ceaff/eval/metrics.h"
+
+#include "ceaff/common/logging.h"
+
+namespace ceaff::eval {
+
+double Accuracy(const matching::MatchResult& match,
+                const std::vector<int64_t>& gold_target_of_row) {
+  CEAFF_CHECK(match.target_of_source.size() == gold_target_of_row.size());
+  if (gold_target_of_row.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < gold_target_of_row.size(); ++i) {
+    if (match.target_of_source[i] >= 0 &&
+        match.target_of_source[i] == gold_target_of_row[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(gold_target_of_row.size());
+}
+
+RankingMetrics ComputeRankingMetrics(
+    const la::Matrix& similarity,
+    const std::vector<int64_t>& gold_target_of_row,
+    const std::vector<size_t>& /*ks*/) {
+  CEAFF_CHECK(similarity.rows() == gold_target_of_row.size());
+  RankingMetrics m;
+  if (gold_target_of_row.empty()) return m;
+  size_t h1 = 0, h10 = 0;
+  double rr = 0.0;
+  for (size_t i = 0; i < similarity.rows(); ++i) {
+    int64_t gold = gold_target_of_row[i];
+    CEAFF_CHECK(gold >= 0 && static_cast<size_t>(gold) < similarity.cols());
+    const float* row = similarity.row(i);
+    const float gold_score = row[gold];
+    size_t rank = 1;
+    for (size_t j = 0; j < similarity.cols(); ++j) {
+      if (row[j] > gold_score ||
+          (row[j] == gold_score && j < static_cast<size_t>(gold))) {
+        ++rank;
+      }
+    }
+    if (rank <= 1) ++h1;
+    if (rank <= 10) ++h10;
+    rr += 1.0 / static_cast<double>(rank);
+  }
+  double n = static_cast<double>(similarity.rows());
+  m.hits_at_1 = h1 / n;
+  m.hits_at_10 = h10 / n;
+  m.mrr = rr / n;
+  return m;
+}
+
+double HitsAtK(const la::Matrix& similarity,
+               const std::vector<int64_t>& gold_target_of_row, size_t k) {
+  CEAFF_CHECK(similarity.rows() == gold_target_of_row.size());
+  if (gold_target_of_row.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < similarity.rows(); ++i) {
+    int64_t gold = gold_target_of_row[i];
+    const float* row = similarity.row(i);
+    const float gold_score = row[gold];
+    size_t rank = 1;
+    for (size_t j = 0; j < similarity.cols(); ++j) {
+      if (row[j] > gold_score ||
+          (row[j] == gold_score && j < static_cast<size_t>(gold))) {
+        ++rank;
+      }
+    }
+    if (rank <= k) ++hits;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(gold_target_of_row.size());
+}
+
+PrMetrics ComputePrMetrics(const matching::MatchResult& match,
+                           const std::vector<int64_t>& gold_target_of_row) {
+  CEAFF_CHECK(match.target_of_source.size() == gold_target_of_row.size());
+  PrMetrics m;
+  for (size_t i = 0; i < gold_target_of_row.size(); ++i) {
+    int64_t decision = match.target_of_source[i];
+    if (decision < 0) continue;
+    m.decided++;
+    if (decision == gold_target_of_row[i]) m.correct++;
+  }
+  if (m.decided > 0) {
+    m.precision = static_cast<double>(m.correct) /
+                  static_cast<double>(m.decided);
+  }
+  if (!gold_target_of_row.empty()) {
+    m.recall = static_cast<double>(m.correct) /
+               static_cast<double>(gold_target_of_row.size());
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+}  // namespace ceaff::eval

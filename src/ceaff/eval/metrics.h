@@ -1,0 +1,58 @@
+#ifndef CEAFF_EVAL_METRICS_H_
+#define CEAFF_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/matching/matching.h"
+
+namespace ceaff::eval {
+
+/// Ranking-style evaluation results (Table VI).
+struct RankingMetrics {
+  double hits_at_1 = 0.0;
+  double hits_at_10 = 0.0;
+  double mrr = 0.0;
+};
+
+/// Accuracy of a matching (the paper's main metric, Sec. VII-A): correctly
+/// aligned sources / total sources in `gold`. Rows of the decision space
+/// are *test-set positions*; `gold[i]` gives the expected target column of
+/// row i, and `match.target_of_source[i]` the decision for row i.
+double Accuracy(const matching::MatchResult& match,
+                const std::vector<int64_t>& gold_target_of_row);
+
+/// Ranking metrics over a test-row similarity matrix: row i's ground truth
+/// column is `gold_target_of_row[i]`. Rank = 1 + number of strictly larger
+/// entries (ties resolved optimistically by lower column index, matching
+/// the deterministic argmax used elsewhere).
+RankingMetrics ComputeRankingMetrics(
+    const la::Matrix& similarity,
+    const std::vector<int64_t>& gold_target_of_row,
+    const std::vector<size_t>& ks = {1, 10});
+
+/// Hits@k for one k (convenience over ComputeRankingMetrics).
+double HitsAtK(const la::Matrix& similarity,
+               const std::vector<int64_t>& gold_target_of_row, size_t k);
+
+/// Precision / recall / F1 of a (possibly partial) matching: precision
+/// counts correct decisions over decisions made, recall over all gold
+/// rows. For total matchings (every row decided) all three equal the
+/// accuracy; they differ when a matcher abstains (n1 > n2, or confidence
+/// thresholds).
+struct PrMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t decided = 0;
+  size_t correct = 0;
+};
+
+PrMetrics ComputePrMetrics(const matching::MatchResult& match,
+                           const std::vector<int64_t>& gold_target_of_row);
+
+}  // namespace ceaff::eval
+
+#endif  // CEAFF_EVAL_METRICS_H_

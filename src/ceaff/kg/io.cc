@@ -1,0 +1,198 @@
+#include "ceaff/kg/io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::kg {
+
+namespace {
+
+/// TSV fields must not contain the separators; real DBpedia labels
+/// occasionally do, so writers sanitise rather than corrupt the file.
+std::string SanitizeTsvField(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> fields = Split(sv, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 3 tab-separated fields, got %zu",
+                    path.c_str(), lineno, fields.size()));
+    }
+    kg->AddTriple(fields[0], fields[1], fields[2]);
+  }
+  return Status::OK();
+}
+
+Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const Triple& t : kg.triples()) {
+    out << kg.entity_uri(t.head) << '\t' << kg.relation_uri(t.relation)
+        << '\t' << kg.entity_uri(t.tail) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
+                        const KnowledgeGraph& kg2,
+                        std::vector<AlignmentPair>* pairs) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> fields = Split(sv, '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 2 tab-separated fields, got %zu",
+                    path.c_str(), lineno, fields.size()));
+    }
+    CEAFF_ASSIGN_OR_RETURN(EntityId u, kg1.FindEntity(fields[0]));
+    CEAFF_ASSIGN_OR_RETURN(EntityId v, kg2.FindEntity(fields[1]));
+    pairs->push_back({u, v});
+  }
+  return Status::OK();
+}
+
+Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
+                        const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const AlignmentPair& p : pairs) {
+    out << kg1.entity_uri(p.source) << '\t' << kg2.entity_uri(p.target)
+        << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> fields = Split(sv, '\t');
+    if (fields.size() != 3) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 3 tab-separated fields, got %zu",
+                    path.c_str(), lineno, fields.size()));
+    }
+    CEAFF_ASSIGN_OR_RETURN(EntityId e, kg->FindEntity(fields[0]));
+    AttributeId a = kg->AddAttribute(fields[1]);
+    CEAFF_RETURN_IF_ERROR(kg->AddAttributeTriple(e, a, fields[2]));
+  }
+  return Status::OK();
+}
+
+Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const AttributeTriple& t : kg.attribute_triples()) {
+    out << SanitizeTsvField(kg.entity_uri(t.entity)) << '\t'
+        << SanitizeTsvField(kg.attribute_uri(t.attribute)) << '\t'
+        << SanitizeTsvField(t.value) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view sv = StripAsciiWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    std::vector<std::string> fields = Split(sv, '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected 2 tab-separated fields, got %zu",
+                    path.c_str(), lineno, fields.size()));
+    }
+    kg->AddEntity(fields[0], fields[1]);
+  }
+  return Status::OK();
+}
+
+Status SaveEntitiesTsv(const KnowledgeGraph& kg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (EntityId id = 0; id < kg.num_entities(); ++id) {
+    out << SanitizeTsvField(kg.entity_uri(id)) << '\t'
+        << SanitizeTsvField(kg.entity_name(id)) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveKgPair(const KgPair& pair, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("mkdir " + dir + ": " + ec.message());
+  CEAFF_RETURN_IF_ERROR(SaveEntitiesTsv(pair.kg1, dir + "/entities1.tsv"));
+  CEAFF_RETURN_IF_ERROR(SaveEntitiesTsv(pair.kg2, dir + "/entities2.tsv"));
+  CEAFF_RETURN_IF_ERROR(SaveTriplesTsv(pair.kg1, dir + "/triples1.tsv"));
+  CEAFF_RETURN_IF_ERROR(SaveTriplesTsv(pair.kg2, dir + "/triples2.tsv"));
+  CEAFF_RETURN_IF_ERROR(
+      SaveAttributeTriplesTsv(pair.kg1, dir + "/attr_triples1.tsv"));
+  CEAFF_RETURN_IF_ERROR(
+      SaveAttributeTriplesTsv(pair.kg2, dir + "/attr_triples2.tsv"));
+  CEAFF_RETURN_IF_ERROR(SaveAlignmentTsv(pair.seed_alignment, pair.kg1,
+                                         pair.kg2, dir + "/seed_links.tsv"));
+  CEAFF_RETURN_IF_ERROR(SaveAlignmentTsv(pair.test_alignment, pair.kg1,
+                                         pair.kg2, dir + "/test_links.tsv"));
+  return Status::OK();
+}
+
+Status LoadKgPair(const std::string& dir, KgPair* pair) {
+  CEAFF_RETURN_IF_ERROR(LoadEntitiesTsv(dir + "/entities1.tsv", &pair->kg1));
+  CEAFF_RETURN_IF_ERROR(LoadEntitiesTsv(dir + "/entities2.tsv", &pair->kg2));
+  CEAFF_RETURN_IF_ERROR(LoadTriplesTsv(dir + "/triples1.tsv", &pair->kg1));
+  CEAFF_RETURN_IF_ERROR(LoadTriplesTsv(dir + "/triples2.tsv", &pair->kg2));
+  // Attribute files are optional (older datasets lack them).
+  if (std::filesystem::exists(dir + "/attr_triples1.tsv")) {
+    CEAFF_RETURN_IF_ERROR(
+        LoadAttributeTriplesTsv(dir + "/attr_triples1.tsv", &pair->kg1));
+  }
+  if (std::filesystem::exists(dir + "/attr_triples2.tsv")) {
+    CEAFF_RETURN_IF_ERROR(
+        LoadAttributeTriplesTsv(dir + "/attr_triples2.tsv", &pair->kg2));
+  }
+  CEAFF_RETURN_IF_ERROR(LoadAlignmentTsv(dir + "/seed_links.tsv", pair->kg1,
+                                         pair->kg2, &pair->seed_alignment));
+  CEAFF_RETURN_IF_ERROR(LoadAlignmentTsv(dir + "/test_links.tsv", pair->kg1,
+                                         pair->kg2, &pair->test_alignment));
+  return Status::OK();
+}
+
+}  // namespace ceaff::kg

@@ -1,0 +1,56 @@
+#ifndef CEAFF_KG_IO_H_
+#define CEAFF_KG_IO_H_
+
+#include <string>
+
+#include "ceaff/common/status.h"
+#include "ceaff/kg/knowledge_graph.h"
+
+namespace ceaff::kg {
+
+/// Loads relation triples in the OpenEA / DBP15K TSV layout:
+/// one `head<TAB>relation<TAB>tail` line per triple. URIs are interned
+/// into `kg` (which may already hold entities).
+Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg);
+
+/// Writes triples in the same TSV layout.
+Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path);
+
+/// Loads gold alignment links: one `uri1<TAB>uri2` line per pair. Both URIs
+/// must already exist in their KGs (NotFound otherwise).
+Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
+                        const KnowledgeGraph& kg2,
+                        std::vector<AlignmentPair>* pairs);
+
+/// Writes alignment links as `uri1<TAB>uri2` lines.
+Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
+                        const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
+                        const std::string& path);
+
+/// Loads attribute triples: one `entity_uri<TAB>attribute_uri<TAB>value`
+/// line per fact. Entities must already exist (NotFound otherwise);
+/// attribute URIs are interned.
+Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg);
+
+/// Writes attribute triples in the same TSV layout.
+Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
+                               const std::string& path);
+
+/// Loads an entity vocabulary: one `uri<TAB>display name` line per entity.
+/// Interns URIs into `kg` (names apply on first insertion), preserving
+/// file order, so ids match the writing KG when loaded into an empty one.
+Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg);
+
+/// Writes the entity vocabulary in id order as `uri<TAB>name` lines.
+Status SaveEntitiesTsv(const KnowledgeGraph& kg, const std::string& path);
+
+/// Saves / loads a complete KgPair under `dir` as entities1.tsv,
+/// entities2.tsv, triples1.tsv, triples2.tsv, seed_links.tsv,
+/// test_links.tsv. The entity files preserve display names and isolated
+/// entities, which triples alone cannot.
+Status SaveKgPair(const KgPair& pair, const std::string& dir);
+Status LoadKgPair(const std::string& dir, KgPair* pair);
+
+}  // namespace ceaff::kg
+
+#endif  // CEAFF_KG_IO_H_

@@ -1,0 +1,177 @@
+#include "ceaff/kg/knowledge_graph.h"
+
+#include <algorithm>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/common/random.h"
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::kg {
+
+EntityId KnowledgeGraph::AddEntity(const std::string& uri,
+                                   const std::string& name) {
+  auto it = entity_index_.find(uri);
+  if (it != entity_index_.end()) return it->second;
+  EntityId id = static_cast<EntityId>(entity_uris_.size());
+  entity_index_.emplace(uri, id);
+  entity_uris_.push_back(uri);
+  if (name.empty()) {
+    // Default display name: URI local name, '_' → ' '.
+    size_t slash = uri.find_last_of('/');
+    std::string local =
+        slash == std::string::npos ? uri : uri.substr(slash + 1);
+    entity_names_.push_back(NormalizeEntityName(local));
+  } else {
+    entity_names_.push_back(name);
+  }
+  return id;
+}
+
+RelationId KnowledgeGraph::AddRelation(const std::string& uri) {
+  auto it = relation_index_.find(uri);
+  if (it != relation_index_.end()) return it->second;
+  RelationId id = static_cast<RelationId>(relation_uris_.size());
+  relation_index_.emplace(uri, id);
+  relation_uris_.push_back(uri);
+  return id;
+}
+
+Status KnowledgeGraph::AddTriple(EntityId head, RelationId relation,
+                                 EntityId tail) {
+  if (head >= num_entities() || tail >= num_entities()) {
+    return Status::InvalidArgument("triple references unknown entity id");
+  }
+  if (relation >= num_relations()) {
+    return Status::InvalidArgument("triple references unknown relation id");
+  }
+  triples_.push_back({head, relation, tail});
+  return Status::OK();
+}
+
+void KnowledgeGraph::AddTriple(const std::string& head_uri,
+                               const std::string& rel_uri,
+                               const std::string& tail_uri) {
+  EntityId h = AddEntity(head_uri);
+  RelationId r = AddRelation(rel_uri);
+  EntityId t = AddEntity(tail_uri);
+  triples_.push_back({h, r, t});
+}
+
+AttributeId KnowledgeGraph::AddAttribute(const std::string& uri) {
+  auto it = attribute_index_.find(uri);
+  if (it != attribute_index_.end()) return it->second;
+  AttributeId id = static_cast<AttributeId>(attribute_uris_.size());
+  attribute_index_.emplace(uri, id);
+  attribute_uris_.push_back(uri);
+  return id;
+}
+
+Status KnowledgeGraph::AddAttributeTriple(EntityId entity,
+                                          AttributeId attribute,
+                                          const std::string& value) {
+  if (entity >= num_entities()) {
+    return Status::InvalidArgument(
+        "attribute triple references unknown entity id");
+  }
+  if (attribute >= num_attributes()) {
+    return Status::InvalidArgument(
+        "attribute triple references unknown attribute id");
+  }
+  attribute_triples_.push_back({entity, attribute, value});
+  return Status::OK();
+}
+
+const std::string& KnowledgeGraph::attribute_uri(AttributeId id) const {
+  CEAFF_CHECK(id < num_attributes());
+  return attribute_uris_[id];
+}
+
+StatusOr<AttributeId> KnowledgeGraph::FindAttribute(
+    const std::string& uri) const {
+  auto it = attribute_index_.find(uri);
+  if (it == attribute_index_.end()) {
+    return Status::NotFound("attribute uri: " + uri);
+  }
+  return it->second;
+}
+
+const std::string& KnowledgeGraph::entity_uri(EntityId id) const {
+  CEAFF_CHECK(id < num_entities());
+  return entity_uris_[id];
+}
+
+const std::string& KnowledgeGraph::entity_name(EntityId id) const {
+  CEAFF_CHECK(id < num_entities());
+  return entity_names_[id];
+}
+
+const std::string& KnowledgeGraph::relation_uri(RelationId id) const {
+  CEAFF_CHECK(id < num_relations());
+  return relation_uris_[id];
+}
+
+void KnowledgeGraph::SetEntityName(EntityId id, const std::string& name) {
+  CEAFF_CHECK(id < num_entities());
+  entity_names_[id] = name;
+}
+
+StatusOr<EntityId> KnowledgeGraph::FindEntity(const std::string& uri) const {
+  auto it = entity_index_.find(uri);
+  if (it == entity_index_.end()) {
+    return Status::NotFound("entity uri: " + uri);
+  }
+  return it->second;
+}
+
+StatusOr<RelationId> KnowledgeGraph::FindRelation(
+    const std::string& uri) const {
+  auto it = relation_index_.find(uri);
+  if (it == relation_index_.end()) {
+    return Status::NotFound("relation uri: " + uri);
+  }
+  return it->second;
+}
+
+std::vector<uint32_t> KnowledgeGraph::Degrees() const {
+  std::vector<uint32_t> deg(num_entities(), 0);
+  for (const Triple& t : triples_) {
+    deg[t.head]++;
+    deg[t.tail]++;
+  }
+  return deg;
+}
+
+std::vector<std::vector<std::pair<EntityId, RelationId>>>
+KnowledgeGraph::OutAdjacency() const {
+  std::vector<std::vector<std::pair<EntityId, RelationId>>> adj(
+      num_entities());
+  for (const Triple& t : triples_) {
+    adj[t.head].emplace_back(t.tail, t.relation);
+  }
+  return adj;
+}
+
+Status SplitAlignment(const std::vector<AlignmentPair>& gold,
+                      double seed_fraction, uint64_t rng_seed,
+                      std::vector<AlignmentPair>* seed,
+                      std::vector<AlignmentPair>* test) {
+  if (seed_fraction < 0.0 || seed_fraction > 1.0) {
+    return Status::InvalidArgument("seed_fraction must be in [0, 1]");
+  }
+  std::vector<AlignmentPair> shuffled = gold;
+  Rng rng(rng_seed);
+  rng.Shuffle(&shuffled);
+  size_t n_seed = static_cast<size_t>(seed_fraction *
+                                      static_cast<double>(shuffled.size()));
+  seed->assign(shuffled.begin(), shuffled.begin() + static_cast<long>(n_seed));
+  test->assign(shuffled.begin() + static_cast<long>(n_seed), shuffled.end());
+  // Deterministic order inside each split keeps downstream runs stable.
+  auto by_source = [](const AlignmentPair& a, const AlignmentPair& b) {
+    return a.source < b.source;
+  };
+  std::sort(seed->begin(), seed->end(), by_source);
+  std::sort(test->begin(), test->end(), by_source);
+  return Status::OK();
+}
+
+}  // namespace ceaff::kg

@@ -1,0 +1,148 @@
+#ifndef CEAFF_KG_KNOWLEDGE_GRAPH_H_
+#define CEAFF_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+
+namespace ceaff::kg {
+
+/// Dense integer id of an entity within one KG.
+using EntityId = uint32_t;
+/// Dense integer id of a relation within one KG.
+using RelationId = uint32_t;
+/// Dense integer id of an attribute (datatype property) within one KG.
+using AttributeId = uint32_t;
+
+/// One directed fact: head --relation--> tail.
+struct Triple {
+  EntityId head;
+  RelationId relation;
+  EntityId tail;
+
+  bool operator==(const Triple& other) const {
+    return head == other.head && relation == other.relation &&
+           tail == other.tail;
+  }
+};
+
+/// One attribute fact: entity --attribute--> literal value. The substrate
+/// for the attribute feature (JAPE / GCN-Align's AE view).
+struct AttributeTriple {
+  EntityId entity;
+  AttributeId attribute;
+  std::string value;
+
+  bool operator==(const AttributeTriple& other) const {
+    return entity == other.entity && attribute == other.attribute &&
+           value == other.value;
+  }
+};
+
+/// A directed multigraph G = (E, R, T) with string vocabularies.
+///
+/// Entities carry a URI (unique key) and a human-readable name (the string
+/// the semantic/string features operate on; defaults to the URI local name).
+/// Mutation is append-only; ids are dense and stable.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  /// Adds (or finds) an entity by URI. `name` is only applied on first
+  /// insertion. Returns its dense id.
+  EntityId AddEntity(const std::string& uri, const std::string& name = "");
+
+  /// Adds (or finds) a relation by URI; returns its dense id.
+  RelationId AddRelation(const std::string& uri);
+
+  /// Appends a triple. Ids must already exist.
+  Status AddTriple(EntityId head, RelationId relation, EntityId tail);
+
+  /// Convenience: interns all three URIs and appends the triple.
+  void AddTriple(const std::string& head_uri, const std::string& rel_uri,
+                 const std::string& tail_uri);
+
+  /// Adds (or finds) an attribute (datatype property) by URI.
+  AttributeId AddAttribute(const std::string& uri);
+
+  /// Appends an attribute triple. Ids must already exist.
+  Status AddAttributeTriple(EntityId entity, AttributeId attribute,
+                            const std::string& value);
+
+  size_t num_entities() const { return entity_uris_.size(); }
+  size_t num_relations() const { return relation_uris_.size(); }
+  size_t num_triples() const { return triples_.size(); }
+  size_t num_attributes() const { return attribute_uris_.size(); }
+  size_t num_attribute_triples() const { return attribute_triples_.size(); }
+
+  const std::vector<Triple>& triples() const { return triples_; }
+  const std::vector<AttributeTriple>& attribute_triples() const {
+    return attribute_triples_;
+  }
+
+  const std::string& attribute_uri(AttributeId id) const;
+  StatusOr<AttributeId> FindAttribute(const std::string& uri) const;
+
+  const std::string& entity_uri(EntityId id) const;
+  const std::string& entity_name(EntityId id) const;
+  const std::string& relation_uri(RelationId id) const;
+
+  /// Overwrites the display name of an entity.
+  void SetEntityName(EntityId id, const std::string& name);
+
+  /// Dense id for a URI, or NotFound.
+  StatusOr<EntityId> FindEntity(const std::string& uri) const;
+  StatusOr<RelationId> FindRelation(const std::string& uri) const;
+
+  /// Undirected degree (in + out) of every entity.
+  std::vector<uint32_t> Degrees() const;
+
+  /// Lists of (neighbour, relation) pairs per entity, outgoing direction.
+  std::vector<std::vector<std::pair<EntityId, RelationId>>> OutAdjacency()
+      const;
+
+ private:
+  std::vector<std::string> entity_uris_;
+  std::vector<std::string> entity_names_;
+  std::vector<std::string> relation_uris_;
+  std::vector<std::string> attribute_uris_;
+  std::unordered_map<std::string, EntityId> entity_index_;
+  std::unordered_map<std::string, RelationId> relation_index_;
+  std::unordered_map<std::string, AttributeId> attribute_index_;
+  std::vector<Triple> triples_;
+  std::vector<AttributeTriple> attribute_triples_;
+};
+
+/// One gold correspondence between the two KGs of a pair.
+struct AlignmentPair {
+  EntityId source;  // entity id in KG1
+  EntityId target;  // entity id in KG2
+
+  bool operator==(const AlignmentPair& other) const {
+    return source == other.source && target == other.target;
+  }
+};
+
+/// A benchmark instance: two KGs plus gold alignment split into
+/// train (seed) / test sets, following the paper's 30%/70% protocol.
+struct KgPair {
+  std::string name;
+  KnowledgeGraph kg1;
+  KnowledgeGraph kg2;
+  std::vector<AlignmentPair> seed_alignment;  // training pairs S
+  std::vector<AlignmentPair> test_alignment;  // evaluation pairs
+};
+
+/// Splits `gold` into seed/test with the given seed fraction, shuffled
+/// deterministically by `rng_seed`. seed_fraction must be in [0, 1].
+Status SplitAlignment(const std::vector<AlignmentPair>& gold,
+                      double seed_fraction, uint64_t rng_seed,
+                      std::vector<AlignmentPair>* seed,
+                      std::vector<AlignmentPair>* test);
+
+}  // namespace ceaff::kg
+
+#endif  // CEAFF_KG_KNOWLEDGE_GRAPH_H_

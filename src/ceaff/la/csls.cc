@@ -1,0 +1,47 @@
+#include "ceaff/la/csls.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ceaff::la {
+
+namespace {
+
+/// Mean of the `k` largest values in [begin, end) with stride `stride`.
+double TopKMean(const float* begin, size_t count, size_t stride, size_t k) {
+  std::vector<float> values;
+  values.reserve(count);
+  for (size_t i = 0; i < count; ++i) values.push_back(begin[i * stride]);
+  k = std::min(k, values.size());
+  if (k == 0) return 0.0;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(k - 1),
+                   values.end(), std::greater<float>());
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) sum += values[i];
+  return sum / static_cast<double>(k);
+}
+
+}  // namespace
+
+Matrix CslsRescale(const Matrix& m, size_t k) {
+  if (k == 0 || m.empty()) return m;
+  std::vector<double> row_mean(m.rows());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    row_mean[i] = TopKMean(m.row(i), m.cols(), 1, k);
+  }
+  std::vector<double> col_mean(m.cols());
+  for (size_t j = 0; j < m.cols(); ++j) {
+    col_mean[j] = TopKMean(m.data() + j, m.rows(), m.cols(), k);
+  }
+  Matrix out(m.rows(), m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const float* src = m.row(i);
+    float* dst = out.row(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      dst[j] = static_cast<float>(2.0 * src[j] - row_mean[i] - col_mean[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ceaff::la

@@ -1,0 +1,28 @@
+#ifndef CEAFF_LA_CSLS_H_
+#define CEAFF_LA_CSLS_H_
+
+#include <cstddef>
+
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::la {
+
+/// Cross-domain Similarity Local Scaling (Conneau et al., ICLR'18) — the
+/// hubness correction used throughout the EA literature (and by several of
+/// the paper's competitors). Each similarity is penalised by the mean
+/// similarity of its row's and column's k nearest neighbours:
+///
+///   csls(i, j) = 2·sim(i, j) − r_row(i) − r_col(j)
+///
+/// where r_row(i) is the mean of row i's top-k entries and r_col(j) the
+/// mean of column j's top-k entries. Hub targets that are near everything
+/// lose score; mutually-close pairs gain. Offered as an optional rescaling
+/// of any similarity matrix before fusion/matching (an extension ablation;
+/// the paper's CEAFF uses raw cosine).
+///
+/// k is clamped to the matrix dimensions; k = 0 returns `m` unchanged.
+Matrix CslsRescale(const Matrix& m, size_t k = 10);
+
+}  // namespace ceaff::la
+
+#endif  // CEAFF_LA_CSLS_H_

@@ -1,0 +1,168 @@
+#include "ceaff/la/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ceaff::la {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    CEAFF_CHECK(rows[r].size() == m.cols_) << "ragged row " << r;
+    for (size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::TruncatedNormal(size_t rows, size_t cols, float stddev,
+                               Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->NextTruncatedNormal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::GlorotUniform(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->NextUniform(-limit, limit));
+  }
+  return m;
+}
+
+void Matrix::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+void Matrix::Add(const Matrix& other) {
+  CEAFF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  CEAFF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (float& x : data_) x *= s;
+}
+
+void Matrix::Axpy(float s, const Matrix& other) {
+  CEAFF_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+void Matrix::ReluInPlace() {
+  for (float& x : data_) x = x > 0.0f ? x : 0.0f;
+}
+
+void Matrix::L2NormalizeRows() {
+  for (size_t r = 0; r < rows_; ++r) {
+    float* p = row(r);
+    double sq = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sq += static_cast<double>(p[c]) * p[c];
+    if (sq <= 0.0) continue;
+    float inv = static_cast<float>(1.0 / std::sqrt(sq));
+    for (size_t c = 0; c < cols_; ++c) p[c] *= inv;
+  }
+}
+
+float Matrix::FrobeniusNorm() const {
+  double sq = 0.0;
+  for (float x : data_) sq += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(sq));
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* p = row(r);
+    for (size_t c = 0; c < cols_; ++c) out.at(c, r) = p[c];
+  }
+  return out;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c) os << ", ";
+      os << at(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CEAFF_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  Matrix out(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: unit-stride access of both b and out inner rows.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t kk = 0; kk < k; ++kk) {
+      float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulBT(const Matrix& a, const Matrix& b) {
+  CEAFF_CHECK(a.cols() == b.cols())
+      << "matmulBT shape mismatch: " << a.rows() << "x" << a.cols() << " * ("
+      << b.rows() << "x" << b.cols() << ")^T";
+  Matrix out(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Matrix MatMulAT(const Matrix& a, const Matrix& b) {
+  CEAFF_CHECK(a.rows() == b.rows())
+      << "matmulAT shape mismatch: (" << a.rows() << "x" << a.cols()
+      << ")^T * " << b.rows() << "x" << b.cols();
+  Matrix out(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (size_t i = 0; i < m; ++i) {
+      float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = out.row(i);
+      for (size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace ceaff::la

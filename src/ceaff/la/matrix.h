@@ -1,0 +1,116 @@
+#ifndef CEAFF_LA_MATRIX_H_
+#define CEAFF_LA_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/common/random.h"
+
+namespace ceaff::la {
+
+/// Dense row-major float matrix. The workhorse value type of the library:
+/// embedding tables, GCN activations and all similarity matrices are
+/// Matrix instances. Cheap to move, explicit to copy (no hidden sharing).
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Allocates rows x cols, zero-initialised.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Builds from an initializer-style nested vector (rows of equal length).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// rows x cols matrix with i.i.d. samples from a truncated normal
+  /// (|z| <= 2σ), the init GCN-Align uses for the input feature matrix X.
+  static Matrix TruncatedNormal(size_t rows, size_t cols, float stddev,
+                                Rng* rng);
+
+  /// rows x cols with i.i.d. Glorot/Xavier-uniform entries, the standard
+  /// init for GCN weight matrices.
+  static Matrix GlorotUniform(size_t rows, size_t cols, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* row(size_t r) {
+    CEAFF_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* row(size_t r) const {
+    CEAFF_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& at(size_t r, size_t c) {
+    CEAFF_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(size_t r, size_t c) const {
+    CEAFF_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float& operator()(size_t r, size_t c) { return at(r, c); }
+  float operator()(size_t r, size_t c) const { return at(r, c); }
+
+  void Fill(float v);
+  void SetZero() { Fill(0.0f); }
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+  /// this -= other (same shape).
+  void Sub(const Matrix& other);
+  /// this *= s.
+  void Scale(float s);
+  /// this += s * other (axpy, same shape).
+  void Axpy(float s, const Matrix& other);
+
+  /// Element-wise maximum with zero, in place (ReLU).
+  void ReluInPlace();
+
+  /// L2-normalises every row in place; all-zero rows are left untouched.
+  void L2NormalizeRows();
+
+  /// Frobenius norm.
+  float FrobeniusNorm() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Human-readable dump (small matrices only; used in tests/demos).
+  std::string ToString(int precision = 3) const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Shapes must agree ((m,k) x (k,n) -> (m,n)).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T ((m,k) x (n,k) -> (m,n)). The layout-friendly product used
+/// for similarity matrices and backprop.
+Matrix MatMulBT(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b ((k,m) x (k,n) -> (m,n)).
+Matrix MatMulAT(const Matrix& a, const Matrix& b);
+
+}  // namespace ceaff::la
+
+#endif  // CEAFF_LA_MATRIX_H_

@@ -1,0 +1,108 @@
+#include "ceaff/la/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ceaff/common/logging.h"
+
+namespace ceaff::la {
+
+Matrix CosineSimilarity(const Matrix& a, const Matrix& b) {
+  CEAFF_CHECK(a.cols() == b.cols())
+      << "cosine similarity dimension mismatch: " << a.cols() << " vs "
+      << b.cols();
+  // Normalise copies once, then a single a * b^T gives all cosines.
+  Matrix an = a;
+  Matrix bn = b;
+  an.L2NormalizeRows();
+  bn.L2NormalizeRows();
+  return MatMulBT(an, bn);
+}
+
+std::vector<size_t> RowArgmax(const Matrix& m) {
+  std::vector<size_t> out(m.rows(), 0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* p = m.row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < m.cols(); ++c) {
+      if (p[c] > p[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+std::vector<size_t> ColArgmax(const Matrix& m) {
+  std::vector<size_t> out(m.cols(), 0);
+  if (m.rows() == 0) return out;
+  std::vector<float> best(m.cols());
+  for (size_t c = 0; c < m.cols(); ++c) best[c] = m.at(0, c);
+  for (size_t r = 1; r < m.rows(); ++r) {
+    const float* p = m.row(r);
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (p[c] > best[c]) {
+        best[c] = p[c];
+        out[c] = r;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> RowTopK(const Matrix& m, size_t r, size_t k) {
+  k = std::min(k, m.cols());
+  const float* p = m.row(r);
+  std::vector<size_t> idx(m.cols());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+                    [p](size_t x, size_t y) {
+                      return p[x] != p[y] ? p[x] > p[y] : x < y;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<size_t> RowRanks(const Matrix& m, size_t r) {
+  const float* p = m.row(r);
+  std::vector<size_t> order(m.cols());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [p](size_t x, size_t y) {
+    return p[x] != p[y] ? p[x] > p[y] : x < y;
+  });
+  std::vector<size_t> ranks(m.cols());
+  for (size_t pos = 0; pos < order.size(); ++pos) ranks[order[pos]] = pos + 1;
+  return ranks;
+}
+
+Matrix WeightedSum(const std::vector<const Matrix*>& mats,
+                   const std::vector<double>& weights) {
+  CEAFF_CHECK(!mats.empty());
+  CEAFF_CHECK(mats.size() == weights.size());
+  Matrix out(mats[0]->rows(), mats[0]->cols());
+  for (size_t k = 0; k < mats.size(); ++k) {
+    CEAFF_CHECK(mats[k]->SameShape(out)) << "fusion shape mismatch";
+    out.Axpy(static_cast<float>(weights[k]), *mats[k]);
+  }
+  return out;
+}
+
+void MinMaxNormalize(Matrix* m) {
+  if (m->empty()) return;
+  float lo = m->data()[0], hi = m->data()[0];
+  for (size_t i = 0; i < m->size(); ++i) {
+    lo = std::min(lo, m->data()[i]);
+    hi = std::max(hi, m->data()[i]);
+  }
+  float range = hi - lo;
+  if (range <= 0.0f) {
+    m->SetZero();
+    return;
+  }
+  float inv = 1.0f / range;
+  for (size_t i = 0; i < m->size(); ++i) {
+    m->data()[i] = (m->data()[i] - lo) * inv;
+  }
+}
+
+}  // namespace ceaff::la

@@ -1,0 +1,50 @@
+#include "ceaff/matching/sinkhorn.h"
+
+#include <cmath>
+
+namespace ceaff::matching {
+
+la::Matrix SinkhornNormalize(const la::Matrix& similarity,
+                             const SinkhornOptions& options) {
+  la::Matrix plan(similarity.rows(), similarity.cols());
+  if (plan.empty()) return plan;
+  // Stabilised exponentiation: subtract the global max first.
+  float max_value = similarity.data()[0];
+  for (size_t i = 0; i < similarity.size(); ++i) {
+    max_value = std::max(max_value, similarity.data()[i]);
+  }
+  const double inv_t = 1.0 / std::max(options.temperature, 1e-6);
+  for (size_t i = 0; i < similarity.size(); ++i) {
+    plan.data()[i] = static_cast<float>(
+        std::exp((similarity.data()[i] - max_value) * inv_t));
+  }
+  for (size_t iter = 0; iter < options.iterations; ++iter) {
+    // Row normalisation.
+    for (size_t r = 0; r < plan.rows(); ++r) {
+      float* row = plan.row(r);
+      double sum = 0.0;
+      for (size_t c = 0; c < plan.cols(); ++c) sum += row[c];
+      if (sum <= 0.0) continue;
+      float inv = static_cast<float>(1.0 / sum);
+      for (size_t c = 0; c < plan.cols(); ++c) row[c] *= inv;
+    }
+    // Column normalisation (to balanced column mass n1/n2).
+    const double target = static_cast<double>(plan.rows()) /
+                          static_cast<double>(plan.cols());
+    for (size_t c = 0; c < plan.cols(); ++c) {
+      double sum = 0.0;
+      for (size_t r = 0; r < plan.rows(); ++r) sum += plan.at(r, c);
+      if (sum <= 0.0) continue;
+      float scale = static_cast<float>(target / sum);
+      for (size_t r = 0; r < plan.rows(); ++r) plan.at(r, c) *= scale;
+    }
+  }
+  return plan;
+}
+
+MatchResult SinkhornMatch(const la::Matrix& similarity,
+                          const SinkhornOptions& options) {
+  return GreedyOneToOne(SinkhornNormalize(similarity, options));
+}
+
+}  // namespace ceaff::matching

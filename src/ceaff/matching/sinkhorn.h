@@ -1,0 +1,36 @@
+#ifndef CEAFF_MATCHING_SINKHORN_H_
+#define CEAFF_MATCHING_SINKHORN_H_
+
+#include <cstddef>
+
+#include "ceaff/la/matrix.h"
+#include "ceaff/matching/matching.h"
+
+namespace ceaff::matching {
+
+/// Sinkhorn-based collective matching — another "other collective matching
+/// method" in the direction of the paper's future work. The similarity
+/// matrix is turned into an approximately doubly-stochastic transport plan
+/// by Sinkhorn-Knopp iterations on exp(sim / temperature); the plan's mass
+/// already encodes one-to-one pressure, so decoding it (greedily, one-to-
+/// one) yields a collective assignment without preference lists.
+struct SinkhornOptions {
+  /// Entropic temperature: lower = closer to a hard permutation, but
+  /// slower/less stable convergence.
+  double temperature = 0.05;
+  size_t iterations = 50;
+};
+
+/// Row/column-normalises exp(similarity / temperature) `iterations` times
+/// and returns the resulting transport plan (all entries positive; rows
+/// sum to ~1; columns sum to ~n1/n2). Shapes may be rectangular.
+la::Matrix SinkhornNormalize(const la::Matrix& similarity,
+                             const SinkhornOptions& options = {});
+
+/// Full matcher: Sinkhorn plan + one-to-one greedy decoding.
+MatchResult SinkhornMatch(const la::Matrix& similarity,
+                          const SinkhornOptions& options = {});
+
+}  // namespace ceaff::matching
+
+#endif  // CEAFF_MATCHING_SINKHORN_H_

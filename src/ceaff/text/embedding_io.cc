@@ -1,0 +1,77 @@
+#include "ceaff/text/embedding_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::text {
+
+Status LoadTextEmbeddings(const std::string& path, WordEmbeddingStore* store,
+                          const EmbeddingIoOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  size_t lineno = 0;
+  size_t loaded = 0;
+  std::vector<float> vec;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> fields = SplitWhitespace(line);
+    if (fields.empty()) continue;
+    if (lineno == 1 && options.allow_header && fields.size() == 2) {
+      // fastText-style `<count> <dim>` header.
+      char* end = nullptr;
+      long dim = std::strtol(fields[1].c_str(), &end, 10);
+      if (end != fields[1].c_str() && dim > 0 &&
+          static_cast<size_t>(dim) != store->dim()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: file dimensionality %ld does not match store dim %zu",
+            path.c_str(), dim, store->dim()));
+      }
+      continue;
+    }
+    if (fields.size() != store->dim() + 1) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: expected %zu fields (token + %zu values), got %zu",
+          path.c_str(), lineno, store->dim() + 1, store->dim(),
+          fields.size()));
+    }
+    vec.clear();
+    vec.reserve(store->dim());
+    for (size_t i = 1; i < fields.size(); ++i) {
+      char* end = nullptr;
+      float v = std::strtof(fields[i].c_str(), &end);
+      if (end == fields[i].c_str()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s:%zu: malformed value '%s'", path.c_str(), lineno,
+            fields[i].c_str()));
+      }
+      vec.push_back(v);
+    }
+    std::string token =
+        options.lowercase ? AsciiToLower(fields[0]) : fields[0];
+    CEAFF_RETURN_IF_ERROR(store->SetVector(token, vec));
+    ++loaded;
+    if (options.max_vectors > 0 && loaded >= options.max_vectors) break;
+  }
+  return Status::OK();
+}
+
+Status SaveTextEmbeddings(const WordEmbeddingStore& store,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << store.explicit_tokens().size() << ' ' << store.dim() << '\n';
+  std::vector<float> vec;
+  for (const std::string& token : store.explicit_tokens()) {
+    if (!store.Lookup(token, &vec)) continue;  // explicitly marked OOV
+    out << token;
+    for (float v : vec) out << ' ' << v;
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace ceaff::text

@@ -1,0 +1,37 @@
+#ifndef CEAFF_TEXT_EMBEDDING_IO_H_
+#define CEAFF_TEXT_EMBEDDING_IO_H_
+
+#include <string>
+
+#include "ceaff/common/status.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::text {
+
+/// Options for reading word2vec/GloVe/fastText text-format vectors.
+struct EmbeddingIoOptions {
+  /// Skip a leading `<count> <dim>` header line if present (fastText
+  /// writes one, GloVe does not) — detected automatically when true.
+  bool allow_header = true;
+  /// Stop after this many vectors (0 = all). Pretrained files hold
+  /// millions of rows; alignment only needs the KG vocabulary.
+  size_t max_vectors = 0;
+  /// Lower-case tokens on load (matching TokenizeName's output).
+  bool lowercase = true;
+};
+
+/// Loads text-format embeddings (`token v1 v2 ... vd` per line) into
+/// `store` as explicit vectors. The store's dimensionality must match the
+/// file's (InvalidArgument otherwise). This is the entry point for the
+/// paper's real fastText/MUSE vectors when they are available.
+Status LoadTextEmbeddings(const std::string& path, WordEmbeddingStore* store,
+                          const EmbeddingIoOptions& options = {});
+
+/// Writes every explicit vector of `store` in the same text format (with a
+/// fastText-style header line).
+Status SaveTextEmbeddings(const WordEmbeddingStore& store,
+                          const std::string& path);
+
+}  // namespace ceaff::text
+
+#endif  // CEAFF_TEXT_EMBEDDING_IO_H_

@@ -1,0 +1,45 @@
+#include "ceaff/text/name_embedding.h"
+
+#include "ceaff/la/ops.h"
+#include "ceaff/text/tokenizer.h"
+
+namespace ceaff::text {
+
+std::vector<float> EmbedName(const WordEmbeddingStore& store,
+                             const std::string& name) {
+  std::vector<float> sum(store.dim(), 0.0f);
+  std::vector<float> word;
+  size_t count = 0;
+  for (const std::string& token : TokenizeName(name)) {
+    if (!store.Lookup(token, &word)) continue;
+    for (size_t i = 0; i < sum.size(); ++i) sum[i] += word[i];
+    ++count;
+  }
+  if (count > 1) {
+    float inv = 1.0f / static_cast<float>(count);
+    for (float& v : sum) v *= inv;
+  }
+  return sum;
+}
+
+la::Matrix EmbedNames(const WordEmbeddingStore& store,
+                      const std::vector<std::string>& names) {
+  la::Matrix n(names.size(), store.dim());
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::vector<float> vec = EmbedName(store, names[i]);
+    float* row = n.row(i);
+    for (size_t d = 0; d < vec.size(); ++d) row[d] = vec[d];
+  }
+  return n;
+}
+
+la::Matrix SemanticSimilarityMatrix(
+    const WordEmbeddingStore& store,
+    const std::vector<std::string>& source_names,
+    const std::vector<std::string>& target_names) {
+  la::Matrix n1 = EmbedNames(store, source_names);
+  la::Matrix n2 = EmbedNames(store, target_names);
+  return la::CosineSimilarity(n1, n2);
+}
+
+}  // namespace ceaff::text

@@ -1,0 +1,33 @@
+#ifndef CEAFF_TEXT_NAME_EMBEDDING_H_
+#define CEAFF_TEXT_NAME_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "ceaff/la/matrix.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::text {
+
+/// Embeds one entity name as the average of its tokens' word embeddings
+/// (ne(e) = 1/l Σ w_i, Sec. IV-B). Tokens without an embedding are skipped;
+/// a name with no embeddable token yields the zero vector (and hence cosine
+/// similarity 0 to everything).
+std::vector<float> EmbedName(const WordEmbeddingStore& store,
+                             const std::string& name);
+
+/// Stacks EmbedName over all `names` into the name-embedding matrix N
+/// (|names| x store.dim()).
+la::Matrix EmbedNames(const WordEmbeddingStore& store,
+                      const std::vector<std::string>& names);
+
+/// Semantic similarity matrix Mn: cosine similarity between every source
+/// and target name embedding.
+la::Matrix SemanticSimilarityMatrix(
+    const WordEmbeddingStore& store,
+    const std::vector<std::string>& source_names,
+    const std::vector<std::string>& target_names);
+
+}  // namespace ceaff::text
+
+#endif  // CEAFF_TEXT_NAME_EMBEDDING_H_

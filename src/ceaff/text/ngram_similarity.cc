@@ -1,0 +1,92 @@
+#include "ceaff/text/ngram_similarity.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ceaff::text {
+
+namespace {
+
+/// Sorted n-gram multiset of a (possibly padded) name.
+std::vector<std::string> Ngrams(std::string_view s,
+                                const NgramOptions& options) {
+  std::string padded;
+  if (options.pad && !s.empty()) {
+    padded.reserve(s.size() + 2 * (options.n - 1));
+    padded.append(options.n - 1, '^');
+    padded.append(s);
+    padded.append(options.n - 1, '$');
+    s = padded;
+  }
+  std::vector<std::string> grams;
+  if (s.size() >= options.n) {
+    grams.reserve(s.size() - options.n + 1);
+    for (size_t i = 0; i + options.n <= s.size(); ++i) {
+      grams.emplace_back(s.substr(i, options.n));
+    }
+  } else if (!s.empty()) {
+    grams.emplace_back(s);
+  }
+  std::sort(grams.begin(), grams.end());
+  return grams;
+}
+
+/// Multiset intersection size of two sorted vectors.
+size_t IntersectionSize(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double NgramSimilarity(std::string_view a, std::string_view b,
+                       const NgramOptions& options) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::vector<std::string> ga = Ngrams(a, options);
+  std::vector<std::string> gb = Ngrams(b, options);
+  size_t total = ga.size() + gb.size();
+  if (total == 0) return 1.0;
+  return 2.0 * static_cast<double>(IntersectionSize(ga, gb)) /
+         static_cast<double>(total);
+}
+
+la::Matrix NgramSimilarityMatrix(const std::vector<std::string>& source_names,
+                                 const std::vector<std::string>& target_names,
+                                 const NgramOptions& options) {
+  // Precompute target gram multisets once (source ones stream by row).
+  std::vector<std::vector<std::string>> target_grams;
+  target_grams.reserve(target_names.size());
+  for (const std::string& t : target_names) {
+    target_grams.push_back(Ngrams(t, options));
+  }
+  la::Matrix m(source_names.size(), target_names.size());
+  for (size_t i = 0; i < source_names.size(); ++i) {
+    std::vector<std::string> src = Ngrams(source_names[i], options);
+    float* row = m.row(i);
+    for (size_t j = 0; j < target_names.size(); ++j) {
+      size_t total = src.size() + target_grams[j].size();
+      if (total == 0) {
+        row[j] = 1.0f;
+        continue;
+      }
+      row[j] = static_cast<float>(
+          2.0 * static_cast<double>(IntersectionSize(src, target_grams[j])) /
+          static_cast<double>(total));
+    }
+  }
+  return m;
+}
+
+}  // namespace ceaff::text

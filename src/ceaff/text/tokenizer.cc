@@ -1,0 +1,25 @@
+#include "ceaff/text/tokenizer.h"
+
+#include <cctype>
+
+namespace ceaff::text {
+
+std::vector<std::string> TokenizeName(std::string_view name) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : name) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    bool in_token = std::isalnum(uc) || uc >= 0x80;
+    if (in_token) {
+      cur.push_back(
+          static_cast<char>(uc < 0x80 ? std::tolower(uc) : uc));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+}  // namespace ceaff::text

@@ -1,0 +1,18 @@
+#ifndef CEAFF_TEXT_TOKENIZER_H_
+#define CEAFF_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceaff::text {
+
+/// Splits an entity name into lower-cased word tokens: ASCII letters and
+/// digits form tokens, everything else separates. "Los_Angeles (city)" →
+/// ["los", "angeles", "city"]. Bytes >= 0x80 (multi-byte UTF-8) are kept
+/// inside tokens so non-Latin scripts survive as opaque words.
+std::vector<std::string> TokenizeName(std::string_view name);
+
+}  // namespace ceaff::text
+
+#endif  // CEAFF_TEXT_TOKENIZER_H_

@@ -1,0 +1,155 @@
+#include "ceaff/baselines/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ceaff/data/synthetic.h"
+
+namespace ceaff::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticKgOptions o;
+    o.name = "baseline-test";
+    o.num_entities = 120;
+    o.extra_entities = 0;
+    o.avg_degree = 6.0;
+    o.embedding_dim = 16;
+    o.seed = 31;
+    bench_ = new data::SyntheticBenchmark(
+        data::GenerateBenchmark(o).value());
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static data::SyntheticBenchmark* bench_;
+
+  /// Random-guess accuracy on this pair's test set.
+  double Chance() {
+    return 1.0 / static_cast<double>(bench_->pair.test_alignment.size());
+  }
+};
+
+data::SyntheticBenchmark* BaselinesTest::bench_ = nullptr;
+
+embed::TranseOptions FastTranse() {
+  embed::TranseOptions o;
+  o.dim = 24;
+  o.epochs = 40;
+  return o;
+}
+
+embed::GcnOptions FastGcn() {
+  embed::GcnOptions o;
+  o.dim = 32;
+  o.epochs = 40;
+  return o;
+}
+
+TEST_F(BaselinesTest, ScoreSimilarityComputesIndependentAccuracy) {
+  la::Matrix sim = la::Matrix::FromRows(
+      {{0.9f, 0.1f}, {0.8f, 0.2f}});
+  BaselineResult r = ScoreSimilarity(sim);
+  // Row 0 -> col 0 correct, row 1 -> col 0 wrong.
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(r.ranking.hits_at_1, 0.5);
+}
+
+TEST_F(BaselinesTest, AllBaselinesBeatChance) {
+  std::vector<std::unique_ptr<Baseline>> methods;
+  methods.push_back(std::make_unique<MTransE>(FastTranse()));
+  methods.push_back(std::make_unique<TransEShared>(FastTranse()));
+  {
+    IPTransE::Options o;
+    o.transe = FastTranse();
+    o.iterations = 2;
+    methods.push_back(std::make_unique<IPTransE>(o));
+  }
+  methods.push_back(std::make_unique<GcnAlignStructural>(FastGcn()));
+  {
+    JapeLite::Options o;
+    o.gcn = FastGcn();
+    methods.push_back(std::make_unique<JapeLite>(o));
+  }
+  {
+    BootEALite::Options o;
+    o.gcn = FastGcn();
+    o.rounds = 2;
+    methods.push_back(std::make_unique<BootEALite>(o));
+  }
+  {
+    NaeaLite::Options o;
+    o.gcn = FastGcn();
+    methods.push_back(std::make_unique<NaeaLite>(o));
+  }
+  {
+    RandomWalkAlign::Options o;
+    o.walk.dim = 32;
+    o.walk.epochs = 1;
+    methods.push_back(std::make_unique<RandomWalkAlign>(o));
+  }
+  for (const auto& m : methods) {
+    auto r = m->Run(bench_->pair);
+    ASSERT_TRUE(r.ok()) << m->name() << ": " << r.status();
+    EXPECT_GT(r.value().accuracy, 3 * Chance()) << m->name();
+    EXPECT_GE(r.value().ranking.hits_at_10, r.value().accuracy) << m->name();
+    EXPECT_EQ(r.value().similarity.rows(),
+              bench_->pair.test_alignment.size());
+  }
+}
+
+TEST_F(BaselinesTest, RepresentationFusionRunsAndNeedsStore) {
+  RepresentationFusionAlign::Options o;
+  o.gcn = FastGcn();
+  RepresentationFusionAlign without_store(o, nullptr);
+  EXPECT_EQ(without_store.Run(bench_->pair).status().code(),
+            ceaff::StatusCode::kFailedPrecondition);
+
+  for (auto mode : {RepresentationFusionAlign::Options::Mode::kAdditive,
+                    RepresentationFusionAlign::Options::Mode::kConcat}) {
+    o.mode = mode;
+    RepresentationFusionAlign rep(o, &bench_->store);
+    auto r = rep.Run(bench_->pair);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_GT(r.value().accuracy, 3 * Chance());
+  }
+}
+
+TEST_F(BaselinesTest, NamesAreStable) {
+  EXPECT_EQ(MTransE().name(), "MTransE");
+  EXPECT_EQ(TransEShared().name(), "TransE-shared");
+  EXPECT_EQ(IPTransE().name(), "IPTransE");
+  EXPECT_EQ(GcnAlignStructural().name(), "GCN-Align");
+  EXPECT_EQ(BootEALite().name(), "BootEA-lite");
+  EXPECT_EQ(JapeLite().name(), "JAPE-lite");
+  EXPECT_EQ(RandomWalkAlign().name(), "RWalk-align");
+  EXPECT_EQ(RepresentationFusionAlign().name(), "RepFusion");
+  EXPECT_EQ(NaeaLite().name(), "NAEA-lite");
+}
+
+TEST_F(BaselinesTest, GcnAlignDeterministic) {
+  GcnAlignStructural a(FastGcn()), b(FastGcn());
+  auto ra = a.Run(bench_->pair).value();
+  auto rb = b.Run(bench_->pair).value();
+  EXPECT_EQ(ra.accuracy, rb.accuracy);
+}
+
+TEST_F(BaselinesTest, BootstrappingDoesNotCollapseAccuracy) {
+  // BootEA-lite with harvesting must stay within a small margin of plain
+  // GCN-Align (it may fluctuate on tiny graphs but not collapse).
+  GcnAlignStructural plain(FastGcn());
+  BootEALite::Options o;
+  o.gcn = FastGcn();
+  o.rounds = 3;
+  BootEALite boot(o);
+  double base = plain.Run(bench_->pair).value().accuracy;
+  double boosted = boot.Run(bench_->pair).value().accuracy;
+  EXPECT_GT(boosted, base * 0.5);
+}
+
+}  // namespace
+}  // namespace ceaff::baselines

@@ -1,0 +1,69 @@
+#include "ceaff/common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ceaff/common/timer.h"
+
+namespace ceaff {
+namespace {
+
+/// Restores the global log level after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotReachStderr) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  CEAFF_LOG(Info) << "should be invisible";
+  CEAFF_LOG(Warning) << "also invisible";
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(captured.empty()) << captured;
+}
+
+TEST_F(LoggingTest, EnabledMessagesCarryLevelAndLocation) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  CEAFF_LOG(Warning) << "watch out " << 42;
+  std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(captured.find("watch out 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilentlyOnTrue) {
+  ::testing::internal::CaptureStderr();
+  CEAFF_CHECK(1 + 1 == 2) << "never printed";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ CEAFF_CHECK(false) << "boom"; }, "check failed: false");
+}
+
+TEST(WallTimerTest, MeasuresElapsedTimeMonotonically) {
+  WallTimer t;
+  double first = t.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  double second = t.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GT(second, first);
+  EXPECT_GE(t.ElapsedMillis(), 15.0 * 0.5);  // allow coarse clocks
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), second);
+}
+
+}  // namespace
+}  // namespace ceaff

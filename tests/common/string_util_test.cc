@@ -1,0 +1,66 @@
+#include "ceaff/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ceaff {
+namespace {
+
+TEST(SplitTest, SplitsOnDelimiterKeepingEmptyFields) {
+  EXPECT_EQ(Split("a\tb\tc", '\t'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a\t\tc", '\t'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  EXPECT_EQ(SplitWhitespace("  foo  bar\tbaz\n"),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StripTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n"), "");
+  EXPECT_EQ(StripAsciiWhitespace("z"), "z");
+}
+
+TEST(CaseTest, AsciiToLowerLeavesHighBytes) {
+  EXPECT_EQ(AsciiToLower("MiXeD 123"), "mixed 123");
+  // UTF-8 multi-byte content must pass through unchanged.
+  EXPECT_EQ(AsciiToLower("\xD0\xB0З"), "\xD0\xB0З");
+}
+
+TEST(AffixTest, StartsWithEndsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.tsv", ".tsv"));
+  EXPECT_FALSE(EndsWith("tsv", "file.tsv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(NormalizeEntityNameTest, ReplacesUnderscoresAndCollapsesRuns) {
+  EXPECT_EQ(NormalizeEntityName("Los_Angeles"), "Los Angeles");
+  EXPECT_EQ(NormalizeEntityName("__a__b__"), "a b");
+  EXPECT_EQ(NormalizeEntityName("a  b"), "a b");
+  EXPECT_EQ(NormalizeEntityName(""), "");
+  EXPECT_EQ(NormalizeEntityName("___"), "");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace ceaff

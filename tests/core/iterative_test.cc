@@ -1,0 +1,76 @@
+#include "ceaff/core/iterative.h"
+
+#include <gtest/gtest.h>
+
+#include "ceaff/data/synthetic.h"
+
+namespace ceaff::core {
+namespace {
+
+data::SyntheticBenchmark MakeBench() {
+  data::SyntheticKgOptions o;
+  o.name = "iterative-test";
+  o.num_entities = 120;
+  o.extra_entities = 0;
+  o.avg_degree = 6.0;
+  o.lang2.script = data::Script::kCjk;  // hard pair: structure matters
+  o.lang2.semantic_noise = 1.2;
+  o.lang2.oov_rate = 0.25;
+  o.embedding_dim = 24;
+  // Few seeds so bootstrapping has headroom.
+  o.seed_fraction = 0.1;
+  o.seed = 314;
+  return data::GenerateBenchmark(o).value();
+}
+
+IterativeCeaffOptions FastOptions() {
+  IterativeCeaffOptions o;
+  o.base.gcn.dim = 32;
+  o.base.gcn.epochs = 40;
+  o.rounds = 2;
+  return o;
+}
+
+TEST(IterativeCeaffTest, RunsAndRecordsRounds) {
+  data::SyntheticBenchmark bench = MakeBench();
+  auto r = RunIterativeCeaff(bench.pair, bench.store, FastOptions());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GE(r->accuracy_per_round.size(), 1u);
+  EXPECT_LE(r->accuracy_per_round.size(), 3u);  // initial + <= 2 rounds
+  EXPECT_EQ(r->final_result.accuracy, r->accuracy_per_round.back());
+  for (size_t p : r->promoted_per_round) EXPECT_GT(p, 0u);
+}
+
+TEST(IterativeCeaffTest, DoesNotDegradeBelowInitialRun) {
+  data::SyntheticBenchmark bench = MakeBench();
+  auto r = RunIterativeCeaff(bench.pair, bench.store, FastOptions());
+  ASSERT_TRUE(r.ok());
+  // Self-training may fluctuate but must not collapse.
+  EXPECT_GE(r->final_result.accuracy,
+            r->accuracy_per_round.front() * 0.8);
+}
+
+TEST(IterativeCeaffTest, ZeroRoundsEqualsPlainCeaff) {
+  data::SyntheticBenchmark bench = MakeBench();
+  IterativeCeaffOptions opt = FastOptions();
+  opt.rounds = 0;
+  auto iter = RunIterativeCeaff(bench.pair, bench.store, opt);
+  ASSERT_TRUE(iter.ok());
+  CeaffPipeline plain(&bench.pair, &bench.store, opt.base);
+  double plain_acc = plain.Run().value().accuracy;
+  EXPECT_DOUBLE_EQ(iter->final_result.accuracy, plain_acc);
+  EXPECT_EQ(iter->accuracy_per_round.size(), 1u);
+}
+
+TEST(IterativeCeaffTest, DeterministicAcrossRuns) {
+  data::SyntheticBenchmark bench = MakeBench();
+  auto a = RunIterativeCeaff(bench.pair, bench.store, FastOptions());
+  auto b = RunIterativeCeaff(bench.pair, bench.store, FastOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->accuracy_per_round, b->accuracy_per_round);
+  EXPECT_EQ(a->promoted_per_round, b->promoted_per_round);
+}
+
+}  // namespace
+}  // namespace ceaff::core

@@ -1,0 +1,207 @@
+#include "ceaff/embed/gcn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ceaff/kg/adjacency.h"
+#include "ceaff/la/ops.h"
+
+namespace ceaff::embed {
+namespace {
+
+/// Two small isomorphic ring KGs with a few chords.
+void MakeRingPair(kg::KnowledgeGraph* g1, kg::KnowledgeGraph* g2,
+                  size_t n = 12) {
+  for (size_t i = 0; i < n; ++i) {
+    std::string a = "u" + std::to_string(i);
+    std::string b = "u" + std::to_string((i + 1) % n);
+    g1->AddTriple(a, "next", b);
+    std::string c = "v" + std::to_string(i);
+    std::string d = "v" + std::to_string((i + 1) % n);
+    g2->AddTriple(c, "next", d);
+  }
+  g1->AddTriple("u0", "chord", "u5");
+  g2->AddTriple("v0", "chord", "v5");
+  g1->AddTriple("u2", "chord", "u8");
+  g2->AddTriple("v2", "chord", "v8");
+}
+
+GcnOptions SmallOptions() {
+  GcnOptions o;
+  o.dim = 16;
+  o.epochs = 50;
+  o.seed = 3;
+  return o;
+}
+
+TEST(GcnAlignerTest, EmbeddingShapesMatchKgs) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  g2.AddEntity("extra");
+  GcnAligner gcn(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2),
+                 SmallOptions());
+  EXPECT_EQ(gcn.embeddings1().rows(), g1.num_entities());
+  EXPECT_EQ(gcn.embeddings2().rows(), g2.num_entities());
+  EXPECT_EQ(gcn.embeddings1().cols(), 16u);
+}
+
+TEST(GcnAlignerTest, TrainRejectsOutOfRangePairs) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  GcnAligner gcn(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2),
+                 SmallOptions());
+  EXPECT_TRUE(gcn.Train({{999, 0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(gcn.Train({{0, 999}}).status().IsInvalidArgument());
+}
+
+TEST(GcnAlignerTest, TrainWithNoSeedsIsNoop) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  GcnAligner gcn(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2),
+                 SmallOptions());
+  auto loss = gcn.Train({});
+  ASSERT_TRUE(loss.ok());
+  EXPECT_EQ(loss.value(), 0.0);
+}
+
+TEST(GcnAlignerTest, TrainingReducesLossAndAlignsSeeds) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  std::vector<kg::AlignmentPair> seeds;
+  for (uint32_t i = 0; i < 6; ++i) seeds.push_back({i, i});
+
+  GcnOptions opt = SmallOptions();
+  opt.epochs = 1;
+  opt.tie_seed_features = false;
+  GcnAligner gcn(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2), opt);
+  double first = gcn.Train(seeds).value();
+  double last = first;
+  for (int e = 0; e < 80; ++e) last = gcn.Train(seeds).value();
+  EXPECT_LT(last, first);
+
+  // Seed pairs should now be mutually most-similar more often than chance.
+  la::Matrix sim =
+      la::CosineSimilarity(gcn.embeddings1(), gcn.embeddings2());
+  size_t hits = 0;
+  for (const kg::AlignmentPair& p : seeds) {
+    if (la::RowTopK(sim, p.source, 1)[0] == p.target) ++hits;
+  }
+  EXPECT_GE(hits, 4u);
+}
+
+TEST(GcnAlignerTest, DeterministicAcrossRuns) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  std::vector<kg::AlignmentPair> seeds{{0, 0}, {3, 3}, {7, 7}};
+  GcnAligner a(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2),
+               SmallOptions());
+  GcnAligner b(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2),
+               SmallOptions());
+  EXPECT_EQ(a.Train(seeds).value(), b.Train(seeds).value());
+  for (size_t i = 0; i < a.embeddings1().size(); ++i) {
+    EXPECT_EQ(a.embeddings1().data()[i], b.embeddings1().data()[i]);
+  }
+}
+
+TEST(GcnAlignerTest, WeightTransformModeAlsoTrains) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  std::vector<kg::AlignmentPair> seeds{{0, 0}, {3, 3}, {6, 6}, {9, 9}};
+  GcnOptions opt = SmallOptions();
+  opt.use_weight_transform = true;
+  opt.epochs = 1;
+  GcnAligner gcn(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2), opt);
+  double first = gcn.Train(seeds).value();
+  double last = first;
+  for (int e = 0; e < 60; ++e) last = gcn.Train(seeds).value();
+  EXPECT_LT(last, first);
+  EXPECT_FALSE(std::isnan(gcn.embeddings1().FrobeniusNorm()));
+}
+
+TEST(GcnAlignerTest, NumParametersAccounting) {
+  kg::KnowledgeGraph g1, g2;
+  MakeRingPair(&g1, &g2);
+  GcnOptions opt = SmallOptions();
+  opt.train_inputs = false;
+  GcnAligner gcn(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2), opt);
+  EXPECT_EQ(gcn.NumParameters(), 2 * 16u * 16u);
+  opt.train_inputs = true;
+  GcnAligner gcn2(kg::BuildAdjacency(g1), kg::BuildAdjacency(g2), opt);
+  EXPECT_EQ(gcn2.NumParameters(),
+            2 * 16u * 16u + (g1.num_entities() + g2.num_entities()) * 16u);
+}
+
+TEST(SampleNegativesTest, CorruptsExactlyOneSide) {
+  std::vector<kg::AlignmentPair> pos{{1, 2}, {3, 4}};
+  Rng rng(5);
+  std::vector<NegativePair> negs = SampleNegatives(pos, 10, 10, 7, &rng);
+  EXPECT_EQ(negs.size(), 14u);
+  for (const NegativePair& n : negs) {
+    const kg::AlignmentPair& p = pos[n.positive_index];
+    bool src_same = n.source == p.source;
+    bool tgt_same = n.target == p.target;
+    EXPECT_TRUE(src_same || tgt_same);
+    EXPECT_LT(n.source, 10u);
+    EXPECT_LT(n.target, 10u);
+  }
+}
+
+TEST(SampleHardNegativesTest, DrawsFromNearestNeighbours) {
+  // z1: three well-separated clusters; the nearest entity to 0 is 1.
+  la::Matrix z1 = la::Matrix::FromRows(
+      {{1, 0}, {0.95f, 0.05f}, {0, 1}, {-1, 0}});
+  la::Matrix z2 = z1;
+  std::vector<kg::AlignmentPair> pos{{0, 0}};
+  Rng rng(7);
+  std::vector<NegativePair> negs =
+      SampleHardNegatives(pos, z1, z2, 20, 1, &rng);
+  for (const NegativePair& n : negs) {
+    // With topk = 1 the only allowed corruption on either side is index 1.
+    bool corrupt_src = n.source != 0;
+    bool corrupt_tgt = n.target != 0;
+    EXPECT_NE(corrupt_src, corrupt_tgt);
+    if (corrupt_src) {
+      EXPECT_EQ(n.source, 1u);
+    }
+    if (corrupt_tgt) {
+      EXPECT_EQ(n.target, 1u);
+    }
+  }
+}
+
+TEST(MarginLossTest, ZeroWhenNegativesFarBeyondMargin) {
+  la::Matrix z1 = la::Matrix::FromRows({{0, 0}, {100, 100}});
+  la::Matrix z2 = la::Matrix::FromRows({{0, 0}, {-100, -100}});
+  std::vector<kg::AlignmentPair> pos{{0, 0}};
+  std::vector<NegativePair> negs{{0, 1, 0}, {0, 0, 1}};
+  la::Matrix d1(2, 2), d2(2, 2);
+  double loss = MarginRankingLossGrad(z1, z2, pos, negs, 3.0f, &d1, &d2);
+  EXPECT_EQ(loss, 0.0);
+  EXPECT_EQ(d1.FrobeniusNorm(), 0.0f);
+  EXPECT_EQ(d2.FrobeniusNorm(), 0.0f);
+}
+
+TEST(MarginLossTest, GradientMatchesFiniteDifference) {
+  Rng rng(11);
+  la::Matrix z1 = la::Matrix::TruncatedNormal(4, 3, 1.0f, &rng);
+  la::Matrix z2 = la::Matrix::TruncatedNormal(4, 3, 1.0f, &rng);
+  std::vector<kg::AlignmentPair> pos{{0, 0}, {1, 1}};
+  std::vector<NegativePair> negs{{0, 2, 0}, {0, 0, 3}, {1, 3, 1}};
+  la::Matrix d1(4, 3), d2(4, 3);
+  double base = MarginRankingLossGrad(z1, z2, pos, negs, 3.0f, &d1, &d2);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < z1.size(); ++i) {
+    float saved = z1.data()[i];
+    z1.data()[i] = saved + eps;
+    la::Matrix t1(4, 3), t2(4, 3);
+    double up = MarginRankingLossGrad(z1, z2, pos, negs, 3.0f, &t1, &t2);
+    z1.data()[i] = saved;
+    double numeric = (up - base) / eps;
+    // The L1 subgradient is exact except at kinks; allow loose tolerance.
+    EXPECT_NEAR(numeric, d1.data()[i], 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace ceaff::embed

@@ -1,0 +1,101 @@
+#include "ceaff/embed/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ceaff/la/ops.h"
+
+namespace ceaff::embed {
+namespace {
+
+double Cosine(const la::Matrix& emb, size_t a, size_t b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t c = 0; c < emb.cols(); ++c) {
+    dot += emb.at(a, c) * emb.at(b, c);
+    na += emb.at(a, c) * emb.at(a, c);
+    nb += emb.at(b, c) * emb.at(b, c);
+  }
+  if (na == 0 || nb == 0) return 0;
+  return dot / std::sqrt(na * nb);
+}
+
+RandomWalkOptions SmallOptions() {
+  RandomWalkOptions o;
+  o.dim = 16;
+  o.walks_per_node = 6;
+  o.walk_length = 10;
+  o.epochs = 2;
+  o.seed = 5;
+  return o;
+}
+
+TEST(RandomWalkTest, RejectsOutOfRangeEdges) {
+  RandomWalkEmbedder e(4, SmallOptions());
+  EXPECT_TRUE(e.Train({{0, 9}}).IsInvalidArgument());
+  EXPECT_TRUE(e.Train({{9, 0}}).IsInvalidArgument());
+}
+
+TEST(RandomWalkTest, EmbeddingShape) {
+  RandomWalkEmbedder e(7, SmallOptions());
+  ASSERT_TRUE(e.Train({{0, 1}, {1, 2}}).ok());
+  EXPECT_EQ(e.embeddings().rows(), 7u);
+  EXPECT_EQ(e.embeddings().cols(), 16u);
+  EXPECT_FALSE(std::isnan(e.embeddings().FrobeniusNorm()));
+}
+
+TEST(RandomWalkTest, CommunityStructureSeparates) {
+  // Two 5-cliques joined by one bridge edge: within-clique nodes must end
+  // up closer than cross-clique nodes.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 0; i < 5; ++i) {
+    for (uint32_t j = i + 1; j < 5; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({i + 5, j + 5});
+    }
+  }
+  edges.push_back({0, 5});  // bridge
+  RandomWalkOptions o = SmallOptions();
+  o.epochs = 4;
+  RandomWalkEmbedder e(10, o);
+  ASSERT_TRUE(e.Train(edges).ok());
+  double within = Cosine(e.embeddings(), 1, 2);
+  double across = Cosine(e.embeddings(), 1, 7);
+  EXPECT_GT(within, across);
+}
+
+TEST(RandomWalkTest, DeterministicForSeed) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges{{0, 1}, {1, 2}, {2, 0}};
+  RandomWalkEmbedder a(3, SmallOptions());
+  RandomWalkEmbedder b(3, SmallOptions());
+  ASSERT_TRUE(a.Train(edges).ok());
+  ASSERT_TRUE(b.Train(edges).ok());
+  for (size_t i = 0; i < a.embeddings().size(); ++i) {
+    EXPECT_EQ(a.embeddings().data()[i], b.embeddings().data()[i]);
+  }
+}
+
+TEST(RandomWalkTest, IsolatedNodesKeepInit) {
+  RandomWalkEmbedder trained(3, SmallOptions());
+  RandomWalkEmbedder untouched(3, SmallOptions());
+  ASSERT_TRUE(trained.Train({{0, 1}}).ok());
+  // Node 2 has no edges: identical to its initialisation.
+  for (size_t c = 0; c < 16; ++c) {
+    EXPECT_EQ(trained.embeddings().at(2, c), untouched.embeddings().at(2, c));
+  }
+}
+
+TEST(MergedEdgeListTest, OffsetsAndAnchors) {
+  kg::KgPair pair;
+  pair.kg1.AddTriple("a", "r", "b");
+  pair.kg2.AddTriple("x", "r", "y");
+  std::vector<kg::AlignmentPair> anchors{{0, 1}};
+  auto edges = MergedEdgeList(pair, anchors);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (std::pair<uint32_t, uint32_t>{0, 1}));    // kg1 a-b
+  EXPECT_EQ(edges[1], (std::pair<uint32_t, uint32_t>{2, 3}));    // kg2 x-y
+  EXPECT_EQ(edges[2], (std::pair<uint32_t, uint32_t>{0, 3}));    // anchor
+}
+
+}  // namespace
+}  // namespace ceaff::embed

@@ -1,0 +1,118 @@
+#include "ceaff/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ceaff::eval {
+namespace {
+
+TEST(AccuracyTest, CountsExactMatches) {
+  matching::MatchResult r;
+  r.target_of_source = {0, 2, 1, -1};
+  std::vector<int64_t> gold = {0, 1, 1, 3};
+  // Row 0 correct, row 1 wrong, row 2 correct, row 3 unmatched.
+  EXPECT_DOUBLE_EQ(Accuracy(r, gold), 0.5);
+}
+
+TEST(AccuracyTest, EmptyGoldIsZero) {
+  matching::MatchResult r;
+  std::vector<int64_t> gold;
+  EXPECT_DOUBLE_EQ(Accuracy(r, gold), 0.0);
+}
+
+TEST(AccuracyTest, UnmatchedNeverCounts) {
+  matching::MatchResult r;
+  r.target_of_source = {-1, -1};
+  std::vector<int64_t> gold = {0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(r, gold), 0.0);
+}
+
+TEST(RankingMetricsTest, PerfectDiagonal) {
+  la::Matrix m = la::Matrix::FromRows(
+      {{0.9f, 0.1f, 0.0f}, {0.0f, 0.8f, 0.1f}, {0.1f, 0.0f, 0.7f}});
+  std::vector<int64_t> gold = {0, 1, 2};
+  RankingMetrics r = ComputeRankingMetrics(m, gold);
+  EXPECT_DOUBLE_EQ(r.hits_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(r.hits_at_10, 1.0);
+  EXPECT_DOUBLE_EQ(r.mrr, 1.0);
+}
+
+TEST(RankingMetricsTest, KnownRanks) {
+  // Gold of row 0 ranks 2nd; gold of row 1 ranks 1st.
+  la::Matrix m = la::Matrix::FromRows({{0.5f, 0.9f}, {0.1f, 0.6f}});
+  std::vector<int64_t> gold = {0, 1};
+  RankingMetrics r = ComputeRankingMetrics(m, gold);
+  EXPECT_DOUBLE_EQ(r.hits_at_1, 0.5);
+  EXPECT_DOUBLE_EQ(r.hits_at_10, 1.0);
+  EXPECT_DOUBLE_EQ(r.mrr, (0.5 + 1.0) / 2.0);
+}
+
+TEST(RankingMetricsTest, TieBreaksByLowerIndexOptimistically) {
+  la::Matrix m = la::Matrix::FromRows({{0.5f, 0.5f}});
+  // Gold at column 0: rank 1 despite the tie with column 1.
+  EXPECT_DOUBLE_EQ(ComputeRankingMetrics(m, {0}).hits_at_1, 1.0);
+  // Gold at column 1: loses the tie to column 0 -> rank 2.
+  EXPECT_DOUBLE_EQ(ComputeRankingMetrics(m, {1}).hits_at_1, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeRankingMetrics(m, {1}).mrr, 0.5);
+}
+
+TEST(RankingMetricsTest, Hits10CoversTopTenOnly) {
+  la::Matrix m(1, 20);
+  for (size_t j = 0; j < 20; ++j) {
+    m.at(0, j) = 1.0f - 0.01f * static_cast<float>(j);
+  }
+  // Gold at column 9 -> rank 10 -> inside Hits@10.
+  EXPECT_DOUBLE_EQ(ComputeRankingMetrics(m, {9}).hits_at_10, 1.0);
+  // Gold at column 10 -> rank 11 -> outside.
+  EXPECT_DOUBLE_EQ(ComputeRankingMetrics(m, {10}).hits_at_10, 0.0);
+}
+
+TEST(HitsAtKTest, MatchesRankingMetrics) {
+  la::Matrix m = la::Matrix::FromRows({{0.1f, 0.9f, 0.5f},
+                                       {0.7f, 0.2f, 0.3f}});
+  std::vector<int64_t> gold = {2, 0};
+  RankingMetrics r = ComputeRankingMetrics(m, gold);
+  EXPECT_DOUBLE_EQ(HitsAtK(m, gold, 1), r.hits_at_1);
+  EXPECT_DOUBLE_EQ(HitsAtK(m, gold, 10), r.hits_at_10);
+  EXPECT_DOUBLE_EQ(HitsAtK(m, gold, 2), 1.0);
+}
+
+TEST(HitsAtKTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(HitsAtK(la::Matrix(), {}, 1), 0.0);
+}
+
+
+TEST(PrMetricsTest, TotalMatchingEqualsAccuracy) {
+  matching::MatchResult r;
+  r.target_of_source = {0, 2, 2};
+  std::vector<int64_t> gold = {0, 1, 2};
+  PrMetrics m = ComputePrMetrics(r, gold);
+  EXPECT_EQ(m.decided, 3u);
+  EXPECT_EQ(m.correct, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.precision, Accuracy(r, gold));
+}
+
+TEST(PrMetricsTest, AbstentionsRaisePrecisionNotRecall) {
+  matching::MatchResult r;
+  r.target_of_source = {0, -1, -1, 3};
+  std::vector<int64_t> gold = {0, 1, 2, 3};
+  PrMetrics m = ComputePrMetrics(r, gold);
+  EXPECT_EQ(m.decided, 2u);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+  EXPECT_DOUBLE_EQ(m.f1, 2.0 / 3.0);
+}
+
+TEST(PrMetricsTest, NoDecisionsIsAllZero) {
+  matching::MatchResult r;
+  r.target_of_source = {-1, -1};
+  PrMetrics m = ComputePrMetrics(r, {0, 1});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace ceaff::eval

@@ -1,0 +1,180 @@
+// End-to-end integration tests: the paper's headline qualitative claims
+// must hold on the synthetic benchmarks (shape, not absolute numbers).
+
+#include <gtest/gtest.h>
+
+#include "ceaff/core/pipeline.h"
+#include "ceaff/data/synthetic.h"
+#include "ceaff/common/random.h"
+#include "ceaff/kg/io.h"
+
+namespace ceaff {
+namespace {
+
+core::CeaffOptions BenchOptions() {
+  core::CeaffOptions o;
+  o.gcn.dim = 64;
+  o.gcn.epochs = 100;
+  return o;
+}
+
+double RunAccuracy(const data::SyntheticBenchmark& bench,
+                   const core::CeaffOptions& options) {
+  core::CeaffPipeline pipe(&bench.pair, &bench.store, options);
+  return pipe.Run().value().accuracy;
+}
+
+TEST(IntegrationTest, MonoLingualReachesNearPerfectAccuracy) {
+  // Table IV: CEAFF reaches accuracy 1.0 on mono-lingual benchmarks, where
+  // the string feature is near-perfectly informative.
+  auto cfg = data::BenchmarkConfigByName("SRPRS_DBP_WD", 0.2).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  EXPECT_GE(RunAccuracy(bench, BenchOptions()), 0.97);
+}
+
+TEST(IntegrationTest, CollectiveBeatsIndependentOnHardCrossLingual) {
+  // Table V (ZH-EN): "w/o C" costs accuracy on distant language pairs.
+  auto cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", 0.2).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions collective = BenchOptions();
+  core::CeaffOptions independent = BenchOptions();
+  independent.decision_mode = core::DecisionMode::kIndependent;
+  double acc_c = RunAccuracy(bench, collective);
+  double acc_i = RunAccuracy(bench, independent);
+  EXPECT_GE(acc_c, acc_i - 1e-9);
+  EXPECT_GT(acc_c, 0.55);
+}
+
+TEST(IntegrationTest, StringFeatureMattersMonoLingually) {
+  // Table V: removing Ml hurts mono-lingual accuracy.
+  auto cfg = data::BenchmarkConfigByName("SRPRS_DBP_YG", 0.2).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions with_ml = BenchOptions();
+  core::CeaffOptions without_ml = BenchOptions();
+  without_ml.use_string = false;
+  EXPECT_GE(RunAccuracy(bench, with_ml),
+            RunAccuracy(bench, without_ml) - 1e-9);
+}
+
+TEST(IntegrationTest, StringFeatureUselessOnDistantLanguages) {
+  // Sec. VII-D: string similarity contributes nothing for ZH-EN; removing
+  // it must not cost more than a whisker.
+  auto cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", 0.2).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions without_ml = BenchOptions();
+  without_ml.use_string = false;
+  double with = RunAccuracy(bench, BenchOptions());
+  double without = RunAccuracy(bench, without_ml);
+  EXPECT_NEAR(with, without, 0.1);
+}
+
+TEST(IntegrationTest, AdaptiveFusionAtLeastMatchesFixedWeights) {
+  // Table V: CEAFF vs CEAFF w/o AFF.
+  auto cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", 0.2).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions fixed = BenchOptions();
+  fixed.fusion_mode = core::FusionMode::kFixed;
+  EXPECT_GE(RunAccuracy(bench, BenchOptions()),
+            RunAccuracy(bench, fixed) - 0.02);
+}
+
+TEST(IntegrationTest, PipelineSurvivesKgPairRoundTrip) {
+  // Generate -> save -> load -> run: the I/O layer preserves everything
+  // the pipeline needs.
+  auto cfg = data::BenchmarkConfigByName("SRPRS_EN_DE", 0.15).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  std::string dir = ::testing::TempDir() + "/ceaff_roundtrip";
+  ASSERT_TRUE(kg::SaveKgPair(bench.pair, dir).ok());
+  kg::KgPair loaded;
+  ASSERT_TRUE(kg::LoadKgPair(dir, &loaded).ok());
+  ASSERT_EQ(loaded.test_alignment.size(), bench.pair.test_alignment.size());
+
+  data::SyntheticBenchmark reloaded;
+  reloaded.pair = std::move(loaded);
+  reloaded.store = bench.store;
+  double acc_orig = RunAccuracy(bench, BenchOptions());
+  double acc_loaded = RunAccuracy(reloaded, BenchOptions());
+  // Entity ids are interned in file order, which matches creation order —
+  // results must be identical.
+  EXPECT_DOUBLE_EQ(acc_orig, acc_loaded);
+}
+
+TEST(IntegrationTest, CloseLanguagesEasierThanDistantOnes) {
+  // Table III: FR-EN >> ZH-EN for text-aware methods.
+  auto zh_cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", 0.15).value();
+  auto fr_cfg = data::BenchmarkConfigByName("DBP15K_FR_EN", 0.15).value();
+  auto zh = data::GenerateBenchmark(zh_cfg).value();
+  auto fr = data::GenerateBenchmark(fr_cfg).value();
+  EXPECT_GT(RunAccuracy(fr, BenchOptions()),
+            RunAccuracy(zh, BenchOptions()));
+}
+
+
+TEST(IntegrationTest, AccuracyInvariantToTestOrderPermutation) {
+  // Rows/columns of the decision space follow test_alignment order;
+  // shuffling that order must not change accuracy (it permutes both
+  // sides consistently).
+  auto cfg = data::BenchmarkConfigByName("SRPRS_EN_FR", 0.15).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  double base = RunAccuracy(bench, BenchOptions());
+
+  data::SyntheticBenchmark shuffled = bench;
+  Rng rng(123);
+  rng.Shuffle(&shuffled.pair.test_alignment);
+  double permuted = RunAccuracy(shuffled, BenchOptions());
+  EXPECT_DOUBLE_EQ(base, permuted);
+}
+
+TEST(IntegrationTest, HungarianAndDaaBothNearOptimalOnFusedMatrix) {
+  // Sec. VI: stable matching is competitive with max-weight matching in
+  // outcome while being cheaper; on real fused matrices their accuracies
+  // should be close.
+  auto cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", 0.15).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions daa = BenchOptions();
+  core::CeaffOptions hung = BenchOptions();
+  hung.decision_mode = core::DecisionMode::kHungarian;
+  double daa_acc = RunAccuracy(bench, daa);
+  double hung_acc = RunAccuracy(bench, hung);
+  EXPECT_NEAR(daa_acc, hung_acc, 0.08);
+}
+
+TEST(IntegrationTest, AttributesHelpWhereTextIsWeak) {
+  // Extension shape (ext_attributes bench): the 4th feature lifts the
+  // hardest pair.
+  auto cfg = data::BenchmarkConfigByName("DBP15K_ZH_EN", 0.15).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions with_attr = BenchOptions();
+  with_attr.use_attribute = true;
+  EXPECT_GE(RunAccuracy(bench, with_attr) + 0.03,
+            RunAccuracy(bench, BenchOptions()));
+}
+
+
+// Every standard benchmark config must generate and align far above chance
+// even at a tiny scale — the configuration sweep that protects the nine
+// named dataset recipes.
+class StandardConfigSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StandardConfigSweep, PipelineBeatsChanceOnEveryConfig) {
+  auto cfg = data::BenchmarkConfigByName(GetParam(), 0.1).value();
+  auto bench = data::GenerateBenchmark(cfg).value();
+  core::CeaffOptions o;
+  o.gcn.dim = 32;
+  o.gcn.epochs = 40;
+  core::CeaffPipeline pipe(&bench.pair, &bench.store, o);
+  auto r = pipe.Run();
+  ASSERT_TRUE(r.ok()) << r.status();
+  double chance =
+      1.0 / static_cast<double>(bench.pair.test_alignment.size());
+  EXPECT_GT(r.value().accuracy, 10 * chance) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, StandardConfigSweep,
+    ::testing::Values("DBP15K_ZH_EN", "DBP15K_JA_EN", "DBP15K_FR_EN",
+                      "DBP100K_DBP_WD", "DBP100K_DBP_YG", "SRPRS_EN_FR",
+                      "SRPRS_EN_DE", "SRPRS_DBP_WD", "SRPRS_DBP_YG"));
+
+}  // namespace
+}  // namespace ceaff

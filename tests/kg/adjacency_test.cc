@@ -1,0 +1,138 @@
+#include "ceaff/kg/adjacency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ceaff::kg {
+namespace {
+
+KnowledgeGraph StarGraph() {
+  // hub --r--> leaf1..leaf3 ; leaf1 --f--> leaf2 (f is functional).
+  KnowledgeGraph g;
+  g.AddTriple("hub", "r", "leaf1");
+  g.AddTriple("hub", "r", "leaf2");
+  g.AddTriple("hub", "r", "leaf3");
+  g.AddTriple("leaf1", "f", "leaf2");
+  return g;
+}
+
+TEST(FunctionalityTest, ComputesHeadAndTailRatios) {
+  KnowledgeGraph g = StarGraph();
+  RelationFunctionality f = ComputeFunctionality(g);
+  RelationId r = g.FindRelation("r").value();
+  RelationId fr = g.FindRelation("f").value();
+  // r: 1 distinct head over 3 triples, 3 distinct tails over 3 triples.
+  EXPECT_NEAR(f.fun[r], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(f.ifun[r], 1.0, 1e-9);
+  // f: single triple, fully functional both ways.
+  EXPECT_NEAR(f.fun[fr], 1.0, 1e-9);
+  EXPECT_NEAR(f.ifun[fr], 1.0, 1e-9);
+}
+
+TEST(FunctionalityTest, UnusedRelationScoresZero) {
+  KnowledgeGraph g;
+  g.AddEntity("a");
+  g.AddRelation("never");
+  RelationFunctionality f = ComputeFunctionality(g);
+  EXPECT_EQ(f.fun[0], 0.0);
+  EXPECT_EQ(f.ifun[0], 0.0);
+}
+
+TEST(AdjacencyTest, UnweightedUnnormalizedStructure) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  AdjacencyOptions opt;
+  opt.functionality_weighted = false;
+  opt.add_self_loops = false;
+  opt.symmetric_normalize = false;
+  la::SparseMatrix a = BuildAdjacency(g, opt);
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.at(0, 1), 1.0f);  // forward edge
+  EXPECT_EQ(a.at(1, 0), 1.0f);  // reverse edge
+  EXPECT_EQ(a.at(0, 0), 0.0f);  // no self-loop requested
+}
+
+TEST(AdjacencyTest, SelfLoopsAdded) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  AdjacencyOptions opt;
+  opt.functionality_weighted = false;
+  opt.symmetric_normalize = false;
+  la::SparseMatrix a = BuildAdjacency(g, opt);
+  EXPECT_EQ(a.at(0, 0), 1.0f);
+  EXPECT_EQ(a.at(1, 1), 1.0f);
+}
+
+TEST(AdjacencyTest, FunctionalityWeightsApplied) {
+  KnowledgeGraph g = StarGraph();
+  AdjacencyOptions opt;
+  opt.add_self_loops = false;
+  opt.symmetric_normalize = false;
+  la::SparseMatrix a = BuildAdjacency(g, opt);
+  EntityId hub = g.FindEntity("hub").value();
+  EntityId leaf1 = g.FindEntity("leaf1").value();
+  // Forward hub->leaf1 carries ifun(r) = 1; reverse carries fun(r) = 1/3.
+  EXPECT_NEAR(a.at(hub, leaf1), 1.0f, 1e-6);
+  EXPECT_NEAR(a.at(leaf1, hub), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(AdjacencyTest, SelfLoopTripleAccumulatesBothDirections) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "a");
+  AdjacencyOptions opt;
+  opt.functionality_weighted = false;
+  opt.add_self_loops = false;
+  opt.symmetric_normalize = false;
+  la::SparseMatrix a = BuildAdjacency(g, opt);
+  // One triple contributes forward + backward onto the diagonal once.
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+}
+
+TEST(AdjacencyTest, UnweightedDefaultIsSymmetric) {
+  // Without functionality weighting, forward and reverse edges carry the
+  // same weight and the normalised matrix is symmetric.
+  KnowledgeGraph g = StarGraph();
+  AdjacencyOptions opt;
+  opt.functionality_weighted = false;
+  la::SparseMatrix a = BuildAdjacency(g, opt);
+  ASSERT_EQ(a.rows(), a.cols());
+  la::Matrix d = a.ToDense();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_NEAR(d.at(i, j), d.at(j, i), 1e-5);
+    }
+  }
+}
+
+TEST(AdjacencyTest, WeightedDefaultIsNormalizedAndNonNegative) {
+  // With functionality weighting the matrix is generally asymmetric
+  // (ifun(r) forward vs fun(r) backward) but entries stay in [0, 1].
+  KnowledgeGraph g = StarGraph();
+  la::SparseMatrix a = BuildAdjacency(g);
+  la::Matrix d = a.ToDense();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_GE(d.at(i, j), 0.0f);
+      EXPECT_LE(d.at(i, j), 1.0f + 1e-5);
+    }
+  }
+  // The star hub's forward edges (ifun = 1) outweigh the leaves' reverse
+  // edges (fun = 1/3).
+  EntityId hub = g.FindEntity("hub").value();
+  EntityId leaf3 = g.FindEntity("leaf3").value();
+  EXPECT_GT(d.at(hub, leaf3), d.at(leaf3, hub));
+}
+
+TEST(AdjacencyTest, IsolatedEntityGetsOnlySelfLoop) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  g.AddEntity("lonely");
+  la::SparseMatrix a = BuildAdjacency(g);
+  EntityId lonely = g.FindEntity("lonely").value();
+  EXPECT_NEAR(a.at(lonely, lonely), 1.0f, 1e-6);
+  EXPECT_EQ(a.at(lonely, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace ceaff::kg

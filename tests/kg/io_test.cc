@@ -1,0 +1,210 @@
+#include "ceaff/kg/io.h"
+
+#include <gtest/gtest.h>
+
+#include "ceaff/common/logging.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ceaff::kg {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ceaff_io_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TriplesRoundTrip) {
+  KnowledgeGraph g;
+  g.AddTriple("e/a", "r/p", "e/b");
+  g.AddTriple("e/b", "r/q", "e/c");
+  ASSERT_TRUE(SaveTriplesTsv(g, Path("t.tsv")).ok());
+
+  KnowledgeGraph loaded;
+  ASSERT_TRUE(LoadTriplesTsv(Path("t.tsv"), &loaded).ok());
+  EXPECT_EQ(loaded.num_entities(), 3u);
+  EXPECT_EQ(loaded.num_relations(), 2u);
+  EXPECT_EQ(loaded.num_triples(), 2u);
+  EXPECT_TRUE(loaded.FindEntity("e/c").ok());
+}
+
+TEST_F(IoTest, LoadSkipsCommentsAndBlankLines) {
+  WriteFile("t.tsv", "# header\n\na\tr\tb\n   \na\tr\tc\n");
+  KnowledgeGraph g;
+  ASSERT_TRUE(LoadTriplesTsv(Path("t.tsv"), &g).ok());
+  EXPECT_EQ(g.num_triples(), 2u);
+}
+
+TEST_F(IoTest, LoadRejectsMalformedLine) {
+  WriteFile("bad.tsv", "a\tb\n");
+  KnowledgeGraph g;
+  Status s = LoadTriplesTsv(Path("bad.tsv"), &g);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find(":1:"), std::string::npos);
+}
+
+TEST_F(IoTest, LoadMissingFileIsIOError) {
+  KnowledgeGraph g;
+  EXPECT_TRUE(LoadTriplesTsv(Path("nope.tsv"), &g).IsIOError());
+}
+
+TEST_F(IoTest, AlignmentRoundTrip) {
+  KnowledgeGraph g1, g2;
+  g1.AddTriple("a1", "r", "b1");
+  g2.AddTriple("a2", "r", "b2");
+  std::vector<AlignmentPair> pairs{
+      {g1.FindEntity("a1").value(), g2.FindEntity("a2").value()},
+      {g1.FindEntity("b1").value(), g2.FindEntity("b2").value()}};
+  ASSERT_TRUE(SaveAlignmentTsv(pairs, g1, g2, Path("links.tsv")).ok());
+  std::vector<AlignmentPair> loaded;
+  ASSERT_TRUE(LoadAlignmentTsv(Path("links.tsv"), g1, g2, &loaded).ok());
+  EXPECT_EQ(loaded, pairs);
+}
+
+TEST_F(IoTest, AlignmentUnknownUriIsNotFound) {
+  WriteFile("links.tsv", "ghost\tb2\n");
+  KnowledgeGraph g1, g2;
+  g1.AddEntity("a1");
+  g2.AddEntity("b2");
+  std::vector<AlignmentPair> loaded;
+  EXPECT_TRUE(
+      LoadAlignmentTsv(Path("links.tsv"), g1, g2, &loaded).IsNotFound());
+}
+
+TEST_F(IoTest, KgPairRoundTrip) {
+  KgPair pair;
+  pair.name = "toy";
+  pair.kg1.AddTriple("u1", "r", "u2");
+  pair.kg2.AddTriple("v1", "r", "v2");
+  pair.seed_alignment.push_back({0, 0});
+  pair.test_alignment.push_back({1, 1});
+  ASSERT_TRUE(SaveKgPair(pair, Path("pair")).ok());
+
+  KgPair loaded;
+  ASSERT_TRUE(LoadKgPair(Path("pair"), &loaded).ok());
+  EXPECT_EQ(loaded.kg1.num_triples(), 1u);
+  EXPECT_EQ(loaded.kg2.num_triples(), 1u);
+  EXPECT_EQ(loaded.seed_alignment, pair.seed_alignment);
+  EXPECT_EQ(loaded.test_alignment, pair.test_alignment);
+}
+
+
+TEST_F(IoTest, EntitiesRoundTripPreservesNamesAndIsolatedEntities) {
+  KnowledgeGraph g;
+  g.AddEntity("e/a", "Alpha Prime");
+  g.AddEntity("e/b", "Beta");
+  g.AddEntity("e/isolated", "Lonely One");
+  ASSERT_TRUE(SaveEntitiesTsv(g, Path("e.tsv")).ok());
+  KnowledgeGraph loaded;
+  ASSERT_TRUE(LoadEntitiesTsv(Path("e.tsv"), &loaded).ok());
+  ASSERT_EQ(loaded.num_entities(), 3u);
+  EXPECT_EQ(loaded.entity_name(0), "Alpha Prime");
+  EXPECT_EQ(loaded.entity_name(2), "Lonely One");
+  EXPECT_EQ(loaded.FindEntity("e/isolated").value(), 2u);
+}
+
+TEST_F(IoTest, KgPairRoundTripKeepsIsolatedEntitiesAndNames) {
+  KgPair pair;
+  pair.name = "toy";
+  pair.kg1.AddTriple("u1", "r", "u2");
+  pair.kg1.AddEntity("u_isolated", "Island");
+  pair.kg2.AddTriple("v1", "r", "v2");
+  pair.kg2.AddEntity("v_isolated", "Insel");
+  pair.seed_alignment.push_back({0, 0});
+  pair.test_alignment.push_back(
+      {pair.kg1.FindEntity("u_isolated").value(),
+       pair.kg2.FindEntity("v_isolated").value()});
+  ASSERT_TRUE(SaveKgPair(pair, Path("pair2")).ok());
+  KgPair loaded;
+  ASSERT_TRUE(LoadKgPair(Path("pair2"), &loaded).ok());
+  EXPECT_EQ(loaded.kg1.num_entities(), 3u);
+  EXPECT_EQ(loaded.kg1.entity_name(loaded.test_alignment[0].source),
+            "Island");
+  EXPECT_EQ(loaded.kg2.entity_name(loaded.test_alignment[0].target),
+            "Insel");
+}
+
+
+TEST_F(IoTest, AttributeTriplesRoundTrip) {
+  KnowledgeGraph g;
+  g.AddEntity("e1");
+  g.AddEntity("e2");
+  AttributeId by = g.AddAttribute("birthYear");
+  AttributeId mo = g.AddAttribute("motto");
+  CEAFF_CHECK(g.AddAttributeTriple(0, by, "1969").ok());
+  CEAFF_CHECK(g.AddAttributeTriple(1, mo, "semper fidelis").ok());
+  ASSERT_TRUE(SaveAttributeTriplesTsv(g, Path("attrs.tsv")).ok());
+
+  KnowledgeGraph loaded;
+  loaded.AddEntity("e1");
+  loaded.AddEntity("e2");
+  ASSERT_TRUE(LoadAttributeTriplesTsv(Path("attrs.tsv"), &loaded).ok());
+  ASSERT_EQ(loaded.num_attribute_triples(), 2u);
+  EXPECT_EQ(loaded.attribute_triples()[0].value, "1969");
+  EXPECT_EQ(loaded.attribute_triples()[1].value, "semper fidelis");
+  EXPECT_TRUE(loaded.FindAttribute("motto").ok());
+}
+
+TEST_F(IoTest, AttributeTriplesUnknownEntityFails) {
+  WriteFile("attrs.tsv", "ghost\tbirthYear\t1969\n");
+  KnowledgeGraph g;
+  g.AddEntity("e1");
+  EXPECT_TRUE(
+      LoadAttributeTriplesTsv(Path("attrs.tsv"), &g).IsNotFound());
+}
+
+TEST_F(IoTest, KgPairRoundTripCarriesAttributes) {
+  KgPair pair;
+  pair.kg1.AddTriple("u1", "r", "u2");
+  pair.kg2.AddTriple("v1", "r", "v2");
+  AttributeId a = pair.kg1.AddAttribute("pop");
+  CEAFF_CHECK(pair.kg1.AddAttributeTriple(0, a, "42").ok());
+  pair.seed_alignment.push_back({0, 0});
+  pair.test_alignment.push_back({1, 1});
+  ASSERT_TRUE(SaveKgPair(pair, Path("pair3")).ok());
+  KgPair loaded;
+  ASSERT_TRUE(LoadKgPair(Path("pair3"), &loaded).ok());
+  ASSERT_EQ(loaded.kg1.num_attribute_triples(), 1u);
+  EXPECT_EQ(loaded.kg1.attribute_triples()[0].value, "42");
+  EXPECT_EQ(loaded.kg2.num_attribute_triples(), 0u);
+}
+
+
+TEST_F(IoTest, WritersSanitizeEmbeddedSeparators) {
+  KnowledgeGraph g;
+  g.AddEntity("e1", "name\twith\ttabs\nand newline");
+  ASSERT_TRUE(SaveEntitiesTsv(g, Path("e.tsv")).ok());
+  KnowledgeGraph loaded;
+  ASSERT_TRUE(LoadEntitiesTsv(Path("e.tsv"), &loaded).ok());
+  ASSERT_EQ(loaded.num_entities(), 1u);
+  EXPECT_EQ(loaded.entity_name(0), "name with tabs and newline");
+
+  AttributeId a = g.AddAttribute("motto");
+  CEAFF_CHECK(g.AddAttributeTriple(0, a, "multi\tfield\tvalue").ok());
+  ASSERT_TRUE(SaveAttributeTriplesTsv(g, Path("a.tsv")).ok());
+  KnowledgeGraph loaded2;
+  loaded2.AddEntity("e1");
+  ASSERT_TRUE(LoadAttributeTriplesTsv(Path("a.tsv"), &loaded2).ok());
+  ASSERT_EQ(loaded2.num_attribute_triples(), 1u);
+  EXPECT_EQ(loaded2.attribute_triples()[0].value, "multi field value");
+}
+
+}  // namespace
+}  // namespace ceaff::kg

@@ -1,0 +1,140 @@
+#include "ceaff/kg/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ceaff::kg {
+namespace {
+
+TEST(KnowledgeGraphTest, AddEntityInternsByUri) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity("http://x/Paris");
+  EntityId b = g.AddEntity("http://x/Paris");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_entities(), 1u);
+  EntityId c = g.AddEntity("http://x/Lyon");
+  EXPECT_NE(a, c);
+  EXPECT_EQ(g.num_entities(), 2u);
+}
+
+TEST(KnowledgeGraphTest, DefaultNameIsNormalizedLocalName) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity("http://dbpedia.org/resource/Los_Angeles");
+  EXPECT_EQ(g.entity_name(a), "Los Angeles");
+  EntityId b = g.AddEntity("NoSlashes_Here");
+  EXPECT_EQ(g.entity_name(b), "NoSlashes Here");
+}
+
+TEST(KnowledgeGraphTest, ExplicitNameWinsOnFirstInsert) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity("http://x/e1", "custom name");
+  EXPECT_EQ(g.entity_name(a), "custom name");
+  // Re-adding does not overwrite.
+  g.AddEntity("http://x/e1", "other");
+  EXPECT_EQ(g.entity_name(a), "custom name");
+  g.SetEntityName(a, "third");
+  EXPECT_EQ(g.entity_name(a), "third");
+}
+
+TEST(KnowledgeGraphTest, AddTripleByIdValidates) {
+  KnowledgeGraph g;
+  EntityId a = g.AddEntity("a");
+  EntityId b = g.AddEntity("b");
+  RelationId r = g.AddRelation("r");
+  EXPECT_TRUE(g.AddTriple(a, r, b).ok());
+  EXPECT_EQ(g.num_triples(), 1u);
+  EXPECT_TRUE(g.AddTriple(a, r, 99).IsInvalidArgument());
+  EXPECT_TRUE(g.AddTriple(99, r, b).IsInvalidArgument());
+  EXPECT_TRUE(g.AddTriple(a, 99, b).IsInvalidArgument());
+  EXPECT_EQ(g.num_triples(), 1u);
+}
+
+TEST(KnowledgeGraphTest, AddTripleByUriInterns) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  g.AddTriple("b", "r", "c");
+  EXPECT_EQ(g.num_entities(), 3u);
+  EXPECT_EQ(g.num_relations(), 1u);
+  EXPECT_EQ(g.num_triples(), 2u);
+}
+
+TEST(KnowledgeGraphTest, FindEntityAndRelation) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  ASSERT_TRUE(g.FindEntity("a").ok());
+  EXPECT_EQ(g.FindEntity("a").value(), 0u);
+  EXPECT_TRUE(g.FindEntity("zz").status().IsNotFound());
+  ASSERT_TRUE(g.FindRelation("r").ok());
+  EXPECT_TRUE(g.FindRelation("qq").status().IsNotFound());
+}
+
+TEST(KnowledgeGraphTest, DegreesCountBothDirections) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r", "b");
+  g.AddTriple("a", "r", "c");
+  g.AddTriple("c", "r", "a");
+  std::vector<uint32_t> deg = g.Degrees();
+  EXPECT_EQ(deg[g.FindEntity("a").value()], 3u);
+  EXPECT_EQ(deg[g.FindEntity("b").value()], 1u);
+  EXPECT_EQ(deg[g.FindEntity("c").value()], 2u);
+}
+
+TEST(KnowledgeGraphTest, OutAdjacencyListsOutgoingEdges) {
+  KnowledgeGraph g;
+  g.AddTriple("a", "r1", "b");
+  g.AddTriple("a", "r2", "c");
+  auto adj = g.OutAdjacency();
+  EntityId a = g.FindEntity("a").value();
+  ASSERT_EQ(adj[a].size(), 2u);
+  EXPECT_TRUE(adj[g.FindEntity("b").value()].empty());
+}
+
+TEST(SplitAlignmentTest, RespectsFractionAndPartitions) {
+  std::vector<AlignmentPair> gold;
+  for (uint32_t i = 0; i < 100; ++i) gold.push_back({i, i});
+  std::vector<AlignmentPair> seed, test;
+  ASSERT_TRUE(SplitAlignment(gold, 0.3, 99, &seed, &test).ok());
+  EXPECT_EQ(seed.size(), 30u);
+  EXPECT_EQ(test.size(), 70u);
+  // Disjoint and jointly exhaustive.
+  std::set<uint32_t> seen;
+  for (const auto& p : seed) seen.insert(p.source);
+  for (const auto& p : test) EXPECT_TRUE(seen.insert(p.source).second);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(SplitAlignmentTest, DeterministicGivenSeed) {
+  std::vector<AlignmentPair> gold;
+  for (uint32_t i = 0; i < 50; ++i) gold.push_back({i, i});
+  std::vector<AlignmentPair> s1, t1, s2, t2;
+  ASSERT_TRUE(SplitAlignment(gold, 0.4, 7, &s1, &t1).ok());
+  ASSERT_TRUE(SplitAlignment(gold, 0.4, 7, &s2, &t2).ok());
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(t1, t2);
+  std::vector<AlignmentPair> s3, t3;
+  ASSERT_TRUE(SplitAlignment(gold, 0.4, 8, &s3, &t3).ok());
+  EXPECT_NE(s1, s3);
+}
+
+TEST(SplitAlignmentTest, RejectsBadFraction) {
+  std::vector<AlignmentPair> gold{{0, 0}};
+  std::vector<AlignmentPair> s, t;
+  EXPECT_TRUE(SplitAlignment(gold, -0.1, 1, &s, &t).IsInvalidArgument());
+  EXPECT_TRUE(SplitAlignment(gold, 1.5, 1, &s, &t).IsInvalidArgument());
+}
+
+TEST(SplitAlignmentTest, ExtremeFractions) {
+  std::vector<AlignmentPair> gold;
+  for (uint32_t i = 0; i < 10; ++i) gold.push_back({i, i});
+  std::vector<AlignmentPair> s, t;
+  ASSERT_TRUE(SplitAlignment(gold, 0.0, 1, &s, &t).ok());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(t.size(), 10u);
+  ASSERT_TRUE(SplitAlignment(gold, 1.0, 1, &s, &t).ok());
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace ceaff::kg

@@ -1,0 +1,151 @@
+#include "ceaff/la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ceaff/common/random.h"
+
+namespace ceaff::la {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(m.at(r, c), 0.0f);
+  }
+  m.at(1, 2) = 5.0f;
+  EXPECT_EQ(m(1, 2), 5.0f);
+  EXPECT_EQ(m.row(1)[2], 5.0f);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.at(2, 1), 6.0f);
+  EXPECT_TRUE(Matrix::FromRows({}).empty());
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  a.Add(b);
+  EXPECT_EQ(a.at(0, 0), 11.0f);
+  a.Sub(b);
+  EXPECT_EQ(a.at(1, 1), 4.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a.at(0, 1), 4.0f);
+  a.Axpy(0.5f, b);
+  EXPECT_EQ(a.at(1, 0), 6.0f + 15.0f);
+  a.Fill(7.0f);
+  EXPECT_EQ(a.Sum(), 28.0);
+  a.SetZero();
+  EXPECT_EQ(a.Sum(), 0.0);
+}
+
+TEST(MatrixTest, ReluZeroesNegatives) {
+  Matrix m = Matrix::FromRows({{-1, 0.5f}, {2, -3}});
+  m.ReluInPlace();
+  EXPECT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_EQ(m.at(0, 1), 0.5f);
+  EXPECT_EQ(m.at(1, 0), 2.0f);
+  EXPECT_EQ(m.at(1, 1), 0.0f);
+}
+
+TEST(MatrixTest, L2NormalizeRowsMakesUnitRows) {
+  Matrix m = Matrix::FromRows({{3, 4}, {0, 0}, {5, 12}});
+  m.L2NormalizeRows();
+  EXPECT_NEAR(m.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(m.at(0, 1), 0.8f, 1e-6);
+  // Zero rows stay zero (no NaN).
+  EXPECT_EQ(m.at(1, 0), 0.0f);
+  EXPECT_NEAR(std::hypot(m.at(2, 0), m.at(2, 1)), 1.0, 1e-6);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = Matrix::FromRows({{3, 0}, {0, 4}});
+  EXPECT_NEAR(m.FrobeniusNorm(), 5.0f, 1e-6);
+  EXPECT_EQ(Matrix().FrobeniusNorm(), 0.0f);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+}
+
+TEST(MatrixTest, TruncatedNormalInitBounded) {
+  Rng rng(5);
+  Matrix m = Matrix::TruncatedNormal(50, 20, 0.5f, &rng);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), 1.0f + 1e-6);
+  }
+  // Not all zero.
+  EXPECT_GT(m.FrobeniusNorm(), 0.0f);
+}
+
+TEST(MatrixTest, GlorotUniformWithinLimit) {
+  Rng rng(6);
+  Matrix m = Matrix::GlorotUniform(30, 40, &rng);
+  float limit = std::sqrt(6.0f / (30 + 40));
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), limit + 1e-6);
+  }
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatMulTest, RectangularShapes) {
+  Matrix a(2, 3);
+  Matrix b(3, 4);
+  a.Fill(1.0f);
+  b.Fill(2.0f);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_EQ(c.at(1, 3), 6.0f);
+}
+
+TEST(MatMulTest, VariantsAgreeWithExplicitTranspose) {
+  Rng rng(9);
+  Matrix a = Matrix::TruncatedNormal(7, 5, 1.0f, &rng);
+  Matrix b = Matrix::TruncatedNormal(6, 5, 1.0f, &rng);
+  Matrix expected = MatMul(a, b.Transposed());
+  Matrix got = MatMulBT(a, b);
+  ASSERT_TRUE(got.SameShape(expected));
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], expected.data()[i], 1e-4);
+  }
+
+  Matrix c = Matrix::TruncatedNormal(5, 7, 1.0f, &rng);
+  Matrix d = Matrix::TruncatedNormal(5, 4, 1.0f, &rng);
+  Matrix expected2 = MatMul(c.Transposed(), d);
+  Matrix got2 = MatMulAT(c, d);
+  ASSERT_TRUE(got2.SameShape(expected2));
+  for (size_t i = 0; i < got2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], expected2.data()[i], 1e-4);
+  }
+}
+
+TEST(MatrixTest, ToStringRendersRows) {
+  Matrix m = Matrix::FromRows({{1.5f, 2.0f}});
+  EXPECT_EQ(m.ToString(1), "[1.5, 2.0]\n");
+}
+
+}  // namespace
+}  // namespace ceaff::la

@@ -1,0 +1,84 @@
+#include "ceaff/matching/sinkhorn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ceaff/common/random.h"
+
+namespace ceaff::matching {
+namespace {
+
+TEST(SinkhornTest, RowsBecomeStochastic) {
+  Rng rng(3);
+  la::Matrix m(5, 5);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextFloat();
+  la::Matrix plan = SinkhornNormalize(m);
+  for (size_t r = 0; r < plan.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < plan.cols(); ++c) {
+      EXPECT_GE(plan.at(r, c), 0.0f);
+      sum += plan.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 0.05);
+  }
+  // Square case: columns also approach mass 1.
+  for (size_t c = 0; c < plan.cols(); ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < plan.rows(); ++r) sum += plan.at(r, c);
+    EXPECT_NEAR(sum, 1.0, 0.05);
+  }
+}
+
+TEST(SinkhornTest, SharpensDominantAssignment) {
+  // A diagonally dominant matrix: the plan should put most row mass on
+  // the diagonal at low temperature.
+  la::Matrix m = la::Matrix::FromRows(
+      {{0.9f, 0.3f, 0.2f}, {0.2f, 0.8f, 0.3f}, {0.3f, 0.2f, 0.7f}});
+  SinkhornOptions opt;
+  opt.temperature = 0.05;
+  la::Matrix plan = SinkhornNormalize(m, opt);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(plan.at(i, i), 0.8f);
+  }
+}
+
+TEST(SinkhornTest, ResolvesHubConflictLikeDaa) {
+  // The Figure 1 matrix: greedy decoding of the Sinkhorn plan must also
+  // recover the diagonal (the column-normalisation starves the v1 hub).
+  la::Matrix m = la::Matrix::FromRows(
+      {{0.9f, 0.6f, 0.1f}, {0.7f, 0.5f, 0.2f}, {0.2f, 0.4f, 0.3f}});
+  MatchResult r = SinkhornMatch(m);
+  EXPECT_EQ(r.target_of_source, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(SinkhornTest, RectangularShapesSupported) {
+  Rng rng(5);
+  la::Matrix m(3, 6);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.NextFloat();
+  la::Matrix plan = SinkhornNormalize(m);
+  ASSERT_TRUE(plan.SameShape(m));
+  MatchResult r = SinkhornMatch(m);
+  EXPECT_EQ(r.num_matched(), 3u);
+}
+
+TEST(SinkhornTest, EmptyMatrixIsNoop) {
+  la::Matrix empty;
+  EXPECT_TRUE(SinkhornNormalize(empty).empty());
+  EXPECT_TRUE(SinkhornMatch(empty).target_of_source.empty());
+}
+
+TEST(SinkhornTest, NoNansUnderExtremeValues) {
+  la::Matrix m = la::Matrix::FromRows({{100.0f, -100.0f}, {-100.0f, 100.0f}});
+  SinkhornOptions opt;
+  opt.temperature = 0.01;
+  la::Matrix plan = SinkhornNormalize(m, opt);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(plan.data()[i]));
+  }
+  MatchResult r = SinkhornMatch(m, opt);
+  EXPECT_EQ(r.target_of_source, (std::vector<int64_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace ceaff::matching

@@ -1,0 +1,168 @@
+#include "ceaff/text/word_embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ceaff/text/name_embedding.h"
+#include "ceaff/text/tokenizer.h"
+
+namespace ceaff::text {
+namespace {
+
+double Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  EXPECT_EQ(TokenizeName("Los_Angeles (city)"),
+            (std::vector<std::string>{"los", "angeles", "city"}));
+  EXPECT_EQ(TokenizeName("a-b.c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(TokenizeName("  --  ").empty());
+  EXPECT_EQ(TokenizeName("R2D2"), (std::vector<std::string>{"r2d2"}));
+}
+
+TEST(TokenizerTest, KeepsMultibyteUtf8Together) {
+  // Cyrillic stand-in for CJK content must survive as one token.
+  std::vector<std::string> tokens = TokenizeName("\xD0\xB0\xD0\xB1 x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "\xD0\xB0\xD0\xB1");
+  EXPECT_EQ(tokens[1], "x");
+}
+
+TEST(WordEmbeddingStoreTest, DeterministicLookups) {
+  WordEmbeddingStore store(32, 7);
+  std::vector<float> a, b;
+  ASSERT_TRUE(store.Lookup("hello", &a));
+  ASSERT_TRUE(store.Lookup("hello", &b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 32u);
+}
+
+TEST(WordEmbeddingStoreTest, VectorsAreUnitNorm) {
+  WordEmbeddingStore store(64, 9);
+  std::vector<float> v;
+  ASSERT_TRUE(store.Lookup("token", &v));
+  double sq = 0;
+  for (float x : v) sq += x * x;
+  EXPECT_NEAR(sq, 1.0, 1e-5);
+  store.RegisterToken("anchored", 42, 0.3);
+  ASSERT_TRUE(store.Lookup("anchored", &v));
+  sq = 0;
+  for (float x : v) sq += x * x;
+  EXPECT_NEAR(sq, 1.0, 1e-5);
+}
+
+TEST(WordEmbeddingStoreTest, DifferentTokensNearOrthogonal) {
+  WordEmbeddingStore store(128, 11);
+  std::vector<float> a, b;
+  ASSERT_TRUE(store.Lookup("apple", &a));
+  ASSERT_TRUE(store.Lookup("orange", &b));
+  EXPECT_LT(std::fabs(Cosine(a, b)), 0.35);
+}
+
+TEST(WordEmbeddingStoreTest, SharedConceptBringsTranslationsClose) {
+  WordEmbeddingStore store(64, 13);
+  store.RegisterToken("city", 100, 0.2);
+  store.RegisterToken("ville", 100, 0.2);
+  store.RegisterToken("dog", 200, 0.2);
+  std::vector<float> en, fr, other;
+  ASSERT_TRUE(store.Lookup("city", &en));
+  ASSERT_TRUE(store.Lookup("ville", &fr));
+  ASSERT_TRUE(store.Lookup("dog", &other));
+  EXPECT_GT(Cosine(en, fr), 0.8);
+  EXPECT_LT(Cosine(en, other), 0.4);
+}
+
+TEST(WordEmbeddingStoreTest, NoiseScaleDegradesSimilarity) {
+  WordEmbeddingStore store(64, 13);
+  store.RegisterToken("a_en", 1, 0.1);
+  store.RegisterToken("a_zh", 1, 1.5);
+  store.RegisterToken("b_en", 1, 0.1);
+  store.RegisterToken("b_fr", 1, 0.1);
+  std::vector<float> a_en, a_zh, b_en, b_fr;
+  store.Lookup("a_en", &a_en);
+  store.Lookup("a_zh", &a_zh);
+  store.Lookup("b_en", &b_en);
+  store.Lookup("b_fr", &b_fr);
+  EXPECT_GT(Cosine(b_en, b_fr), Cosine(a_en, a_zh));
+}
+
+TEST(WordEmbeddingStoreTest, OovTokensFailLookup) {
+  WordEmbeddingStore store(16, 17);
+  store.MarkOov("rareword");
+  std::vector<float> v;
+  EXPECT_FALSE(store.Lookup("rareword", &v));
+  // OOV beats registration.
+  store.RegisterToken("rareword", 5, 0.0);
+  EXPECT_FALSE(store.Lookup("rareword", &v));
+}
+
+TEST(WordEmbeddingStoreTest, FallbackCanBeDisabled) {
+  WordEmbeddingStore store(16, 19);
+  store.set_hash_fallback(false);
+  std::vector<float> v;
+  EXPECT_FALSE(store.Lookup("unregistered", &v));
+  store.RegisterToken("known", 3, 0.0);
+  EXPECT_TRUE(store.Lookup("known", &v));
+  EXPECT_EQ(store.num_registered(), 1u);
+}
+
+TEST(NameEmbeddingTest, AveragesTokenVectors) {
+  WordEmbeddingStore store(32, 23);
+  store.RegisterToken("new", 1, 0.0);
+  store.RegisterToken("york", 2, 0.0);
+  std::vector<float> nv = EmbedName(store, "New York");
+  std::vector<float> n, y;
+  store.Lookup("new", &n);
+  store.Lookup("york", &y);
+  for (size_t i = 0; i < nv.size(); ++i) {
+    EXPECT_NEAR(nv[i], (n[i] + y[i]) / 2.0f, 1e-5);
+  }
+}
+
+TEST(NameEmbeddingTest, SkipsOovTokens) {
+  WordEmbeddingStore store(32, 29);
+  store.RegisterToken("known", 1, 0.0);
+  store.MarkOov("ghost");
+  std::vector<float> with = EmbedName(store, "known ghost");
+  std::vector<float> without = EmbedName(store, "known");
+  EXPECT_EQ(with, without);
+}
+
+TEST(NameEmbeddingTest, AllOovYieldsZeroVector) {
+  WordEmbeddingStore store(16, 31);
+  store.set_hash_fallback(false);
+  std::vector<float> v = EmbedName(store, "completely unknown");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(SemanticSimilarityMatrixTest, TranslationsScoreHighest) {
+  WordEmbeddingStore store(64, 37);
+  store.RegisterToken("red", 1, 0.1);
+  store.RegisterToken("rouge", 1, 0.1);
+  store.RegisterToken("blue", 2, 0.1);
+  store.RegisterToken("bleu", 2, 0.1);
+  la::Matrix m =
+      SemanticSimilarityMatrix(store, {"red", "blue"}, {"rouge", "bleu"});
+  EXPECT_GT(m.at(0, 0), m.at(0, 1));
+  EXPECT_GT(m.at(1, 1), m.at(1, 0));
+}
+
+TEST(EmbedNamesTest, StacksRows) {
+  WordEmbeddingStore store(8, 41);
+  la::Matrix n = EmbedNames(store, {"a", "b", "c"});
+  EXPECT_EQ(n.rows(), 3u);
+  EXPECT_EQ(n.cols(), 8u);
+  EXPECT_GT(n.FrobeniusNorm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace ceaff::text

@@ -1,0 +1,259 @@
+// ceaff — command-line front end to the CEAFF entity-alignment library.
+//
+// Subcommands:
+//   generate  Create a synthetic benchmark dataset on disk (TSV layout).
+//   stats     Print statistics of a dataset directory.
+//   align     Run CEAFF (or a configured variant) on a dataset and write
+//             predicted correspondences.
+//   eval      Score a prediction file against the dataset's test links.
+//
+// Examples:
+//   ceaff generate --config DBP15K_ZH_EN --scale 0.25 --out /tmp/zh_en
+//   ceaff align --data /tmp/zh_en --out /tmp/zh_en/pred.tsv
+//   ceaff align --data /tmp/zh_en --decision independent --fusion fixed
+//   ceaff eval --data /tmp/zh_en --pred /tmp/zh_en/pred.tsv
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "ceaff/common/flags.h"
+#include "ceaff/common/timer.h"
+#include "ceaff/core/pipeline.h"
+#include "ceaff/data/synthetic.h"
+#include "ceaff/kg/io.h"
+#include "ceaff/text/embedding_io.h"
+
+using namespace ceaff;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ceaff <generate|stats|align|eval> [--flags]\n"
+               "  generate --config NAME --scale S --out DIR [--seed N]\n"
+               "  stats    --data DIR\n"
+               "  align    --data DIR [--out FILE] [--fusion adaptive|fixed|"
+               "learned]\n"
+               "           [--decision collective|independent|hungarian]\n"
+               "           [--no-structural] [--no-semantic] [--no-string] "
+               "[--attributes]\n"
+               "           [--gcn-dim N] [--gcn-epochs N] [--theta1 X] "
+               "[--embeddings FILE] "
+               "[--theta2 X]\n"
+               "  eval     --data DIR --pred FILE\n");
+  return 2;
+}
+
+/// Default store when no --embeddings file is given: deterministic
+/// hash-fallback vectors (identical spellings align — right for
+/// mono-lingual and closely-related pairs). Pass --embeddings with
+/// pretrained multilingual vectors (word2vec/GloVe/fastText text format)
+/// for distant language pairs.
+text::WordEmbeddingStore MakeStore(const kg::KgPair& pair, size_t dim) {
+  (void)pair;
+  return text::WordEmbeddingStore(dim, /*seed=*/17);
+}
+
+int CmdGenerate(const FlagParser& flags) {
+  std::string config = flags.GetString("config", "DBP15K_FR_EN");
+  double scale = flags.GetDouble("scale", 0.25);
+  std::string out = flags.GetString("out", "");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2020));
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out DIR is required\n");
+    return 2;
+  }
+  auto cfg = data::BenchmarkConfigByName(config, scale, seed);
+  if (!cfg.ok()) return Fail(cfg.status());
+  auto bench = data::GenerateBenchmark(cfg.value());
+  if (!bench.ok()) return Fail(bench.status());
+  Status st = kg::SaveKgPair(bench->pair, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s (%zu + %zu entities, %zu + %zu triples, %zu seed / "
+              "%zu test links) to %s\n",
+              config.c_str(), bench->pair.kg1.num_entities(),
+              bench->pair.kg2.num_entities(), bench->pair.kg1.num_triples(),
+              bench->pair.kg2.num_triples(),
+              bench->pair.seed_alignment.size(),
+              bench->pair.test_alignment.size(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const FlagParser& flags) {
+  std::string dir = flags.GetString("data", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "stats: --data DIR is required\n");
+    return 2;
+  }
+  kg::KgPair pair;
+  Status st = kg::LoadKgPair(dir, &pair);
+  if (!st.ok()) return Fail(st);
+  auto print_kg = [](const char* name, const kg::KnowledgeGraph& g) {
+    std::vector<uint32_t> deg = g.Degrees();
+    double avg = 0;
+    for (uint32_t d : deg) avg += d;
+    if (!deg.empty()) avg /= static_cast<double>(deg.size());
+    std::printf("%s: %zu entities, %zu relations, %zu triples, "
+                "%zu attributes, %zu attribute triples, avg degree %.2f\n",
+                name, g.num_entities(), g.num_relations(), g.num_triples(),
+                g.num_attributes(), g.num_attribute_triples(), avg);
+  };
+  print_kg("KG1", pair.kg1);
+  print_kg("KG2", pair.kg2);
+  std::printf("seed links: %zu, test links: %zu\n",
+              pair.seed_alignment.size(), pair.test_alignment.size());
+  std::printf("degree-distribution KS statistic: %.3f\n",
+              data::KsStatistic(pair.kg1.Degrees(), pair.kg2.Degrees()));
+  return 0;
+}
+
+int CmdAlign(const FlagParser& flags) {
+  std::string dir = flags.GetString("data", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "align: --data DIR is required\n");
+    return 2;
+  }
+  kg::KgPair pair;
+  Status st = kg::LoadKgPair(dir, &pair);
+  if (!st.ok()) return Fail(st);
+
+  core::CeaffOptions options;
+  options.use_structural = !flags.GetBool("no-structural", false);
+  options.use_semantic = !flags.GetBool("no-semantic", false);
+  options.use_string = !flags.GetBool("no-string", false);
+  options.use_attribute = flags.GetBool("attributes", false);
+  options.gcn.dim = static_cast<size_t>(flags.GetInt("gcn-dim", 128));
+  options.gcn.epochs = static_cast<size_t>(flags.GetInt("gcn-epochs", 200));
+  options.gcn.learning_rate =
+      static_cast<float>(flags.GetDouble("gcn-lr", 1.0));
+  options.fusion.theta1 = flags.GetDouble("theta1", 0.98);
+  options.fusion.theta2 = flags.GetDouble("theta2", 0.1);
+
+  std::string fusion = flags.GetString("fusion", "adaptive");
+  if (fusion == "fixed") {
+    options.fusion_mode = core::FusionMode::kFixed;
+  } else if (fusion == "learned") {
+    options.fusion_mode = core::FusionMode::kLearned;
+  } else if (fusion != "adaptive") {
+    std::fprintf(stderr, "align: unknown --fusion %s\n", fusion.c_str());
+    return 2;
+  }
+  std::string decision = flags.GetString("decision", "collective");
+  if (decision == "independent") {
+    options.decision_mode = core::DecisionMode::kIndependent;
+  } else if (decision == "hungarian") {
+    options.decision_mode = core::DecisionMode::kHungarian;
+  } else if (decision == "greedy") {
+    options.decision_mode = core::DecisionMode::kGreedyOneToOne;
+  } else if (decision != "collective") {
+    std::fprintf(stderr, "align: unknown --decision %s\n", decision.c_str());
+    return 2;
+  }
+
+  text::WordEmbeddingStore store =
+      MakeStore(pair, static_cast<size_t>(flags.GetInt("embed-dim", 64)));
+  std::string embeddings_path = flags.GetString("embeddings", "");
+  if (!embeddings_path.empty()) {
+    // Pretrained text-format vectors (word2vec/GloVe/fastText). Dimension
+    // must match --embed-dim.
+    st = text::LoadTextEmbeddings(embeddings_path, &store);
+    if (!st.ok()) return Fail(st);
+    std::printf("loaded %zu pretrained vectors from %s\n",
+                store.explicit_tokens().size(), embeddings_path.c_str());
+  }
+  core::CeaffPipeline pipe(&pair, &store, options);
+  WallTimer timer;
+  auto result = pipe.Run();
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("accuracy: %.4f  (hits@10 %.4f, mrr %.4f)  in %.2fs\n",
+              result->accuracy, result->ranking.hits_at_10,
+              result->ranking.mrr, timer.ElapsedSeconds());
+  if (!result->final_weights.empty()) {
+    std::printf("final fusion weights:");
+    for (double w : result->final_weights) std::printf(" %.3f", w);
+    std::printf("\n");
+  }
+
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    std::vector<kg::AlignmentPair> predicted;
+    for (size_t i = 0; i < result->match.target_of_source.size(); ++i) {
+      int64_t t = result->match.target_of_source[i];
+      if (t < 0) continue;
+      predicted.push_back(
+          {pair.test_alignment[i].source,
+           pair.test_alignment[static_cast<size_t>(t)].target});
+    }
+    st = kg::SaveAlignmentTsv(predicted, pair.kg1, pair.kg2, out);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu predictions to %s\n", predicted.size(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int CmdEval(const FlagParser& flags) {
+  std::string dir = flags.GetString("data", "");
+  std::string pred = flags.GetString("pred", "");
+  if (dir.empty() || pred.empty()) {
+    std::fprintf(stderr, "eval: --data DIR and --pred FILE are required\n");
+    return 2;
+  }
+  kg::KgPair pair;
+  Status st = kg::LoadKgPair(dir, &pair);
+  if (!st.ok()) return Fail(st);
+  std::vector<kg::AlignmentPair> predicted;
+  st = kg::LoadAlignmentTsv(pred, pair.kg1, pair.kg2, &predicted);
+  if (!st.ok()) return Fail(st);
+
+  std::map<uint32_t, uint32_t> gold;
+  for (const kg::AlignmentPair& p : pair.test_alignment) {
+    gold[p.source] = p.target;
+  }
+  size_t correct = 0;
+  for (const kg::AlignmentPair& p : predicted) {
+    auto it = gold.find(p.source);
+    if (it != gold.end() && it->second == p.target) ++correct;
+  }
+  std::printf("predictions: %zu, test links: %zu, correct: %zu, "
+              "accuracy: %.4f\n",
+              predicted.size(), gold.size(), correct,
+              gold.empty() ? 0.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(gold.size()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto flags_or = FlagParser::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) return Fail(flags_or.status());
+  const FlagParser& flags = flags_or.value();
+  std::string cmd = argv[1];
+
+  int rc;
+  if (cmd == "generate") {
+    rc = CmdGenerate(flags);
+  } else if (cmd == "stats") {
+    rc = CmdStats(flags);
+  } else if (cmd == "align") {
+    rc = CmdAlign(flags);
+  } else if (cmd == "eval") {
+    rc = CmdEval(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& f : flags.UnreadFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s ignored\n", f.c_str());
+  }
+  return rc;
+}
