@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ceaff_bench_util.dir/bench_util.cc.o.d"
+  "libceaff_bench_util.a"
+  "libceaff_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

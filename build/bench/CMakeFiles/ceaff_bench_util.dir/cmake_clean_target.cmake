@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceaff_bench_util.a"
+)

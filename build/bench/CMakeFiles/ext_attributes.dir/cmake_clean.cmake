@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_attributes.dir/ext_attributes.cc.o"
+  "CMakeFiles/ext_attributes.dir/ext_attributes.cc.o.d"
+  "ext_attributes"
+  "ext_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

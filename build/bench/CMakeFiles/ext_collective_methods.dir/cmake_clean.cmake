@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_collective_methods.dir/ext_collective_methods.cc.o"
+  "CMakeFiles/ext_collective_methods.dir/ext_collective_methods.cc.o.d"
+  "ext_collective_methods"
+  "ext_collective_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_collective_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

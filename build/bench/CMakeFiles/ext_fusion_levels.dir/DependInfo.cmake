@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_fusion_levels.cc" "bench/CMakeFiles/ext_fusion_levels.dir/ext_fusion_levels.cc.o" "gcc" "bench/CMakeFiles/ext_fusion_levels.dir/ext_fusion_levels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ceaff_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/data/CMakeFiles/ceaff_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/baselines/CMakeFiles/ceaff_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/core/CMakeFiles/ceaff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/fusion/CMakeFiles/ceaff_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/embed/CMakeFiles/ceaff_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/eval/CMakeFiles/ceaff_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/matching/CMakeFiles/ceaff_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/kg/CMakeFiles/ceaff_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/text/CMakeFiles/ceaff_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/la/CMakeFiles/ceaff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/common/CMakeFiles/ceaff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

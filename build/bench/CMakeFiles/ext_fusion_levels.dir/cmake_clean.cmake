@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fusion_levels.dir/ext_fusion_levels.cc.o"
+  "CMakeFiles/ext_fusion_levels.dir/ext_fusion_levels.cc.o.d"
+  "ext_fusion_levels"
+  "ext_fusion_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fusion_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_collective_demo.dir/fig1_collective_demo.cc.o"
+  "CMakeFiles/fig1_collective_demo.dir/fig1_collective_demo.cc.o.d"
+  "fig1_collective_demo"
+  "fig1_collective_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_collective_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fusion_demo.dir/fig3_fusion_demo.cc.o"
+  "CMakeFiles/fig3_fusion_demo.dir/fig3_fusion_demo.cc.o.d"
+  "fig3_fusion_demo"
+  "fig3_fusion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fusion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

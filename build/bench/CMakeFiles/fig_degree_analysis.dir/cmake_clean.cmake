@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_degree_analysis.dir/fig_degree_analysis.cc.o"
+  "CMakeFiles/fig_degree_analysis.dir/fig_degree_analysis.cc.o.d"
+  "fig_degree_analysis"
+  "fig_degree_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_degree_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

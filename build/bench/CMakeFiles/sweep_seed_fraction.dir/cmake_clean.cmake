@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_seed_fraction.dir/sweep_seed_fraction.cc.o"
+  "CMakeFiles/sweep_seed_fraction.dir/sweep_seed_fraction.cc.o.d"
+  "sweep_seed_fraction"
+  "sweep_seed_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_seed_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

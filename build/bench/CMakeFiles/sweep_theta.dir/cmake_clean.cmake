@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_theta.dir/sweep_theta.cc.o"
+  "CMakeFiles/sweep_theta.dir/sweep_theta.cc.o.d"
+  "sweep_theta"
+  "sweep_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cross_lingual.dir/table3_cross_lingual.cc.o"
+  "CMakeFiles/table3_cross_lingual.dir/table3_cross_lingual.cc.o.d"
+  "table3_cross_lingual"
+  "table3_cross_lingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cross_lingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mono_lingual.dir/table4_mono_lingual.cc.o"
+  "CMakeFiles/table4_mono_lingual.dir/table4_mono_lingual.cc.o.d"
+  "table4_mono_lingual"
+  "table4_mono_lingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mono_lingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ranking.dir/table6_ranking.cc.o"
+  "CMakeFiles/table6_ranking.dir/table6_ranking.cc.o.d"
+  "table6_ranking"
+  "table6_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_lingual_alignment.dir/cross_lingual_alignment.cpp.o"
+  "CMakeFiles/cross_lingual_alignment.dir/cross_lingual_alignment.cpp.o.d"
+  "cross_lingual_alignment"
+  "cross_lingual_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_lingual_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_features.dir/custom_features.cpp.o"
+  "CMakeFiles/custom_features.dir/custom_features.cpp.o.d"
+  "custom_features"
+  "custom_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_based_alignment.dir/file_based_alignment.cpp.o"
+  "CMakeFiles/file_based_alignment.dir/file_based_alignment.cpp.o.d"
+  "file_based_alignment"
+  "file_based_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_based_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrained_embeddings.dir/pretrained_embeddings.cpp.o"
+  "CMakeFiles/pretrained_embeddings.dir/pretrained_embeddings.cpp.o.d"
+  "pretrained_embeddings"
+  "pretrained_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrained_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

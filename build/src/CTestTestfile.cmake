@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("ceaff/common")
+subdirs("ceaff/la")
+subdirs("ceaff/kg")
+subdirs("ceaff/text")
+subdirs("ceaff/embed")
+subdirs("ceaff/fusion")
+subdirs("ceaff/matching")
+subdirs("ceaff/eval")
+subdirs("ceaff/data")
+subdirs("ceaff/baselines")
+subdirs("ceaff/core")

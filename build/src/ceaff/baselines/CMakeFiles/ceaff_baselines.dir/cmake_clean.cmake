@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_baselines.dir/baselines.cc.o"
+  "CMakeFiles/ceaff_baselines.dir/baselines.cc.o.d"
+  "libceaff_baselines.a"
+  "libceaff_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceaff/common/flags.cc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/flags.cc.o" "gcc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/flags.cc.o.d"
+  "/root/repo/src/ceaff/common/logging.cc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/logging.cc.o" "gcc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/logging.cc.o.d"
+  "/root/repo/src/ceaff/common/random.cc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/random.cc.o" "gcc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/random.cc.o.d"
+  "/root/repo/src/ceaff/common/status.cc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/status.cc.o" "gcc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/status.cc.o.d"
+  "/root/repo/src/ceaff/common/string_util.cc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/string_util.cc.o" "gcc" "src/ceaff/common/CMakeFiles/ceaff_common.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_common.dir/flags.cc.o"
+  "CMakeFiles/ceaff_common.dir/flags.cc.o.d"
+  "CMakeFiles/ceaff_common.dir/logging.cc.o"
+  "CMakeFiles/ceaff_common.dir/logging.cc.o.d"
+  "CMakeFiles/ceaff_common.dir/random.cc.o"
+  "CMakeFiles/ceaff_common.dir/random.cc.o.d"
+  "CMakeFiles/ceaff_common.dir/status.cc.o"
+  "CMakeFiles/ceaff_common.dir/status.cc.o.d"
+  "CMakeFiles/ceaff_common.dir/string_util.cc.o"
+  "CMakeFiles/ceaff_common.dir/string_util.cc.o.d"
+  "libceaff_common.a"
+  "libceaff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

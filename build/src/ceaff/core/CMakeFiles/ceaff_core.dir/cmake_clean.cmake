@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_core.dir/iterative.cc.o"
+  "CMakeFiles/ceaff_core.dir/iterative.cc.o.d"
+  "CMakeFiles/ceaff_core.dir/pipeline.cc.o"
+  "CMakeFiles/ceaff_core.dir/pipeline.cc.o.d"
+  "libceaff_core.a"
+  "libceaff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

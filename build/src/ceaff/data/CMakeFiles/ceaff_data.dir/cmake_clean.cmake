@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_data.dir/name_generator.cc.o"
+  "CMakeFiles/ceaff_data.dir/name_generator.cc.o.d"
+  "CMakeFiles/ceaff_data.dir/synthetic.cc.o"
+  "CMakeFiles/ceaff_data.dir/synthetic.cc.o.d"
+  "libceaff_data.a"
+  "libceaff_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

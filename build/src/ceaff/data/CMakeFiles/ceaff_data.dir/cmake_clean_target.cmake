@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceaff_data.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_embed.dir/bootstrap.cc.o"
+  "CMakeFiles/ceaff_embed.dir/bootstrap.cc.o.d"
+  "CMakeFiles/ceaff_embed.dir/gcn.cc.o"
+  "CMakeFiles/ceaff_embed.dir/gcn.cc.o.d"
+  "CMakeFiles/ceaff_embed.dir/random_walk.cc.o"
+  "CMakeFiles/ceaff_embed.dir/random_walk.cc.o.d"
+  "CMakeFiles/ceaff_embed.dir/transe.cc.o"
+  "CMakeFiles/ceaff_embed.dir/transe.cc.o.d"
+  "libceaff_embed.a"
+  "libceaff_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceaff/eval/analysis.cc" "src/ceaff/eval/CMakeFiles/ceaff_eval.dir/analysis.cc.o" "gcc" "src/ceaff/eval/CMakeFiles/ceaff_eval.dir/analysis.cc.o.d"
+  "/root/repo/src/ceaff/eval/metrics.cc" "src/ceaff/eval/CMakeFiles/ceaff_eval.dir/metrics.cc.o" "gcc" "src/ceaff/eval/CMakeFiles/ceaff_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ceaff/common/CMakeFiles/ceaff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/la/CMakeFiles/ceaff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/kg/CMakeFiles/ceaff_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/matching/CMakeFiles/ceaff_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/text/CMakeFiles/ceaff_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

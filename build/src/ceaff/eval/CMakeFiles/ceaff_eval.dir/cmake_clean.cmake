@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_eval.dir/analysis.cc.o"
+  "CMakeFiles/ceaff_eval.dir/analysis.cc.o.d"
+  "CMakeFiles/ceaff_eval.dir/metrics.cc.o"
+  "CMakeFiles/ceaff_eval.dir/metrics.cc.o.d"
+  "libceaff_eval.a"
+  "libceaff_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceaff/fusion/adaptive_fusion.cc" "src/ceaff/fusion/CMakeFiles/ceaff_fusion.dir/adaptive_fusion.cc.o" "gcc" "src/ceaff/fusion/CMakeFiles/ceaff_fusion.dir/adaptive_fusion.cc.o.d"
+  "/root/repo/src/ceaff/fusion/logistic_regression.cc" "src/ceaff/fusion/CMakeFiles/ceaff_fusion.dir/logistic_regression.cc.o" "gcc" "src/ceaff/fusion/CMakeFiles/ceaff_fusion.dir/logistic_regression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ceaff/common/CMakeFiles/ceaff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/la/CMakeFiles/ceaff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/kg/CMakeFiles/ceaff_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/text/CMakeFiles/ceaff_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_fusion.dir/adaptive_fusion.cc.o"
+  "CMakeFiles/ceaff_fusion.dir/adaptive_fusion.cc.o.d"
+  "CMakeFiles/ceaff_fusion.dir/logistic_regression.cc.o"
+  "CMakeFiles/ceaff_fusion.dir/logistic_regression.cc.o.d"
+  "libceaff_fusion.a"
+  "libceaff_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceaff/kg/adjacency.cc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/adjacency.cc.o" "gcc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/adjacency.cc.o.d"
+  "/root/repo/src/ceaff/kg/attribute_similarity.cc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/attribute_similarity.cc.o" "gcc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/attribute_similarity.cc.o.d"
+  "/root/repo/src/ceaff/kg/io.cc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/io.cc.o" "gcc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/io.cc.o.d"
+  "/root/repo/src/ceaff/kg/knowledge_graph.cc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/knowledge_graph.cc.o" "gcc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/ceaff/kg/relation_similarity.cc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/relation_similarity.cc.o" "gcc" "src/ceaff/kg/CMakeFiles/ceaff_kg.dir/relation_similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ceaff/common/CMakeFiles/ceaff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/la/CMakeFiles/ceaff_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/text/CMakeFiles/ceaff_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

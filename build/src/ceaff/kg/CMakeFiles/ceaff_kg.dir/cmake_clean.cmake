@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_kg.dir/adjacency.cc.o"
+  "CMakeFiles/ceaff_kg.dir/adjacency.cc.o.d"
+  "CMakeFiles/ceaff_kg.dir/attribute_similarity.cc.o"
+  "CMakeFiles/ceaff_kg.dir/attribute_similarity.cc.o.d"
+  "CMakeFiles/ceaff_kg.dir/io.cc.o"
+  "CMakeFiles/ceaff_kg.dir/io.cc.o.d"
+  "CMakeFiles/ceaff_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/ceaff_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/ceaff_kg.dir/relation_similarity.cc.o"
+  "CMakeFiles/ceaff_kg.dir/relation_similarity.cc.o.d"
+  "libceaff_kg.a"
+  "libceaff_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceaff/la/csls.cc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/csls.cc.o" "gcc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/csls.cc.o.d"
+  "/root/repo/src/ceaff/la/matrix.cc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/matrix.cc.o" "gcc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/matrix.cc.o.d"
+  "/root/repo/src/ceaff/la/ops.cc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/ops.cc.o" "gcc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/ops.cc.o.d"
+  "/root/repo/src/ceaff/la/sparse_matrix.cc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/sparse_matrix.cc.o" "gcc" "src/ceaff/la/CMakeFiles/ceaff_la.dir/sparse_matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ceaff/common/CMakeFiles/ceaff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_la.dir/csls.cc.o"
+  "CMakeFiles/ceaff_la.dir/csls.cc.o.d"
+  "CMakeFiles/ceaff_la.dir/matrix.cc.o"
+  "CMakeFiles/ceaff_la.dir/matrix.cc.o.d"
+  "CMakeFiles/ceaff_la.dir/ops.cc.o"
+  "CMakeFiles/ceaff_la.dir/ops.cc.o.d"
+  "CMakeFiles/ceaff_la.dir/sparse_matrix.cc.o"
+  "CMakeFiles/ceaff_la.dir/sparse_matrix.cc.o.d"
+  "libceaff_la.a"
+  "libceaff_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_matching.dir/matching.cc.o"
+  "CMakeFiles/ceaff_matching.dir/matching.cc.o.d"
+  "CMakeFiles/ceaff_matching.dir/sinkhorn.cc.o"
+  "CMakeFiles/ceaff_matching.dir/sinkhorn.cc.o.d"
+  "libceaff_matching.a"
+  "libceaff_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceaff/text/embedding_io.cc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/embedding_io.cc.o" "gcc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/embedding_io.cc.o.d"
+  "/root/repo/src/ceaff/text/levenshtein.cc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/levenshtein.cc.o" "gcc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/levenshtein.cc.o.d"
+  "/root/repo/src/ceaff/text/name_embedding.cc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/name_embedding.cc.o" "gcc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/name_embedding.cc.o.d"
+  "/root/repo/src/ceaff/text/ngram_similarity.cc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/ngram_similarity.cc.o" "gcc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/ngram_similarity.cc.o.d"
+  "/root/repo/src/ceaff/text/tokenizer.cc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/tokenizer.cc.o" "gcc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/ceaff/text/word_embedding.cc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/word_embedding.cc.o" "gcc" "src/ceaff/text/CMakeFiles/ceaff_text.dir/word_embedding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ceaff/common/CMakeFiles/ceaff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ceaff/la/CMakeFiles/ceaff_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff_text.dir/embedding_io.cc.o"
+  "CMakeFiles/ceaff_text.dir/embedding_io.cc.o.d"
+  "CMakeFiles/ceaff_text.dir/levenshtein.cc.o"
+  "CMakeFiles/ceaff_text.dir/levenshtein.cc.o.d"
+  "CMakeFiles/ceaff_text.dir/name_embedding.cc.o"
+  "CMakeFiles/ceaff_text.dir/name_embedding.cc.o.d"
+  "CMakeFiles/ceaff_text.dir/ngram_similarity.cc.o"
+  "CMakeFiles/ceaff_text.dir/ngram_similarity.cc.o.d"
+  "CMakeFiles/ceaff_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ceaff_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/ceaff_text.dir/word_embedding.cc.o"
+  "CMakeFiles/ceaff_text.dir/word_embedding.cc.o.d"
+  "libceaff_text.a"
+  "libceaff_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

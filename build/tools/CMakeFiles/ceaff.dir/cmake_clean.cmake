@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceaff.dir/ceaff_cli.cc.o"
+  "CMakeFiles/ceaff.dir/ceaff_cli.cc.o.d"
+  "ceaff"
+  "ceaff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceaff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
