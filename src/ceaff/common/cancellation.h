@@ -1,0 +1,112 @@
+#ifndef CEAFF_COMMON_CANCELLATION_H_
+#define CEAFF_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "ceaff/common/status.h"
+
+namespace ceaff {
+
+/// Cooperative cancellation and deadline signal shared between a controller
+/// (CLI signal handler, watchdog thread, test) and long-running library
+/// loops (GCN epochs, Sinkhorn iterations, DAA proposal rounds, bootstrap
+/// rounds).
+///
+/// The controller calls RequestCancel() and/or arms a deadline; workers
+/// poll Check() once per iteration and propagate the returned non-OK
+/// Status (kCancelled / kDeadlineExceeded) up their Status/StatusOr chain.
+/// Polling an un-armed token is a pair of relaxed atomic loads, so kernels
+/// can afford to poll every iteration.
+///
+/// All members are thread-safe: a token may be cancelled from a different
+/// thread (or a signal handler — RequestCancel is async-signal-safe) while
+/// workers poll it.
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+
+  /// Non-copyable (identity type: workers hold a pointer to the one
+  /// controller-owned instance).
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Signals cancellation. Idempotent; never blocks.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms (or re-arms) a deadline `ms` milliseconds from now. A
+  /// non-positive value expires immediately.
+  void SetDeadlineAfterMillis(int64_t ms) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            (Clock::now() + std::chrono::milliseconds(ms)).time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Removes a previously armed deadline (cancellation requests persist).
+  void ClearDeadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token for a fresh run: clears both the cancel flag and
+  /// the deadline.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    ClearDeadline();
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// True when the armed deadline has passed (false when none armed).
+  bool deadline_expired() const {
+    int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return false;
+    return Clock::now().time_since_epoch() >= std::chrono::nanoseconds(d);
+  }
+
+  /// OK while the operation may continue; kCancelled after RequestCancel(),
+  /// kDeadlineExceeded once the deadline passes. `where` names the polling
+  /// loop in the error message ("gcn epoch", "sinkhorn", ...).
+  Status Check(const char* where = "") const {
+    if (cancel_requested()) {
+      return Status::Cancelled(std::string("cancellation requested") +
+                               (*where ? std::string(" during ") + where
+                                       : std::string()));
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded(std::string("deadline exceeded") +
+                                      (*where ? std::string(" during ") + where
+                                              : std::string()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MIN;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{kNoDeadline};
+};
+
+/// Polls a possibly-null token: library loops take `const CancellationToken*
+/// cancel = nullptr` and call this each iteration; null means "never
+/// cancelled" and costs one branch.
+inline Status CheckCancel(const CancellationToken* token,
+                          const char* where = "") {
+  return token == nullptr ? Status::OK() : token->Check(where);
+}
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_CANCELLATION_H_

@@ -1,0 +1,46 @@
+#include "ceaff/common/crc32.h"
+
+#include <array>
+
+namespace ceaff {
+
+namespace {
+
+/// The byte-at-a-time lookup table for the reflected IEEE polynomial
+/// 0xEDB88320, built once at static-init time.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  uint32_t c = state_;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t Crc32Of(const void* data, size_t len) {
+  Crc32 crc;
+  crc.Update(data, len);
+  return crc.value();
+}
+
+}  // namespace ceaff

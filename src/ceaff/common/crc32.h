@@ -1,0 +1,29 @@
+#ifndef CEAFF_COMMON_CRC32_H_
+#define CEAFF_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ceaff {
+
+/// Incremental CRC-32 (IEEE 802.3, the zlib polynomial) used to checksum
+/// binary artifacts. Not cryptographic — it detects the corruption classes
+/// a checkpoint store cares about (truncation, bit flips, torn writes).
+class Crc32 {
+ public:
+  /// Feeds `len` bytes; may be called repeatedly to checksum streamed data.
+  void Update(const void* data, size_t len);
+
+  /// The checksum of everything fed so far.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over a single buffer.
+uint32_t Crc32Of(const void* data, size_t len);
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_CRC32_H_

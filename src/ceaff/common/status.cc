@@ -22,6 +22,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

@@ -19,6 +19,13 @@ enum class StatusCode {
   kInternal = 6,
   kIOError = 7,
   kUnimplemented = 8,
+  kCancelled = 9,
+  kDeadlineExceeded = 10,
+  /// Unrecoverable corruption of stored data (bad checksum, truncated or
+  /// garbled artifact). Distinct from kIOError (the OS-level failure to
+  /// read/write at all): kDataLoss means the bytes were read fine but are
+  /// not what was written.
+  kDataLoss = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -63,6 +70,15 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +91,14 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

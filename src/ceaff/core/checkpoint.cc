@@ -1,0 +1,62 @@
+#include "ceaff/core/checkpoint.h"
+
+#include <cstring>
+#include <filesystem>
+
+#include "ceaff/la/matrix_io.h"
+
+namespace ceaff::core {
+
+Status CheckpointStore::Init() const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("mkdir " + dir_ + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+bool CheckpointStore::Has(const std::string& name) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(name), ec);
+}
+
+Status CheckpointStore::SaveMatrix(const std::string& name,
+                                   const la::Matrix& m) const {
+  return la::SaveMatrixArtifact(m, PathFor(name));
+}
+
+StatusOr<la::Matrix> CheckpointStore::LoadMatrix(
+    const std::string& name) const {
+  return la::LoadMatrixArtifact(PathFor(name));
+}
+
+Status CheckpointStore::SaveScalar(const std::string& name,
+                                   double value) const {
+  static_assert(sizeof(double) == 2 * sizeof(float),
+                "scalar bit-packing assumes 64-bit double, 32-bit float");
+  la::Matrix m(1, 2);
+  std::memcpy(m.data(), &value, sizeof(double));
+  return SaveMatrix(name, m);
+}
+
+StatusOr<double> CheckpointStore::LoadScalar(const std::string& name) const {
+  CEAFF_ASSIGN_OR_RETURN(la::Matrix m, LoadMatrix(name));
+  if (m.rows() != 1 || m.cols() != 2) {
+    return Status::DataLoss(PathFor(name) + ": not a scalar artifact");
+  }
+  double value;
+  std::memcpy(&value, m.data(), sizeof(double));
+  return value;
+}
+
+Status CheckpointStore::Remove(const std::string& name) const {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(name), ec);
+  if (ec) {
+    return Status::IOError("remove " + PathFor(name) + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace ceaff::core

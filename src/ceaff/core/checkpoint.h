@@ -1,0 +1,53 @@
+#ifndef CEAFF_CORE_CHECKPOINT_H_
+#define CEAFF_CORE_CHECKPOINT_H_
+
+#include <string>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::core {
+
+/// Persists named pipeline-stage artifacts (matrices, scalars) under one
+/// directory, using the checksummed binary format of la/matrix_io.h.
+/// One file per artifact: `<dir>/<name>.ckpt`.
+///
+/// Guarantees:
+///   * writes are atomic (temp file + rename) — a crash mid-save never
+///     leaves a half-written artifact under the final name;
+///   * loads verify magic/size/CRC — a truncated or bit-flipped file
+///     yields kDataLoss, never silently-wrong data.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Creates the directory (and parents). Call once before Save.
+  Status Init() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(const std::string& name) const {
+    return dir_ + "/" + name + ".ckpt";
+  }
+
+  /// Whether an artifact file exists (no validation — Load still decides).
+  bool Has(const std::string& name) const;
+
+  Status SaveMatrix(const std::string& name, const la::Matrix& m) const;
+  StatusOr<la::Matrix> LoadMatrix(const std::string& name) const;
+
+  /// Scalars (e.g. a stage's final loss) ride in the same artifact format
+  /// as a 1x2 float matrix holding the double's bit pattern, so the value
+  /// round-trips exactly.
+  Status SaveScalar(const std::string& name, double value) const;
+  StatusOr<double> LoadScalar(const std::string& name) const;
+
+  /// Deletes an artifact if present (used to drop stale/corrupt stages).
+  Status Remove(const std::string& name) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ceaff::core
+
+#endif  // CEAFF_CORE_CHECKPOINT_H_

@@ -16,6 +16,7 @@ StatusOr<IterativeCeaffResult> RunIterativeCeaff(
   out.accuracy_per_round.push_back(result.accuracy);
 
   for (size_t round = 0; round < options.rounds; ++round) {
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options.cancel, "bootstrap round"));
     // Collect matched pairs with their fused scores.
     struct Scored {
       size_t row;

@@ -21,6 +21,10 @@ struct IterativeCeaffOptions {
   double promote_quantile = 0.5;
   /// And its fused similarity is at least this absolute value.
   float min_similarity = 0.5f;
+  /// Optional cooperative cancellation/deadline signal, polled before
+  /// every bootstrap round (in addition to whatever token `base` threads
+  /// into the per-round pipeline). Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Outcome of the final round plus bookkeeping.

@@ -1,8 +1,11 @@
 #include "ceaff/core/pipeline.h"
 
+#include <memory>
 #include <numeric>
 
+#include "ceaff/common/logging.h"
 #include "ceaff/common/timer.h"
+#include "ceaff/core/checkpoint.h"
 #include "ceaff/la/csls.h"
 #include "ceaff/la/ops.h"
 #include "ceaff/text/levenshtein.h"
@@ -75,21 +78,112 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
     seed_src.push_back(p.source);
     seed_tgt.push_back(p.target);
   }
+  const size_t n_test = test_src.size();
+  const size_t n_seed = seed_src.size();
+
+  std::unique_ptr<CheckpointStore> store;
+  if (!options_.checkpoint_dir.empty()) {
+    store = std::make_unique<CheckpointStore>(options_.checkpoint_dir);
+    CEAFF_RETURN_IF_ERROR(store->Init());
+  }
+
+  // Attempts to restore a feature stage (test matrix, seed matrix when
+  // seeds exist, optional scalar) from its checkpoint artifacts. Returns
+  // false when the stage must be recomputed — artifacts absent, corrupted
+  // (kDataLoss from the CRC/size/magic validation) or shaped for a
+  // different dataset. Corruption is a cache miss here, not an error: the
+  // stage is cleanly re-run and its fresh artifacts overwrite the bad
+  // ones.
+  auto restore_stage = [&](const std::string& stage, la::Matrix* test,
+                           la::Matrix* seed, double* loss) -> bool {
+    if (store == nullptr || !options_.resume) return false;
+    if (!store->Has(stage)) return false;
+    auto unusable = [&](const std::string& name, const Status& st) {
+      CEAFF_LOG(Warning) << "checkpoint " << store->PathFor(name)
+                         << " unusable (" << st << "); re-running stage '"
+                         << stage << "'";
+      return false;
+    };
+    auto test_or = store->LoadMatrix(stage);
+    if (!test_or.ok()) return unusable(stage, test_or.status());
+    if (test_or.value().rows() != n_test ||
+        test_or.value().cols() != n_test) {
+      return unusable(
+          stage, Status::DataLoss("shape mismatch vs current test split"));
+    }
+    la::Matrix seed_matrix;
+    if (seed != nullptr && n_seed > 0) {
+      auto seed_or = store->LoadMatrix(stage + ".seed");
+      if (!seed_or.ok()) return unusable(stage + ".seed", seed_or.status());
+      if (seed_or.value().rows() != n_seed ||
+          seed_or.value().cols() != n_seed) {
+        return unusable(stage + ".seed", Status::DataLoss(
+                            "shape mismatch vs current seed split"));
+      }
+      seed_matrix = std::move(seed_or).value();
+    }
+    double loss_value = 0.0;
+    if (loss != nullptr) {
+      auto loss_or = store->LoadScalar(stage + ".loss");
+      if (!loss_or.ok()) return unusable(stage + ".loss", loss_or.status());
+      loss_value = loss_or.value();
+    }
+    *test = std::move(test_or).value();
+    if (seed != nullptr && n_seed > 0) *seed = std::move(seed_matrix);
+    if (loss != nullptr) *loss = loss_value;
+    return true;
+  };
+
+  // Persists a completed stage. Write failures are real errors (the
+  // caller asked for durability and is not getting it).
+  auto persist_stage = [&](const std::string& stage, const la::Matrix& test,
+                           const la::Matrix* seed,
+                           const double* loss) -> Status {
+    if (store == nullptr) return Status::OK();
+    CEAFF_RETURN_IF_ERROR(store->SaveMatrix(stage, test));
+    if (seed != nullptr && !seed->empty()) {
+      CEAFF_RETURN_IF_ERROR(store->SaveMatrix(stage + ".seed", *seed));
+    }
+    if (loss != nullptr) {
+      CEAFF_RETURN_IF_ERROR(store->SaveScalar(stage + ".loss", *loss));
+    }
+    return Status::OK();
+  };
+
+  auto notify = [&](const std::string& stage, bool from_checkpoint) {
+    if (options_.stage_callback) {
+      options_.stage_callback(stage, from_checkpoint);
+    }
+  };
 
   if (options_.use_structural) {
-    la::SparseMatrix a1 = kg::BuildAdjacency(pair_->kg1, options_.adjacency);
-    la::SparseMatrix a2 = kg::BuildAdjacency(pair_->kg2, options_.adjacency);
-    embed::GcnAligner gcn(std::move(a1), std::move(a2), options_.gcn);
-    CEAFF_ASSIGN_OR_RETURN(features.gcn_final_loss,
-                           gcn.Train(pair_->seed_alignment));
-    features.structural =
-        la::CosineSimilarity(GatherRows(gcn.embeddings1(), test_src),
-                             GatherRows(gcn.embeddings2(), test_tgt));
-    if (!seed_src.empty()) {
-      features.seed_structural =
-          la::CosineSimilarity(GatherRows(gcn.embeddings1(), seed_src),
-                               GatherRows(gcn.embeddings2(), seed_tgt));
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "structural stage"));
+    bool restored =
+        restore_stage("structural", &features.structural,
+                      &features.seed_structural, &features.gcn_final_loss);
+    if (!restored) {
+      la::SparseMatrix a1 =
+          kg::BuildAdjacency(pair_->kg1, options_.adjacency);
+      la::SparseMatrix a2 =
+          kg::BuildAdjacency(pair_->kg2, options_.adjacency);
+      embed::GcnOptions gcn_options = options_.gcn;
+      gcn_options.cancel = options_.cancel;
+      embed::GcnAligner gcn(std::move(a1), std::move(a2), gcn_options);
+      CEAFF_ASSIGN_OR_RETURN(features.gcn_final_loss,
+                             gcn.Train(pair_->seed_alignment));
+      features.structural =
+          la::CosineSimilarity(GatherRows(gcn.embeddings1(), test_src),
+                               GatherRows(gcn.embeddings2(), test_tgt));
+      if (!seed_src.empty()) {
+        features.seed_structural =
+            la::CosineSimilarity(GatherRows(gcn.embeddings1(), seed_src),
+                                 GatherRows(gcn.embeddings2(), seed_tgt));
+      }
+      CEAFF_RETURN_IF_ERROR(persist_stage("structural", features.structural,
+                                          &features.seed_structural,
+                                          &features.gcn_final_loss));
     }
+    notify("structural", restored);
   }
   std::vector<std::string> src_names = GatherNames(pair_->kg1, test_src);
   std::vector<std::string> tgt_names = GatherNames(pair_->kg2, test_tgt);
@@ -98,44 +192,78 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
   std::vector<std::string> seed_tgt_names =
       GatherNames(pair_->kg2, seed_tgt);
   if (options_.use_semantic) {
-    features.semantic =
-        text::SemanticSimilarityMatrix(*store_, src_names, tgt_names);
-    if (!seed_src.empty()) {
-      features.seed_semantic = text::SemanticSimilarityMatrix(
-          *store_, seed_src_names, seed_tgt_names);
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "semantic stage"));
+    bool restored = restore_stage("semantic", &features.semantic,
+                                  &features.seed_semantic, nullptr);
+    if (!restored) {
+      features.semantic =
+          text::SemanticSimilarityMatrix(*store_, src_names, tgt_names);
+      if (!seed_src.empty()) {
+        features.seed_semantic = text::SemanticSimilarityMatrix(
+            *store_, seed_src_names, seed_tgt_names);
+      }
+      CEAFF_RETURN_IF_ERROR(persist_stage("semantic", features.semantic,
+                                          &features.seed_semantic, nullptr));
     }
+    notify("semantic", restored);
   }
   if (options_.use_string) {
-    if (options_.string_metric == CeaffOptions::StringMetric::kNgramDice) {
-      features.string_sim = text::NgramSimilarityMatrix(src_names, tgt_names);
-      if (!seed_src.empty()) {
-        features.seed_string =
-            text::NgramSimilarityMatrix(seed_src_names, seed_tgt_names);
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "string stage"));
+    bool restored = restore_stage("string", &features.string_sim,
+                                  &features.seed_string, nullptr);
+    if (!restored) {
+      if (options_.string_metric == CeaffOptions::StringMetric::kNgramDice) {
+        features.string_sim =
+            text::NgramSimilarityMatrix(src_names, tgt_names);
+        if (!seed_src.empty()) {
+          features.seed_string =
+              text::NgramSimilarityMatrix(seed_src_names, seed_tgt_names);
+        }
+      } else {
+        features.string_sim =
+            text::StringSimilarityMatrix(src_names, tgt_names);
+        if (!seed_src.empty()) {
+          features.seed_string =
+              text::StringSimilarityMatrix(seed_src_names, seed_tgt_names);
+        }
       }
-    } else {
-      features.string_sim =
-          text::StringSimilarityMatrix(src_names, tgt_names);
-      if (!seed_src.empty()) {
-        features.seed_string =
-            text::StringSimilarityMatrix(seed_src_names, seed_tgt_names);
-      }
+      CEAFF_RETURN_IF_ERROR(persist_stage("string", features.string_sim,
+                                          &features.seed_string, nullptr));
     }
+    notify("string", restored);
   }
   if (options_.use_relation) {
-    features.relation = kg::RelationSimilarityMatrix(
-        pair_->kg1, pair_->kg2, test_src, test_tgt, options_.relation);
-    if (!seed_src.empty()) {
-      features.seed_relation = kg::RelationSimilarityMatrix(
-          pair_->kg1, pair_->kg2, seed_src, seed_tgt, options_.relation);
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "relation stage"));
+    bool restored = restore_stage("relation", &features.relation,
+                                  &features.seed_relation, nullptr);
+    if (!restored) {
+      features.relation = kg::RelationSimilarityMatrix(
+          pair_->kg1, pair_->kg2, test_src, test_tgt, options_.relation);
+      if (!seed_src.empty()) {
+        features.seed_relation = kg::RelationSimilarityMatrix(
+            pair_->kg1, pair_->kg2, seed_src, seed_tgt, options_.relation);
+      }
+      CEAFF_RETURN_IF_ERROR(persist_stage("relation", features.relation,
+                                          &features.seed_relation, nullptr));
     }
+    notify("relation", restored);
   }
   if (options_.use_attribute) {
-    features.attribute = kg::AttributeSimilarityMatrix(
-        pair_->kg1, pair_->kg2, test_src, test_tgt, options_.attribute);
-    if (!seed_src.empty()) {
-      features.seed_attribute = kg::AttributeSimilarityMatrix(
-          pair_->kg1, pair_->kg2, seed_src, seed_tgt, options_.attribute);
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "attribute stage"));
+    bool restored = restore_stage("attribute", &features.attribute,
+                                  &features.seed_attribute, nullptr);
+    if (!restored) {
+      features.attribute = kg::AttributeSimilarityMatrix(
+          pair_->kg1, pair_->kg2, test_src, test_tgt, options_.attribute);
+      if (!seed_src.empty()) {
+        features.seed_attribute = kg::AttributeSimilarityMatrix(
+            pair_->kg1, pair_->kg2, seed_src, seed_tgt, options_.attribute);
+      }
+      CEAFF_RETURN_IF_ERROR(persist_stage("attribute", features.attribute,
+                                          &features.seed_attribute,
+                                          nullptr));
     }
+    notify("attribute", restored);
   }
   features.seconds = timer.ElapsedSeconds();
   return features;
@@ -266,16 +394,21 @@ StatusOr<CeaffResult> CeaffPipeline::RunOnFeatures(
   result.string_sim = features.string_sim;
   result.gcn_final_loss = features.gcn_final_loss;
   result.seconds_features = features.seconds;
+  CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "fusion stage"));
   CEAFF_RETURN_IF_ERROR(FuseFeatures(features, &result));
   if (options_.csls_k > 0) {
     result.fused = la::CslsRescale(result.fused, options_.csls_k);
   }
 
+  CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "decision stage"));
   WallTimer decision_timer;
   switch (options_.decision_mode) {
-    case DecisionMode::kCollective:
-      result.match = matching::DeferredAcceptance(result.fused);
+    case DecisionMode::kCollective: {
+      CEAFF_ASSIGN_OR_RETURN(
+          result.match,
+          matching::DeferredAcceptanceChecked(result.fused, options_.cancel));
       break;
+    }
     case DecisionMode::kIndependent:
       result.match = matching::GreedyIndependent(result.fused);
       break;
@@ -287,9 +420,14 @@ StatusOr<CeaffResult> CeaffPipeline::RunOnFeatures(
     case DecisionMode::kGreedyOneToOne:
       result.match = matching::GreedyOneToOne(result.fused);
       break;
-    case DecisionMode::kSinkhorn:
-      result.match = matching::SinkhornMatch(result.fused);
+    case DecisionMode::kSinkhorn: {
+      matching::SinkhornOptions sinkhorn;
+      sinkhorn.cancel = options_.cancel;
+      CEAFF_ASSIGN_OR_RETURN(
+          result.match,
+          matching::SinkhornMatchChecked(result.fused, sinkhorn));
       break;
+    }
   }
   result.seconds_decision = decision_timer.ElapsedSeconds();
 

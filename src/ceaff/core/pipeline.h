@@ -1,9 +1,11 @@
 #ifndef CEAFF_CORE_PIPELINE_H_
 #define CEAFF_CORE_PIPELINE_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "ceaff/common/cancellation.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/embed/gcn.h"
 #include "ceaff/eval/metrics.h"
@@ -65,6 +67,32 @@ struct CeaffOptions {
   fusion::LrOptions lr;          // kLearned parameters
   embed::GcnOptions gcn;         // structural feature training
   kg::AdjacencyOptions adjacency;
+
+  // ---- Fault tolerance & run control (DESIGN.md "Failure model") ----
+
+  /// When non-empty, every completed feature stage (structural, semantic,
+  /// string, attribute, relation) is persisted under this directory as a
+  /// checksummed binary artifact immediately after it is computed. Fusion
+  /// and decision are cheap and deterministic, so they are always re-run.
+  std::string checkpoint_dir;
+  /// With checkpoint_dir set: restore stages from valid checkpoints
+  /// instead of recomputing them. An absent, corrupted (CRC/size/magic
+  /// failure) or shape-mismatched checkpoint triggers a clean re-run of
+  /// just that stage — corruption is never an error here, only a cache
+  /// miss (it is logged).
+  bool resume = false;
+  /// Cooperative cancellation/deadline signal, polled at every stage
+  /// boundary and inside the iterative kernels (GCN epochs, Sinkhorn
+  /// iterations, DAA rounds). When it fires, Run() returns kCancelled or
+  /// kDeadlineExceeded; stages already persisted to checkpoint_dir remain
+  /// on disk, so a later resume continues from the last completed stage.
+  /// Not owned.
+  const CancellationToken* cancel = nullptr;
+  /// Observability hook: invoked after each feature stage completes (and,
+  /// with checkpointing enabled, has been persisted). `from_checkpoint` is
+  /// true when the stage was restored rather than computed.
+  std::function<void(const std::string& stage, bool from_checkpoint)>
+      stage_callback;
 };
 
 /// Everything a CEAFF run produces. Feature/fused matrices are restricted

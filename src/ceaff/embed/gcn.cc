@@ -103,6 +103,7 @@ StatusOr<double> GcnAligner::Train(
   const float lr = options_.learning_rate /
                    static_cast<float>(seed_pairs.size());
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "gcn training"));
     ForwardCache c1, c2;
     ForwardKg(a1_, x1_, &c1, &z1_);
     ForwardKg(a2_, x2_, &c2, &z2_);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ceaff/common/cancellation.h"
 #include "ceaff/common/random.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/kg/knowledge_graph.h"
@@ -61,6 +62,10 @@ struct GcnOptions {
   bool tie_seed_features = true;
   /// RNG seed controlling init and negative sampling.
   uint64_t seed = 42;
+  /// Optional cooperative cancellation/deadline signal, polled once per
+  /// epoch. Train() returns kCancelled/kDeadlineExceeded when it fires
+  /// (embeddings reflect the last completed epoch). Not owned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Two 2-layer GCNs with *shared* weight matrices W1, W2 (one GCN per KG,

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include "ceaff/common/string_util.h"
 
@@ -19,26 +20,78 @@ std::string SanitizeTsvField(const std::string& s) {
   return out;
 }
 
-}  // namespace
+/// Prefixes `inner` with `path:line:` (preserving its code) unless the
+/// message already carries that context.
+Status WithLineContext(const std::string& path, size_t lineno,
+                       const Status& inner) {
+  return Status(inner.code(), StrFormat("%s:%zu: %s", path.c_str(), lineno,
+                                        inner.message().c_str()));
+}
 
-Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
+/// Shared strict/lenient TSV line pump. Opens `path`, splits each
+/// non-blank non-comment line on tabs, enforces `expected_fields`, and
+/// hands the fields to `consume`. Strict mode fails on the first problem;
+/// lenient mode records each problem in `report` and keeps going until
+/// `options.max_errors` is exceeded. Every emitted error carries
+/// `path:line:` context.
+Status RunTsvLoader(
+    const std::string& path, size_t expected_fields,
+    const ParseOptions& options, ParseReport* report,
+    const std::function<Status(const std::vector<std::string>&)>& consume) {
+  ParseReport local;
+  if (report == nullptr) report = &local;
+  report->path = path;
+  report->lines_scanned = 0;
+  report->records_loaded = 0;
+  report->issues.clear();
+
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   std::string line;
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    report->lines_scanned = lineno;
     std::string_view sv = StripAsciiWhitespace(line);
     if (sv.empty() || sv[0] == '#') continue;
     std::vector<std::string> fields = Split(sv, '\t');
-    if (fields.size() != 3) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 3 tab-separated fields, got %zu",
-                    path.c_str(), lineno, fields.size()));
+    Status st;
+    if (fields.size() != expected_fields) {
+      st = Status::InvalidArgument(
+          StrFormat("expected %zu tab-separated fields, got %zu",
+                    expected_fields, fields.size()));
+    } else {
+      st = consume(fields);
     }
-    kg->AddTriple(fields[0], fields[1], fields[2]);
+    if (st.ok()) {
+      ++report->records_loaded;
+      continue;
+    }
+    if (!options.lenient) return WithLineContext(path, lineno, st);
+    report->issues.push_back({lineno, st.ToString()});
+    if (report->issues.size() > options.max_errors) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: more than %zu malformed lines (last at line %zu: %s) — "
+          "aborting lenient parse",
+          path.c_str(), options.max_errors, lineno, st.message().c_str()));
+    }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg,
+                      const ParseOptions& options, ParseReport* report) {
+  return RunTsvLoader(path, 3, options, report,
+                      [kg](const std::vector<std::string>& f) {
+                        kg->AddTriple(f[0], f[1], f[2]);
+                        return Status::OK();
+                      });
+}
+
+Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
+  return LoadTriplesTsv(path, kg, ParseOptions{}, nullptr);
 }
 
 Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path) {
@@ -54,26 +107,24 @@ Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path) {
 
 Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
                         const KnowledgeGraph& kg2,
+                        std::vector<AlignmentPair>* pairs,
+                        const ParseOptions& options, ParseReport* report) {
+  return RunTsvLoader(
+      path, 2, options, report,
+      [&kg1, &kg2, pairs](const std::vector<std::string>& f) -> Status {
+        auto u = kg1.FindEntity(f[0]);
+        if (!u.ok()) return u.status();
+        auto v = kg2.FindEntity(f[1]);
+        if (!v.ok()) return v.status();
+        pairs->push_back({u.value(), v.value()});
+        return Status::OK();
+      });
+}
+
+Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
+                        const KnowledgeGraph& kg2,
                         std::vector<AlignmentPair>* pairs) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::string_view sv = StripAsciiWhitespace(line);
-    if (sv.empty() || sv[0] == '#') continue;
-    std::vector<std::string> fields = Split(sv, '\t');
-    if (fields.size() != 2) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 2 tab-separated fields, got %zu",
-                    path.c_str(), lineno, fields.size()));
-    }
-    CEAFF_ASSIGN_OR_RETURN(EntityId u, kg1.FindEntity(fields[0]));
-    CEAFF_ASSIGN_OR_RETURN(EntityId v, kg2.FindEntity(fields[1]));
-    pairs->push_back({u, v});
-  }
-  return Status::OK();
+  return LoadAlignmentTsv(path, kg1, kg2, pairs, ParseOptions{}, nullptr);
 }
 
 Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
@@ -89,26 +140,21 @@ Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
   return Status::OK();
 }
 
+Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg,
+                               const ParseOptions& options,
+                               ParseReport* report) {
+  return RunTsvLoader(
+      path, 3, options, report,
+      [kg](const std::vector<std::string>& f) -> Status {
+        auto e = kg->FindEntity(f[0]);
+        if (!e.ok()) return e.status();
+        AttributeId a = kg->AddAttribute(f[1]);
+        return kg->AddAttributeTriple(e.value(), a, f[2]);
+      });
+}
+
 Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::string_view sv = StripAsciiWhitespace(line);
-    if (sv.empty() || sv[0] == '#') continue;
-    std::vector<std::string> fields = Split(sv, '\t');
-    if (fields.size() != 3) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 3 tab-separated fields, got %zu",
-                    path.c_str(), lineno, fields.size()));
-    }
-    CEAFF_ASSIGN_OR_RETURN(EntityId e, kg->FindEntity(fields[0]));
-    AttributeId a = kg->AddAttribute(fields[1]);
-    CEAFF_RETURN_IF_ERROR(kg->AddAttributeTriple(e, a, fields[2]));
-  }
-  return Status::OK();
+  return LoadAttributeTriplesTsv(path, kg, ParseOptions{}, nullptr);
 }
 
 Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
@@ -124,24 +170,17 @@ Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
   return Status::OK();
 }
 
+Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg,
+                       const ParseOptions& options, ParseReport* report) {
+  return RunTsvLoader(path, 2, options, report,
+                      [kg](const std::vector<std::string>& f) {
+                        kg->AddEntity(f[0], f[1]);
+                        return Status::OK();
+                      });
+}
+
 Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
-  std::string line;
-  size_t lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    std::string_view sv = StripAsciiWhitespace(line);
-    if (sv.empty() || sv[0] == '#') continue;
-    std::vector<std::string> fields = Split(sv, '\t');
-    if (fields.size() != 2) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected 2 tab-separated fields, got %zu",
-                    path.c_str(), lineno, fields.size()));
-    }
-    kg->AddEntity(fields[0], fields[1]);
-  }
-  return Status::OK();
+  return LoadEntitiesTsv(path, kg, ParseOptions{}, nullptr);
 }
 
 Status SaveEntitiesTsv(const KnowledgeGraph& kg, const std::string& path) {
@@ -174,25 +213,53 @@ Status SaveKgPair(const KgPair& pair, const std::string& dir) {
   return Status::OK();
 }
 
-Status LoadKgPair(const std::string& dir, KgPair* pair) {
-  CEAFF_RETURN_IF_ERROR(LoadEntitiesTsv(dir + "/entities1.tsv", &pair->kg1));
-  CEAFF_RETURN_IF_ERROR(LoadEntitiesTsv(dir + "/entities2.tsv", &pair->kg2));
-  CEAFF_RETURN_IF_ERROR(LoadTriplesTsv(dir + "/triples1.tsv", &pair->kg1));
-  CEAFF_RETURN_IF_ERROR(LoadTriplesTsv(dir + "/triples2.tsv", &pair->kg2));
+Status LoadKgPair(const std::string& dir, KgPair* pair,
+                  const ParseOptions& options,
+                  std::vector<ParseReport>* reports) {
+  auto next_report = [reports]() -> ParseReport* {
+    if (reports == nullptr) return nullptr;
+    reports->emplace_back();
+    return &reports->back();
+  };
+  CEAFF_RETURN_IF_ERROR(LoadEntitiesTsv(dir + "/entities1.tsv", &pair->kg1,
+                                        options, next_report()));
+  CEAFF_RETURN_IF_ERROR(LoadEntitiesTsv(dir + "/entities2.tsv", &pair->kg2,
+                                        options, next_report()));
+  // A dataset with an empty entity vocabulary is damaged (zero-byte or
+  // fully-skipped entities file); loading it "successfully" would only
+  // defer the failure to some later NotFound with no hint of the cause.
+  if (pair->kg1.num_entities() == 0) {
+    return Status::DataLoss(dir + "/entities1.tsv: no entities loaded — "
+                            "empty or fully malformed entity vocabulary");
+  }
+  if (pair->kg2.num_entities() == 0) {
+    return Status::DataLoss(dir + "/entities2.tsv: no entities loaded — "
+                            "empty or fully malformed entity vocabulary");
+  }
+  CEAFF_RETURN_IF_ERROR(LoadTriplesTsv(dir + "/triples1.tsv", &pair->kg1,
+                                       options, next_report()));
+  CEAFF_RETURN_IF_ERROR(LoadTriplesTsv(dir + "/triples2.tsv", &pair->kg2,
+                                       options, next_report()));
   // Attribute files are optional (older datasets lack them).
   if (std::filesystem::exists(dir + "/attr_triples1.tsv")) {
-    CEAFF_RETURN_IF_ERROR(
-        LoadAttributeTriplesTsv(dir + "/attr_triples1.tsv", &pair->kg1));
+    CEAFF_RETURN_IF_ERROR(LoadAttributeTriplesTsv(
+        dir + "/attr_triples1.tsv", &pair->kg1, options, next_report()));
   }
   if (std::filesystem::exists(dir + "/attr_triples2.tsv")) {
-    CEAFF_RETURN_IF_ERROR(
-        LoadAttributeTriplesTsv(dir + "/attr_triples2.tsv", &pair->kg2));
+    CEAFF_RETURN_IF_ERROR(LoadAttributeTriplesTsv(
+        dir + "/attr_triples2.tsv", &pair->kg2, options, next_report()));
   }
   CEAFF_RETURN_IF_ERROR(LoadAlignmentTsv(dir + "/seed_links.tsv", pair->kg1,
-                                         pair->kg2, &pair->seed_alignment));
+                                         pair->kg2, &pair->seed_alignment,
+                                         options, next_report()));
   CEAFF_RETURN_IF_ERROR(LoadAlignmentTsv(dir + "/test_links.tsv", pair->kg1,
-                                         pair->kg2, &pair->test_alignment));
+                                         pair->kg2, &pair->test_alignment,
+                                         options, next_report()));
   return Status::OK();
+}
+
+Status LoadKgPair(const std::string& dir, KgPair* pair) {
+  return LoadKgPair(dir, pair, ParseOptions{}, nullptr);
 }
 
 }  // namespace ceaff::kg

@@ -2,16 +2,31 @@
 #define CEAFF_KG_IO_H_
 
 #include <string>
+#include <vector>
 
+#include "ceaff/common/parse_report.h"
 #include "ceaff/common/status.h"
 #include "ceaff/kg/knowledge_graph.h"
 
 namespace ceaff::kg {
 
+/// All loaders come in two shapes:
+///   * the plain overload — strict parsing, fails on the first malformed
+///     line with a `path:line:` prefixed error;
+///   * the (options, report) overload — honours ParseOptions::lenient
+///     (skip bad lines up to `max_errors`, recording each skip in
+///     `report`) and fills `report` (may be null) with per-file counts
+///     and issues either way.
+/// Every parse error — malformed field counts, unknown URIs, rejected
+/// values — carries the file path and 1-based line number, so multi-file
+/// loads stay diagnosable.
+
 /// Loads relation triples in the OpenEA / DBP15K TSV layout:
 /// one `head<TAB>relation<TAB>tail` line per triple. URIs are interned
 /// into `kg` (which may already hold entities).
 Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg);
+Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg,
+                      const ParseOptions& options, ParseReport* report);
 
 /// Writes triples in the same TSV layout.
 Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path);
@@ -21,6 +36,10 @@ Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path);
 Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
                         const KnowledgeGraph& kg2,
                         std::vector<AlignmentPair>* pairs);
+Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
+                        const KnowledgeGraph& kg2,
+                        std::vector<AlignmentPair>* pairs,
+                        const ParseOptions& options, ParseReport* report);
 
 /// Writes alignment links as `uri1<TAB>uri2` lines.
 Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
@@ -31,6 +50,9 @@ Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
 /// line per fact. Entities must already exist (NotFound otherwise);
 /// attribute URIs are interned.
 Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg);
+Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg,
+                               const ParseOptions& options,
+                               ParseReport* report);
 
 /// Writes attribute triples in the same TSV layout.
 Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
@@ -40,6 +62,8 @@ Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
 /// Interns URIs into `kg` (names apply on first insertion), preserving
 /// file order, so ids match the writing KG when loaded into an empty one.
 Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg);
+Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg,
+                       const ParseOptions& options, ParseReport* report);
 
 /// Writes the entity vocabulary in id order as `uri<TAB>name` lines.
 Status SaveEntitiesTsv(const KnowledgeGraph& kg, const std::string& path);
@@ -48,8 +72,16 @@ Status SaveEntitiesTsv(const KnowledgeGraph& kg, const std::string& path);
 /// entities2.tsv, triples1.tsv, triples2.tsv, seed_links.tsv,
 /// test_links.tsv. The entity files preserve display names and isolated
 /// entities, which triples alone cannot.
+///
+/// LoadKgPair additionally rejects an empty entity vocabulary with
+/// kDataLoss — a zero-byte entities file means the dataset is damaged and
+/// must never silently load as an empty KG. The (options, reports)
+/// overload appends one ParseReport per file read (`reports` may be null).
 Status SaveKgPair(const KgPair& pair, const std::string& dir);
 Status LoadKgPair(const std::string& dir, KgPair* pair);
+Status LoadKgPair(const std::string& dir, KgPair* pair,
+                  const ParseOptions& options,
+                  std::vector<ParseReport>* reports);
 
 }  // namespace ceaff::kg
 

@@ -1,0 +1,126 @@
+#include "ceaff/la/matrix_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "ceaff/common/crc32.h"
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::la {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'A', 'F', 'F', 'M', 'A', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 32;
+constexpr size_t kFooterBytes = 4;
+
+struct Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t rows;
+  uint64_t cols;
+};
+static_assert(sizeof(Header) == kHeaderBytes, "artifact header must pack");
+
+}  // namespace
+
+Status SaveMatrixArtifact(const Matrix& m, const std::string& path) {
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.reserved = 0;
+  header.rows = m.rows();
+  header.cols = m.cols();
+
+  Crc32 crc;
+  crc.Update(&header, sizeof(header));
+  crc.Update(m.data(), m.size() * sizeof(float));
+  const uint32_t checksum = crc.value();
+
+  // Atomic replace: write a temp sibling, then rename over the target.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+    out.write(reinterpret_cast<const char*>(m.data()),
+              static_cast<std::streamsize>(m.size() * sizeof(float)));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    if (!out) return Status::IOError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<Matrix> LoadMatrixArtifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("stat " + path + ": " + ec.message());
+  if (file_size < kHeaderBytes + kFooterBytes) {
+    return Status::DataLoss(
+        StrFormat("%s: truncated artifact (%llu bytes, need at least %zu)",
+                  path.c_str(), static_cast<unsigned long long>(file_size),
+                  kHeaderBytes + kFooterBytes));
+  }
+
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) return Status::DataLoss(path + ": cannot read artifact header");
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss(path + ": bad magic, not a CEAFF matrix artifact");
+  }
+  if (header.version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("%s: unsupported artifact version %u (expected %u)",
+                  path.c_str(), header.version, kVersion));
+  }
+
+  // Validate the declared shape against the physical file size *before*
+  // allocating, so a corrupted header cannot trigger a huge allocation.
+  const uint64_t elems = header.rows * header.cols;
+  if (header.cols != 0 && header.rows != elems / header.cols) {
+    return Status::DataLoss(path + ": artifact shape overflows");
+  }
+  const uint64_t expected =
+      kHeaderBytes + elems * sizeof(float) + kFooterBytes;
+  if (file_size != expected) {
+    return Status::DataLoss(StrFormat(
+        "%s: size mismatch (%llu bytes on disk, %llu expected for %llux%llu)"
+        " — truncated or corrupted artifact",
+        path.c_str(), static_cast<unsigned long long>(file_size),
+        static_cast<unsigned long long>(expected),
+        static_cast<unsigned long long>(header.rows),
+        static_cast<unsigned long long>(header.cols)));
+  }
+
+  Matrix m(static_cast<size_t>(header.rows), static_cast<size_t>(header.cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(elems * sizeof(float)));
+  uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (!in) return Status::DataLoss(path + ": cannot read artifact payload");
+
+  Crc32 crc;
+  crc.Update(&header, sizeof(header));
+  crc.Update(m.data(), m.size() * sizeof(float));
+  if (crc.value() != stored_crc) {
+    return Status::DataLoss(StrFormat(
+        "%s: CRC mismatch (stored %08x, computed %08x) — corrupted artifact",
+        path.c_str(), stored_crc, crc.value()));
+  }
+  return m;
+}
+
+}  // namespace ceaff::la

@@ -1,0 +1,41 @@
+#ifndef CEAFF_LA_MATRIX_IO_H_
+#define CEAFF_LA_MATRIX_IO_H_
+
+#include <string>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::la {
+
+/// Checksummed binary artifact format for dense matrices (embeddings,
+/// similarity matrices, checkpoints). Layout, all little-endian:
+///
+///   bytes 0..7    magic "CEAFFMAT"
+///   bytes 8..11   format version (uint32, currently 1)
+///   bytes 12..15  reserved (zero)
+///   bytes 16..23  rows (uint64)
+///   bytes 24..31  cols (uint64)
+///   ...           rows*cols float32 payload, row-major
+///   last 4 bytes  CRC-32 over everything before it (header + payload)
+///
+/// Readers verify the magic, version, exact file size and CRC before
+/// returning data; any mismatch is kDataLoss, so a truncated, bit-flipped
+/// or torn-write file can never be silently loaded as garbage.
+///
+/// Writers are atomic: the artifact is written to a sibling temp file and
+/// renamed into place, so a crash mid-write leaves either the old artifact
+/// or none — never a half-written one under the final name.
+
+/// Saves `m` to `path` in the format above. kIOError on filesystem
+/// failures.
+Status SaveMatrixArtifact(const Matrix& m, const std::string& path);
+
+/// Loads a matrix artifact. kIOError when the file cannot be opened,
+/// kDataLoss when it exists but fails validation (bad magic/version,
+/// wrong size, CRC mismatch).
+StatusOr<Matrix> LoadMatrixArtifact(const std::string& path);
+
+}  // namespace ceaff::la
+
+#endif  // CEAFF_LA_MATRIX_IO_H_

@@ -76,9 +76,13 @@ MatchResult GreedyOneToOne(const la::Matrix& similarity) {
 
 namespace {
 
-/// Shared Gale–Shapley engine; `trace` may be null.
-MatchResult DaaImpl(const la::Matrix& similarity,
-                    std::vector<DaaTraceEvent>* trace) {
+/// Shared Gale–Shapley engine; `trace` and `cancel` may be null. The
+/// cancellation token is polled once per n1 proposals (one nominal
+/// "round"), so even adversarial instances with O(n1·n2) proposals stay
+/// responsive without paying an atomic load per proposal.
+StatusOr<MatchResult> DaaImpl(const la::Matrix& similarity,
+                              std::vector<DaaTraceEvent>* trace,
+                              const CancellationToken* cancel) {
   const size_t n1 = similarity.rows();
   const size_t n2 = similarity.cols();
   MatchResult result;
@@ -115,7 +119,11 @@ MatchResult DaaImpl(const la::Matrix& similarity,
   std::queue<uint32_t> free_sources;
   for (uint32_t i = 0; i < n1; ++i) free_sources.push(i);
 
+  size_t proposals = 0;
   while (!free_sources.empty()) {
+    if (proposals++ % n1 == 0) {
+      CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "deferred acceptance"));
+    }
     uint32_t u = free_sources.front();
     free_sources.pop();
     if (next_proposal[u] >= n2) continue;  // exhausted (only when n1 > n2)
@@ -147,19 +155,26 @@ MatchResult DaaImpl(const la::Matrix& similarity,
 }  // namespace
 
 MatchResult DeferredAcceptance(const la::Matrix& similarity) {
-  return DaaImpl(similarity, nullptr);
+  // No token ⇒ DaaImpl cannot fail.
+  return DaaImpl(similarity, nullptr, nullptr).value();
+}
+
+StatusOr<MatchResult> DeferredAcceptanceChecked(
+    const la::Matrix& similarity, const CancellationToken* cancel) {
+  return DaaImpl(similarity, nullptr, cancel);
 }
 
 MatchResult DeferredAcceptanceTraced(const la::Matrix& similarity,
                                      std::vector<DaaTraceEvent>* trace) {
   trace->clear();
-  return DaaImpl(similarity, trace);
+  return DaaImpl(similarity, trace, nullptr).value();
 }
 
 MatchResult DeferredAcceptanceTargetProposing(const la::Matrix& similarity) {
   // Run the source-proposing engine on the transposed instance, then map
   // the target-side assignment back to source order.
-  MatchResult transposed = DaaImpl(similarity.Transposed(), nullptr);
+  MatchResult transposed =
+      DaaImpl(similarity.Transposed(), nullptr, nullptr).value();
   MatchResult result;
   result.target_of_source.assign(similarity.rows(), -1);
   for (size_t j = 0; j < transposed.target_of_source.size(); ++j) {

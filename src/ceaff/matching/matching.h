@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ceaff/common/cancellation.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/kg/knowledge_graph.h"
 #include "ceaff/la/matrix.h"
@@ -40,6 +41,12 @@ MatchResult GreedyOneToOne(const la::Matrix& similarity);
 /// n1 <= n2, and the result admits no blocking pair (CountBlockingPairs
 /// returns 0) with respect to these preferences.
 MatchResult DeferredAcceptance(const la::Matrix& similarity);
+
+/// DeferredAcceptance with cooperative cancellation: `cancel` (may be
+/// null) is polled once per batch of |sources| proposals, returning
+/// kCancelled/kDeadlineExceeded instead of completing the matching.
+StatusOr<MatchResult> DeferredAcceptanceChecked(
+    const la::Matrix& similarity, const CancellationToken* cancel);
 
 /// Target-proposing deferred acceptance: the mirror matching in which
 /// targets propose to sources. Gale–Shapley is proposer-optimal, so this

@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "ceaff/common/logging.h"
+
 namespace ceaff::matching {
 
-la::Matrix SinkhornNormalize(const la::Matrix& similarity,
-                             const SinkhornOptions& options) {
+StatusOr<la::Matrix> SinkhornNormalizeChecked(const la::Matrix& similarity,
+                                              const SinkhornOptions& options) {
   la::Matrix plan(similarity.rows(), similarity.cols());
   if (plan.empty()) return plan;
   // Stabilised exponentiation: subtract the global max first.
@@ -19,6 +21,7 @@ la::Matrix SinkhornNormalize(const la::Matrix& similarity,
         std::exp((similarity.data()[i] - max_value) * inv_t));
   }
   for (size_t iter = 0; iter < options.iterations; ++iter) {
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options.cancel, "sinkhorn iteration"));
     // Row normalisation.
     for (size_t r = 0; r < plan.rows(); ++r) {
       float* row = plan.row(r);
@@ -42,9 +45,25 @@ la::Matrix SinkhornNormalize(const la::Matrix& similarity,
   return plan;
 }
 
+StatusOr<MatchResult> SinkhornMatchChecked(const la::Matrix& similarity,
+                                           const SinkhornOptions& options) {
+  CEAFF_ASSIGN_OR_RETURN(la::Matrix plan,
+                         SinkhornNormalizeChecked(similarity, options));
+  return GreedyOneToOne(plan);
+}
+
+la::Matrix SinkhornNormalize(const la::Matrix& similarity,
+                             const SinkhornOptions& options) {
+  CEAFF_CHECK(options.cancel == nullptr)
+      << "use SinkhornNormalizeChecked with a cancellation token";
+  return SinkhornNormalizeChecked(similarity, options).value();
+}
+
 MatchResult SinkhornMatch(const la::Matrix& similarity,
                           const SinkhornOptions& options) {
-  return GreedyOneToOne(SinkhornNormalize(similarity, options));
+  CEAFF_CHECK(options.cancel == nullptr)
+      << "use SinkhornMatchChecked with a cancellation token";
+  return SinkhornMatchChecked(similarity, options).value();
 }
 
 }  // namespace ceaff::matching

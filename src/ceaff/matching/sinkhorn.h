@@ -3,6 +3,8 @@
 
 #include <cstddef>
 
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/statusor.h"
 #include "ceaff/la/matrix.h"
 #include "ceaff/matching/matching.h"
 
@@ -19,15 +21,28 @@ struct SinkhornOptions {
   /// slower/less stable convergence.
   double temperature = 0.05;
   size_t iterations = 50;
+  /// Optional cooperative cancellation/deadline signal, polled once per
+  /// Sinkhorn iteration. Only the Checked entry points can report it; the
+  /// plain ones CHECK-fail if it fires, so pair a token with Checked.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Row/column-normalises exp(similarity / temperature) `iterations` times
 /// and returns the resulting transport plan (all entries positive; rows
 /// sum to ~1; columns sum to ~n1/n2). Shapes may be rectangular.
+/// kCancelled/kDeadlineExceeded when `options.cancel` fires mid-run.
+StatusOr<la::Matrix> SinkhornNormalizeChecked(
+    const la::Matrix& similarity, const SinkhornOptions& options = {});
+
+/// Full matcher: Sinkhorn plan + one-to-one greedy decoding, with
+/// cancellation support.
+StatusOr<MatchResult> SinkhornMatchChecked(
+    const la::Matrix& similarity, const SinkhornOptions& options = {});
+
+/// Convenience wrappers for call sites without a cancellation token
+/// (options.cancel must be null — CHECK otherwise).
 la::Matrix SinkhornNormalize(const la::Matrix& similarity,
                              const SinkhornOptions& options = {});
-
-/// Full matcher: Sinkhorn plan + one-to-one greedy decoding.
 MatchResult SinkhornMatch(const la::Matrix& similarity,
                           const SinkhornOptions& options = {});
 

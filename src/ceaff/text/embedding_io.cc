@@ -7,16 +7,54 @@
 
 namespace ceaff::text {
 
+namespace {
+
+/// Parses one `token v1 ... vd` data line into (token, vec). Returns the
+/// reason on failure — without path/line context, which the caller adds.
+Status ParseVectorLine(const std::vector<std::string>& fields, size_t dim,
+                       bool lowercase, std::string* token,
+                       std::vector<float>* vec) {
+  if (fields.size() != dim + 1) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu fields (token + %zu values), got %zu",
+                  dim + 1, dim, fields.size()));
+  }
+  vec->clear();
+  vec->reserve(dim);
+  for (size_t i = 1; i < fields.size(); ++i) {
+    char* end = nullptr;
+    float v = std::strtof(fields[i].c_str(), &end);
+    if (end == fields[i].c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StrFormat("malformed value '%s'", fields[i].c_str()));
+    }
+    vec->push_back(v);
+  }
+  *token = lowercase ? AsciiToLower(fields[0]) : fields[0];
+  return Status::OK();
+}
+
+}  // namespace
+
 Status LoadTextEmbeddings(const std::string& path, WordEmbeddingStore* store,
-                          const EmbeddingIoOptions& options) {
+                          const EmbeddingIoOptions& options,
+                          ParseReport* report) {
+  ParseReport local;
+  if (report == nullptr) report = &local;
+  report->path = path;
+  report->lines_scanned = 0;
+  report->records_loaded = 0;
+  report->issues.clear();
+
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   std::string line;
   size_t lineno = 0;
-  size_t loaded = 0;
+  std::string token;
   std::vector<float> vec;
   while (std::getline(in, line)) {
     ++lineno;
+    report->lines_scanned = lineno;
     std::vector<std::string> fields = SplitWhitespace(line);
     if (fields.empty()) continue;
     if (lineno == 1 && options.allow_header && fields.size() == 2) {
@@ -25,35 +63,37 @@ Status LoadTextEmbeddings(const std::string& path, WordEmbeddingStore* store,
       long dim = std::strtol(fields[1].c_str(), &end, 10);
       if (end != fields[1].c_str() && dim > 0 &&
           static_cast<size_t>(dim) != store->dim()) {
+        // Wrong dimensionality for the whole file — fatal even in lenient
+        // mode (each data line would fail anyway; better one clear error).
         return Status::InvalidArgument(StrFormat(
-            "%s: file dimensionality %ld does not match store dim %zu",
+            "%s:1: file dimensionality %ld does not match store dim %zu",
             path.c_str(), dim, store->dim()));
       }
       continue;
     }
-    if (fields.size() != store->dim() + 1) {
-      return Status::InvalidArgument(StrFormat(
-          "%s:%zu: expected %zu fields (token + %zu values), got %zu",
-          path.c_str(), lineno, store->dim() + 1, store->dim(),
-          fields.size()));
-    }
-    vec.clear();
-    vec.reserve(store->dim());
-    for (size_t i = 1; i < fields.size(); ++i) {
-      char* end = nullptr;
-      float v = std::strtof(fields[i].c_str(), &end);
-      if (end == fields[i].c_str()) {
-        return Status::InvalidArgument(StrFormat(
-            "%s:%zu: malformed value '%s'", path.c_str(), lineno,
-            fields[i].c_str()));
+    Status st = ParseVectorLine(fields, store->dim(), options.lowercase,
+                                &token, &vec);
+    if (st.ok()) st = store->SetVector(token, vec);
+    if (st.ok()) {
+      ++report->records_loaded;
+      if (options.max_vectors > 0 &&
+          report->records_loaded >= options.max_vectors) {
+        break;
       }
-      vec.push_back(v);
+      continue;
     }
-    std::string token =
-        options.lowercase ? AsciiToLower(fields[0]) : fields[0];
-    CEAFF_RETURN_IF_ERROR(store->SetVector(token, vec));
-    ++loaded;
-    if (options.max_vectors > 0 && loaded >= options.max_vectors) break;
+    if (!options.parse.lenient) {
+      return Status(st.code(), StrFormat("%s:%zu: %s", path.c_str(), lineno,
+                                         st.message().c_str()));
+    }
+    report->issues.push_back({lineno, st.ToString()});
+    if (report->issues.size() > options.parse.max_errors) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: more than %zu malformed lines (last at line %zu: %s) — "
+          "aborting lenient parse",
+          path.c_str(), options.parse.max_errors, lineno,
+          st.message().c_str()));
+    }
   }
   return Status::OK();
 }

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "ceaff/common/parse_report.h"
 #include "ceaff/common/status.h"
 #include "ceaff/text/word_embedding.h"
 
@@ -18,14 +19,25 @@ struct EmbeddingIoOptions {
   size_t max_vectors = 0;
   /// Lower-case tokens on load (matching TokenizeName's output).
   bool lowercase = true;
+  /// Strict vs. lenient handling of malformed lines (wrong field count,
+  /// unparsable values). Pretrained dumps routinely contain a few corrupt
+  /// rows — lenient mode skips them within the error budget instead of
+  /// abandoning a multi-gigabyte load. A dimensionality mismatch declared
+  /// by the file header stays fatal in both modes: that means the whole
+  /// file is wrong, not a line.
+  ParseOptions parse;
 };
 
 /// Loads text-format embeddings (`token v1 v2 ... vd` per line) into
 /// `store` as explicit vectors. The store's dimensionality must match the
-/// file's (InvalidArgument otherwise). This is the entry point for the
-/// paper's real fastText/MUSE vectors when they are available.
+/// file's (InvalidArgument otherwise). Every per-line error carries the
+/// file path and 1-based line number. `report` (may be null) receives
+/// per-file counts and the skipped lines in lenient mode. This is the
+/// entry point for the paper's real fastText/MUSE vectors when they are
+/// available.
 Status LoadTextEmbeddings(const std::string& path, WordEmbeddingStore* store,
-                          const EmbeddingIoOptions& options = {});
+                          const EmbeddingIoOptions& options = {},
+                          ParseReport* report = nullptr);
 
 /// Writes every explicit vector of `store` in the same text format (with a
 /// fastText-style header line).

@@ -1,0 +1,89 @@
+#include "ceaff/common/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ceaff {
+namespace {
+
+TEST(CancellationTokenTest, FreshTokenIsOk) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, RequestCancelReturnsCancelled) {
+  CancellationToken token;
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancel_requested());
+  Status st = token.Check("unit test");
+  EXPECT_TRUE(st.IsCancelled());
+  EXPECT_NE(st.message().find("unit test"), std::string::npos);
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  CancellationToken token;
+  token.SetDeadlineAfterMillis(0);  // non-positive → expires immediately
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_TRUE(token.Check("sinkhorn").IsDeadlineExceeded());
+}
+
+TEST(CancellationTokenTest, FutureDeadlineStaysOkUntilItPasses) {
+  CancellationToken token;
+  token.SetDeadlineAfterMillis(60'000);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, CancelTakesPrecedenceOverDeadline) {
+  CancellationToken token;
+  token.SetDeadlineAfterMillis(-1);
+  token.RequestCancel();
+  EXPECT_TRUE(token.Check().IsCancelled());
+}
+
+TEST(CancellationTokenTest, ClearDeadlineKeepsCancelFlag) {
+  CancellationToken token;
+  token.SetDeadlineAfterMillis(-1);
+  token.RequestCancel();
+  token.ClearDeadline();
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.Check().IsCancelled());
+}
+
+TEST(CancellationTokenTest, ResetRearmsForAFreshRun) {
+  CancellationToken token;
+  token.RequestCancel();
+  token.SetDeadlineAfterMillis(-1);
+  token.Reset();
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, CancelFromAnotherThreadIsObserved) {
+  CancellationToken token;
+  std::thread canceller([&token] { token.RequestCancel(); });
+  canceller.join();
+  EXPECT_TRUE(token.Check().IsCancelled());
+}
+
+TEST(CheckCancelTest, NullTokenMeansNeverCancelled) {
+  EXPECT_TRUE(CheckCancel(nullptr).ok());
+  EXPECT_TRUE(CheckCancel(nullptr, "anywhere").ok());
+}
+
+TEST(CheckCancelTest, ForwardsToTheToken) {
+  CancellationToken token;
+  EXPECT_TRUE(CheckCancel(&token, "loop").ok());
+  token.RequestCancel();
+  EXPECT_TRUE(CheckCancel(&token, "loop").IsCancelled());
+}
+
+}  // namespace
+}  // namespace ceaff

@@ -42,6 +42,30 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+}
+
+TEST(StatusTest, RunControlFactoriesSetCodeAndPredicate) {
+  Status cancelled = Status::Cancelled("stopped by user");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stopped by user");
+
+  Status late = Status::DeadlineExceeded("out of time");
+  EXPECT_TRUE(late.IsDeadlineExceeded());
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+
+  Status corrupt = Status::DataLoss("CRC mismatch");
+  EXPECT_TRUE(corrupt.IsDataLoss());
+  EXPECT_EQ(corrupt.code(), StatusCode::kDataLoss);
+  // DataLoss (bad bytes) is distinct from IOError (failed environment).
+  EXPECT_FALSE(corrupt.IsIOError());
+
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
 }
 
 Status FailIfNegative(int x) {

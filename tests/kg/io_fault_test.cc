@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ceaff/kg/io.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::kg {
+namespace {
+
+namespace ft = ceaff::testing;
+
+/// A tiny but complete pair: 3+3 entities, a few triples, one seed and one
+/// test link. Small enough that every on-disk byte is accounted for.
+KgPair TinyPair() {
+  KgPair pair;
+  pair.name = "tiny";
+  for (const char* uri : {"a/e1", "a/e2", "a/e3"}) {
+    pair.kg1.AddEntity(uri, std::string("name of ") + uri);
+  }
+  for (const char* uri : {"b/e1", "b/e2", "b/e3"}) {
+    pair.kg2.AddEntity(uri, std::string("name of ") + uri);
+  }
+  pair.kg1.AddTriple("a/e1", "a/r1", "a/e2");
+  pair.kg1.AddTriple("a/e2", "a/r1", "a/e3");
+  pair.kg2.AddTriple("b/e1", "b/r1", "b/e2");
+  pair.kg2.AddTriple("b/e3", "b/r2", "b/e1");
+  pair.seed_alignment.push_back({0, 0});
+  pair.test_alignment.push_back({1, 1});
+  pair.test_alignment.push_back({2, 2});
+  return pair;
+}
+
+/// Saves TinyPair into a fresh scratch dir and returns the dir.
+void SaveTiny(const ft::ScratchDir& dir) {
+  ASSERT_TRUE(SaveKgPair(TinyPair(), dir.path()).ok());
+}
+
+TEST(KgIoFaultTest, IntactPairRoundTrips) {
+  ft::ScratchDir dir("kg_ok");
+  SaveTiny(dir);
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(loaded.kg1.num_entities(), 3u);
+  EXPECT_EQ(loaded.kg2.num_triples(), 2u);
+  EXPECT_EQ(loaded.seed_alignment.size(), 1u);
+  EXPECT_EQ(loaded.test_alignment.size(), 2u);
+}
+
+// Satellite requirement: each damaged-dataset shape returns a non-OK
+// Status — never a crash, never a silent partial load.
+
+TEST(KgIoFaultTest, TruncatedTriplesFileFailsCleanly) {
+  ft::ScratchDir dir("kg_trunc");
+  SaveTiny(dir);
+  // Cut triples1.tsv mid-line: the last line no longer has 3 fields.
+  ft::TruncateTail(dir.File("triples1.tsv"), 6);
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded);
+  ASSERT_FALSE(st.ok());
+  // Strict mode pinpoints the file and line of the damage.
+  EXPECT_NE(st.message().find("triples1.tsv:2"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(KgIoFaultTest, MissingSeedLinksFileFailsCleanly) {
+  ft::ScratchDir dir("kg_noseed");
+  SaveTiny(dir);
+  ft::RemoveFile(dir.File("seed_links.tsv"));
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.message().find("seed_links.tsv"), std::string::npos);
+}
+
+TEST(KgIoFaultTest, ZeroByteEntitiesFileIsDataLoss) {
+  ft::ScratchDir dir("kg_zeroent");
+  SaveTiny(dir);
+  ft::ZeroFile(dir.File("entities1.tsv"));
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded);
+  ASSERT_FALSE(st.ok());
+  // An empty vocabulary means the dataset is damaged: kDataLoss, never an
+  // "empty but valid" KG.
+  EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+  EXPECT_NE(st.message().find("entities1.tsv"), std::string::npos);
+}
+
+TEST(KgIoFaultTest, UnknownUriInLinksKeepsNotFoundWithContext) {
+  ft::ScratchDir dir("kg_badlink");
+  SaveTiny(dir);
+  ft::WriteText(dir.File("seed_links.tsv"), "a/e1\tb/no_such_entity\n");
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  EXPECT_NE(st.message().find("seed_links.tsv:1"), std::string::npos);
+}
+
+TEST(KgIoFaultTest, LenientModeSkipsBadLinesAndReports) {
+  ft::ScratchDir dir("kg_lenient");
+  SaveTiny(dir);
+  // Two good triples with a malformed line between them.
+  ft::WriteText(dir.File("triples1.tsv"),
+                "a/e1\ta/r1\ta/e2\n"
+                "only two\tfields\n"
+                "a/e2\ta/r1\ta/e3\n");
+
+  ParseOptions options;
+  options.lenient = true;
+  std::vector<ParseReport> reports;
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded, options, &reports);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(loaded.kg1.num_triples(), 2u);
+
+  // Exactly one file reports an issue, at the right line.
+  size_t dirty_files = 0;
+  for (const ParseReport& r : reports) {
+    if (r.clean()) continue;
+    ++dirty_files;
+    EXPECT_NE(r.path.find("triples1.tsv"), std::string::npos);
+    ASSERT_EQ(r.issues.size(), 1u);
+    EXPECT_EQ(r.issues[0].line, 2u);
+  }
+  EXPECT_EQ(dirty_files, 1u);
+}
+
+TEST(KgIoFaultTest, LenientModeStillFailsPastTheErrorBudget) {
+  ft::ScratchDir dir("kg_budget");
+  SaveTiny(dir);
+  std::string garbage;
+  for (int i = 0; i < 10; ++i) garbage += "broken line\n";
+  ft::WriteText(dir.File("triples2.tsv"), garbage);
+
+  ParseOptions options;
+  options.lenient = true;
+  options.max_errors = 3;
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded, options, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.message().find("triples2.tsv"), std::string::npos);
+}
+
+TEST(KgIoFaultTest, StrictModeIsTheDefaultAndFailsFast) {
+  ft::ScratchDir dir("kg_strict");
+  SaveTiny(dir);
+  ft::WriteText(dir.File("triples1.tsv"), "bad\n");
+  KgPair loaded;
+  EXPECT_FALSE(LoadKgPair(dir.path(), &loaded).ok());
+}
+
+TEST(KgIoFaultTest, EmptyEntityVocabularyInSecondKgIsAlsoDataLoss) {
+  ft::ScratchDir dir("kg_zeroent2");
+  SaveTiny(dir);
+  ft::ZeroFile(dir.File("entities2.tsv"));
+  KgPair loaded;
+  Status st = LoadKgPair(dir.path(), &loaded);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsDataLoss()) << st.ToString();
+  EXPECT_NE(st.message().find("entities2.tsv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ceaff::kg

@@ -1,0 +1,118 @@
+#ifndef CEAFF_TESTS_TESTING_FAULT_INJECTION_H_
+#define CEAFF_TESTS_TESTING_FAULT_INJECTION_H_
+
+/// Fault-injection helpers for robustness tests: deterministically damage
+/// files on disk the way real crashes and bad media do — truncation
+/// (interrupted write), bit flips (corruption), and zeroing (allocated but
+/// never written). All helpers CHECK-fail on environmental errors so a
+/// broken test setup is loud, not a silent pass.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "ceaff/common/logging.h"
+
+namespace ceaff::testing {
+
+inline size_t FileSize(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  CEAFF_CHECK(!ec) << "file_size " << path << ": " << ec.message();
+  return static_cast<size_t>(size);
+}
+
+/// Cuts the file down to `keep_bytes` (simulates a write interrupted
+/// mid-stream or a partial download).
+inline void TruncateFile(const std::string& path, size_t keep_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  CEAFF_CHECK(!ec) << "truncate " << path << ": " << ec.message();
+}
+
+/// Drops the last `drop_bytes` bytes of the file.
+inline void TruncateTail(const std::string& path, size_t drop_bytes) {
+  size_t size = FileSize(path);
+  CEAFF_CHECK(size >= drop_bytes)
+      << path << " is only " << size << " bytes, cannot drop " << drop_bytes;
+  TruncateFile(path, size - drop_bytes);
+}
+
+/// Flips one bit of the byte at `offset` (simulates silent media
+/// corruption; the file keeps its size, so only content checks catch it).
+inline void FlipBit(const std::string& path, size_t offset,
+                    int bit = 0) {
+  CEAFF_CHECK(bit >= 0 && bit < 8) << "bit index " << bit;
+  CEAFF_CHECK(offset < FileSize(path))
+      << "offset " << offset << " past end of " << path;
+  std::fstream f(path,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  CEAFF_CHECK(f.is_open()) << "open " << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.get(byte);
+  byte = static_cast<char>(static_cast<uint8_t>(byte) ^ (1u << bit));
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(byte);
+  CEAFF_CHECK(f.good()) << "rewrite " << path << " at offset " << offset;
+}
+
+/// Replaces the file with a zero-byte one (simulates a crash between
+/// create and write).
+inline void ZeroFile(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  CEAFF_CHECK(f.is_open()) << "open " << path;
+}
+
+/// Deletes the file.
+inline void RemoveFile(const std::string& path) {
+  std::error_code ec;
+  bool removed = std::filesystem::remove(path, ec);
+  CEAFF_CHECK(removed && !ec) << "remove " << path << ": " << ec.message();
+}
+
+/// Overwrites the file with the given text (for seeding malformed input).
+inline void WriteText(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  CEAFF_CHECK(f.is_open()) << "open " << path;
+  f << text;
+  CEAFF_CHECK(f.good()) << "write " << path;
+}
+
+/// A unique, empty scratch directory under the system temp dir, removed on
+/// destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ceaff_fault_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1))))
+               .string();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    std::filesystem::create_directories(dir_, ec);
+    CEAFF_CHECK(!ec) << "mkdir " << dir_ << ": " << ec.message();
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return dir_; }
+  std::string File(const std::string& name) const { return dir_ + "/" + name; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ceaff::testing
+
+#endif  // CEAFF_TESTS_TESTING_FAULT_INJECTION_H_

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ceaff/text/embedding_io.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::text {
+namespace {
+
+namespace ft = ceaff::testing;
+
+TEST(EmbeddingIoFaultTest, LenientModeSkipsCorruptRows) {
+  ft::ScratchDir dir("emb_lenient");
+  const std::string path = dir.File("vectors.txt");
+  ft::WriteText(path,
+                "alpha 1.0 2.0 3.0\n"
+                "broken 1.0 not_a_number 3.0\n"
+                "short 1.0 2.0\n"
+                "beta 4.0 5.0 6.0\n");
+
+  WordEmbeddingStore store(3);
+  EmbeddingIoOptions options;
+  options.parse.lenient = true;
+  ParseReport report;
+  Status st = LoadTextEmbeddings(path, &store, options, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(store.explicit_tokens().size(), 2u);
+  EXPECT_EQ(report.records_loaded, 2u);
+  ASSERT_EQ(report.issues.size(), 2u);
+  EXPECT_EQ(report.issues[0].line, 2u);
+  EXPECT_EQ(report.issues[1].line, 3u);
+}
+
+TEST(EmbeddingIoFaultTest, StrictModeFailsOnFirstCorruptRowWithContext) {
+  ft::ScratchDir dir("emb_strict");
+  const std::string path = dir.File("vectors.txt");
+  ft::WriteText(path,
+                "alpha 1.0 2.0 3.0\n"
+                "broken 1.0 not_a_number 3.0\n");
+
+  WordEmbeddingStore store(3);
+  Status st = LoadTextEmbeddings(path, &store);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("vectors.txt:2"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(EmbeddingIoFaultTest, LenientModeStillFailsPastTheErrorBudget) {
+  ft::ScratchDir dir("emb_budget");
+  const std::string path = dir.File("vectors.txt");
+  std::string content;
+  for (int i = 0; i < 8; ++i) content += "junk x y z\n";
+  ft::WriteText(path, content);
+
+  WordEmbeddingStore store(3);
+  EmbeddingIoOptions options;
+  options.parse.lenient = true;
+  options.parse.max_errors = 2;
+  Status st = LoadTextEmbeddings(path, &store, options, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+}
+
+TEST(EmbeddingIoFaultTest, HeaderDimensionMismatchIsFatalEvenWhenLenient) {
+  ft::ScratchDir dir("emb_hdr");
+  const std::string path = dir.File("vectors.txt");
+  ft::WriteText(path,
+                "2 5\n"
+                "alpha 1.0 2.0 3.0 4.0 5.0\n");
+
+  WordEmbeddingStore store(3);  // store dim 3 vs file header dim 5
+  EmbeddingIoOptions options;
+  options.parse.lenient = true;
+  Status st = LoadTextEmbeddings(path, &store, options, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(":1:"), std::string::npos) << st.ToString();
+}
+
+TEST(EmbeddingIoFaultTest, TruncatedLastLineIsSkippedLeniently) {
+  ft::ScratchDir dir("emb_trunc");
+  const std::string path = dir.File("vectors.txt");
+  ft::WriteText(path,
+                "alpha 1.0 2.0 3.0\n"
+                "beta 4.0 5.0 6.0\n");
+  ft::TruncateTail(path, 5);  // "beta 4.0 5" — wrong field count
+
+  WordEmbeddingStore store(3);
+  EmbeddingIoOptions options;
+  options.parse.lenient = true;
+  ParseReport report;
+  Status st = LoadTextEmbeddings(path, &store, options, &report);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(store.explicit_tokens().size(), 1u);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].line, 2u);
+}
+
+}  // namespace
+}  // namespace ceaff::text

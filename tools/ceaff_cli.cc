@@ -13,10 +13,12 @@
 //   ceaff align --data /tmp/zh_en --decision independent --fusion fixed
 //   ceaff eval --data /tmp/zh_en --pred /tmp/zh_en/pred.tsv
 
+#include <csignal>
 #include <cstdio>
 #include <numeric>
 #include <string>
 
+#include "ceaff/common/cancellation.h"
 #include "ceaff/common/flags.h"
 #include "ceaff/common/timer.h"
 #include "ceaff/core/pipeline.h"
@@ -28,9 +30,51 @@ using namespace ceaff;
 
 namespace {
 
+/// Process-wide run control: SIGINT requests cooperative cancellation
+/// (RequestCancel is async-signal-safe), --deadline_ms arms the deadline.
+/// A second SIGINT falls back to the default handler (hard kill) in case a
+/// kernel is stuck.
+CancellationToken g_cancel;
+
+void HandleSigint(int signum) {
+  g_cancel.RequestCancel();
+  std::signal(signum, SIG_DFL);
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Reads the shared ingestion flags: strict by default, `--lenient_io`
+/// skips malformed lines up to `--io_error_budget` (default 100).
+ParseOptions IoOptionsFromFlags(const FlagParser& flags) {
+  ParseOptions options;
+  options.lenient = flags.GetBool("lenient_io", false);
+  options.max_errors = static_cast<size_t>(
+      flags.GetInt("io_error_budget", 100));
+  return options;
+}
+
+/// Prints per-file skip summaries of a lenient load to stderr.
+void ReportParseIssues(const std::vector<ParseReport>& reports) {
+  for (const ParseReport& report : reports) {
+    if (report.clean()) continue;
+    std::fprintf(stderr, "warning: %s\n", report.ToString().c_str());
+    for (const ParseIssue& issue : report.issues) {
+      std::fprintf(stderr, "  %s:%zu: %s\n", report.path.c_str(), issue.line,
+                   issue.reason.c_str());
+    }
+  }
+}
+
+/// Loads a dataset honouring --lenient_io / --io_error_budget.
+Status LoadDataset(const FlagParser& flags, const std::string& dir,
+                   kg::KgPair* pair) {
+  std::vector<ParseReport> reports;
+  Status st = kg::LoadKgPair(dir, pair, IoOptionsFromFlags(flags), &reports);
+  ReportParseIssues(reports);
+  return st;
 }
 
 int Usage() {
@@ -46,7 +90,12 @@ int Usage() {
                "           [--gcn-dim N] [--gcn-epochs N] [--theta1 X] "
                "[--embeddings FILE] "
                "[--theta2 X]\n"
-               "  eval     --data DIR --pred FILE\n");
+               "           [--checkpoint_dir DIR] [--resume] "
+               "[--deadline_ms N]\n"
+               "  eval     --data DIR --pred FILE\n"
+               "common:    [--lenient_io] [--io_error_budget N]  skip up to N "
+               "malformed\n"
+               "           input lines instead of failing on the first one\n");
   return 2;
 }
 
@@ -92,7 +141,7 @@ int CmdStats(const FlagParser& flags) {
     return 2;
   }
   kg::KgPair pair;
-  Status st = kg::LoadKgPair(dir, &pair);
+  Status st = LoadDataset(flags, dir, &pair);
   if (!st.ok()) return Fail(st);
   auto print_kg = [](const char* name, const kg::KnowledgeGraph& g) {
     std::vector<uint32_t> deg = g.Degrees();
@@ -120,10 +169,27 @@ int CmdAlign(const FlagParser& flags) {
     return 2;
   }
   kg::KgPair pair;
-  Status st = kg::LoadKgPair(dir, &pair);
+  Status st = LoadDataset(flags, dir, &pair);
   if (!st.ok()) return Fail(st);
 
   core::CeaffOptions options;
+  options.checkpoint_dir = flags.GetString("checkpoint_dir", "");
+  options.resume = flags.GetBool("resume", false);
+  options.cancel = &g_cancel;
+  int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
+  if (deadline_ms > 0) g_cancel.SetDeadlineAfterMillis(deadline_ms);
+  std::signal(SIGINT, HandleSigint);
+  if (options.resume && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "align: --resume requires --checkpoint_dir\n");
+    return 2;
+  }
+  if (!options.checkpoint_dir.empty()) {
+    options.stage_callback = [](const std::string& stage,
+                                bool from_checkpoint) {
+      std::fprintf(stderr, "stage %s: %s\n", stage.c_str(),
+                   from_checkpoint ? "restored from checkpoint" : "computed");
+    };
+  }
   options.use_structural = !flags.GetBool("no-structural", false);
   options.use_semantic = !flags.GetBool("no-semantic", false);
   options.use_string = !flags.GetBool("no-string", false);
@@ -162,7 +228,12 @@ int CmdAlign(const FlagParser& flags) {
   if (!embeddings_path.empty()) {
     // Pretrained text-format vectors (word2vec/GloVe/fastText). Dimension
     // must match --embed-dim.
-    st = text::LoadTextEmbeddings(embeddings_path, &store);
+    text::EmbeddingIoOptions embedding_options;
+    embedding_options.parse = IoOptionsFromFlags(flags);
+    ParseReport embedding_report;
+    st = text::LoadTextEmbeddings(embeddings_path, &store, embedding_options,
+                                  &embedding_report);
+    ReportParseIssues({embedding_report});
     if (!st.ok()) return Fail(st);
     std::printf("loaded %zu pretrained vectors from %s\n",
                 store.explicit_tokens().size(), embeddings_path.c_str());
@@ -207,7 +278,7 @@ int CmdEval(const FlagParser& flags) {
     return 2;
   }
   kg::KgPair pair;
-  Status st = kg::LoadKgPair(dir, &pair);
+  Status st = LoadDataset(flags, dir, &pair);
   if (!st.ok()) return Fail(st);
   std::vector<kg::AlignmentPair> predicted;
   st = kg::LoadAlignmentTsv(pred, pair.kg1, pair.kg2, &predicted);

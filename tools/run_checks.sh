@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification sweep: plain Release build + test run, then an
+# ASan+UBSan build + test run (-DCEAFF_SANITIZE=ON) in a separate tree.
+#
+# Usage: tools/run_checks.sh [--skip-sanitize]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+skip_sanitize=0
+[[ "${1:-}" == "--skip-sanitize" ]] && skip_sanitize=1
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$repo" "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+echo "==> Release build + tests"
+run_suite "$repo/build"
+
+if [[ "$skip_sanitize" == 0 ]]; then
+  echo "==> ASan+UBSan build + tests"
+  run_suite "$repo/build-asan" -DCEAFF_SANITIZE=ON
+fi
+
+echo "==> all checks passed"
