@@ -1,0 +1,223 @@
+// serve_throughput: drives a synthetic top-k query load against an
+// in-memory AlignmentIndex and reports queries/second at several thread
+// counts, as a BENCH_serve.json report (written to the working directory
+// and echoed to stdout).
+//
+// The query cache is disabled so every query pays the full candidate scan —
+// the number measured is raw service throughput, not cache hit rate. The
+// report includes hardware_concurrency: thread counts beyond the machine's
+// cores time-slice one core and cannot speed anything up, so judge the
+// scaling column against the cores that actually exist.
+//
+// Environment overrides:
+//   CEAFF_SERVE_ENTITIES  target entities in the synthetic index (10000)
+//   CEAFF_SERVE_QUERIES   queries per measured run            (2000)
+//   CEAFF_SERVE_TOPK      k per query                         (10)
+//   CEAFF_SERVE_THREADS   comma-separated thread counts       (1,2,4,8)
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/common/random.h"
+#include "ceaff/common/string_util.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/common/timer.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/service.h"
+
+namespace ceaff {
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+std::vector<size_t> EnvThreadCounts() {
+  std::vector<size_t> counts;
+  const char* v = std::getenv("CEAFF_SERVE_THREADS");
+  const std::string spec = (v != nullptr && *v != '\0') ? v : "1,2,4,8";
+  for (const std::string& part : Split(spec, ',')) {
+    const long long parsed = std::atoll(part.c_str());
+    if (parsed > 0) counts.push_back(static_cast<size_t>(parsed));
+  }
+  if (counts.empty()) counts = {1, 8};
+  return counts;
+}
+
+/// Synthetic entity name: pronounceable-ish, deterministic per id.
+std::string SyntheticName(uint64_t id) {
+  static const char* kSyllables[] = {"al", "be", "cor", "da", "el", "fi",
+                                     "ga", "ho", "in", "ju", "ka", "lu",
+                                     "ma", "no", "or", "pa"};
+  std::string name;
+  uint64_t x = Rng::SplitMix64(id + 1);
+  const size_t syllables = 2 + (x & 3);
+  for (size_t s = 0; s < syllables; ++s) {
+    name += kSyllables[(x >> (4 * s + 2)) & 15];
+  }
+  name += '_';
+  name += std::to_string(id);
+  return name;
+}
+
+serve::AlignmentIndex BuildSyntheticIndex(size_t n_entities) {
+  const size_t dim_sem = 32;
+  const size_t dim_struct = 16;
+  Rng rng(2020);
+
+  serve::AlignmentIndexInput input;
+  input.dataset = "synthetic-serve-bench";
+  input.weights = {0.3, 0.4, 0.3};
+  input.semantic_seed = 17;
+  input.source_names.reserve(n_entities);
+  input.target_names.reserve(n_entities);
+  for (size_t i = 0; i < n_entities; ++i) {
+    input.source_names.push_back(SyntheticName(i));
+    input.target_names.push_back(SyntheticName(i) + "_t");
+    input.pairs.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(i), 1.0f});
+  }
+  auto random_rows = [&rng](size_t rows, size_t cols) {
+    la::Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      float* row = m.row(r);
+      for (size_t c = 0; c < cols; ++c) {
+        row[c] = static_cast<float>(rng.NextGaussian());
+      }
+    }
+    m.L2NormalizeRows();
+    return m;
+  };
+  input.source_name_emb = random_rows(n_entities, dim_sem);
+  input.target_name_emb = random_rows(n_entities, dim_sem);
+  input.source_struct_emb = random_rows(n_entities, dim_struct);
+  input.target_struct_emb = random_rows(n_entities, dim_struct);
+
+  auto index = serve::BuildAlignmentIndex(std::move(input));
+  CEAFF_CHECK(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+struct RunResult {
+  size_t threads = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  size_t errors = 0;
+};
+
+/// Runs `n_queries` TopK calls spread over `n_threads` plain worker threads
+/// (each thread issues its share in a tight loop — the service's own pool
+/// only serves BATCH requests, so driving TopK directly measures the shared
+/// read path).
+RunResult MeasureQps(serve::AlignmentService* service,
+                     const std::vector<std::string>& queries, size_t k,
+                     size_t n_threads) {
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> errors{0};
+  WallTimer timer;
+  std::vector<std::thread> workers;
+  workers.reserve(n_threads);
+  for (size_t w = 0; w < n_threads; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= queries.size()) return;
+        auto r = service->TopK(queries[i], k);
+        if (!r.ok()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  RunResult result;
+  result.threads = n_threads;
+  result.seconds = timer.ElapsedSeconds();
+  result.qps = result.seconds > 0
+                   ? static_cast<double>(queries.size()) / result.seconds
+                   : 0.0;
+  result.errors = errors.load();
+  return result;
+}
+
+int Main() {
+  const size_t n_entities = EnvSize("CEAFF_SERVE_ENTITIES", 10000);
+  const size_t n_queries = EnvSize("CEAFF_SERVE_QUERIES", 2000);
+  const size_t k = EnvSize("CEAFF_SERVE_TOPK", 10);
+  const std::vector<size_t> thread_counts = EnvThreadCounts();
+
+  std::fprintf(stderr, "building synthetic index (%zu entities)...\n",
+               n_entities);
+  auto index = std::make_shared<const serve::AlignmentIndex>(
+      BuildSyntheticIndex(n_entities));
+
+  // Query mix: half known source names (exercise the structural feature),
+  // half perturbed unseen names (string/semantic only).
+  Rng rng(7);
+  std::vector<std::string> queries;
+  queries.reserve(n_queries);
+  for (size_t i = 0; i < n_queries; ++i) {
+    const uint64_t id = rng.NextBounded(n_entities);
+    std::string name = SyntheticName(id);
+    if (i % 2 == 1) name += "x";  // unseen variant
+    queries.push_back(std::move(name));
+  }
+
+  std::vector<RunResult> runs;
+  for (size_t n_threads : thread_counts) {
+    serve::ServiceOptions options;
+    options.num_threads = n_threads;
+    options.cache_capacity = 0;  // measure the scan, not the cache
+    serve::AlignmentService service(index, options);
+    // Untimed warmup so first-touch page faults don't bias the 1-thread run.
+    (void)service.TopK(queries.front(), k);
+    RunResult run = MeasureQps(&service, queries, k, n_threads);
+    runs.push_back(run);
+    std::fprintf(stderr, "threads=%zu  %.2fs  %.1f qps  errors=%zu\n",
+                 run.threads, run.seconds, run.qps, run.errors);
+  }
+
+  const double base_qps = runs.empty() ? 0.0 : runs.front().qps;
+  std::string json = "{\n";
+  json += StrFormat("  \"bench\": \"serve_throughput\",\n");
+  json += StrFormat("  \"entities\": %zu,\n", n_entities);
+  json += StrFormat("  \"queries\": %zu,\n", n_queries);
+  json += StrFormat("  \"topk\": %zu,\n", k);
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    json += StrFormat(
+        "    {\"threads\": %zu, \"seconds\": %.3f, \"qps\": %.1f, "
+        "\"speedup_vs_1\": %.2f, \"errors\": %zu}%s\n",
+        run.threads, run.seconds, run.qps,
+        base_qps > 0 ? run.qps / base_qps : 0.0, run.errors,
+        i + 1 < runs.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+
+  std::printf("%s", json.c_str());
+  std::ofstream out("BENCH_serve.json", std::ios::trunc);
+  if (out) {
+    out << json;
+    std::fprintf(stderr, "wrote BENCH_serve.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_serve.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ceaff
+
+int main() { return ceaff::Main(); }

@@ -1,9 +1,36 @@
 #include "ceaff/common/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace ceaff {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+/// Relaxed atomic: the threshold may be flipped while worker threads log
+/// (tests and benchmarks do), and a stale read is harmless.
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Single process-wide sink, mutex-guarded so concurrent log statements
+/// flush whole lines and never interleave. The mutex lives behind a
+/// function-local static so logging works during static initialisation.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::ostream*& SinkSlot() {
+  static std::ostream* sink = nullptr;  // null = stderr
+  return sink;
+}
+
+/// Writes one finished log line to the sink atomically.
+void WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::ostream* sink = SinkSlot();
+  if (sink == nullptr) sink = &std::cerr;
+  *sink << line << '\n';
+  sink->flush();
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,13 +47,20 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogSinkForTest(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = sink;
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level), level_(level) {
+    : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
@@ -37,7 +71,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (enabled_) std::cerr << stream_.str() << std::endl;
+  if (enabled_) WriteLine(stream_.str());
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line,
@@ -47,7 +81,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line,
 }
 
 FatalLogMessage::~FatalLogMessage() {
-  std::cerr << stream_.str() << std::endl;
+  WriteLine(stream_.str());
   std::abort();
 }
 

@@ -15,6 +15,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Redirects the log sink (default: stderr). Pass nullptr to restore
+/// stderr. For tests that assert on log output; not for production use —
+/// the caller must keep `sink` alive until the sink is reset.
+///
+/// The sink is protected by a single process-wide mutex: each log statement
+/// is flushed as one complete line while holding it, so messages from
+/// concurrent threads (service workers, thread-pool tasks) never
+/// interleave mid-line.
+void SetLogSinkForTest(std::ostream* sink);
+
 namespace internal {
 
 /// One log statement. Streams into an internal buffer and flushes to stderr

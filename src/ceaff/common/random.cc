@@ -1,5 +1,6 @@
 #include "ceaff/common/random.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -98,6 +99,13 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   }
   idx.resize(k);
   return idx;
+}
+
+Rng& ThreadLocalRng() {
+  static std::atomic<uint64_t> next_stream{0x5eedba5eu};
+  thread_local Rng rng(
+      Rng::SplitMix64(next_stream.fetch_add(1, std::memory_order_relaxed)));
+  return rng;
 }
 
 uint64_t HashBytes(const void* data, size_t len, uint64_t seed) {

@@ -13,6 +13,14 @@ namespace ceaff {
 /// Wraps SplitMix64 (for seeding / hashing) feeding a xoshiro256** core.
 /// All experiments are bit-reproducible given the same seed; no global
 /// RNG state exists anywhere in the library.
+///
+/// NOT thread-safe: NextU64() and friends mutate the internal state without
+/// synchronisation, so two threads sharing one instance race (and worse,
+/// can duplicate outputs). Each thread must own its instance — either a
+/// Fork() of a parent generator when reproducibility matters, or the
+/// ThreadLocalRng() helper below for concurrent workloads (thread pools,
+/// load generators) where distinct streams matter but cross-run
+/// reproducibility does not.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
@@ -69,6 +77,16 @@ class Rng {
 /// Deterministic 64-bit hash of a byte string (FNV-1a folded through
 /// SplitMix64). Used for seeding per-token embedding streams.
 uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0);
+
+/// This thread's lazily-created private generator. Every thread gets a
+/// distinct stream (seeded from a process-wide atomic counter), so
+/// concurrent callers never contend or correlate. ThreadPool workers touch
+/// it at startup; benchmarks' load-generator threads draw from it freely.
+///
+/// Streams are stable within one thread but NOT reproducible across runs or
+/// thread schedules — experiment code that needs bit-reproducibility must
+/// keep passing explicitly seeded Rng instances instead.
+Rng& ThreadLocalRng();
 
 }  // namespace ceaff
 

@@ -1,0 +1,109 @@
+#include "ceaff/common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "ceaff/common/random.h"
+
+namespace ceaff {
+
+ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
+    : capacity_(std::max<size_t>(1, queue_capacity)) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return shutdown_ || queue_.size() < capacity_; });
+    if (shutdown_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Already shut down; workers may still be draining, but join below
+      // is only reached once (workers_ cleared after joining).
+    }
+    shutdown_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  // Materialise this worker's RNG stream up front so per-task randomness is
+  // contention-free (see common/random.h).
+  (void)ThreadLocalRng();
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Contiguous blocks, one per worker, so false sharing on row-major output
+  // buffers stays minimal. The caller's thread waits (it does not steal
+  // work: blocks are balanced, so the tail wait is short).
+  const size_t num_blocks = std::min(pool->num_threads(), n);
+  const size_t block = (n + num_blocks - 1) / num_blocks;
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block;
+    const size_t end = std::min(n, begin + block);
+    pool->Submit([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_blocks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] {
+    return done.load(std::memory_order_acquire) == num_blocks;
+  });
+}
+
+}  // namespace ceaff

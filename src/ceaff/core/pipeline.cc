@@ -4,10 +4,12 @@
 #include <numeric>
 
 #include "ceaff/common/logging.h"
+#include "ceaff/common/thread_pool.h"
 #include "ceaff/common/timer.h"
 #include "ceaff/core/checkpoint.h"
 #include "ceaff/la/csls.h"
 #include "ceaff/la/ops.h"
+#include "ceaff/serve/alignment_index.h"
 #include "ceaff/text/levenshtein.h"
 #include "ceaff/text/name_embedding.h"
 #include "ceaff/text/ngram_similarity.h"
@@ -161,6 +163,26 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
     bool restored =
         restore_stage("structural", &features.structural,
                       &features.seed_structural, &features.gcn_final_loss);
+    if (restored) {
+      // The raw entity embeddings ride along for the serving-index export.
+      // Checkpoints written before they existed lack the artifacts; that is
+      // only a cache miss when the export actually needs them.
+      auto src_or = store->LoadMatrix("structural.src_emb");
+      auto tgt_or = store->LoadMatrix("structural.tgt_emb");
+      if (src_or.ok() && tgt_or.ok() && src_or.value().rows() == n_test &&
+          tgt_or.value().rows() == n_test) {
+        features.structural_src_emb = std::move(src_or).value();
+        features.structural_tgt_emb = std::move(tgt_or).value();
+      } else if (!options_.export_index_path.empty()) {
+        CEAFF_LOG(Warning)
+            << "structural checkpoint lacks usable entity embeddings needed "
+               "for the index export; re-running stage 'structural'";
+        restored = false;
+        features.structural = la::Matrix();
+        features.seed_structural = la::Matrix();
+        features.gcn_final_loss = 0.0;
+      }
+    }
     if (!restored) {
       la::SparseMatrix a1 =
           kg::BuildAdjacency(pair_->kg1, options_.adjacency);
@@ -171,9 +193,10 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
       embed::GcnAligner gcn(std::move(a1), std::move(a2), gcn_options);
       CEAFF_ASSIGN_OR_RETURN(features.gcn_final_loss,
                              gcn.Train(pair_->seed_alignment));
-      features.structural =
-          la::CosineSimilarity(GatherRows(gcn.embeddings1(), test_src),
-                               GatherRows(gcn.embeddings2(), test_tgt));
+      features.structural_src_emb = GatherRows(gcn.embeddings1(), test_src);
+      features.structural_tgt_emb = GatherRows(gcn.embeddings2(), test_tgt);
+      features.structural = la::CosineSimilarity(features.structural_src_emb,
+                                                 features.structural_tgt_emb);
       if (!seed_src.empty()) {
         features.seed_structural =
             la::CosineSimilarity(GatherRows(gcn.embeddings1(), seed_src),
@@ -182,6 +205,12 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
       CEAFF_RETURN_IF_ERROR(persist_stage("structural", features.structural,
                                           &features.seed_structural,
                                           &features.gcn_final_loss));
+      if (store != nullptr) {
+        CEAFF_RETURN_IF_ERROR(store->SaveMatrix("structural.src_emb",
+                                                features.structural_src_emb));
+        CEAFF_RETURN_IF_ERROR(store->SaveMatrix("structural.tgt_emb",
+                                                features.structural_tgt_emb));
+      }
     }
     notify("structural", restored);
   }
@@ -220,11 +249,17 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
               text::NgramSimilarityMatrix(seed_src_names, seed_tgt_names);
         }
       } else {
+        // The Levenshtein scan dominates feature time on large splits;
+        // split it across a pool when the caller asked for threads.
+        std::unique_ptr<ThreadPool> pool;
+        if (options_.num_threads > 1) {
+          pool = std::make_unique<ThreadPool>(options_.num_threads);
+        }
         features.string_sim =
-            text::StringSimilarityMatrix(src_names, tgt_names);
+            text::StringSimilarityMatrix(src_names, tgt_names, pool.get());
         if (!seed_src.empty()) {
-          features.seed_string =
-              text::StringSimilarityMatrix(seed_src_names, seed_tgt_names);
+          features.seed_string = text::StringSimilarityMatrix(
+              seed_src_names, seed_tgt_names, pool.get());
         }
       }
       CEAFF_RETURN_IF_ERROR(persist_stage("string", features.string_sim,
@@ -439,9 +474,86 @@ StatusOr<CeaffResult> CeaffPipeline::RunOnFeatures(
   return result;
 }
 
+Status CeaffPipeline::ExportIndex(const CeaffFeatures& features,
+                                  const CeaffResult& result) const {
+  std::vector<uint32_t> test_src, test_tgt;
+  TestIds(*pair_, &test_src, &test_tgt);
+
+  serve::AlignmentIndexInput input;
+  input.dataset = options_.export_dataset;
+  input.source_names = GatherNames(pair_->kg1, test_src);
+  input.target_names = GatherNames(pair_->kg2, test_tgt);
+
+  for (size_t i = 0; i < result.match.target_of_source.size(); ++i) {
+    const int64_t t = result.match.target_of_source[i];
+    if (t < 0) continue;
+    input.pairs.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(t),
+                           result.fused.at(i, static_cast<size_t>(t))});
+  }
+
+  // Flatten the run's fusion weights to effective per-serving-feature
+  // weights (structural, semantic, string). The canonical two-stage run
+  // reports final = (w_s, w_textual) and textual = (w_n, w_l); every other
+  // configuration reports final_weights in enabled-feature order. Weights
+  // of features the service does not serve (attribute, relation) are
+  // dropped — the index builder renormalises.
+  double w_struct = 0.0, w_sem = 0.0, w_str = 0.0;
+  if (!result.textual_weights.empty() && result.final_weights.size() >= 2 &&
+      result.textual_weights.size() >= 2) {
+    w_struct = result.final_weights[0];
+    w_sem = result.final_weights[1] * result.textual_weights[0];
+    w_str = result.final_weights[1] * result.textual_weights[1];
+  } else {
+    size_t idx = 0;
+    auto take = [&]() {
+      return idx < result.final_weights.size() ? result.final_weights[idx++]
+                                               : 0.0;
+    };
+    if (options_.use_structural) w_struct = take();
+    if (options_.use_semantic) w_sem = take();
+    if (options_.use_string) w_str = take();
+  }
+  input.weights = {w_struct, w_sem, w_str};
+
+  if (options_.use_semantic && store_ != nullptr) {
+    input.semantic_seed = store_->seed();
+    input.source_name_emb = text::EmbedNames(*store_, input.source_names);
+    input.target_name_emb = text::EmbedNames(*store_, input.target_names);
+    // Stored embeddings are pre-normalised so query-time cosine reduces to
+    // a dot product.
+    input.source_name_emb.L2NormalizeRows();
+    input.target_name_emb.L2NormalizeRows();
+  }
+  if (!features.structural_src_emb.empty() &&
+      !features.structural_tgt_emb.empty()) {
+    input.source_struct_emb = features.structural_src_emb;
+    input.target_struct_emb = features.structural_tgt_emb;
+    input.source_struct_emb.L2NormalizeRows();
+    input.target_struct_emb.L2NormalizeRows();
+  }
+
+  CEAFF_ASSIGN_OR_RETURN(serve::AlignmentIndex index,
+                         serve::BuildAlignmentIndex(std::move(input)));
+  CEAFF_RETURN_IF_ERROR(
+      serve::SaveAlignmentIndex(index, options_.export_index_path));
+  CEAFF_LOG(Info) << "exported alignment index (" << index.num_sources()
+                  << " sources, " << index.num_targets() << " targets, "
+                  << index.pairs.size() << " pairs) to "
+                  << options_.export_index_path;
+  return Status::OK();
+}
+
 StatusOr<CeaffResult> CeaffPipeline::Run() {
   CEAFF_ASSIGN_OR_RETURN(CeaffFeatures features, GenerateFeatures());
-  return RunOnFeatures(features);
+  CEAFF_ASSIGN_OR_RETURN(CeaffResult result, RunOnFeatures(features));
+  if (!options_.export_index_path.empty()) {
+    CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "export stage"));
+    CEAFF_RETURN_IF_ERROR(ExportIndex(features, result));
+    if (options_.stage_callback) {
+      options_.stage_callback("export_index", /*from_checkpoint=*/false);
+    }
+  }
+  return result;
 }
 
 }  // namespace ceaff::core

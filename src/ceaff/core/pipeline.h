@@ -93,6 +93,23 @@ struct CeaffOptions {
   /// true when the stage was restored rather than computed.
   std::function<void(const std::string& stage, bool from_checkpoint)>
       stage_callback;
+
+  // ---- Serving export & parallelism ----
+
+  /// When non-empty, Run() appends an export stage: the run's test-split
+  /// names, committed alignment, per-feature entity embeddings and
+  /// flattened adaptive-fusion weights are written to this path as an
+  /// immutable serve::AlignmentIndex artifact (see serve/alignment_index.h)
+  /// that the AlignmentService can answer queries from.
+  std::string export_index_path;
+  /// Provenance tag stamped into the exported index.
+  std::string export_dataset = "ceaff";
+  /// Worker threads for the parallelisable feature stages (currently the
+  /// O(n²) Levenshtein string-similarity scan). 1 (default) keeps every
+  /// stage single-threaded and bit-identical to previous releases — the
+  /// parallel split is deterministic too, so results do not change with
+  /// this knob.
+  size_t num_threads = 1;
 };
 
 /// Everything a CEAFF run produces. Feature/fused matrices are restricted
@@ -128,6 +145,12 @@ struct CeaffFeatures {
   la::Matrix string_sim;
   la::Matrix attribute;
   la::Matrix relation;
+  /// Raw GCN embeddings of the test-split entities (row i belongs to test
+  /// pair i), kept for the serving-index export; empty when the structural
+  /// feature is disabled or was restored from a checkpoint that predates
+  /// them.
+  la::Matrix structural_src_emb;
+  la::Matrix structural_tgt_emb;
   la::Matrix seed_structural;
   la::Matrix seed_semantic;
   la::Matrix seed_string;
@@ -161,6 +184,13 @@ class CeaffPipeline {
   /// (use_*) must be non-empty in `features` (FailedPrecondition
   /// otherwise), so a superset feature set can serve every ablation.
   StatusOr<CeaffResult> RunOnFeatures(const CeaffFeatures& features);
+
+  /// The export stage Run() appends when export_index_path is set: builds
+  /// a serve::AlignmentIndex from the run's outputs and writes it
+  /// atomically. Exposed so callers composing GenerateFeatures() +
+  /// RunOnFeatures() by hand can export too.
+  Status ExportIndex(const CeaffFeatures& features,
+                     const CeaffResult& result) const;
 
  private:
   /// Fuses the enabled features into result->fused.

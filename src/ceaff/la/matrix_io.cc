@@ -14,41 +14,91 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'E', 'A', 'F', 'F', 'M', 'A', 'T'};
 constexpr uint32_t kVersion = 1;
-constexpr size_t kHeaderBytes = 32;
+constexpr size_t kPrefixBytes = 16;  // magic + version + reserved
+constexpr size_t kHeaderBytes = 32;  // prefix + rows + cols
 constexpr size_t kFooterBytes = 4;
 
-struct Header {
+/// The fixed artifact preamble preceding the matrix section.
+struct Prefix {
   char magic[8];
   uint32_t version;
   uint32_t reserved;
-  uint64_t rows;
-  uint64_t cols;
 };
-static_assert(sizeof(Header) == kHeaderBytes, "artifact header must pack");
+static_assert(sizeof(Prefix) == kPrefixBytes, "artifact prefix must pack");
 
 }  // namespace
 
-Status SaveMatrixArtifact(const Matrix& m, const std::string& path) {
-  Header header;
-  std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.version = kVersion;
-  header.reserved = 0;
-  header.rows = m.rows();
-  header.cols = m.cols();
+Status WriteMatrixSection(const Matrix& m, std::ostream& out, Crc32* crc) {
+  const uint64_t rows = m.rows();
+  const uint64_t cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(float)));
+  if (!out) return Status::IOError("matrix section write failed");
+  if (crc != nullptr) {
+    crc->Update(&rows, sizeof(rows));
+    crc->Update(&cols, sizeof(cols));
+    crc->Update(m.data(), m.size() * sizeof(float));
+  }
+  return Status::OK();
+}
 
-  Crc32 crc;
-  crc.Update(&header, sizeof(header));
-  crc.Update(m.data(), m.size() * sizeof(float));
-  const uint32_t checksum = crc.value();
+StatusOr<Matrix> ReadMatrixSection(std::istream& in,
+                                   uint64_t max_payload_bytes, Crc32* crc) {
+  uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in) return Status::DataLoss("cannot read matrix section shape");
+
+  // Validate the declared shape against what the caller can accept *before*
+  // allocating, so a corrupted header cannot trigger a huge allocation.
+  const uint64_t elems = rows * cols;
+  if (cols != 0 && rows != elems / cols) {
+    return Status::DataLoss("matrix section shape overflows");
+  }
+  if (elems > max_payload_bytes / sizeof(float)) {
+    return Status::DataLoss(StrFormat(
+        "matrix section declares %llux%llu (%llu bytes) but only %llu bytes "
+        "remain — truncated or corrupted artifact",
+        static_cast<unsigned long long>(rows),
+        static_cast<unsigned long long>(cols),
+        static_cast<unsigned long long>(elems * sizeof(float)),
+        static_cast<unsigned long long>(max_payload_bytes)));
+  }
+
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(elems * sizeof(float)));
+  if (!in) return Status::DataLoss("cannot read matrix section payload");
+  if (crc != nullptr) {
+    crc->Update(&rows, sizeof(rows));
+    crc->Update(&cols, sizeof(cols));
+    crc->Update(m.data(), m.size() * sizeof(float));
+  }
+  return m;
+}
+
+Status SaveMatrixArtifact(const Matrix& m, const std::string& path) {
+  Prefix prefix;
+  std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
+  prefix.version = kVersion;
+  prefix.reserved = 0;
 
   // Atomic replace: write a temp sibling, then rename over the target.
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IOError("cannot open " + tmp + " for writing");
-    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-    out.write(reinterpret_cast<const char*>(m.data()),
-              static_cast<std::streamsize>(m.size() * sizeof(float)));
+    Crc32 crc;
+    crc.Update(&prefix, sizeof(prefix));
+    out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+    Status section = WriteMatrixSection(m, out, &crc);
+    if (!section.ok()) {
+      return Status::IOError("write failed: " + tmp + " (" +
+                             section.message() + ")");
+    }
+    const uint32_t checksum = crc.value();
     out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
     if (!out) return Status::IOError("write failed: " + tmp);
   }
@@ -75,46 +125,41 @@ StatusOr<Matrix> LoadMatrixArtifact(const std::string& path) {
                   kHeaderBytes + kFooterBytes));
   }
 
-  Header header;
-  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  Prefix prefix;
+  in.read(reinterpret_cast<char*>(&prefix), sizeof(prefix));
   if (!in) return Status::DataLoss(path + ": cannot read artifact header");
-  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+  if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::DataLoss(path + ": bad magic, not a CEAFF matrix artifact");
   }
-  if (header.version != kVersion) {
+  if (prefix.version != kVersion) {
     return Status::DataLoss(
         StrFormat("%s: unsupported artifact version %u (expected %u)",
-                  path.c_str(), header.version, kVersion));
+                  path.c_str(), prefix.version, kVersion));
   }
-
-  // Validate the declared shape against the physical file size *before*
-  // allocating, so a corrupted header cannot trigger a huge allocation.
-  const uint64_t elems = header.rows * header.cols;
-  if (header.cols != 0 && header.rows != elems / header.cols) {
-    return Status::DataLoss(path + ": artifact shape overflows");
-  }
-  const uint64_t expected =
-      kHeaderBytes + elems * sizeof(float) + kFooterBytes;
-  if (file_size != expected) {
-    return Status::DataLoss(StrFormat(
-        "%s: size mismatch (%llu bytes on disk, %llu expected for %llux%llu)"
-        " — truncated or corrupted artifact",
-        path.c_str(), static_cast<unsigned long long>(file_size),
-        static_cast<unsigned long long>(expected),
-        static_cast<unsigned long long>(header.rows),
-        static_cast<unsigned long long>(header.cols)));
-  }
-
-  Matrix m(static_cast<size_t>(header.rows), static_cast<size_t>(header.cols));
-  in.read(reinterpret_cast<char*>(m.data()),
-          static_cast<std::streamsize>(elems * sizeof(float)));
-  uint32_t stored_crc = 0;
-  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
-  if (!in) return Status::DataLoss(path + ": cannot read artifact payload");
 
   Crc32 crc;
-  crc.Update(&header, sizeof(header));
-  crc.Update(m.data(), m.size() * sizeof(float));
+  crc.Update(&prefix, sizeof(prefix));
+  auto m = ReadMatrixSection(in, file_size - kHeaderBytes - kFooterBytes,
+                             &crc);
+  if (!m.ok()) {
+    return Status::DataLoss(path + ": " + m.status().message());
+  }
+
+  // The single-matrix artifact is exactly prefix + section + footer; any
+  // trailing slack means truncation elsewhere or a foreign file.
+  const uint64_t expected =
+      kHeaderBytes + m->size() * sizeof(float) + kFooterBytes;
+  if (file_size != expected) {
+    return Status::DataLoss(StrFormat(
+        "%s: size mismatch (%llu bytes on disk, %llu expected for %zux%zu)"
+        " — truncated or corrupted artifact",
+        path.c_str(), static_cast<unsigned long long>(file_size),
+        static_cast<unsigned long long>(expected), m->rows(), m->cols()));
+  }
+
+  uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (!in) return Status::DataLoss(path + ": cannot read artifact footer");
   if (crc.value() != stored_crc) {
     return Status::DataLoss(StrFormat(
         "%s: CRC mismatch (stored %08x, computed %08x) — corrupted artifact",

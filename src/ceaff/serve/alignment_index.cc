@@ -1,0 +1,418 @@
+#include "ceaff/serve/alignment_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ceaff/common/crc32.h"
+#include "ceaff/common/string_util.h"
+#include "ceaff/la/matrix_io.h"
+
+namespace ceaff::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'A', 'F', 'F', 'I', 'D', 'X'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kPrefixBytes = 16;
+constexpr size_t kFooterBytes = 4;
+constexpr size_t kTrigramWidth = 3;
+
+/// Caps any single declared collection so a corrupted count can never
+/// trigger a multi-gigabyte allocation before the CRC verdict.
+constexpr uint64_t kMaxDeclaredElems = 1ull << 32;
+
+struct Prefix {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+};
+static_assert(sizeof(Prefix) == kPrefixBytes, "index prefix must pack");
+
+/// Serialisation cursor over `out` that feeds every byte into one CRC.
+class CrcWriter {
+ public:
+  CrcWriter(std::ostream& out, Crc32* crc) : out_(out), crc_(crc) {}
+
+  void Bytes(const void* data, size_t len) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(len));
+    crc_->Update(data, len);
+  }
+  void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void F32(float v) { Bytes(&v, sizeof(v)); }
+  void F64(double v) { Bytes(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+  Crc32* crc_;
+};
+
+/// Deserialisation cursor. All reads are bounds-checked against the stream;
+/// the caller verifies the file CRC *before* trusting any parsed value, so
+/// failures here mean corruption (kDataLoss), never a crash.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  bool Bytes(void* data, size_t len) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
+    return static_cast<bool>(in_);
+  }
+  bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
+  bool F32(float* v) { return Bytes(v, sizeof(*v)); }
+  bool F64(double* v) { return Bytes(v, sizeof(*v)); }
+  bool Str(std::string* s) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > kMaxDeclaredElems) return false;
+    s->resize(len);
+    return len == 0 || Bytes(s->data(), len);
+  }
+
+ private:
+  std::istream& in_;
+};
+
+Status WriteBody(const AlignmentIndex& index, std::ostream& out, Crc32* crc) {
+  CrcWriter w(out, crc);
+  w.Str(index.dataset);
+  w.U64(index.source_names.size());
+  w.U64(index.target_names.size());
+  w.U64(index.pairs.size());
+  w.F64(index.weight_structural);
+  w.F64(index.weight_semantic);
+  w.F64(index.weight_string);
+  w.U64(index.semantic_seed);
+  for (const std::string& name : index.source_names) w.Str(name);
+  for (const std::string& name : index.target_names) w.Str(name);
+  for (const AlignedPair& p : index.pairs) {
+    w.U32(p.source);
+    w.U32(p.target);
+    w.F32(p.score);
+  }
+  for (const la::Matrix* m :
+       {&index.source_name_emb, &index.target_name_emb,
+        &index.source_struct_emb, &index.target_struct_emb}) {
+    CEAFF_RETURN_IF_ERROR(la::WriteMatrixSection(*m, out, crc));
+  }
+  w.U64(index.trigram_keys.size());
+  for (size_t i = 0; i < index.trigram_keys.size(); ++i) {
+    w.Str(index.trigram_keys[i]);
+    w.U32(static_cast<uint32_t>(index.trigram_postings[i].size()));
+    for (uint32_t id : index.trigram_postings[i]) w.U32(id);
+  }
+  for (uint32_t c : index.target_trigram_counts) w.U32(c);
+  if (!w.ok()) return Status::IOError("index body write failed");
+  return Status::OK();
+}
+
+StatusOr<AlignmentIndex> ReadBody(std::istream& in, uint64_t body_bytes) {
+  AlignmentIndex index;
+  Reader r(in);
+  uint64_t n_src = 0, n_tgt = 0, n_pairs = 0;
+  if (!r.Str(&index.dataset) || !r.U64(&n_src) || !r.U64(&n_tgt) ||
+      !r.U64(&n_pairs) || !r.F64(&index.weight_structural) ||
+      !r.F64(&index.weight_semantic) || !r.F64(&index.weight_string) ||
+      !r.U64(&index.semantic_seed)) {
+    return Status::DataLoss("cannot read index header");
+  }
+  if (n_src > kMaxDeclaredElems || n_tgt > kMaxDeclaredElems ||
+      n_pairs > kMaxDeclaredElems) {
+    return Status::DataLoss("index header declares absurd sizes");
+  }
+  index.source_names.resize(n_src);
+  for (std::string& name : index.source_names) {
+    if (!r.Str(&name)) return Status::DataLoss("cannot read source names");
+  }
+  index.target_names.resize(n_tgt);
+  for (std::string& name : index.target_names) {
+    if (!r.Str(&name)) return Status::DataLoss("cannot read target names");
+  }
+  index.pairs.resize(n_pairs);
+  for (AlignedPair& p : index.pairs) {
+    if (!r.U32(&p.source) || !r.U32(&p.target) || !r.F32(&p.score)) {
+      return Status::DataLoss("cannot read alignment pairs");
+    }
+  }
+  for (la::Matrix* m :
+       {&index.source_name_emb, &index.target_name_emb,
+        &index.source_struct_emb, &index.target_struct_emb}) {
+    auto section = la::ReadMatrixSection(in, body_bytes, nullptr);
+    if (!section.ok()) return section.status();
+    *m = std::move(section).value();
+  }
+  uint64_t n_keys = 0;
+  if (!r.U64(&n_keys) || n_keys > kMaxDeclaredElems) {
+    return Status::DataLoss("cannot read trigram table size");
+  }
+  index.trigram_keys.resize(n_keys);
+  index.trigram_postings.resize(n_keys);
+  for (size_t i = 0; i < n_keys; ++i) {
+    uint32_t n_ids = 0;
+    if (!r.Str(&index.trigram_keys[i]) || !r.U32(&n_ids) ||
+        n_ids > kMaxDeclaredElems) {
+      return Status::DataLoss("cannot read trigram posting list");
+    }
+    index.trigram_postings[i].resize(n_ids);
+    for (uint32_t& id : index.trigram_postings[i]) {
+      if (!r.U32(&id)) {
+        return Status::DataLoss("cannot read trigram posting list");
+      }
+    }
+  }
+  index.target_trigram_counts.resize(n_tgt);
+  for (uint32_t& c : index.target_trigram_counts) {
+    if (!r.U32(&c)) return Status::DataLoss("cannot read trigram counts");
+  }
+  return index;
+}
+
+}  // namespace
+
+std::vector<std::string> NameTrigrams(const std::string& name) {
+  std::vector<std::string> grams;
+  if (name.empty()) return grams;
+  std::string padded;
+  padded.reserve(name.size() + 2 * (kTrigramWidth - 1));
+  padded.append(kTrigramWidth - 1, '^');
+  padded.append(name);
+  padded.append(kTrigramWidth - 1, '$');
+  grams.reserve(padded.size() - kTrigramWidth + 1);
+  for (size_t i = 0; i + kTrigramWidth <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, kTrigramWidth));
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+Status AlignmentIndex::Finalize() {
+  const size_t n_src = source_names.size();
+  const size_t n_tgt = target_names.size();
+  auto bad = [](const std::string& what) {
+    return Status::DataLoss("alignment index invalid: " + what);
+  };
+  auto check_rows = [&](const la::Matrix& m, size_t n,
+                        const char* what) -> Status {
+    if (!m.empty() && m.rows() != n) {
+      return bad(StrFormat("%s has %zu rows for %zu entities", what,
+                           m.rows(), n));
+    }
+    return Status::OK();
+  };
+  CEAFF_RETURN_IF_ERROR(check_rows(source_name_emb, n_src, "source_name_emb"));
+  CEAFF_RETURN_IF_ERROR(check_rows(target_name_emb, n_tgt, "target_name_emb"));
+  CEAFF_RETURN_IF_ERROR(
+      check_rows(source_struct_emb, n_src, "source_struct_emb"));
+  CEAFF_RETURN_IF_ERROR(
+      check_rows(target_struct_emb, n_tgt, "target_struct_emb"));
+  if (source_name_emb.cols() != target_name_emb.cols()) {
+    return bad("semantic embedding dimensions disagree");
+  }
+  if (source_struct_emb.cols() != target_struct_emb.cols()) {
+    return bad("structural embedding dimensions disagree");
+  }
+  const double wsum = weight_structural + weight_semantic + weight_string;
+  if (weight_structural < 0 || weight_semantic < 0 || weight_string < 0 ||
+      !(std::abs(wsum - 1.0) < 1e-6)) {
+    return bad("fusion weights are not a probability simplex");
+  }
+  if (trigram_postings.size() != trigram_keys.size()) {
+    return bad("trigram keys/postings size mismatch");
+  }
+  if (target_trigram_counts.size() != n_tgt) {
+    return bad("trigram counts cover the wrong number of targets");
+  }
+
+  pair_by_source.clear();
+  pair_by_source.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const AlignedPair& p = pairs[i];
+    if (p.source >= n_src || p.target >= n_tgt) {
+      return bad("alignment pair references an out-of-range entity");
+    }
+    if (!pair_by_source.emplace(p.source, static_cast<uint32_t>(i)).second) {
+      return bad("two alignment pairs share a source entity");
+    }
+  }
+  source_by_name.clear();
+  source_by_name.reserve(n_src);
+  for (size_t i = 0; i < n_src; ++i) {
+    source_by_name.emplace(source_names[i], static_cast<uint32_t>(i));
+  }
+  trigram_index.clear();
+  trigram_index.reserve(trigram_keys.size());
+  for (size_t i = 0; i < trigram_keys.size(); ++i) {
+    for (uint32_t id : trigram_postings[i]) {
+      if (id >= n_tgt) return bad("trigram posting references bad target");
+    }
+    if (!trigram_index.emplace(trigram_keys[i], static_cast<uint32_t>(i))
+             .second) {
+      return bad("duplicate trigram key");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<AlignmentIndex> BuildAlignmentIndex(AlignmentIndexInput input) {
+  if (input.weights.size() != 3) {
+    return Status::InvalidArgument(
+        "expected 3 weights (structural, semantic, string)");
+  }
+  double wsum = 0.0;
+  for (double w : input.weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument("fusion weights must be finite and >= 0");
+    }
+    wsum += w;
+  }
+  if (wsum <= 0.0) {
+    return Status::InvalidArgument("fusion weights must not all be zero");
+  }
+
+  AlignmentIndex index;
+  index.dataset = std::move(input.dataset);
+  index.source_names = std::move(input.source_names);
+  index.target_names = std::move(input.target_names);
+  index.pairs = std::move(input.pairs);
+  index.weight_structural = input.weights[0] / wsum;
+  index.weight_semantic = input.weights[1] / wsum;
+  index.weight_string = input.weights[2] / wsum;
+  index.semantic_seed = input.semantic_seed;
+  index.source_name_emb = std::move(input.source_name_emb);
+  index.target_name_emb = std::move(input.target_name_emb);
+  index.source_struct_emb = std::move(input.source_struct_emb);
+  index.target_struct_emb = std::move(input.target_struct_emb);
+
+  std::sort(index.pairs.begin(), index.pairs.end(),
+            [](const AlignedPair& a, const AlignedPair& b) {
+              return a.source < b.source;
+            });
+
+  // Trigram posting lists over the target vocabulary. std::map keeps the
+  // serialized key order deterministic.
+  std::map<std::string, std::vector<uint32_t>> postings;
+  index.target_trigram_counts.resize(index.target_names.size());
+  for (size_t t = 0; t < index.target_names.size(); ++t) {
+    std::vector<std::string> grams = NameTrigrams(index.target_names[t]);
+    index.target_trigram_counts[t] = static_cast<uint32_t>(grams.size());
+    for (const std::string& g : grams) {
+      postings[g].push_back(static_cast<uint32_t>(t));
+    }
+  }
+  index.trigram_keys.reserve(postings.size());
+  index.trigram_postings.reserve(postings.size());
+  for (auto& [key, ids] : postings) {
+    index.trigram_keys.push_back(key);
+    index.trigram_postings.push_back(std::move(ids));
+  }
+
+  Status finalized = index.Finalize();
+  if (!finalized.ok()) {
+    // Builder-side violations are caller bugs, not corruption.
+    return Status::InvalidArgument(finalized.message());
+  }
+  return index;
+}
+
+Status SaveAlignmentIndex(const AlignmentIndex& index,
+                          const std::string& path) {
+  Prefix prefix;
+  std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
+  prefix.version = kVersion;
+  prefix.reserved = 0;
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
+    Crc32 crc;
+    crc.Update(&prefix, sizeof(prefix));
+    out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+    Status body = WriteBody(index, out, &crc);
+    if (!body.ok()) return Status::IOError("write failed: " + tmp);
+    const uint32_t checksum = crc.value();
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    if (!out) return Status::IOError("write failed: " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IOError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  // Slurp the whole artifact and settle the CRC verdict up front — every
+  // later parse step then runs over bytes known to be exactly what the
+  // writer produced (size caps above still guard against writer bugs).
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("cannot read " + path);
+  std::string bytes = std::move(buffer).str();
+
+  if (bytes.size() < kPrefixBytes + kFooterBytes) {
+    return Status::DataLoss(
+        StrFormat("%s: truncated index (%zu bytes, need at least %zu)",
+                  path.c_str(), bytes.size(), kPrefixBytes + kFooterBytes));
+  }
+  Prefix prefix;
+  std::memcpy(&prefix, bytes.data(), sizeof(prefix));
+  if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss(path +
+                            ": bad magic, not a CEAFF alignment index");
+  }
+  if (prefix.version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("%s: unsupported index version %u (expected %u)",
+                  path.c_str(), prefix.version, kVersion));
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kFooterBytes,
+              sizeof(stored_crc));
+  const uint32_t computed_crc =
+      Crc32Of(bytes.data(), bytes.size() - kFooterBytes);
+  if (computed_crc != stored_crc) {
+    return Status::DataLoss(StrFormat(
+        "%s: CRC mismatch (stored %08x, computed %08x) — corrupted index",
+        path.c_str(), stored_crc, computed_crc));
+  }
+
+  const uint64_t body_bytes = bytes.size() - kPrefixBytes - kFooterBytes;
+  std::istringstream body(
+      bytes.substr(kPrefixBytes, static_cast<size_t>(body_bytes)));
+  auto index = ReadBody(body, body_bytes);
+  if (!index.ok()) {
+    return Status::DataLoss(path + ": " + index.status().message());
+  }
+  // Trailing slack after a clean parse means the writer and reader disagree
+  // about the format — refuse rather than serve a partial view.
+  if (body.peek() != std::char_traits<char>::eof()) {
+    return Status::DataLoss(path + ": trailing bytes after index body");
+  }
+  Status finalized = index->Finalize();
+  if (!finalized.ok()) {
+    return Status::DataLoss(path + ": " + finalized.message());
+  }
+  return index;
+}
+
+}  // namespace ceaff::serve

@@ -1,0 +1,152 @@
+#ifndef CEAFF_SERVE_ALIGNMENT_INDEX_H_
+#define CEAFF_SERVE_ALIGNMENT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::serve {
+
+/// One fused correspondence the batch pipeline committed to: test-split
+/// source entity `source` aligns with target entity `target` at the given
+/// fused-similarity score.
+struct AlignedPair {
+  uint32_t source;
+  uint32_t target;
+  float score;
+
+  bool operator==(const AlignedPair& other) const {
+    return source == other.source && target == other.target &&
+           score == other.score;
+  }
+};
+
+/// Immutable serving artifact produced by the pipeline's export stage: the
+/// queryable distillation of one CEAFF run. Holds everything the
+/// AlignmentService needs to answer exact pair lookups and top-k candidate
+/// retrieval for unseen names — entity names, the committed alignment, the
+/// per-feature entity embeddings, character-trigram lookup tables over the
+/// target vocabulary, and the adaptive fusion weights the run learned
+/// (flattened to one weight per serving feature).
+///
+/// On disk this is a single CRC-32-checksummed container (magic
+/// `CEAFFIDX`), written atomically (tmp + rename); matrices are embedded
+/// with the la/matrix_io section framing. A corrupted file — bad magic or
+/// version, truncation, bit flip — always fails the load with kDataLoss and
+/// can never be served from.
+///
+/// Instances are immutable after Finalize(): the service shares one index
+/// snapshot across all worker threads without locking.
+struct AlignmentIndex {
+  /// Provenance tag (dataset name) stamped by the exporting pipeline.
+  std::string dataset;
+
+  /// Display names of the test-split source / target entities. Row i of the
+  /// embedding matrices below describes names[i].
+  std::vector<std::string> source_names;
+  std::vector<std::string> target_names;
+
+  /// The committed alignment, sorted by source id (at most one pair per
+  /// source — the decision stage is one-to-one).
+  std::vector<AlignedPair> pairs;
+
+  /// Adaptive fusion weights over (structural, semantic, string), the
+  /// run's two-stage weights flattened to effective per-feature weights
+  /// (non-negative, sum to 1). A feature absent from the run carries
+  /// weight 0.
+  double weight_structural = 0.0;
+  double weight_semantic = 0.0;
+  double weight_string = 0.0;
+
+  /// Semantic feature: L2-normalised name embeddings (|names| x d_sem).
+  la::Matrix source_name_emb;
+  la::Matrix target_name_emb;
+
+  /// Seed of the word-embedding store the exporting run used, so the
+  /// service can reconstruct an equivalent hash-fallback store and embed
+  /// *unseen* query names into the same space. Runs that loaded pretrained
+  /// explicit vectors are approximated by the fallback for query-side
+  /// embedding (stored entity embeddings stay exact).
+  uint64_t semantic_seed = 17;
+
+  /// Structural feature: L2-normalised GCN entity embeddings
+  /// (|names| x d_gcn). Empty when the exporting run disabled the
+  /// structural feature or restored it from an embedding-less checkpoint;
+  /// the service then redistributes weight_structural at query time.
+  la::Matrix source_struct_emb;
+  la::Matrix target_struct_emb;
+
+  /// Character-trigram posting lists over the padded target names (set
+  /// semantics: each target id appears at most once per trigram, sorted
+  /// ascending). trigram_postings[i] belongs to trigram_keys[i].
+  std::vector<std::string> trigram_keys;
+  std::vector<std::vector<uint32_t>> trigram_postings;
+  /// |distinct padded trigrams| per target name — the denominator of the
+  /// query-time set-Dice string score.
+  std::vector<uint32_t> target_trigram_counts;
+
+  // ---- Derived lookup structures (built by Finalize, not serialized) ----
+
+  /// source entity name -> source id (first occurrence wins on duplicate
+  /// names).
+  std::unordered_map<std::string, uint32_t> source_by_name;
+  /// source id -> index into `pairs`.
+  std::unordered_map<uint32_t, uint32_t> pair_by_source;
+  /// trigram -> index into trigram_postings.
+  std::unordered_map<std::string, uint32_t> trigram_index;
+
+  size_t num_sources() const { return source_names.size(); }
+  size_t num_targets() const { return target_names.size(); }
+
+  /// Validates cross-field invariants (shapes, id ranges, weight simplex)
+  /// and rebuilds the derived lookup maps. Called by the builder and the
+  /// loader; kDataLoss on any violation.
+  Status Finalize();
+};
+
+/// The padded byte trigrams of `name`, deduplicated and sorted — the unit
+/// the index's posting lists and the query-time string score are built
+/// from. Padding follows text/ngram_similarity ("^^name$$"), but with set
+/// (not multiset) semantics: serving trades exact Dice multiplicities for
+/// posting lists that stay one-entry-per-target.
+std::vector<std::string> NameTrigrams(const std::string& name);
+
+/// Everything the export stage hands over. Weights must be (structural,
+/// semantic, string) effective weights; they are renormalised to sum to 1
+/// (all-zero weight vectors are InvalidArgument).
+struct AlignmentIndexInput {
+  std::string dataset;
+  std::vector<std::string> source_names;
+  std::vector<std::string> target_names;
+  std::vector<AlignedPair> pairs;
+  std::vector<double> weights;
+  uint64_t semantic_seed = 17;
+  la::Matrix source_name_emb;
+  la::Matrix target_name_emb;
+  la::Matrix source_struct_emb;
+  la::Matrix target_struct_emb;
+};
+
+/// Builds a finalized in-memory index: derives the trigram tables from the
+/// target names, sorts pairs, validates shapes. InvalidArgument on
+/// inconsistent input.
+StatusOr<AlignmentIndex> BuildAlignmentIndex(AlignmentIndexInput input);
+
+/// Writes the index to `path` as one checksummed container, atomically
+/// (tmp + rename). kIOError on filesystem failures.
+Status SaveAlignmentIndex(const AlignmentIndex& index,
+                          const std::string& path);
+
+/// Loads and fully validates an index artifact: magic, version, CRC over
+/// the entire file, then Finalize()'s invariant checks. kIOError when the
+/// file cannot be opened; kDataLoss when it exists but is corrupt. Never
+/// returns a partially valid index.
+StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path);
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_ALIGNMENT_INDEX_H_

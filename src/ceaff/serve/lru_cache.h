@@ -1,0 +1,113 @@
+#ifndef CEAFF_SERVE_LRU_CACHE_H_
+#define CEAFF_SERVE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ceaff/common/random.h"
+
+namespace ceaff::serve {
+
+/// Thread-safe string-keyed LRU cache, sharded by key hash so concurrent
+/// service workers rarely contend on one mutex. Values are handed out as
+/// shared_ptr<const V>, so an entry evicted while a reader still holds it
+/// stays alive for that reader — the cache never invalidates data out from
+/// under a request.
+///
+/// Capacity 0 disables the cache entirely (every Get misses, Put is a
+/// no-op), which the throughput bench uses to measure uncached query cost.
+template <typename V>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (each shard gets at least one slot).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8) {
+    if (capacity == 0) return;
+    if (num_shards == 0) num_shards = 1;
+    if (num_shards > capacity) num_shards = capacity;
+    const size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    shards_.reserve(num_shards);
+    for (size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  /// The cached value, or nullptr on miss. A hit refreshes recency.
+  std::shared_ptr<const V> Get(const std::string& key) {
+    if (shards_.empty()) return nullptr;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return nullptr;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry when full.
+  void Put(const std::string& key, std::shared_ptr<const V> value) {
+    if (shards_.empty()) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.map[key] = shard.lru.begin();
+    if (shard.map.size() > shard.capacity) {
+      shard.map.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+  }
+
+  /// Drops every entry (used when a new index snapshot is swapped in —
+  /// cached answers describe the old snapshot).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->map.clear();
+      shard->lru.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t cap) : capacity(cap) {}
+    mutable std::mutex mu;
+    std::list<std::pair<std::string, std::shared_ptr<const V>>> lru;
+    std::unordered_map<
+        std::string,
+        typename std::list<
+            std::pair<std::string, std::shared_ptr<const V>>>::iterator>
+        map;
+    size_t capacity;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return *shards_[HashBytes(key.data(), key.size()) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_LRU_CACHE_H_

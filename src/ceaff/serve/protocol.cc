@@ -1,0 +1,96 @@
+#include "ceaff/serve/protocol.h"
+
+#include <cstdlib>
+
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::serve {
+
+namespace {
+
+/// Splits "<k> <rest>" and validates k >= 1.
+Status ParseK(std::string_view args, size_t* k, std::string_view* rest) {
+  const size_t space = args.find(' ');
+  if (space == std::string_view::npos || space == 0) {
+    return Status::InvalidArgument("expected '<k> <name...>'");
+  }
+  const std::string k_str(args.substr(0, space));
+  char* end = nullptr;
+  const long value = std::strtol(k_str.c_str(), &end, 10);
+  if (end == k_str.c_str() || *end != '\0' || value < 1) {
+    return Status::InvalidArgument("k must be a positive integer, got '" +
+                                   k_str + "'");
+  }
+  *k = static_cast<size_t>(value);
+  *rest = args.substr(space + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(const std::string& line) {
+  std::string_view s = StripAsciiWhitespace(line);
+  if (s.empty() || s[0] == '#') {
+    return Status::NotFound("no request on this line");
+  }
+  const size_t space = s.find(' ');
+  const std::string_view verb = s.substr(0, space);
+  const std::string_view args =
+      space == std::string_view::npos ? std::string_view() : s.substr(space + 1);
+
+  Request request;
+  if (verb == "PAIR") {
+    if (args.empty()) {
+      return Status::InvalidArgument("PAIR needs a source entity name");
+    }
+    request.type = RequestType::kPair;
+    request.names.emplace_back(args);
+    return request;
+  }
+  if (verb == "TOPK") {
+    request.type = RequestType::kTopK;
+    std::string_view name;
+    CEAFF_RETURN_IF_ERROR(ParseK(args, &request.k, &name));
+    if (name.empty()) return Status::InvalidArgument("TOPK needs a name");
+    request.names.emplace_back(name);
+    return request;
+  }
+  if (verb == "BATCH") {
+    request.type = RequestType::kBatch;
+    std::string_view rest;
+    CEAFF_RETURN_IF_ERROR(ParseK(args, &request.k, &rest));
+    for (const std::string& name : Split(rest, '\t')) {
+      std::string_view stripped = StripAsciiWhitespace(name);
+      if (!stripped.empty()) request.names.emplace_back(stripped);
+    }
+    if (request.names.empty()) {
+      return Status::InvalidArgument("BATCH needs at least one name");
+    }
+    return request;
+  }
+  if (verb == "RELOAD") {
+    if (args.empty()) {
+      return Status::InvalidArgument("RELOAD needs an index path");
+    }
+    request.type = RequestType::kReload;
+    request.path = std::string(args);
+    return request;
+  }
+  if (verb == "STATS") {
+    request.type = RequestType::kStats;
+    return request;
+  }
+  if (verb == "QUIT") {
+    request.type = RequestType::kQuit;
+    return request;
+  }
+  return Status::InvalidArgument("unknown request verb '" +
+                                 std::string(verb) + "'");
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  return StrFormat("ERR %s %s", StatusCodeToString(status.code()),
+                   status.message().c_str());
+}
+
+}  // namespace ceaff::serve

@@ -1,0 +1,57 @@
+#ifndef CEAFF_SERVE_PROTOCOL_H_
+#define CEAFF_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+
+namespace ceaff::serve {
+
+/// Line-delimited request protocol the `ceaff_serve` front end speaks over
+/// stdin or a request file (no network stack needed in this environment;
+/// the framing maps 1:1 onto a future socket transport).
+///
+/// Requests, one per line (entity names may contain spaces; BATCH names are
+/// tab-separated):
+///   PAIR <source entity name>        exact lookup of the committed pair
+///   TOPK <k> <query name>            top-k candidates for an unseen name
+///   BATCH <k> <name1>\t<name2>...    multi-entity TOPK in one request
+///   RELOAD <path>                    hot-swap to the index at <path>
+///   STATS                            per-endpoint serving statistics
+///   QUIT                             stop serving
+///
+/// Responses, one logical reply per request:
+///   OK PAIR <source>\t<target>\t<score>
+///   NONE PAIR <name>                 unknown source or no committed pair
+///   OK TOPK <n>                      then n lines: CAND <rank>\t<name>\t
+///                                    <combined>\t<string>\t<sem>\t<struct>
+///   OK BATCH <n>                     then n TOPK/ERR replies, one per name
+///   OK RELOAD <path>
+///   OK STATS <json>
+///   ERR <CodeName> <message>         any failure, including per-request
+///                                    deadline exceeded
+enum class RequestType { kPair, kTopK, kBatch, kReload, kStats, kQuit };
+
+struct Request {
+  RequestType type;
+  /// TOPK / BATCH: requested candidate count (k >= 1).
+  size_t k = 0;
+  /// PAIR: one name. TOPK: one query name. BATCH: the tab-split names.
+  std::vector<std::string> names;
+  /// RELOAD: index path.
+  std::string path;
+};
+
+/// Parses one protocol line. Blank lines and `#` comments yield NotFound
+/// ("no request on this line" — callers skip those); malformed requests are
+/// InvalidArgument with a message naming the defect.
+StatusOr<Request> ParseRequest(const std::string& line);
+
+/// Renders `status` as an `ERR` response line.
+std::string FormatErrorResponse(const Status& status);
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_PROTOCOL_H_

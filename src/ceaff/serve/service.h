@@ -1,0 +1,149 @@
+#ifndef CEAFF_SERVE_SERVICE_H_
+#define CEAFF_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/lru_cache.h"
+#include "ceaff/serve/serving_stats.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::serve {
+
+/// Answer to an exact pair lookup.
+struct PairAnswer {
+  uint32_t source = 0;
+  uint32_t target = 0;
+  std::string source_name;
+  std::string target_name;
+  /// Fused similarity the batch pipeline committed this pair at.
+  float score = 0.0f;
+};
+
+/// One retrieved candidate: per-feature scores plus their weighted
+/// combination under the index's stored adaptive fusion weights.
+struct Candidate {
+  uint32_t target = 0;
+  std::string target_name;
+  float combined = 0.0f;
+  float string_score = 0.0f;
+  float semantic_score = 0.0f;
+  float structural_score = 0.0f;
+};
+
+/// Result of one top-k retrieval, self-contained (names copied out of the
+/// snapshot) so it stays valid across hot reloads and inside the cache.
+struct TopKResult {
+  std::string query;
+  /// True when the query name resolved to a known source entity, so the
+  /// structural feature participated; false means the structural weight was
+  /// redistributed over the textual features.
+  bool structural_used = false;
+  std::vector<Candidate> candidates;  // descending combined score
+};
+
+struct ServiceOptions {
+  /// Worker threads answering batched requests.
+  size_t num_threads = 4;
+  /// Bounded task-queue capacity (backpressure for batch fan-out).
+  size_t queue_capacity = 256;
+  /// Total query-cache entries (0 disables caching).
+  size_t cache_capacity = 1024;
+  size_t cache_shards = 8;
+};
+
+/// Query service over one immutable AlignmentIndex snapshot.
+///
+/// Threading model: the read path (LookupPair / TopK) touches the snapshot
+/// through one shared_ptr copy — workers never lock while scoring, so
+/// throughput scales with cores. Reload() builds the incoming index off to
+/// the side, validates it completely, and only then swaps the shared_ptr
+/// (and clears the query cache); requests in flight keep the snapshot they
+/// started with alive. A corrupt or invalid index file refuses the swap:
+/// Reload returns the load error and the service keeps answering from the
+/// current snapshot.
+///
+/// Per-request deadlines: every query accepts an optional
+/// CancellationToken, polled inside the candidate scan, and returns
+/// kCancelled / kDeadlineExceeded without disturbing the service.
+class AlignmentService {
+ public:
+  /// Serves `index` (must be finalized). The word-embedding store for
+  /// query-side name embedding is reconstructed from the index's
+  /// semantic_seed.
+  AlignmentService(std::shared_ptr<const AlignmentIndex> index,
+                   const ServiceOptions& options);
+
+  /// Loads the index at `path` and serves it. kIOError / kDataLoss on a
+  /// missing or corrupt artifact.
+  static StatusOr<std::unique_ptr<AlignmentService>> Open(
+      const std::string& index_path, const ServiceOptions& options = {});
+
+  /// Hot-swaps to the index at `path`. On any load/validation failure the
+  /// current snapshot stays live and keeps serving; the error is returned
+  /// (and counted on the reload endpoint).
+  Status Reload(const std::string& index_path);
+
+  /// Swaps in an already-built snapshot (tests, in-process rebuilds).
+  void AdoptIndex(std::shared_ptr<const AlignmentIndex> index);
+
+  /// The current snapshot (never null).
+  std::shared_ptr<const AlignmentIndex> snapshot() const;
+
+  /// Exact lookup of the committed pair for a source entity name.
+  /// kNotFound when the name is unknown or its entity ended up unmatched.
+  StatusOr<PairAnswer> LookupPair(const std::string& source_name,
+                                  const CancellationToken* cancel = nullptr);
+
+  /// Top-k candidate retrieval for an arbitrary (possibly unseen) entity
+  /// name: string (trigram set-Dice via the stored posting lists), semantic
+  /// (cosine in the name-embedding space) and structural (cosine in the
+  /// GCN space, when the name resolves to a known source entity) scores,
+  /// recombined with the index's adaptive fusion weights.
+  StatusOr<TopKResult> TopK(const std::string& query_name, size_t k,
+                            const CancellationToken* cancel = nullptr);
+
+  /// Runs TopK for every name on the service's thread pool and returns the
+  /// per-name results in input order. Must not be called from inside a
+  /// pool task (the caller blocks on the pool). The returned vector always
+  /// has names.size() entries; individual queries fail independently.
+  std::vector<StatusOr<TopKResult>> BatchTopK(
+      const std::vector<std::string>& names, size_t k,
+      const CancellationToken* cancel = nullptr);
+
+  /// Point-in-time per-endpoint statistics (qps, p50/p99 latency, cache
+  /// hit rate).
+  ServingSnapshot Stats() const { return stats_.Snapshot(); }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  StatusOr<TopKResult> TopKUncached(const AlignmentIndex& index,
+                                    const text::WordEmbeddingStore& embedder,
+                                    const std::string& query_name, size_t k,
+                                    const CancellationToken* cancel) const;
+
+  ServiceOptions options_;
+  /// Snapshot slot. The mutex only guards the pointer swap/copy (a few
+  /// nanoseconds), never the scoring work.
+  mutable std::mutex index_mu_;
+  std::shared_ptr<const AlignmentIndex> index_;
+  /// Query-side embedder; keyed by the served index's semantic_seed and
+  /// dimension, rebuilt on reload when they change. Guarded by index_mu_
+  /// (lookups are const and internally allocation-free for the store map).
+  std::shared_ptr<const text::WordEmbeddingStore> embedder_;
+  ShardedLruCache<TopKResult> cache_;
+  ThreadPool pool_;
+  mutable ServingStats stats_;
+};
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_SERVICE_H_

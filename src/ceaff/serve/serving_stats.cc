@@ -1,0 +1,100 @@
+#include "ceaff/serve/serving_stats.h"
+
+#include <bit>
+#include <cmath>
+
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::serve {
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  // Index of the highest set bit; 0 ns lands in bucket 0.
+  const size_t bucket = nanos == 0 ? 0 : std::bit_width(nanos) - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::QuantileMillis(double q) const {
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      // Geometric midpoint of [2^i, 2^(i+1)) in nanoseconds.
+      const double mid = std::ldexp(std::sqrt(2.0), static_cast<int>(i));
+      return mid / 1e6;
+    }
+  }
+  return 0.0;
+}
+
+void EndpointStats::Record(uint64_t latency_nanos, bool ok, bool cache_hit) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!ok) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(latency_nanos);
+}
+
+EndpointSnapshot EndpointStats::Snapshot(double elapsed_seconds) const {
+  EndpointSnapshot snap;
+  snap.requests = requests_.load(std::memory_order_relaxed);
+  snap.errors = errors_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.qps = elapsed_seconds > 0.0
+                 ? static_cast<double>(snap.requests) / elapsed_seconds
+                 : 0.0;
+  snap.p50_ms = latency_.QuantileMillis(0.5);
+  snap.p99_ms = latency_.QuantileMillis(0.99);
+  snap.cache_hit_rate =
+      snap.requests > 0
+          ? static_cast<double>(snap.cache_hits) /
+                static_cast<double>(snap.requests)
+          : 0.0;
+  return snap;
+}
+
+ServingSnapshot ServingStats::Snapshot() const {
+  ServingSnapshot snap;
+  snap.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  snap.pair = pair_.Snapshot(snap.uptime_seconds);
+  snap.topk = topk_.Snapshot(snap.uptime_seconds);
+  snap.batch = batch_.Snapshot(snap.uptime_seconds);
+  snap.reload = reload_.Snapshot(snap.uptime_seconds);
+  return snap;
+}
+
+namespace {
+std::string EndpointJson(const char* name, const EndpointSnapshot& e) {
+  return StrFormat(
+      "\"%s\":{\"requests\":%llu,\"errors\":%llu,\"qps\":%.2f,"
+      "\"p50_ms\":%.4f,\"p99_ms\":%.4f,\"cache_hit_rate\":%.4f}",
+      name, static_cast<unsigned long long>(e.requests),
+      static_cast<unsigned long long>(e.errors), e.qps, e.p50_ms, e.p99_ms,
+      e.cache_hit_rate);
+}
+}  // namespace
+
+std::string ServingSnapshot::ToJson() const {
+  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s}", uptime_seconds,
+                   EndpointJson("pair", pair).c_str(),
+                   EndpointJson("topk", topk).c_str(),
+                   EndpointJson("batch", batch).c_str(),
+                   EndpointJson("reload", reload).c_str());
+}
+
+}  // namespace ceaff::serve

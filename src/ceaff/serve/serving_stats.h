@@ -1,0 +1,97 @@
+#ifndef CEAFF_SERVE_SERVING_STATS_H_
+#define CEAFF_SERVE_SERVING_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ceaff::serve {
+
+/// Lock-free latency histogram: 64 power-of-two nanosecond buckets
+/// (bucket i covers [2^i, 2^(i+1)) ns). Quantiles are read from a bucket
+/// snapshot and reported at the bucket's geometric midpoint — ~±20%
+/// resolution, plenty for p50/p99 serving dashboards, and recording is a
+/// single relaxed fetch_add so worker threads never serialise on stats.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t nanos);
+
+  /// The q-quantile (q in [0, 1]) of everything recorded so far, in
+  /// milliseconds; 0 when empty. Concurrent recording skews the answer by
+  /// at most the in-flight samples (each bucket is read once).
+  double QuantileMillis(double q) const;
+
+  uint64_t TotalCount() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Read-only view of one endpoint's counters at snapshot time.
+struct EndpointSnapshot {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;  // hits / requests, 0 when no requests
+};
+
+/// Counters + latency histogram for one endpoint. All mutators are atomic;
+/// many worker threads record concurrently without locks.
+class EndpointStats {
+ public:
+  /// Records one finished request. `cache_hit` marks answers served from
+  /// the query cache; `ok` is false for error responses (including
+  /// cancelled / deadline-exceeded requests).
+  void Record(uint64_t latency_nanos, bool ok, bool cache_hit = false);
+
+  EndpointSnapshot Snapshot(double elapsed_seconds) const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  LatencyHistogram latency_;
+};
+
+/// Per-endpoint serving statistics of one AlignmentService instance.
+struct ServingSnapshot {
+  double uptime_seconds = 0.0;
+  EndpointSnapshot pair;
+  EndpointSnapshot topk;
+  EndpointSnapshot batch;
+  EndpointSnapshot reload;
+
+  /// One-line JSON rendering (the `STATS` protocol response and the
+  /// serve-throughput report embed this).
+  std::string ToJson() const;
+};
+
+class ServingStats {
+ public:
+  ServingStats() : start_(std::chrono::steady_clock::now()) {}
+
+  EndpointStats& pair() { return pair_; }
+  EndpointStats& topk() { return topk_; }
+  EndpointStats& batch() { return batch_; }
+  EndpointStats& reload() { return reload_; }
+
+  ServingSnapshot Snapshot() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  EndpointStats pair_;
+  EndpointStats topk_;
+  EndpointStats batch_;
+  EndpointStats reload_;
+};
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_SERVING_STATS_H_

@@ -57,16 +57,17 @@ double LevenshteinRatioUnitCost(std::string_view a, std::string_view b) {
 
 la::Matrix StringSimilarityMatrix(
     const std::vector<std::string>& source_names,
-    const std::vector<std::string>& target_names) {
+    const std::vector<std::string>& target_names,
+    ThreadPool* pool) {
   la::Matrix m(source_names.size(), target_names.size());
-  for (size_t i = 0; i < source_names.size(); ++i) {
+  ParallelFor(pool, source_names.size(), [&](size_t i) {
     float* row = m.row(i);
     for (size_t j = 0; j < target_names.size(); ++j) {
       row[j] =
           static_cast<float>(LevenshteinRatio(source_names[i],
                                               target_names[j]));
     }
-  }
+  });
   return m;
 }
 

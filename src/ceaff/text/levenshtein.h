@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <string_view>
 
+#include "ceaff/common/thread_pool.h"
 #include "ceaff/la/matrix.h"
 
 namespace ceaff::text {
@@ -26,10 +27,14 @@ double LevenshteinRatio(std::string_view a, std::string_view b);
 double LevenshteinRatioUnitCost(std::string_view a, std::string_view b);
 
 /// Full pairwise string similarity matrix Ml: out(i, j) =
-/// LevenshteinRatio(source_names[i], target_names[j]).
+/// LevenshteinRatio(source_names[i], target_names[j]). The O(n²) pair loop
+/// is embarrassingly parallel; pass a ThreadPool to split it by source row
+/// (null keeps the single-threaded path — the result is identical either
+/// way).
 la::Matrix StringSimilarityMatrix(
     const std::vector<std::string>& source_names,
-    const std::vector<std::string>& target_names);
+    const std::vector<std::string>& target_names,
+    ThreadPool* pool = nullptr);
 
 }  // namespace ceaff::text
 

@@ -33,6 +33,7 @@ class WordEmbeddingStore {
   explicit WordEmbeddingStore(size_t dim = 300, uint64_t seed = 17);
 
   size_t dim() const { return dim_; }
+  uint64_t seed() const { return seed_; }
 
   /// Associates `token` with concept `concept_id`; its embedding becomes
   /// anchor(concept) + noise_scale * noise(token), re-normalised.

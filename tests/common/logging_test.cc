@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "ceaff/common/timer.h"
 
@@ -47,6 +50,51 @@ TEST_F(LoggingTest, CheckPassesSilentlyOnTrue) {
   ::testing::internal::CaptureStderr();
   CEAFF_CHECK(1 + 1 == 2) << "never printed";
   EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LoggingTest, SinkRedirectCapturesMessages) {
+  SetLogLevel(LogLevel::kInfo);
+  std::ostringstream sink;
+  SetLogSinkForTest(&sink);
+  CEAFF_LOG(Info) << "redirected " << 7;
+  SetLogSinkForTest(nullptr);
+  EXPECT_NE(sink.str().find("redirected 7"), std::string::npos);
+  // After the reset, messages go back to stderr, not the old sink.
+  ::testing::internal::CaptureStderr();
+  CEAFF_LOG(Info) << "back on stderr";
+  EXPECT_NE(::testing::internal::GetCapturedStderr().find("back on stderr"),
+            std::string::npos);
+  EXPECT_EQ(sink.str().find("back on stderr"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ConcurrentMessagesNeverInterleaveMidLine) {
+  SetLogLevel(LogLevel::kInfo);
+  std::ostringstream sink;
+  SetLogSinkForTest(&sink);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        CEAFF_LOG(Info) << "thread=" << t << " msg=" << i << " tail";
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  SetLogSinkForTest(nullptr);
+
+  // Every line must be one complete message: prefix, payload, "tail".
+  std::istringstream lines(sink.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_NE(line.find("INFO"), std::string::npos) << line;
+    EXPECT_NE(line.find("thread="), std::string::npos) << line;
+    EXPECT_EQ(line.rfind(" tail"), line.size() - 5) << line;
+  }
+  EXPECT_EQ(count, kThreads * kPerThread);
 }
 
 TEST(LoggingDeathTest, CheckAbortsOnFalse) {

@@ -1,0 +1,137 @@
+#include "ceaff/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ceaff/common/random.h"
+
+namespace ceaff {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ClampsDegenerateSizes) {
+  ThreadPool pool(0, 0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_GE(pool.queue_capacity(), 1u);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndRejectsNewOnes) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2, 64);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(pool.Submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        counter.fetch_add(1);
+      }));
+    }
+    pool.Shutdown();
+    EXPECT_EQ(counter.load(), 50);  // drained, not dropped
+    EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    EXPECT_FALSE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsLoadWhenQueueIsFull) {
+  ThreadPool pool(1, 1);
+  std::mutex gate;
+  gate.lock();
+  // Occupy the single worker...
+  ASSERT_TRUE(pool.Submit([&gate] { std::lock_guard<std::mutex> g(gate); }));
+  // ...then fill the single queue slot (may need a moment for the worker
+  // to pick up the first task).
+  while (!pool.TrySubmit([] {})) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Queue is now full: TrySubmit must refuse rather than block.
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  gate.unlock();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitBlocksUntilSpaceThenSucceeds) {
+  ThreadPool pool(1, 1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    // With capacity 1 many of these block on the full queue; all must
+    // still run exactly once.
+    ASSERT_TRUE(pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      done.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(&pool, n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, NullPoolFallsBackToSequential) {
+  std::vector<int> hits(64, 0);
+  ParallelFor(nullptr, hits.size(), [&hits](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  ParallelFor(nullptr, 0, [&hits](size_t) { FAIL(); });
+}
+
+TEST(ThreadLocalRngTest, SameInstanceWithinAThread) {
+  Rng& a = ThreadLocalRng();
+  Rng& b = ThreadLocalRng();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadLocalRngTest, DistinctStreamsAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kDraws = 16;
+  std::mutex mu;
+  std::set<uint64_t> firsts;
+  std::vector<std::vector<uint64_t>> streams(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng& rng = ThreadLocalRng();
+      std::vector<uint64_t> draws;
+      for (int i = 0; i < kDraws; ++i) draws.push_back(rng.NextU64());
+      std::lock_guard<std::mutex> lock(mu);
+      firsts.insert(draws[0]);
+      streams[t] = std::move(draws);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every thread's stream starts differently (streams are seeded from a
+  // process-wide counter, so collisions would mean shared state).
+  EXPECT_EQ(firsts.size(), static_cast<size_t>(kThreads));
+  for (int a = 0; a < kThreads; ++a) {
+    for (int b = a + 1; b < kThreads; ++b) {
+      EXPECT_NE(streams[a], streams[b]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ceaff

@@ -1,0 +1,177 @@
+#include "ceaff/serve/alignment_index.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/serve_test_util.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::serve {
+namespace {
+
+using ::ceaff::testing::FileSize;
+using ::ceaff::testing::FlipBit;
+using ::ceaff::testing::ScratchDir;
+using ::ceaff::testing::SmallIndex;
+using ::ceaff::testing::SmallIndexInput;
+using ::ceaff::testing::TruncateTail;
+using ::ceaff::testing::WriteText;
+using ::ceaff::testing::ZeroFile;
+
+TEST(NameTrigramsTest, PadsDeduplicatesAndSorts) {
+  // "ab" -> padded "^^ab$$" -> ^^a ^ab ab$ b$$, sorted.
+  std::vector<std::string> grams = NameTrigrams("ab");
+  EXPECT_EQ(grams, (std::vector<std::string>{"^^a", "^ab", "ab$", "b$$"}));
+  EXPECT_TRUE(NameTrigrams("").empty());
+  // Set semantics: repeated trigrams of "aaaa" collapse.
+  grams = NameTrigrams("aaaa");
+  EXPECT_EQ(grams, (std::vector<std::string>{"^^a", "^aa", "a$$", "aa$",
+                                             "aaa"}));
+}
+
+TEST(BuildAlignmentIndexTest, BuildsTrigramTablesAndMaps) {
+  AlignmentIndex index = SmallIndex();
+  EXPECT_EQ(index.num_sources(), 4u);
+  EXPECT_EQ(index.num_targets(), 4u);
+  EXPECT_EQ(index.pairs.size(), 4u);
+  EXPECT_NEAR(index.weight_structural + index.weight_semantic +
+                  index.weight_string,
+              1.0, 1e-9);
+  EXPECT_EQ(index.target_trigram_counts.size(), 4u);
+  EXPECT_EQ(index.trigram_keys.size(), index.trigram_postings.size());
+  EXPECT_FALSE(index.trigram_keys.empty());
+  // Derived maps answer lookups.
+  ASSERT_TRUE(index.source_by_name.count("beta two"));
+  EXPECT_EQ(index.source_by_name.at("beta two"), 1u);
+  ASSERT_TRUE(index.pair_by_source.count(1));
+  EXPECT_EQ(index.pairs[index.pair_by_source.at(1)].target, 1u);
+  // Postings reference valid targets and stay sorted.
+  for (const auto& postings : index.trigram_postings) {
+    for (size_t i = 1; i < postings.size(); ++i) {
+      EXPECT_LT(postings[i - 1], postings[i]);
+    }
+  }
+}
+
+TEST(BuildAlignmentIndexTest, RejectsInvalidInput) {
+  {
+    auto input = SmallIndexInput();
+    input.weights = {0.5, 0.5};  // wrong arity
+    EXPECT_EQ(BuildAlignmentIndex(std::move(input)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto input = SmallIndexInput();
+    input.weights = {0.0, 0.0, 0.0};
+    EXPECT_EQ(BuildAlignmentIndex(std::move(input)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto input = SmallIndexInput();
+    input.pairs.push_back({99, 0, 1.0f});  // source out of range
+    EXPECT_EQ(BuildAlignmentIndex(std::move(input)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto input = SmallIndexInput();
+    input.pairs.push_back({0, 1, 0.5f});  // duplicate source
+    EXPECT_EQ(BuildAlignmentIndex(std::move(input)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    auto input = SmallIndexInput();
+    input.source_name_emb = la::Matrix(3, 16);  // wrong row count
+    EXPECT_EQ(BuildAlignmentIndex(std::move(input)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(AlignmentIndexIoTest, SaveLoadRoundTripsEverything) {
+  ScratchDir dir("idx_roundtrip");
+  const std::string path = dir.File("run.idx");
+  AlignmentIndex index = SmallIndex();
+  ASSERT_TRUE(SaveAlignmentIndex(index, path).ok());
+
+  auto loaded_or = LoadAlignmentIndex(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const AlignmentIndex& loaded = loaded_or.value();
+  EXPECT_EQ(loaded.dataset, index.dataset);
+  EXPECT_EQ(loaded.source_names, index.source_names);
+  EXPECT_EQ(loaded.target_names, index.target_names);
+  EXPECT_EQ(loaded.pairs, index.pairs);
+  EXPECT_DOUBLE_EQ(loaded.weight_structural, index.weight_structural);
+  EXPECT_DOUBLE_EQ(loaded.weight_semantic, index.weight_semantic);
+  EXPECT_DOUBLE_EQ(loaded.weight_string, index.weight_string);
+  EXPECT_EQ(loaded.semantic_seed, index.semantic_seed);
+  EXPECT_EQ(loaded.trigram_keys, index.trigram_keys);
+  EXPECT_EQ(loaded.trigram_postings, index.trigram_postings);
+  EXPECT_EQ(loaded.target_trigram_counts, index.target_trigram_counts);
+  ASSERT_EQ(loaded.source_name_emb.rows(), index.source_name_emb.rows());
+  ASSERT_EQ(loaded.source_name_emb.cols(), index.source_name_emb.cols());
+  for (size_t r = 0; r < loaded.source_name_emb.rows(); ++r) {
+    for (size_t c = 0; c < loaded.source_name_emb.cols(); ++c) {
+      EXPECT_EQ(loaded.source_name_emb.at(r, c), index.source_name_emb.at(r, c));
+    }
+  }
+  // Derived maps were rebuilt by the loader.
+  EXPECT_EQ(loaded.source_by_name.size(), index.source_by_name.size());
+  EXPECT_EQ(loaded.trigram_index.size(), index.trigram_index.size());
+}
+
+TEST(AlignmentIndexIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadAlignmentIndex("/nonexistent/nowhere.idx").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(AlignmentIndexIoTest, TruncationIsDataLoss) {
+  ScratchDir dir("idx_trunc");
+  const std::string path = dir.File("run.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+  TruncateTail(path, FileSize(path) / 2);
+  auto loaded = LoadAlignmentIndex(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(AlignmentIndexIoTest, EveryBitFlipRegionIsDataLoss) {
+  ScratchDir dir("idx_flip");
+  // Flip a bit in several regions of the artifact — header, early body,
+  // middle (matrix payload), tail — every one must fail the whole-file CRC.
+  const std::string clean = dir.File("clean.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), clean).ok());
+  const size_t size = FileSize(clean);
+  for (size_t offset : {size_t{9}, size_t{40}, size / 2, size - 8}) {
+    const std::string path = dir.File("flip_" + std::to_string(offset));
+    ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+    FlipBit(path, offset, 3);
+    auto loaded = LoadAlignmentIndex(path);
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+        << "offset " << offset << ": " << loaded.status().ToString();
+  }
+}
+
+TEST(AlignmentIndexIoTest, ForeignAndEmptyFilesAreDataLoss) {
+  ScratchDir dir("idx_foreign");
+  const std::string path = dir.File("bogus.idx");
+  WriteText(path, "this is not an alignment index at all, sorry");
+  auto loaded = LoadAlignmentIndex(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+
+  ZeroFile(path);
+  EXPECT_EQ(LoadAlignmentIndex(path).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(AlignmentIndexIoTest, SaveIsAtomicNoTmpLeftBehind) {
+  ScratchDir dir("idx_atomic");
+  const std::string path = dir.File("run.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Overwrite in place keeps the artifact loadable.
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+  EXPECT_TRUE(LoadAlignmentIndex(path).ok());
+}
+
+}  // namespace
+}  // namespace ceaff::serve

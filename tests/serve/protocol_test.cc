@@ -1,0 +1,75 @@
+#include "ceaff/serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace ceaff::serve {
+namespace {
+
+TEST(ParseRequestTest, ParsesPair) {
+  auto r = ParseRequest("PAIR alpha one");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type, RequestType::kPair);
+  ASSERT_EQ(r->names.size(), 1u);
+  EXPECT_EQ(r->names[0], "alpha one");  // names may contain spaces
+}
+
+TEST(ParseRequestTest, ParsesTopK) {
+  auto r = ParseRequest("TOPK 5 beta two");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type, RequestType::kTopK);
+  EXPECT_EQ(r->k, 5u);
+  ASSERT_EQ(r->names.size(), 1u);
+  EXPECT_EQ(r->names[0], "beta two");
+}
+
+TEST(ParseRequestTest, ParsesBatchWithTabSeparatedNames) {
+  auto r = ParseRequest("BATCH 3 alpha\tbeta two\t\tgamma ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->type, RequestType::kBatch);
+  EXPECT_EQ(r->k, 3u);
+  EXPECT_EQ(r->names,
+            (std::vector<std::string>{"alpha", "beta two", "gamma"}));
+}
+
+TEST(ParseRequestTest, ParsesReloadStatsQuit) {
+  auto reload = ParseRequest("RELOAD /tmp/new.idx");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->type, RequestType::kReload);
+  EXPECT_EQ(reload->path, "/tmp/new.idx");
+
+  auto stats = ParseRequest("STATS");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->type, RequestType::kStats);
+
+  auto quit = ParseRequest("QUIT");
+  ASSERT_TRUE(quit.ok());
+  EXPECT_EQ(quit->type, RequestType::kQuit);
+}
+
+TEST(ParseRequestTest, BlankAndCommentLinesAreNotFound) {
+  EXPECT_EQ(ParseRequest("").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseRequest("   ").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(ParseRequest("# a comment").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ParseRequestTest, MalformedRequestsAreInvalidArgument) {
+  for (const char* line :
+       {"PAIR", "TOPK", "TOPK five alpha", "TOPK 0 alpha", "TOPK -3 alpha",
+        "TOPK 5", "BATCH 2", "BATCH 2 \t ", "RELOAD", "FROB alpha",
+        "pair lowercase-verb"}) {
+    auto r = ParseRequest(line);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(FormatErrorResponseTest, CarriesCodeAndMessage) {
+  std::string line =
+      FormatErrorResponse(Status::DeadlineExceeded("too slow"));
+  EXPECT_EQ(line.rfind("ERR ", 0), 0u) << line;
+  EXPECT_NE(line.find("DeadlineExceeded"), std::string::npos) << line;
+  EXPECT_NE(line.find("too slow"), std::string::npos) << line;
+}
+
+}  // namespace
+}  // namespace ceaff::serve

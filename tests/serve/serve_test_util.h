@@ -1,0 +1,51 @@
+#ifndef CEAFF_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define CEAFF_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+/// Shared fixture data for the serving tests: a small, fully populated
+/// AlignmentIndex whose structural embeddings are identical for gold pairs
+/// (structural cosine 1 on the diagonal), with name embeddings produced by
+/// the same hash-fallback store the service reconstructs at query time.
+
+#include <string>
+#include <vector>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/text/name_embedding.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::testing {
+
+inline serve::AlignmentIndexInput SmallIndexInput() {
+  serve::AlignmentIndexInput input;
+  input.dataset = "unit-test";
+  input.source_names = {"alpha one", "beta two", "gamma three", "delta four"};
+  input.target_names = {"alpha uno", "beta dos", "gamma tres", "delta quatro"};
+  for (uint32_t i = 0; i < 4; ++i) input.pairs.push_back({i, i, 0.9f});
+  input.weights = {0.5, 0.25, 0.25};
+  input.semantic_seed = 17;
+
+  const text::WordEmbeddingStore store(16, input.semantic_seed);
+  input.source_name_emb = text::EmbedNames(store, input.source_names);
+  input.target_name_emb = text::EmbedNames(store, input.target_names);
+  input.source_name_emb.L2NormalizeRows();
+  input.target_name_emb.L2NormalizeRows();
+
+  // Identity-like structural embeddings: gold pairs share a row, so their
+  // structural cosine is exactly 1 and everything else is 0.
+  la::Matrix structural(4, 4);
+  for (size_t i = 0; i < 4; ++i) structural.at(i, i) = 1.0f;
+  input.source_struct_emb = structural;
+  input.target_struct_emb = structural;
+  return input;
+}
+
+inline serve::AlignmentIndex SmallIndex() {
+  auto index = serve::BuildAlignmentIndex(SmallIndexInput());
+  CEAFF_CHECK(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+}  // namespace ceaff::testing
+
+#endif  // CEAFF_TESTS_SERVE_SERVE_TEST_UTIL_H_

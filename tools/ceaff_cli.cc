@@ -92,6 +92,7 @@ int Usage() {
                "[--theta2 X]\n"
                "           [--checkpoint_dir DIR] [--resume] "
                "[--deadline_ms N]\n"
+               "           [--export_index FILE] [--threads N]\n"
                "  eval     --data DIR --pred FILE\n"
                "common:    [--lenient_io] [--io_error_budget N]  skip up to N "
                "malformed\n"
@@ -190,6 +191,14 @@ int CmdAlign(const FlagParser& flags) {
                    from_checkpoint ? "restored from checkpoint" : "computed");
     };
   }
+  options.export_index_path = flags.GetString("export_index", "");
+  options.export_dataset = flags.GetString("export_dataset", "ceaff");
+  int64_t threads = flags.GetInt("threads", 1);
+  if (threads < 1) {
+    std::fprintf(stderr, "align: --threads must be >= 1\n");
+    return 2;
+  }
+  options.num_threads = static_cast<size_t>(threads);
   options.use_structural = !flags.GetBool("no-structural", false);
   options.use_semantic = !flags.GetBool("no-semantic", false);
   options.use_string = !flags.GetBool("no-string", false);
@@ -246,6 +255,10 @@ int CmdAlign(const FlagParser& flags) {
   std::printf("accuracy: %.4f  (hits@10 %.4f, mrr %.4f)  in %.2fs\n",
               result->accuracy, result->ranking.hits_at_10,
               result->ranking.mrr, timer.ElapsedSeconds());
+  if (!options.export_index_path.empty()) {
+    std::printf("exported alignment index to %s\n",
+                options.export_index_path.c_str());
+  }
   if (!result->final_weights.empty()) {
     std::printf("final fusion weights:");
     for (double w : result->final_weights) std::printf(" %.3f", w);

@@ -1,0 +1,190 @@
+// ceaff_serve: line-delimited query frontend over an AlignmentIndex
+// artifact (see src/ceaff/serve/protocol.h for the request/response
+// grammar). Reads requests from --requests FILE or stdin, writes responses
+// to stdout and serving statistics to stderr on exit.
+//
+//   ceaff_serve --index run.idx [--threads N] [--requests FILE]
+//               [--deadline_ms N] [--cache N]
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/flags.h"
+#include "ceaff/serve/protocol.h"
+#include "ceaff/serve/service.h"
+
+namespace ceaff {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ceaff_serve --index FILE [--threads N] "
+               "[--requests FILE]\n"
+               "                   [--deadline_ms N] [--cache N]\n"
+               "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/QUIT)\n"
+               "line by line from --requests or stdin; responses go to "
+               "stdout.\n");
+  return 2;
+}
+
+void PrintTopK(const serve::TopKResult& topk) {
+  std::printf("OK TOPK %zu\n", topk.candidates.size());
+  for (size_t r = 0; r < topk.candidates.size(); ++r) {
+    const serve::Candidate& c = topk.candidates[r];
+    std::printf("CAND %zu\t%s\t%.6f\t%.6f\t%.6f\t%.6f\n", r + 1,
+                c.target_name.c_str(), c.combined, c.string_score,
+                c.semantic_score, c.structural_score);
+  }
+}
+
+int Run(const FlagParser& flags) {
+  const std::string index_path = flags.GetString("index", "");
+  if (index_path.empty()) {
+    std::fprintf(stderr, "ceaff_serve: --index FILE is required\n");
+    return Usage();
+  }
+  serve::ServiceOptions options;
+  const int64_t threads = flags.GetInt("threads", 4);
+  if (threads < 1) {
+    std::fprintf(stderr, "ceaff_serve: --threads must be >= 1\n");
+    return 2;
+  }
+  options.num_threads = static_cast<size_t>(threads);
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache", 1024));
+  const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
+
+  auto service_or = serve::AlignmentService::Open(index_path, options);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "ceaff_serve: cannot open index: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::AlignmentService> service =
+      std::move(service_or).value();
+  {
+    auto index = service->snapshot();
+    std::fprintf(stderr,
+                 "serving '%s' (%zu sources, %zu targets, %zu pairs) on %zu "
+                 "threads\n",
+                 index->dataset.c_str(), index->num_sources(),
+                 index->num_targets(), index->pairs.size(),
+                 service->num_threads());
+  }
+
+  std::ifstream file;
+  const std::string requests_path = flags.GetString("requests", "");
+  if (!requests_path.empty()) {
+    file.open(requests_path);
+    if (!file) {
+      std::fprintf(stderr, "ceaff_serve: cannot open requests file %s\n",
+                   requests_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& in = requests_path.empty() ? std::cin : file;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    auto request_or = serve::ParseRequest(line);
+    if (!request_or.ok()) {
+      if (request_or.status().code() == StatusCode::kNotFound) continue;
+      std::printf("%s\n",
+                  serve::FormatErrorResponse(request_or.status()).c_str());
+      continue;
+    }
+    const serve::Request& request = request_or.value();
+
+    // Each request gets its own deadline window.
+    CancellationToken token;
+    const CancellationToken* cancel = nullptr;
+    if (deadline_ms > 0) {
+      token.SetDeadlineAfterMillis(deadline_ms);
+      cancel = &token;
+    }
+
+    switch (request.type) {
+      case serve::RequestType::kPair: {
+        auto answer = service->LookupPair(request.names[0], cancel);
+        if (answer.ok()) {
+          std::printf("OK PAIR %s\t%s\t%.6f\n",
+                      answer->source_name.c_str(),
+                      answer->target_name.c_str(), answer->score);
+        } else if (answer.status().code() == StatusCode::kNotFound) {
+          std::printf("NONE PAIR %s\n", request.names[0].c_str());
+        } else {
+          std::printf("%s\n",
+                      serve::FormatErrorResponse(answer.status()).c_str());
+        }
+        break;
+      }
+      case serve::RequestType::kTopK: {
+        auto topk = service->TopK(request.names[0], request.k, cancel);
+        if (topk.ok()) {
+          PrintTopK(topk.value());
+        } else {
+          std::printf("%s\n",
+                      serve::FormatErrorResponse(topk.status()).c_str());
+        }
+        break;
+      }
+      case serve::RequestType::kBatch: {
+        auto results = service->BatchTopK(request.names, request.k, cancel);
+        std::printf("OK BATCH %zu\n", results.size());
+        for (const auto& r : results) {
+          if (r.ok()) {
+            PrintTopK(r.value());
+          } else {
+            std::printf("%s\n",
+                        serve::FormatErrorResponse(r.status()).c_str());
+          }
+        }
+        break;
+      }
+      case serve::RequestType::kReload: {
+        Status st = service->Reload(request.path);
+        if (st.ok()) {
+          std::printf("OK RELOAD %s\n", request.path.c_str());
+        } else {
+          std::printf("%s\n", serve::FormatErrorResponse(st).c_str());
+        }
+        break;
+      }
+      case serve::RequestType::kStats:
+        std::printf("OK STATS %s\n", service->Stats().ToJson().c_str());
+        break;
+      case serve::RequestType::kQuit:
+        std::fflush(stdout);
+        std::fprintf(stderr, "final stats: %s\n",
+                     service->Stats().ToJson().c_str());
+        return 0;
+    }
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "final stats: %s\n",
+               service->Stats().ToJson().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ceaff
+
+int main(int argc, char** argv) {
+  auto flags = ceaff::FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "ceaff_serve: %s\n",
+                 flags.status().ToString().c_str());
+    return ceaff::Usage();
+  }
+  if (flags->GetBool("help", false)) return ceaff::Usage();
+  const int rc = ceaff::Run(flags.value());
+  for (const std::string& f : flags->UnreadFlags()) {
+    std::fprintf(stderr, "ceaff_serve: warning: unknown flag --%s\n",
+                 f.c_str());
+  }
+  return rc;
+}

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Full verification sweep: plain Release build + test run, then an
-# ASan+UBSan build + test run (-DCEAFF_SANITIZE=ON) in a separate tree.
+# Full verification sweep: plain Release build + test run, an ASan+UBSan
+# build + test run (-DCEAFF_SANITIZE=ON), a TSan build of the concurrency
+# tests (-DCEAFF_TSAN=ON), and an end-to-end serving smoke (export an
+# index from a tiny synthetic run, then drive ceaff_serve against it).
 #
-# Usage: tools/run_checks.sh [--skip-sanitize]
+# Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 skip_sanitize=0
-[[ "${1:-}" == "--skip-sanitize" ]] && skip_sanitize=1
+skip_tsan=0
+skip_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) skip_sanitize=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
+    --skip-smoke) skip_smoke=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 run_suite() {
   local dir="$1"; shift
@@ -21,8 +32,35 @@ echo "==> Release build + tests"
 run_suite "$repo/build"
 
 if [[ "$skip_sanitize" == 0 ]]; then
-  echo "==> ASan+UBSan build + tests"
+  echo "==> ASan+UBSan build + tests (includes the serve hammer test)"
   run_suite "$repo/build-asan" -DCEAFF_SANITIZE=ON
+fi
+
+if [[ "$skip_tsan" == 0 ]]; then
+  echo "==> TSan build + concurrency tests"
+  cmake -B "$repo/build-tsan" -S "$repo" -DCEAFF_TSAN=ON
+  cmake --build "$repo/build-tsan" -j "$jobs" \
+    --target common_test serve_test serve_hammer_test
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
+    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|ParseRequest'
+fi
+
+if [[ "$skip_smoke" == 0 ]]; then
+  echo "==> Serving smoke: generate -> align --export_index -> ceaff_serve"
+  smoke="$(mktemp -d)"
+  trap 'rm -rf "$smoke"' EXIT
+  "$repo/build/tools/ceaff" generate --config DBP15K_FR_EN \
+    --scale 0.02 --out "$smoke/data"
+  "$repo/build/tools/ceaff" align --data "$smoke/data" \
+    --gcn-epochs 3 --gcn-dim 16 --threads 2 \
+    --export_index "$smoke/run.idx" --out "$smoke/pred.tsv"
+  # One known source name from the exported index drives a PAIR + TOPK.
+  name="$(head -n 1 "$smoke/data/entities1.tsv" | cut -f2)"
+  printf 'PAIR %s\nTOPK 5 %s\nSTATS\nQUIT\n' "$name" "$name" \
+    | "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --threads 2 \
+    | tee "$smoke/replies.txt"
+  grep -q 'OK TOPK' "$smoke/replies.txt"
+  grep -q 'OK STATS' "$smoke/replies.txt"
 fi
 
 echo "==> all checks passed"
