@@ -1,0 +1,366 @@
+// overload_soak: drives the serving path well past its capacity and
+// reports what the overload-protection machinery did about it, as a
+// BENCH_overload.json report (written to the working directory and echoed
+// to stdout).
+//
+// The bench first calibrates: a single sequential loop against a service
+// with overload protection OFF measures unloaded capacity (qps) and the
+// unloaded p50/p99. It then soaks a protected service at multiples of that
+// capacity (0.5x, 1x, 2x, 4x by default) using closed-loop generator
+// threads that call TopK directly — the admission controller's load signal
+// is the number of in-flight TopK calls, so driving the public entry point
+// from many threads is exactly what production overload looks like.
+//
+// Per phase it reports goodput (answered qps), shed rate, admitted-request
+// latency quantiles, and how long the degradation policy spent at each
+// tier. The protection thresholds are derived from the calibrated p50 so
+// the soak behaves the same on fast and slow machines.
+//
+// What "good" looks like at 4x: shed_rate well above zero (the service is
+// turning work away instead of queueing it), admitted p99 within a small
+// multiple of the unloaded p99, and nonzero time at the degraded tiers.
+//
+// Environment overrides:
+//   CEAFF_SOAK_ENTITIES     entities in the synthetic index      (8000)
+//   CEAFF_SOAK_TOPK         k per query                          (10)
+//   CEAFF_SOAK_CAL_QUERIES  calibration queries                  (300)
+//   CEAFF_SOAK_PHASE_MS     soak duration per phase, ms          (1500)
+//   CEAFF_SOAK_MULTIPLIERS  comma-separated load multipliers     (0.5,1,2,4)
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/string_util.h"
+#include "ceaff/common/timer.h"
+#include "ceaff/serve/degradation.h"
+#include "ceaff/serve/service.h"
+#include "serve_synthetic.h"
+
+namespace ceaff {
+namespace {
+
+using ::ceaff::bench::BuildSyntheticIndex;
+using ::ceaff::bench::SyntheticName;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+std::vector<double> EnvMultipliers() {
+  std::vector<double> out;
+  const char* v = std::getenv("CEAFF_SOAK_MULTIPLIERS");
+  const std::string spec = (v != nullptr && *v != '\0') ? v : "0.5,1,2,4";
+  for (const std::string& part : Split(spec, ',')) {
+    const double parsed = std::atof(part.c_str());
+    if (parsed > 0) out.push_back(parsed);
+  }
+  if (out.empty()) out = {0.5, 4.0};
+  return out;
+}
+
+double QuantileMs(std::vector<uint64_t>* latencies_ns, double q) {
+  if (latencies_ns->empty()) return 0.0;
+  std::sort(latencies_ns->begin(), latencies_ns->end());
+  const size_t idx = std::min(
+      latencies_ns->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(latencies_ns->size())));
+  return static_cast<double>((*latencies_ns)[idx]) / 1e6;
+}
+
+struct Calibration {
+  double qps = 0.0;
+  double mean_ns = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct PhaseResult {
+  double multiplier = 0.0;
+  size_t threads = 0;
+  double seconds = 0.0;
+  uint64_t attempts = 0;
+  uint64_t ok = 0;
+  uint64_t ok_degraded = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+  uint64_t other_errors = 0;
+  double goodput_qps = 0.0;
+  double shed_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Nanoseconds the degradation policy spent at each tier in this phase.
+  std::array<uint64_t, 3> tier_ns{};
+};
+
+std::vector<std::string> MakeQueries(size_t n_entities, size_t n_queries) {
+  // Half known source names (answerable at every tier, including the
+  // pair-only fallback), half perturbed unseen names.
+  Rng rng(7);
+  std::vector<std::string> queries;
+  queries.reserve(n_queries);
+  for (size_t i = 0; i < n_queries; ++i) {
+    std::string name = SyntheticName(rng.NextBounded(n_entities));
+    if (i % 2 == 1) name += "x";
+    queries.push_back(std::move(name));
+  }
+  return queries;
+}
+
+Calibration Calibrate(
+    const std::shared_ptr<const serve::AlignmentIndex>& index,
+    const std::vector<std::string>& queries, size_t k) {
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;
+  options.overload_protection = false;
+  serve::AlignmentService service(index, options);
+  (void)service.TopK(queries.front(), k);  // untimed first-touch warmup
+
+  std::vector<uint64_t> latencies;
+  latencies.reserve(queries.size());
+  WallTimer timer;
+  for (const std::string& q : queries) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = service.TopK(q, k);
+    CEAFF_CHECK(r.ok()) << r.status().ToString();
+    latencies.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  Calibration cal;
+  cal.qps = seconds > 0
+                ? static_cast<double>(queries.size()) / seconds
+                : 0.0;
+  uint64_t sum = 0;
+  for (uint64_t ns : latencies) sum += ns;
+  cal.mean_ns = static_cast<double>(sum) /
+                static_cast<double>(latencies.size());
+  cal.p50_ms = QuantileMs(&latencies, 0.50);
+  cal.p99_ms = QuantileMs(&latencies, 0.99);
+  return cal;
+}
+
+/// Soaks `service` for `phase_ms` at roughly `multiplier` x the calibrated
+/// capacity. Closed loop: ceil(multiplier) generator threads run TopK
+/// back-to-back (on the calibrated single-core capacity, one tight thread
+/// offers ~1x); sub-1x multipliers pace a single thread with sleeps.
+PhaseResult SoakPhase(serve::AlignmentService* service,
+                      const std::vector<std::string>& queries, size_t k,
+                      double multiplier, size_t phase_ms,
+                      double unloaded_mean_ns) {
+  PhaseResult phase;
+  phase.multiplier = multiplier;
+  phase.threads = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(multiplier)));
+  const auto pacing =
+      multiplier < 1.0
+          ? std::chrono::nanoseconds(static_cast<int64_t>(
+                unloaded_mean_ns * (1.0 / multiplier - 1.0)))
+          : std::chrono::nanoseconds(0);
+
+  const auto tiers_before =
+      service->TierNanos();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> attempts{0}, ok{0}, ok_degraded{0}, shed{0},
+      rejected{0}, other_errors{0};
+  std::mutex latency_mu;
+  std::vector<uint64_t> latencies;
+
+  std::vector<std::thread> generators;
+  generators.reserve(phase.threads);
+  WallTimer timer;
+  for (size_t g = 0; g < phase.threads; ++g) {
+    generators.emplace_back([&, g] {
+      std::vector<uint64_t> local;
+      size_t i = g;  // stagger starting offsets across generators
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& q = queries[i % queries.size()];
+        i += phase.threads;
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = service->TopK(q, k);
+        if (r.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          if (r->degraded) {
+            ok_degraded.fetch_add(1, std::memory_order_relaxed);
+          }
+          local.push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()));
+        } else if (r.status().IsUnavailable()) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().IsDeadlineExceeded()) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          other_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (pacing.count() > 0) std::this_thread::sleep_for(pacing);
+      }
+      std::lock_guard<std::mutex> lock(latency_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(phase_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : generators) t.join();
+  phase.seconds = timer.ElapsedSeconds();
+
+  const auto tiers_after = service->TierNanos();
+  for (size_t t = 0; t < tiers_after.size(); ++t) {
+    phase.tier_ns[t] = tiers_after[t] - tiers_before[t];
+  }
+  phase.attempts = attempts.load();
+  phase.ok = ok.load();
+  phase.ok_degraded = ok_degraded.load();
+  phase.shed = shed.load();
+  phase.rejected = rejected.load();
+  phase.other_errors = other_errors.load();
+  phase.goodput_qps =
+      phase.seconds > 0 ? static_cast<double>(phase.ok) / phase.seconds : 0.0;
+  phase.shed_rate =
+      phase.attempts > 0
+          ? static_cast<double>(phase.shed) /
+                static_cast<double>(phase.attempts)
+          : 0.0;
+  phase.p50_ms = QuantileMs(&latencies, 0.50);
+  phase.p99_ms = QuantileMs(&latencies, 0.99);
+  return phase;
+}
+
+int Main() {
+  const size_t n_entities = EnvSize("CEAFF_SOAK_ENTITIES", 8000);
+  const size_t k = EnvSize("CEAFF_SOAK_TOPK", 10);
+  const size_t n_cal = EnvSize("CEAFF_SOAK_CAL_QUERIES", 300);
+  const size_t phase_ms = EnvSize("CEAFF_SOAK_PHASE_MS", 1500);
+  const std::vector<double> multipliers = EnvMultipliers();
+
+  std::fprintf(stderr, "building synthetic index (%zu entities)...\n",
+               n_entities);
+  auto index = std::make_shared<const serve::AlignmentIndex>(
+      BuildSyntheticIndex(n_entities, "synthetic-overload-soak"));
+  const std::vector<std::string> queries = MakeQueries(n_entities, 512);
+
+  std::fprintf(stderr, "calibrating unloaded capacity (%zu queries)...\n",
+               n_cal);
+  const Calibration cal = Calibrate(
+      index, MakeQueries(n_entities, n_cal), k);
+  std::fprintf(stderr,
+               "unloaded: %.1f qps, p50 %.3f ms, p99 %.3f ms\n",
+               cal.qps, cal.p50_ms, cal.p99_ms);
+
+  // Protection thresholds scale with the machine: the admission target is
+  // one unloaded median service time of estimated queue delay, and the
+  // degradation tiers engage shortly above it. On a 1-worker estimate the
+  // load signal is (in_flight - 1) x p50, so 2 concurrent callers sit at
+  // the target and 4 are well past the pair-only threshold.
+  const uint64_t p50_ns = static_cast<uint64_t>(
+      std::max(1.0, cal.p50_ms * 1e6));
+  serve::ServiceOptions options;
+  options.num_threads = 1;
+  options.cache_capacity = 0;  // soak the scan, not the cache
+  options.admission.target_delay_ns = p50_ns;
+  options.admission.interval_ns = 50'000'000;  // 50 ms
+  options.degradation.enter_textual_delay_ns = p50_ns + p50_ns / 2;
+  options.degradation.enter_pair_only_delay_ns = p50_ns * 5 / 2;
+  options.degradation.window_ns = 200'000'000;   // 200 ms
+  options.degradation.min_dwell_ns = 100'000'000;  // 100 ms
+  serve::AlignmentService service(index, options);
+  (void)service.TopK(queries.front(), k);  // seed the latency histogram
+
+  std::vector<PhaseResult> phases;
+  for (double m : multipliers) {
+    PhaseResult phase =
+        SoakPhase(&service, queries, k, m, phase_ms, cal.mean_ns);
+    std::fprintf(stderr,
+                 "%.1fx (%zu threads): goodput %.1f qps, shed %.1f%%, "
+                 "degraded %llu, p99 %.3f ms, tier_ns full/text/pair "
+                 "%llu/%llu/%llu\n",
+                 phase.multiplier, phase.threads, phase.goodput_qps,
+                 100.0 * phase.shed_rate,
+                 static_cast<unsigned long long>(phase.ok_degraded),
+                 phase.p99_ms,
+                 static_cast<unsigned long long>(phase.tier_ns[0]),
+                 static_cast<unsigned long long>(phase.tier_ns[1]),
+                 static_cast<unsigned long long>(phase.tier_ns[2]));
+    phases.push_back(phase);
+  }
+
+  const PhaseResult& peak = phases.back();
+  std::string json = "{\n";
+  json += "  \"bench\": \"overload_soak\",\n";
+  json += StrFormat("  \"entities\": %zu,\n", n_entities);
+  json += StrFormat("  \"topk\": %zu,\n", k);
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += StrFormat(
+      "  \"calibration\": {\"qps\": %.1f, \"p50_ms\": %.3f, "
+      "\"p99_ms\": %.3f},\n",
+      cal.qps, cal.p50_ms, cal.p99_ms);
+  json += "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    json += StrFormat(
+        "    {\"multiplier\": %.2f, \"threads\": %zu, \"seconds\": %.3f, "
+        "\"attempts\": %llu, \"ok\": %llu, \"ok_degraded\": %llu, "
+        "\"shed\": %llu, \"rejected\": %llu, \"other_errors\": %llu, "
+        "\"goodput_qps\": %.1f, \"shed_rate\": %.4f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"tier_ns\": {\"full\": %llu, \"textual_only\": %llu, "
+        "\"pair_only\": %llu}}%s\n",
+        p.multiplier, p.threads, p.seconds,
+        static_cast<unsigned long long>(p.attempts),
+        static_cast<unsigned long long>(p.ok),
+        static_cast<unsigned long long>(p.ok_degraded),
+        static_cast<unsigned long long>(p.shed),
+        static_cast<unsigned long long>(p.rejected),
+        static_cast<unsigned long long>(p.other_errors), p.goodput_qps,
+        p.shed_rate, p.p50_ms, p.p99_ms,
+        static_cast<unsigned long long>(p.tier_ns[0]),
+        static_cast<unsigned long long>(p.tier_ns[1]),
+        static_cast<unsigned long long>(p.tier_ns[2]),
+        i + 1 < phases.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += StrFormat(
+      "  \"peak\": {\"multiplier\": %.2f, \"shed_rate\": %.4f, "
+      "\"p99_over_unloaded_p99\": %.2f}\n",
+      peak.multiplier, peak.shed_rate,
+      cal.p99_ms > 0 ? peak.p99_ms / cal.p99_ms : 0.0);
+  json += "}\n";
+
+  std::printf("%s", json.c_str());
+  std::ofstream out("BENCH_overload.json", std::ios::trunc);
+  if (out) {
+    out << json;
+    std::fprintf(stderr, "wrote BENCH_overload.json\n");
+  } else {
+    std::fprintf(stderr, "warning: could not write BENCH_overload.json\n");
+  }
+  std::fprintf(stderr, "final service stats:\n%s\n",
+               service.Stats().ToJson().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ceaff
+
+int main() { return ceaff::Main(); }

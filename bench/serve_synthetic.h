@@ -1,0 +1,79 @@
+// Shared synthetic-index construction for the serving benchmarks
+// (serve_throughput, overload_soak). Header-only: both benches are single
+// translation units and the helpers are small.
+#ifndef CEAFF_BENCH_SERVE_SYNTHETIC_H_
+#define CEAFF_BENCH_SERVE_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/common/random.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/serve/alignment_index.h"
+
+namespace ceaff::bench {
+
+/// Synthetic entity name: pronounceable-ish, deterministic per id.
+inline std::string SyntheticName(uint64_t id) {
+  static const char* kSyllables[] = {"al", "be", "cor", "da", "el", "fi",
+                                     "ga", "ho", "in", "ju", "ka", "lu",
+                                     "ma", "no", "or", "pa"};
+  std::string name;
+  uint64_t x = Rng::SplitMix64(id + 1);
+  const size_t syllables = 2 + (x & 3);
+  for (size_t s = 0; s < syllables; ++s) {
+    name += kSyllables[(x >> (4 * s + 2)) & 15];
+  }
+  name += '_';
+  name += std::to_string(id);
+  return name;
+}
+
+/// A fully-populated index of `n_entities` source/target entities with
+/// random (L2-normalised) semantic and structural embeddings and an exact
+/// i<->i committed pair per entity — so every tier of the serving path,
+/// including pair-lookup-only, has something to answer with.
+inline serve::AlignmentIndex BuildSyntheticIndex(
+    size_t n_entities, const std::string& dataset = "synthetic-serve-bench") {
+  const size_t dim_sem = 32;
+  const size_t dim_struct = 16;
+  Rng rng(2020);
+
+  serve::AlignmentIndexInput input;
+  input.dataset = dataset;
+  input.weights = {0.3, 0.4, 0.3};
+  input.semantic_seed = 17;
+  input.source_names.reserve(n_entities);
+  input.target_names.reserve(n_entities);
+  for (size_t i = 0; i < n_entities; ++i) {
+    input.source_names.push_back(SyntheticName(i));
+    input.target_names.push_back(SyntheticName(i) + "_t");
+    input.pairs.push_back(
+        {static_cast<uint32_t>(i), static_cast<uint32_t>(i), 1.0f});
+  }
+  auto random_rows = [&rng](size_t rows, size_t cols) {
+    la::Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+      float* row = m.row(r);
+      for (size_t c = 0; c < cols; ++c) {
+        row[c] = static_cast<float>(rng.NextGaussian());
+      }
+    }
+    m.L2NormalizeRows();
+    return m;
+  };
+  input.source_name_emb = random_rows(n_entities, dim_sem);
+  input.target_name_emb = random_rows(n_entities, dim_sem);
+  input.source_struct_emb = random_rows(n_entities, dim_struct);
+  input.target_struct_emb = random_rows(n_entities, dim_struct);
+
+  auto index = serve::BuildAlignmentIndex(std::move(input));
+  CEAFF_CHECK(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+}  // namespace ceaff::bench
+
+#endif  // CEAFF_BENCH_SERVE_SYNTHETIC_H_

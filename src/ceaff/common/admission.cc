@@ -1,0 +1,71 @@
+#include "ceaff/common/admission.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace ceaff {
+
+AdmissionController::Decision AdmissionController::Admit(
+    uint64_t now_ns, uint64_t queue_delay_ns, uint64_t p99_service_ns,
+    int64_t remaining_deadline_ns) {
+  // Deadline check first: it is per-request and does not touch CoDel state.
+  if (remaining_deadline_ns != INT64_MAX && remaining_deadline_ns > 0 &&
+      p99_service_ns > 0) {
+    const double needed =
+        options_.deadline_headroom *
+        (static_cast<double>(p99_service_ns) +
+         static_cast<double>(queue_delay_ns));
+    if (static_cast<double>(remaining_deadline_ns) < needed) {
+      rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kRejectDeadline;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_delay_ns < options_.target_delay_ns) {
+    // Delay is healthy: leave (or reset) the shedding state entirely.
+    first_above_ns_ = 0;
+    shedding_ = false;
+    shed_count_ = 0;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kAdmit;
+  }
+
+  if (first_above_ns_ == 0) {
+    // First observation above target: give the delay one full interval to
+    // recover before declaring overload.
+    first_above_ns_ = now_ns + options_.interval_ns;
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kAdmit;
+  }
+  if (now_ns < first_above_ns_) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kAdmit;
+  }
+
+  // Delay has been above target for a full interval: shed on the CoDel
+  // cadence — immediately on entry, then at interval / sqrt(count).
+  if (!shedding_) {
+    shedding_ = true;
+    shed_count_ = 0;
+    next_shed_ns_ = now_ns;
+  }
+  if (now_ns >= next_shed_ns_) {
+    ++shed_count_;
+    next_shed_ns_ =
+        now_ns + static_cast<uint64_t>(
+                     static_cast<double>(options_.interval_ns) /
+                     std::sqrt(static_cast<double>(shed_count_)));
+    shed_overload_.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kShedOverload;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return Decision::kAdmit;
+}
+
+bool AdmissionController::shedding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shedding_;
+}
+
+}  // namespace ceaff

@@ -1,0 +1,116 @@
+#ifndef CEAFF_COMMON_ADMISSION_H_
+#define CEAFF_COMMON_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace ceaff {
+
+/// Decides, per request, whether the serving path should do the work at
+/// all. Two independent defenses, evaluated in order:
+///
+///  1. Deadline-aware admission. A request whose remaining deadline budget
+///     is smaller than the work it is about to queue behind — the current
+///     p99 service time plus the estimated queue delay — is rejected up
+///     front (kRejectDeadline): scoring it would burn a worker only to
+///     produce kDeadlineExceeded after the fact. Requests whose deadline
+///     has *already* expired are admitted; the scorer's first cancellation
+///     poll returns the accurate kDeadlineExceeded immediately and for
+///     free.
+///
+///  2. CoDel-style overload shedding on the estimated queue delay. When
+///     the delay stays above `target_delay_ns` for a full `interval_ns`,
+///     the controller enters a shedding state and drops requests at the
+///     CoDel control-law cadence (`interval / sqrt(shed_count)`, so the
+///     drop rate ramps up the longer overload persists) until the delay
+///     dips back under target, which resets the state. Unlike a naive
+///     "shed everything over a threshold" policy this keeps goodput high:
+///     most requests are still admitted, and just enough are shed to drain
+///     the standing queue.
+///
+/// Callers supply timestamps (steady-clock nanoseconds) and the delay /
+/// p99 estimates, so the controller itself never reads a clock — tests
+/// drive it on virtual time, and the caller chooses the load signal (the
+/// serving path uses `excess in-flight requests x median service time`).
+///
+/// Thread-safe: Admit() takes one short critical section; the counters are
+/// lock-free reads.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queue delay considered acceptable indefinitely (CoDel "target").
+    uint64_t target_delay_ns = 5'000'000;  // 5 ms
+    /// How long the delay must stay above target before shedding starts
+    /// (CoDel "interval"), and the base period of the shed cadence.
+    uint64_t interval_ns = 100'000'000;  // 100 ms
+    /// Reject a deadline-carrying request when
+    ///   remaining < deadline_headroom * (p99 + estimated delay).
+    /// >1 rejects earlier (spare headroom), <1 gambles on beating the p99.
+    double deadline_headroom = 1.0;
+  };
+
+  enum class Decision {
+    kAdmit,           // do the work
+    kRejectDeadline,  // cannot finish inside the caller's deadline
+    kShedOverload,    // dropped by the CoDel control law
+  };
+
+  // Two constructors instead of one defaulted argument: GCC cannot use a
+  // nested struct with default member initializers as a `= {}` default
+  // inside the enclosing class.
+  AdmissionController();
+  explicit AdmissionController(const Options& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// One admission decision. `now_ns` is steady-clock time;
+  /// `queue_delay_ns` the caller's estimate of how long this request would
+  /// wait before being scored; `p99_service_ns` the current p99 service
+  /// time (0 = unknown, disables the deadline check); and
+  /// `remaining_deadline_ns` the request's remaining budget (INT64_MAX =
+  /// no deadline, <= 0 = already expired — admitted, see above).
+  Decision Admit(uint64_t now_ns, uint64_t queue_delay_ns,
+                 uint64_t p99_service_ns, int64_t remaining_deadline_ns);
+
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected_deadline() const {
+    return rejected_deadline_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_overload() const {
+    return shed_overload_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the CoDel control law is actively dropping (for stats /
+  /// tests; racy by nature).
+  bool shedding() const;
+
+ private:
+  const Options options_;
+
+  mutable std::mutex mu_;
+  /// Deadline (ns) by which the delay must dip under target to avoid
+  /// entering the shedding state; 0 = delay is currently under target.
+  uint64_t first_above_ns_ = 0;
+  bool shedding_ = false;
+  /// Drops since the shedding state was entered (drives the cadence).
+  uint64_t shed_count_ = 0;
+  /// Next time the control law sheds while in the shedding state.
+  uint64_t next_shed_ns_ = 0;
+
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_deadline_{0};
+  std::atomic<uint64_t> shed_overload_{0};
+};
+
+inline AdmissionController::AdmissionController(const Options& options)
+    : options_(options) {}
+inline AdmissionController::AdmissionController()
+    : AdmissionController(Options()) {}
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_ADMISSION_H_

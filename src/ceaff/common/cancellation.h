@@ -68,6 +68,18 @@ class CancellationToken {
     return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
   }
 
+  /// Nanoseconds left before the armed deadline — negative once it has
+  /// passed, INT64_MAX when no deadline is armed. Admission control uses
+  /// this as the request's remaining budget: a request that cannot finish
+  /// inside it is rejected before any work is queued.
+  int64_t RemainingNanos() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == kNoDeadline) return INT64_MAX;
+    return d - std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now().time_since_epoch())
+                   .count();
+  }
+
   /// True when the armed deadline has passed (false when none armed).
   bool deadline_expired() const {
     int64_t d = deadline_ns_.load(std::memory_order_relaxed);

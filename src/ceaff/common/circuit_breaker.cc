@@ -1,0 +1,58 @@
+#include "ceaff/common/circuit_breaker.h"
+
+namespace ceaff {
+
+bool CircuitBreaker::Allow(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_ns < open_until_ns_) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  const bool trip =
+      state_ == State::kHalfOpen ||
+      (state_ == State::kClosed &&
+       consecutive_failures_ >= options_.failure_threshold);
+  if (trip) {
+    state_ = State::kOpen;
+    open_until_ns_ = now_ns + options_.cooldown_ns;
+    times_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  probe_in_flight_ = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state(uint64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kOpen && now_ns >= open_until_ns_) {
+    return State::kHalfOpen;  // what Allow() would transition to
+  }
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace ceaff

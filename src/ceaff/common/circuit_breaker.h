@@ -1,0 +1,82 @@
+#ifndef CEAFF_COMMON_CIRCUIT_BREAKER_H_
+#define CEAFF_COMMON_CIRCUIT_BREAKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace ceaff {
+
+/// Classic three-state circuit breaker for an operation that can fail
+/// repeatedly and expensively (the serving use case: hot-reloading an
+/// index artifact that keeps failing its checksum — each attempt reads and
+/// CRCs the whole file just to be refused again).
+///
+///   kClosed    normal operation; consecutive failures are counted.
+///   kOpen      `failure_threshold` consecutive failures seen: requests
+///              are refused without doing the work until `cooldown_ns`
+///              elapses.
+///   kHalfOpen  cooldown elapsed: exactly one probe request is let
+///              through. Success closes the breaker; failure reopens it
+///              for another full cooldown.
+///
+/// Like AdmissionController, the caller supplies steady-clock timestamps
+/// so tests run on virtual time. Thread-safe.
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive failures that trip the breaker open.
+    int failure_threshold = 3;
+    /// How long the breaker stays open before allowing a probe.
+    uint64_t cooldown_ns = 10'000'000'000ull;  // 10 s
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  // Split constructors: GCC cannot use a nested struct with default member
+  // initializers as a `= {}` default inside the enclosing class.
+  CircuitBreaker();
+  explicit CircuitBreaker(const Options& options);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when the caller may attempt the operation now. While open this
+  /// returns false until the cooldown elapses, then admits exactly one
+  /// probe (further callers get false until that probe reports back).
+  /// Every Allow() == true MUST be followed by RecordSuccess() or
+  /// RecordFailure().
+  bool Allow(uint64_t now_ns);
+
+  void RecordSuccess();
+  void RecordFailure(uint64_t now_ns);
+
+  State state(uint64_t now_ns) const;
+
+  int consecutive_failures() const;
+  /// How many times the breaker has tripped open (monotonic).
+  uint64_t times_opened() const {
+    return times_opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Options options_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  /// When the open state may transition to half-open.
+  uint64_t open_until_ns_ = 0;
+  /// A half-open probe has been admitted and has not reported back yet.
+  bool probe_in_flight_ = false;
+
+  std::atomic<uint64_t> times_opened_{0};
+};
+
+inline CircuitBreaker::CircuitBreaker(const Options& options)
+    : options_(options) {}
+inline CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options()) {}
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_CIRCUIT_BREAKER_H_

@@ -1,0 +1,23 @@
+#include "ceaff/common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ceaff {
+
+int64_t RetryPolicy::BackoffMillis(int attempt, Rng* rng) const {
+  if (attempt < 0) attempt = 0;
+  double backoff = static_cast<double>(options_.initial_backoff_ms) *
+                   std::pow(options_.multiplier, static_cast<double>(attempt));
+  backoff = std::min(backoff, static_cast<double>(options_.max_backoff_ms));
+  if (rng != nullptr && options_.jitter > 0.0) {
+    const double factor =
+        1.0 + options_.jitter * (2.0 * rng->NextDouble() - 1.0);
+    backoff *= factor;
+  }
+  backoff = std::clamp(backoff, 0.0,
+                       static_cast<double>(options_.max_backoff_ms));
+  return static_cast<int64_t>(backoff);
+}
+
+}  // namespace ceaff

@@ -1,0 +1,55 @@
+#ifndef CEAFF_COMMON_RETRY_H_
+#define CEAFF_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/status.h"
+
+namespace ceaff {
+
+struct RetryOptions {
+  /// Total tries, including the first attempt. 1 disables retries.
+  int max_attempts = 3;
+  int64_t initial_backoff_ms = 1;
+  int64_t max_backoff_ms = 50;
+  double multiplier = 2.0;
+  /// Backoff is multiplied by a uniform factor in [1-jitter, 1+jitter) so
+  /// a burst of sheds does not retry in lockstep. Must be in [0, 1].
+  double jitter = 0.5;
+};
+
+/// Capped exponential backoff with jitter, retrying only kUnavailable —
+/// the one code in the Status set that promises transience (a shed, a
+/// saturated queue, an open circuit breaker). Everything else (NotFound,
+/// InvalidArgument, DeadlineExceeded, ...) is either permanent or made
+/// strictly worse by retrying against the same deadline.
+///
+/// Stateless and thread-safe: attempt bookkeeping lives at the call site,
+/// randomness comes from the caller's Rng (workers pass ThreadLocalRng()).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options = {})
+      : options_(options) {}
+
+  /// True when `status` is worth another try after `attempts_done`
+  /// attempts have already been made.
+  bool ShouldRetry(const Status& status, int attempts_done) const {
+    return status.code() == StatusCode::kUnavailable &&
+           attempts_done < options_.max_attempts;
+  }
+
+  /// Backoff before retry number `attempt` (0-based: the wait after the
+  /// first failure is attempt 0). Exponential in `multiplier`, capped at
+  /// `max_backoff_ms`, jittered via `rng` (nullptr = no jitter).
+  int64_t BackoffMillis(int attempt, Rng* rng) const;
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  const RetryOptions options_;
+};
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_RETRY_H_

@@ -26,6 +26,11 @@ enum class StatusCode {
   /// read/write at all): kDataLoss means the bytes were read fine but are
   /// not what was written.
   kDataLoss = 11,
+  /// The service exists and is healthy but declined the work right now —
+  /// load shed, degraded tier cannot answer, circuit breaker open. The
+  /// defining property is *transience*: retrying later (with backoff) is
+  /// reasonable, unlike every other non-OK code in this set.
+  kUnavailable = 12,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -79,6 +84,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -99,6 +107,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -18,26 +18,27 @@ ThreadPool::ThreadPool(size_t num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-bool ThreadPool::Submit(std::function<void()> task) {
+SubmitResult ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [this] { return shutdown_ || queue_.size() < capacity_; });
-    if (shutdown_) return false;
+    if (shutdown_) return SubmitResult::kShuttingDown;
     queue_.push_back(std::move(task));
   }
   not_empty_.notify_one();
-  return true;
+  return SubmitResult::kAccepted;
 }
 
-bool ThreadPool::TrySubmit(std::function<void()> task) {
+SubmitResult ThreadPool::TrySubmit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ || queue_.size() >= capacity_) return false;
+    if (shutdown_) return SubmitResult::kShuttingDown;
+    if (queue_.size() >= capacity_) return SubmitResult::kQueueFull;
     queue_.push_back(std::move(task));
   }
   not_empty_.notify_one();
-  return true;
+  return SubmitResult::kAccepted;
 }
 
 void ThreadPool::Shutdown() {
@@ -92,13 +93,22 @@ void ParallelFor(ThreadPool* pool, size_t n,
   for (size_t b = 0; b < num_blocks; ++b) {
     const size_t begin = b * block;
     const size_t end = std::min(n, begin + block);
-    pool->Submit([&, begin, end] {
+    const SubmitResult submitted = pool->Submit([&, begin, end] {
       for (size_t i = begin; i < end; ++i) fn(i);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_blocks) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_one();
       }
     });
+    if (submitted != SubmitResult::kAccepted) {
+      // Pool is shutting down; run the block on the caller so the barrier
+      // below can never deadlock on a task that was silently dropped.
+      for (size_t i = begin; i < end; ++i) fn(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_blocks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    }
   }
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] {

@@ -11,6 +11,17 @@
 
 namespace ceaff {
 
+/// Why a task was (not) accepted by the pool. Callers that shed load need
+/// to tell the two refusals apart: kQueueFull is transient (retry with
+/// backoff, or shed the request — the pool is alive but saturated) while
+/// kShuttingDown is terminal (run inline or abandon the work; no amount of
+/// waiting brings the pool back).
+enum class SubmitResult {
+  kAccepted,      // task enqueued; a worker will run it
+  kQueueFull,     // TrySubmit only: every queue slot is taken right now
+  kShuttingDown,  // Shutdown() has begun; the task was dropped
+};
+
 /// Fixed-size worker pool with a bounded task queue.
 ///
 /// The queue bound provides backpressure: Submit() blocks the producer when
@@ -36,13 +47,14 @@ class ThreadPool {
 
   ~ThreadPool();
 
-  /// Enqueues `task`, blocking while the queue is full. Returns false (and
-  /// drops the task) if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  /// Enqueues `task`, blocking while the queue is full. Never returns
+  /// kQueueFull; returns kShuttingDown (and drops the task) if the pool is
+  /// shutting down.
+  SubmitResult Submit(std::function<void()> task);
 
-  /// Enqueues `task` only if a queue slot is free right now. Returns false
-  /// when the queue is full or the pool is shutting down.
-  bool TrySubmit(std::function<void()> task);
+  /// Enqueues `task` only if a queue slot is free right now; kQueueFull
+  /// when it is not, kShuttingDown once Shutdown() has begun.
+  SubmitResult TrySubmit(std::function<void()> task);
 
   /// Stops accepting tasks, runs everything already queued, joins workers.
   /// Idempotent; called by the destructor.

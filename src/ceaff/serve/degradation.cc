@@ -1,0 +1,110 @@
+#include "ceaff/serve/degradation.h"
+
+#include <algorithm>
+
+namespace ceaff::serve {
+
+namespace {
+/// Bound on retained samples, independent of the time window, so a burst
+/// of requests cannot grow the deque without limit.
+constexpr size_t kMaxSamples = 4096;
+}  // namespace
+
+const char* ServiceTierName(ServiceTier tier) {
+  switch (tier) {
+    case ServiceTier::kFull:
+      return "full";
+    case ServiceTier::kTextualOnly:
+      return "textual_only";
+    case ServiceTier::kPairOnly:
+      return "pair_only";
+  }
+  return "unknown";
+}
+
+DegradationPolicy::DegradationPolicy(const DegradationOptions& options)
+    : options_(options) {}
+
+uint64_t DegradationPolicy::EnterThreshold(ServiceTier tier) const {
+  switch (tier) {
+    case ServiceTier::kTextualOnly:
+      return options_.enter_textual_delay_ns;
+    case ServiceTier::kPairOnly:
+      return options_.enter_pair_only_delay_ns;
+    case ServiceTier::kFull:
+      break;
+  }
+  return 0;
+}
+
+ServiceTier DegradationPolicy::Observe(uint64_t queue_delay_ns,
+                                       uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Slide the window.
+  samples_.emplace_back(now_ns, queue_delay_ns);
+  sample_sum_ns_ += queue_delay_ns;
+  const uint64_t horizon =
+      now_ns > options_.window_ns ? now_ns - options_.window_ns : 0;
+  while (!samples_.empty() &&
+         (samples_.front().first < horizon || samples_.size() > kMaxSamples)) {
+    sample_sum_ns_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+  const uint64_t mean = sample_sum_ns_ / samples_.size();
+
+  ServiceTier current =
+      static_cast<ServiceTier>(tier_.load(std::memory_order_relaxed));
+  if (!started_) {
+    started_ = true;
+    tier_since_ns_ = now_ns;
+  }
+
+  // Desired tier from the enter thresholds alone (>=: a threshold of 0
+  // means "always at least this tier", which tests rely on to pin a tier).
+  ServiceTier desired = ServiceTier::kFull;
+  if (mean >= options_.enter_pair_only_delay_ns) {
+    desired = ServiceTier::kPairOnly;
+  } else if (mean >= options_.enter_textual_delay_ns) {
+    desired = ServiceTier::kTextualOnly;
+  }
+
+  ServiceTier next = current;
+  if (static_cast<int>(desired) > static_cast<int>(current)) {
+    // Degrade immediately, as far as the signal says.
+    next = desired;
+  } else if (static_cast<int>(desired) < static_cast<int>(current)) {
+    // Recover one tier at a time, only after dwelling and only once the
+    // signal is clearly below the tier we are leaving.
+    const uint64_t exit_threshold = static_cast<uint64_t>(
+        options_.exit_fraction *
+        static_cast<double>(EnterThreshold(current)));
+    if (now_ns - tier_since_ns_ >= options_.min_dwell_ns &&
+        mean < exit_threshold) {
+      next = static_cast<ServiceTier>(static_cast<int>(current) - 1);
+    }
+  }
+
+  if (next != current) {
+    tier_nanos_[static_cast<size_t>(current)] += now_ns - tier_since_ns_;
+    tier_since_ns_ = now_ns;
+    tier_.store(static_cast<int>(next), std::memory_order_relaxed);
+  }
+  return next;
+}
+
+std::array<uint64_t, 3> DegradationPolicy::TierNanos(uint64_t now_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::array<uint64_t, 3> out = tier_nanos_;
+  if (started_ && now_ns > tier_since_ns_) {
+    out[static_cast<size_t>(tier_.load(std::memory_order_relaxed))] +=
+        now_ns - tier_since_ns_;
+  }
+  return out;
+}
+
+uint64_t DegradationPolicy::SmoothedDelayNanos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.empty() ? 0 : sample_sum_ns_ / samples_.size();
+}
+
+}  // namespace ceaff::serve

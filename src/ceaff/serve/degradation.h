@@ -1,0 +1,104 @@
+#ifndef CEAFF_SERVE_DEGRADATION_H_
+#define CEAFF_SERVE_DEGRADATION_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ceaff::serve {
+
+/// How much of the adaptive-fusion scoring pipeline a query gets. The
+/// tiers follow CEAFF's own fusion semantics: when a feature is dropped
+/// its weight is renormalised over the features that remain (exactly what
+/// the batch pipeline does for disabled features), so a degraded answer is
+/// still a faithful — just coarser — CEAFF score, not an ad-hoc
+/// truncation.
+enum class ServiceTier {
+  /// Structural + semantic + string, full candidate scan.
+  kFull = 0,
+  /// Textual features only: the structural weight is redistributed over
+  /// string + semantic, skipping the GCN-embedding dot products.
+  kTextualOnly = 1,
+  /// No candidate scan at all: TopK answers only when the query name has a
+  /// committed pair in the index (an O(1) lookup); everything else is shed.
+  kPairOnly = 2,
+};
+
+/// Stable lowercase name ("full", "textual_only", "pair_only").
+const char* ServiceTierName(ServiceTier tier);
+
+struct DegradationOptions {
+  /// Smoothed queue delay at which the service steps down to textual-only
+  /// scoring, and further down to pair-lookup-only.
+  uint64_t enter_textual_delay_ns = 5'000'000;    // 5 ms
+  uint64_t enter_pair_only_delay_ns = 20'000'000;  // 20 ms
+  /// Hysteresis: a tier is left only once the smoothed delay falls below
+  /// `exit_fraction` x its enter threshold. Must be < 1 or tiers flap.
+  double exit_fraction = 0.5;
+  /// Sliding window over which the load signal is averaged.
+  uint64_t window_ns = 500'000'000;  // 500 ms
+  /// Minimum time at a tier before stepping *down* (stepping up is always
+  /// immediate — protection must not wait out a dwell).
+  uint64_t min_dwell_ns = 200'000'000;  // 200 ms
+};
+
+/// Maps a sliding-window load signal (estimated queue delay, the same
+/// signal the AdmissionController sheds on) to a ServiceTier, with
+/// hysteresis so the tier does not flap at a threshold boundary:
+///
+///   - step UP (degrade) immediately when the windowed mean crosses an
+///     enter threshold, possibly skipping a tier;
+///   - step DOWN (recover) one tier at a time, only after `min_dwell_ns`
+///     at the current tier AND once the mean is under `exit_fraction` x
+///     the tier's enter threshold.
+///
+/// Callers supply timestamps; tests drive virtual time. Thread-safe:
+/// Observe() takes a short lock, tier() is a lock-free read.
+class DegradationPolicy {
+ public:
+  explicit DegradationPolicy(const DegradationOptions& options = {});
+
+  DegradationPolicy(const DegradationPolicy&) = delete;
+  DegradationPolicy& operator=(const DegradationPolicy&) = delete;
+
+  /// Records one load sample and returns the tier the *current* request
+  /// should be served at.
+  ServiceTier Observe(uint64_t queue_delay_ns, uint64_t now_ns);
+
+  /// The tier as of the last Observe().
+  ServiceTier tier() const {
+    return static_cast<ServiceTier>(tier_.load(std::memory_order_relaxed));
+  }
+
+  /// Cumulative nanoseconds spent at each tier (index = tier), including
+  /// the in-progress stay. Feeds the soak bench's tier-occupancy report.
+  std::array<uint64_t, 3> TierNanos(uint64_t now_ns) const;
+
+  /// Windowed mean of the load signal (for stats/tests).
+  uint64_t SmoothedDelayNanos() const;
+
+ private:
+  uint64_t EnterThreshold(ServiceTier tier) const;
+
+  const DegradationOptions options_;
+
+  mutable std::mutex mu_;
+  /// (timestamp, delay) samples inside the sliding window, oldest first.
+  std::deque<std::pair<uint64_t, uint64_t>> samples_;
+  uint64_t sample_sum_ns_ = 0;
+  /// When the current tier was entered. Meaningless until the first
+  /// Observe() (`started_` — 0 is a legitimate virtual timestamp, so it
+  /// cannot double as the "unset" sentinel).
+  bool started_ = false;
+  uint64_t tier_since_ns_ = 0;
+  std::array<uint64_t, 3> tier_nanos_{};
+
+  std::atomic<int> tier_{0};
+};
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_DEGRADATION_H_

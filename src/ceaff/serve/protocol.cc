@@ -29,6 +29,14 @@ Status ParseK(std::string_view args, size_t* k, std::string_view* rest) {
 }  // namespace
 
 StatusOr<Request> ParseRequest(const std::string& line) {
+  if (line.size() > kMaxRequestLineBytes) {
+    return Status::InvalidArgument(
+        StrFormat("request line of %zu bytes exceeds the %zu-byte limit",
+                  line.size(), kMaxRequestLineBytes));
+  }
+  if (line.find('\0') != std::string::npos) {
+    return Status::InvalidArgument("request line contains an embedded NUL");
+  }
   std::string_view s = StripAsciiWhitespace(line);
   if (s.empty() || s[0] == '#') {
     return Status::NotFound("no request on this line");
@@ -78,6 +86,14 @@ StatusOr<Request> ParseRequest(const std::string& line) {
   }
   if (verb == "STATS") {
     request.type = RequestType::kStats;
+    return request;
+  }
+  if (verb == "HEALTH") {
+    request.type = RequestType::kHealth;
+    return request;
+  }
+  if (verb == "READY") {
+    request.type = RequestType::kReady;
     return request;
   }
   if (verb == "QUIT") {

@@ -20,19 +20,42 @@ namespace ceaff::serve {
 ///   BATCH <k> <name1>\t<name2>...    multi-entity TOPK in one request
 ///   RELOAD <path>                    hot-swap to the index at <path>
 ///   STATS                            per-endpoint serving statistics
+///   HEALTH                           liveness: is the loop reading at all
+///   READY                            readiness: accepting work (not
+///                                    draining), reports the current tier
 ///   QUIT                             stop serving
 ///
 /// Responses, one logical reply per request:
 ///   OK PAIR <source>\t<target>\t<score>
 ///   NONE PAIR <name>                 unknown source or no committed pair
-///   OK TOPK <n>                      then n lines: CAND <rank>\t<name>\t
+///   OK TOPK <n> [degraded=<tier>]    then n lines: CAND <rank>\t<name>\t
 ///                                    <combined>\t<string>\t<sem>\t<struct>
 ///   OK BATCH <n>                     then n TOPK/ERR replies, one per name
 ///   OK RELOAD <path>
 ///   OK STATS <json>
+///   OK HEALTH
+///   OK READY tier=<name>             (ERR Unavailable while draining)
 ///   ERR <CodeName> <message>         any failure, including per-request
-///                                    deadline exceeded
-enum class RequestType { kPair, kTopK, kBatch, kReload, kStats, kQuit };
+///                                    deadline exceeded and overload sheds
+///
+/// Hardening: a request line longer than kMaxRequestLineBytes or containing
+/// an embedded NUL byte is rejected up front (InvalidArgument) before any
+/// verb dispatch — a corrupt or adversarial request file must not make the
+/// parser allocate or scan without bound.
+enum class RequestType {
+  kPair,
+  kTopK,
+  kBatch,
+  kReload,
+  kStats,
+  kHealth,
+  kReady,
+  kQuit,
+};
+
+/// Upper bound on one request line (64 KiB). Far above any legitimate
+/// BATCH request, far below anything that could hurt the process.
+inline constexpr size_t kMaxRequestLineBytes = 64 * 1024;
 
 struct Request {
   RequestType type;

@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <thread>
 #include <utility>
 
 #include "ceaff/common/logging.h"
+#include "ceaff/common/random.h"
 #include "ceaff/common/string_util.h"
 #include "ceaff/text/name_embedding.h"
 
@@ -21,6 +23,13 @@ uint64_t NanosSince(Clock::time_point start) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
+          .count());
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
           .count());
 }
 
@@ -38,6 +47,23 @@ float DotF(const float* a, const float* b, size_t n) {
   return acc;
 }
 
+/// RAII counter of requests currently inside the TopK path (queued pool
+/// tasks included, since they call TopK themselves). The excess over the
+/// worker count is the standing queue the overload controllers estimate
+/// their delay from.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<int64_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>* counter_;
+};
+
 }  // namespace
 
 AlignmentService::AlignmentService(
@@ -45,7 +71,11 @@ AlignmentService::AlignmentService(
     : options_(options),
       index_(std::move(index)),
       cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.num_threads, options.queue_capacity) {
+      pool_(options.num_threads, options.queue_capacity),
+      admission_(options.admission),
+      degradation_(options.degradation),
+      batch_retry_(options.batch_retry),
+      reload_breaker_(options.reload_breaker) {
   CEAFF_CHECK(index_ != nullptr) << "AlignmentService needs an index";
   // Query embeddings are dotted against the stored target name embeddings,
   // so the store's dimension must match theirs.
@@ -64,15 +94,28 @@ StatusOr<std::unique_ptr<AlignmentService>> AlignmentService::Open(
 
 Status AlignmentService::Reload(const std::string& index_path) {
   const Clock::time_point start = Clock::now();
+  // The breaker stops the expensive part — reading and checksumming the
+  // whole artifact — when the path has failed validation several times in a
+  // row. A refusal is not a "request the endpoint worked on": it counts as
+  // rejected, not as an error, so reload error rates keep describing actual
+  // load attempts.
+  if (!reload_breaker_.Allow(NowNanos())) {
+    stats_.reload().RecordRejected();
+    return Status::Unavailable(
+        "reload circuit breaker open: index at '" + index_path +
+        "' failed repeatedly; retry after cooldown");
+  }
   StatusOr<AlignmentIndex> loaded = LoadAlignmentIndex(index_path);
   if (!loaded.ok()) {
     // Refuse the swap: the incoming artifact is unreadable or corrupt, and
     // the current snapshot keeps serving untouched.
+    reload_breaker_.RecordFailure(NowNanos());
     stats_.reload().Record(NanosSince(start), /*ok=*/false);
     CEAFF_LOG(Warning) << "reload refused, keeping current snapshot: "
                        << loaded.status().ToString();
     return loaded.status();
   }
+  reload_breaker_.RecordSuccess();
   AdoptIndex(std::make_shared<const AlignmentIndex>(std::move(loaded).value()));
   stats_.reload().Record(NanosSince(start), /*ok=*/true);
   CEAFF_LOG(Info) << "reloaded index from " << index_path;
@@ -143,8 +186,10 @@ StatusOr<PairAnswer> AlignmentService::LookupPair(
 
 StatusOr<TopKResult> AlignmentService::TopKUncached(
     const AlignmentIndex& index, const text::WordEmbeddingStore& embedder,
-    const std::string& query_name, size_t k,
+    const std::string& query_name, size_t k, bool allow_structural,
     const CancellationToken* cancel) const {
+  if (options_.chaos_scan_hook) options_.chaos_scan_hook();
+
   const size_t n_targets = index.num_targets();
   if (n_targets == 0) {
     return Status::FailedPrecondition("index has no target entities");
@@ -194,10 +239,15 @@ StatusOr<TopKResult> AlignmentService::TopKUncached(
   }
 
   // --- Structural feature: only meaningful when the query resolves to a
-  // known source entity AND the exporting run shipped GCN embeddings.
+  // known source entity AND the exporting run shipped GCN embeddings. At
+  // the textual-only degradation tier the feature is switched off wholesale
+  // (`allow_structural` = false) and its weight flows to the textual
+  // features below — the same renormalisation the pipeline applies when a
+  // feature is disabled, just triggered by load instead of configuration.
   const float* query_struct = nullptr;
   bool structural_used = false;
-  if (!index.source_struct_emb.empty() && !index.target_struct_emb.empty()) {
+  if (allow_structural && !index.source_struct_emb.empty() &&
+      !index.target_struct_emb.empty()) {
     auto it = index.source_by_name.find(query_name);
     if (it != index.source_by_name.end() &&
         it->second < index.source_struct_emb.rows()) {
@@ -282,6 +332,30 @@ StatusOr<TopKResult> AlignmentService::TopKUncached(
   return result;
 }
 
+StatusOr<TopKResult> AlignmentService::TopKPairOnly(
+    const AlignmentIndex& index, const std::string& query_name) const {
+  auto name_it = index.source_by_name.find(query_name);
+  if (name_it == index.source_by_name.end()) {
+    return Status::Unavailable("service degraded to pair-lookup-only; '" +
+                               query_name + "' has no committed pair");
+  }
+  auto pair_it = index.pair_by_source.find(name_it->second);
+  if (pair_it == index.pair_by_source.end()) {
+    return Status::Unavailable("service degraded to pair-lookup-only; '" +
+                               query_name + "' has no committed pair");
+  }
+  const AlignedPair& pair = index.pairs[pair_it->second];
+  TopKResult result;
+  result.query = query_name;
+  result.structural_used = false;
+  Candidate candidate;
+  candidate.target = pair.target;
+  candidate.target_name = index.target_names[pair.target];
+  candidate.combined = pair.score;
+  result.candidates.push_back(std::move(candidate));
+  return result;
+}
+
 StatusOr<TopKResult> AlignmentService::TopK(const std::string& query_name,
                                             size_t k,
                                             const CancellationToken* cancel) {
@@ -291,6 +365,8 @@ StatusOr<TopKResult> AlignmentService::TopK(const std::string& query_name,
     return Status::InvalidArgument("k must be >= 1");
   }
 
+  // Cache hits bypass admission entirely: they cost nanoseconds and
+  // answering them keeps goodput up exactly when the service is loaded.
   const std::string key = CacheKey(query_name, k);
   if (std::shared_ptr<const TopKResult> hit = cache_.Get(key)) {
     stats_.topk().Record(NanosSince(start), /*ok=*/true, /*cache_hit=*/true);
@@ -305,12 +381,79 @@ StatusOr<TopKResult> AlignmentService::TopK(const std::string& query_name,
     embedder = embedder_;
   }
 
-  StatusOr<TopKResult> result =
-      TopKUncached(*index, *embedder, query_name, k, cancel);
-  if (result.ok()) {
-    cache_.Put(key, std::make_shared<const TopKResult>(result.value()));
+  if (!options_.overload_protection) {
+    StatusOr<TopKResult> result = TopKUncached(
+        *index, *embedder, query_name, k, /*allow_structural=*/true, cancel);
+    if (result.ok()) {
+      cache_.Put(key, std::make_shared<const TopKResult>(result.value()));
+    }
+    stats_.topk().Record(NanosSince(start), result.ok());
+    return result;
   }
-  stats_.topk().Record(NanosSince(start), result.ok());
+
+  InFlightGuard guard(&in_flight_);
+
+  // Load signal: how long would this request wait for a worker? With W
+  // workers and F requests in flight, F - W requests are queued ahead of
+  // capacity; each occupies a worker for about the median service time.
+  // Absolute and self-calibrating — a cold histogram (p50 = 0) estimates
+  // zero delay, so lightly-loaded unit tests never trip millisecond-scale
+  // thresholds.
+  const int64_t excess =
+      in_flight_.load(std::memory_order_relaxed) -
+      static_cast<int64_t>(pool_.num_threads());
+  const uint64_t p50 = stats_.topk().LatencyQuantileNanos(0.5);
+  const uint64_t est_delay_ns =
+      excess > 0 ? static_cast<uint64_t>(excess) * p50 : 0;
+  const uint64_t p99 = stats_.topk().LatencyQuantileNanos(0.99);
+  const int64_t remaining =
+      cancel != nullptr ? cancel->RemainingNanos() : INT64_MAX;
+  const uint64_t now = NowNanos();
+
+  switch (admission_.Admit(now, est_delay_ns, p99, remaining)) {
+    case AdmissionController::Decision::kRejectDeadline:
+      // The honest answer the caller would otherwise get after burning a
+      // worker — produced for free instead. Deliberately NOT kUnavailable:
+      // retrying against the same expiring deadline cannot help.
+      stats_.topk().RecordRejected();
+      return Status::DeadlineExceeded(
+          "rejected at admission: remaining deadline below estimated "
+          "service time for '" +
+          query_name + "'");
+    case AdmissionController::Decision::kShedOverload:
+      stats_.topk().RecordShed();
+      return Status::Unavailable("shed by overload control");
+    case AdmissionController::Decision::kAdmit:
+      break;
+  }
+
+  const ServiceTier tier = degradation_.Observe(est_delay_ns, now);
+  stats_.SetCurrentTier(static_cast<int>(tier));
+
+  StatusOr<TopKResult> result =
+      tier == ServiceTier::kPairOnly
+          ? TopKPairOnly(*index, query_name)
+          : TopKUncached(*index, *embedder, query_name, k,
+                         /*allow_structural=*/tier == ServiceTier::kFull,
+                         cancel);
+  if (result.ok()) {
+    result.value().tier = tier;
+    result.value().degraded = tier != ServiceTier::kFull;
+    if (tier == ServiceTier::kFull) {
+      // Degraded answers are never cached: the cache must not keep serving
+      // coarse results after the load passes.
+      cache_.Put(key, std::make_shared<const TopKResult>(result.value()));
+    }
+    stats_.RecordTierServed(static_cast<int>(tier));
+    stats_.topk().Record(NanosSince(start), /*ok=*/true);
+  } else if (tier == ServiceTier::kPairOnly &&
+             result.status().IsUnavailable()) {
+    // Pair-only tier could not answer this query at all — that is a shed,
+    // not a served error.
+    stats_.topk().RecordShed();
+  } else {
+    stats_.topk().Record(NanosSince(start), /*ok=*/false);
+  }
   return result;
 }
 
@@ -328,23 +471,58 @@ std::vector<StatusOr<TopKResult>> AlignmentService::BatchTopK(
   std::mutex done_mu;
   std::condition_variable done_cv;
   size_t remaining = names.size();
+  auto slot_done = [&done_mu, &done_cv, &remaining] {
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--remaining == 0) done_cv.notify_one();
+  };
+
   for (size_t i = 0; i < names.size(); ++i) {
-    const bool submitted = pool_.Submit([this, &names, &results, &done_mu,
-                                         &done_cv, &remaining, i, k, cancel] {
+    auto task = [this, &names, &results, &slot_done, i, k, cancel] {
       results[i] = TopK(names[i], k, cancel);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_one();
-    });
-    if (!submitted) {
-      // Pool is shutting down; answer inline so every slot is filled.
-      results[i] = TopK(names[i], k, cancel);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--remaining == 0) done_cv.notify_one();
+      slot_done();
+    };
+    // A full queue is transient backpressure: retry the *submission* with
+    // capped exponential backoff + jitter on the caller's thread (the
+    // caller was going to block on the barrier anyway, so waiting here is
+    // free and gives workers time to drain the queue).
+    int attempts = 0;
+    for (;;) {
+      const SubmitResult submitted = pool_.TrySubmit(task);
+      if (submitted == SubmitResult::kAccepted) break;
+      if (submitted == SubmitResult::kShuttingDown) {
+        // Terminal: no workers are coming back. Answer inline so every
+        // slot is still filled.
+        task();
+        break;
+      }
+      ++attempts;
+      if (!batch_retry_.ShouldRetry(Status::Unavailable("pool queue full"),
+                                    attempts)) {
+        results[i] =
+            Status::Unavailable("batch submission shed: pool queue full");
+        stats_.topk().RecordShed();
+        slot_done();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          batch_retry_.BackoffMillis(attempts - 1, &ThreadLocalRng())));
     }
   }
   {
     std::unique_lock<std::mutex> lock(done_mu);
     done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+
+  if (options_.hedge_batch_sheds) {
+    // One hedged attempt, inline and sequential, for the slots the service
+    // shed (kUnavailable only — anything else is not transient). Off by
+    // default: under sustained overload this adds load right after the
+    // service asked for less.
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok() && results[i].status().IsUnavailable()) {
+        results[i] = TopK(names[i], k, cancel);
+      }
+    }
   }
 
   bool all_ok = true;
@@ -353,6 +531,15 @@ std::vector<StatusOr<TopKResult>> AlignmentService::BatchTopK(
   }
   stats_.batch().Record(NanosSince(start), all_ok);
   return results;
+}
+
+ServingSnapshot AlignmentService::Stats() const {
+  stats_.SetCurrentTier(static_cast<int>(degradation_.tier()));
+  return stats_.Snapshot();
+}
+
+std::array<uint64_t, 3> AlignmentService::TierNanos() const {
+  return degradation_.TierNanos(NowNanos());
 }
 
 }  // namespace ceaff::serve

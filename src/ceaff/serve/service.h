@@ -1,16 +1,22 @@
 #ifndef CEAFF_SERVE_SERVICE_H_
 #define CEAFF_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "ceaff/common/admission.h"
 #include "ceaff/common/cancellation.h"
+#include "ceaff/common/circuit_breaker.h"
+#include "ceaff/common/retry.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/common/thread_pool.h"
 #include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/degradation.h"
 #include "ceaff/serve/lru_cache.h"
 #include "ceaff/serve/serving_stats.h"
 #include "ceaff/text/word_embedding.h"
@@ -46,6 +52,12 @@ struct TopKResult {
   /// structural feature participated; false means the structural weight was
   /// redistributed over the textual features.
   bool structural_used = false;
+  /// Degradation tier this answer was served at. Anything other than
+  /// kFull also sets `degraded`: the scores are the renormalised subset of
+  /// features the tier allows (CEAFF's usual weight redistribution), not
+  /// the full adaptive fusion.
+  ServiceTier tier = ServiceTier::kFull;
+  bool degraded = false;
   std::vector<Candidate> candidates;  // descending combined score
 };
 
@@ -57,6 +69,33 @@ struct ServiceOptions {
   /// Total query-cache entries (0 disables caching).
   size_t cache_capacity = 1024;
   size_t cache_shards = 8;
+
+  /// Master switch for the overload-protection layer (admission control +
+  /// graceful degradation on the TopK path). Off = PR-2 behaviour: every
+  /// request is scored in full. Exact pair lookups are never gated either
+  /// way — they are the tier the service degrades *to*.
+  bool overload_protection = true;
+  /// Deadline-aware admission + CoDel shedding (see common/admission.h).
+  AdmissionController::Options admission;
+  /// Tier thresholds & hysteresis (see serve/degradation.h).
+  DegradationOptions degradation;
+  /// Backoff for BatchTopK sub-queries whose pool submission is shed
+  /// (queue full). Only kUnavailable is ever retried.
+  RetryOptions batch_retry;
+  /// After retries are exhausted, give each still-kUnavailable batch slot
+  /// one hedged attempt inline on the caller's thread. Default off: under
+  /// sustained overload the inline attempt adds load exactly when the
+  /// service asked for less — enable for latency-tolerant offline callers.
+  bool hedge_batch_sheds = false;
+  /// Stops re-validating a repeatedly-corrupt index path on every RELOAD:
+  /// after `failure_threshold` consecutive failures the breaker opens and
+  /// reloads are refused (kUnavailable) until `cooldown_ns` elapses.
+  CircuitBreaker::Options reload_breaker;
+
+  /// Test-only chaos hook, invoked at the start of every uncached TopK
+  /// scan (see tests/testing/fault_injection.h ChaosShim). Must be
+  /// thread-safe; null in production.
+  std::function<void()> chaos_scan_hook;
 };
 
 /// Query service over one immutable AlignmentIndex snapshot.
@@ -67,8 +106,19 @@ struct ServiceOptions {
 /// the side, validates it completely, and only then swaps the shared_ptr
 /// (and clears the query cache); requests in flight keep the snapshot they
 /// started with alive. A corrupt or invalid index file refuses the swap:
-/// Reload returns the load error and the service keeps answering from the
-/// current snapshot.
+/// Reload returns the load error and the service keeps serving from the
+/// current snapshot. Repeated reload failures trip a circuit breaker.
+///
+/// Overload protection: TopK requests pass an AdmissionController fed by
+/// an estimated queue delay (`max(0, in-flight - num_threads) x p50
+/// service time`). Requests that cannot meet their deadline are rejected
+/// up front; sustained delay above target sheds at the CoDel cadence
+/// (kUnavailable). The same signal drives a three-tier DegradationPolicy:
+/// full scoring -> textual-only scoring (structural weight renormalised
+/// over string + semantic) -> exact-pair-lookup-only, with hysteresis so
+/// tiers do not flap. Degraded answers are marked (`TopKResult::degraded`)
+/// and never cached — the cache must not keep serving coarse answers
+/// after the service recovers.
 ///
 /// Per-request deadlines: every query accepts an optional
 /// CancellationToken, polled inside the candidate scan, and returns
@@ -88,7 +138,10 @@ class AlignmentService {
 
   /// Hot-swaps to the index at `path`. On any load/validation failure the
   /// current snapshot stays live and keeps serving; the error is returned
-  /// (and counted on the reload endpoint).
+  /// (and counted on the reload endpoint). After `reload_breaker`'s
+  /// failure threshold of consecutive failures, further reloads are
+  /// refused with kUnavailable (without touching the file) until the
+  /// cooldown elapses; one probe reload is then allowed through.
   Status Reload(const std::string& index_path);
 
   /// Swaps in an already-built snapshot (tests, in-process rebuilds).
@@ -99,6 +152,8 @@ class AlignmentService {
 
   /// Exact lookup of the committed pair for a source entity name.
   /// kNotFound when the name is unknown or its entity ended up unmatched.
+  /// Never gated by admission control: this is the O(1) lookup the service
+  /// degrades to, and it must keep answering under overload.
   StatusOr<PairAnswer> LookupPair(const std::string& source_name,
                                   const CancellationToken* cancel = nullptr);
 
@@ -106,7 +161,9 @@ class AlignmentService {
   /// name: string (trigram set-Dice via the stored posting lists), semantic
   /// (cosine in the name-embedding space) and structural (cosine in the
   /// GCN space, when the name resolves to a known source entity) scores,
-  /// recombined with the index's adaptive fusion weights.
+  /// recombined with the index's adaptive fusion weights. Under overload:
+  /// kUnavailable when shed, kDeadlineExceeded when the deadline cannot be
+  /// met, or a `degraded` result at a coarser tier.
   StatusOr<TopKResult> TopK(const std::string& query_name, size_t k,
                             const CancellationToken* cancel = nullptr);
 
@@ -114,13 +171,22 @@ class AlignmentService {
   /// per-name results in input order. Must not be called from inside a
   /// pool task (the caller blocks on the pool). The returned vector always
   /// has names.size() entries; individual queries fail independently.
+  /// Submissions shed at the queue are retried per `batch_retry` (capped
+  /// exponential backoff + jitter); with `hedge_batch_sheds`, slots still
+  /// kUnavailable after the fan-out get one inline hedged attempt.
   std::vector<StatusOr<TopKResult>> BatchTopK(
       const std::vector<std::string>& names, size_t k,
       const CancellationToken* cancel = nullptr);
 
   /// Point-in-time per-endpoint statistics (qps, p50/p99 latency, cache
-  /// hit rate).
-  ServingSnapshot Stats() const { return stats_.Snapshot(); }
+  /// hit rate, shed/rejected counters, degradation tier occupancy).
+  ServingSnapshot Stats() const;
+
+  /// The degradation tier currently in effect.
+  ServiceTier tier() const { return degradation_.tier(); }
+
+  /// Cumulative nanoseconds spent at each tier (soak-bench reporting).
+  std::array<uint64_t, 3> TierNanos() const;
 
   size_t num_threads() const { return pool_.num_threads(); }
 
@@ -128,7 +194,12 @@ class AlignmentService {
   StatusOr<TopKResult> TopKUncached(const AlignmentIndex& index,
                                     const text::WordEmbeddingStore& embedder,
                                     const std::string& query_name, size_t k,
+                                    bool allow_structural,
                                     const CancellationToken* cancel) const;
+
+  /// Pair-lookup-only TopK (tier 2): O(1), no candidate scan.
+  StatusOr<TopKResult> TopKPairOnly(const AlignmentIndex& index,
+                                    const std::string& query_name) const;
 
   ServiceOptions options_;
   /// Snapshot slot. The mutex only guards the pointer swap/copy (a few
@@ -142,6 +213,16 @@ class AlignmentService {
   ShardedLruCache<TopKResult> cache_;
   ThreadPool pool_;
   mutable ServingStats stats_;
+
+  /// Overload-protection state (tentpole). `in_flight_` counts requests
+  /// currently inside TopK (direct callers and pool workers alike); the
+  /// excess over num_threads, scaled by the median service time, is the
+  /// queue-delay estimate both controllers run on.
+  AdmissionController admission_;
+  DegradationPolicy degradation_;
+  RetryPolicy batch_retry_;
+  CircuitBreaker reload_breaker_;
+  std::atomic<int64_t> in_flight_{0};
 };
 
 }  // namespace ceaff::serve

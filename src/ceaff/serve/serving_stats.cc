@@ -19,14 +19,14 @@ uint64_t LatencyHistogram::TotalCount() const {
   return total;
 }
 
-double LatencyHistogram::QuantileMillis(double q) const {
+uint64_t LatencyHistogram::QuantileNanos(double q) const {
   std::array<uint64_t, kBuckets> counts;
   uint64_t total = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     total += counts[i];
   }
-  if (total == 0) return 0.0;
+  if (total == 0) return 0;
   const uint64_t rank =
       static_cast<uint64_t>(q * static_cast<double>(total - 1));
   uint64_t seen = 0;
@@ -34,11 +34,15 @@ double LatencyHistogram::QuantileMillis(double q) const {
     seen += counts[i];
     if (seen > rank) {
       // Geometric midpoint of [2^i, 2^(i+1)) in nanoseconds.
-      const double mid = std::ldexp(std::sqrt(2.0), static_cast<int>(i));
-      return mid / 1e6;
+      return static_cast<uint64_t>(
+          std::ldexp(std::sqrt(2.0), static_cast<int>(i)));
     }
   }
-  return 0.0;
+  return 0;
+}
+
+double LatencyHistogram::QuantileMillis(double q) const {
+  return static_cast<double>(QuantileNanos(q)) / 1e6;
 }
 
 void EndpointStats::Record(uint64_t latency_nanos, bool ok, bool cache_hit) {
@@ -48,11 +52,21 @@ void EndpointStats::Record(uint64_t latency_nanos, bool ok, bool cache_hit) {
   latency_.Record(latency_nanos);
 }
 
+void EndpointStats::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EndpointStats::RecordRejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
 EndpointSnapshot EndpointStats::Snapshot(double elapsed_seconds) const {
   EndpointSnapshot snap;
   snap.requests = requests_.load(std::memory_order_relaxed);
   snap.errors = errors_.load(std::memory_order_relaxed);
   snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.shed = shed_.load(std::memory_order_relaxed);
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
   snap.qps = elapsed_seconds > 0.0
                  ? static_cast<double>(snap.requests) / elapsed_seconds
                  : 0.0;
@@ -75,26 +89,44 @@ ServingSnapshot ServingStats::Snapshot() const {
   snap.topk = topk_.Snapshot(snap.uptime_seconds);
   snap.batch = batch_.Snapshot(snap.uptime_seconds);
   snap.reload = reload_.Snapshot(snap.uptime_seconds);
+  snap.degradation.tier = current_tier_.load(std::memory_order_relaxed);
+  snap.degradation.served_full =
+      tier_served_[0].load(std::memory_order_relaxed);
+  snap.degradation.served_textual =
+      tier_served_[1].load(std::memory_order_relaxed);
+  snap.degradation.served_pair_only =
+      tier_served_[2].load(std::memory_order_relaxed);
   return snap;
 }
 
 namespace {
 std::string EndpointJson(const char* name, const EndpointSnapshot& e) {
   return StrFormat(
-      "\"%s\":{\"requests\":%llu,\"errors\":%llu,\"qps\":%.2f,"
-      "\"p50_ms\":%.4f,\"p99_ms\":%.4f,\"cache_hit_rate\":%.4f}",
+      "\"%s\":{\"requests\":%llu,\"errors\":%llu,\"shed\":%llu,"
+      "\"rejected\":%llu,\"qps\":%.2f,\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+      "\"cache_hit_rate\":%.4f}",
       name, static_cast<unsigned long long>(e.requests),
-      static_cast<unsigned long long>(e.errors), e.qps, e.p50_ms, e.p99_ms,
+      static_cast<unsigned long long>(e.errors),
+      static_cast<unsigned long long>(e.shed),
+      static_cast<unsigned long long>(e.rejected), e.qps, e.p50_ms, e.p99_ms,
       e.cache_hit_rate);
 }
 }  // namespace
 
 std::string ServingSnapshot::ToJson() const {
-  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s}", uptime_seconds,
+  const std::string degradation_json = StrFormat(
+      "\"degradation\":{\"tier\":%d,\"served_full\":%llu,"
+      "\"served_textual\":%llu,\"served_pair_only\":%llu}",
+      degradation.tier,
+      static_cast<unsigned long long>(degradation.served_full),
+      static_cast<unsigned long long>(degradation.served_textual),
+      static_cast<unsigned long long>(degradation.served_pair_only));
+  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s,%s}", uptime_seconds,
                    EndpointJson("pair", pair).c_str(),
                    EndpointJson("topk", topk).c_str(),
                    EndpointJson("batch", batch).c_str(),
-                   EndpointJson("reload", reload).c_str());
+                   EndpointJson("reload", reload).c_str(),
+                   degradation_json.c_str());
 }
 
 }  // namespace ceaff::serve

@@ -25,6 +25,11 @@ class LatencyHistogram {
   /// at most the in-flight samples (each bucket is read once).
   double QuantileMillis(double q) const;
 
+  /// Same quantile in nanoseconds; 0 when empty. The serving path feeds
+  /// this into admission control (p99 service time, p50 as the per-request
+  /// cost estimate behind the queue-delay signal).
+  uint64_t QuantileNanos(double q) const;
+
   uint64_t TotalCount() const;
 
  private:
@@ -33,9 +38,19 @@ class LatencyHistogram {
 
 /// Read-only view of one endpoint's counters at snapshot time.
 struct EndpointSnapshot {
+  /// Requests the endpoint actually did work for. Sheds and rejections are
+  /// counted separately below and do NOT contribute here — nor to the
+  /// latency quantiles, which would otherwise drown in near-zero samples
+  /// exactly when the overloaded service needs an honest p99.
   uint64_t requests = 0;
   uint64_t errors = 0;
   uint64_t cache_hits = 0;
+  /// Turned away by overload shedding (queue full / CoDel / degraded tier
+  /// unable to answer) before any scoring happened.
+  uint64_t shed = 0;
+  /// Rejected up front because the remaining deadline could not be met
+  /// (deadline-aware admission), or refused by an open circuit breaker.
+  uint64_t rejected = 0;
   double qps = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -51,13 +66,41 @@ class EndpointStats {
   /// cancelled / deadline-exceeded requests).
   void Record(uint64_t latency_nanos, bool ok, bool cache_hit = false);
 
+  /// Records a request turned away by load shedding. Deliberately does NOT
+  /// feed the latency histogram: a shed takes nanoseconds and a burst of
+  /// them would drag p50/p99 toward zero while the admitted traffic is at
+  /// its slowest.
+  void RecordShed();
+
+  /// Records a request rejected at admission (deadline cannot be met, or
+  /// circuit breaker open). Also kept out of the histogram.
+  void RecordRejected();
+
+  /// Current latency quantile in nanoseconds (0 until the first Record).
+  uint64_t LatencyQuantileNanos(double q) const {
+    return latency_.QuantileNanos(q);
+  }
+
   EndpointSnapshot Snapshot(double elapsed_seconds) const;
 
  private:
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> rejected_{0};
   LatencyHistogram latency_;
+};
+
+/// Point-in-time view of the graceful-degradation state.
+struct DegradationSnapshot {
+  /// Tier in effect when the snapshot was taken (0 full, 1 textual-only,
+  /// 2 pair-lookup-only).
+  int tier = 0;
+  /// Requests served at each tier.
+  uint64_t served_full = 0;
+  uint64_t served_textual = 0;
+  uint64_t served_pair_only = 0;
 };
 
 /// Per-endpoint serving statistics of one AlignmentService instance.
@@ -67,6 +110,7 @@ struct ServingSnapshot {
   EndpointSnapshot topk;
   EndpointSnapshot batch;
   EndpointSnapshot reload;
+  DegradationSnapshot degradation;
 
   /// One-line JSON rendering (the `STATS` protocol response and the
   /// serve-throughput report embed this).
@@ -82,6 +126,18 @@ class ServingStats {
   EndpointStats& batch() { return batch_; }
   EndpointStats& reload() { return reload_; }
 
+  /// Degradation bookkeeping, driven by the service's policy: the tier a
+  /// request was served at, and the tier currently in effect.
+  void RecordTierServed(int tier) {
+    if (tier >= 0 && tier < 3) {
+      tier_served_[static_cast<size_t>(tier)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+  void SetCurrentTier(int tier) {
+    current_tier_.store(tier, std::memory_order_relaxed);
+  }
+
   ServingSnapshot Snapshot() const;
 
  private:
@@ -90,6 +146,8 @@ class ServingStats {
   EndpointStats topk_;
   EndpointStats batch_;
   EndpointStats reload_;
+  std::array<std::atomic<uint64_t>, 3> tier_served_{};
+  std::atomic<int> current_tier_{0};
 };
 
 }  // namespace ceaff::serve

@@ -1,0 +1,146 @@
+#include "ceaff/common/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ceaff {
+namespace {
+
+// All tests run on virtual time: the controller never reads a clock, so
+// every transition below is deterministic.
+
+constexpr uint64_t kMs = 1'000'000;  // ns per millisecond
+constexpr int64_t kNoDeadline = INT64_MAX;
+
+AdmissionController::Options SmallOptions() {
+  AdmissionController::Options options;
+  options.target_delay_ns = 5 * kMs;
+  options.interval_ns = 100 * kMs;
+  options.deadline_headroom = 1.0;
+  return options;
+}
+
+TEST(AdmissionControllerTest, AdmitsWhenDelayUnderTarget) {
+  AdmissionController admission(SmallOptions());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(admission.Admit(/*now_ns=*/i * kMs, /*queue_delay_ns=*/0,
+                              /*p99_service_ns=*/kMs, kNoDeadline),
+              AdmissionController::Decision::kAdmit);
+  }
+  EXPECT_EQ(admission.admitted(), 100u);
+  EXPECT_EQ(admission.shed_overload(), 0u);
+  EXPECT_EQ(admission.rejected_deadline(), 0u);
+  EXPECT_FALSE(admission.shedding());
+}
+
+TEST(AdmissionControllerTest, RejectsWhenDeadlineCannotBeMet) {
+  AdmissionController admission(SmallOptions());
+  // p99 = 10 ms, queued delay = 5 ms, 8 ms of budget left: the request
+  // cannot finish in time, so it is rejected without doing the work.
+  EXPECT_EQ(admission.Admit(0, 5 * kMs, 10 * kMs,
+                            /*remaining_deadline_ns=*/8 * kMs),
+            AdmissionController::Decision::kRejectDeadline);
+  EXPECT_EQ(admission.rejected_deadline(), 1u);
+  // 20 ms of budget clears the same bar.
+  EXPECT_EQ(admission.Admit(0, 5 * kMs, 10 * kMs, 20 * kMs),
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, NoDeadlineSkipsTheDeadlineCheck) {
+  AdmissionController admission(SmallOptions());
+  EXPECT_EQ(admission.Admit(0, 0, /*p99_service_ns=*/1'000'000 * kMs,
+                            kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, ExpiredDeadlineIsAdmittedNotRejected) {
+  // An already-expired deadline is admitted so the scorer's own
+  // cancellation poll produces the accurate kDeadlineExceeded.
+  AdmissionController admission(SmallOptions());
+  EXPECT_EQ(admission.Admit(0, 0, 10 * kMs, /*remaining_deadline_ns=*/0),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(0, 0, 10 * kMs, -5 * kMs),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.rejected_deadline(), 0u);
+}
+
+TEST(AdmissionControllerTest, ColdHistogramDisablesDeadlineCheck) {
+  // p99 == 0 means "service time unknown" — no basis for rejecting.
+  AdmissionController admission(SmallOptions());
+  EXPECT_EQ(admission.Admit(0, 50 * kMs, /*p99_service_ns=*/0, 1),
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, HeadroomScalesTheRejectionBar) {
+  AdmissionController::Options options = SmallOptions();
+  options.deadline_headroom = 2.0;
+  AdmissionController strict(options);
+  // needed = 2.0 * (10ms + 0) = 20ms > 15ms remaining -> reject, where
+  // headroom 1.0 would have admitted.
+  EXPECT_EQ(strict.Admit(0, 0, 10 * kMs, 15 * kMs),
+            AdmissionController::Decision::kRejectDeadline);
+  AdmissionController lax(SmallOptions());
+  EXPECT_EQ(lax.Admit(0, 0, 10 * kMs, 15 * kMs),
+            AdmissionController::Decision::kAdmit);
+}
+
+TEST(AdmissionControllerTest, ShedsOnlyAfterDelayExceedsTargetForInterval) {
+  AdmissionController admission(SmallOptions());
+  // Above target (10 ms > 5 ms) but for less than one interval: admitted.
+  EXPECT_EQ(admission.Admit(0, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(50 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_FALSE(admission.shedding());
+  // A full interval later the controller enters the shedding state and the
+  // first drop is immediate.
+  EXPECT_EQ(admission.Admit(100 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kShedOverload);
+  EXPECT_TRUE(admission.shedding());
+  EXPECT_EQ(admission.shed_overload(), 1u);
+}
+
+TEST(AdmissionControllerTest, DipUnderTargetResetsSheddingState) {
+  AdmissionController admission(SmallOptions());
+  ASSERT_EQ(admission.Admit(0, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  ASSERT_EQ(admission.Admit(100 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kShedOverload);
+  // Delay recovers: state resets entirely.
+  EXPECT_EQ(admission.Admit(101 * kMs, 0, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_FALSE(admission.shedding());
+  // Overload must again persist for a full interval before the next shed.
+  EXPECT_EQ(admission.Admit(102 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(150 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(202 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kShedOverload);
+}
+
+TEST(AdmissionControllerTest, CoDelCadenceShortensWithEachDrop) {
+  AdmissionController admission(SmallOptions());
+  ASSERT_EQ(admission.Admit(0, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  // Enter shedding at t=100ms: drop 1, next drop at +interval/sqrt(1).
+  ASSERT_EQ(admission.Admit(100 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kShedOverload);
+  // Between drops most requests still get through (goodput stays up).
+  EXPECT_EQ(admission.Admit(150 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(199 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  // Drop 2 at t=200ms; drop 3 then comes interval/sqrt(2) ~ 70.7ms later.
+  ASSERT_EQ(admission.Admit(200 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kShedOverload);
+  EXPECT_EQ(admission.Admit(269 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(admission.Admit(271 * kMs, 10 * kMs, kMs, kNoDeadline),
+            AdmissionController::Decision::kShedOverload);
+  EXPECT_EQ(admission.shed_overload(), 3u);
+}
+
+}  // namespace
+}  // namespace ceaff

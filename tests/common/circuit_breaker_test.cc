@@ -1,0 +1,101 @@
+#include "ceaff/common/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ceaff {
+namespace {
+
+// Virtual-time tests: the breaker never reads a clock.
+
+constexpr uint64_t kSec = 1'000'000'000ull;
+
+CircuitBreaker::Options SmallOptions() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_ns = 10 * kSec;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker(SmallOptions());
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(0));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.Allow(0));
+    breaker.RecordFailure(0);
+    EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed) << i;
+  }
+  ASSERT_TRUE(breaker.Allow(0));
+  breaker.RecordFailure(0);  // third consecutive failure trips it
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(1));
+  EXPECT_EQ(breaker.times_opened(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(0);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(0);
+  // Still only 2 consecutive: closed.
+  EXPECT_EQ(breaker.state(0), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(0));
+  breaker.RecordSuccess();
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  ASSERT_EQ(breaker.state(0), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(10 * kSec - 1));  // still cooling down
+  EXPECT_TRUE(breaker.Allow(10 * kSec));       // the probe
+  // The probe has not reported back: nobody else gets through.
+  EXPECT_FALSE(breaker.Allow(10 * kSec));
+  EXPECT_FALSE(breaker.Allow(11 * kSec));
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(10 * kSec));
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(10 * kSec), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(10 * kSec));
+  EXPECT_EQ(breaker.times_opened(), 1u);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForAFullCooldown) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  ASSERT_TRUE(breaker.Allow(10 * kSec));
+  breaker.RecordFailure(10 * kSec);  // probe failed: reopen immediately
+  EXPECT_EQ(breaker.state(10 * kSec), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(19 * kSec));
+  EXPECT_TRUE(breaker.Allow(20 * kSec));  // next probe after full cooldown
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(CircuitBreakerTest, StateReportsHalfOpenOnceCooldownElapses) {
+  CircuitBreaker breaker(SmallOptions());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure(0);
+  EXPECT_EQ(breaker.state(5 * kSec), CircuitBreaker::State::kOpen);
+  // state() previews what Allow() would transition to, without mutating.
+  EXPECT_EQ(breaker.state(10 * kSec), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow(10 * kSec));
+  breaker.RecordSuccess();
+}
+
+}  // namespace
+}  // namespace ceaff

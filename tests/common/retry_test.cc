@@ -1,0 +1,95 @@
+#include "ceaff/common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/status.h"
+
+namespace ceaff {
+namespace {
+
+TEST(RetryPolicyTest, RetriesOnlyUnavailable) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.ShouldRetry(Status::Unavailable("shed"), 1));
+  // Everything else is permanent or made worse by retrying.
+  EXPECT_FALSE(policy.ShouldRetry(Status::OK(), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::NotFound("gone"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::DeadlineExceeded("late"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::InvalidArgument("bad"), 1));
+  EXPECT_FALSE(policy.ShouldRetry(Status::Internal("bug"), 1));
+}
+
+TEST(RetryPolicyTest, StopsAfterMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  RetryPolicy policy(options);
+  const Status shed = Status::Unavailable("shed");
+  EXPECT_TRUE(policy.ShouldRetry(shed, 1));
+  EXPECT_TRUE(policy.ShouldRetry(shed, 2));
+  EXPECT_FALSE(policy.ShouldRetry(shed, 3));
+  EXPECT_FALSE(policy.ShouldRetry(shed, 4));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryOptions options;
+  options.initial_backoff_ms = 1;
+  options.multiplier = 2.0;
+  options.max_backoff_ms = 50;
+  options.jitter = 0.0;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffMillis(0, nullptr), 1);
+  EXPECT_EQ(policy.BackoffMillis(1, nullptr), 2);
+  EXPECT_EQ(policy.BackoffMillis(2, nullptr), 4);
+  EXPECT_EQ(policy.BackoffMillis(5, nullptr), 32);
+  EXPECT_EQ(policy.BackoffMillis(6, nullptr), 50);   // 64 capped
+  EXPECT_EQ(policy.BackoffMillis(30, nullptr), 50);  // stays capped
+}
+
+TEST(RetryPolicyTest, NegativeAttemptClampsToFirst) {
+  RetryOptions options;
+  options.jitter = 0.0;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffMillis(-7, nullptr),
+            policy.BackoffMillis(0, nullptr));
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinConfiguredBand) {
+  RetryOptions options;
+  options.initial_backoff_ms = 1;
+  options.multiplier = 2.0;
+  options.max_backoff_ms = 1000;
+  options.jitter = 0.5;
+  RetryPolicy policy(options);
+  Rng rng(42);
+  // attempt 3 -> base 8 ms; jitter 0.5 keeps every draw in [4, 12] ms.
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t ms = policy.BackoffMillis(3, &rng);
+    EXPECT_GE(ms, 4);
+    EXPECT_LE(ms, 12);
+  }
+}
+
+TEST(RetryPolicyTest, JitteredBackoffNeverExceedsCap) {
+  RetryOptions options;
+  options.initial_backoff_ms = 40;
+  options.max_backoff_ms = 50;
+  options.jitter = 0.5;
+  RetryPolicy policy(options);
+  Rng rng(7);
+  // Base for attempt 1 is 80 -> capped to 50 before jitter; the upward half
+  // of the jitter band must not push the wait back over the cap.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(policy.BackoffMillis(1, &rng), 50);
+  }
+}
+
+TEST(RetryPolicyTest, NullRngDisablesJitter) {
+  RetryOptions options;
+  options.initial_backoff_ms = 8;
+  options.jitter = 0.5;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffMillis(0, nullptr), 8);
+}
+
+}  // namespace
+}  // namespace ceaff

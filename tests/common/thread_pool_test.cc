@@ -18,7 +18,8 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    ASSERT_EQ(pool.Submit([&counter] { counter.fetch_add(1); }),
+              SubmitResult::kAccepted);
   }
   pool.Shutdown();
   EXPECT_EQ(counter.load(), 100);
@@ -29,7 +30,8 @@ TEST(ThreadPoolTest, ClampsDegenerateSizes) {
   EXPECT_GE(pool.num_threads(), 1u);
   EXPECT_GE(pool.queue_capacity(), 1u);
   std::atomic<int> ran{0};
-  ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }));
+  ASSERT_EQ(pool.Submit([&ran] { ran.fetch_add(1); }),
+            SubmitResult::kAccepted);
   pool.Shutdown();
   EXPECT_EQ(ran.load(), 1);
 }
@@ -39,15 +41,19 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndRejectsNewOnes) {
   {
     ThreadPool pool(2, 64);
     for (int i = 0; i < 50; ++i) {
-      ASSERT_TRUE(pool.Submit([&counter] {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-        counter.fetch_add(1);
-      }));
+      ASSERT_EQ(pool.Submit([&counter] {
+                  std::this_thread::sleep_for(std::chrono::microseconds(100));
+                  counter.fetch_add(1);
+                }),
+                SubmitResult::kAccepted);
     }
     pool.Shutdown();
     EXPECT_EQ(counter.load(), 50);  // drained, not dropped
-    EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
-    EXPECT_FALSE(pool.TrySubmit([&counter] { counter.fetch_add(1); }));
+    // Both refusals after Shutdown() are terminal, never kQueueFull.
+    EXPECT_EQ(pool.Submit([&counter] { counter.fetch_add(1); }),
+              SubmitResult::kShuttingDown);
+    EXPECT_EQ(pool.TrySubmit([&counter] { counter.fetch_add(1); }),
+              SubmitResult::kShuttingDown);
   }
   EXPECT_EQ(counter.load(), 50);
 }
@@ -57,14 +63,17 @@ TEST(ThreadPoolTest, TrySubmitShedsLoadWhenQueueIsFull) {
   std::mutex gate;
   gate.lock();
   // Occupy the single worker...
-  ASSERT_TRUE(pool.Submit([&gate] { std::lock_guard<std::mutex> g(gate); }));
+  ASSERT_EQ(pool.Submit([&gate] { std::lock_guard<std::mutex> g(gate); }),
+            SubmitResult::kAccepted);
   // ...then fill the single queue slot (may need a moment for the worker
   // to pick up the first task).
-  while (!pool.TrySubmit([] {})) {
+  while (pool.TrySubmit([] {}) != SubmitResult::kAccepted) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  // Queue is now full: TrySubmit must refuse rather than block.
-  EXPECT_FALSE(pool.TrySubmit([] {}));
+  // Queue is now full: TrySubmit must refuse rather than block, and the
+  // refusal must say "full", not "shutting down" — callers shed or retry
+  // on the former and give up on the latter.
+  EXPECT_EQ(pool.TrySubmit([] {}), SubmitResult::kQueueFull);
   gate.unlock();
   pool.Shutdown();
 }
@@ -75,10 +84,11 @@ TEST(ThreadPoolTest, SubmitBlocksUntilSpaceThenSucceeds) {
   for (int i = 0; i < 20; ++i) {
     // With capacity 1 many of these block on the full queue; all must
     // still run exactly once.
-    ASSERT_TRUE(pool.Submit([&done] {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-      done.fetch_add(1);
-    }));
+    ASSERT_EQ(pool.Submit([&done] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                done.fetch_add(1);
+              }),
+              SubmitResult::kAccepted);
   }
   pool.Shutdown();
   EXPECT_EQ(done.load(), 20);

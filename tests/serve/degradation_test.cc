@@ -1,0 +1,111 @@
+#include "ceaff/serve/degradation.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace ceaff::serve {
+namespace {
+
+// Virtual-time tests: the policy never reads a clock.
+
+DegradationOptions SmallOptions() {
+  DegradationOptions options;
+  options.enter_textual_delay_ns = 1'000;
+  options.enter_pair_only_delay_ns = 10'000;
+  options.exit_fraction = 0.5;
+  options.window_ns = 100;     // tiny window: old samples age out fast
+  options.min_dwell_ns = 100;  // short dwell keeps tests compact
+  return options;
+}
+
+TEST(DegradationPolicyTest, StaysFullUnderLightLoad) {
+  DegradationPolicy policy(SmallOptions());
+  for (uint64_t t = 0; t < 50; ++t) {
+    EXPECT_EQ(policy.Observe(/*queue_delay_ns=*/0, /*now_ns=*/t),
+              ServiceTier::kFull);
+  }
+  EXPECT_EQ(policy.tier(), ServiceTier::kFull);
+  EXPECT_EQ(policy.SmoothedDelayNanos(), 0u);
+}
+
+TEST(DegradationPolicyTest, StepsDownWhenWindowedMeanCrossesThreshold) {
+  DegradationPolicy policy(SmallOptions());
+  EXPECT_EQ(policy.Observe(2'000, 0), ServiceTier::kTextualOnly);
+  EXPECT_EQ(policy.tier(), ServiceTier::kTextualOnly);
+}
+
+TEST(DegradationPolicyTest, SkipsStraightToPairOnlyOnASpike) {
+  DegradationPolicy policy(SmallOptions());
+  // Degrading is immediate and may skip a tier: protection must not walk
+  // down one request at a time while the queue explodes.
+  EXPECT_EQ(policy.Observe(50'000, 0), ServiceTier::kPairOnly);
+}
+
+TEST(DegradationPolicyTest, MeanNotSingleSampleDrivesTheTier) {
+  DegradationPolicy policy(SmallOptions());
+  // Two samples inside one window: (0 + 2400) / 2 = 1200 >= 1000.
+  EXPECT_EQ(policy.Observe(0, 0), ServiceTier::kFull);
+  EXPECT_EQ(policy.Observe(2'400, 10), ServiceTier::kTextualOnly);
+  EXPECT_EQ(policy.SmoothedDelayNanos(), 1'200u);
+}
+
+TEST(DegradationPolicyTest, RecoversOneTierAtATimeAfterDwell) {
+  DegradationPolicy policy(SmallOptions());
+  ASSERT_EQ(policy.Observe(50'000, 0), ServiceTier::kPairOnly);
+  // Load vanishes, but recovery waits out the dwell — and then steps to
+  // textual-only, not straight back to full.
+  EXPECT_EQ(policy.Observe(0, 50), ServiceTier::kPairOnly);  // dwell not met
+  EXPECT_EQ(policy.Observe(0, 200), ServiceTier::kTextualOnly);
+  // One more dwell at textual-only before full service resumes.
+  EXPECT_EQ(policy.Observe(0, 250), ServiceTier::kTextualOnly);
+  EXPECT_EQ(policy.Observe(0, 400), ServiceTier::kFull);
+}
+
+TEST(DegradationPolicyTest, ExitFractionBlocksRecoveryNearTheThreshold) {
+  DegradationPolicy policy(SmallOptions());
+  ASSERT_EQ(policy.Observe(2'000, 0), ServiceTier::kTextualOnly);
+  // 600 ns is under the 1000 ns enter threshold but above the 500 ns exit
+  // bar (0.5 x enter): without this hysteresis the tier would flap.
+  EXPECT_EQ(policy.Observe(600, 200), ServiceTier::kTextualOnly);
+  EXPECT_EQ(policy.Observe(600, 400), ServiceTier::kTextualOnly);
+  // Clearly below the exit bar: recovery proceeds.
+  EXPECT_EQ(policy.Observe(0, 600), ServiceTier::kFull);
+}
+
+TEST(DegradationPolicyTest, ZeroThresholdsPinTheDegradedTier) {
+  // A zero enter threshold means "always at least this tier" (>= compare)
+  // — the service tests use this to pin a tier deterministically.
+  DegradationOptions pin_pair = SmallOptions();
+  pin_pair.enter_textual_delay_ns = 0;
+  pin_pair.enter_pair_only_delay_ns = 0;
+  DegradationPolicy pair(pin_pair);
+  EXPECT_EQ(pair.Observe(0, 0), ServiceTier::kPairOnly);
+
+  DegradationOptions pin_textual = SmallOptions();
+  pin_textual.enter_textual_delay_ns = 0;
+  pin_textual.enter_pair_only_delay_ns = UINT64_MAX;
+  DegradationPolicy textual(pin_textual);
+  EXPECT_EQ(textual.Observe(0, 0), ServiceTier::kTextualOnly);
+}
+
+TEST(DegradationPolicyTest, TierNanosAccountsOccupancy) {
+  DegradationPolicy policy(SmallOptions());
+  ASSERT_EQ(policy.Observe(0, 0), ServiceTier::kFull);
+  ASSERT_EQ(policy.Observe(50'000, 1'000), ServiceTier::kPairOnly);
+  ASSERT_EQ(policy.Observe(50'000, 2'000), ServiceTier::kPairOnly);
+  const auto nanos = policy.TierNanos(/*now_ns=*/3'000);
+  EXPECT_EQ(nanos[static_cast<size_t>(ServiceTier::kFull)], 1'000u);
+  EXPECT_EQ(nanos[static_cast<size_t>(ServiceTier::kTextualOnly)], 0u);
+  EXPECT_EQ(nanos[static_cast<size_t>(ServiceTier::kPairOnly)], 2'000u);
+}
+
+TEST(ServiceTierNameTest, StableNames) {
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kFull), "full");
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kTextualOnly), "textual_only");
+  EXPECT_STREQ(ServiceTierName(ServiceTier::kPairOnly), "pair_only");
+}
+
+}  // namespace
+}  // namespace ceaff::serve

@@ -53,14 +53,64 @@ TEST(ParseRequestTest, BlankAndCommentLinesAreNotFound) {
             StatusCode::kNotFound);
 }
 
+TEST(ParseRequestTest, ParsesHealthAndReady) {
+  auto health = ParseRequest("HEALTH");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->type, RequestType::kHealth);
+
+  auto ready = ParseRequest("READY");
+  ASSERT_TRUE(ready.ok());
+  EXPECT_EQ(ready->type, RequestType::kReady);
+}
+
 TEST(ParseRequestTest, MalformedRequestsAreInvalidArgument) {
   for (const char* line :
        {"PAIR", "TOPK", "TOPK five alpha", "TOPK 0 alpha", "TOPK -3 alpha",
         "TOPK 5", "BATCH 2", "BATCH 2 \t ", "RELOAD", "FROB alpha",
-        "pair lowercase-verb"}) {
+        "pair lowercase-verb", "health", "ready"}) {
     auto r = ParseRequest(line);
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << line;
   }
+}
+
+TEST(ParseRequestTest, UnknownVerbWithTrailingTokensNamesTheVerb) {
+  auto r = ParseRequest("FROBNICATE 3 alpha\tbeta\textra junk");
+  ASSERT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("FROBNICATE"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParseRequestTest, OverlongLineIsRejectedBeforeDispatch) {
+  // One byte over the limit: rejected with a message naming both sizes.
+  const std::string long_line =
+      "PAIR " + std::string(kMaxRequestLineBytes - 4, 'a');
+  ASSERT_GT(long_line.size(), kMaxRequestLineBytes);
+  auto r = ParseRequest(long_line);
+  ASSERT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST(ParseRequestTest, LineAtExactLimitStillParses) {
+  std::string line = "PAIR " + std::string(kMaxRequestLineBytes - 5, 'a');
+  ASSERT_EQ(line.size(), kMaxRequestLineBytes);
+  auto r = ParseRequest(line);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->type, RequestType::kPair);
+  EXPECT_EQ(r->names[0].size(), kMaxRequestLineBytes - 5);
+}
+
+TEST(ParseRequestTest, EmbeddedNulIsRejected) {
+  std::string line = "PAIR al";
+  line.push_back('\0');
+  line += "pha";
+  auto r = ParseRequest(line);
+  ASSERT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("NUL"), std::string::npos);
+  // A NUL anywhere — even trailing — is rejected, not truncated-at.
+  std::string trailing = "STATS";
+  trailing.push_back('\0');
+  EXPECT_EQ(ParseRequest(trailing).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(FormatErrorResponseTest, CarriesCodeAndMessage) {

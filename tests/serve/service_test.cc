@@ -262,10 +262,208 @@ TEST(AlignmentServiceTest, StatsJsonListsEveryEndpoint) {
   AlignmentService service(SharedSmallIndex(), TestOptions());
   ASSERT_TRUE(service.TopK("alpha one", 2).ok());
   const std::string json = service.Stats().ToJson();
-  for (const char* key : {"uptime_seconds", "\"pair\"", "\"topk\"",
-                          "\"batch\"", "\"reload\"", "cache_hit_rate"}) {
+  for (const char* key :
+       {"uptime_seconds", "\"pair\"", "\"topk\"", "\"batch\"", "\"reload\"",
+        "cache_hit_rate", "\"shed\"", "\"rejected\"", "\"degradation\"",
+        "\"tier\"", "\"served_full\"", "\"served_textual\"",
+        "\"served_pair_only\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
   }
+}
+
+// Admission options that shed every uncached request after the first:
+// target 0 arms the CoDel state on the first observation, interval 0 makes
+// the shedding state (and its immediate first drop) due at once.
+AdmissionController::Options ShedEverythingAfterFirst() {
+  AdmissionController::Options admission;
+  admission.target_delay_ns = 0;
+  admission.interval_ns = 0;
+  return admission;
+}
+
+TEST(AlignmentServiceTest, OverloadShedIsUnavailableAndCounted) {
+  ServiceOptions options = TestOptions();
+  options.cache_capacity = 0;
+  options.admission = ShedEverythingAfterFirst();
+  AlignmentService service(SharedSmallIndex(), options);
+  ASSERT_TRUE(service.TopK("alpha one", 2).ok());
+  auto shed = service.TopK("beta two", 2);
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  ServingSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.topk.shed, 1u);
+  // Sheds are separate counters: they are neither "requests" nor "errors",
+  // so the latency quantiles keep describing work the service actually did.
+  EXPECT_EQ(stats.topk.requests, 1u);
+  EXPECT_EQ(stats.topk.errors, 0u);
+}
+
+TEST(AlignmentServiceTest, ShedsStayOutOfTheLatencyHistogram) {
+  ServiceOptions options = TestOptions();
+  options.cache_capacity = 0;
+  options.admission = ShedEverythingAfterFirst();
+  AlignmentService service(SharedSmallIndex(), options);
+  ASSERT_TRUE(service.TopK("alpha one", 2).ok());
+  ServingSnapshot before = service.Stats();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(service.TopK("beta two", 2).status().code(),
+              StatusCode::kUnavailable);
+  }
+  ServingSnapshot after = service.Stats();
+  EXPECT_EQ(after.topk.shed, 50u);
+  // A burst of near-instant sheds must not drag p50 toward zero.
+  EXPECT_DOUBLE_EQ(after.topk.p50_ms, before.topk.p50_ms);
+  EXPECT_EQ(after.topk.requests, before.topk.requests);
+}
+
+TEST(AlignmentServiceTest, CacheHitsBypassAdmissionControl) {
+  ServiceOptions options = TestOptions();
+  options.admission = ShedEverythingAfterFirst();
+  AlignmentService service(SharedSmallIndex(), options);
+  ASSERT_TRUE(service.TopK("alpha one", 2).ok());  // admitted + cached
+  // Every repeat is a cache hit and must keep answering while uncached
+  // traffic ("beta two") is being shed.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(service.TopK("alpha one", 2).ok()) << i;
+  }
+  EXPECT_EQ(service.TopK("beta two", 2).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(service.Stats().topk.cache_hits, 10u);
+}
+
+DegradationOptions PinTier(ServiceTier tier) {
+  // Zero enter thresholds pin a tier (the policy compares with >=).
+  DegradationOptions degradation;
+  degradation.enter_textual_delay_ns =
+      tier == ServiceTier::kFull ? UINT64_MAX : 0;
+  degradation.enter_pair_only_delay_ns =
+      tier == ServiceTier::kPairOnly ? 0 : UINT64_MAX;
+  return degradation;
+}
+
+TEST(AlignmentServiceTest, TextualOnlyTierDropsStructuralAndMarksDegraded) {
+  ServiceOptions options = TestOptions();
+  options.degradation = PinTier(ServiceTier::kTextualOnly);
+  AlignmentService service(SharedSmallIndex(), options);
+  // "alpha one" is a known source, so at full tier the structural feature
+  // would fire — at the textual-only tier it must not.
+  auto result = service.TopK("alpha one", 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(result->tier, ServiceTier::kTextualOnly);
+  EXPECT_FALSE(result->structural_used);
+  ASSERT_FALSE(result->candidates.empty());
+  // Structural weight (0.5) renormalises over string+semantic (0.25 each).
+  for (const Candidate& c : result->candidates) {
+    EXPECT_EQ(c.structural_score, 0.0f);
+    EXPECT_NEAR(c.combined, 0.5f * c.semantic_score + 0.5f * c.string_score,
+                1e-5);
+  }
+  EXPECT_EQ(service.Stats().degradation.served_textual, 1u);
+}
+
+TEST(AlignmentServiceTest, PairOnlyTierServesCommittedPairsAndShedsRest) {
+  ServiceOptions options = TestOptions();
+  options.degradation = PinTier(ServiceTier::kPairOnly);
+  AlignmentService service(SharedSmallIndex(), options);
+  // A name with a committed pair still gets an answer: the O(1) lookup,
+  // marked degraded, with the committed score.
+  auto result = service.TopK("beta two", 4);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(result->tier, ServiceTier::kPairOnly);
+  ASSERT_EQ(result->candidates.size(), 1u);
+  EXPECT_EQ(result->candidates[0].target_name, "beta dos");
+  EXPECT_FLOAT_EQ(result->candidates[0].combined, 0.9f);
+  // A name without a committed pair cannot be answered at this tier.
+  auto shed = service.TopK("completely unseen", 4);
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  ServingSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.degradation.served_pair_only, 1u);
+  EXPECT_GE(stats.topk.shed, 1u);
+  EXPECT_EQ(stats.degradation.tier,
+            static_cast<int>(ServiceTier::kPairOnly));
+}
+
+TEST(AlignmentServiceTest, DegradedAnswersAreNeverCached) {
+  ServiceOptions options = TestOptions();
+  options.degradation = PinTier(ServiceTier::kPairOnly);
+  AlignmentService service(SharedSmallIndex(), options);
+  ASSERT_TRUE(service.TopK("beta two", 4).ok());
+  ASSERT_TRUE(service.TopK("beta two", 4).ok());
+  // If the coarse answer were cached, the service would keep serving it
+  // long after recovering to full scoring.
+  EXPECT_EQ(service.Stats().topk.cache_hits, 0u);
+}
+
+TEST(AlignmentServiceTest, OverloadProtectionOffIgnoresPinnedDegradation) {
+  ServiceOptions options = TestOptions();
+  options.overload_protection = false;
+  options.degradation = PinTier(ServiceTier::kPairOnly);
+  options.admission = ShedEverythingAfterFirst();
+  AlignmentService service(SharedSmallIndex(), options);
+  for (int i = 0; i < 5; ++i) {
+    auto result = service.TopK("alpha one", 4);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result->degraded);
+    EXPECT_EQ(result->tier, ServiceTier::kFull);
+  }
+  EXPECT_EQ(service.Stats().topk.shed, 0u);
+}
+
+TEST(AlignmentServiceTest, HopelessDeadlineIsRejectedAtAdmission) {
+  ServiceOptions options = TestOptions();
+  // An absurd headroom makes any finite deadline unmeetable once the
+  // latency histogram has a single sample.
+  options.admission.deadline_headroom = 1e9;
+  AlignmentService service(SharedSmallIndex(), options);
+  ASSERT_TRUE(service.TopK("alpha one", 2).ok());  // warms p99
+  CancellationToken token;
+  token.SetDeadlineAfterMillis(100);
+  auto rejected = service.TopK("beta two", 2, &token);
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(rejected.status().message().find("rejected at admission"),
+            std::string::npos)
+      << rejected.status().ToString();
+  ServingSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.topk.rejected, 1u);
+  EXPECT_EQ(stats.topk.requests, 1u);  // only the warming query did work
+}
+
+TEST(AlignmentServiceTest, ReloadBreakerOpensAfterRepeatedCorruptReloads) {
+  ScratchDir dir("svc_reload_breaker");
+  const std::string bad = dir.File("bad.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), bad).ok());
+  FlipBit(bad, FileSize(bad) / 2, 5);
+
+  ServiceOptions options = TestOptions();
+  options.reload_breaker.failure_threshold = 2;
+  options.reload_breaker.cooldown_ns = 3'600'000'000'000ull;  // 1 h
+  AlignmentService service(SharedSmallIndex(), options);
+  EXPECT_EQ(service.Reload(bad).code(), StatusCode::kDataLoss);
+  EXPECT_EQ(service.Reload(bad).code(), StatusCode::kDataLoss);
+  // Breaker is open: the file is not even re-read until the cooldown.
+  Status refused = service.Reload(bad);
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
+  EXPECT_NE(refused.message().find("circuit breaker"), std::string::npos);
+  ServingSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.reload.requests, 2u);  // the two real attempts
+  EXPECT_EQ(stats.reload.errors, 2u);
+  EXPECT_GE(stats.reload.rejected, 1u);  // the refusal
+  // The service itself is unharmed.
+  EXPECT_TRUE(service.LookupPair("alpha one").ok());
+}
+
+TEST(AlignmentServiceTest, CacheCapacityZeroWithDegradedTiersStaysSafe) {
+  ServiceOptions options = TestOptions();
+  options.cache_capacity = 0;
+  options.degradation = PinTier(ServiceTier::kTextualOnly);
+  AlignmentService service(SharedSmallIndex(), options);
+  for (int i = 0; i < 4; ++i) {
+    auto result = service.TopK("alpha one", 2);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->degraded);
+  }
+  EXPECT_EQ(service.Stats().topk.cache_hits, 0u);
 }
 
 TEST(LatencyHistogramTest, QuantilesLandNearRecordedValues) {

@@ -5,7 +5,18 @@
 //
 //   ceaff_serve --index run.idx [--threads N] [--requests FILE]
 //               [--deadline_ms N] [--cache N]
+//
+// Lifecycle: SIGTERM (and SIGINT) triggers a graceful drain — intake stops
+// after the current line, requests already in flight finish, the final
+// stats are dumped to stderr, and the process exits 0. READY answers
+// "ERR Unavailable draining" once a drain has begun, so a supervisor can
+// take the instance out of rotation before it disappears.
+//
+// Exit codes: 0 clean (QUIT, EOF, or drained on signal), 2 usage error,
+// 3 initial index load failed (distinct so supervisors can tell a bad
+// artifact from a bad invocation and skip pointless restarts).
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -14,25 +25,52 @@
 
 #include "ceaff/common/cancellation.h"
 #include "ceaff/common/flags.h"
+#include "ceaff/serve/degradation.h"
 #include "ceaff/serve/protocol.h"
 #include "ceaff/serve/service.h"
 
 namespace ceaff {
 namespace {
 
+/// Set by the SIGTERM/SIGINT handler; the request loop re-checks it before
+/// every line. Installed WITHOUT SA_RESTART so a signal interrupts the
+/// blocking getline on stdin (EINTR) instead of waiting for the next
+/// request to arrive before the drain can begin.
+volatile std::sig_atomic_t g_drain = 0;
+
+void HandleDrainSignal(int) { g_drain = 1; }
+
+void InstallDrainHandler() {
+  struct sigaction action = {};
+  action.sa_handler = HandleDrainSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: getline must see EINTR
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ceaff_serve --index FILE [--threads N] "
                "[--requests FILE]\n"
                "                   [--deadline_ms N] [--cache N]\n"
-               "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/QUIT)\n"
+               "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/"
+               "HEALTH/READY/QUIT)\n"
                "line by line from --requests or stdin; responses go to "
-               "stdout.\n");
+               "stdout.\n"
+               "SIGTERM drains gracefully (finish in-flight, dump stats, "
+               "exit 0).\n"
+               "Exit codes: 0 ok, 2 usage, 3 initial index load failed.\n");
   return 2;
 }
 
 void PrintTopK(const serve::TopKResult& topk) {
-  std::printf("OK TOPK %zu\n", topk.candidates.size());
+  if (topk.degraded) {
+    std::printf("OK TOPK %zu degraded=%s\n", topk.candidates.size(),
+                serve::ServiceTierName(topk.tier));
+  } else {
+    std::printf("OK TOPK %zu\n", topk.candidates.size());
+  }
   for (size_t r = 0; r < topk.candidates.size(); ++r) {
     const serve::Candidate& c = topk.candidates[r];
     std::printf("CAND %zu\t%s\t%.6f\t%.6f\t%.6f\t%.6f\n", r + 1,
@@ -62,7 +100,7 @@ int Run(const FlagParser& flags) {
   if (!service_or.ok()) {
     std::fprintf(stderr, "ceaff_serve: cannot open index: %s\n",
                  service_or.status().ToString().c_str());
-    return 1;
+    return 3;
   }
   std::unique_ptr<serve::AlignmentService> service =
       std::move(service_or).value();
@@ -83,18 +121,24 @@ int Run(const FlagParser& flags) {
     if (!file) {
       std::fprintf(stderr, "ceaff_serve: cannot open requests file %s\n",
                    requests_path.c_str());
-      return 1;
+      return 2;
     }
   }
   std::istream& in = requests_path.empty() ? std::cin : file;
 
+  InstallDrainHandler();
+
   std::string line;
-  while (std::getline(in, line)) {
+  // The drain flag is checked before every read AND getline is interrupted
+  // by the signal (no SA_RESTART), so a SIGTERM arriving while blocked on
+  // an idle stdin still begins the drain immediately.
+  while (g_drain == 0 && std::getline(in, line)) {
     auto request_or = serve::ParseRequest(line);
     if (!request_or.ok()) {
       if (request_or.status().code() == StatusCode::kNotFound) continue;
       std::printf("%s\n",
                   serve::FormatErrorResponse(request_or.status()).c_str());
+      std::fflush(stdout);
       continue;
     }
     const serve::Request& request = request_or.value();
@@ -157,6 +201,17 @@ int Run(const FlagParser& flags) {
       case serve::RequestType::kStats:
         std::printf("OK STATS %s\n", service->Stats().ToJson().c_str());
         break;
+      case serve::RequestType::kHealth:
+        std::printf("OK HEALTH\n");
+        break;
+      case serve::RequestType::kReady:
+        if (g_drain != 0) {
+          std::printf("ERR Unavailable draining\n");
+        } else {
+          std::printf("OK READY tier=%s\n",
+                      serve::ServiceTierName(service->tier()));
+        }
+        break;
       case serve::RequestType::kQuit:
         std::fflush(stdout);
         std::fprintf(stderr, "final stats: %s\n",
@@ -165,8 +220,18 @@ int Run(const FlagParser& flags) {
     }
     std::fflush(stdout);
   }
+
+  // Drain: intake has stopped (signal or EOF). Destroying the service
+  // flushes everything still queued on its pool before workers join, so
+  // in-flight batch work completes; then the final stats go to stderr.
+  if (g_drain != 0) {
+    std::fprintf(stderr, "draining: intake stopped, flushing in-flight "
+                         "requests\n");
+  }
+  std::fflush(stdout);
   std::fprintf(stderr, "final stats: %s\n",
                service->Stats().ToJson().c_str());
+  service.reset();
   return 0;
 }
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification sweep: plain Release build + test run, an ASan+UBSan
 # build + test run (-DCEAFF_SANITIZE=ON), a TSan build of the concurrency
-# tests (-DCEAFF_TSAN=ON), and an end-to-end serving smoke (export an
-# index from a tiny synthetic run, then drive ceaff_serve against it).
+# and chaos tests (-DCEAFF_TSAN=ON), an end-to-end serving smoke (export
+# an index from a tiny synthetic run, then drive ceaff_serve against it),
+# and an overload smoke (soak the service past capacity, assert it sheds
+# and that SIGTERM during the soak drains cleanly).
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
 set -euo pipefail
@@ -37,12 +39,12 @@ if [[ "$skip_sanitize" == 0 ]]; then
 fi
 
 if [[ "$skip_tsan" == 0 ]]; then
-  echo "==> TSan build + concurrency tests"
+  echo "==> TSan build + concurrency & chaos tests"
   cmake -B "$repo/build-tsan" -S "$repo" -DCEAFF_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target common_test serve_test serve_hammer_test
+    --target common_test serve_test serve_hammer_test serve_chaos_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|ParseRequest'
+    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|ParseRequest|Admission|RetryPolicy|CircuitBreaker|Degradation|OverloadChaos'
 fi
 
 if [[ "$skip_smoke" == 0 ]]; then
@@ -61,6 +63,27 @@ if [[ "$skip_smoke" == 0 ]]; then
     | tee "$smoke/replies.txt"
   grep -q 'OK TOPK' "$smoke/replies.txt"
   grep -q 'OK STATS' "$smoke/replies.txt"
+
+  echo "==> Overload smoke: soak past capacity, assert the service sheds"
+  (cd "$smoke" && \
+    CEAFF_SOAK_ENTITIES=2000 CEAFF_SOAK_CAL_QUERIES=100 \
+    CEAFF_SOAK_PHASE_MS=500 CEAFF_SOAK_MULTIPLIERS=1,4 \
+    "$repo/build/bench/overload_soak" > soak.out)
+  # The 4x phase must have shed at least one request (goodput over queueing).
+  grep -Eq '"shed": *[1-9]' "$smoke/BENCH_overload.json"
+  grep -Eq '"other_errors": *0' "$smoke/BENCH_overload.json"
+
+  echo "==> SIGTERM drill: drain mid-stream, exit 0, stats on stderr"
+  "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --threads 2 \
+    < <(printf 'READY\nHEALTH\n'; sleep 5) \
+    > "$smoke/drain_out.txt" 2> "$smoke/drain_err.txt" &
+  serve_pid=$!
+  sleep 1
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"  # set -e: a non-zero drain exit fails the sweep here
+  grep -q 'OK READY tier=' "$smoke/drain_out.txt"
+  grep -q 'draining: intake stopped' "$smoke/drain_err.txt"
+  grep -q 'final stats:' "$smoke/drain_err.txt"
 fi
 
 echo "==> all checks passed"
