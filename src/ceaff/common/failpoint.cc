@@ -1,0 +1,274 @@
+#include "ceaff/common/failpoint.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::failpoint {
+
+namespace {
+
+enum class Action : int {
+  kOff = 0,
+  kError = 1,
+  kCrash = 2,
+  kDelay = 3,
+  kOneIn = 4,
+};
+
+/// Per-site state. Sites are registered once and never removed, so Hit can
+/// hold a raw pointer across the shared lock's release; all mutable fields
+/// are atomics, readable while Configure rewrites them under the exclusive
+/// lock.
+struct Site {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<int> action{static_cast<int>(Action::kOff)};
+  /// delay: milliseconds; 1in<n>: n. Unused otherwise.
+  std::atomic<uint64_t> arg{0};
+  /// Evaluations since this site was armed (drives 1in<n> determinism).
+  std::atomic<uint64_t> armed_hits{0};
+};
+
+struct Registry {
+  std::shared_mutex mu;
+  /// std::map: stable pointers and sorted iteration for RegisteredSites.
+  std::map<std::string, std::unique_ptr<Site>> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives everything
+  return *registry;
+}
+
+Site* FindOrCreate(const std::string& name) {
+  Registry& registry = GetRegistry();
+  {
+    std::shared_lock lock(registry.mu);
+    auto it = registry.sites.find(name);
+    if (it != registry.sites.end()) return it->second.get();
+  }
+  std::unique_lock lock(registry.mu);
+  auto& slot = registry.sites[name];
+  if (slot == nullptr) slot = std::make_unique<Site>();
+  return slot.get();
+}
+
+struct ParsedArm {
+  std::string site;
+  Action action = Action::kOff;
+  uint64_t arg = 0;
+};
+
+Status ParseAction(const std::string& site, const std::string& text,
+                   ParsedArm* out) {
+  out->site = site;
+  if (text == "off") {
+    out->action = Action::kOff;
+    return Status::OK();
+  }
+  if (text == "error") {
+    out->action = Action::kError;
+    return Status::OK();
+  }
+  if (text == "crash") {
+    out->action = Action::kCrash;
+    return Status::OK();
+  }
+  if (text == "delay" || text.rfind("delay:", 0) == 0) {
+    out->action = Action::kDelay;
+    out->arg = 10;  // default stall when no duration is given
+    if (text.size() > 6) {
+      char* end = nullptr;
+      unsigned long long ms = std::strtoull(text.c_str() + 6, &end, 10);
+      if (end == text.c_str() + 6 || *end != '\0') {
+        return Status::InvalidArgument("failpoint '" + site +
+                                       "': bad delay duration in '" + text +
+                                       "'");
+      }
+      out->arg = ms;
+    }
+    return Status::OK();
+  }
+  if (text.rfind("1in", 0) == 0) {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(text.c_str() + 3, &end, 10);
+    if (end == text.c_str() + 3 || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("failpoint '" + site +
+                                     "': bad 1in<n> spec '" + text + "'");
+    }
+    out->action = Action::kOneIn;
+    out->arg = n;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("failpoint '" + site +
+                                 "': unknown action '" + text + "'");
+}
+
+Status ParseSpec(const std::string& spec, std::vector<ParsedArm>* arms) {
+  for (std::string_view part : Split(spec, ';')) {
+    std::string_view trimmed = StripAsciiWhitespace(part);
+    if (trimmed.empty()) continue;
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          "failpoint spec entry '" + std::string(trimmed) +
+          "' is not site=action");
+    }
+    ParsedArm arm;
+    CEAFF_RETURN_IF_ERROR(ParseAction(std::string(trimmed.substr(0, eq)),
+                                      std::string(trimmed.substr(eq + 1)),
+                                      &arm));
+    arms->push_back(std::move(arm));
+  }
+  return Status::OK();
+}
+
+Status ApplyArms(const std::vector<ParsedArm>& arms) {
+  Registry& registry = GetRegistry();
+  std::unique_lock lock(registry.mu);
+  for (auto& [name, site] : registry.sites) {
+    site->action.store(static_cast<int>(Action::kOff),
+                       std::memory_order_relaxed);
+  }
+  for (const ParsedArm& arm : arms) {
+    auto& slot = registry.sites[arm.site];
+    if (slot == nullptr) slot = std::make_unique<Site>();
+    slot->arg.store(arm.arg, std::memory_order_relaxed);
+    slot->armed_hits.store(0, std::memory_order_relaxed);
+    slot->action.store(static_cast<int>(arm.action),
+                       std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+/// CEAFF_FAILPOINTS is read exactly once, before the first evaluation, so
+/// external arming works for any binary without code changes. A malformed
+/// env spec aborts loudly — silently ignoring it would make a chaos drill
+/// pass by testing nothing.
+void ConfigureFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("CEAFF_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    std::vector<ParsedArm> arms;
+    Status st = ParseSpec(env, &arms);
+    if (st.ok()) st = ApplyArms(arms);
+    if (!st.ok()) {
+      const std::string msg =
+          "fatal: CEAFF_FAILPOINTS: " + st.message() + "\n";
+      (void)!::write(2, msg.data(), msg.size());
+      _exit(2);
+    }
+  });
+}
+
+[[noreturn]] void CrashNow(const std::string& site) {
+  // write(2) + _exit: no locks, no allocation after the message, no
+  // buffered-IO flush — the point is to die the way a power cut does.
+  const std::string msg = "failpoint '" + site + "': crashing\n";
+  (void)!::write(2, msg.data(), msg.size());
+  _exit(kCrashExitCode);
+}
+
+}  // namespace
+
+Status Hit(const std::string& site) {
+  ConfigureFromEnvOnce();
+  Site* s = FindOrCreate(site);
+  s->hits.fetch_add(1, std::memory_order_relaxed);
+  const Action action =
+      static_cast<Action>(s->action.load(std::memory_order_acquire));
+  if (action == Action::kOff) return Status::OK();
+  switch (action) {
+    case Action::kError:
+      return Status::IOError("failpoint '" + site + "': injected error");
+    case Action::kCrash:
+      CrashNow(site);
+    case Action::kDelay: {
+      const uint64_t ms = s->arg.load(std::memory_order_relaxed);
+      if (ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+      return Status::OK();
+    }
+    case Action::kOneIn: {
+      const uint64_t n = s->arg.load(std::memory_order_relaxed);
+      const uint64_t k =
+          s->armed_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n > 0 && k % n == 0) {
+        return Status::IOError("failpoint '" + site +
+                               "': injected intermittent error (hit " +
+                               std::to_string(k) + ")");
+      }
+      return Status::OK();
+    }
+    case Action::kOff:
+      break;
+  }
+  return Status::OK();
+}
+
+Status Configure(const std::string& spec) {
+  ConfigureFromEnvOnce();
+  std::vector<ParsedArm> arms;
+  CEAFF_RETURN_IF_ERROR(ParseSpec(spec, &arms));
+  return ApplyArms(arms);
+}
+
+void Clear() {
+  Registry& registry = GetRegistry();
+  std::unique_lock lock(registry.mu);
+  for (auto& [name, site] : registry.sites) {
+    site->action.store(static_cast<int>(Action::kOff),
+                       std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> RegisteredSites() {
+  Registry& registry = GetRegistry();
+  std::shared_lock lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, site] : registry.sites) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> HitSites() {
+  Registry& registry = GetRegistry();
+  std::shared_lock lock(registry.mu);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : registry.sites) {
+    if (site->hits.load(std::memory_order_relaxed) > 0) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+uint64_t HitCount(const std::string& site) {
+  Registry& registry = GetRegistry();
+  std::shared_lock lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it == registry.sites.end()) return 0;
+  return it->second->hits.load(std::memory_order_relaxed);
+}
+
+void ResetHitCounts() {
+  Registry& registry = GetRegistry();
+  std::shared_lock lock(registry.mu);
+  for (const auto& [name, site] : registry.sites) {
+    site->hits.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ceaff::failpoint

@@ -1,0 +1,93 @@
+#ifndef CEAFF_COMMON_FAILPOINT_H_
+#define CEAFF_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/status.h"
+
+namespace ceaff::failpoint {
+
+/// Deterministic fault-injection framework, compiled into every build
+/// (there is no NDEBUG stub: the sites are a handful of string lookups on
+/// paths that hit the disk anyway, and a failpoint that only exists in
+/// test builds can never prove anything about the binary that ships).
+///
+/// A *site* is a named place in the code, evaluated with CEAFF_FAILPOINT
+/// ("scope.step" by convention, e.g. "checkpoint.after_tmp_write"). Sites
+/// are inert until armed; arming attaches one action:
+///
+///   error        evaluation returns kIOError (callers propagate it like a
+///                real filesystem failure)
+///   crash        the process dies on the spot via _exit(kCrashExitCode) —
+///                no destructors, no atexit, no buffered-IO flush; the
+///                closest repeatable stand-in for kill -9 / power loss
+///   delay:<ms>   evaluation sleeps <ms> milliseconds, then succeeds
+///                (simulates a stall: page-fault storm, slow disk, noisy
+///                neighbour)
+///   1in<n>       deterministic intermittence: every n-th evaluation of the
+///                site returns kIOError, the rest succeed
+///   off          explicit no-op (disarm one site inside a larger spec)
+///
+/// Arming happens either programmatically (Configure, used by tests and
+/// the fork-based crash harness) or through the CEAFF_FAILPOINTS
+/// environment variable, read once at the first evaluation — so any ceaff
+/// binary can be driven from the outside:
+///
+///   CEAFF_FAILPOINTS="checkpoint.after_tmp_write=crash;index.before_dir_fsync=error"
+///
+/// Every evaluation — armed or not — registers the site and bumps its hit
+/// counter. The crash harness leans on this: one clean rehearsal run
+/// discovers exactly which sites a given operation crosses, then arms a
+/// crash at each discovered site in turn.
+///
+/// Thread safety: evaluation takes a shared lock and touches only atomics,
+/// so concurrent hot-path hits never serialise on each other; Configure /
+/// Clear take the exclusive lock and may be called while other threads are
+/// evaluating (the overload-chaos tests reconfigure delays mid-flight).
+
+/// Exit code used by the `crash` action. Distinctive enough that a crash
+/// harness can tell "failpoint fired" from any normal exit path.
+inline constexpr int kCrashExitCode = 77;
+
+/// Evaluates the site: registers it (first time), increments its hit
+/// counter, and applies the armed action, if any. OK when unarmed or when
+/// the action chooses not to fire this time. Never returns after `crash`.
+Status Hit(const std::string& site);
+
+/// Arms sites from a `site=action[;site=action...]` spec, replacing ALL
+/// previous arms (sites absent from the spec are disarmed). An empty spec
+/// disarms everything. kInvalidArgument on a malformed spec (nothing is
+/// changed in that case).
+Status Configure(const std::string& spec);
+
+/// Disarms every site (hit counters and registration survive).
+void Clear();
+
+/// Every site ever evaluated or armed in this process, sorted.
+std::vector<std::string> RegisteredSites();
+
+/// Sites evaluated at least once since the last ResetHitCounts, sorted.
+/// The crash harness's discovery primitive.
+std::vector<std::string> HitSites();
+
+/// Times the site has been evaluated since the last ResetHitCounts (0 for
+/// unknown sites).
+uint64_t HitCount(const std::string& site);
+
+/// Zeroes every hit counter (arms are untouched).
+void ResetHitCounts();
+
+}  // namespace ceaff::failpoint
+
+/// Evaluates a failpoint site and propagates its injected error, if any.
+/// Usable in any function returning Status or StatusOr<T>. Cleanup-on-
+/// failure paths should call ::ceaff::failpoint::Hit directly instead.
+#define CEAFF_FAILPOINT(site)                           \
+  do {                                                  \
+    ::ceaff::Status _fp_st = ::ceaff::failpoint::Hit(site); \
+    if (!_fp_st.ok()) return _fp_st;                    \
+  } while (0)
+
+#endif  // CEAFF_COMMON_FAILPOINT_H_

@@ -1,34 +1,59 @@
 #include "ceaff/core/checkpoint.h"
 
 #include <cstring>
-#include <filesystem>
+#include <utility>
 
 #include "ceaff/la/matrix_io.h"
 
 namespace ceaff::core {
 
-Status CheckpointStore::Init() const {
-  std::error_code ec;
-  std::filesystem::create_directories(dir_, ec);
-  if (ec) {
-    return Status::IOError("mkdir " + dir_ + ": " + ec.message());
-  }
-  return Status::OK();
+namespace {
+
+GenerationalStore::Options CheckpointStoreOptions() {
+  GenerationalStore::Options options;
+  options.keep_generations = 2;
+  options.failpoint_scope = "checkpoint";
+  return options;
 }
 
+/// Every checkpoint artifact is a matrix artifact; a generation whose
+/// bytes do not parse is corrupt regardless of what the manifest says.
+Status ValidateMatrixBytes(const std::string& bytes) {
+  return la::ParseMatrixArtifact(bytes, "checkpoint artifact").status();
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir)
+    : store_(std::move(dir), CheckpointStoreOptions()) {}
+
+Status CheckpointStore::Init() const { return store_.Init(); }
+
 bool CheckpointStore::Has(const std::string& name) const {
-  std::error_code ec;
-  return std::filesystem::exists(PathFor(name), ec);
+  return store_.Has(ArtifactName(name));
+}
+
+StatusOr<std::string> CheckpointStore::CurrentPath(
+    const std::string& name) const {
+  return store_.CurrentPath(ArtifactName(name));
+}
+
+std::vector<uint64_t> CheckpointStore::Generations(
+    const std::string& name) const {
+  return store_.Generations(ArtifactName(name));
 }
 
 Status CheckpointStore::SaveMatrix(const std::string& name,
                                    const la::Matrix& m) const {
-  return la::SaveMatrixArtifact(m, PathFor(name));
+  return store_.Put(ArtifactName(name), la::SerializeMatrixArtifact(m));
 }
 
 StatusOr<la::Matrix> CheckpointStore::LoadMatrix(
     const std::string& name) const {
-  return la::LoadMatrixArtifact(PathFor(name));
+  CEAFF_ASSIGN_OR_RETURN(
+      std::string bytes,
+      store_.Get(ArtifactName(name), ValidateMatrixBytes));
+  return la::ParseMatrixArtifact(bytes, dir() + "/" + ArtifactName(name));
 }
 
 Status CheckpointStore::SaveScalar(const std::string& name,
@@ -43,7 +68,8 @@ Status CheckpointStore::SaveScalar(const std::string& name,
 StatusOr<double> CheckpointStore::LoadScalar(const std::string& name) const {
   CEAFF_ASSIGN_OR_RETURN(la::Matrix m, LoadMatrix(name));
   if (m.rows() != 1 || m.cols() != 2) {
-    return Status::DataLoss(PathFor(name) + ": not a scalar artifact");
+    return Status::DataLoss(dir() + "/" + ArtifactName(name) +
+                            ": not a scalar artifact");
   }
   double value;
   std::memcpy(&value, m.data(), sizeof(double));
@@ -51,12 +77,7 @@ StatusOr<double> CheckpointStore::LoadScalar(const std::string& name) const {
 }
 
 Status CheckpointStore::Remove(const std::string& name) const {
-  std::error_code ec;
-  std::filesystem::remove(PathFor(name), ec);
-  if (ec) {
-    return Status::IOError("remove " + PathFor(name) + ": " + ec.message());
-  }
-  return Status::OK();
+  return store_.Remove(ArtifactName(name));
 }
 
 }  // namespace ceaff::core

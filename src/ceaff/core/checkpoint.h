@@ -2,35 +2,51 @@
 #define CEAFF_CORE_CHECKPOINT_H_
 
 #include <string>
+#include <vector>
 
+#include "ceaff/common/durable_io.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/la/matrix.h"
 
 namespace ceaff::core {
 
 /// Persists named pipeline-stage artifacts (matrices, scalars) under one
-/// directory, using the checksummed binary format of la/matrix_io.h.
-/// One file per artifact: `<dir>/<name>.ckpt`.
+/// directory, using the checksummed binary format of la/matrix_io.h on top
+/// of the generational store of common/durable_io.h. Each artifact keeps
+/// its newest generations as `<dir>/<name>.ckpt.g<N>`, committed through
+/// the directory's MANIFEST; flat `<dir>/<name>.ckpt` files written by
+/// older builds are still readable.
 ///
 /// Guarantees:
-///   * writes are atomic (temp file + rename) — a crash mid-save never
-///     leaves a half-written artifact under the final name;
-///   * loads verify magic/size/CRC — a truncated or bit-flipped file
-///     yields kDataLoss, never silently-wrong data.
+///   * writes are crash-durable (unique temp + fsync(file) + rename +
+///     fsync(dir), then a manifest commit) — a kill -9 or power cut
+///     mid-save never loses the newest *committed* generation;
+///   * loads verify the manifest CRC and the artifact's own magic/size/CRC
+///     — a truncated or bit-flipped generation is quarantined as
+///     `*.corrupt` and the previous generation is served instead, with a
+///     kDataLoss warning logged; only when no generation survives does
+///     Load fail (kDataLoss), and it never returns silently-wrong data.
 class CheckpointStore {
  public:
-  explicit CheckpointStore(std::string dir) : dir_(std::move(dir)) {}
+  explicit CheckpointStore(std::string dir);
 
-  /// Creates the directory (and parents). Call once before Save.
+  /// Creates the directory and recovers the manifest (quarantining a
+  /// corrupt one and rebuilding from a directory scan). Call before Save.
   Status Init() const;
 
-  const std::string& dir() const { return dir_; }
-  std::string PathFor(const std::string& name) const {
-    return dir_ + "/" + name + ".ckpt";
-  }
+  const std::string& dir() const { return store_.dir(); }
 
-  /// Whether an artifact file exists (no validation — Load still decides).
+  /// Whether any committed generation (or a legacy flat file) exists for
+  /// the artifact. No validation — Load still decides.
   bool Has(const std::string& name) const;
+
+  /// Path of the newest committed generation file (or the legacy flat
+  /// file). kNotFound when the artifact does not exist. For tooling and
+  /// tests that need to poke the bytes on disk.
+  StatusOr<std::string> CurrentPath(const std::string& name) const;
+
+  /// Committed generation numbers for the artifact, oldest first.
+  std::vector<uint64_t> Generations(const std::string& name) const;
 
   Status SaveMatrix(const std::string& name, const la::Matrix& m) const;
   StatusOr<la::Matrix> LoadMatrix(const std::string& name) const;
@@ -41,11 +57,19 @@ class CheckpointStore {
   Status SaveScalar(const std::string& name, double value) const;
   StatusOr<double> LoadScalar(const std::string& name) const;
 
-  /// Deletes an artifact if present (used to drop stale/corrupt stages).
+  /// Deletes every generation of an artifact (used to drop stale stages).
   Status Remove(const std::string& name) const;
 
  private:
-  std::string dir_;
+  /// GenerationalStore artifact name; also the legacy flat-file name, so
+  /// pre-generational checkpoints are found as the fallback path.
+  static std::string ArtifactName(const std::string& name) {
+    return name + ".ckpt";
+  }
+
+  /// mutable: reads can quarantine a corrupt generation, which rewrites
+  /// the manifest. Logically the store is still read-const.
+  mutable GenerationalStore store_;
 };
 
 }  // namespace ceaff::core

@@ -101,9 +101,9 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
     if (store == nullptr || !options_.resume) return false;
     if (!store->Has(stage)) return false;
     auto unusable = [&](const std::string& name, const Status& st) {
-      CEAFF_LOG(Warning) << "checkpoint " << store->PathFor(name)
-                         << " unusable (" << st << "); re-running stage '"
-                         << stage << "'";
+      CEAFF_LOG(Warning) << "checkpoint artifact '" << name << "' in "
+                         << store->dir() << " unusable (" << st
+                         << "); re-running stage '" << stage << "'";
       return false;
     };
     auto test_or = store->LoadMatrix(stage);

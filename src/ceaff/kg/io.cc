@@ -3,7 +3,9 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <sstream>
 
+#include "ceaff/common/durable_io.h"
 #include "ceaff/common/string_util.h"
 
 namespace ceaff::kg {
@@ -79,6 +81,17 @@ Status RunTsvLoader(
   return Status::OK();
 }
 
+/// Serialises with `emit`, then publishes through the crash-durable write
+/// protocol (failpoint scope "kg") — dataset exports survive a crash
+/// mid-write with either the old file or the new one, never a torn TSV.
+Status WriteTsvAtomic(const std::string& path,
+                      const std::function<void(std::ostream&)>& emit) {
+  std::ostringstream out;
+  emit(out);
+  if (!out) return Status::IOError("serialization failed: " + path);
+  return WriteFileAtomic(path, std::move(out).str(), "kg");
+}
+
 }  // namespace
 
 Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg,
@@ -95,14 +108,12 @@ Status LoadTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
 }
 
 Status SaveTriplesTsv(const KnowledgeGraph& kg, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (const Triple& t : kg.triples()) {
-    out << kg.entity_uri(t.head) << '\t' << kg.relation_uri(t.relation)
-        << '\t' << kg.entity_uri(t.tail) << '\n';
-  }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteTsvAtomic(path, [&kg](std::ostream& out) {
+    for (const Triple& t : kg.triples()) {
+      out << kg.entity_uri(t.head) << '\t' << kg.relation_uri(t.relation)
+          << '\t' << kg.entity_uri(t.tail) << '\n';
+    }
+  });
 }
 
 Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
@@ -130,14 +141,12 @@ Status LoadAlignmentTsv(const std::string& path, const KnowledgeGraph& kg1,
 Status SaveAlignmentTsv(const std::vector<AlignmentPair>& pairs,
                         const KnowledgeGraph& kg1, const KnowledgeGraph& kg2,
                         const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (const AlignmentPair& p : pairs) {
-    out << kg1.entity_uri(p.source) << '\t' << kg2.entity_uri(p.target)
-        << '\n';
-  }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteTsvAtomic(path, [&pairs, &kg1, &kg2](std::ostream& out) {
+    for (const AlignmentPair& p : pairs) {
+      out << kg1.entity_uri(p.source) << '\t' << kg2.entity_uri(p.target)
+          << '\n';
+    }
+  });
 }
 
 Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg,
@@ -159,15 +168,13 @@ Status LoadAttributeTriplesTsv(const std::string& path, KnowledgeGraph* kg) {
 
 Status SaveAttributeTriplesTsv(const KnowledgeGraph& kg,
                                const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (const AttributeTriple& t : kg.attribute_triples()) {
-    out << SanitizeTsvField(kg.entity_uri(t.entity)) << '\t'
-        << SanitizeTsvField(kg.attribute_uri(t.attribute)) << '\t'
-        << SanitizeTsvField(t.value) << '\n';
-  }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteTsvAtomic(path, [&kg](std::ostream& out) {
+    for (const AttributeTriple& t : kg.attribute_triples()) {
+      out << SanitizeTsvField(kg.entity_uri(t.entity)) << '\t'
+          << SanitizeTsvField(kg.attribute_uri(t.attribute)) << '\t'
+          << SanitizeTsvField(t.value) << '\n';
+    }
+  });
 }
 
 Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg,
@@ -184,14 +191,12 @@ Status LoadEntitiesTsv(const std::string& path, KnowledgeGraph* kg) {
 }
 
 Status SaveEntitiesTsv(const KnowledgeGraph& kg, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (EntityId id = 0; id < kg.num_entities(); ++id) {
-    out << SanitizeTsvField(kg.entity_uri(id)) << '\t'
-        << SanitizeTsvField(kg.entity_name(id)) << '\n';
-  }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return WriteTsvAtomic(path, [&kg](std::ostream& out) {
+    for (EntityId id = 0; id < kg.num_entities(); ++id) {
+      out << SanitizeTsvField(kg.entity_uri(id)) << '\t'
+          << SanitizeTsvField(kg.entity_name(id)) << '\n';
+    }
+  });
 }
 
 Status SaveKgPair(const KgPair& pair, const std::string& dir) {

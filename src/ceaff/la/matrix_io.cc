@@ -2,10 +2,9 @@
 
 #include <cstdint>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 
 #include "ceaff/common/crc32.h"
+#include "ceaff/common/durable_io.h"
 #include "ceaff/common/string_util.h"
 
 namespace ceaff::la {
@@ -79,93 +78,100 @@ StatusOr<Matrix> ReadMatrixSection(std::istream& in,
   return m;
 }
 
-Status SaveMatrixArtifact(const Matrix& m, const std::string& path) {
+std::string SerializeMatrixArtifact(const Matrix& m) {
   Prefix prefix;
   std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
   prefix.version = kVersion;
   prefix.reserved = 0;
 
-  // Atomic replace: write a temp sibling, then rename over the target.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
-    Crc32 crc;
-    crc.Update(&prefix, sizeof(prefix));
-    out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
-    Status section = WriteMatrixSection(m, out, &crc);
-    if (!section.ok()) {
-      return Status::IOError("write failed: " + tmp + " (" +
-                             section.message() + ")");
-    }
-    const uint32_t checksum = crc.value();
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-    if (!out) return Status::IOError("write failed: " + tmp);
+  const uint64_t rows = m.rows();
+  const uint64_t cols = m.cols();
+  const size_t payload = m.size() * sizeof(float);
+
+  std::string bytes;
+  bytes.reserve(kHeaderBytes + payload + kFooterBytes);
+  bytes.append(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+  bytes.append(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  bytes.append(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  if (payload > 0) {  // empty matrix: data() is null
+    bytes.append(reinterpret_cast<const char*>(m.data()), payload);
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::IOError("rename " + tmp + " -> " + path + " failed");
-  }
-  return Status::OK();
+  const uint32_t checksum = Crc32Of(bytes.data(), bytes.size());
+  bytes.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return bytes;
 }
 
-StatusOr<Matrix> LoadMatrixArtifact(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-
-  std::error_code ec;
-  const uint64_t file_size = std::filesystem::file_size(path, ec);
-  if (ec) return Status::IOError("stat " + path + ": " + ec.message());
-  if (file_size < kHeaderBytes + kFooterBytes) {
+StatusOr<Matrix> ParseMatrixArtifact(std::string_view bytes,
+                                     const std::string& context) {
+  if (bytes.size() < kHeaderBytes + kFooterBytes) {
     return Status::DataLoss(
         StrFormat("%s: truncated artifact (%llu bytes, need at least %zu)",
-                  path.c_str(), static_cast<unsigned long long>(file_size),
+                  context.c_str(),
+                  static_cast<unsigned long long>(bytes.size()),
                   kHeaderBytes + kFooterBytes));
   }
 
   Prefix prefix;
-  in.read(reinterpret_cast<char*>(&prefix), sizeof(prefix));
-  if (!in) return Status::DataLoss(path + ": cannot read artifact header");
+  std::memcpy(&prefix, bytes.data(), sizeof(prefix));
   if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::DataLoss(path + ": bad magic, not a CEAFF matrix artifact");
+    return Status::DataLoss(context +
+                            ": bad magic, not a CEAFF matrix artifact");
   }
   if (prefix.version != kVersion) {
     return Status::DataLoss(
         StrFormat("%s: unsupported artifact version %u (expected %u)",
-                  path.c_str(), prefix.version, kVersion));
+                  context.c_str(), prefix.version, kVersion));
   }
 
-  Crc32 crc;
-  crc.Update(&prefix, sizeof(prefix));
-  auto m = ReadMatrixSection(in, file_size - kHeaderBytes - kFooterBytes,
-                             &crc);
-  if (!m.ok()) {
-    return Status::DataLoss(path + ": " + m.status().message());
+  uint64_t rows = 0, cols = 0;
+  std::memcpy(&rows, bytes.data() + kPrefixBytes, sizeof(rows));
+  std::memcpy(&cols, bytes.data() + kPrefixBytes + sizeof(rows),
+              sizeof(cols));
+  const uint64_t elems = rows * cols;
+  if (cols != 0 && rows != elems / cols) {
+    return Status::DataLoss(context + ": matrix section shape overflows");
   }
 
   // The single-matrix artifact is exactly prefix + section + footer; any
-  // trailing slack means truncation elsewhere or a foreign file.
-  const uint64_t expected =
-      kHeaderBytes + m->size() * sizeof(float) + kFooterBytes;
-  if (file_size != expected) {
+  // slack either way means truncation or a foreign file.
+  const uint64_t payload = elems * sizeof(float);
+  const uint64_t expected = kHeaderBytes + payload + kFooterBytes;
+  if (bytes.size() != expected) {
     return Status::DataLoss(StrFormat(
-        "%s: size mismatch (%llu bytes on disk, %llu expected for %zux%zu)"
+        "%s: size mismatch (%llu bytes, %llu expected for %llux%llu)"
         " — truncated or corrupted artifact",
-        path.c_str(), static_cast<unsigned long long>(file_size),
-        static_cast<unsigned long long>(expected), m->rows(), m->cols()));
+        context.c_str(), static_cast<unsigned long long>(bytes.size()),
+        static_cast<unsigned long long>(expected),
+        static_cast<unsigned long long>(rows),
+        static_cast<unsigned long long>(cols)));
   }
 
   uint32_t stored_crc = 0;
-  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
-  if (!in) return Status::DataLoss(path + ": cannot read artifact footer");
-  if (crc.value() != stored_crc) {
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kFooterBytes,
+              sizeof(stored_crc));
+  const uint32_t computed = Crc32Of(bytes.data(), bytes.size() - kFooterBytes);
+  if (computed != stored_crc) {
     return Status::DataLoss(StrFormat(
         "%s: CRC mismatch (stored %08x, computed %08x) — corrupted artifact",
-        path.c_str(), stored_crc, crc.value()));
+        context.c_str(), stored_crc, computed));
+  }
+
+  Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  if (payload > 0) {  // empty matrix: data() is null, memcpy(null,…,0) is UB
+    std::memcpy(m.data(), bytes.data() + kHeaderBytes,
+                static_cast<size_t>(payload));
   }
   return m;
+}
+
+Status SaveMatrixArtifact(const Matrix& m, const std::string& path,
+                          const std::string& scope) {
+  return WriteFileAtomic(path, SerializeMatrixArtifact(m), scope);
+}
+
+StatusOr<Matrix> LoadMatrixArtifact(const std::string& path) {
+  CEAFF_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  return ParseMatrixArtifact(bytes, path);
 }
 
 }  // namespace ceaff::la

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "ceaff/common/crc32.h"
 #include "ceaff/common/statusor.h"
@@ -27,13 +28,27 @@ namespace ceaff::la {
 /// returning data; any mismatch is kDataLoss, so a truncated, bit-flipped
 /// or torn-write file can never be silently loaded as garbage.
 ///
-/// Writers are atomic: the artifact is written to a sibling temp file and
-/// renamed into place, so a crash mid-write leaves either the old artifact
-/// or none — never a half-written one under the final name.
+/// Writers go through common/durable_io.h's WriteFileAtomic (unique temp
+/// file → write → fsync(file) → rename → fsync(dir)), so a crash mid-write
+/// leaves either the old artifact or the new one — never a half-written
+/// file under the final name, and once Save returns the new artifact
+/// survives power loss.
+
+/// Serialises `m` into the artifact byte format above (for callers that
+/// manage their own durable storage, e.g. the generational checkpoint
+/// store).
+std::string SerializeMatrixArtifact(const Matrix& m);
+
+/// Parses artifact bytes. `context` names the source (a path, an artifact
+/// name) for error messages. kDataLoss on any validation failure.
+StatusOr<Matrix> ParseMatrixArtifact(std::string_view bytes,
+                                     const std::string& context);
 
 /// Saves `m` to `path` in the format above. kIOError on filesystem
-/// failures.
-Status SaveMatrixArtifact(const Matrix& m, const std::string& path);
+/// failures. `scope` names the failpoint family for the underlying
+/// WriteFileAtomic.
+Status SaveMatrixArtifact(const Matrix& m, const std::string& path,
+                          const std::string& scope = "matrix");
 
 /// Loads a matrix artifact. kIOError when the file cannot be opened,
 /// kDataLoss when it exists but fails validation (bad magic/version,

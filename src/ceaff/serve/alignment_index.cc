@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <sstream>
 
 #include "ceaff/common/crc32.h"
+#include "ceaff/common/durable_io.h"
 #include "ceaff/common/string_util.h"
 #include "ceaff/la/matrix_io.h"
 
@@ -180,7 +179,24 @@ StatusOr<AlignmentIndex> ReadBody(std::istream& in, uint64_t body_bytes) {
   return index;
 }
 
+/// Discards everything written to it; lets ComputeContentCrc run the
+/// canonical WriteBody serialization purely for its CRC side channel.
+struct NullBuffer : std::streambuf {
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override {
+    return n;
+  }
+};
+
 }  // namespace
+
+uint32_t AlignmentIndex::ComputeContentCrc() const {
+  NullBuffer sink;
+  std::ostream null_stream(&sink);
+  Crc32 crc;
+  (void)WriteBody(*this, null_stream, &crc);
+  return crc.value();
+}
 
 std::vector<std::string> NameTrigrams(const std::string& name) {
   std::vector<std::string> grams;
@@ -264,6 +280,7 @@ Status AlignmentIndex::Finalize() {
       return bad("duplicate trigram key");
     }
   }
+  content_crc = ComputeContentCrc();
   return Status::OK();
 }
 
@@ -335,39 +352,29 @@ Status SaveAlignmentIndex(const AlignmentIndex& index,
   prefix.version = kVersion;
   prefix.reserved = 0;
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp + " for writing");
-    Crc32 crc;
-    crc.Update(&prefix, sizeof(prefix));
-    out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
-    Status body = WriteBody(index, out, &crc);
-    if (!body.ok()) return Status::IOError("write failed: " + tmp);
-    const uint32_t checksum = crc.value();
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-    if (!out) return Status::IOError("write failed: " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    return Status::IOError("rename " + tmp + " -> " + path + " failed");
-  }
-  return Status::OK();
+  // Serialize the whole container in memory, then publish it with the
+  // crash-durable protocol (unique temp name, fsync of file and
+  // directory). Concurrent exporters to the same path no longer race on a
+  // shared temp file, and a kill -9 at any point leaves either the old
+  // index or the new one.
+  std::ostringstream out(std::ios::binary);
+  Crc32 crc;
+  crc.Update(&prefix, sizeof(prefix));
+  out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+  Status body = WriteBody(index, out, &crc);
+  if (!body.ok()) return Status::IOError("index serialization failed");
+  const uint32_t checksum = crc.value();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::IOError("index serialization failed");
+
+  return WriteFileAtomic(path, std::move(out).str(), "index");
 }
 
 StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-
   // Slurp the whole artifact and settle the CRC verdict up front — every
   // later parse step then runs over bytes known to be exactly what the
   // writer produced (size caps above still guard against writer bugs).
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Status::IOError("cannot read " + path);
-  std::string bytes = std::move(buffer).str();
+  CEAFF_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
 
   if (bytes.size() < kPrefixBytes + kFooterBytes) {
     return Status::DataLoss(

@@ -91,6 +91,17 @@ struct AlignmentIndex {
 
   // ---- Derived lookup structures (built by Finalize, not serialized) ----
 
+  /// CRC-32 over the serialized body of this index, stamped by Finalize().
+  /// The serving layer's background scrubber periodically recomputes the
+  /// body CRC of the live snapshot and compares against this value to
+  /// catch in-memory corruption (bad RAM, stray writes) before it reaches
+  /// query results.
+  uint32_t content_crc = 0;
+
+  /// Recomputes the body CRC from the current field values (serializes to
+  /// a counting sink; no allocation proportional to the index size).
+  uint32_t ComputeContentCrc() const;
+
   /// source entity name -> source id (first occurrence wins on duplicate
   /// names).
   std::unordered_map<std::string, uint32_t> source_by_name;
@@ -136,8 +147,10 @@ struct AlignmentIndexInput {
 /// inconsistent input.
 StatusOr<AlignmentIndex> BuildAlignmentIndex(AlignmentIndexInput input);
 
-/// Writes the index to `path` as one checksummed container, atomically
-/// (tmp + rename). kIOError on filesystem failures.
+/// Writes the index to `path` as one checksummed container, through
+/// common/durable_io.h's WriteFileAtomic (unique temp file, fsync of both
+/// the file and its directory — failpoint scope "index"). kIOError on
+/// filesystem failures; the temp file is unlinked on every failure path.
 Status SaveAlignmentIndex(const AlignmentIndex& index,
                           const std::string& path);
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "ceaff/common/failpoint.h"
 #include "ceaff/common/logging.h"
 #include "ceaff/common/random.h"
 #include "ceaff/common/string_util.h"
@@ -83,13 +84,44 @@ AlignmentService::AlignmentService(
       index_->target_name_emb.cols() > 0 ? index_->target_name_emb.cols()
                                          : index_->source_name_emb.cols(),
       index_->semantic_seed);
+  if (options_.scrub_interval_ms > 0) {
+    scrub_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(scrub_mu_);
+      while (!scrub_stop_) {
+        if (scrub_cv_.wait_for(
+                lock, std::chrono::milliseconds(options_.scrub_interval_ms),
+                [this] { return scrub_stop_; })) {
+          break;
+        }
+        lock.unlock();
+        (void)ScrubOnce();
+        lock.lock();
+      }
+    });
+  }
+}
+
+AlignmentService::~AlignmentService() {
+  if (scrub_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(scrub_mu_);
+      scrub_stop_ = true;
+    }
+    scrub_cv_.notify_all();
+    scrub_thread_.join();
+  }
 }
 
 StatusOr<std::unique_ptr<AlignmentService>> AlignmentService::Open(
     const std::string& index_path, const ServiceOptions& options) {
   CEAFF_ASSIGN_OR_RETURN(AlignmentIndex index, LoadAlignmentIndex(index_path));
-  return std::make_unique<AlignmentService>(
+  auto service = std::make_unique<AlignmentService>(
       std::make_shared<const AlignmentIndex>(std::move(index)), options);
+  {
+    std::lock_guard<std::mutex> lock(service->index_mu_);
+    service->last_index_path_ = index_path;
+  }
+  return service;
 }
 
 Status AlignmentService::Reload(const std::string& index_path) {
@@ -105,7 +137,12 @@ Status AlignmentService::Reload(const std::string& index_path) {
         "reload circuit breaker open: index at '" + index_path +
         "' failed repeatedly; retry after cooldown");
   }
-  StatusOr<AlignmentIndex> loaded = LoadAlignmentIndex(index_path);
+  // The failpoint sits where the load does so injected errors exercise the
+  // same refusal path (and feed the breaker) a torn artifact would.
+  const Status injected = failpoint::Hit("serve.reload");
+  StatusOr<AlignmentIndex> loaded =
+      injected.ok() ? LoadAlignmentIndex(index_path)
+                    : StatusOr<AlignmentIndex>(injected);
   if (!loaded.ok()) {
     // Refuse the swap: the incoming artifact is unreadable or corrupt, and
     // the current snapshot keeps serving untouched.
@@ -117,6 +154,10 @@ Status AlignmentService::Reload(const std::string& index_path) {
   }
   reload_breaker_.RecordSuccess();
   AdoptIndex(std::make_shared<const AlignmentIndex>(std::move(loaded).value()));
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    last_index_path_ = index_path;
+  }
   stats_.reload().Record(NanosSince(start), /*ok=*/true);
   CEAFF_LOG(Info) << "reloaded index from " << index_path;
   return Status::OK();
@@ -142,6 +183,9 @@ void AlignmentService::AdoptIndex(
     index_ = std::move(index);
     embedder_ = std::move(embedder);
   }
+  // The fresh snapshot supersedes whatever the scrubber condemned.
+  poisoned_.store(false, std::memory_order_relaxed);
+  stats_.SetPoisoned(false);
   // Cached answers describe the previous snapshot.
   cache_.Clear();
 }
@@ -188,7 +232,7 @@ StatusOr<TopKResult> AlignmentService::TopKUncached(
     const AlignmentIndex& index, const text::WordEmbeddingStore& embedder,
     const std::string& query_name, size_t k, bool allow_structural,
     const CancellationToken* cancel) const {
-  if (options_.chaos_scan_hook) options_.chaos_scan_hook();
+  CEAFF_FAILPOINT("serve.topk.scan");
 
   const size_t n_targets = index.num_targets();
   if (n_targets == 0) {
@@ -381,6 +425,26 @@ StatusOr<TopKResult> AlignmentService::TopK(const std::string& query_name,
     embedder = embedder_;
   }
 
+  // A poisoned snapshot (scrubber found its content CRC out of step) is
+  // still structurally sound enough for the O(1) committed-pair map, but
+  // full scoring over possibly-flipped embeddings would return silently
+  // wrong answers. Serve pair-only — never cached — until a clean snapshot
+  // is adopted.
+  if (poisoned_.load(std::memory_order_acquire)) {
+    StatusOr<TopKResult> result = TopKPairOnly(*index, query_name);
+    if (result.ok()) {
+      result.value().tier = ServiceTier::kPairOnly;
+      result.value().degraded = true;
+      stats_.RecordTierServed(static_cast<int>(ServiceTier::kPairOnly));
+      stats_.topk().Record(NanosSince(start), /*ok=*/true);
+    } else if (result.status().IsUnavailable()) {
+      stats_.topk().RecordShed();
+    } else {
+      stats_.topk().Record(NanosSince(start), /*ok=*/false);
+    }
+    return result;
+  }
+
   if (!options_.overload_protection) {
     StatusOr<TopKResult> result = TopKUncached(
         *index, *embedder, query_name, k, /*allow_structural=*/true, cancel);
@@ -531,6 +595,53 @@ std::vector<StatusOr<TopKResult>> AlignmentService::BatchTopK(
   }
   stats_.batch().Record(NanosSince(start), all_ok);
   return results;
+}
+
+Status AlignmentService::ScrubOnce() {
+  std::shared_ptr<const AlignmentIndex> index = snapshot();
+  stats_.RecordScrubCycle();
+  if (index->ComputeContentCrc() == index->content_crc) {
+    // A verified-clean snapshot lifts any stale poison (a scrub pass that
+    // grabbed the previous snapshot can lose the race with AdoptIndex and
+    // condemn the service after the corrupt copy is already gone).
+    if (poisoned_.exchange(false, std::memory_order_acq_rel)) {
+      stats_.SetPoisoned(false);
+    }
+    return Status::OK();
+  }
+
+  // The bytes backing the live snapshot no longer hash to the value
+  // Finalize stamped: in-memory corruption. Poison first so queries stop
+  // trusting the scores, drop the cache (its entries were computed from the
+  // same bytes), then try to re-read the last-good artifact from disk
+  // through the regular reload path (breaker included).
+  stats_.RecordScrubCorruption();
+  poisoned_.store(true, std::memory_order_release);
+  stats_.SetPoisoned(true);
+  cache_.Clear();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(index_mu_);
+    path = last_index_path_;
+  }
+  CEAFF_LOG(Error) << "integrity scrub: live snapshot content CRC mismatch"
+                   << (path.empty() ? "; no on-disk artifact to recover from"
+                                    : "; attempting recovery reload from " +
+                                          path);
+  if (path.empty()) {
+    return Status::DataLoss(
+        "in-memory index snapshot corrupt and no on-disk artifact is known; "
+        "serving degraded to pair-lookup-only");
+  }
+  const Status reloaded = Reload(path);
+  stats_.RecordScrubReload(reloaded.ok());
+  if (reloaded.ok()) {
+    // AdoptIndex already cleared the poison flag.
+    return Status::OK();
+  }
+  return Status::DataLoss(
+      "in-memory index snapshot corrupt and recovery reload failed (" +
+      reloaded.ToString() + "); serving degraded to pair-lookup-only");
 }
 
 ServingSnapshot AlignmentService::Stats() const {

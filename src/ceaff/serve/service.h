@@ -2,11 +2,13 @@
 #define CEAFF_SERVE_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ceaff/common/admission.h"
@@ -92,10 +94,13 @@ struct ServiceOptions {
   /// reloads are refused (kUnavailable) until `cooldown_ns` elapses.
   CircuitBreaker::Options reload_breaker;
 
-  /// Test-only chaos hook, invoked at the start of every uncached TopK
-  /// scan (see tests/testing/fault_injection.h ChaosShim). Must be
-  /// thread-safe; null in production.
-  std::function<void()> chaos_scan_hook;
+  /// Background integrity-scrub period. Every interval the scrubber
+  /// recomputes the live snapshot's content CRC against the value stamped
+  /// at Finalize; a mismatch marks the snapshot poisoned (queries degrade
+  /// to pair-only) and attempts one recovery reload of the last-good index
+  /// path through the reload circuit breaker. 0 disables the thread
+  /// (ScrubOnce can still be called directly).
+  uint64_t scrub_interval_ms = 0;
 };
 
 /// Query service over one immutable AlignmentIndex snapshot.
@@ -130,6 +135,7 @@ class AlignmentService {
   /// semantic_seed.
   AlignmentService(std::shared_ptr<const AlignmentIndex> index,
                    const ServiceOptions& options);
+  ~AlignmentService();
 
   /// Loads the index at `path` and serves it. kIOError / kDataLoss on a
   /// missing or corrupt artifact.
@@ -190,6 +196,16 @@ class AlignmentService {
 
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// One synchronous integrity-scrub pass (the background thread calls
+  /// this on its interval; tests call it directly). Recomputes the live
+  /// snapshot's content CRC. OK when the snapshot is clean or was
+  /// successfully replaced by a recovery reload; kDataLoss when corruption
+  /// was detected and the snapshot is still poisoned.
+  Status ScrubOnce();
+
+  /// Whether the live snapshot is currently marked poisoned.
+  bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
+
  private:
   StatusOr<TopKResult> TopKUncached(const AlignmentIndex& index,
                                     const text::WordEmbeddingStore& embedder,
@@ -223,6 +239,18 @@ class AlignmentService {
   RetryPolicy batch_retry_;
   CircuitBreaker reload_breaker_;
   std::atomic<int64_t> in_flight_{0};
+
+  /// Integrity-scrubber state. `last_index_path_` (guarded by index_mu_)
+  /// remembers where the live snapshot was loaded from so a corrupt
+  /// in-memory copy can be re-read from disk; empty for adopted in-process
+  /// indexes. `poisoned_` flips on when a scrub pass finds the content CRC
+  /// out of step and back off when a fresh snapshot is adopted.
+  std::string last_index_path_;
+  std::atomic<bool> poisoned_{false};
+  std::thread scrub_thread_;
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
 };
 
 }  // namespace ceaff::serve

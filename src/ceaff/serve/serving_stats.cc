@@ -96,6 +96,13 @@ ServingSnapshot ServingStats::Snapshot() const {
       tier_served_[1].load(std::memory_order_relaxed);
   snap.degradation.served_pair_only =
       tier_served_[2].load(std::memory_order_relaxed);
+  snap.scrub.cycles = scrub_cycles_.load(std::memory_order_relaxed);
+  snap.scrub.corruptions =
+      scrub_corruptions_.load(std::memory_order_relaxed);
+  snap.scrub.reloads_ok = scrub_reloads_ok_.load(std::memory_order_relaxed);
+  snap.scrub.reloads_failed =
+      scrub_reloads_failed_.load(std::memory_order_relaxed);
+  snap.scrub.poisoned = poisoned_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -121,12 +128,20 @@ std::string ServingSnapshot::ToJson() const {
       static_cast<unsigned long long>(degradation.served_full),
       static_cast<unsigned long long>(degradation.served_textual),
       static_cast<unsigned long long>(degradation.served_pair_only));
-  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s,%s}", uptime_seconds,
-                   EndpointJson("pair", pair).c_str(),
+  const std::string scrub_json = StrFormat(
+      "\"scrub\":{\"cycles\":%llu,\"corruptions\":%llu,"
+      "\"reloads_ok\":%llu,\"reloads_failed\":%llu,\"poisoned\":%s}",
+      static_cast<unsigned long long>(scrub.cycles),
+      static_cast<unsigned long long>(scrub.corruptions),
+      static_cast<unsigned long long>(scrub.reloads_ok),
+      static_cast<unsigned long long>(scrub.reloads_failed),
+      scrub.poisoned ? "true" : "false");
+  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s,%s,%s}",
+                   uptime_seconds, EndpointJson("pair", pair).c_str(),
                    EndpointJson("topk", topk).c_str(),
                    EndpointJson("batch", batch).c_str(),
                    EndpointJson("reload", reload).c_str(),
-                   degradation_json.c_str());
+                   degradation_json.c_str(), scrub_json.c_str());
 }
 
 }  // namespace ceaff::serve

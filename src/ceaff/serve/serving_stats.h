@@ -103,6 +103,21 @@ struct DegradationSnapshot {
   uint64_t served_pair_only = 0;
 };
 
+/// Point-in-time view of the background integrity scrubber.
+struct ScrubSnapshot {
+  /// Completed scrub passes over the live snapshot.
+  uint64_t cycles = 0;
+  /// Passes that found the in-memory content CRC out of step with the
+  /// value stamped at Finalize — in-memory corruption.
+  uint64_t corruptions = 0;
+  /// Recovery reloads triggered by a corrupt pass, by outcome.
+  uint64_t reloads_ok = 0;
+  uint64_t reloads_failed = 0;
+  /// Whether the live snapshot is currently marked poisoned (corrupt and
+  /// not yet replaced) — queries are degraded to pair-only while set.
+  bool poisoned = false;
+};
+
 /// Per-endpoint serving statistics of one AlignmentService instance.
 struct ServingSnapshot {
   double uptime_seconds = 0.0;
@@ -111,6 +126,7 @@ struct ServingSnapshot {
   EndpointSnapshot batch;
   EndpointSnapshot reload;
   DegradationSnapshot degradation;
+  ScrubSnapshot scrub;
 
   /// One-line JSON rendering (the `STATS` protocol response and the
   /// serve-throughput report embed this).
@@ -138,6 +154,21 @@ class ServingStats {
     current_tier_.store(tier, std::memory_order_relaxed);
   }
 
+  /// Integrity-scrubber bookkeeping (see AlignmentService::ScrubOnce).
+  void RecordScrubCycle() {
+    scrub_cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordScrubCorruption() {
+    scrub_corruptions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordScrubReload(bool ok) {
+    (ok ? scrub_reloads_ok_ : scrub_reloads_failed_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void SetPoisoned(bool poisoned) {
+    poisoned_.store(poisoned, std::memory_order_relaxed);
+  }
+
   ServingSnapshot Snapshot() const;
 
  private:
@@ -148,6 +179,11 @@ class ServingStats {
   EndpointStats reload_;
   std::array<std::atomic<uint64_t>, 3> tier_served_{};
   std::atomic<int> current_tier_{0};
+  std::atomic<uint64_t> scrub_cycles_{0};
+  std::atomic<uint64_t> scrub_corruptions_{0};
+  std::atomic<uint64_t> scrub_reloads_ok_{0};
+  std::atomic<uint64_t> scrub_reloads_failed_{0};
+  std::atomic<bool> poisoned_{false};
 };
 
 }  // namespace ceaff::serve

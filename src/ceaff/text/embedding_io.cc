@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 
+#include "ceaff/common/durable_io.h"
 #include "ceaff/common/string_util.h"
 
 namespace ceaff::text {
@@ -100,8 +102,7 @@ Status LoadTextEmbeddings(const std::string& path, WordEmbeddingStore* store,
 
 Status SaveTextEmbeddings(const WordEmbeddingStore& store,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  std::ostringstream out;
   out << store.explicit_tokens().size() << ' ' << store.dim() << '\n';
   std::vector<float> vec;
   for (const std::string& token : store.explicit_tokens()) {
@@ -110,8 +111,9 @@ Status SaveTextEmbeddings(const WordEmbeddingStore& store,
     for (float v : vec) out << ' ' << v;
     out << '\n';
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  if (!out) return Status::IOError("serialization failed: " + path);
+  // Published through the crash-durable protocol, failpoint scope "embed".
+  return WriteFileAtomic(path, std::move(out).str(), "embed");
 }
 
 }  // namespace ceaff::text

@@ -1,0 +1,126 @@
+#include "ceaff/common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+// The registry is process-global, but gtest_discover_tests runs every TEST
+// in its own process, so each test starts from a clean slate (modulo sites
+// other code registered during static init — none today).
+
+namespace ceaff {
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+TEST(FailpointTest, UnarmedSiteSucceedsAndIsCounted) {
+  failpoint::ResetHitCounts();  // order-independence when run in-process
+  EXPECT_EQ(failpoint::HitCount("fp.unarmed"), 0u);
+  EXPECT_TRUE(failpoint::Hit("fp.unarmed").ok());
+  EXPECT_TRUE(failpoint::Hit("fp.unarmed").ok());
+  EXPECT_EQ(failpoint::HitCount("fp.unarmed"), 2u);
+  EXPECT_TRUE(Contains(failpoint::RegisteredSites(), "fp.unarmed"));
+  EXPECT_TRUE(Contains(failpoint::HitSites(), "fp.unarmed"));
+}
+
+TEST(FailpointTest, ErrorActionInjectsIOError) {
+  ASSERT_TRUE(failpoint::Configure("fp.err=error").ok());
+  Status st = failpoint::Hit("fp.err");
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_NE(st.message().find("fp.err"), std::string::npos);
+  // Other sites are untouched.
+  EXPECT_TRUE(failpoint::Hit("fp.other").ok());
+}
+
+TEST(FailpointTest, ConfigureReplacesAllPreviousArms) {
+  ASSERT_TRUE(failpoint::Configure("fp.a=error;fp.b=error").ok());
+  EXPECT_FALSE(failpoint::Hit("fp.a").ok());
+  EXPECT_FALSE(failpoint::Hit("fp.b").ok());
+  // fp.a absent from the new spec: disarmed, not remembered.
+  ASSERT_TRUE(failpoint::Configure("fp.b=error").ok());
+  EXPECT_TRUE(failpoint::Hit("fp.a").ok());
+  EXPECT_FALSE(failpoint::Hit("fp.b").ok());
+  // Empty spec disarms everything.
+  ASSERT_TRUE(failpoint::Configure("").ok());
+  EXPECT_TRUE(failpoint::Hit("fp.b").ok());
+}
+
+TEST(FailpointTest, OffActionDisarmsOneSiteInsideASpec) {
+  ASSERT_TRUE(failpoint::Configure("fp.a=error").ok());
+  ASSERT_TRUE(failpoint::Configure("fp.a=off;fp.b=error").ok());
+  EXPECT_TRUE(failpoint::Hit("fp.a").ok());
+  EXPECT_FALSE(failpoint::Hit("fp.b").ok());
+}
+
+TEST(FailpointTest, ClearDisarmsButKeepsCounters) {
+  failpoint::ResetHitCounts();  // order-independence when run in-process
+  ASSERT_TRUE(failpoint::Configure("fp.a=error").ok());
+  EXPECT_FALSE(failpoint::Hit("fp.a").ok());
+  failpoint::Clear();
+  EXPECT_TRUE(failpoint::Hit("fp.a").ok());
+  EXPECT_EQ(failpoint::HitCount("fp.a"), 2u);
+}
+
+TEST(FailpointTest, DelayActionStallsThenSucceeds) {
+  ASSERT_TRUE(failpoint::Configure("fp.slow=delay:30").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(failpoint::Hit("fp.slow").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(FailpointTest, OneInNFailsDeterministicallyEveryNth) {
+  ASSERT_TRUE(failpoint::Configure("fp.flaky=1in3").ok());
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 9; ++i) {
+    outcomes.push_back(failpoint::Hit("fp.flaky").ok());
+  }
+  const std::vector<bool> expected = {true, true, false, true, true,
+                                      false, true, true, false};
+  EXPECT_EQ(outcomes, expected);
+  // Re-arming resets the cadence.
+  ASSERT_TRUE(failpoint::Configure("fp.flaky=1in3").ok());
+  EXPECT_TRUE(failpoint::Hit("fp.flaky").ok());
+}
+
+TEST(FailpointTest, MalformedSpecsAreRejectedWithoutChangingArms) {
+  ASSERT_TRUE(failpoint::Configure("fp.a=error").ok());
+  for (const char* bad :
+       {"fp.a", "=error", "fp.a=explode", "fp.a=delay:abc", "fp.a=1in0",
+        "fp.a=1inx"}) {
+    Status st = failpoint::Configure(bad);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // The original arm survived every rejected spec.
+  EXPECT_FALSE(failpoint::Hit("fp.a").ok());
+}
+
+TEST(FailpointTest, ResetHitCountsZeroesDiscoveryState) {
+  ASSERT_TRUE(failpoint::Hit("fp.seen").ok());
+  ASSERT_TRUE(Contains(failpoint::HitSites(), "fp.seen"));
+  failpoint::ResetHitCounts();
+  EXPECT_EQ(failpoint::HitCount("fp.seen"), 0u);
+  EXPECT_FALSE(Contains(failpoint::HitSites(), "fp.seen"));
+  // Registration (unlike hit state) survives the reset.
+  EXPECT_TRUE(Contains(failpoint::RegisteredSites(), "fp.seen"));
+}
+
+TEST(FailpointTest, MacroPropagatesInjectedErrorFromStatusFunction) {
+  ASSERT_TRUE(failpoint::Configure("fp.macro=error").ok());
+  auto guarded = []() -> Status {
+    CEAFF_FAILPOINT("fp.macro");
+    return Status::InvalidArgument("unreachable");
+  };
+  EXPECT_EQ(guarded().code(), StatusCode::kIOError);
+  failpoint::Clear();
+  EXPECT_EQ(guarded().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ceaff

@@ -210,8 +210,10 @@ TEST_F(FaultToleranceTest, CancelAfterStructuralThenResumeIsByteIdentical) {
 
   // The structural checkpoint survived the cancellation; later stages
   // never ran.
-  EXPECT_TRUE(std::filesystem::exists(ckpt.File("structural.ckpt")));
-  EXPECT_FALSE(std::filesystem::exists(ckpt.File("semantic.ckpt")));
+  CheckpointStore probe(ckpt.path());
+  ASSERT_TRUE(probe.Init().ok());
+  EXPECT_TRUE(probe.Has("structural"));
+  EXPECT_FALSE(probe.Has("semantic"));
 
   // Second run: resume. The structural stage must come from the
   // checkpoint, the remaining stages must be computed.
@@ -246,11 +248,16 @@ TEST_F(FaultToleranceTest, CorruptedCheckpointIsDetectedAndRecomputed) {
   options.checkpoint_dir = ckpt.path();
   CeaffPipeline writer(&bench_->pair, &bench_->store, options);
   ASSERT_TRUE(writer.Run().ok());
-  ASSERT_TRUE(std::filesystem::exists(ckpt.File("structural.ckpt")));
+  CheckpointStore probe(ckpt.path());
+  ASSERT_TRUE(probe.Init().ok());
+  auto structural_path = probe.CurrentPath("structural");
+  ASSERT_TRUE(structural_path.ok()) << structural_path.status().ToString();
 
   // Silent corruption: flip one payload bit — the file size and header
-  // stay plausible, only the CRC can notice.
-  ft::FlipBit(ckpt.File("structural.ckpt"), /*offset=*/32 + 17, /*bit=*/5);
+  // stay plausible, only the CRC can notice. The run wrote a single
+  // generation, so there is no older one to fall back to: the store
+  // quarantines the damaged file and the stage is recomputed.
+  ft::FlipBit(structural_path.value(), /*offset=*/32 + 17, /*bit=*/5);
 
   StageEvents events;
   CeaffOptions resume_options = FastOptions();
@@ -325,7 +332,11 @@ TEST_F(FaultToleranceTest, TruncatedCheckpointIsAlsoACleanCacheMiss) {
   CeaffPipeline writer(&bench_->pair, &bench_->store, options);
   ASSERT_TRUE(writer.Run().ok());
 
-  ft::TruncateTail(ckpt.File("semantic.ckpt"), 64);
+  CheckpointStore probe(ckpt.path());
+  ASSERT_TRUE(probe.Init().ok());
+  auto semantic_path = probe.CurrentPath("semantic");
+  ASSERT_TRUE(semantic_path.ok()) << semantic_path.status().ToString();
+  ft::TruncateTail(semantic_path.value(), 64);
 
   StageEvents events;
   options.resume = true;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "ceaff/common/crc32.h"
 #include "testing/fault_injection.h"
@@ -138,6 +140,81 @@ TEST(MatrixIoTest, SaveDoesNotLeaveTempFileBehind) {
   const std::string path = dir.File("m.ckpt");
   ASSERT_TRUE(SaveMatrixArtifact(TestMatrix(3, 3), path).ok());
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven torn-write coverage: damage the serialized artifact at every
+// section boundary of the CEAFFMAT layout and assert the parser never
+// accepts it. A crash can tear a *temp* file at any byte; these are the
+// bytes where a lazy parser is most likely to trust a partial structure.
+
+struct SectionBoundary {
+  const char* name;
+  size_t offset;  // first byte of the section
+};
+
+std::vector<SectionBoundary> MatrixSectionBoundaries(const Matrix& m) {
+  // Layout: 8B magic | u32 version | u32 reserved | u64 rows | u64 cols |
+  // float payload | u32 CRC footer.
+  const size_t payload = m.size() * sizeof(float);
+  return {
+      {"magic", 0},
+      {"version", 8},
+      {"reserved", 12},
+      {"rows", 16},
+      {"cols", 24},
+      {"payload", 32},
+      {"payload_mid", 32 + payload / 2},
+      {"crc_footer", 32 + payload},
+  };
+}
+
+TEST(MatrixIoTornWriteTest, TruncationAtEverySectionBoundaryIsDataLoss) {
+  const Matrix m = TestMatrix(5, 3);
+  const std::string bytes = SerializeMatrixArtifact(m);
+  ASSERT_TRUE(ParseMatrixArtifact(bytes, "intact").ok());
+  for (const SectionBoundary& b : MatrixSectionBoundaries(m)) {
+    // Torn exactly AT the boundary (section entirely missing) and one byte
+    // INTO it (section partially written).
+    for (const size_t cut : {b.offset, b.offset + 1}) {
+      if (cut >= bytes.size()) continue;
+      auto parsed = ParseMatrixArtifact(bytes.substr(0, cut), b.name);
+      ASSERT_FALSE(parsed.ok()) << b.name << " cut at " << cut;
+      EXPECT_TRUE(parsed.status().IsDataLoss())
+          << b.name << ": " << parsed.status().ToString();
+    }
+  }
+}
+
+TEST(MatrixIoTornWriteTest, BitFlipAtEverySectionBoundaryIsDataLoss) {
+  const Matrix m = TestMatrix(5, 3);
+  const std::string bytes = SerializeMatrixArtifact(m);
+  for (const SectionBoundary& b : MatrixSectionBoundaries(m)) {
+    for (int bit : {0, 7}) {
+      std::string flipped = bytes;
+      flipped[b.offset] = static_cast<char>(
+          static_cast<unsigned char>(flipped[b.offset]) ^ (1u << bit));
+      auto parsed = ParseMatrixArtifact(flipped, b.name);
+      ASSERT_FALSE(parsed.ok()) << b.name << " bit " << bit;
+      EXPECT_TRUE(parsed.status().IsDataLoss())
+          << b.name << ": " << parsed.status().ToString();
+    }
+  }
+}
+
+TEST(MatrixIoTornWriteTest, EmptyMatrixBoundariesAreCoveredToo) {
+  // Degenerate artifact (no payload): header and footer are adjacent, the
+  // easiest place for an off-by-one in the size checks.
+  const std::string bytes = SerializeMatrixArtifact(Matrix());
+  ASSERT_TRUE(ParseMatrixArtifact(bytes, "empty").ok());
+  for (size_t cut = 0; cut < bytes.size(); cut += 4) {
+    EXPECT_TRUE(
+        ParseMatrixArtifact(bytes.substr(0, cut), "empty").status().IsDataLoss())
+        << "cut at " << cut;
+  }
+  std::string flipped = bytes;
+  flipped.back() = static_cast<char>(flipped.back() ^ 1);
+  EXPECT_TRUE(ParseMatrixArtifact(flipped, "empty").status().IsDataLoss());
 }
 
 }  // namespace

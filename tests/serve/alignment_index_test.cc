@@ -16,6 +16,7 @@ using ::ceaff::testing::FlipBit;
 using ::ceaff::testing::ScratchDir;
 using ::ceaff::testing::SmallIndex;
 using ::ceaff::testing::SmallIndexInput;
+using ::ceaff::testing::TruncateFile;
 using ::ceaff::testing::TruncateTail;
 using ::ceaff::testing::WriteText;
 using ::ceaff::testing::ZeroFile;
@@ -161,6 +162,118 @@ TEST(AlignmentIndexIoTest, ForeignAndEmptyFilesAreDataLoss) {
 
   ZeroFile(path);
   EXPECT_EQ(LoadAlignmentIndex(path).status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Table-driven torn-write coverage: damage the artifact at every section
+// boundary of the CEAFFIDX layout. The boundary table mirrors the writer's
+// size arithmetic and is cross-checked against the real file size, so a
+// format change that shifts any section makes the table (and the test)
+// fail loudly instead of silently drilling the wrong bytes.
+
+struct IndexSectionBoundary {
+  std::string name;
+  size_t offset;  // first byte of the section in the serialized artifact
+};
+
+std::vector<IndexSectionBoundary> IndexSectionBoundaries(
+    const AlignmentIndex& index) {
+  std::vector<IndexSectionBoundary> table;
+  size_t off = 0;
+  auto add = [&](const std::string& name) { table.push_back({name, off}); };
+  add("magic");
+  off += 8;
+  add("version");
+  off += 4;
+  add("reserved");
+  off += 4;
+  add("dataset");
+  off += 4 + index.dataset.size();
+  add("entity_counts");
+  off += 3 * 8;  // n_src, n_tgt, n_pairs
+  add("weights");
+  off += 3 * 8;  // three f64 fusion weights
+  add("semantic_seed");
+  off += 8;
+  add("source_names");
+  for (const std::string& n : index.source_names) off += 4 + n.size();
+  add("target_names");
+  for (const std::string& n : index.target_names) off += 4 + n.size();
+  add("pairs");
+  off += index.pairs.size() * 12;  // u32 source, u32 target, f32 score
+  const la::Matrix* mats[] = {&index.source_name_emb, &index.target_name_emb,
+                              &index.source_struct_emb,
+                              &index.target_struct_emb};
+  const char* mat_names[] = {"source_name_emb", "target_name_emb",
+                             "source_struct_emb", "target_struct_emb"};
+  for (int i = 0; i < 4; ++i) {
+    table.push_back({mat_names[i], off});
+    off += 16 + mats[i]->size() * sizeof(float);  // u64 rows, u64 cols, data
+  }
+  add("trigram_table");
+  off += 8;  // key count
+  for (size_t i = 0; i < index.trigram_keys.size(); ++i) {
+    off += 4 + index.trigram_keys[i].size();       // key string
+    off += 4 + index.trigram_postings[i].size() * 4;  // postings list
+  }
+  add("trigram_counts");
+  off += index.target_trigram_counts.size() * 4;
+  add("crc_footer");
+  return table;
+}
+
+TEST(AlignmentIndexTornWriteTest, BoundaryTableMatchesTheRealArtifact) {
+  ScratchDir dir("idx_table");
+  const std::string path = dir.File("run.idx");
+  const AlignmentIndex index = SmallIndex();
+  ASSERT_TRUE(SaveAlignmentIndex(index, path).ok());
+  const auto table = IndexSectionBoundaries(index);
+  ASSERT_FALSE(table.empty());
+  EXPECT_EQ(table.back().name, "crc_footer");
+  // The CRC footer is the last 4 bytes; if the table's arithmetic drifts
+  // from the writer, this is the assertion that catches it.
+  EXPECT_EQ(table.back().offset + 4, FileSize(path));
+}
+
+TEST(AlignmentIndexTornWriteTest, TruncationAtEverySectionBoundaryIsDataLoss) {
+  ScratchDir dir("idx_torn_trunc");
+  const AlignmentIndex index = SmallIndex();
+  const std::string clean = dir.File("clean.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(index, clean).ok());
+  const size_t size = FileSize(clean);
+  for (const IndexSectionBoundary& b : IndexSectionBoundaries(index)) {
+    // Torn exactly AT the boundary (section entirely missing) and one byte
+    // INTO it (section partially written).
+    for (const size_t cut : {b.offset, b.offset + 1}) {
+      if (cut >= size) continue;
+      const std::string path =
+          dir.File("cut_" + b.name + "_" + std::to_string(cut));
+      ASSERT_TRUE(SaveAlignmentIndex(index, path).ok());
+      TruncateFile(path, cut);
+      auto loaded = LoadAlignmentIndex(path);
+      ASSERT_FALSE(loaded.ok()) << b.name << " cut at " << cut;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+          << b.name << " cut at " << cut << ": "
+          << loaded.status().ToString();
+    }
+  }
+}
+
+TEST(AlignmentIndexTornWriteTest, BitFlipAtEverySectionBoundaryIsDataLoss) {
+  ScratchDir dir("idx_torn_flip");
+  const AlignmentIndex index = SmallIndex();
+  for (const IndexSectionBoundary& b : IndexSectionBoundaries(index)) {
+    for (const int bit : {0, 7}) {
+      const std::string path =
+          dir.File("flip_" + b.name + "_" + std::to_string(bit));
+      ASSERT_TRUE(SaveAlignmentIndex(index, path).ok());
+      FlipBit(path, b.offset, bit);
+      auto loaded = LoadAlignmentIndex(path);
+      ASSERT_FALSE(loaded.ok()) << b.name << " bit " << bit;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+          << b.name << " bit " << bit << ": " << loaded.status().ToString();
+    }
+  }
 }
 
 TEST(AlignmentIndexIoTest, SaveIsAtomicNoTmpLeftBehind) {

@@ -1,0 +1,97 @@
+// Kill-the-process recovery drills for the alignment-index export path:
+// crash a child at every step of the atomic write protocol while it
+// replaces a served index artifact, and assert the artifact on disk is
+// always loadable and always a complete generation — the old one before
+// the rename, the new one after — never a torn file.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/service.h"
+#include "serve/serve_test_util.h"
+#include "testing/crash_harness.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::serve {
+namespace {
+
+namespace ft = ceaff::testing;
+
+AlignmentIndex NamedIndex(const std::string& dataset) {
+  auto input = ft::SmallIndexInput();
+  input.dataset = dataset;
+  auto index = BuildAlignmentIndex(std::move(input));
+  CEAFF_CHECK(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+TEST(IndexCrashTest, ExportCrashAlwaysLeavesALoadableGeneration) {
+  ft::ScratchDir scratch("crash_index");
+  const std::string path = scratch.File("run.idx");
+  const AlignmentIndex old_gen = NamedIndex("gen-old");
+  const AlignmentIndex new_gen = NamedIndex("gen-new");
+
+  auto prepare = [&] {
+    std::filesystem::remove(path);
+    CEAFF_CHECK(SaveAlignmentIndex(old_gen, path).ok());
+  };
+  auto operation = [&]() -> Status {
+    return SaveAlignmentIndex(new_gen, path);
+  };
+  auto verify = [&](const std::string& site, bool crashed) {
+    auto loaded = LoadAlignmentIndex(path);
+    ASSERT_TRUE(loaded.ok())
+        << "after crash at " << site << ": " << loaded.status().ToString();
+    // The rename is the publish: a crash before it must leave the old
+    // artifact, a crash after it the complete new one. No third outcome.
+    const bool past_rename = site == "index.before_dir_fsync";
+    const std::string expected =
+        (!crashed || past_rename) ? "gen-new" : "gen-old";
+    EXPECT_EQ(loaded->dataset, expected) << "crash at " << site;
+    // Whichever generation survived, a service can serve it.
+    auto service = AlignmentService::Open(path, ServiceOptions{});
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    EXPECT_TRUE((*service)->LookupPair("alpha one").ok());
+  };
+
+  ft::CrashDrillOptions options;
+  options.site_prefix = "index.";
+  options.iterations = ft::CrashIterationsFromEnv(5);
+  ft::RunCrashDrill(prepare, operation, verify, options);
+}
+
+// The same drill for a fresh export (no previous artifact): a crash
+// before the rename leaves nothing, after it the complete artifact — a
+// loader must never see a torn file under the final name.
+TEST(IndexCrashTest, FirstExportCrashLeavesNothingOrEverything) {
+  ft::ScratchDir scratch("crash_index_fresh");
+  const std::string path = scratch.File("fresh.idx");
+  const AlignmentIndex index = NamedIndex("fresh-gen");
+
+  auto prepare = [&] { std::filesystem::remove(path); };
+  auto operation = [&]() -> Status { return SaveAlignmentIndex(index, path); };
+  auto verify = [&](const std::string& site, bool crashed) {
+    const bool past_rename = site == "index.before_dir_fsync";
+    if (!crashed || past_rename) {
+      auto loaded = LoadAlignmentIndex(path);
+      ASSERT_TRUE(loaded.ok())
+          << "after crash at " << site << ": " << loaded.status().ToString();
+      EXPECT_EQ(loaded->dataset, "fresh-gen");
+    } else {
+      // Nothing was published; the only acceptable state is "no file" —
+      // a torn file under the final name would be a protocol violation.
+      EXPECT_FALSE(std::filesystem::exists(path)) << "crash at " << site;
+    }
+  };
+
+  ft::CrashDrillOptions options;
+  options.site_prefix = "index.";
+  options.iterations = ft::CrashIterationsFromEnv(5);
+  ft::RunCrashDrill(prepare, operation, verify, options);
+}
+
+}  // namespace
+}  // namespace ceaff::serve

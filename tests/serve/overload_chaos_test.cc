@@ -8,13 +8,15 @@
 #include <thread>
 #include <vector>
 
+#include "ceaff/common/failpoint.h"
 #include "ceaff/serve/service.h"
 #include "serve/serve_test_util.h"
 #include "testing/fault_injection.h"
 
-// Chaos tests for the overload-protection path: a ChaosShim slows the
-// candidate scan down (simulating scoring suddenly getting expensive)
-// while concurrent callers hammer the service, and the tests assert the
+// Chaos tests for the overload-protection path: the "serve.topk.scan"
+// failpoint (evaluated at the start of every uncached candidate scan)
+// slows scoring down — simulating it suddenly getting expensive — while
+// concurrent callers hammer the service, and the tests assert the
 // protective behaviours — shedding, degradation, recovery, batch
 // retry/hedging — rather than exact latencies. Run under TSan by
 // run_checks.sh: the interesting bugs here are data races between the
@@ -23,12 +25,29 @@
 namespace ceaff::serve {
 namespace {
 
-using ::ceaff::testing::ChaosShim;
 using ::ceaff::testing::ScratchDir;
 using ::ceaff::testing::SmallIndex;
 using ::ceaff::testing::SmallIndexInput;
 
 constexpr auto kTestDeadline = std::chrono::seconds(20);
+constexpr char kScanSite[] = "serve.topk.scan";
+
+/// Arms the scan-delay failpoint for one test and guarantees disarm on the
+/// way out (including early ASSERT exits), so tests cannot leak arms into
+/// each other through the process-global registry.
+class ScopedScanDelay {
+ public:
+  ScopedScanDelay() { ceaff::failpoint::ResetHitCounts(); }
+  ~ScopedScanDelay() { ceaff::failpoint::Clear(); }
+
+  void SetMillis(int ms) {
+    const std::string spec =
+        ms > 0 ? std::string(kScanSite) + "=delay:" + std::to_string(ms) : "";
+    ASSERT_TRUE(ceaff::failpoint::Configure(spec).ok());
+  }
+
+  uint64_t invocations() const { return ceaff::failpoint::HitCount(kScanSite); }
+};
 
 std::shared_ptr<const AlignmentIndex> SharedSmallIndex() {
   return std::make_shared<const AlignmentIndex>(SmallIndex());
@@ -39,12 +58,11 @@ bool DeadlinePassed(std::chrono::steady_clock::time_point start) {
 }
 
 TEST(OverloadChaosTest, SlowScansUnderConcurrencyShedThenRecover) {
-  ChaosShim chaos;
+  ScopedScanDelay chaos;
   ServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 4;
   options.cache_capacity = 0;  // every request must scan
-  options.chaos_scan_hook = chaos.Hook();
   // Sensitive admission control; degradation out of the picture.
   options.admission.target_delay_ns = 100'000;   // 100 us
   options.admission.interval_ns = 2'000'000;     // 2 ms
@@ -52,7 +70,7 @@ TEST(OverloadChaosTest, SlowScansUnderConcurrencyShedThenRecover) {
   options.degradation.enter_pair_only_delay_ns = UINT64_MAX;
   AlignmentService service(SharedSmallIndex(), options);
 
-  chaos.SetScanDelay(std::chrono::milliseconds(2));
+  chaos.SetMillis(2);
   std::atomic<bool> saw_shed{false};
   std::atomic<bool> stop{false};
   std::vector<std::thread> hammer;
@@ -80,18 +98,17 @@ TEST(OverloadChaosTest, SlowScansUnderConcurrencyShedThenRecover) {
 
   // Chaos over: the very next uncontended request must be admitted (a
   // healthy delay estimate resets the CoDel state on the spot).
-  chaos.SetScanDelay(std::chrono::nanoseconds(0));
+  chaos.SetMillis(0);
   auto recovered = service.TopK("alpha one", 2);
   EXPECT_TRUE(recovered.ok()) << recovered.status().ToString();
 }
 
 TEST(OverloadChaosTest, SustainedSlowScansDegradeToPairOnlyThenRecover) {
-  ChaosShim chaos;
+  ScopedScanDelay chaos;
   ServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 4;
   options.cache_capacity = 0;
-  options.chaos_scan_hook = chaos.Hook();
   // Admission out of the picture; sensitive degradation with a short
   // window and dwell so recovery fits in a unit test.
   options.admission.target_delay_ns = UINT64_MAX;
@@ -101,7 +118,7 @@ TEST(OverloadChaosTest, SustainedSlowScansDegradeToPairOnlyThenRecover) {
   options.degradation.min_dwell_ns = 20'000'000;             // 20 ms
   AlignmentService service(SharedSmallIndex(), options);
 
-  chaos.SetScanDelay(std::chrono::milliseconds(2));
+  chaos.SetMillis(2);
   std::atomic<bool> saw_pair_only_answer{false};
   std::atomic<bool> stop{false};
   std::vector<std::thread> hammer;
@@ -132,7 +149,7 @@ TEST(OverloadChaosTest, SustainedSlowScansDegradeToPairOnlyThenRecover) {
 
   // Load vanishes: light sequential traffic must walk the service back to
   // full scoring (one tier at a time, after each dwell).
-  chaos.SetScanDelay(std::chrono::nanoseconds(0));
+  chaos.SetMillis(0);
   const auto recovery_start = std::chrono::steady_clock::now();
   bool recovered = false;
   while (!DeadlinePassed(recovery_start)) {
@@ -148,12 +165,11 @@ TEST(OverloadChaosTest, SustainedSlowScansDegradeToPairOnlyThenRecover) {
 }
 
 TEST(OverloadChaosTest, SaturatedBatchQueueShedsThenHedgingFillsEverySlot) {
-  ChaosShim chaos;
+  ScopedScanDelay chaos;
   ServiceOptions options;
   options.num_threads = 1;
   options.queue_capacity = 1;  // almost no queue: submissions must shed
   options.cache_capacity = 0;
-  options.chaos_scan_hook = chaos.Hook();
   options.admission.target_delay_ns = UINT64_MAX;
   options.degradation.enter_textual_delay_ns = UINT64_MAX;
   options.degradation.enter_pair_only_delay_ns = UINT64_MAX;
@@ -166,7 +182,7 @@ TEST(OverloadChaosTest, SaturatedBatchQueueShedsThenHedgingFillsEverySlot) {
   // The single worker holds each task ~20 ms, far longer than the retry
   // budget (~2 attempts x 2 ms), so most of the 8 submissions exhaust
   // their retries and shed — and the hedged inline attempt answers them.
-  chaos.SetScanDelay(std::chrono::milliseconds(20));
+  chaos.SetMillis(20);
   const std::vector<std::string> names = {
       "alpha one", "beta two",    "gamma three", "delta four",
       "alpha one", "gamma three", "beta two",    "delta four"};
@@ -192,17 +208,16 @@ TEST(OverloadChaosTest, ReloadWhileDrainingSlowBatchKeepsEverySlotAnswered) {
     ASSERT_TRUE(SaveAlignmentIndex(index.value(), good).ok());
   }
 
-  ChaosShim chaos;
+  ScopedScanDelay chaos;
   ServiceOptions options;
   options.num_threads = 2;
   options.queue_capacity = 64;
   options.cache_capacity = 16;
-  options.chaos_scan_hook = chaos.Hook();
   AlignmentService service(SharedSmallIndex(), options);
 
   // A slow 32-query batch keeps the pool busy draining while the index is
   // hot-swapped underneath it (both file reload and in-process adopt).
-  chaos.SetScanDelay(std::chrono::milliseconds(1));
+  chaos.SetMillis(1);
   std::vector<std::string> names;
   for (int i = 0; i < 8; ++i) {
     names.insert(names.end(),

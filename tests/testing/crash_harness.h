@@ -1,0 +1,139 @@
+#ifndef CEAFF_TESTS_TESTING_CRASH_HARNESS_H_
+#define CEAFF_TESTS_TESTING_CRASH_HARNESS_H_
+
+/// Fork-based kill-the-process recovery harness.
+///
+/// The drill, per operation under test:
+///
+///   1. Rehearsal: run the operation once cleanly (in-process) with hit
+///      counters reset, then read failpoint::HitSites() — that is the
+///      exact set of durability steps this operation crosses. Discovery,
+///      not a hand-maintained list: a new fsync added to the code path is
+///      drilled automatically on the next run.
+///   2. For each discovered site (filtered by prefix), `iterations` times:
+///      fresh state via `prepare`, then fork. The child arms `site=crash`
+///      and re-runs the operation; the crash action _exit(77)s mid-protocol
+///      — no destructors, no buffered-IO flush, the closest repeatable
+///      stand-in for kill -9. The parent reaps it and calls `verify`,
+///      which asserts (with normal gtest macros) that recovery from the
+///      torn-on-purpose state works.
+///
+/// The child must never return into gtest: it either dies at the armed
+/// site (exit 77) or finishes the operation and _exit(0)s (possible for
+/// sites that are only crossed on some runs). Anything else — a real
+/// abort, a CHECK failure, a signal — is reported as a test failure with
+/// the site name.
+///
+/// Operations must not rely on threads: the child is a fork of a
+/// potentially multi-threaded gtest process, so only async-signal-safe
+/// state is guaranteed coherent. Everything drilled here (checkpoint
+/// saves, index exports) is synchronous single-threaded IO.
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/failpoint.h"
+#include "ceaff/common/status.h"
+
+namespace ceaff::testing {
+
+struct CrashDrillOptions {
+  /// Only sites starting with this prefix are drilled ("" = all hit
+  /// sites). Keeps a drill focused on the scope under test when the
+  /// operation also crosses unrelated instrumented code.
+  std::string site_prefix;
+  /// Crash-and-recover rounds per site. Raised by tools/run_checks.sh via
+  /// CEAFF_CRASH_ITERS for the soak drill.
+  int iterations = 5;
+};
+
+/// Reads the per-site iteration count: CEAFF_CRASH_ITERS when set (the
+/// run_checks.sh drill dials it up), otherwise `fallback`.
+inline int CrashIterationsFromEnv(int fallback = 5) {
+  const char* env = std::getenv("CEAFF_CRASH_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const int parsed = std::atoi(env);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Runs the crash drill described above.
+///
+///   prepare    resets the on-disk state the operation runs against
+///              (called before the rehearsal and before every fork)
+///   operation  the durability-bearing operation; its Status is only
+///              checked on the rehearsal (in the child a non-OK exit is
+///              fine — the injected crash is the point)
+///   verify     parent-side recovery assertions, called after every child;
+///              receives the site that was armed and whether the child
+///              actually crashed there (false = the site was not crossed
+///              on that run, so the operation completed)
+inline void RunCrashDrill(const std::function<void()>& prepare,
+                          const std::function<Status()>& operation,
+                          const std::function<void(const std::string& site,
+                                                   bool crashed)>& verify,
+                          const CrashDrillOptions& options = {}) {
+  // Rehearsal: discover the sites this operation crosses.
+  prepare();
+  failpoint::Clear();
+  failpoint::ResetHitCounts();
+  {
+    Status st = operation();
+    ASSERT_TRUE(st.ok()) << "rehearsal run failed: " << st.ToString();
+  }
+  std::vector<std::string> sites;
+  for (const std::string& site : failpoint::HitSites()) {
+    if (site.rfind(options.site_prefix, 0) == 0) sites.push_back(site);
+  }
+  ASSERT_FALSE(sites.empty())
+      << "rehearsal crossed no failpoint site with prefix '"
+      << options.site_prefix << "' — the drill would prove nothing";
+
+  for (const std::string& site : sites) {
+    for (int iter = 0; iter < options.iterations; ++iter) {
+      prepare();
+      // Flush before forking so buffered gtest output is not duplicated
+      // into the child (which _exits without flushing anyway, but a
+      // crashing CHECK in between would re-emit it).
+      std::fflush(stdout);
+      std::fflush(stderr);
+      const pid_t pid = fork();
+      ASSERT_GE(pid, 0) << "fork failed";
+      if (pid == 0) {
+        // Child: arm the crash and die at the site. _exit always — never
+        // unwind back into the test runner.
+        if (!failpoint::Configure(site + "=crash").ok()) _exit(99);
+        Status st = operation();
+        _exit(st.ok() ? 0 : 98);
+      }
+      int wstatus = 0;
+      ASSERT_EQ(waitpid(pid, &wstatus, 0), pid) << "waitpid failed";
+      ASSERT_TRUE(WIFEXITED(wstatus))
+          << "site " << site << " iter " << iter
+          << ": child did not exit cleanly (killed by signal "
+          << (WIFSIGNALED(wstatus) ? WTERMSIG(wstatus) : 0) << ")";
+      const int code = WEXITSTATUS(wstatus);
+      ASSERT_TRUE(code == failpoint::kCrashExitCode || code == 0)
+          << "site " << site << " iter " << iter << ": child exited " << code
+          << " (expected " << failpoint::kCrashExitCode
+          << " = crashed at site, or 0 = site not crossed)";
+      const bool crashed = code == failpoint::kCrashExitCode;
+      EXPECT_TRUE(crashed || iter > 0)
+          << "site " << site
+          << " was crossed in the rehearsal but not on the first drilled "
+             "run — the operation is not deterministic enough to drill";
+      verify(site, crashed);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace ceaff::testing
+
+#endif  // CEAFF_TESTS_TESTING_CRASH_HARNESS_H_

@@ -8,14 +8,11 @@
 /// broken test setup is loud, not a silent pass.
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <string>
-#include <thread>
 
 #include <unistd.h>
 
@@ -86,44 +83,6 @@ inline void WriteText(const std::string& path, const std::string& text) {
   f << text;
   CEAFF_CHECK(f.good()) << "write " << path;
 }
-
-/// Chaos shim for the overload tests: a thread-safe hook the service
-/// invokes at the start of every uncached TopK scan
-/// (ServiceOptions::chaos_scan_hook). Tests dial a per-scan delay up and
-/// down while traffic is running to simulate scoring suddenly getting slow
-/// (page-fault storm, noisy neighbour, cold cache after a reload) and read
-/// the counter to assert the hook actually fired. All state is atomic, so
-/// the shim may be reconfigured mid-flight from the test thread while
-/// worker threads are inside Invoke().
-class ChaosShim {
- public:
-  /// The callable to install as ServiceOptions::chaos_scan_hook. The shim
-  /// must outlive the service.
-  std::function<void()> Hook() {
-    return [this] { Invoke(); };
-  }
-
-  /// Every subsequent scan stalls this long (0 restores normal speed).
-  void SetScanDelay(std::chrono::nanoseconds delay) {
-    scan_delay_ns_.store(delay.count(), std::memory_order_relaxed);
-  }
-
-  uint64_t invocations() const {
-    return invocations_.load(std::memory_order_relaxed);
-  }
-
- private:
-  void Invoke() {
-    invocations_.fetch_add(1, std::memory_order_relaxed);
-    const int64_t delay = scan_delay_ns_.load(std::memory_order_relaxed);
-    if (delay > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
-    }
-  }
-
-  std::atomic<int64_t> scan_delay_ns_{0};
-  std::atomic<uint64_t> invocations_{0};
-};
 
 /// A unique, empty scratch directory under the system temp dir, removed on
 /// destruction.

@@ -4,7 +4,7 @@
 // to stdout and serving statistics to stderr on exit.
 //
 //   ceaff_serve --index run.idx [--threads N] [--requests FILE]
-//               [--deadline_ms N] [--cache N]
+//               [--deadline_ms N] [--cache N] [--scrub_ms N]
 //
 // Lifecycle: SIGTERM (and SIGINT) triggers a graceful drain — intake stops
 // after the current line, requests already in flight finish, the final
@@ -53,7 +53,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ceaff_serve --index FILE [--threads N] "
                "[--requests FILE]\n"
-               "                   [--deadline_ms N] [--cache N]\n"
+               "                   [--deadline_ms N] [--cache N] "
+               "[--scrub_ms N]\n"
                "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/"
                "HEALTH/READY/QUIT)\n"
                "line by line from --requests or stdin; responses go to "
@@ -94,6 +95,15 @@ int Run(const FlagParser& flags) {
   options.num_threads = static_cast<size_t>(threads);
   options.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache", 1024));
+  // Background integrity scrub of the in-memory snapshot (0 = off). On
+  // corruption the service degrades to pair-only and re-reads --index;
+  // progress is visible under "scrub" in STATS.
+  const int64_t scrub_ms = flags.GetInt("scrub_ms", 0);
+  if (scrub_ms < 0) {
+    std::fprintf(stderr, "ceaff_serve: --scrub_ms must be >= 0\n");
+    return 2;
+  }
+  options.scrub_interval_ms = static_cast<uint64_t>(scrub_ms);
   const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
 
   auto service_or = serve::AlignmentService::Open(index_path, options);

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Full verification sweep: plain Release build + test run, an ASan+UBSan
 # build + test run (-DCEAFF_SANITIZE=ON), a TSan build of the concurrency
-# and chaos tests (-DCEAFF_TSAN=ON), an end-to-end serving smoke (export
-# an index from a tiny synthetic run, then drive ceaff_serve against it),
-# and an overload smoke (soak the service past capacity, assert it sheds
-# and that SIGTERM during the soak drains cleanly).
+# and chaos tests (-DCEAFF_TSAN=ON), a crash-recovery soak (the fork-based
+# kill-the-process drills with the per-site iteration count raised, once
+# plain and once under ASan), a failpoint smoke (arm an injected error on
+# every registered durability site and assert the binaries fail cleanly),
+# an end-to-end serving smoke (export an index from a tiny synthetic run,
+# then drive ceaff_serve against it), and an overload smoke (soak the
+# service past capacity, assert it sheds and that SIGTERM during the soak
+# drains cleanly).
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
+#                            [--skip-crash]
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,11 +19,13 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 skip_sanitize=0
 skip_tsan=0
 skip_smoke=0
+skip_crash=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitize) skip_sanitize=1 ;;
     --skip-tsan) skip_tsan=1 ;;
     --skip-smoke) skip_smoke=1 ;;
+    --skip-crash) skip_crash=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -47,10 +54,53 @@ if [[ "$skip_tsan" == 0 ]]; then
     -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|ParseRequest|Admission|RetryPolicy|CircuitBreaker|Degradation|OverloadChaos'
 fi
 
+if [[ "$skip_crash" == 0 ]]; then
+  echo "==> Crash-recovery soak: kill-the-process drills, 50 rounds per site"
+  CEAFF_CRASH_ITERS=50 ctest --test-dir "$repo/build" --output-on-failure \
+    -j "$jobs" -L chaos
+  if [[ "$skip_sanitize" == 0 ]]; then
+    echo "==> Crash-recovery drill under ASan"
+    ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
+      -L chaos -R 'CrashRecoveryTest|IndexCrashTest'
+  fi
+fi
+
 if [[ "$skip_smoke" == 0 ]]; then
+  echo "==> Failpoint smoke: injected faults fail the real binaries cleanly"
+  fpsmoke="$(mktemp -d)"
+  trap 'rm -rf "$fpsmoke"' EXIT
+  "$repo/build/tools/ceaff" generate --config DBP15K_FR_EN \
+    --scale 0.02 --out "$fpsmoke/data"
+  align_args=(align --data "$fpsmoke/data" --gcn-epochs 3 --gcn-dim 16
+              --threads 2 --checkpoint_dir "$fpsmoke/ckpt" --resume
+              --out "$fpsmoke/pred.tsv")
+  # A malformed spec must abort loudly (exit 2), not silently test nothing.
+  if CEAFF_FAILPOINTS='not-a-spec' "$repo/build/tools/ceaff" "${align_args[@]}" \
+      2>/dev/null; then
+    echo "malformed CEAFF_FAILPOINTS was not rejected" >&2; exit 1
+  fi
+  # An injected write error on every checkpoint durability step must fail
+  # the run with a controlled error — no crash, no torn store.
+  fp='checkpoint.before_tmp_write=error'
+  fp="$fp;checkpoint.manifest.before_rename=error"
+  if CEAFF_FAILPOINTS="$fp" "$repo/build/tools/ceaff" "${align_args[@]}" \
+      > "$fpsmoke/fp_out.txt" 2> "$fpsmoke/fp_err.txt"; then
+    echo "align succeeded despite injected checkpoint write errors" >&2
+    exit 1
+  fi
+  # The injected crash action must die with the drill exit code (77) ...
+  rc=0
+  CEAFF_FAILPOINTS='checkpoint.before_rename=crash' \
+    "$repo/build/tools/ceaff" "${align_args[@]}" >/dev/null 2>&1 || rc=$?
+  if [[ "$rc" != 77 ]]; then
+    echo "crash action exited $rc, expected 77" >&2; exit 1
+  fi
+  # ... and a plain rerun resumes from whatever the crash left behind.
+  "$repo/build/tools/ceaff" "${align_args[@]}" > /dev/null
+
   echo "==> Serving smoke: generate -> align --export_index -> ceaff_serve"
   smoke="$(mktemp -d)"
-  trap 'rm -rf "$smoke"' EXIT
+  trap 'rm -rf "$smoke" "$fpsmoke"' EXIT
   "$repo/build/tools/ceaff" generate --config DBP15K_FR_EN \
     --scale 0.02 --out "$smoke/data"
   "$repo/build/tools/ceaff" align --data "$smoke/data" \
@@ -63,6 +113,17 @@ if [[ "$skip_smoke" == 0 ]]; then
     | tee "$smoke/replies.txt"
   grep -q 'OK TOPK' "$smoke/replies.txt"
   grep -q 'OK STATS' "$smoke/replies.txt"
+
+  # An injected reload fault answers ERR but never takes the service down;
+  # the scrubber thread runs alongside and reports its counters in STATS.
+  printf 'RELOAD %s\nPAIR %s\nSTATS\nQUIT\n' "$smoke/run.idx" "$name" \
+    | CEAFF_FAILPOINTS='serve.reload=error' \
+      "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" \
+        --threads 2 --scrub_ms 20 \
+    | tee "$smoke/fp_replies.txt"
+  grep -q 'ERR' "$smoke/fp_replies.txt"
+  grep -q 'OK PAIR' "$smoke/fp_replies.txt"
+  grep -q '"scrub"' "$smoke/fp_replies.txt"
 
   echo "==> Overload smoke: soak past capacity, assert the service sheds"
   (cd "$smoke" && \
