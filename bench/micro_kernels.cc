@@ -1,0 +1,442 @@
+// Microbenchmark of the la/kernels.h compute layer against the retained
+// naive references, emitting BENCH_kernels.json (tracked in-repo as the
+// perf baseline). For every (kernel, shape) it times the naive reference
+// once and the blocked kernel at several thread counts, reporting GFLOP/s
+// (or Mcell/s for the string kernels) and the speedup over naive.
+//
+//   micro_kernels [--out FILE] [--quick] [--smoke]
+//
+//   --out FILE   where to write the JSON (default BENCH_kernels.json in
+//                the working directory, matching overload_soak's
+//                BENCH_overload.json convention)
+//   --quick      small shapes only (fast CI sanity run)
+//   --smoke      no timing at all: run the kernel-vs-naive parity checks
+//                on small shapes and exit non-zero on any divergence —
+//                this is what the `bench` ctest label runs
+//
+// Every timed configuration is also parity-checked (bit-identical or the
+// documented O(d·eps) tolerance), so a benchmark run can never report a
+// speedup for a kernel that silently diverged.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/la/csls.h"
+#include "ceaff/la/kernels.h"
+#include "ceaff/la/ops.h"
+#include "ceaff/la/sparse_matrix.h"
+#include "ceaff/text/levenshtein.h"
+
+namespace {
+
+using namespace ceaff;
+using la::KernelContext;
+using la::Matrix;
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+std::vector<std::string> RandomNames(size_t n, size_t max_len,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  const std::string alphabet = "abcdefghijklmnop ";
+  std::vector<std::string> names(n);
+  for (std::string& s : names) {
+    const size_t len = 3 + rng.NextBounded(max_len - 2);
+    for (size_t i = 0; i < len; ++i) {
+      s += alphabet[rng.NextBounded(alphabet.size())];
+    }
+  }
+  return names;
+}
+
+/// Best-of-`reps` wall seconds of `fn` (min over repetitions rejects
+/// scheduler noise better than the mean on a shared box).
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct BenchRow {
+  std::string kernel;
+  std::string shape;
+  int threads = 1;  // 0 = the naive reference row
+  double seconds = 0.0;
+  double rate = 0.0;  // GFLOP/s or Mcell/s, see `unit`
+  std::string unit;
+  double speedup = 1.0;  // vs the naive reference at the same shape
+};
+
+std::vector<BenchRow> g_rows;
+int g_failures = 0;
+
+void Fail(const std::string& what) {
+  std::fprintf(stderr, "PARITY FAILURE: %s\n", what.c_str());
+  ++g_failures;
+}
+
+bool NearEqual(const Matrix& a, const Matrix& b, double rel_tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      const double want = b.at(r, c);
+      const double tol = rel_tol * std::max(1.0, std::abs(want));
+      if (std::abs(a.at(r, c) - want) > tol) return false;
+    }
+  }
+  return true;
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// Benchmarks naive-vs-kernel for one dense pairwise kernel at the given
+/// thread counts; `flops` is the work per full evaluation.
+void BenchCosine(size_t n, size_t d, const std::vector<int>& thread_counts,
+                 int reps) {
+  const Matrix a = RandomMatrix(n, d, 101);
+  const Matrix b = RandomMatrix(n, d, 102);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zux d=%zu", n, n, d);
+  const double flops = 2.0 * static_cast<double>(n) * n * d;
+
+  Matrix naive_out;
+  const double naive_s =
+      TimeBest(reps, [&] { naive_out = la::CosineSimilarity(a, b); });
+  g_rows.push_back({"cosine_naive", shape, 0, naive_s, flops / naive_s / 1e9,
+                    "gflops", 1.0});
+
+  for (int threads : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    KernelContext ctx;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx.pool = pool.get();
+    }
+    Matrix out;
+    const double s =
+        TimeBest(reps, [&] { out = la::CosineSimilarityK(ctx, a, b); });
+    if (!NearEqual(out, naive_out, 1e-4)) {
+      Fail("cosine kernel diverged from naive at " + std::string(shape));
+    }
+    g_rows.push_back({"cosine_kernel", shape, threads, s, flops / s / 1e9,
+                      "gflops", naive_s / s});
+  }
+}
+
+/// `m x n` GEMM-transposed (the similarity-matrix primitive) naive vs
+/// blocked kernel.
+void BenchMatMulBT(size_t m, size_t n, size_t d,
+                   const std::vector<int>& thread_counts, int reps) {
+  const Matrix a = RandomMatrix(m, d, 108);
+  const Matrix b = RandomMatrix(n, d, 109);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zu d=%zu", m, n, d);
+  const double flops = 2.0 * static_cast<double>(m) * n * d;
+
+  Matrix naive_out;
+  const double naive_s = TimeBest(reps, [&] { naive_out = la::MatMulBT(a, b); });
+  g_rows.push_back({"matmul_bt_naive", shape, 0, naive_s,
+                    flops / naive_s / 1e9, "gflops", 1.0});
+
+  for (int threads : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    KernelContext ctx;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx.pool = pool.get();
+    }
+    Matrix out;
+    const double s = TimeBest(reps, [&] { out = la::MatMulBTK(ctx, a, b); });
+    if (!NearEqual(out, naive_out, 1e-4)) {
+      Fail("matmul_bt kernel diverged from naive at " + std::string(shape));
+    }
+    g_rows.push_back({"matmul_bt_kernel", shape, threads, s, flops / s / 1e9,
+                      "gflops", naive_s / s});
+  }
+}
+
+void BenchStringMatrix(size_t n, const std::vector<int>& thread_counts,
+                       int reps) {
+  const auto src = RandomNames(n, 24, 103);
+  const auto tgt = RandomNames(n, 24, 104);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zu names", n, n);
+  const double cells = static_cast<double>(n) * n;
+
+  // text::StringSimilarityMatrix delegates to the kernel these days, so the
+  // naive baseline here is the retained full-DP scalar reference applied
+  // cell by cell — the pre-kernel implementation.
+  Matrix naive_out;
+  const double naive_s = TimeBest(reps, [&] {
+    Matrix out(src.size(), tgt.size());
+    for (size_t i = 0; i < src.size(); ++i) {
+      for (size_t j = 0; j < tgt.size(); ++j) {
+        out.at(i, j) =
+            static_cast<float>(text::LevenshteinRatio(src[i], tgt[j]));
+      }
+    }
+    naive_out = std::move(out);
+  });
+  g_rows.push_back({"string_naive", shape, 0, naive_s,
+                    cells / naive_s / 1e6, "mcells", 1.0});
+
+  for (int threads : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    KernelContext ctx;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx.pool = pool.get();
+    }
+    Matrix out;
+    const double s = TimeBest(
+        reps, [&] { out = la::StringSimilarityMatrixK(ctx, src, tgt); });
+    if (!BitIdentical(out, naive_out)) {
+      Fail("string kernel diverged from naive at " + std::string(shape));
+    }
+    g_rows.push_back({"string_kernel", shape, threads, s, cells / s / 1e6,
+                      "mcells", naive_s / s});
+
+    // The pruned variant is benchmarked at the retrieval-style floor it is
+    // designed for; only row maxima above the floor are contractually exact.
+    constexpr double kFloor = 0.5;
+    Matrix pruned;
+    const double ps = TimeBest(reps, [&] {
+      pruned = la::StringSimilarityMatrixPruned(ctx, src, tgt, kFloor);
+    });
+    for (size_t r = 0; r < naive_out.rows(); ++r) {
+      float want = 0.0f, got = 0.0f;
+      for (size_t c = 0; c < naive_out.cols(); ++c) {
+        want = std::max(want, naive_out.at(r, c));
+        got = std::max(got, pruned.at(r, c));
+      }
+      if (want > kFloor && want != got) {
+        Fail("pruned string kernel lost a row maximum");
+        break;
+      }
+    }
+    g_rows.push_back({"string_pruned", shape, threads, ps, cells / ps / 1e6,
+                      "mcells", naive_s / ps});
+  }
+}
+
+void BenchCsls(size_t n, size_t k, const std::vector<int>& thread_counts,
+               int reps) {
+  const Matrix m = RandomMatrix(n, n, 105);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zu k=%zu", n, n, k);
+  const double cells = static_cast<double>(n) * n;
+
+  Matrix naive_out;
+  const double naive_s =
+      TimeBest(reps, [&] { naive_out = la::CslsRescale(m, k); });
+  g_rows.push_back({"csls_naive", shape, 0, naive_s, cells / naive_s / 1e6,
+                    "mcells", 1.0});
+
+  for (int threads : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    KernelContext ctx;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx.pool = pool.get();
+    }
+    Matrix out;
+    const double s =
+        TimeBest(reps, [&] { out = la::CslsRescaleK(ctx, m, k); });
+    if (!BitIdentical(out, naive_out)) {
+      Fail("csls kernel diverged from naive at " + std::string(shape));
+    }
+    g_rows.push_back({"csls_kernel", shape, threads, s, cells / s / 1e6,
+                      "mcells", naive_s / s});
+  }
+}
+
+void BenchSpmm(size_t n, size_t d, size_t nnz_per_row,
+               const std::vector<int>& thread_counts, int reps) {
+  Rng rng(106);
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(n * nnz_per_row);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < nnz_per_row; ++i) {
+      triplets.push_back({static_cast<uint32_t>(r),
+                          static_cast<uint32_t>(rng.NextBounded(n)),
+                          static_cast<float>(rng.NextUniform(-1.0, 1.0))});
+    }
+  }
+  const la::SparseMatrix a = la::SparseMatrix::Build(n, n, std::move(triplets));
+  const Matrix x = RandomMatrix(n, d, 107);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zu nnz=%zu d=%zu", n, n, a.nnz(),
+                d);
+  const double flops = 2.0 * static_cast<double>(a.nnz()) * d;
+
+  Matrix naive_out;
+  const double naive_s = TimeBest(reps, [&] { naive_out = a.Multiply(x); });
+  g_rows.push_back({"spmm_naive", shape, 0, naive_s, flops / naive_s / 1e9,
+                    "gflops", 1.0});
+
+  for (int threads : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    KernelContext ctx;
+    if (threads > 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      ctx.pool = pool.get();
+    }
+    Matrix out;
+    const double s = TimeBest(reps, [&] { out = la::SpMMK(ctx, a, x); });
+    if (!BitIdentical(out, naive_out)) {
+      Fail("spmm kernel diverged from naive at " + std::string(shape));
+    }
+    g_rows.push_back({"spmm_kernel", shape, threads, s, flops / s / 1e9,
+                      "gflops", naive_s / s});
+  }
+}
+
+/// --smoke: fast parity-only pass over small shapes (no timing). Exits
+/// non-zero on any divergence; this is the `bench`-labelled ctest entry.
+int RunSmoke() {
+  ThreadPool pool(4);
+  KernelContext seq;
+  KernelContext par;
+  par.pool = &pool;
+  par.opts.row_block = 3;
+  par.opts.col_block = 5;
+
+  {
+    const Matrix a = RandomMatrix(31, 45, 1);
+    const Matrix b = RandomMatrix(27, 45, 2);
+    const Matrix naive = la::CosineSimilarity(a, b);
+    if (!NearEqual(la::CosineSimilarityK(seq, a, b), naive, 1e-4)) {
+      Fail("cosine sequential");
+    }
+    if (!BitIdentical(la::CosineSimilarityK(seq, a, b),
+                      la::CosineSimilarityK(par, a, b))) {
+      Fail("cosine determinism across thread counts");
+    }
+  }
+  {
+    const Matrix a = RandomMatrix(18, 25, 3);
+    const Matrix b = RandomMatrix(25, 11, 4);
+    if (!BitIdentical(la::MatMulK(par, a, b), MatMul(a, b))) {
+      Fail("matmul parity");
+    }
+  }
+  {
+    const auto src = RandomNames(15, 20, 5);
+    const auto tgt = RandomNames(13, 20, 6);
+    if (!BitIdentical(la::StringSimilarityMatrixK(par, src, tgt),
+                      text::StringSimilarityMatrix(src, tgt))) {
+      Fail("string matrix parity");
+    }
+  }
+  {
+    const Matrix m = RandomMatrix(14, 19, 7);
+    if (!BitIdentical(la::CslsRescaleK(par, m, 5), la::CslsRescale(m, 5))) {
+      Fail("csls parity");
+    }
+  }
+  std::fprintf(stderr, "kernels smoke: %s\n",
+               g_failures == 0 ? "all parity checks passed" : "FAILED");
+  return g_failures == 0 ? 0 : 1;
+}
+
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    ++g_failures;
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"micro_kernels\",\n");
+  std::fprintf(f, "  \"parity_failures\": %d,\n", g_failures);
+  std::fprintf(f, "  \"entries\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const BenchRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"shape\": \"%s\", \"threads\": "
+                 "%d, \"seconds\": %.6f, \"%s\": %.3f, \"speedup_vs_naive\": "
+                 "%.2f}%s\n",
+                 r.kernel.c_str(), r.shape.c_str(), r.threads, r.seconds,
+                 r.unit.c_str(), r.rate, r.speedup,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu entries)\n", path.c_str(),
+               g_rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_kernels.json";
+  bool quick = false;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_kernels [--out FILE] [--quick] [--smoke]\n");
+      return 2;
+    }
+  }
+  if (smoke) return RunSmoke();
+
+  const std::vector<int> threads = {1, 2, 4, 8};
+  if (quick) {
+    BenchCosine(256, 64, threads, 3);
+    BenchMatMulBT(256, 256, 64, threads, 3);
+    BenchStringMatrix(120, threads, 3);
+    BenchCsls(256, 10, threads, 3);
+    BenchSpmm(2000, 32, 8, threads, 3);
+  } else {
+    BenchCosine(512, 64, threads, 3);
+    // The tracked headline shape: 2k x 2k pairwise cosine at d = 128.
+    BenchCosine(2048, 128, threads, 3);
+    BenchMatMulBT(1024, 1024, 128, threads, 3);
+    BenchStringMatrix(400, threads, 3);
+    BenchCsls(1024, 10, threads, 3);
+    BenchSpmm(20000, 64, 10, threads, 3);
+  }
+  WriteJson(out);
+
+  for (const BenchRow& r : g_rows) {
+    std::fprintf(stderr,
+                 "%-14s %-22s threads=%d  %8.4fs  %8.2f %s  x%.2f\n",
+                 r.kernel.c_str(), r.shape.c_str(), r.threads, r.seconds,
+                 r.rate, r.unit.c_str(), r.speedup);
+  }
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#ifndef CEAFF_COMMON_MMAP_FILE_H_
+#define CEAFF_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "ceaff/common/statusor.h"
+
+namespace ceaff {
+
+/// A read-only memory mapping of a whole file (PROT_READ, MAP_PRIVATE).
+/// The artifact loaders use it for zero-copy reads: parsed structures point
+/// straight into the mapping instead of heap copies, so reload latency and
+/// peak RSS stay flat as artifacts grow. Callers that keep pointers into
+/// data() must keep the MappedFile alive alongside them (the index loader
+/// stores it in a shared_ptr next to the views).
+///
+/// Move-only; the destructor unmaps. An empty file maps to data() == null,
+/// size() == 0 (mmap of length 0 is invalid, so it is special-cased).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. kIOError when the file cannot be opened,
+  /// stat'ed or mapped — callers are expected to fall back to a heap read.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ceaff
+
+#endif  // CEAFF_COMMON_MMAP_FILE_H_

@@ -87,33 +87,35 @@ void ParallelFor(ThreadPool* pool, size_t n,
   // work: blocks are balanced, so the tail wait is short).
   const size_t num_blocks = std::min(pool->num_threads(), n);
   const size_t block = (n + num_blocks - 1) / num_blocks;
-  std::atomic<size_t> done{0};
+  // `done` is guarded by `mu`, not an atomic: the caller may only observe
+  // completion after the finishing worker has *released* `mu`, so no worker
+  // can still be touching `mu`/`cv` when the caller returns and destroys
+  // them. (With an atomic counter bumped outside the lock, the caller's
+  // predicate could turn true between a worker's increment and its
+  // notify-under-lock, and the worker would then lock a dead mutex.)
+  size_t done = 0;
   std::mutex mu;
   std::condition_variable cv;
+  auto finish_block = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    if (++done == num_blocks) cv.notify_one();
+  };
   for (size_t b = 0; b < num_blocks; ++b) {
     const size_t begin = b * block;
     const size_t end = std::min(n, begin + block);
     const SubmitResult submitted = pool->Submit([&, begin, end] {
       for (size_t i = begin; i < end; ++i) fn(i);
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_blocks) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_one();
-      }
+      finish_block();
     });
     if (submitted != SubmitResult::kAccepted) {
       // Pool is shutting down; run the block on the caller so the barrier
       // below can never deadlock on a task that was silently dropped.
       for (size_t i = begin; i < end; ++i) fn(i);
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_blocks) {
-        std::lock_guard<std::mutex> lock(mu);
-        cv.notify_one();
-      }
+      finish_block();
     }
   }
   std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] {
-    return done.load(std::memory_order_acquire) == num_blocks;
-  });
+  cv.wait(lock, [&] { return done == num_blocks; });
 }
 
 }  // namespace ceaff

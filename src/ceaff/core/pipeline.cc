@@ -7,7 +7,7 @@
 #include "ceaff/common/thread_pool.h"
 #include "ceaff/common/timer.h"
 #include "ceaff/core/checkpoint.h"
-#include "ceaff/la/csls.h"
+#include "ceaff/la/kernels.h"
 #include "ceaff/la/ops.h"
 #include "ceaff/serve/alignment_index.h"
 #include "ceaff/text/levenshtein.h"
@@ -15,6 +15,31 @@
 #include "ceaff/text/ngram_similarity.h"
 
 namespace ceaff::core {
+
+namespace {
+
+/// The pipeline's shared kernel runtime: one pool for every stage (created
+/// only when the caller asked for threads) plus the KernelContext that
+/// threads it — with the run's block sizes and cancellation token — through
+/// each kernel call. Kernels poll the token per row panel, so a deadline
+/// interrupts even a single huge similarity matrix mid-build.
+struct KernelRuntime {
+  std::unique_ptr<ThreadPool> pool;
+  la::KernelContext ctx;
+};
+
+KernelRuntime MakeKernelRuntime(const CeaffOptions& options) {
+  KernelRuntime rt;
+  if (options.num_threads > 1) {
+    rt.pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  rt.ctx.pool = rt.pool.get();
+  rt.ctx.opts.OverrideBlock(options.block_size);
+  rt.ctx.cancel = options.cancel;
+  return rt;
+}
+
+}  // namespace
 
 la::Matrix GatherRows(const la::Matrix& emb,
                       const std::vector<uint32_t>& ids) {
@@ -73,6 +98,7 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
         "alignment references an entity id outside its KG");
   }
   WallTimer timer;
+  KernelRuntime rt = MakeKernelRuntime(options_);
   CeaffFeatures features;
   std::vector<uint32_t> test_src, test_tgt, seed_src, seed_tgt;
   TestIds(*pair_, &test_src, &test_tgt);
@@ -190,17 +216,22 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
           kg::BuildAdjacency(pair_->kg2, options_.adjacency);
       embed::GcnOptions gcn_options = options_.gcn;
       gcn_options.cancel = options_.cancel;
+      gcn_options.kernel = &rt.ctx;
       embed::GcnAligner gcn(std::move(a1), std::move(a2), gcn_options);
       CEAFF_ASSIGN_OR_RETURN(features.gcn_final_loss,
                              gcn.Train(pair_->seed_alignment));
       features.structural_src_emb = GatherRows(gcn.embeddings1(), test_src);
       features.structural_tgt_emb = GatherRows(gcn.embeddings2(), test_tgt);
-      features.structural = la::CosineSimilarity(features.structural_src_emb,
-                                                 features.structural_tgt_emb);
+      CEAFF_ASSIGN_OR_RETURN(
+          features.structural,
+          la::CosineSimilarityChecked(rt.ctx, features.structural_src_emb,
+                                      features.structural_tgt_emb));
       if (!seed_src.empty()) {
-        features.seed_structural =
-            la::CosineSimilarity(GatherRows(gcn.embeddings1(), seed_src),
-                                 GatherRows(gcn.embeddings2(), seed_tgt));
+        CEAFF_ASSIGN_OR_RETURN(
+            features.seed_structural,
+            la::CosineSimilarityChecked(
+                rt.ctx, GatherRows(gcn.embeddings1(), seed_src),
+                GatherRows(gcn.embeddings2(), seed_tgt)));
       }
       CEAFF_RETURN_IF_ERROR(persist_stage("structural", features.structural,
                                           &features.seed_structural,
@@ -225,12 +256,15 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
     bool restored = restore_stage("semantic", &features.semantic,
                                   &features.seed_semantic, nullptr);
     if (!restored) {
-      features.semantic =
-          text::SemanticSimilarityMatrix(*store_, src_names, tgt_names);
+      features.semantic = text::SemanticSimilarityMatrix(*store_, src_names,
+                                                         tgt_names, &rt.ctx);
       if (!seed_src.empty()) {
         features.seed_semantic = text::SemanticSimilarityMatrix(
-            *store_, seed_src_names, seed_tgt_names);
+            *store_, seed_src_names, seed_tgt_names, &rt.ctx);
       }
+      // A token firing mid-kernel leaves the matrix partially built; the
+      // panel polls only skip work, so surface the cancellation here.
+      CEAFF_RETURN_IF_ERROR(rt.ctx.CheckCancelled("semantic stage"));
       CEAFF_RETURN_IF_ERROR(persist_stage("semantic", features.semantic,
                                           &features.seed_semantic, nullptr));
     }
@@ -249,18 +283,16 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
               text::NgramSimilarityMatrix(seed_src_names, seed_tgt_names);
         }
       } else {
-        // The Levenshtein scan dominates feature time on large splits;
-        // split it across a pool when the caller asked for threads.
-        std::unique_ptr<ThreadPool> pool;
-        if (options_.num_threads > 1) {
-          pool = std::make_unique<ThreadPool>(options_.num_threads);
-        }
+        // The Levenshtein scan dominates feature time on large splits; the
+        // kernel splits it across the shared pool and polls the run's
+        // cancellation token per row panel.
         features.string_sim =
-            text::StringSimilarityMatrix(src_names, tgt_names, pool.get());
+            la::StringSimilarityMatrixK(rt.ctx, src_names, tgt_names);
         if (!seed_src.empty()) {
-          features.seed_string = text::StringSimilarityMatrix(
-              seed_src_names, seed_tgt_names, pool.get());
+          features.seed_string = la::StringSimilarityMatrixK(
+              rt.ctx, seed_src_names, seed_tgt_names);
         }
+        CEAFF_RETURN_IF_ERROR(rt.ctx.CheckCancelled("string stage"));
       }
       CEAFF_RETURN_IF_ERROR(persist_stage("string", features.string_sim,
                                           &features.seed_string, nullptr));
@@ -429,10 +461,12 @@ StatusOr<CeaffResult> CeaffPipeline::RunOnFeatures(
   result.string_sim = features.string_sim;
   result.gcn_final_loss = features.gcn_final_loss;
   result.seconds_features = features.seconds;
+  KernelRuntime rt = MakeKernelRuntime(options_);
   CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "fusion stage"));
   CEAFF_RETURN_IF_ERROR(FuseFeatures(features, &result));
   if (options_.csls_k > 0) {
-    result.fused = la::CslsRescale(result.fused, options_.csls_k);
+    result.fused = la::CslsRescaleK(rt.ctx, result.fused, options_.csls_k);
+    CEAFF_RETURN_IF_ERROR(rt.ctx.CheckCancelled("csls rescale"));
   }
 
   CEAFF_RETURN_IF_ERROR(CheckCancel(options_.cancel, "decision stage"));
@@ -458,6 +492,7 @@ StatusOr<CeaffResult> CeaffPipeline::RunOnFeatures(
     case DecisionMode::kSinkhorn: {
       matching::SinkhornOptions sinkhorn;
       sinkhorn.cancel = options_.cancel;
+      sinkhorn.kernel = &rt.ctx;
       CEAFF_ASSIGN_OR_RETURN(
           result.match,
           matching::SinkhornMatchChecked(result.fused, sinkhorn));

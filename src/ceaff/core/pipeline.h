@@ -104,12 +104,17 @@ struct CeaffOptions {
   std::string export_index_path;
   /// Provenance tag stamped into the exported index.
   std::string export_dataset = "ceaff";
-  /// Worker threads for the parallelisable feature stages (currently the
-  /// O(n²) Levenshtein string-similarity scan). 1 (default) keeps every
-  /// stage single-threaded and bit-identical to previous releases — the
-  /// parallel split is deterministic too, so results do not change with
-  /// this knob.
+  /// Worker threads for the compute kernels behind every feature stage
+  /// (GCN forward/backward, cosine matrices, the Levenshtein scan, CSLS
+  /// and Sinkhorn sweeps). The pipeline owns one shared ThreadPool and
+  /// threads it to the stages through a la::KernelContext. 1 (default)
+  /// keeps everything single-threaded; the kernels are thread-count
+  /// deterministic, so results do not change with this knob.
   size_t num_threads = 1;
+  /// Cache-block override for the kernels (la::KernelOptions::OverrideBlock).
+  /// 0 (default) keeps the built-in L2-sized blocks; values only shift the
+  /// panel partition, never the numerical result.
+  size_t block_size = 0;
 };
 
 /// Everything a CEAFF run produces. Feature/fused matrices are restricted

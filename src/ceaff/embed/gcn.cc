@@ -7,6 +7,17 @@
 
 namespace ceaff::embed {
 
+namespace {
+
+/// Kernel context for the forward/backward passes: the caller's when
+/// provided, otherwise a shared default (sequential, default blocks).
+const la::KernelContext& Ctx(const GcnOptions& options) {
+  static const la::KernelContext kDefault;
+  return options.kernel != nullptr ? *options.kernel : kDefault;
+}
+
+}  // namespace
+
 GcnAligner::GcnAligner(la::SparseMatrix a1, la::SparseMatrix a2,
                        const GcnOptions& options)
     : options_(options), a1_(std::move(a1)), a2_(std::move(a2)) {
@@ -26,9 +37,10 @@ GcnAligner::GcnAligner(la::SparseMatrix a1, la::SparseMatrix a2,
 
 void GcnAligner::ForwardKg(const la::SparseMatrix& a, const la::Matrix& x,
                            ForwardCache* cache, la::Matrix* z) const {
-  cache->ax = a.Multiply(x);
+  const la::KernelContext& ctx = Ctx(options_);
+  cache->ax = la::SpMMK(ctx, a, x);
   if (options_.use_weight_transform) {
-    cache->pre = la::MatMul(cache->ax, w1_);
+    cache->pre = la::MatMulK(ctx, cache->ax, w1_);
   } else {
     cache->pre = cache->ax;
   }
@@ -36,9 +48,9 @@ void GcnAligner::ForwardKg(const la::SparseMatrix& a, const la::Matrix& x,
   if (options_.use_relu && options_.use_weight_transform) {
     cache->h1.ReluInPlace();
   }
-  cache->ah1 = a.Multiply(cache->h1);
+  cache->ah1 = la::SpMMK(ctx, a, cache->h1);
   if (options_.use_weight_transform) {
-    *z = la::MatMul(cache->ah1, w2_);
+    *z = la::MatMulK(ctx, cache->ah1, w2_);
   } else {
     *z = cache->ah1;
   }
@@ -55,17 +67,18 @@ void GcnAligner::BackwardKg(const la::SparseMatrix& a,
                             const ForwardCache& cache, const la::Matrix& dz,
                             la::Matrix* dw1, la::Matrix* dw2,
                             la::Matrix* dx) const {
+  const la::KernelContext& ctx = Ctx(options_);
   if (!options_.use_weight_transform) {
     // Z = A·(A·X): pure propagation; dX = A^T A^T dZ.
     if (dx != nullptr) {
-      *dx = a.MultiplyTransposed(a.MultiplyTransposed(dz));
+      *dx = la::SpMMTransposedK(ctx, a, la::SpMMTransposedK(ctx, a, dz));
     }
     return;
   }
   // Z = (A·H1)·W2
-  dw2->Add(la::MatMulAT(cache.ah1, dz));
+  dw2->Add(la::MatMulATK(ctx, cache.ah1, dz));
   // dL/dH1 = A^T · (dZ · W2^T).
-  la::Matrix dh1 = a.MultiplyTransposed(la::MatMulBT(dz, w2_));
+  la::Matrix dh1 = la::SpMMTransposedK(ctx, a, la::MatMulBTK(ctx, dz, w2_));
   // ReLU mask.
   if (options_.use_relu) {
     for (size_t i = 0; i < dh1.size(); ++i) {
@@ -73,9 +86,9 @@ void GcnAligner::BackwardKg(const la::SparseMatrix& a,
     }
   }
   // P = (A·X)·W1
-  dw1->Add(la::MatMulAT(cache.ax, dh1));
+  dw1->Add(la::MatMulATK(ctx, cache.ax, dh1));
   if (dx != nullptr) {
-    *dx = a.MultiplyTransposed(la::MatMulBT(dh1, w1_));
+    *dx = la::SpMMTransposedK(ctx, a, la::MatMulBTK(ctx, dh1, w1_));
   }
 }
 

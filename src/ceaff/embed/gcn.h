@@ -8,6 +8,7 @@
 #include "ceaff/common/random.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/kg/knowledge_graph.h"
+#include "ceaff/la/kernels.h"
 #include "ceaff/la/matrix.h"
 #include "ceaff/la/sparse_matrix.h"
 
@@ -66,6 +67,11 @@ struct GcnOptions {
   /// epoch. Train() returns kCancelled/kDeadlineExceeded when it fires
   /// (embeddings reflect the last completed epoch). Not owned.
   const CancellationToken* cancel = nullptr;
+  /// Optional kernel context (thread pool + block sizes) for the forward
+  /// and backward passes. Null runs the blocked kernels sequentially with
+  /// default blocks; the embeddings are identical either way (the kernels
+  /// are thread-count deterministic). Not owned.
+  const la::KernelContext* kernel = nullptr;
 };
 
 /// Two 2-layer GCNs with *shared* weight matrices W1, W2 (one GCN per KG,

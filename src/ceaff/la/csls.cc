@@ -8,14 +8,17 @@ namespace ceaff::la {
 namespace {
 
 /// Mean of the `k` largest values in [begin, end) with stride `stride`.
+/// The top-k are summed in descending sorted order (not nth_element's
+/// arbitrary order) so this reference and the blocked la/kernels.h
+/// CslsRescaleK accumulate identically and stay bit-identical.
 double TopKMean(const float* begin, size_t count, size_t stride, size_t k) {
   std::vector<float> values;
   values.reserve(count);
   for (size_t i = 0; i < count; ++i) values.push_back(begin[i * stride]);
   k = std::min(k, values.size());
   if (k == 0) return 0.0;
-  std::nth_element(values.begin(), values.begin() + static_cast<long>(k - 1),
-                   values.end(), std::greater<float>());
+  std::partial_sort(values.begin(), values.begin() + static_cast<long>(k),
+                    values.end(), std::greater<float>());
   double sum = 0.0;
   for (size_t i = 0; i < k; ++i) sum += values[i];
   return sum / static_cast<double>(k);

@@ -1,0 +1,565 @@
+#include "ceaff/la/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+#include "ceaff/common/logging.h"
+
+namespace ceaff::la {
+
+namespace {
+
+/// Accumulator lane count for the blocked dot products. Eight independent
+/// float chains with unit-stride loads is the shape compilers auto-vectorise
+/// (two SSE2 / one AVX register of partial sums); the naive references'
+/// single sequential double chain cannot be vectorised without reassociation
+/// flags, which is where the single-thread speedup comes from.
+constexpr size_t kDotLanes = 8;
+
+/// Dot product of two length-d float spans with lane-split accumulation.
+/// The lane combine order is fixed — ((l0+l4)+(l1+l5)) + ((l2+l6)+(l3+l7)),
+/// then the scalar tail — so the result depends only on d, never on the
+/// thread count or block sizes.
+inline float DotLanes(const float* a, const float* b, size_t d) {
+  float lanes[kDotLanes] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+  size_t i = 0;
+  for (; i + kDotLanes <= d; i += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      lanes[l] += a[i + l] * b[i + l];
+    }
+  }
+  float sum = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5])) +
+              ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+  for (; i < d; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// Runs fn(begin, end) over the fixed partition of [0, n) into panels of
+/// `block`, parallel across ctx.pool. The partition depends only on n and
+/// `block`, so each output element is produced by exactly one task whose
+/// internal order is thread-count independent. Once the context's
+/// cancellation token fires, remaining panels are skipped — callers must
+/// surface the error via KernelContext::CheckCancelled and discard the
+/// (partial) output.
+void ParallelPanels(const KernelContext& ctx, size_t n, size_t block,
+                    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  block = std::max<size_t>(1, block);
+  const size_t panels = (n + block - 1) / block;
+  std::atomic<bool> cancelled{false};
+  ParallelFor(ctx.pool, panels, [&](size_t p) {
+    if (cancelled.load(std::memory_order_relaxed)) return;
+    if (ctx.cancel != nullptr && !ctx.cancel->Check("kernel panel").ok()) {
+      cancelled.store(true, std::memory_order_relaxed);
+      return;
+    }
+    const size_t begin = p * block;
+    fn(begin, std::min(n, begin + block));
+  });
+}
+
+/// Per-row inverse L2 norms with the same lane-split accumulation as the
+/// dot kernels; exactly 0 for zero-norm rows so cosine rows/columns of a
+/// zero vector come out as exact zeros, never NaN.
+std::vector<float> InverseRowNorms(const KernelContext& ctx, const Matrix& m) {
+  std::vector<float> inv(m.rows(), 0.0f);
+  ParallelPanels(ctx, m.rows(), ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* p = m.row(i);
+      const float sq = DotLanes(p, p, m.cols());
+      inv[i] = sq > 0.0f ? 1.0f / std::sqrt(sq) : 0.0f;
+    }
+  });
+  return inv;
+}
+
+/// Shared core of MatMulBTK / CosineSimilarityK: out = a·bᵀ with an
+/// optional per-row/per-column scale (null = unscaled). B is walked in
+/// col_block-row panels so one panel stays L2-resident while a row panel
+/// of A streams over it.
+Matrix BlockedMatMulBT(const KernelContext& ctx, const Matrix& a,
+                       const Matrix& b, const float* scale_a,
+                       const float* scale_b) {
+  CEAFF_CHECK(a.cols() == b.cols())
+      << "matmulBT shape mismatch: " << a.rows() << "x" << a.cols() << " * ("
+      << b.rows() << "x" << b.cols() << ")^T";
+  Matrix out(a.rows(), b.rows());
+  const size_t d = a.cols();
+  const size_t col_block = std::max<size_t>(1, ctx.opts.col_block);
+  ParallelPanels(ctx, a.rows(), ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    for (size_t c0 = 0; c0 < b.rows(); c0 += col_block) {
+      const size_t c1 = std::min(b.rows(), c0 + col_block);
+      for (size_t i = r0; i < r1; ++i) {
+        const float* ai = a.row(i);
+        float* oi = out.row(i);
+        const float sa = scale_a != nullptr ? scale_a[i] : 1.0f;
+        for (size_t j = c0; j < c1; ++j) {
+          float v = DotLanes(ai, b.row(j), d);
+          if (scale_a != nullptr) v = (v * sa) * scale_b[j];
+          oi[j] = v;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+/// Mean of the k largest of `values` (consumed in place): partial-sorted
+/// descending, then summed in that order. Identical multiset + identical
+/// summation order = bit-identical result between the naive and blocked
+/// CSLS implementations.
+double TopKMeanSortedDesc(std::vector<float>* values, size_t k) {
+  k = std::min(k, values->size());
+  if (k == 0) return 0.0;
+  std::partial_sort(values->begin(),
+                    values->begin() + static_cast<long>(k), values->end(),
+                    std::greater<float>());
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) sum += (*values)[i];
+  return sum / static_cast<double>(k);
+}
+
+}  // namespace
+
+void KernelOptions::OverrideBlock(size_t block) {
+  if (block == 0) return;
+  col_block = block;
+  row_block = std::max<size_t>(1, block / 2);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family
+// ---------------------------------------------------------------------------
+
+Matrix MatMulBTK(const KernelContext& ctx, const Matrix& a, const Matrix& b) {
+  return BlockedMatMulBT(ctx, a, b, nullptr, nullptr);
+}
+
+Matrix MatMulK(const KernelContext& ctx, const Matrix& a, const Matrix& b) {
+  CEAFF_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << b.rows() << "x" << b.cols();
+  Matrix out(a.rows(), b.cols());
+  const size_t k = a.cols(), n = b.cols();
+  // i-k-j per row panel: out rows accumulate over k in ascending order, the
+  // same order as the naive MatMul, so the two are bit-identical.
+  ParallelPanels(ctx, a.rows(), ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b.row(kk);
+        for (size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Matrix MatMulATK(const KernelContext& ctx, const Matrix& a, const Matrix& b) {
+  CEAFF_CHECK(a.rows() == b.rows())
+      << "matmulAT shape mismatch: (" << a.rows() << "x" << a.cols()
+      << ")^T * " << b.rows() << "x" << b.cols();
+  Matrix out(a.cols(), b.cols());
+  const size_t k = a.rows(), n = b.cols(), acols = a.cols();
+  // Parallel over *output* row panels: each task owns rows [r0, r1) of the
+  // result and scans the shared k dimension in ascending order — race-free
+  // and thread-count independent. (The naive MatMulAT scans k outermost;
+  // the per-element accumulation order — ascending kk — is the same, so the
+  // two are bit-identical.)
+  ParallelPanels(ctx, acols, ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.row(kk);
+      const float* brow = b.row(kk);
+      for (size_t i = r0; i < r1; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) continue;
+        float* orow = out.row(i);
+        for (size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Matrix CosineSimilarityK(const KernelContext& ctx, const Matrix& a,
+                         const Matrix& b) {
+  CEAFF_CHECK(a.cols() == b.cols())
+      << "cosine shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+      << b.rows() << "x" << b.cols();
+  const std::vector<float> inv_a = InverseRowNorms(ctx, a);
+  const std::vector<float> inv_b = InverseRowNorms(ctx, b);
+  return BlockedMatMulBT(ctx, a, b, inv_a.data(), inv_b.data());
+}
+
+StatusOr<Matrix> CosineSimilarityChecked(const KernelContext& ctx,
+                                         const Matrix& a, const Matrix& b) {
+  CEAFF_RETURN_IF_ERROR(ctx.CheckCancelled("cosine similarity"));
+  Matrix out = CosineSimilarityK(ctx, a, b);
+  // A token that fired mid-kernel left later panels unwritten; reject the
+  // partial result here rather than hand it back.
+  CEAFF_RETURN_IF_ERROR(ctx.CheckCancelled("cosine similarity"));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-dense (GCN layer)
+// ---------------------------------------------------------------------------
+
+Matrix SpMMK(const KernelContext& ctx, const SparseMatrix& a, const Matrix& x) {
+  CEAFF_CHECK(a.cols() == x.rows())
+      << "spmm shape mismatch: " << a.rows() << "x" << a.cols() << " * "
+      << x.rows() << "x" << x.cols();
+  Matrix out(a.rows(), x.cols());
+  const size_t n = x.cols();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  // Each task owns a panel of output rows; per row the nnz walk is the same
+  // ascending order as SparseMatrix::Multiply, so the result is
+  // bit-identical to it at any thread count.
+  ParallelPanels(ctx, a.rows(), ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* orow = out.row(r);
+      for (uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const float v = values[k];
+        const float* drow = x.row(col_idx[k]);
+        for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+      }
+    }
+  });
+  return out;
+}
+
+Matrix SpMMTransposedK(const KernelContext& ctx, const SparseMatrix& a,
+                       const Matrix& x) {
+  CEAFF_CHECK(a.rows() == x.rows())
+      << "spmmT shape mismatch: (" << a.rows() << "x" << a.cols() << ")^T * "
+      << x.rows() << "x" << x.cols();
+  Matrix out(a.cols(), x.cols());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  // aᵀ·x scatters into output rows keyed by col_idx, so row panels would
+  // race. Parallelise over output *columns* instead: each task owns columns
+  // [c0, c1) of every output row and replays the full nnz scan restricted
+  // to that column range — disjoint writes, and per element the accumulation
+  // order (ascending r, ascending nnz) matches MultiplyTransposed exactly.
+  ParallelPanels(ctx, x.cols(), ctx.opts.col_block, [&](size_t c0, size_t c1) {
+    for (size_t r = 0; r < a.rows(); ++r) {
+      const float* drow = x.row(r);
+      for (uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const float v = values[k];
+        float* orow = out.row(col_idx[k]);
+        for (size_t j = c0; j < c1; ++j) orow[j] += v * drow[j];
+      }
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sinkhorn normalisation
+// ---------------------------------------------------------------------------
+
+void RowNormalizeK(const KernelContext& ctx, Matrix* m) {
+  const size_t cols = m->cols();
+  ParallelPanels(ctx, m->rows(), ctx.opts.row_block, [&](size_t r0,
+                                                         size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* row = m->row(r);
+      double sum = 0.0;
+      for (size_t c = 0; c < cols; ++c) sum += row[c];
+      if (sum <= 0.0) continue;
+      const float inv = static_cast<float>(1.0 / sum);
+      for (size_t c = 0; c < cols; ++c) row[c] *= inv;
+    }
+  });
+}
+
+void ColNormalizeK(const KernelContext& ctx, Matrix* m, double target) {
+  const size_t rows = m->rows(), cols = m->cols();
+  if (rows == 0 || cols == 0) return;
+  ParallelPanels(ctx, cols, ctx.opts.col_block, [&](size_t c0, size_t c1) {
+    // One row-major sweep gathers every column sum in the panel — ascending
+    // row order per column, the same order as the naive strided walk, so
+    // the sums (and the scaled entries) are bit-identical to it.
+    std::vector<double> sums(c1 - c0, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      const float* row = m->row(r);
+      for (size_t c = c0; c < c1; ++c) sums[c - c0] += row[c];
+    }
+    std::vector<float> scales(c1 - c0, 1.0f);
+    for (size_t c = c0; c < c1; ++c) {
+      const double sum = sums[c - c0];
+      if (sum > 0.0) scales[c - c0] = static_cast<float>(target / sum);
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      float* row = m->row(r);
+      for (size_t c = c0; c < c1; ++c) row[c] *= scales[c - c0];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CSLS
+// ---------------------------------------------------------------------------
+
+Matrix CslsRescaleK(const KernelContext& ctx, const Matrix& m, size_t k) {
+  if (k == 0 || m.empty()) return m;
+  const size_t rows = m.rows(), cols = m.cols();
+
+  std::vector<double> row_mean(rows);
+  ParallelPanels(ctx, rows, ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    std::vector<float> values;
+    for (size_t i = r0; i < r1; ++i) {
+      values.assign(m.row(i), m.row(i) + cols);
+      row_mean[i] = TopKMeanSortedDesc(&values, k);
+    }
+  });
+
+  std::vector<double> col_mean(cols);
+  ParallelPanels(ctx, cols, ctx.opts.col_block, [&](size_t c0, size_t c1) {
+    // Gather the column panel with one cache-friendly row-major sweep into
+    // a (panel width x rows) scratch transpose, then reduce each column
+    // contiguously — same values in the same ascending-row order as the
+    // naive strided walk.
+    const size_t width = c1 - c0;
+    std::vector<float> panel(width * rows);
+    for (size_t i = 0; i < rows; ++i) {
+      const float* row = m.row(i);
+      for (size_t c = c0; c < c1; ++c) panel[(c - c0) * rows + i] = row[c];
+    }
+    std::vector<float> values;
+    for (size_t c = c0; c < c1; ++c) {
+      values.assign(panel.begin() + static_cast<long>((c - c0) * rows),
+                    panel.begin() + static_cast<long>((c - c0 + 1) * rows));
+      col_mean[c] = TopKMeanSortedDesc(&values, k);
+    }
+  });
+
+  Matrix out(rows, cols);
+  ParallelPanels(ctx, rows, ctx.opts.row_block, [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* src = m.row(i);
+      float* dst = out.row(i);
+      for (size_t j = 0; j < cols; ++j) {
+        dst[j] = static_cast<float>(2.0 * src[j] - row_mean[i] - col_mean[j]);
+      }
+    }
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// String kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Strips the longest common prefix and suffix of (a, b) in place. Safe for
+/// both LCS and edit distance: matching a shared first/last character is
+/// always part of some optimal alignment.
+void StripCommonAffixes(std::string_view* a, std::string_view* b) {
+  size_t prefix = 0;
+  const size_t max_prefix = std::min(a->size(), b->size());
+  while (prefix < max_prefix && (*a)[prefix] == (*b)[prefix]) ++prefix;
+  a->remove_prefix(prefix);
+  b->remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t max_suffix = std::min(a->size(), b->size());
+  while (suffix < max_suffix &&
+         (*a)[a->size() - 1 - suffix] == (*b)[b->size() - 1 - suffix]) {
+    ++suffix;
+  }
+  a->remove_suffix(suffix);
+  b->remove_suffix(suffix);
+}
+
+/// LCS length via the bit-parallel column recurrence
+/// (V' = (V + (V & M[c])) | (V & ~M[c]), LCS = count of cleared bits):
+/// one word op per 64 positions of b instead of a DP cell each. Single-word
+/// fast path for |b| <= 64 (the common case for entity names), multi-word
+/// with explicit carry propagation above that.
+size_t LcsBitParallel(std::string_view a, std::string_view b) {
+  if (b.size() > a.size()) std::swap(a, b);  // bitmask the shorter string
+  const size_t n = b.size();
+  if (n == 0) return 0;
+
+  if (n <= 64) {
+    uint64_t masks[256] = {};
+    for (size_t j = 0; j < n; ++j) {
+      masks[static_cast<unsigned char>(b[j])] |= uint64_t{1} << j;
+    }
+    uint64_t v = ~uint64_t{0};
+    for (char ca : a) {
+      const uint64_t m = masks[static_cast<unsigned char>(ca)];
+      const uint64_t u = v & m;
+      v = (v + u) | (v & ~m);
+    }
+    // Cleared bits among the n valid positions are matched LCS positions.
+    const uint64_t valid =
+        n == 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+    return static_cast<size_t>(__builtin_popcountll(~v & valid));
+  }
+
+  const size_t words = (n + 63) / 64;
+  std::vector<uint64_t> masks(256 * words, 0);
+  for (size_t j = 0; j < n; ++j) {
+    masks[static_cast<unsigned char>(b[j]) * words + j / 64] |=
+        uint64_t{1} << (j % 64);
+  }
+  std::vector<uint64_t> v(words, ~uint64_t{0});
+  for (char ca : a) {
+    const uint64_t* m = masks.data() +
+                        static_cast<unsigned char>(ca) * words;
+    uint64_t carry = 0;
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t u = v[w] & m[w];
+      uint64_t sum = 0;
+      // v + u + carry with carry-out across words.
+      uint64_t c1 = __builtin_add_overflow(v[w], u, &sum) ? 1 : 0;
+      c1 += __builtin_add_overflow(sum, carry, &sum) ? 1 : 0;
+      v[w] = sum | (v[w] & ~m[w]);
+      carry = c1;
+    }
+  }
+  size_t lcs = 0;
+  for (size_t w = 0; w < words; ++w) {
+    const size_t bits = std::min<size_t>(64, n - w * 64);
+    const uint64_t valid =
+        bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+    lcs += static_cast<size_t>(__builtin_popcountll(~v[w] & valid));
+  }
+  return lcs;
+}
+
+}  // namespace
+
+double LevenshteinRatioFast(std::string_view a, std::string_view b) {
+  const size_t total = a.size() + b.size();
+  if (total == 0) return 1.0;
+  // With substitution cost 2 a substitution is never cheaper than
+  // delete+insert, so lev* = |a| + |b| − 2·LCS(a, b) exactly. Affix
+  // stripping shortens the LCS inputs without changing the identity:
+  // lev* on the originals equals |a'| + |b'| − 2·LCS(a', b') on the
+  // stripped remainders.
+  StripCommonAffixes(&a, &b);
+  const size_t lev = a.size() + b.size() - 2 * LcsBitParallel(a, b);
+  return static_cast<double>(total - lev) / static_cast<double>(total);
+}
+
+size_t LevenshteinDistanceBanded(std::string_view a, std::string_view b,
+                                 size_t limit, size_t sub_cost) {
+  StripCommonAffixes(&a, &b);
+  if (a.size() < b.size()) std::swap(a, b);  // keep rows short
+  const size_t n = b.size();
+  if (a.size() - n > limit) return limit + 1;  // distance >= |len diff|
+  if (n == 0) return a.size();
+
+  // Two-row DP restricted to the |i − j| <= limit diagonal band: any path
+  // leaving the band already costs more than `limit` (each off-diagonal
+  // step costs >= 1), so out-of-band cells can be treated as infinite.
+  const size_t kInf = limit + 1;
+  std::vector<size_t> prev(n + 1), cur(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = j <= limit ? j : kInf;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const size_t lo = i > limit ? i - limit : 0;
+    const size_t hi = std::min(n, i + limit);
+    cur[0] = i <= limit ? i : kInf;
+    if (lo > 0) cur[lo - 1] = kInf;  // left band edge for the j loop below
+    const char ai = a[i - 1];
+    size_t row_min = kInf;
+    for (size_t j = std::max<size_t>(1, lo); j <= hi; ++j) {
+      const size_t del = prev[j] >= kInf ? kInf : prev[j] + 1;
+      const size_t ins = cur[j - 1] >= kInf ? kInf : cur[j - 1] + 1;
+      const size_t sub =
+          prev[j - 1] >= kInf
+              ? kInf
+              : prev[j - 1] + (ai == b[j - 1] ? 0 : sub_cost);
+      cur[j] = std::min({del, ins, sub, kInf});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (hi < n) cur[hi + 1] = kInf;  // right band edge for the next row
+    if (row_min >= kInf) return kInf;  // every band cell blew the limit
+    std::swap(prev, cur);
+  }
+  return std::min(prev[n], kInf);
+}
+
+Matrix StringSimilarityMatrixK(const KernelContext& ctx,
+                               const std::vector<std::string>& source_names,
+                               const std::vector<std::string>& target_names) {
+  Matrix m(source_names.size(), target_names.size());
+  ParallelPanels(ctx, source_names.size(), ctx.opts.row_block,
+                 [&](size_t r0, size_t r1) {
+                   for (size_t i = r0; i < r1; ++i) {
+                     float* row = m.row(i);
+                     for (size_t j = 0; j < target_names.size(); ++j) {
+                       row[j] = static_cast<float>(LevenshteinRatioFast(
+                           source_names[i], target_names[j]));
+                     }
+                   }
+                 });
+  return m;
+}
+
+Matrix StringSimilarityMatrixPruned(
+    const KernelContext& ctx, const std::vector<std::string>& source_names,
+    const std::vector<std::string>& target_names, double floor) {
+  Matrix m(source_names.size(), target_names.size());
+  ParallelPanels(ctx, source_names.size(), ctx.opts.row_block, [&](
+                                                                   size_t r0,
+                                                                   size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const std::string& a = source_names[i];
+      float* row = m.row(i);
+      double threshold = floor;
+      for (size_t j = 0; j < target_names.size(); ++j) {
+        const std::string& b = target_names[j];
+        const size_t total = a.size() + b.size();
+        if (total == 0) {  // both empty: ratio is exactly 1
+          row[j] = 1.0f;
+          threshold = std::max(threshold, 1.0);
+          continue;
+        }
+        // Length-ratio upper bound: lev* >= | |a| − |b| |, so the ratio can
+        // never exceed 2·min(|a|,|b|) / (|a|+|b|). Below the running row
+        // threshold the DP cannot produce a new maximum — record the bound
+        // and skip it.
+        const size_t min_len = std::min(a.size(), b.size());
+        const double ub =
+            2.0 * static_cast<double>(min_len) / static_cast<double>(total);
+        if (ub <= threshold) {
+          row[j] = static_cast<float>(ub);
+          continue;
+        }
+        // Beating the threshold needs lev* <= (1 − t)·(|a|+|b|); band the
+        // DP at that limit and record the implied bound when it blows it.
+        const size_t limit = static_cast<size_t>(
+            std::floor((1.0 - threshold) * static_cast<double>(total) +
+                       1e-9));
+        const size_t d = LevenshteinDistanceBanded(a, b, limit, 2);
+        if (d > limit) {
+          const double bound =
+              static_cast<double>(total - std::min(total, d)) /
+              static_cast<double>(total);
+          row[j] = static_cast<float>(bound);
+          continue;
+        }
+        const double ratio = static_cast<double>(total - d) /
+                             static_cast<double>(total);
+        row[j] = static_cast<float>(ratio);
+        threshold = std::max(threshold, ratio);
+      }
+    }
+  });
+  return m;
+}
+
+}  // namespace ceaff::la

@@ -1,0 +1,181 @@
+#ifndef CEAFF_LA_KERNELS_H_
+#define CEAFF_LA_KERNELS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/la/matrix.h"
+#include "ceaff/la/sparse_matrix.h"
+
+namespace ceaff::la {
+
+/// High-performance compute kernels (DESIGN.md §11).
+///
+/// Every CEAFF stage reduces to dense pairwise-similarity compute: the GCN
+/// forward/backward, the name-embedding cosine matrix Mn, CSLS re-ranking,
+/// Sinkhorn normalisation and the Levenshtein matrix Ml. The kernels here
+/// are the shared fast path for all of them: cache-blocked, register-tiled
+/// (lane-split accumulators the compiler can keep in SIMD registers) and
+/// row-panel parallel over a common/thread_pool.h ParallelFor.
+///
+/// Determinism contract: for a fixed input and fixed KernelOptions, every
+/// kernel produces bit-identical output regardless of the thread count
+/// (including pool == nullptr). Parallelism only ever partitions *output*
+/// elements across workers; the per-element accumulation order is a pure
+/// function of the shape and block sizes. Agreement with the retained
+/// naive references is documented per kernel: the Sinkhorn and CSLS
+/// kernels are bit-identical to their references; the GEMM-family kernels
+/// (MatMulBTK, CosineSimilarityK, MatMulK, MatMulATK, SpMM) use float
+/// lane-split accumulation instead of the references' sequential
+/// double-precision order, so they agree to a relative error of
+/// O(d · eps_f32) per element (the parity tests in tests/la/kernels_test.cc
+/// pin the bound).
+
+/// Blocking parameters. Defaults target a ~1 MiB L2: a column panel of
+/// `col_block` B-rows x 128 floats (64 KiB) stays resident while a row
+/// panel of A streams over it.
+struct KernelOptions {
+  /// Rows of the output computed per parallel task (the ParallelFor grain).
+  size_t row_block = 64;
+  /// Columns of the output (rows of B in A·Bᵀ) per cache panel.
+  size_t col_block = 128;
+  /// Zero keeps every default; a non-zero value overrides col_block and
+  /// scales row_block to match (the CLI's --block_size plumbs in here).
+  void OverrideBlock(size_t block);
+};
+
+/// Shared context threaded through every kernel call site: the worker pool
+/// (null = sequential), the blocking parameters, and an optional
+/// cooperative cancellation token polled once per row panel. Not owned;
+/// the context must outlive the kernel call.
+struct KernelContext {
+  ThreadPool* pool = nullptr;
+  KernelOptions opts;
+  const CancellationToken* cancel = nullptr;
+
+  /// Cancellation verdict after (or before) a kernel: OK when no token is
+  /// armed or it has not fired.
+  Status CheckCancelled(const char* what) const {
+    return CheckCancel(cancel, what);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// GEMM family
+// ---------------------------------------------------------------------------
+
+/// out = a · bᵀ ((m,d) x (n,d) -> (m,n)), cache-blocked and row-panel
+/// parallel. The similarity-matrix workhorse.
+Matrix MatMulBTK(const KernelContext& ctx, const Matrix& a, const Matrix& b);
+
+/// out = a · b ((m,k) x (k,n) -> (m,n)).
+Matrix MatMulK(const KernelContext& ctx, const Matrix& a, const Matrix& b);
+
+/// out = aᵀ · b ((k,m)ᵀ x (k,n) -> (m,n)). Backprop helper.
+Matrix MatMulATK(const KernelContext& ctx, const Matrix& a, const Matrix& b);
+
+/// Pairwise cosine similarity with per-row norms hoisted out of the pair
+/// loop: one pass computes inverse row norms of `a` and `b` (exactly zero
+/// for zero-norm rows), then a blocked a·bᵀ is scaled by
+/// inv_norm_a[i] · inv_norm_b[j]. Zero-norm rows therefore yield exact
+/// zeros, never NaN.
+Matrix CosineSimilarityK(const KernelContext& ctx, const Matrix& a,
+                         const Matrix& b);
+
+/// Cancellation-aware wrapper: polls ctx.cancel per row panel and returns
+/// kCancelled/kDeadlineExceeded instead of a matrix when it fires
+/// (remaining panels are skipped, not computed).
+StatusOr<Matrix> CosineSimilarityChecked(const KernelContext& ctx,
+                                         const Matrix& a, const Matrix& b);
+
+// ---------------------------------------------------------------------------
+// Sparse-dense (GCN layer)
+// ---------------------------------------------------------------------------
+
+/// out = a · x (CSR (m,k) x dense (k,n) -> dense (m,n)), parallel over
+/// output row panels. Bit-identical to SparseMatrix::Multiply.
+Matrix SpMMK(const KernelContext& ctx, const SparseMatrix& a, const Matrix& x);
+
+/// out = aᵀ · x ((m,k)ᵀ x (m,n) -> (k,n)), parallel over output *column*
+/// panels — each task scans the full CSR but touches a disjoint column
+/// range of every output row, so the result is race-free and bit-identical
+/// to SparseMatrix::MultiplyTransposed at any thread count.
+Matrix SpMMTransposedK(const KernelContext& ctx, const SparseMatrix& a,
+                       const Matrix& x);
+
+// ---------------------------------------------------------------------------
+// Sinkhorn normalisation
+// ---------------------------------------------------------------------------
+
+/// Scales every row of `m` to sum 1 (rows summing to <= 0 are left
+/// untouched), parallel over row panels. Bit-identical to the sequential
+/// reference (per-row sums accumulate in the same order).
+void RowNormalizeK(const KernelContext& ctx, Matrix* m);
+
+/// Scales every column of `m` to sum `target` (columns summing to <= 0 are
+/// left untouched), parallel over column panels. Column sums accumulate
+/// row-major (cache-friendly) in ascending row order — the same order as
+/// the naive column walk, so the result is bit-identical to it.
+void ColNormalizeK(const KernelContext& ctx, Matrix* m, double target);
+
+// ---------------------------------------------------------------------------
+// CSLS
+// ---------------------------------------------------------------------------
+
+/// CSLS hubness rescaling (see la/csls.h), blocked and parallel: row
+/// top-k means are parallel over rows, column top-k means gather each
+/// column panel with one row-major sweep (instead of a strided column
+/// walk). Bit-identical to CslsRescale at any thread count.
+Matrix CslsRescaleK(const KernelContext& ctx, const Matrix& m, size_t k);
+
+// ---------------------------------------------------------------------------
+// String kernels
+// ---------------------------------------------------------------------------
+
+/// Exact lev* ratio (substitution cost 2), algorithmically accelerated:
+/// common prefixes/suffixes are stripped in O(1) per char, then
+/// lev* = |a|+|b| − 2·LCS is computed with the bit-parallel LCS recurrence
+/// (64 positions per machine word) instead of the full DP. Exactly equal
+/// to text::LevenshteinRatio for all inputs (parity-tested).
+double LevenshteinRatioFast(std::string_view a, std::string_view b);
+
+/// Banded early-exit Levenshtein: the classic two-row DP restricted to the
+/// |i−j| <= limit band (any path leaving it costs > limit), abandoning the
+/// scan as soon as a full row exceeds `limit`. Returns limit+1 when the
+/// true distance exceeds `limit`, the exact distance otherwise.
+/// `sub_cost` is 1 for classic Levenshtein, 2 for lev*.
+size_t LevenshteinDistanceBanded(std::string_view a, std::string_view b,
+                                 size_t limit, size_t sub_cost = 1);
+
+/// Full pairwise lev*-ratio matrix via LevenshteinRatioFast, parallel over
+/// source-row panels. Exactly equal to the naive
+/// text::StringSimilarityMatrix at any thread count.
+Matrix StringSimilarityMatrixK(const KernelContext& ctx,
+                               const std::vector<std::string>& source_names,
+                               const std::vector<std::string>& target_names);
+
+/// Pruned variant for retrieval-style consumers that only need each row's
+/// maxima to be exact. Per row a running threshold starts at `floor` and
+/// tracks the best ratio seen so far; a pair whose length-ratio upper
+/// bound
+///
+///   ub = (|a| + |b| − | |a| − |b| |) / (|a| + |b|)  =  2·min(|a|,|b|) / (|a|+|b|)
+///
+/// cannot beat it (ub <= threshold) skips the DP entirely and records ub.
+/// Surviving pairs run the banded DP with limit (1−t)·(|a|+|b|); pairs
+/// that blow the band record their implied upper bound. Every recorded
+/// value is >= nothing it could displace: row maxima (value and argmax,
+/// up to ties at equal score) match the exact matrix; pruned cells hold
+/// upper bounds, not exact ratios.
+Matrix StringSimilarityMatrixPruned(
+    const KernelContext& ctx, const std::vector<std::string>& source_names,
+    const std::vector<std::string>& target_names, double floor = 0.0);
+
+}  // namespace ceaff::la
+
+#endif  // CEAFF_LA_KERNELS_H_

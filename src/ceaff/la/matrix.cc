@@ -5,6 +5,35 @@
 
 namespace ceaff::la {
 
+Matrix::Matrix(const Matrix& other) : rows_(other.rows_), cols_(other.cols_) {
+  // Copying a view materialises it: the copy owns its storage and stays
+  // valid after the view's backing memory goes away.
+  const float* src = other.data();
+  data_.assign(src, src + other.size());
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this != &other) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    const float* src = other.data();
+    data_.assign(src, src + other.size());
+    view_ = nullptr;
+  }
+  return *this;
+}
+
+Matrix Matrix::ConstView(const float* data, size_t rows, size_t cols) {
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  if (rows * cols > 0) {
+    CEAFF_CHECK(data != nullptr) << "null backing for non-empty view";
+    m.view_ = data;
+  }
+  return m;
+}
+
 Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
   if (rows.empty()) return Matrix();
   Matrix m(rows.size(), rows[0].size());
@@ -34,33 +63,43 @@ Matrix Matrix::GlorotUniform(size_t rows, size_t cols, Rng* rng) {
 }
 
 void Matrix::Fill(float v) {
+  CEAFF_DCHECK(!is_view());
   for (float& x : data_) x = v;
 }
 
 void Matrix::Add(const Matrix& other) {
+  CEAFF_DCHECK(!is_view());
   CEAFF_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += o[i];
 }
 
 void Matrix::Sub(const Matrix& other) {
+  CEAFF_DCHECK(!is_view());
   CEAFF_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= o[i];
 }
 
 void Matrix::Scale(float s) {
+  CEAFF_DCHECK(!is_view());
   for (float& x : data_) x *= s;
 }
 
 void Matrix::Axpy(float s, const Matrix& other) {
+  CEAFF_DCHECK(!is_view());
   CEAFF_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  const float* o = other.data();
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * o[i];
 }
 
 void Matrix::ReluInPlace() {
+  CEAFF_DCHECK(!is_view());
   for (float& x : data_) x = x > 0.0f ? x : 0.0f;
 }
 
 void Matrix::L2NormalizeRows() {
+  CEAFF_DCHECK(!is_view());
   for (size_t r = 0; r < rows_; ++r) {
     float* p = row(r);
     double sq = 0.0;
@@ -73,13 +112,15 @@ void Matrix::L2NormalizeRows() {
 
 float Matrix::FrobeniusNorm() const {
   double sq = 0.0;
-  for (float x : data_) sq += static_cast<double>(x) * x;
+  const float* p = data();
+  for (size_t i = 0; i < size(); ++i) sq += static_cast<double>(p[i]) * p[i];
   return static_cast<float>(std::sqrt(sq));
 }
 
 double Matrix::Sum() const {
   double s = 0.0;
-  for (float x : data_) s += x;
+  const float* p = data();
+  for (size_t i = 0; i < size(); ++i) s += p[i];
   return s;
 }
 

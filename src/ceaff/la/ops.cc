@@ -8,16 +8,46 @@
 
 namespace ceaff::la {
 
+namespace {
+
+/// Per-row inverse L2 norms, hoisted out of the pairwise loop. Zero-norm
+/// rows map to an inverse of exactly 0, so every similarity involving a
+/// zero vector comes out as an exact 0.0f — never NaN, never denormal dust.
+std::vector<double> InverseRowNorms(const Matrix& m) {
+  std::vector<double> inv(m.rows(), 0.0);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* p = m.row(r);
+    double sq = 0.0;
+    for (size_t c = 0; c < m.cols(); ++c) sq += static_cast<double>(p[c]) * p[c];
+    if (sq > 0.0) inv[r] = 1.0 / std::sqrt(sq);
+  }
+  return inv;
+}
+
+}  // namespace
+
 Matrix CosineSimilarity(const Matrix& a, const Matrix& b) {
   CEAFF_CHECK(a.cols() == b.cols())
       << "cosine similarity dimension mismatch: " << a.cols() << " vs "
       << b.cols();
-  // Normalise copies once, then a single a * b^T gives all cosines.
-  Matrix an = a;
-  Matrix bn = b;
-  an.L2NormalizeRows();
-  bn.L2NormalizeRows();
-  return MatMulBT(an, bn);
+  // Hoisted norms + one a·bᵀ pass — no normalised copies of the inputs.
+  // This stays the sequential double-accumulation reference the blocked
+  // la/kernels.h CosineSimilarityK is parity-tested and benchmarked against.
+  const std::vector<double> inv_a = InverseRowNorms(a);
+  const std::vector<double> inv_b = InverseRowNorms(b);
+  Matrix out(a.rows(), b.rows());
+  const size_t d = a.cols();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* ai = a.row(i);
+    float* oi = out.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const float* bj = b.row(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < d; ++k) acc += ai[k] * bj[k];
+      oi[j] = static_cast<float>(acc * inv_a[i] * inv_b[j]);
+    }
+  }
+  return out;
 }
 
 std::vector<size_t> RowArgmax(const Matrix& m) {

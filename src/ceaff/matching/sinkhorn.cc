@@ -20,27 +20,19 @@ StatusOr<la::Matrix> SinkhornNormalizeChecked(const la::Matrix& similarity,
     plan.data()[i] = static_cast<float>(
         std::exp((similarity.data()[i] - max_value) * inv_t));
   }
+  // The kernel row/column sweeps accumulate in the exact order of the old
+  // in-line loops, so the plan is bit-identical to the historical
+  // sequential implementation at any thread count.
+  static const la::KernelContext kDefault;
+  const la::KernelContext& ctx =
+      options.kernel != nullptr ? *options.kernel : kDefault;
+  const double target = static_cast<double>(plan.rows()) /
+                        static_cast<double>(plan.cols());
   for (size_t iter = 0; iter < options.iterations; ++iter) {
     CEAFF_RETURN_IF_ERROR(CheckCancel(options.cancel, "sinkhorn iteration"));
-    // Row normalisation.
-    for (size_t r = 0; r < plan.rows(); ++r) {
-      float* row = plan.row(r);
-      double sum = 0.0;
-      for (size_t c = 0; c < plan.cols(); ++c) sum += row[c];
-      if (sum <= 0.0) continue;
-      float inv = static_cast<float>(1.0 / sum);
-      for (size_t c = 0; c < plan.cols(); ++c) row[c] *= inv;
-    }
+    la::RowNormalizeK(ctx, &plan);
     // Column normalisation (to balanced column mass n1/n2).
-    const double target = static_cast<double>(plan.rows()) /
-                          static_cast<double>(plan.cols());
-    for (size_t c = 0; c < plan.cols(); ++c) {
-      double sum = 0.0;
-      for (size_t r = 0; r < plan.rows(); ++r) sum += plan.at(r, c);
-      if (sum <= 0.0) continue;
-      float scale = static_cast<float>(target / sum);
-      for (size_t r = 0; r < plan.rows(); ++r) plan.at(r, c) *= scale;
-    }
+    la::ColNormalizeK(ctx, &plan, target);
   }
   return plan;
 }

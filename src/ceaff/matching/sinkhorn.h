@@ -5,6 +5,7 @@
 
 #include "ceaff/common/cancellation.h"
 #include "ceaff/common/statusor.h"
+#include "ceaff/la/kernels.h"
 #include "ceaff/la/matrix.h"
 #include "ceaff/matching/matching.h"
 
@@ -25,6 +26,10 @@ struct SinkhornOptions {
   /// Sinkhorn iteration. Only the Checked entry points can report it; the
   /// plain ones CHECK-fail if it fires, so pair a token with Checked.
   const CancellationToken* cancel = nullptr;
+  /// Optional kernel context for the row/column normalisation sweeps
+  /// (la::RowNormalizeK / la::ColNormalizeK). Null runs them sequentially;
+  /// the plan is bit-identical at any thread count. Not owned.
+  const la::KernelContext* kernel = nullptr;
 };
 
 /// Row/column-normalises exp(similarity / temperature) `iterations` times

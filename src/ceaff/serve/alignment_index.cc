@@ -4,22 +4,37 @@
 #include <cmath>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <string_view>
 
 #include "ceaff/common/crc32.h"
 #include "ceaff/common/durable_io.h"
+#include "ceaff/common/failpoint.h"
+#include "ceaff/common/mmap_file.h"
 #include "ceaff/common/string_util.h"
-#include "ceaff/la/matrix_io.h"
 
 namespace ceaff::serve {
 
 namespace {
 
 constexpr char kMagic[8] = {'C', 'E', 'A', 'F', 'F', 'I', 'D', 'X'};
-constexpr uint32_t kVersion = 1;
+/// v2 zero-pads each embedded matrix section to kSectionAlign so the float
+/// payloads are naturally aligned in the file and can be served as views
+/// straight out of a memory mapping. v1 (no pads) is still read, always
+/// through the heap-copy path.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 constexpr size_t kPrefixBytes = 16;
 constexpr size_t kFooterBytes = 4;
 constexpr size_t kTrigramWidth = 3;
+constexpr size_t kSectionAlign = alignof(float);
+// The body starts right after the fixed prefix; prefix size being a
+// multiple of the alignment makes body-relative offsets equal file offsets
+// modulo kSectionAlign, so the writer's AlignTo(pad) counter aligns the
+// payloads within the *file* (and hence within a page-aligned mapping).
+static_assert(kPrefixBytes % kSectionAlign == 0,
+              "body-relative alignment must match file alignment");
 
 /// Caps any single declared collection so a corrupted count can never
 /// trigger a multi-gigabyte allocation before the CRC verdict.
@@ -32,7 +47,8 @@ struct Prefix {
 };
 static_assert(sizeof(Prefix) == kPrefixBytes, "index prefix must pack");
 
-/// Serialisation cursor over `out` that feeds every byte into one CRC.
+/// Serialisation cursor over `out` that feeds every byte into one CRC and
+/// tracks the body-relative position so AlignTo can pad matrix payloads.
 class CrcWriter {
  public:
   CrcWriter(std::ostream& out, Crc32* crc) : out_(out), crc_(crc) {}
@@ -41,6 +57,7 @@ class CrcWriter {
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(len));
     crc_->Update(data, len);
+    pos_ += len;
   }
   void U32(uint32_t v) { Bytes(&v, sizeof(v)); }
   void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
@@ -50,24 +67,34 @@ class CrcWriter {
     U32(static_cast<uint32_t>(s.size()));
     Bytes(s.data(), s.size());
   }
+  /// Zero-pads the body up to the next multiple of `align`.
+  void AlignTo(size_t align) {
+    static constexpr char kZeros[8] = {0};
+    const size_t rem = pos_ % align;
+    if (rem != 0) Bytes(kZeros, align - rem);
+  }
 
   bool ok() const { return static_cast<bool>(out_); }
 
  private:
   std::ostream& out_;
   Crc32* crc_;
+  size_t pos_ = 0;  // bytes written so far, relative to the body start
 };
 
-/// Deserialisation cursor. All reads are bounds-checked against the stream;
-/// the caller verifies the file CRC *before* trusting any parsed value, so
-/// failures here mean corruption (kDataLoss), never a crash.
+/// Deserialisation cursor over the in-memory body (heap buffer or file
+/// mapping). All reads are bounds-checked; the caller verifies the file
+/// CRC *before* trusting any parsed value, so failures here mean a
+/// writer/reader format disagreement (kDataLoss), never a crash.
 class Reader {
  public:
-  explicit Reader(std::istream& in) : in_(in) {}
+  explicit Reader(std::string_view buf) : buf_(buf) {}
 
   bool Bytes(void* data, size_t len) {
-    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(len));
-    return static_cast<bool>(in_);
+    if (len > buf_.size() - pos_) return false;
+    std::memcpy(data, buf_.data() + pos_, len);
+    pos_ += len;
+    return true;
   }
   bool U32(uint32_t* v) { return Bytes(v, sizeof(*v)); }
   bool U64(uint64_t* v) { return Bytes(v, sizeof(*v)); }
@@ -77,12 +104,29 @@ class Reader {
     uint32_t len = 0;
     if (!U32(&len)) return false;
     if (len > kMaxDeclaredElems) return false;
-    s->resize(len);
-    return len == 0 || Bytes(s->data(), len);
+    if (len > buf_.size() - pos_) return false;
+    s->assign(buf_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Skip(size_t len) {
+    if (len > buf_.size() - pos_) return false;
+    pos_ += len;
+    return true;
+  }
+  /// Skips the pad the writer's AlignTo emitted at this position.
+  bool SkipAlignment(size_t align) {
+    const size_t rem = pos_ % align;
+    return rem == 0 || Skip(align - rem);
   }
 
+  const char* cursor() const { return buf_.data() + pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+  bool AtEnd() const { return pos_ == buf_.size(); }
+
  private:
-  std::istream& in_;
+  std::string_view buf_;
+  size_t pos_ = 0;
 };
 
 Status WriteBody(const AlignmentIndex& index, std::ostream& out, Crc32* crc) {
@@ -105,7 +149,13 @@ Status WriteBody(const AlignmentIndex& index, std::ostream& out, Crc32* crc) {
   for (const la::Matrix* m :
        {&index.source_name_emb, &index.target_name_emb,
         &index.source_struct_emb, &index.target_struct_emb}) {
-    CEAFF_RETURN_IF_ERROR(la::WriteMatrixSection(*m, out, crc));
+    // la/matrix_io section framing (rows, cols, row-major payload), padded
+    // so the payload lands on a kSectionAlign boundary: the loader can then
+    // point a Matrix view at the mapped bytes without misaligned reads.
+    w.AlignTo(kSectionAlign);
+    w.U64(m->rows());
+    w.U64(m->cols());
+    if (m->size() > 0) w.Bytes(m->data(), m->size() * sizeof(float));
   }
   w.U64(index.trigram_keys.size());
   for (size_t i = 0; i < index.trigram_keys.size(); ++i) {
@@ -118,9 +168,48 @@ Status WriteBody(const AlignmentIndex& index, std::ostream& out, Crc32* crc) {
   return Status::OK();
 }
 
-StatusOr<AlignmentIndex> ReadBody(std::istream& in, uint64_t body_bytes) {
+/// Reads one matrix section at the cursor. v2 bodies (`padded`) carry an
+/// alignment pad before the section; when `zero_copy` is set and the
+/// payload sits on an aligned address, the result is a view into `r`'s
+/// buffer (the caller owns keeping that buffer alive), otherwise a copy.
+StatusOr<la::Matrix> ReadMatrixAt(Reader& r, bool padded, bool zero_copy) {
+  if (padded && !r.SkipAlignment(kSectionAlign)) {
+    return Status::DataLoss("cannot read matrix section padding");
+  }
+  uint64_t rows = 0, cols = 0;
+  if (!r.U64(&rows) || !r.U64(&cols)) {
+    return Status::DataLoss("cannot read matrix section shape");
+  }
+  const uint64_t elems = rows * cols;
+  if (cols != 0 && rows != elems / cols) {
+    return Status::DataLoss("matrix section shape overflows");
+  }
+  if (elems > r.remaining() / sizeof(float)) {
+    return Status::DataLoss("matrix section truncated");
+  }
+  const char* payload = r.cursor();
+  if (!r.Skip(static_cast<size_t>(elems) * sizeof(float))) {
+    return Status::DataLoss("cannot read matrix section payload");
+  }
+  if (elems == 0) {
+    return la::Matrix(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  }
+  if (zero_copy &&
+      reinterpret_cast<uintptr_t>(payload) % alignof(float) == 0) {
+    return la::Matrix::ConstView(reinterpret_cast<const float*>(payload),
+                                 static_cast<size_t>(rows),
+                                 static_cast<size_t>(cols));
+  }
+  la::Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  std::memcpy(m.data(), payload, static_cast<size_t>(elems) * sizeof(float));
+  return m;
+}
+
+StatusOr<AlignmentIndex> ReadBody(std::string_view body, uint32_t version,
+                                  bool zero_copy) {
+  const bool padded = version >= 2;
   AlignmentIndex index;
-  Reader r(in);
+  Reader r(body);
   uint64_t n_src = 0, n_tgt = 0, n_pairs = 0;
   if (!r.Str(&index.dataset) || !r.U64(&n_src) || !r.U64(&n_tgt) ||
       !r.U64(&n_pairs) || !r.F64(&index.weight_structural) ||
@@ -149,7 +238,7 @@ StatusOr<AlignmentIndex> ReadBody(std::istream& in, uint64_t body_bytes) {
   for (la::Matrix* m :
        {&index.source_name_emb, &index.target_name_emb,
         &index.source_struct_emb, &index.target_struct_emb}) {
-    auto section = la::ReadMatrixSection(in, body_bytes, nullptr);
+    auto section = ReadMatrixAt(r, padded, zero_copy);
     if (!section.ok()) return section.status();
     *m = std::move(section).value();
   }
@@ -175,6 +264,11 @@ StatusOr<AlignmentIndex> ReadBody(std::istream& in, uint64_t body_bytes) {
   index.target_trigram_counts.resize(n_tgt);
   for (uint32_t& c : index.target_trigram_counts) {
     if (!r.U32(&c)) return Status::DataLoss("cannot read trigram counts");
+  }
+  // Trailing slack after a clean parse means the writer and reader disagree
+  // about the format — refuse rather than serve a partial view.
+  if (!r.AtEnd()) {
+    return Status::DataLoss("trailing bytes after index body");
   }
   return index;
 }
@@ -371,11 +465,29 @@ Status SaveAlignmentIndex(const AlignmentIndex& index,
 }
 
 StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
-  // Slurp the whole artifact and settle the CRC verdict up front — every
-  // later parse step then runs over bytes known to be exactly what the
-  // writer produced (size caps above still guard against writer bugs).
-  CEAFF_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  // Preferred path: map the artifact read-only and serve the matrix
+  // payloads zero-copy. Any mapping failure — exotic filesystem, resource
+  // exhaustion, or the "index.load.mmap" failpoint in tests — falls back
+  // to slurping the file onto the heap; both paths parse the exact same
+  // bytes and produce identical indexes.
+  std::shared_ptr<const MappedFile> backing;
+  std::string heap_bytes;
+  std::string_view bytes;
+  if (failpoint::Hit("index.load.mmap").ok()) {
+    auto mapped = MappedFile::Open(path);
+    if (mapped.ok()) {
+      backing = std::make_shared<const MappedFile>(std::move(mapped).value());
+      bytes = std::string_view(backing->data(), backing->size());
+    }
+  }
+  if (backing == nullptr) {
+    CEAFF_ASSIGN_OR_RETURN(heap_bytes, ReadFileToString(path));
+    bytes = heap_bytes;
+  }
 
+  // Settle the CRC verdict up front — every later parse step then runs
+  // over bytes known to be exactly what the writer produced (size caps
+  // above still guard against writer bugs).
   if (bytes.size() < kPrefixBytes + kFooterBytes) {
     return Status::DataLoss(
         StrFormat("%s: truncated index (%zu bytes, need at least %zu)",
@@ -387,10 +499,10 @@ StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
     return Status::DataLoss(path +
                             ": bad magic, not a CEAFF alignment index");
   }
-  if (prefix.version != kVersion) {
+  if (prefix.version < kMinVersion || prefix.version > kVersion) {
     return Status::DataLoss(
-        StrFormat("%s: unsupported index version %u (expected %u)",
-                  path.c_str(), prefix.version, kVersion));
+        StrFormat("%s: unsupported index version %u (expected %u..%u)",
+                  path.c_str(), prefix.version, kMinVersion, kVersion));
   }
   uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, bytes.data() + bytes.size() - kFooterBytes,
@@ -403,18 +515,16 @@ StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
         path.c_str(), stored_crc, computed_crc));
   }
 
-  const uint64_t body_bytes = bytes.size() - kPrefixBytes - kFooterBytes;
-  std::istringstream body(
-      bytes.substr(kPrefixBytes, static_cast<size_t>(body_bytes)));
-  auto index = ReadBody(body, body_bytes);
+  // Zero-copy needs both the aligned (v2) layout and a mapping whose
+  // lifetime the index can own; v1 files and heap loads always copy.
+  const bool zero_copy = backing != nullptr && prefix.version >= 2;
+  const std::string_view body = bytes.substr(
+      kPrefixBytes, bytes.size() - kPrefixBytes - kFooterBytes);
+  auto index = ReadBody(body, prefix.version, zero_copy);
   if (!index.ok()) {
     return Status::DataLoss(path + ": " + index.status().message());
   }
-  // Trailing slack after a clean parse means the writer and reader disagree
-  // about the format — refuse rather than serve a partial view.
-  if (body.peek() != std::char_traits<char>::eof()) {
-    return Status::DataLoss(path + ": trailing bytes after index body");
-  }
+  if (zero_copy) index->backing = std::move(backing);
   Status finalized = index->Finalize();
   if (!finalized.ok()) {
     return Status::DataLoss(path + ": " + finalized.message());

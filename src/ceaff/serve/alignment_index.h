@@ -2,10 +2,12 @@
 #define CEAFF_SERVE_ALIGNMENT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "ceaff/common/mmap_file.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/la/matrix.h"
 
@@ -35,9 +37,14 @@ struct AlignedPair {
 ///
 /// On disk this is a single CRC-32-checksummed container (magic
 /// `CEAFFIDX`), written atomically (tmp + rename); matrices are embedded
-/// with the la/matrix_io section framing. A corrupted file — bad magic or
-/// version, truncation, bit flip — always fails the load with kDataLoss and
-/// can never be served from.
+/// with the la/matrix_io section framing. Format version 2 zero-pads each
+/// matrix section to a 4-byte boundary so the float payloads are naturally
+/// aligned within the file; the loader memory-maps the artifact and serves
+/// those payloads as read-only Matrix views straight out of the mapping
+/// (no heap copy of the embedding tables). Version-1 files and any file
+/// whose mapping fails are still loaded through the heap-copy path. A
+/// corrupted file — bad magic or version, truncation, bit flip — always
+/// fails the load with kDataLoss and can never be served from.
 ///
 /// Instances are immutable after Finalize(): the service shares one index
 /// snapshot across all worker threads without locking.
@@ -110,6 +117,13 @@ struct AlignmentIndex {
   /// trigram -> index into trigram_postings.
   std::unordered_map<std::string, uint32_t> trigram_index;
 
+  /// When the loader served the matrix payloads zero-copy, this keeps the
+  /// underlying file mapping alive for as long as the index (the embedding
+  /// matrices above are then read-only views into it). Null for
+  /// heap-loaded and freshly built indexes. Copying the index materialises
+  /// the views (Matrix copy semantics), so copies never depend on this.
+  std::shared_ptr<const MappedFile> backing;
+
   size_t num_sources() const { return source_names.size(); }
   size_t num_targets() const { return target_names.size(); }
 
@@ -154,10 +168,18 @@ StatusOr<AlignmentIndex> BuildAlignmentIndex(AlignmentIndexInput input);
 Status SaveAlignmentIndex(const AlignmentIndex& index,
                           const std::string& path);
 
-/// Loads and fully validates an index artifact: magic, version, CRC over
-/// the entire file, then Finalize()'s invariant checks. kIOError when the
-/// file cannot be opened; kDataLoss when it exists but is corrupt. Never
-/// returns a partially valid index.
+/// Loads and fully validates an index artifact: magic, version (1 or 2),
+/// CRC over the entire file, then Finalize()'s invariant checks. kIOError
+/// when the file cannot be opened; kDataLoss when it exists but is
+/// corrupt. Never returns a partially valid index.
+///
+/// Version-2 artifacts are memory-mapped and their matrix payloads served
+/// as zero-copy views into the mapping (index.backing keeps it alive); the
+/// CRC is still verified over the whole mapping before any byte is
+/// trusted, and the background scrubber's ComputeContentCrc re-reads the
+/// mapped bytes on every pass. When mmap is unavailable (or the failpoint
+/// site "index.load.mmap" is armed) the loader transparently falls back to
+/// the heap-copy path with identical results.
 StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path);
 
 }  // namespace ceaff::serve

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "ceaff/la/kernels.h"
+
 namespace ceaff::text {
 
 namespace {
@@ -59,16 +61,12 @@ la::Matrix StringSimilarityMatrix(
     const std::vector<std::string>& source_names,
     const std::vector<std::string>& target_names,
     ThreadPool* pool) {
-  la::Matrix m(source_names.size(), target_names.size());
-  ParallelFor(pool, source_names.size(), [&](size_t i) {
-    float* row = m.row(i);
-    for (size_t j = 0; j < target_names.size(); ++j) {
-      row[j] =
-          static_cast<float>(LevenshteinRatio(source_names[i],
-                                              target_names[j]));
-    }
-  });
-  return m;
+  // The kernel path computes every cell with the bit-parallel LCS identity
+  // (la::LevenshteinRatioFast), which equals LevenshteinRatio exactly —
+  // the matrix is unchanged, just much cheaper per pair.
+  la::KernelContext ctx;
+  ctx.pool = pool;
+  return la::StringSimilarityMatrixK(ctx, source_names, target_names);
 }
 
 }  // namespace ceaff::text

@@ -1,6 +1,6 @@
 #include "ceaff/text/name_embedding.h"
 
-#include "ceaff/la/ops.h"
+#include "ceaff/common/thread_pool.h"
 #include "ceaff/text/tokenizer.h"
 
 namespace ceaff::text {
@@ -23,23 +23,30 @@ std::vector<float> EmbedName(const WordEmbeddingStore& store,
 }
 
 la::Matrix EmbedNames(const WordEmbeddingStore& store,
-                      const std::vector<std::string>& names) {
+                      const std::vector<std::string>& names,
+                      const la::KernelContext* kernel) {
   la::Matrix n(names.size(), store.dim());
-  for (size_t i = 0; i < names.size(); ++i) {
-    std::vector<float> vec = EmbedName(store, names[i]);
-    float* row = n.row(i);
-    for (size_t d = 0; d < vec.size(); ++d) row[d] = vec[d];
-  }
+  // Each name writes only its own row and the store is read-only, so the
+  // loop splits cleanly across the pool; output is identical either way.
+  ParallelFor(kernel != nullptr ? kernel->pool : nullptr, names.size(),
+              [&](size_t i) {
+                std::vector<float> vec = EmbedName(store, names[i]);
+                float* row = n.row(i);
+                for (size_t d = 0; d < vec.size(); ++d) row[d] = vec[d];
+              });
   return n;
 }
 
 la::Matrix SemanticSimilarityMatrix(
     const WordEmbeddingStore& store,
     const std::vector<std::string>& source_names,
-    const std::vector<std::string>& target_names) {
-  la::Matrix n1 = EmbedNames(store, source_names);
-  la::Matrix n2 = EmbedNames(store, target_names);
-  return la::CosineSimilarity(n1, n2);
+    const std::vector<std::string>& target_names,
+    const la::KernelContext* kernel) {
+  static const la::KernelContext kDefault;
+  const la::KernelContext& ctx = kernel != nullptr ? *kernel : kDefault;
+  la::Matrix n1 = EmbedNames(store, source_names, kernel);
+  la::Matrix n2 = EmbedNames(store, target_names, kernel);
+  return la::CosineSimilarityK(ctx, n1, n2);
 }
 
 }  // namespace ceaff::text

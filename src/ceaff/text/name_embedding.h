@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "ceaff/la/kernels.h"
 #include "ceaff/la/matrix.h"
 #include "ceaff/text/word_embedding.h"
 
@@ -17,16 +18,23 @@ std::vector<float> EmbedName(const WordEmbeddingStore& store,
                              const std::string& name);
 
 /// Stacks EmbedName over all `names` into the name-embedding matrix N
-/// (|names| x store.dim()).
+/// (|names| x store.dim()). The per-name lookups are independent (the
+/// store is immutable), so a kernel context with a pool embeds name
+/// panels in parallel; null stays sequential with identical output.
 la::Matrix EmbedNames(const WordEmbeddingStore& store,
-                      const std::vector<std::string>& names);
+                      const std::vector<std::string>& names,
+                      const la::KernelContext* kernel = nullptr);
 
 /// Semantic similarity matrix Mn: cosine similarity between every source
-/// and target name embedding.
+/// and target name embedding, computed with the blocked
+/// la::CosineSimilarityK kernel (sequential with default blocks when
+/// `kernel` is null — same values either way, the kernel is thread-count
+/// deterministic).
 la::Matrix SemanticSimilarityMatrix(
     const WordEmbeddingStore& store,
     const std::vector<std::string>& source_names,
-    const std::vector<std::string>& target_names);
+    const std::vector<std::string>& target_names,
+    const la::KernelContext* kernel = nullptr);
 
 }  // namespace ceaff::text
 

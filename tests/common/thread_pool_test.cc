@@ -102,6 +102,22 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
+// Regression: ParallelFor's completion barrier must not let the caller
+// return (destroying the stack-local mutex/condvar) while the finishing
+// worker is still between bumping the done-count and notifying. Many
+// tiny back-to-back calls maximise that window; under TSan the old
+// atomic-counter barrier showed up as a worker locking a dead mutex.
+TEST(ParallelForTest, RapidSmallCallsNeverRaceTheBarrierTeardown) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    ParallelFor(&pool, 4, [&total](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000u);
+}
+
 TEST(ParallelForTest, NullPoolFallsBackToSequential) {
   std::vector<int> hits(64, 0);
   ParallelFor(nullptr, hits.size(), [&hits](size_t i) { hits[i]++; });

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "ceaff/data/synthetic.h"
 
 namespace ceaff::core {
@@ -56,6 +58,36 @@ TEST_F(PipelineTest, RunProducesTestShapedMatrices) {
   EXPECT_GT(r.accuracy, 0.5);  // features are informative on this config
   EXPECT_EQ(r.textual_weights.size(), 2u);
   EXPECT_EQ(r.final_weights.size(), 2u);
+}
+
+// The kernel determinism contract, end to end: the seed synthetic pipeline
+// must produce bit-identical alignment results at any thread count, and the
+// same matching/Hits@1 under a non-default block size (blocking may move
+// GEMM-family floats within the documented tolerance, never the decisions).
+TEST_F(PipelineTest, ThreadCountDoesNotChangeAlignmentResults) {
+  CeaffOptions seq = FastOptions();
+  CeaffOptions par = FastOptions();
+  par.num_threads = 4;
+  CeaffResult rs =
+      CeaffPipeline(&bench_->pair, &bench_->store, seq).Run().value();
+  CeaffResult rp =
+      CeaffPipeline(&bench_->pair, &bench_->store, par).Run().value();
+  EXPECT_EQ(rs.accuracy, rp.accuracy);
+  EXPECT_EQ(rs.match.target_of_source, rp.match.target_of_source);
+  EXPECT_EQ(rs.final_weights, rp.final_weights);
+  ASSERT_EQ(rs.fused.rows(), rp.fused.rows());
+  ASSERT_EQ(rs.fused.cols(), rp.fused.cols());
+  EXPECT_EQ(std::memcmp(rs.fused.data(), rp.fused.data(),
+                        rs.fused.size() * sizeof(float)),
+            0);
+
+  CeaffOptions blocked = FastOptions();
+  blocked.num_threads = 4;
+  blocked.block_size = 48;  // non-default, non-multiple-of-shape
+  CeaffResult rb =
+      CeaffPipeline(&bench_->pair, &bench_->store, blocked).Run().value();
+  EXPECT_EQ(rs.accuracy, rb.accuracy);
+  EXPECT_EQ(rs.match.target_of_source, rb.match.target_of_source);
 }
 
 TEST_F(PipelineTest, DeterministicAcrossRuns) {

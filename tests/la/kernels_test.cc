@@ -1,0 +1,410 @@
+// Parity and property tests for the blocked/parallel compute kernels
+// (la/kernels.h) against their retained naive references. The determinism
+// contract — bit-identical output at every thread count — and the
+// documented agreement with the references (bit-identical for the
+// Sinkhorn/CSLS/SpMM family, O(d·eps) relative for the float-accumulating
+// GEMM family) are pinned here; a kernel change that silently reorders an
+// accumulation breaks these tests, not an alignment benchmark three layers
+// up.
+
+#include "ceaff/la/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/random.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/la/csls.h"
+#include "ceaff/la/ops.h"
+#include "ceaff/la/sparse_matrix.h"
+#include "ceaff/matching/sinkhorn.h"
+#include "ceaff/text/levenshtein.h"
+
+namespace ceaff::la {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, size_t nnz,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz);
+  for (size_t i = 0; i < nnz; ++i) {
+    triplets.push_back({static_cast<uint32_t>(rng.NextBounded(rows)),
+                        static_cast<uint32_t>(rng.NextBounded(cols)),
+                        static_cast<float>(rng.NextUniform(-1.0, 1.0))});
+  }
+  return SparseMatrix::Build(rows, cols, std::move(triplets));
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+void ExpectNear(const Matrix& got, const Matrix& want, double rel_tol) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (size_t r = 0; r < got.rows(); ++r) {
+    for (size_t c = 0; c < got.cols(); ++c) {
+      const double w = want.at(r, c);
+      const double tol = rel_tol * std::max(1.0, std::abs(w));
+      EXPECT_NEAR(got.at(r, c), w, tol) << "at (" << r << ", " << c << ")";
+    }
+  }
+}
+
+// The GEMM-family kernels accumulate in float with lane splitting; the
+// references accumulate sequentially in double. The per-element error is
+// O(d · eps_f32); d <= 200 in these tests, so 1e-4 relative is generous
+// while still catching any wrong-element bug outright.
+constexpr double kGemmRelTol = 1e-4;
+
+/// Runs `compute` under: no pool, a 4-thread pool (default blocks), and a
+/// 4-thread pool with a tiny block override, asserting all three results
+/// are bit-identical. Returns the sequential result for further checks.
+template <typename Fn>
+Matrix CheckDeterministic(Fn compute) {
+  KernelContext seq;
+  Matrix base = compute(seq);
+
+  ThreadPool pool(4);
+  KernelContext par;
+  par.pool = &pool;
+  EXPECT_TRUE(BitIdentical(base, compute(par)))
+      << "4-thread result differs from sequential";
+
+  KernelContext tiny;
+  tiny.pool = &pool;
+  tiny.opts.row_block = 3;
+  tiny.opts.col_block = 5;
+  EXPECT_TRUE(BitIdentical(base, compute(tiny)))
+      << "tiny-block result differs from default blocks";
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family
+// ---------------------------------------------------------------------------
+
+TEST(KernelGemmTest, MatMulBTMatchesNaiveWithinTolerance) {
+  const Matrix a = RandomMatrix(33, 70, 1);
+  const Matrix b = RandomMatrix(29, 70, 2);
+  const Matrix naive = MatMulBT(a, b);
+  const Matrix fast = CheckDeterministic(
+      [&](const KernelContext& ctx) { return MatMulBTK(ctx, a, b); });
+  ExpectNear(fast, naive, kGemmRelTol);
+}
+
+TEST(KernelGemmTest, MatMulMatchesNaiveBitwise) {
+  const Matrix a = RandomMatrix(21, 34, 3);
+  const Matrix b = RandomMatrix(34, 17, 4);
+  const Matrix naive = MatMul(a, b);
+  const Matrix fast = CheckDeterministic(
+      [&](const KernelContext& ctx) { return MatMulK(ctx, a, b); });
+  EXPECT_TRUE(BitIdentical(fast, naive));
+}
+
+TEST(KernelGemmTest, MatMulATMatchesNaiveBitwise) {
+  const Matrix a = RandomMatrix(34, 21, 5);
+  const Matrix b = RandomMatrix(34, 17, 6);
+  const Matrix naive = MatMulAT(a, b);
+  const Matrix fast = CheckDeterministic(
+      [&](const KernelContext& ctx) { return MatMulATK(ctx, a, b); });
+  EXPECT_TRUE(BitIdentical(fast, naive));
+}
+
+TEST(KernelGemmTest, CosineMatchesNaiveWithinTolerance) {
+  const Matrix a = RandomMatrix(40, 64, 7);
+  const Matrix b = RandomMatrix(35, 64, 8);
+  const Matrix naive = CosineSimilarity(a, b);
+  const Matrix fast = CheckDeterministic(
+      [&](const KernelContext& ctx) { return CosineSimilarityK(ctx, a, b); });
+  ExpectNear(fast, naive, kGemmRelTol);
+  // Cosine values are bounded regardless of accumulation order.
+  for (size_t r = 0; r < fast.rows(); ++r) {
+    for (size_t c = 0; c < fast.cols(); ++c) {
+      EXPECT_LE(std::abs(fast.at(r, c)), 1.0f + 1e-5f);
+    }
+  }
+}
+
+// Satellite regression: zero-norm rows must yield exactly 0 similarity —
+// never NaN, never garbage from a 0/0 — in both the naive reference and
+// the kernel. (The naive CosineSimilarity used to normalise copies of the
+// inputs per call; the rewrite hoists inverse norms and pins this.)
+TEST(KernelGemmTest, ZeroNormRowsYieldExactZeros) {
+  Matrix a = RandomMatrix(4, 8, 9);
+  Matrix b = RandomMatrix(3, 8, 10);
+  for (size_t c = 0; c < a.cols(); ++c) a.at(2, c) = 0.0f;  // zero row in a
+  for (size_t c = 0; c < b.cols(); ++c) b.at(0, c) = 0.0f;  // zero row in b
+
+  const Matrix naive = CosineSimilarity(a, b);
+  KernelContext ctx;
+  const Matrix fast = CosineSimilarityK(ctx, a, b);
+  for (size_t j = 0; j < naive.cols(); ++j) {
+    EXPECT_EQ(naive.at(2, j), 0.0f);
+    EXPECT_EQ(fast.at(2, j), 0.0f);
+  }
+  for (size_t i = 0; i < naive.rows(); ++i) {
+    EXPECT_EQ(naive.at(i, 0), 0.0f);
+    EXPECT_EQ(fast.at(i, 0), 0.0f);
+  }
+  for (size_t r = 0; r < naive.rows(); ++r) {
+    for (size_t c = 0; c < naive.cols(); ++c) {
+      EXPECT_FALSE(std::isnan(naive.at(r, c)));
+      EXPECT_FALSE(std::isnan(fast.at(r, c)));
+    }
+  }
+}
+
+TEST(KernelGemmTest, OddShapesMatchNaive) {
+  // 0x0, 1xN, Nx1, d=1, and shapes far from any block multiple.
+  const struct {
+    size_t m, n, d;
+  } shapes[] = {{0, 0, 0}, {0, 5, 3}, {1, 7, 16}, {7, 1, 16},
+                {5, 6, 1}, {65, 129, 33}, {1, 1, 1}};
+  for (const auto& s : shapes) {
+    const Matrix a = RandomMatrix(s.m, s.d, 11 + s.m);
+    const Matrix b = RandomMatrix(s.n, s.d, 12 + s.n);
+    const Matrix naive = CosineSimilarity(a, b);
+    const Matrix fast = CheckDeterministic(
+        [&](const KernelContext& ctx) { return CosineSimilarityK(ctx, a, b); });
+    ExpectNear(fast, naive, kGemmRelTol);
+  }
+}
+
+TEST(KernelGemmTest, CheckedVariantHonoursCancellation) {
+  const Matrix a = RandomMatrix(64, 16, 13);
+  const Matrix b = RandomMatrix(64, 16, 14);
+  CancellationToken token;
+  token.RequestCancel();
+  KernelContext ctx;
+  ctx.cancel = &token;
+  auto result = CosineSimilarityChecked(ctx, a, b);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-dense
+// ---------------------------------------------------------------------------
+
+TEST(KernelSpmmTest, SpMMMatchesCsrReferenceBitwise) {
+  const SparseMatrix a = RandomSparse(30, 40, 150, 15);
+  const Matrix x = RandomMatrix(40, 9, 16);
+  const Matrix naive = a.Multiply(x);
+  const Matrix fast = CheckDeterministic(
+      [&](const KernelContext& ctx) { return SpMMK(ctx, a, x); });
+  EXPECT_TRUE(BitIdentical(fast, naive));
+}
+
+TEST(KernelSpmmTest, SpMMTransposedMatchesCsrReferenceBitwise) {
+  const SparseMatrix a = RandomSparse(30, 40, 150, 17);
+  const Matrix x = RandomMatrix(30, 9, 18);
+  const Matrix naive = a.MultiplyTransposed(x);
+  const Matrix fast = CheckDeterministic(
+      [&](const KernelContext& ctx) { return SpMMTransposedK(ctx, a, x); });
+  EXPECT_TRUE(BitIdentical(fast, naive));
+}
+
+// ---------------------------------------------------------------------------
+// Sinkhorn normalisation
+// ---------------------------------------------------------------------------
+
+TEST(KernelNormalizeTest, RowAndColNormalizeAreThreadCountInvariant) {
+  const Matrix base = RandomMatrix(37, 23, 19);
+  auto row_normalized = [&](const KernelContext& ctx) {
+    // Shift into positive territory so every row/col has mass.
+    Matrix m = base;
+    for (size_t r = 0; r < m.rows(); ++r) {
+      for (size_t c = 0; c < m.cols(); ++c) m.at(r, c) += 2.0f;
+    }
+    RowNormalizeK(ctx, &m);
+    ColNormalizeK(ctx, &m, 37.0 / 23.0);
+    return m;
+  };
+  const Matrix result = CheckDeterministic(row_normalized);
+  // Columns were normalised last: each must sum to ~target.
+  for (size_t c = 0; c < result.cols(); ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < result.rows(); ++r) sum += result.at(r, c);
+    EXPECT_NEAR(sum, 37.0 / 23.0, 1e-4);
+  }
+}
+
+TEST(KernelNormalizeTest, SinkhornPlanIsIdenticalWithAndWithoutKernels) {
+  const Matrix sim = RandomMatrix(12, 15, 20);
+  matching::SinkhornOptions plain;
+  auto reference = matching::SinkhornNormalizeChecked(sim, plain);
+  ASSERT_TRUE(reference.ok());
+
+  ThreadPool pool(4);
+  KernelContext ctx;
+  ctx.pool = &pool;
+  matching::SinkhornOptions with_kernel;
+  with_kernel.kernel = &ctx;
+  auto parallel = matching::SinkhornNormalizeChecked(sim, with_kernel);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_TRUE(BitIdentical(*reference, *parallel));
+}
+
+// ---------------------------------------------------------------------------
+// CSLS
+// ---------------------------------------------------------------------------
+
+TEST(KernelCslsTest, MatchesNaiveBitwiseIncludingEdgeK) {
+  const Matrix m = RandomMatrix(26, 31, 21);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{5}, size_t{31}, size_t{99}}) {
+    const Matrix naive = CslsRescale(m, k);
+    const Matrix fast = CheckDeterministic(
+        [&](const KernelContext& ctx) { return CslsRescaleK(ctx, m, k); });
+    EXPECT_TRUE(BitIdentical(fast, naive)) << "k = " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// String kernels
+// ---------------------------------------------------------------------------
+
+std::string RandomName(Rng* rng, size_t max_len) {
+  const std::string alphabet = "abcdefgh ";
+  std::string s;
+  const size_t len = rng->NextBounded(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    s += alphabet[rng->NextBounded(alphabet.size())];
+  }
+  return s;
+}
+
+TEST(KernelStringTest, LevenshteinRatioFastIsExactlyTheNaiveRatio) {
+  // Edge cases first: empties, identical, pure prefix/suffix overlap, and
+  // strings longer than one 64-bit LCS word.
+  const std::string long_a(150, 'a');
+  std::string long_b = long_a;
+  long_b[77] = 'b';
+  const std::pair<std::string, std::string> cases[] = {
+      {"", ""},         {"", "abc"},     {"abc", ""},
+      {"same", "same"}, {"abcx", "abcy"}, {"xabc", "yabc"},
+      {"a", "c"},       {"kitten", "sitting"}, {long_a, long_b},
+  };
+  for (const auto& [a, b] : cases) {
+    EXPECT_DOUBLE_EQ(LevenshteinRatioFast(a, b), text::LevenshteinRatio(a, b))
+        << '"' << a << "\" vs \"" << b << '"';
+  }
+  Rng rng(22);
+  for (int i = 0; i < 500; ++i) {
+    const std::string a = RandomName(&rng, 90);
+    const std::string b = RandomName(&rng, 90);
+    ASSERT_DOUBLE_EQ(LevenshteinRatioFast(a, b),
+                     text::LevenshteinRatio(a, b))
+        << '"' << a << "\" vs \"" << b << '"';
+  }
+}
+
+TEST(KernelStringTest, BandedDistanceIsExactWithinTheLimit) {
+  Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const std::string a = RandomName(&rng, 25);
+    const std::string b = RandomName(&rng, 25);
+    const size_t exact = text::LevenshteinDistance(a, b);
+    for (size_t limit : {size_t{0}, size_t{2}, size_t{10}, size_t{60}}) {
+      const size_t banded = LevenshteinDistanceBanded(a, b, limit);
+      if (exact <= limit) {
+        EXPECT_EQ(banded, exact) << '"' << a << "\" vs \"" << b << '"';
+      } else {
+        EXPECT_EQ(banded, limit + 1) << '"' << a << "\" vs \"" << b << '"';
+      }
+    }
+    // Substitution cost 2 variant against the lev* reference.
+    const size_t exact2 = text::LevenshteinDistanceSub2(a, b);
+    const size_t banded2 = LevenshteinDistanceBanded(a, b, 60, 2);
+    EXPECT_EQ(banded2, exact2 <= 60 ? exact2 : size_t{61});
+  }
+}
+
+std::vector<std::string> RandomNames(size_t n, size_t max_len, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names(n);
+  for (std::string& s : names) s = RandomName(&rng, max_len);
+  return names;
+}
+
+TEST(KernelStringTest, SimilarityMatrixMatchesNaiveExactly) {
+  const auto src = RandomNames(23, 20, 24);
+  const auto tgt = RandomNames(17, 20, 25);
+  const Matrix naive = text::StringSimilarityMatrix(src, tgt);
+  const Matrix fast = CheckDeterministic([&](const KernelContext& ctx) {
+    return StringSimilarityMatrixK(ctx, src, tgt);
+  });
+  EXPECT_TRUE(BitIdentical(fast, naive));
+}
+
+TEST(KernelStringTest, PrunedMatrixKeepsExactRowMaximaAndUpperBounds) {
+  const auto src = RandomNames(20, 24, 26);
+  const auto tgt = RandomNames(30, 24, 27);
+  const Matrix exact = text::StringSimilarityMatrix(src, tgt);
+  const Matrix pruned = CheckDeterministic([&](const KernelContext& ctx) {
+    return StringSimilarityMatrixPruned(ctx, src, tgt);
+  });
+  ASSERT_EQ(pruned.rows(), exact.rows());
+  ASSERT_EQ(pruned.cols(), exact.cols());
+  for (size_t r = 0; r < exact.rows(); ++r) {
+    float exact_max = 0.0f, pruned_max = 0.0f;
+    for (size_t c = 0; c < exact.cols(); ++c) {
+      // Pruned cells hold upper bounds — never less than the true ratio.
+      EXPECT_GE(pruned.at(r, c), exact.at(r, c) - 1e-6f)
+          << "(" << r << ", " << c << ")";
+      exact_max = std::max(exact_max, exact.at(r, c));
+      pruned_max = std::max(pruned_max, pruned.at(r, c));
+    }
+    // Row maxima are exact: the best candidate is never pruned below its
+    // true score, and no upper bound exceeds the row's true maximum...
+    EXPECT_EQ(pruned_max, exact_max) << "row " << r;
+    // ...and the argmax set (ties included) is preserved.
+    for (size_t c = 0; c < exact.cols(); ++c) {
+      if (exact.at(r, c) == exact_max) {
+        EXPECT_EQ(pruned.at(r, c), exact_max) << "(" << r << ", " << c << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelStringTest, PrunedMatrixHonoursFloor) {
+  const auto src = RandomNames(12, 18, 28);
+  const auto tgt = RandomNames(12, 18, 29);
+  const Matrix exact = text::StringSimilarityMatrix(src, tgt);
+  KernelContext ctx;
+  const double floor = 0.8;
+  const Matrix pruned = StringSimilarityMatrixPruned(ctx, src, tgt, floor);
+  // Entries above the floor are exact; the rest are upper bounds.
+  for (size_t r = 0; r < exact.rows(); ++r) {
+    for (size_t c = 0; c < exact.cols(); ++c) {
+      if (exact.at(r, c) > floor) {
+        EXPECT_EQ(pruned.at(r, c), exact.at(r, c))
+            << "(" << r << ", " << c << ")";
+      } else {
+        EXPECT_GE(pruned.at(r, c), exact.at(r, c) - 1e-6f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ceaff::la

@@ -207,6 +207,9 @@ std::vector<IndexSectionBoundary> IndexSectionBoundaries(
   const char* mat_names[] = {"source_name_emb", "target_name_emb",
                              "source_struct_emb", "target_struct_emb"};
   for (int i = 0; i < 4; ++i) {
+    // Format v2 zero-pads each matrix section to a 4-byte file offset so
+    // the float payload can be mmap-served without misaligned reads.
+    off = (off + 3) & ~size_t{3};
     table.push_back({mat_names[i], off});
     off += 16 + mats[i]->size() * sizeof(float);  // u64 rows, u64 cols, data
   }

@@ -1,0 +1,226 @@
+// Zero-copy (mmap) index loading: the v2 artifact's matrix payloads are
+// served as read-only views into the file mapping. These tests pin the
+// three contracts that make that safe: the mmap and heap-fallback paths
+// produce identical indexes, version-1 (unpadded) artifacts still load,
+// and corruption fails the load on the mmap path exactly as it does on the
+// heap path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "ceaff/common/crc32.h"
+#include "ceaff/common/failpoint.h"
+#include "ceaff/serve/alignment_index.h"
+#include "serve/serve_test_util.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::serve {
+namespace {
+
+using ::ceaff::testing::FileSize;
+using ::ceaff::testing::FlipBit;
+using ::ceaff::testing::ScratchDir;
+using ::ceaff::testing::SmallIndex;
+
+/// Forces LoadAlignmentIndex down the heap-copy fallback for the scope of
+/// one test block.
+class ForceHeapLoad {
+ public:
+  ForceHeapLoad() {
+    CEAFF_CHECK(failpoint::Configure("index.load.mmap=error").ok());
+  }
+  ~ForceHeapLoad() { failpoint::Clear(); }
+};
+
+void ExpectIndexesEqual(const AlignmentIndex& a, const AlignmentIndex& b) {
+  EXPECT_EQ(a.dataset, b.dataset);
+  EXPECT_EQ(a.source_names, b.source_names);
+  EXPECT_EQ(a.target_names, b.target_names);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_DOUBLE_EQ(a.weight_structural, b.weight_structural);
+  EXPECT_DOUBLE_EQ(a.weight_semantic, b.weight_semantic);
+  EXPECT_DOUBLE_EQ(a.weight_string, b.weight_string);
+  EXPECT_EQ(a.semantic_seed, b.semantic_seed);
+  EXPECT_EQ(a.trigram_keys, b.trigram_keys);
+  EXPECT_EQ(a.trigram_postings, b.trigram_postings);
+  EXPECT_EQ(a.target_trigram_counts, b.target_trigram_counts);
+  EXPECT_EQ(a.content_crc, b.content_crc);
+  const la::Matrix* mats_a[] = {&a.source_name_emb, &a.target_name_emb,
+                                &a.source_struct_emb, &a.target_struct_emb};
+  const la::Matrix* mats_b[] = {&b.source_name_emb, &b.target_name_emb,
+                                &b.source_struct_emb, &b.target_struct_emb};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(mats_a[i]->rows(), mats_b[i]->rows()) << "matrix " << i;
+    ASSERT_EQ(mats_a[i]->cols(), mats_b[i]->cols()) << "matrix " << i;
+    if (mats_a[i]->size() > 0) {
+      EXPECT_EQ(std::memcmp(mats_a[i]->data(), mats_b[i]->data(),
+                            mats_a[i]->size() * sizeof(float)),
+                0)
+          << "matrix " << i;
+    }
+  }
+}
+
+TEST(IndexMmapTest, MmapLoadServesMatrixPayloadsAsViews) {
+  ScratchDir dir("idx_mmap_views");
+  const std::string path = dir.File("run.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+
+  auto loaded = LoadAlignmentIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const AlignmentIndex& index = *loaded;
+  // The default path maps the file and keeps the mapping alive alongside
+  // the views into it.
+  EXPECT_NE(index.backing, nullptr);
+  EXPECT_TRUE(index.source_name_emb.is_view());
+  EXPECT_TRUE(index.target_name_emb.is_view());
+  // The view payloads point inside the mapping.
+  const char* begin = index.backing->data();
+  const char* end = begin + index.backing->size();
+  const char* payload =
+      reinterpret_cast<const char*>(index.source_name_emb.data());
+  EXPECT_GE(payload, begin);
+  EXPECT_LT(payload, end);
+  // The scrubber's recomputation reads through the mapping and agrees with
+  // the stamp.
+  EXPECT_EQ(index.ComputeContentCrc(), index.content_crc);
+}
+
+TEST(IndexMmapTest, HeapFallbackProducesAnIdenticalIndex) {
+  ScratchDir dir("idx_mmap_parity");
+  const std::string path = dir.File("run.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+
+  auto mapped = LoadAlignmentIndex(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  ASSERT_NE(mapped->backing, nullptr);
+
+  ForceHeapLoad heap_only;
+  auto heap = LoadAlignmentIndex(path);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  EXPECT_EQ(heap->backing, nullptr);
+  EXPECT_FALSE(heap->source_name_emb.is_view());
+  ExpectIndexesEqual(*mapped, *heap);
+}
+
+TEST(IndexMmapTest, CopyingAMappedIndexMaterialisesTheViews) {
+  ScratchDir dir("idx_mmap_copy");
+  const std::string path = dir.File("run.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+  auto loaded = LoadAlignmentIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const AlignmentIndex& index = *loaded;
+  ASSERT_TRUE(index.source_name_emb.is_view());
+
+  la::Matrix copy = index.source_name_emb;
+  EXPECT_FALSE(copy.is_view());
+  ASSERT_EQ(copy.rows(), index.source_name_emb.rows());
+  EXPECT_EQ(std::memcmp(copy.data(), index.source_name_emb.data(),
+                        copy.size() * sizeof(float)),
+            0);
+}
+
+/// Serialises `index` in the retired v1 container layout (same field
+/// order, no alignment pads before matrix sections) so the loader's
+/// backwards-compat path can be exercised against a genuine v1 file.
+std::string SerializeV1(const AlignmentIndex& index) {
+  std::string out;
+  auto bytes = [&](const void* p, size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  };
+  auto u32 = [&](uint32_t v) { bytes(&v, sizeof(v)); };
+  auto u64 = [&](uint64_t v) { bytes(&v, sizeof(v)); };
+  auto f32 = [&](float v) { bytes(&v, sizeof(v)); };
+  auto f64 = [&](double v) { bytes(&v, sizeof(v)); };
+  auto str = [&](const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+  };
+
+  out.append("CEAFFIDX", 8);
+  u32(1);  // version
+  u32(0);  // reserved
+  str(index.dataset);
+  u64(index.source_names.size());
+  u64(index.target_names.size());
+  u64(index.pairs.size());
+  f64(index.weight_structural);
+  f64(index.weight_semantic);
+  f64(index.weight_string);
+  u64(index.semantic_seed);
+  for (const std::string& name : index.source_names) str(name);
+  for (const std::string& name : index.target_names) str(name);
+  for (const AlignedPair& p : index.pairs) {
+    u32(p.source);
+    u32(p.target);
+    f32(p.score);
+  }
+  for (const la::Matrix* m :
+       {&index.source_name_emb, &index.target_name_emb,
+        &index.source_struct_emb, &index.target_struct_emb}) {
+    u64(m->rows());
+    u64(m->cols());
+    if (m->size() > 0) bytes(m->data(), m->size() * sizeof(float));
+  }
+  u64(index.trigram_keys.size());
+  for (size_t i = 0; i < index.trigram_keys.size(); ++i) {
+    str(index.trigram_keys[i]);
+    u32(static_cast<uint32_t>(index.trigram_postings[i].size()));
+    for (uint32_t id : index.trigram_postings[i]) u32(id);
+  }
+  for (uint32_t c : index.target_trigram_counts) u32(c);
+
+  const uint32_t crc = Crc32Of(out.data(), out.size());
+  bytes(&crc, sizeof(crc));
+  return out;
+}
+
+TEST(IndexMmapTest, VersionOneArtifactsStillLoad) {
+  ScratchDir dir("idx_mmap_v1");
+  const std::string v1_path = dir.File("v1.idx");
+  const std::string v2_path = dir.File("v2.idx");
+  const AlignmentIndex index = SmallIndex();
+  ASSERT_TRUE(SaveAlignmentIndex(index, v2_path).ok());
+  {
+    std::ofstream out(v1_path, std::ios::binary);
+    const std::string v1_bytes = SerializeV1(index);
+    out.write(v1_bytes.data(),
+              static_cast<std::streamsize>(v1_bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+
+  auto v1 = LoadAlignmentIndex(v1_path);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  // v1 files never serve views: unpadded payloads cannot be safely aliased.
+  EXPECT_EQ(v1->backing, nullptr);
+  EXPECT_FALSE(v1->source_name_emb.is_view());
+
+  auto v2 = LoadAlignmentIndex(v2_path);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ExpectIndexesEqual(*v1, *v2);
+}
+
+TEST(IndexMmapTest, CorruptionFailsTheMmapPathToo) {
+  ScratchDir dir("idx_mmap_corrupt");
+  const std::string path = dir.File("run.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(SmallIndex(), path).ok());
+  // Flip a bit in the middle of the artifact (matrix payload territory).
+  FlipBit(path, FileSize(path) / 2, 2);
+  auto loaded = LoadAlignmentIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(IndexMmapTest, MissingFileIsIOErrorOnBothPaths) {
+  const std::string path = "/nonexistent/nowhere.idx";
+  EXPECT_EQ(LoadAlignmentIndex(path).status().code(), StatusCode::kIOError);
+  ForceHeapLoad heap_only;
+  EXPECT_EQ(LoadAlignmentIndex(path).status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace ceaff::serve

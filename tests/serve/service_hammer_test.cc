@@ -176,14 +176,17 @@ TEST(ServeHammerTest, ScrubberDetectsBitFlippedSnapshotAndRecoversFromDisk) {
   ASSERT_TRUE(service.ScrubOnce().ok());
   EXPECT_FALSE(service.poisoned());
 
-  // Flip one float of the live snapshot's name embeddings — in-memory
-  // corruption the CRC stamped at Finalize no longer matches. Done before
-  // the query threads start, so the write happens-before every read.
+  // Flip one trigram count of the live snapshot — in-memory corruption the
+  // CRC stamped at Finalize no longer matches. (The embedding matrices are
+  // zero-copy views into a read-only file mapping and literally cannot be
+  // scribbled on, so the simulated bad-RAM hit lands on a heap-resident
+  // field that the content CRC equally covers.) Done before the query
+  // threads start, so the write happens-before every read.
   {
     auto snap = service.snapshot();
     auto* corrupt = const_cast<AlignmentIndex*>(snap.get());
-    ASSERT_GT(corrupt->target_name_emb.rows(), 0u);
-    corrupt->target_name_emb.at(0, 0) += 1.0f;
+    ASSERT_FALSE(corrupt->target_trigram_counts.empty());
+    corrupt->target_trigram_counts[0] += 1;
   }
 
   const std::vector<std::string> sources = {"alpha one", "beta two",

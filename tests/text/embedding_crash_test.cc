@@ -1,0 +1,64 @@
+// Kill-the-process recovery drills for the word-embedding cache writer
+// (failpoint scope "embed"): crash a child at every step of the atomic
+// write protocol while it replaces a vectors file, and assert the file on
+// disk is always a complete, loadable generation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ceaff/text/embedding_io.h"
+#include "ceaff/text/word_embedding.h"
+#include "testing/crash_harness.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::text {
+namespace {
+
+namespace ft = ceaff::testing;
+
+constexpr size_t kDim = 4;
+
+WordEmbeddingStore StoreWithTokens(size_t num_tokens) {
+  WordEmbeddingStore store(kDim);
+  for (size_t i = 0; i < num_tokens; ++i) {
+    std::vector<float> v(kDim, 0.0f);
+    v[i % kDim] = 1.0f;
+    CEAFF_CHECK(store.SetVector("token" + std::to_string(i), v).ok());
+  }
+  return store;
+}
+
+TEST(EmbeddingCrashTest, VectorExportLeavesACompleteGeneration) {
+  ft::ScratchDir scratch("crash_embed");
+  const std::string path = scratch.File("vectors.txt");
+  const WordEmbeddingStore old_gen = StoreWithTokens(2);
+  const WordEmbeddingStore new_gen = StoreWithTokens(3);
+
+  auto prepare = [&] {
+    std::filesystem::remove(path);
+    CEAFF_CHECK(SaveTextEmbeddings(old_gen, path).ok());
+  };
+  auto operation = [&]() -> Status {
+    return SaveTextEmbeddings(new_gen, path);
+  };
+  auto verify = [&](const std::string& site, bool crashed) {
+    WordEmbeddingStore loaded(kDim);
+    Status st = LoadTextEmbeddings(path, &loaded);
+    ASSERT_TRUE(st.ok()) << "after crash at " << site << ": " << st.ToString();
+    const bool past_rename = site == "embed.before_dir_fsync";
+    const size_t expected = (!crashed || past_rename) ? 3u : 2u;
+    EXPECT_EQ(loaded.explicit_tokens().size(), expected)
+        << "crash at " << site;
+  };
+
+  ft::CrashDrillOptions options;
+  options.site_prefix = "embed.";
+  options.iterations = ft::CrashIterationsFromEnv(3);
+  ft::RunCrashDrill(prepare, operation, verify, options);
+}
+
+}  // namespace
+}  // namespace ceaff::text

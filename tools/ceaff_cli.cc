@@ -92,7 +92,8 @@ int Usage() {
                "[--theta2 X]\n"
                "           [--checkpoint_dir DIR] [--resume] "
                "[--deadline_ms N]\n"
-               "           [--export_index FILE] [--threads N]\n"
+               "           [--export_index FILE] [--threads N] "
+               "[--block_size N]\n"
                "  eval     --data DIR --pred FILE\n"
                "common:    [--lenient_io] [--io_error_budget N]  skip up to N "
                "malformed\n"
@@ -199,6 +200,12 @@ int CmdAlign(const FlagParser& flags) {
     return 2;
   }
   options.num_threads = static_cast<size_t>(threads);
+  int64_t block_size = flags.GetInt("block_size", 0);
+  if (block_size < 0) {
+    std::fprintf(stderr, "align: --block_size must be >= 0 (0 = default)\n");
+    return 2;
+  }
+  options.block_size = static_cast<size_t>(block_size);
   options.use_structural = !flags.GetBool("no-structural", false);
   options.use_semantic = !flags.GetBool("no-semantic", false);
   options.use_string = !flags.GetBool("no-string", false);

@@ -5,10 +5,11 @@
 # kill-the-process drills with the per-site iteration count raised, once
 # plain and once under ASan), a failpoint smoke (arm an injected error on
 # every registered durability site and assert the binaries fail cleanly),
-# an end-to-end serving smoke (export an index from a tiny synthetic run,
-# then drive ceaff_serve against it), and an overload smoke (soak the
-# service past capacity, assert it sheds and that SIGTERM during the soak
-# drains cleanly).
+# a kernels smoke (the `bench`-labelled parity ctest plus a quick
+# micro_kernels run asserting a clean parity bill), an end-to-end serving
+# smoke (export an index from a tiny synthetic run, then drive ceaff_serve
+# against it), and an overload smoke (soak the service past capacity,
+# assert it sheds and that SIGTERM during the soak drains cleanly).
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
 #                            [--skip-crash]
@@ -49,9 +50,9 @@ if [[ "$skip_tsan" == 0 ]]; then
   echo "==> TSan build + concurrency & chaos tests"
   cmake -B "$repo/build-tsan" -S "$repo" -DCEAFF_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target common_test serve_test serve_hammer_test serve_chaos_test
+    --target common_test la_test serve_test serve_hammer_test serve_chaos_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|ParseRequest|Admission|RetryPolicy|CircuitBreaker|Degradation|OverloadChaos'
+    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|IndexMmap|ParseRequest|Admission|RetryPolicy|CircuitBreaker|Degradation|OverloadChaos|Kernel'
 fi
 
 if [[ "$skip_crash" == 0 ]]; then
@@ -66,9 +67,19 @@ if [[ "$skip_crash" == 0 ]]; then
 fi
 
 if [[ "$skip_smoke" == 0 ]]; then
+  echo "==> Kernels smoke: parity checks + a quick tracked-benchmark run"
+  ctest --test-dir "$repo/build" --output-on-failure -L bench
+  kbench="$(mktemp -d)"
+  trap 'rm -rf "$kbench"' EXIT
+  "$repo/build/bench/micro_kernels" --quick --out "$kbench/BENCH_kernels.json"
+  # The run itself exits non-zero on any kernel-vs-naive divergence; the
+  # JSON must also record a clean parity bill and at least one kernel row.
+  grep -q '"parity_failures": 0' "$kbench/BENCH_kernels.json"
+  grep -q '"kernel": "cosine_kernel"' "$kbench/BENCH_kernels.json"
+
   echo "==> Failpoint smoke: injected faults fail the real binaries cleanly"
   fpsmoke="$(mktemp -d)"
-  trap 'rm -rf "$fpsmoke"' EXIT
+  trap 'rm -rf "$fpsmoke" "$kbench"' EXIT
   "$repo/build/tools/ceaff" generate --config DBP15K_FR_EN \
     --scale 0.02 --out "$fpsmoke/data"
   align_args=(align --data "$fpsmoke/data" --gcn-epochs 3 --gcn-dim 16
@@ -100,7 +111,7 @@ if [[ "$skip_smoke" == 0 ]]; then
 
   echo "==> Serving smoke: generate -> align --export_index -> ceaff_serve"
   smoke="$(mktemp -d)"
-  trap 'rm -rf "$smoke" "$fpsmoke"' EXIT
+  trap 'rm -rf "$smoke" "$fpsmoke" "$kbench"' EXIT
   "$repo/build/tools/ceaff" generate --config DBP15K_FR_EN \
     --scale 0.02 --out "$smoke/data"
   "$repo/build/tools/ceaff" align --data "$smoke/data" \
