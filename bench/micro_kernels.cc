@@ -25,6 +25,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ceaff/common/random.h"
@@ -182,12 +183,52 @@ void BenchMatMulBT(size_t m, size_t n, size_t d,
   }
 }
 
-void BenchStringMatrix(size_t n, const std::vector<int>& thread_counts,
-                       int reps) {
-  const auto src = RandomNames(n, 24, 103);
-  const auto tgt = RandomNames(n, 24, 104);
-  char shape[64];
-  std::snprintf(shape, sizeof(shape), "%zux%zu names", n, n);
+/// Long multi-word entity-style names, the shape alignment corpora take:
+/// each source name is 3–7 vocabulary words, and its target counterpart is
+/// a lightly perturbed copy (one word swapped, one character edited). Every
+/// row therefore has a near-duplicate maximum, which is what gives the
+/// pruned kernel's row-threshold bound its teeth.
+std::pair<std::vector<std::string>, std::vector<std::string>>
+MultiWordNamePairs(size_t n, uint64_t seed) {
+  static const char* const kVocab[] = {
+      "international", "university", "department",  "institute",
+      "federation",    "association", "observatory", "municipality",
+      "conservatory",  "philharmonic", "metropolitan", "headquarters",
+      "northern",      "southern",    "central",     "historical",
+      "national",      "provincial",  "industrial",  "memorial",
+  };
+  constexpr size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+  Rng rng(seed);
+  std::vector<std::string> src(n);
+  std::vector<std::string> tgt(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t words = 3 + rng.NextBounded(5);
+    std::vector<size_t> picks(words);
+    for (size_t& w : picks) w = rng.NextBounded(kVocabSize);
+    std::string a;
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) a += ' ';
+      a += kVocab[picks[w]];
+    }
+    picks[rng.NextBounded(words)] = rng.NextBounded(kVocabSize);
+    std::string b;
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) b += ' ';
+      b += kVocab[picks[w]];
+    }
+    b[rng.NextBounded(b.size())] =
+        static_cast<char>('a' + rng.NextBounded(26));
+    src[i] = std::move(a);
+    tgt[i] = std::move(b);
+  }
+  return {std::move(src), std::move(tgt)};
+}
+
+void BenchStringMatrixNamed(const std::vector<std::string>& src,
+                            const std::vector<std::string>& tgt,
+                            const char* shape,
+                            const std::vector<int>& thread_counts, int reps) {
+  const size_t n = src.size();
   const double cells = static_cast<double>(n) * n;
 
   // text::StringSimilarityMatrix delegates to the kernel these days, so the
@@ -244,6 +285,30 @@ void BenchStringMatrix(size_t n, const std::vector<int>& thread_counts,
     g_rows.push_back({"string_pruned", shape, threads, ps, cells / ps / 1e6,
                       "mcells", naive_s / ps});
   }
+}
+
+void BenchStringMatrix(size_t n, const std::vector<int>& thread_counts,
+                       int reps, size_t max_len = 24) {
+  const auto src = RandomNames(n, max_len, 103);
+  const auto tgt = RandomNames(n, max_len, 104);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zu names len<=%zu", n, n,
+                max_len);
+  BenchStringMatrixNamed(src, tgt, shape, thread_counts, reps);
+}
+
+/// The workload the pruned kernel (and the pipeline's length-aware
+/// dispatch) exists for: long multi-word names with near-duplicate
+/// matches, where row maxima are high enough for the length-ratio bound
+/// to skip real work on top of the per-row mask amortization.
+void BenchStringMatrixMultiWord(size_t n,
+                                const std::vector<int>& thread_counts,
+                                int reps) {
+  const auto names = MultiWordNamePairs(n, 106);
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%zux%zu multi-word names", n, n);
+  BenchStringMatrixNamed(names.first, names.second, shape, thread_counts,
+                         reps);
 }
 
 void BenchCsls(size_t n, size_t k, const std::vector<int>& thread_counts,
@@ -419,6 +484,7 @@ int main(int argc, char** argv) {
     BenchCosine(256, 64, threads, 3);
     BenchMatMulBT(256, 256, 64, threads, 3);
     BenchStringMatrix(120, threads, 3);
+    BenchStringMatrixMultiWord(120, threads, 3);
     BenchCsls(256, 10, threads, 3);
     BenchSpmm(2000, 32, 8, threads, 3);
   } else {
@@ -427,6 +493,10 @@ int main(int argc, char** argv) {
     BenchCosine(2048, 128, threads, 3);
     BenchMatMulBT(1024, 1024, 128, threads, 3);
     BenchStringMatrix(400, threads, 3);
+    // Long multi-word near-duplicate names: the shape the pruned kernel
+    // (and the pipeline's length-aware dispatch) is for — row maxima are
+    // high, so the length-ratio bound skips most of the row.
+    BenchStringMatrixMultiWord(400, threads, 3);
     BenchCsls(1024, 10, threads, 3);
     BenchSpmm(20000, 64, 10, threads, 3);
   }

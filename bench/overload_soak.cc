@@ -20,12 +20,22 @@
 // turning work away instead of queueing it), admitted p99 within a small
 // multiple of the unloaded p99, and nonzero time at the degraded tiers.
 //
+// After the load phases, failpoint-driven *chaos phases* re-soak the
+// protected service at 2x with faults armed on the scan and reload sites
+// (deterministic 1-in-n errors, calibrated delays, reload churn) and
+// record the goodput delta against a fault-free 2x baseline — the chaos
+// drills as a measured resilience benchmark, not just a pass/fail test.
+// Injected faults surface as kIOError and are counted separately
+// (`injected_errors`); `unexpected_errors` staying 0 is the resilience
+// claim.
+//
 // Environment overrides:
 //   CEAFF_SOAK_ENTITIES     entities in the synthetic index      (8000)
 //   CEAFF_SOAK_TOPK         k per query                          (10)
 //   CEAFF_SOAK_CAL_QUERIES  calibration queries                  (300)
 //   CEAFF_SOAK_PHASE_MS     soak duration per phase, ms          (1500)
 //   CEAFF_SOAK_MULTIPLIERS  comma-separated load multipliers     (0.5,1,2,4)
+//   CEAFF_SOAK_CHAOS        "0" skips the chaos phases           (on)
 
 #include <algorithm>
 #include <array>
@@ -41,9 +51,11 @@
 #include <thread>
 #include <vector>
 
+#include "ceaff/common/failpoint.h"
 #include "ceaff/common/random.h"
 #include "ceaff/common/string_util.h"
 #include "ceaff/common/timer.h"
+#include "ceaff/serve/alignment_index.h"
 #include "ceaff/serve/degradation.h"
 #include "ceaff/serve/service.h"
 #include "serve_synthetic.h"
@@ -98,6 +110,9 @@ struct PhaseResult {
   uint64_t ok_degraded = 0;
   uint64_t shed = 0;
   uint64_t rejected = 0;
+  /// kIOError results — the failpoint error action's code. Only the chaos
+  /// phases arm failpoints, so this stays 0 in the plain load phases.
+  uint64_t injected_errors = 0;
   uint64_t other_errors = 0;
   double goodput_qps = 0.0;
   double shed_rate = 0.0;
@@ -180,7 +195,7 @@ PhaseResult SoakPhase(serve::AlignmentService* service,
       service->TierNanos();
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> attempts{0}, ok{0}, ok_degraded{0}, shed{0},
-      rejected{0}, other_errors{0};
+      rejected{0}, injected_errors{0}, other_errors{0};
   std::mutex latency_mu;
   std::vector<uint64_t> latencies;
 
@@ -210,6 +225,8 @@ PhaseResult SoakPhase(serve::AlignmentService* service,
           shed.fetch_add(1, std::memory_order_relaxed);
         } else if (r.status().IsDeadlineExceeded()) {
           rejected.fetch_add(1, std::memory_order_relaxed);
+        } else if (r.status().IsIOError()) {
+          injected_errors.fetch_add(1, std::memory_order_relaxed);
         } else {
           other_errors.fetch_add(1, std::memory_order_relaxed);
         }
@@ -233,6 +250,7 @@ PhaseResult SoakPhase(serve::AlignmentService* service,
   phase.ok_degraded = ok_degraded.load();
   phase.shed = shed.load();
   phase.rejected = rejected.load();
+  phase.injected_errors = injected_errors.load();
   phase.other_errors = other_errors.load();
   phase.goodput_qps =
       phase.seconds > 0 ? static_cast<double>(phase.ok) / phase.seconds : 0.0;
@@ -286,6 +304,17 @@ int Main() {
   serve::AlignmentService service(index, options);
   (void)service.TopK(queries.front(), k);  // seed the latency histogram
 
+  struct ChaosResult {
+    std::string name;
+    std::string spec;
+    PhaseResult phase;
+    /// Relative goodput vs the fault-free chaos baseline (0 = unchanged,
+    /// -0.25 = lost a quarter of the answered qps to the injected faults).
+    double goodput_delta = 0.0;
+    uint64_t reload_attempts = 0;
+    uint64_t reload_failures = 0;
+  };
+
   std::vector<PhaseResult> phases;
   for (double m : multipliers) {
     PhaseResult phase =
@@ -302,6 +331,82 @@ int Main() {
                  static_cast<unsigned long long>(phase.tier_ns[1]),
                  static_cast<unsigned long long>(phase.tier_ns[2]));
     phases.push_back(phase);
+  }
+
+  // --- Failpoint-driven chaos phases -------------------------------------
+  // Re-soak at a fixed 2x with faults armed on the scan and reload sites;
+  // the fault-free baseline run first makes each phase's goodput delta a
+  // like-for-like measurement (same service instance, same queries).
+  const char* chaos_env = std::getenv("CEAFF_SOAK_CHAOS");
+  const bool chaos_on =
+      chaos_env == nullptr ||
+      (std::string(chaos_env) != "0" && std::string(chaos_env) != "off");
+  std::vector<ChaosResult> chaos;
+  if (chaos_on) {
+    constexpr double kChaosMultiplier = 2.0;
+    const std::string chaos_index = "soak_chaos_index.tmp";
+    const Status saved = serve::SaveAlignmentIndex(*index, chaos_index);
+    CEAFF_CHECK(saved.ok()) << saved.ToString();
+    // The injected stall is one unloaded median service time — enough to
+    // move the admission signal, small enough that the phase still makes
+    // progress.
+    const int delay_ms =
+        std::max(1, static_cast<int>(std::lround(cal.p50_ms)));
+
+    const auto run_chaos = [&](const std::string& name,
+                               const std::string& spec, bool reload_churn) {
+      ChaosResult result;
+      result.name = name;
+      result.spec = spec;
+      const Status armed = failpoint::Configure(spec);
+      CEAFF_CHECK(armed.ok()) << armed.ToString();
+      std::atomic<bool> stop_reloads{false};
+      std::atomic<uint64_t> reload_attempts{0}, reload_failures{0};
+      std::thread reloader;
+      if (reload_churn) {
+        reloader = std::thread([&] {
+          while (!stop_reloads.load(std::memory_order_relaxed)) {
+            reload_attempts.fetch_add(1, std::memory_order_relaxed);
+            if (!service.Reload(chaos_index).ok()) {
+              reload_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        });
+      }
+      result.phase = SoakPhase(&service, queries, k, kChaosMultiplier,
+                               phase_ms, cal.mean_ns);
+      if (reloader.joinable()) {
+        stop_reloads.store(true, std::memory_order_relaxed);
+        reloader.join();
+      }
+      failpoint::Clear();
+      result.reload_attempts = reload_attempts.load();
+      result.reload_failures = reload_failures.load();
+      if (!chaos.empty() && chaos.front().phase.goodput_qps > 0) {
+        result.goodput_delta =
+            result.phase.goodput_qps / chaos.front().phase.goodput_qps - 1.0;
+      }
+      std::fprintf(
+          stderr,
+          "chaos %-16s goodput %.1f qps (%+.1f%%), injected %llu, "
+          "unexpected %llu, shed %.1f%%, reloads %llu (%llu failed)\n",
+          name.c_str(), result.phase.goodput_qps,
+          100.0 * result.goodput_delta,
+          static_cast<unsigned long long>(result.phase.injected_errors),
+          static_cast<unsigned long long>(result.phase.other_errors),
+          100.0 * result.phase.shed_rate,
+          static_cast<unsigned long long>(result.reload_attempts),
+          static_cast<unsigned long long>(result.reload_failures));
+      chaos.push_back(std::move(result));
+    };
+
+    run_chaos("baseline", "", false);
+    run_chaos("scan_error_1in20", "serve.topk.scan=1in20", false);
+    run_chaos("scan_delay",
+              StrFormat("serve.topk.scan=delay:%d", delay_ms), false);
+    run_chaos("reload_churn_1in3", "serve.reload=1in3", true);
+    std::remove(chaos_index.c_str());
   }
 
   const PhaseResult& peak = phases.back();
@@ -338,6 +443,26 @@ int Main() {
         static_cast<unsigned long long>(p.tier_ns[1]),
         static_cast<unsigned long long>(p.tier_ns[2]),
         i + 1 < phases.size() ? "," : "");
+  }
+  json += "  ],\n";
+  json += "  \"chaos\": [\n";
+  for (size_t i = 0; i < chaos.size(); ++i) {
+    const auto& c = chaos[i];
+    json += StrFormat(
+        "    {\"name\": \"%s\", \"spec\": \"%s\", \"multiplier\": %.2f, "
+        "\"goodput_qps\": %.1f, \"goodput_delta\": %.4f, "
+        "\"injected_errors\": %llu, \"unexpected_errors\": %llu, "
+        "\"shed\": %llu, \"shed_rate\": %.4f, \"p99_ms\": %.3f, "
+        "\"reload_attempts\": %llu, \"reload_failures\": %llu}%s\n",
+        c.name.c_str(), c.spec.c_str(), c.phase.multiplier,
+        c.phase.goodput_qps, c.goodput_delta,
+        static_cast<unsigned long long>(c.phase.injected_errors),
+        static_cast<unsigned long long>(c.phase.other_errors),
+        static_cast<unsigned long long>(c.phase.shed),
+        c.phase.shed_rate, c.phase.p99_ms,
+        static_cast<unsigned long long>(c.reload_attempts),
+        static_cast<unsigned long long>(c.reload_failures),
+        i + 1 < chaos.size() ? "," : "");
   }
   json += "  ],\n";
   json += StrFormat(

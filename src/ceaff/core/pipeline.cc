@@ -285,11 +285,19 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
       } else {
         // The Levenshtein scan dominates feature time on large splits; the
         // kernel splits it across the shared pool and polls the run's
-        // cancellation token per row panel.
-        features.string_sim =
-            la::StringSimilarityMatrixK(rt.ctx, src_names, tgt_names);
+        // cancellation token per row panel. Kernel selection is
+        // length-aware: long multi-word name corpora take the pruned
+        // row-max-exact kernel, everything else the exact one.
+        la::StringKernelChoice choice;
+        features.string_sim = la::StringSimilarityMatrixAuto(
+            rt.ctx, src_names, tgt_names, &choice);
+        if (choice.pruned) {
+          CEAFF_LOG(Info) << "string stage: pruned kernel selected "
+                          << "(mean chars " << choice.mean_chars
+                          << ", mean tokens " << choice.mean_tokens << ")";
+        }
         if (!seed_src.empty()) {
-          features.seed_string = la::StringSimilarityMatrixK(
+          features.seed_string = la::StringSimilarityMatrixAuto(
               rt.ctx, seed_src_names, seed_tgt_names);
         }
         CEAFF_RETURN_IF_ERROR(rt.ctx.CheckCancelled("string stage"));

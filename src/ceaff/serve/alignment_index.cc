@@ -1,5 +1,7 @@
 #include "ceaff/serve/alignment_index.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -439,32 +441,79 @@ StatusOr<AlignmentIndex> BuildAlignmentIndex(AlignmentIndexInput input) {
   return index;
 }
 
-Status SaveAlignmentIndex(const AlignmentIndex& index,
-                          const std::string& path) {
-  Prefix prefix;
-  std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
-  prefix.version = kVersion;
-  prefix.reserved = 0;
+namespace {
 
-  // Serialize the whole container in memory, then publish it with the
-  // crash-durable protocol (unique temp name, fsync of file and
-  // directory). Concurrent exporters to the same path no longer race on a
-  // shared temp file, and a kill -9 at any point leaves either the old
-  // index or the new one.
-  std::ostringstream out(std::ios::binary);
-  Crc32 crc;
-  crc.Update(&prefix, sizeof(prefix));
-  out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
-  Status body = WriteBody(index, out, &crc);
-  if (!body.ok()) return Status::IOError("index serialization failed");
-  const uint32_t checksum = crc.value();
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  if (!out) return Status::IOError("index serialization failed");
-
-  return WriteFileAtomic(path, std::move(out).str(), "index");
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
-StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
+/// The artifact name an index directory stores its generations under.
+constexpr char kGenerationalArtifact[] = "index";
+
+GenerationalStore::Options IndexStoreOptions(size_t keep_generations) {
+  GenerationalStore::Options options;
+  options.keep_generations = keep_generations;
+  options.failpoint_scope = "index";
+  return options;
+}
+
+/// Shared parse of one complete container image: prefix, CRC verdict,
+/// body, Finalize. `label` names the source in error messages; `backing`
+/// (optional) is the mapping the bytes live in — passing it enables the
+/// v2 zero-copy path and hands ownership to the returned index.
+StatusOr<AlignmentIndex> ParseIndexBytes(
+    std::string_view bytes, const std::string& label,
+    std::shared_ptr<const MappedFile> backing) {
+  // Settle the CRC verdict up front — every later parse step then runs
+  // over bytes known to be exactly what the writer produced (size caps
+  // above still guard against writer bugs).
+  if (bytes.size() < kPrefixBytes + kFooterBytes) {
+    return Status::DataLoss(
+        StrFormat("%s: truncated index (%zu bytes, need at least %zu)",
+                  label.c_str(), bytes.size(), kPrefixBytes + kFooterBytes));
+  }
+  Prefix prefix;
+  std::memcpy(&prefix, bytes.data(), sizeof(prefix));
+  if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss(label +
+                            ": bad magic, not a CEAFF alignment index");
+  }
+  if (prefix.version < kMinVersion || prefix.version > kVersion) {
+    return Status::DataLoss(
+        StrFormat("%s: unsupported index version %u (expected %u..%u)",
+                  label.c_str(), prefix.version, kMinVersion, kVersion));
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kFooterBytes,
+              sizeof(stored_crc));
+  const uint32_t computed_crc =
+      Crc32Of(bytes.data(), bytes.size() - kFooterBytes);
+  if (computed_crc != stored_crc) {
+    return Status::DataLoss(StrFormat(
+        "%s: CRC mismatch (stored %08x, computed %08x) — corrupted index",
+        label.c_str(), stored_crc, computed_crc));
+  }
+
+  // Zero-copy needs both the aligned (v2) layout and a mapping whose
+  // lifetime the index can own; v1 files and heap loads always copy.
+  const bool zero_copy = backing != nullptr && prefix.version >= 2;
+  const std::string_view body = bytes.substr(
+      kPrefixBytes, bytes.size() - kPrefixBytes - kFooterBytes);
+  auto index = ReadBody(body, prefix.version, zero_copy);
+  if (!index.ok()) {
+    return Status::DataLoss(label + ": " + index.status().message());
+  }
+  if (zero_copy) index->backing = std::move(backing);
+  Status finalized = index->Finalize();
+  if (!finalized.ok()) {
+    return Status::DataLoss(label + ": " + finalized.message());
+  }
+  return index;
+}
+
+/// Loads one container file: mmap-first zero-copy, heap fallback.
+StatusOr<AlignmentIndex> LoadAlignmentIndexFile(const std::string& path) {
   // Preferred path: map the artifact read-only and serve the matrix
   // payloads zero-copy. Any mapping failure — exotic filesystem, resource
   // exhaustion, or the "index.load.mmap" failpoint in tests — falls back
@@ -484,52 +533,85 @@ StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
     CEAFF_ASSIGN_OR_RETURN(heap_bytes, ReadFileToString(path));
     bytes = heap_bytes;
   }
+  return ParseIndexBytes(bytes, path, std::move(backing));
+}
 
-  // Settle the CRC verdict up front — every later parse step then runs
-  // over bytes known to be exactly what the writer produced (size caps
-  // above still guard against writer bugs).
-  if (bytes.size() < kPrefixBytes + kFooterBytes) {
-    return Status::DataLoss(
-        StrFormat("%s: truncated index (%zu bytes, need at least %zu)",
-                  path.c_str(), bytes.size(), kPrefixBytes + kFooterBytes));
+/// Generational-directory read: let the store settle quarantine (corrupt
+/// newer generations renamed `*.corrupt`, older ones tried), then serve
+/// the surviving generation through the regular mmap file path.
+StatusOr<AlignmentIndex> LoadAlignmentIndexGenerational(
+    const std::string& dir) {
+  GenerationalStore store(dir, IndexStoreOptions(/*keep_generations=*/2));
+  CEAFF_RETURN_IF_ERROR(store.Init());
+  // Get() walks newest-first with full validation and quarantines every
+  // generation that fails — after it returns OK, CurrentPath() names a
+  // generation known good a moment ago.
+  CEAFF_ASSIGN_OR_RETURN(
+      std::string bytes,
+      store.Get(kGenerationalArtifact, ValidateAlignmentIndexBytes));
+  auto current = store.CurrentPath(kGenerationalArtifact);
+  if (current.ok()) {
+    auto index = LoadAlignmentIndexFile(current.value());
+    if (index.ok()) return index;
   }
+  // The generation file vanished or changed between Get and the mmap load
+  // (concurrent exporter GC'ing the keep window). The validated bytes in
+  // hand are still authoritative — parse them heap-side.
+  return ParseIndexBytes(bytes, dir + " (generational)", nullptr);
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeAlignmentIndex(const AlignmentIndex& index) {
   Prefix prefix;
-  std::memcpy(&prefix, bytes.data(), sizeof(prefix));
-  if (std::memcmp(prefix.magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::DataLoss(path +
-                            ": bad magic, not a CEAFF alignment index");
-  }
-  if (prefix.version < kMinVersion || prefix.version > kVersion) {
-    return Status::DataLoss(
-        StrFormat("%s: unsupported index version %u (expected %u..%u)",
-                  path.c_str(), prefix.version, kMinVersion, kVersion));
-  }
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, bytes.data() + bytes.size() - kFooterBytes,
-              sizeof(stored_crc));
-  const uint32_t computed_crc =
-      Crc32Of(bytes.data(), bytes.size() - kFooterBytes);
-  if (computed_crc != stored_crc) {
-    return Status::DataLoss(StrFormat(
-        "%s: CRC mismatch (stored %08x, computed %08x) — corrupted index",
-        path.c_str(), stored_crc, computed_crc));
-  }
+  std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
+  prefix.version = kVersion;
+  prefix.reserved = 0;
 
-  // Zero-copy needs both the aligned (v2) layout and a mapping whose
-  // lifetime the index can own; v1 files and heap loads always copy.
-  const bool zero_copy = backing != nullptr && prefix.version >= 2;
-  const std::string_view body = bytes.substr(
-      kPrefixBytes, bytes.size() - kPrefixBytes - kFooterBytes);
-  auto index = ReadBody(body, prefix.version, zero_copy);
-  if (!index.ok()) {
-    return Status::DataLoss(path + ": " + index.status().message());
+  std::ostringstream out(std::ios::binary);
+  Crc32 crc;
+  crc.Update(&prefix, sizeof(prefix));
+  out.write(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+  Status body = WriteBody(index, out, &crc);
+  if (!body.ok()) return Status::IOError("index serialization failed");
+  const uint32_t checksum = crc.value();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return Status::IOError("index serialization failed");
+  return std::move(out).str();
+}
+
+Status ValidateAlignmentIndexBytes(const std::string& bytes) {
+  return ParseIndexBytes(bytes, "candidate index bytes", nullptr).status();
+}
+
+Status SaveAlignmentIndexGenerational(const AlignmentIndex& index,
+                                      const std::string& dir,
+                                      size_t keep_generations) {
+  CEAFF_ASSIGN_OR_RETURN(std::string bytes, SerializeAlignmentIndex(index));
+  GenerationalStore store(dir, IndexStoreOptions(keep_generations));
+  CEAFF_RETURN_IF_ERROR(store.Init());
+  return store.Put(kGenerationalArtifact, bytes);
+}
+
+Status SaveAlignmentIndex(const AlignmentIndex& index,
+                          const std::string& path) {
+  if (IsDirectory(path)) {
+    return SaveAlignmentIndexGenerational(index, path);
   }
-  if (zero_copy) index->backing = std::move(backing);
-  Status finalized = index->Finalize();
-  if (!finalized.ok()) {
-    return Status::DataLoss(path + ": " + finalized.message());
+  // Serialize the whole container in memory, then publish it with the
+  // crash-durable protocol (unique temp name, fsync of file and
+  // directory). Concurrent exporters to the same path no longer race on a
+  // shared temp file, and a kill -9 at any point leaves either the old
+  // index or the new one.
+  CEAFF_ASSIGN_OR_RETURN(std::string bytes, SerializeAlignmentIndex(index));
+  return WriteFileAtomic(path, std::move(bytes), "index");
+}
+
+StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
+  if (IsDirectory(path)) {
+    return LoadAlignmentIndexGenerational(path);
   }
-  return index;
+  return LoadAlignmentIndexFile(path);
 }
 
 }  // namespace ceaff::serve

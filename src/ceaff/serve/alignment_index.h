@@ -161,10 +161,35 @@ struct AlignmentIndexInput {
 /// inconsistent input.
 StatusOr<AlignmentIndex> BuildAlignmentIndex(AlignmentIndexInput input);
 
+/// Serializes the index to its on-disk container bytes (prefix + body +
+/// CRC-32 footer) without touching the filesystem.
+StatusOr<std::string> SerializeAlignmentIndex(const AlignmentIndex& index);
+
+/// Full validation of candidate container bytes: magic, version range,
+/// whole-file CRC, body parse, and Finalize()'s cross-field invariants.
+/// OK means LoadAlignmentIndex over these bytes would succeed. This is the
+/// GenerationalStore validator for generational index directories.
+Status ValidateAlignmentIndexBytes(const std::string& bytes);
+
+/// Publishes the index as the next generation of the "index" artifact in a
+/// GenerationalStore at `dir` (created if absent): keep-N history, CRC'd
+/// MANIFEST as the commit point, failpoint scope "index". Loading the
+/// directory picks the newest generation that passes full validation,
+/// quarantining corrupt ones — so a torn or bit-flipped current generation
+/// falls back to the previous export instead of failing the reload.
+Status SaveAlignmentIndexGenerational(const AlignmentIndex& index,
+                                      const std::string& dir,
+                                      size_t keep_generations = 2);
+
 /// Writes the index to `path` as one checksummed container, through
 /// common/durable_io.h's WriteFileAtomic (unique temp file, fsync of both
 /// the file and its directory — failpoint scope "index"). kIOError on
 /// filesystem failures; the temp file is unlinked on every failure path.
+///
+/// When `path` is an existing directory the call routes through
+/// SaveAlignmentIndexGenerational instead — `--export_index DIR/` and
+/// `RELOAD DIR/` together give hot reloads a keep-N history with
+/// quarantine-and-fall-back.
 Status SaveAlignmentIndex(const AlignmentIndex& index,
                           const std::string& path);
 
@@ -180,6 +205,11 @@ Status SaveAlignmentIndex(const AlignmentIndex& index,
 /// mapped bytes on every pass. When mmap is unavailable (or the failpoint
 /// site "index.load.mmap" is armed) the loader transparently falls back to
 /// the heap-copy path with identical results.
+///
+/// When `path` is a directory it is treated as a generational store (see
+/// SaveAlignmentIndexGenerational): the newest generation that passes full
+/// validation is loaded (then mmap'd zero-copy like any file); corrupt
+/// newer generations are quarantined as `*.corrupt` and older ones tried.
 StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path);
 
 }  // namespace ceaff::serve

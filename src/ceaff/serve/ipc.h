@@ -1,0 +1,195 @@
+#ifndef CEAFF_SERVE_IPC_H_
+#define CEAFF_SERVE_IPC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/serve/service_types.h"
+
+namespace ceaff::serve {
+
+/// Wire protocol between the router/supervisor and its shard workers: a
+/// stream of frames over a connected AF_UNIX SOCK_STREAM socketpair.
+///
+///   [u32 length][u32 crc32][body...]        (little-endian, host order —
+///                                            both ends are always the same
+///                                            machine, fork() children)
+///
+/// `length` counts the body bytes; `crc32` covers exactly the body. The
+/// body's first byte is the IpcType tag, the rest is the type-specific
+/// payload encoded with BinWriter/BinReader below. Error mapping on the
+/// receive side, chosen so the router's failure matrix falls out of the
+/// status code alone:
+///
+///   kUnavailable       peer closed / EPIPE / ECONNRESET — the shard died
+///   kDeadlineExceeded  poll timed out — the shard is hung (or just slow)
+///   kDataLoss          CRC mismatch or insane frame length — the reply is
+///                      corrupt; the shard process may be fine but cannot
+///                      be trusted mid-stream (framing is lost)
+struct IpcMessage;
+
+/// Message tags. The request/response pairing is by convention (each pipe
+/// carries one request at a time, strictly ping-pong), not by sequence
+/// numbers — the router never pipelines to a single shard.
+enum class IpcType : uint8_t {
+  kPing = 1,          // router -> worker: are you up? body empty
+  kPong = 2,          // worker -> router: body = [u64 begin][u64 end]
+  kTopKRequest = 3,   // [str query][u64 k][u8 allow_structural][u64 deadline_ms]
+  kTopKResponse = 4,  // [u8 ok][Status | TopKResult]
+  kPairRequest = 5,   // [str source_name]
+  kPairResponse = 6,  // [u8 ok][Status | PairAnswer]
+  kShutdown = 7,      // router -> worker: exit cleanly; no reply
+};
+
+struct IpcMessage {
+  IpcType type = IpcType::kPing;
+  std::string payload;  // body minus the tag byte
+};
+
+/// One end of a framed message pipe. Move-only owner of the socket fd.
+class MessagePipe {
+ public:
+  MessagePipe() = default;
+  /// Takes ownership of a connected stream-socket fd.
+  explicit MessagePipe(int fd) : fd_(fd) {}
+  ~MessagePipe() { Close(); }
+  MessagePipe(MessagePipe&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  MessagePipe& operator=(MessagePipe&& other) noexcept;
+  MessagePipe(const MessagePipe&) = delete;
+  MessagePipe& operator=(const MessagePipe&) = delete;
+
+  /// Creates a connected socketpair; `parent` and `child` each own one end.
+  static Status CreatePair(MessagePipe* parent, MessagePipe* child);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes one complete frame. kUnavailable when the peer is gone (EPIPE /
+  /// ECONNRESET), kInvalidArgument on an oversized payload. The failpoint
+  /// site "shard.ipc.corrupt_reply", when armed with an error action,
+  /// deliberately flips the frame's CRC before sending — the corrupt-reply
+  /// row of the router's failure matrix.
+  Status Send(IpcType type, const std::string& payload);
+
+  /// Reads one complete frame. `timeout_ms` < 0 blocks indefinitely; the
+  /// timeout covers the whole frame, not each byte. See the header comment
+  /// for the error mapping.
+  StatusOr<IpcMessage> Recv(int64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Frames larger than this are rejected on both sides (kInvalidArgument on
+/// send, kDataLoss on receive — an insane declared length means framing is
+/// lost). Generous: the largest real message is a TopKResponse, k
+/// candidates x (name + 4 floats).
+inline constexpr uint32_t kMaxIpcFrameBytes = 16u << 20;
+
+/// Little-endian-on-host primitive serialisation for message payloads.
+/// Floats cross the wire as raw IEEE-754 bit patterns (memcpy through
+/// uint32_t), never through text formatting — the sharded merge is only
+/// bit-identical to single-process scoring if scores survive the boundary
+/// exactly.
+class BinWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof v); }
+  void U64(uint64_t v) { Raw(&v, sizeof v); }
+  void I64(int64_t v) { Raw(&v, sizeof v); }
+  void F32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    U32(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Cursor over a payload. Every getter returns false on underrun and latches
+/// the failure; decode functions check ok() once at the end.
+class BinReader {
+ public:
+  explicit BinReader(const std::string& buf) : buf_(buf) {}
+  // The reader only borrows the buffer; a temporary would dangle after the
+  // constructor's full expression.
+  explicit BinReader(std::string&&) = delete;
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof *v); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof *v); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof *v); }
+  bool I64(int64_t* v) { return Raw(v, sizeof *v); }
+  bool F32(float* v) {
+    uint32_t bits = 0;
+    if (!U32(&bits)) return false;
+    std::memcpy(v, &bits, sizeof *v);
+    return true;
+  }
+  bool Str(std::string* s) {
+    uint32_t n = 0;
+    if (!U32(&n)) return false;
+    if (buf_.size() - pos_ < n) return Fail();
+    s->assign(buf_, pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// True when every read so far succeeded AND the payload was consumed
+  /// exactly (trailing garbage means a framing/versioning bug, not a
+  /// shorter message).
+  bool Done() const { return ok_ && pos_ == buf_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Raw(void* p, size_t n) {
+    if (buf_.size() - pos_ < n) return Fail();
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+  const std::string& buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Payload codecs for the composite messages. Encode never fails; Decode
+/// returns kDataLoss on a malformed payload (the frame CRC passed, so a
+/// decode failure means the two ends disagree on the schema).
+std::string EncodeStatusPayload(const Status& status);
+/// Fills `*out` from the cursor; returns kDataLoss (and leaves `*out`
+/// untouched) on a malformed payload.
+Status DecodeStatusPayload(BinReader* reader, Status* out);
+
+std::string EncodeTopKResult(const TopKResult& result);
+StatusOr<TopKResult> DecodeTopKResult(BinReader* reader);
+
+std::string EncodePairAnswer(const PairAnswer& answer);
+StatusOr<PairAnswer> DecodePairAnswer(BinReader* reader);
+
+/// Convenience wrappers for the `[u8 ok][Status | T]` response bodies.
+std::string EncodeTopKResponse(const StatusOr<TopKResult>& result);
+StatusOr<TopKResult> DecodeTopKResponse(const std::string& payload);
+std::string EncodePairResponse(const StatusOr<PairAnswer>& answer);
+StatusOr<PairAnswer> DecodePairResponse(const std::string& payload);
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_IPC_H_

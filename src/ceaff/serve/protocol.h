@@ -38,6 +38,18 @@ namespace ceaff::serve {
 ///   ERR <CodeName> <message>         any failure, including per-request
 ///                                    deadline exceeded and overload sheds
 ///
+/// Sharded mode (`ceaff_serve --shards=N`, N >= 2) speaks the same grammar
+/// with three differences:
+///   OK TOPK <n> degraded=partial     a shard died mid-query; the list was
+///                                    merged from the surviving shards'
+///                                    ranges (correct but possibly missing
+///                                    candidates). Never cached.
+///   OK HEALTH shards=<alive>/<N> [degraded]
+///   OK READY shards=<alive>/<N>      (ERR Unavailable when no shard lives
+///                                    or the frontend is draining)
+/// STATS gains a "router" object (per-shard pids, ranges, deaths,
+/// respawns, breaker state) next to the usual endpoint stats.
+///
 /// Hardening: a request line longer than kMaxRequestLineBytes or containing
 /// an embedded NUL byte is rejected up front (InvalidArgument) before any
 /// verb dispatch — a corrupt or adversarial request file must not make the

@@ -1,0 +1,584 @@
+#include "ceaff/serve/router.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "ceaff/common/failpoint.h"
+#include "ceaff/common/logging.h"
+#include "ceaff/common/string_util.h"
+#include "ceaff/serve/alignment_index.h"
+
+namespace ceaff::serve {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The single-process heap comparator (see topk_scan.cc), reused verbatim
+/// for the gather merge: combined descending, target id ascending on ties.
+/// Same key, disjoint inputs => the merged-and-truncated list is
+/// bit-identical to one full scan.
+bool BetterCandidate(const Candidate& a, const Candidate& b) {
+  return a.combined > b.combined ||
+         (a.combined == b.combined && a.target < b.target);
+}
+
+std::string EncodeTopKRequestPayload(const std::string& query, size_t k,
+                                     bool allow_structural,
+                                     uint64_t deadline_ms) {
+  BinWriter w;
+  w.Str(query);
+  w.U64(k);
+  w.U8(allow_structural ? 1 : 0);
+  w.U64(deadline_ms);
+  return w.Take();
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::string index_path,
+                         const ShardRouterOptions& options)
+    : index_path_(std::move(index_path)), options_(options) {}
+
+ShardRouter::~ShardRouter() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = *shards_[i];
+    if (!shard.alive) continue;
+    // Best-effort clean shutdown, then the certain one. Workers are
+    // stateless (their index is a read-only mmap), so SIGKILL loses
+    // nothing and bounds the join even if a worker is wedged mid-scan.
+    (void)shard.pipe.Send(IpcType::kShutdown, "");
+    shard.pipe.Close();
+    ::kill(shard.pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(shard.pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    shard.alive = false;
+  }
+}
+
+StatusOr<std::unique_ptr<ShardRouter>> ShardRouter::Start(
+    const std::string& index_path, const ShardRouterOptions& options) {
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("a sharded router needs >= 1 shard");
+  }
+  // One validating load in the router: learn the target count for range
+  // assignment and refuse to fork a fleet against a corrupt artifact. The
+  // copy is discarded — the router itself never scores anything.
+  size_t n_targets = 0;
+  {
+    CEAFF_ASSIGN_OR_RETURN(AlignmentIndex probe,
+                           LoadAlignmentIndex(index_path));
+    n_targets = probe.num_targets();
+  }
+  if (n_targets == 0) {
+    return Status::FailedPrecondition("index has no target entities");
+  }
+
+  ShardRouterOptions effective = options;
+  // Never hand a shard an empty range: more shards than targets would mean
+  // workers that can only ever answer PAIR.
+  effective.num_shards = std::min(effective.num_shards, n_targets);
+
+  std::unique_ptr<ShardRouter> router(
+      new ShardRouter(index_path, effective));
+  const size_t n = effective.num_shards;
+  const size_t base = n_targets / n;
+  const size_t remainder = n_targets % n;
+  size_t cursor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<ShardState>();
+    shard->begin = cursor;
+    shard->end = cursor + base + (i < remainder ? 1 : 0);
+    cursor = shard->end;
+    if (i < effective.shard_failpoints.size()) {
+      shard->failpoint_spec = effective.shard_failpoints[i];
+    }
+    shard->breaker =
+        std::make_unique<CircuitBreaker>(effective.respawn_breaker);
+    router->shards_.push_back(std::move(shard));
+  }
+
+  Status last_spawn_error = Status::OK();
+  size_t alive = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Status spawned = router->SpawnShard(i);
+    if (spawned.ok()) {
+      ++alive;
+    } else {
+      last_spawn_error = spawned;
+      router->shards_[i]->breaker->RecordFailure(NowNanos());
+      CEAFF_LOG(Warning) << "shard " << i
+                         << " failed to start: " << spawned.ToString();
+    }
+  }
+  if (alive == 0) {
+    return Status(last_spawn_error.code(),
+                  "no shard worker came up: " + last_spawn_error.message());
+  }
+  return router;
+}
+
+Status ShardRouter::SpawnShard(size_t shard_idx) {
+  ShardState& shard = *shards_[shard_idx];
+  MessagePipe parent_end;
+  MessagePipe child_end;
+  CEAFF_RETURN_IF_ERROR(MessagePipe::CreatePair(&parent_end, &child_end));
+
+  // Flush inherited stdio so the child's copy of the buffers is empty —
+  // otherwise buffered router output is printed twice.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::IOError(StrFormat("fork failed for shard %zu", shard_idx));
+  }
+  if (pid == 0) {
+    // Child: drop every router-side fd it inherited. Closing the other
+    // shards' router ends matters for liveness — a worker whose pipe is
+    // also held open by a sibling would never see EOF when the router
+    // dies.
+    parent_end.Close();
+    for (auto& other : shards_) other->pipe.Close();
+    ShardConfig config;
+    config.shard_id = shard_idx;
+    config.num_shards = shards_.size();
+    config.target_begin = shard.begin;
+    config.target_end = shard.end;
+    config.index_path = index_path_;
+    config.failpoint_spec = shard.failpoint_spec;
+    // _exit, never exit: the child must not run the router's atexit
+    // handlers or flush its inherited stdio state.
+    ::_exit(ShardWorkerMain(std::move(child_end), config));
+  }
+  child_end.Close();
+
+  // Handshake: the Pong proves the worker loaded the index and echoes the
+  // range it will scan. A worker that cannot come up is reaped here so the
+  // caller sees one clean error, not a zombie.
+  auto fail_spawn = [&](Status why) {
+    parent_end.Close();
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    return why;
+  };
+  Status sent = parent_end.Send(IpcType::kPing, "");
+  if (!sent.ok()) return fail_spawn(std::move(sent));
+  auto pong = parent_end.Recv(options_.spawn_handshake_ms);
+  if (!pong.ok()) {
+    return fail_spawn(Status(pong.status().code(),
+                             StrFormat("shard %zu handshake failed: %s",
+                                       shard_idx,
+                                       pong.status().message().c_str())));
+  }
+  uint64_t echoed_begin = 0;
+  uint64_t echoed_end = 0;
+  BinReader reader(pong.value().payload);
+  if (pong.value().type != IpcType::kPong || !reader.U64(&echoed_begin) ||
+      !reader.U64(&echoed_end) || !reader.Done() ||
+      echoed_begin != shard.begin || echoed_end != shard.end) {
+    return fail_spawn(Status::Internal(
+        StrFormat("shard %zu handshake returned a bad pong", shard_idx)));
+  }
+
+  shard.pipe = std::move(parent_end);
+  shard.pid = pid;
+  shard.alive = true;
+  shard.last_spawn_ns = NowNanos();
+  // The handshake deliberately does NOT close a breaker probe: a worker
+  // that boots fine but dies on every query must still trip the breaker.
+  // Only RecordShardAnswered() resolves the probe.
+  shard.probe_pending = true;
+  return Status::OK();
+}
+
+void ShardRouter::MarkDead(size_t shard_idx, bool already_reaped) {
+  ShardState& shard = *shards_[shard_idx];
+  if (!shard.alive) return;
+  shard.alive = false;
+  shard.pipe.Close();
+  if (!already_reaped) {
+    ::kill(shard.pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(shard.pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+  }
+  ++shard.deaths;
+  const uint64_t now = NowNanos();
+  // Flapping (death soon after spawn) and a failed probe both feed the
+  // breaker; a death after a long healthy run does not — a one-off kill
+  // should respawn on the next pass, not march toward an open breaker.
+  if (shard.probe_pending ||
+      now - shard.last_spawn_ns < options_.flap_window_ns) {
+    shard.breaker->RecordFailure(now);
+  }
+  shard.probe_pending = false;
+  CEAFF_LOG(Warning) << "shard " << shard_idx << " (pid " << shard.pid
+                     << ") died; range [" << shard.begin << ", " << shard.end
+                     << ") degraded until respawn";
+}
+
+void ShardRouter::TryRespawnDeadShards() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = *shards_[i];
+    if (shard.alive) continue;
+    if (!shard.breaker->Allow(NowNanos())) continue;
+    const Status spawned = SpawnShard(i);
+    if (spawned.ok()) {
+      ++shard.respawns;
+      CEAFF_LOG(Info) << "shard " << i << " respawned (pid " << shard.pid
+                      << "), probing";
+    } else {
+      shard.breaker->RecordFailure(NowNanos());
+      CEAFF_LOG(Warning) << "shard " << i
+                         << " respawn failed: " << spawned.ToString();
+    }
+  }
+}
+
+void ShardRouter::RecordShardAnswered(size_t shard_idx) {
+  ShardState& shard = *shards_[shard_idx];
+  if (shard.probe_pending) {
+    shard.breaker->RecordSuccess();
+    shard.probe_pending = false;
+  }
+}
+
+StatusOr<TopKResult> ShardRouter::TopK(const std::string& query_name,
+                                       size_t k,
+                                       const CancellationToken* cancel) {
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  TryRespawnDeadShards();
+
+  // Per-shard deadline: the request's remaining admission budget, capped by
+  // the router's own ceiling. The same number is both the worker's scan
+  // deadline (its cancellation token) and the router's gather timeout — a
+  // shard that blows it is indistinguishable from a hung one.
+  int64_t deadline_ms = options_.default_shard_deadline_ms;
+  if (cancel != nullptr) {
+    const int64_t remaining_ms = cancel->RemainingNanos() / 1'000'000;
+    if (cancel->has_deadline()) {
+      if (remaining_ms <= 0) {
+        ++topk_errors_;
+        return Status::DeadlineExceeded("deadline exceeded before scatter");
+      }
+      deadline_ms = std::min(deadline_ms, std::max<int64_t>(remaining_ms, 1));
+    }
+    const Status cancelled = cancel->Check("sharded topk");
+    if (!cancelled.ok()) {
+      ++topk_errors_;
+      return cancelled;
+    }
+  }
+  const std::string payload = EncodeTopKRequestPayload(
+      query_name, k, /*allow_structural=*/true,
+      static_cast<uint64_t>(deadline_ms));
+
+  // Scatter to every live shard. A send failure means the pipe is already
+  // dead — mark and move on; the gather below only waits on real sends.
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->alive) continue;
+    const Status sent = shards_[i]->pipe.Send(IpcType::kTopKRequest, payload);
+    if (sent.ok()) {
+      pending.push_back(i);
+    } else {
+      MarkDead(i, /*already_reaped=*/false);
+    }
+  }
+
+  // Gather. Transport-level failures (peer gone, timeout, CRC mismatch)
+  // kill the shard's range out of this answer; carried application errors
+  // (e.g. the query cannot be scored) leave the shard healthy.
+  std::vector<TopKResult> parts;
+  Status app_error = Status::OK();
+  for (size_t i : pending) {
+    auto reply = shards_[i]->pipe.Recv(deadline_ms);
+    if (!reply.ok() || reply.value().type != IpcType::kTopKResponse) {
+      MarkDead(i, /*already_reaped=*/false);
+      continue;
+    }
+    StatusOr<TopKResult> part = DecodeTopKResponse(reply.value().payload);
+    if (part.ok()) {
+      RecordShardAnswered(i);
+      parts.push_back(std::move(part).value());
+    } else if (part.status().IsDataLoss()) {
+      // Corrupt reply: the frame CRC'd clean but the payload is garbage
+      // (or the worker itself reported lost framing). The pipe cannot be
+      // resynchronised, so the worker is treated exactly like a crash.
+      MarkDead(i, /*already_reaped=*/false);
+    } else {
+      RecordShardAnswered(i);
+      app_error = part.status();
+    }
+  }
+
+  size_t alive = 0;
+  for (const auto& shard : shards_) {
+    if (shard->alive) ++alive;
+  }
+
+  if (parts.empty()) {
+    ++topk_errors_;
+    if (!app_error.ok()) return app_error;
+    return Status::Unavailable(
+        StrFormat("all %zu shards down; no shard could answer topk",
+                  shards_.size()));
+  }
+
+  TopKResult merged;
+  merged.query = query_name;
+  merged.tier = ServiceTier::kFull;
+  // Missing ranges — shards that were already dead, died mid-query, or
+  // answered with an error — make the answer degraded: correct over the
+  // targets that were scanned, silent about the rest. Never cached.
+  merged.degraded = parts.size() < shards_.size();
+  for (TopKResult& part : parts) {
+    merged.structural_used = merged.structural_used || part.structural_used;
+    for (Candidate& candidate : part.candidates) {
+      merged.candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(merged.candidates.begin(), merged.candidates.end(),
+            BetterCandidate);
+  if (merged.candidates.size() > k) merged.candidates.resize(k);
+  (void)alive;
+  if (merged.degraded) {
+    ++topk_degraded_;
+  } else {
+    ++topk_ok_;
+  }
+  return merged;
+}
+
+StatusOr<PairAnswer> ShardRouter::LookupPair(const std::string& source_name,
+                                             const CancellationToken* cancel) {
+  TryRespawnDeadShards();
+  int64_t deadline_ms = options_.default_shard_deadline_ms;
+  if (cancel != nullptr) {
+    const Status cancelled = cancel->Check("sharded pair lookup");
+    if (!cancelled.ok()) {
+      ++pair_errors_;
+      return cancelled;
+    }
+    if (cancel->has_deadline()) {
+      const int64_t remaining_ms = cancel->RemainingNanos() / 1'000'000;
+      deadline_ms = std::min(deadline_ms, std::max<int64_t>(remaining_ms, 1));
+    }
+  }
+  BinWriter w;
+  w.Str(source_name);
+  const std::string payload = w.Take();
+
+  // Every worker holds the complete pair maps, so "ownership" is only an
+  // affinity hint; failover to any live shard keeps PAIR exact (never
+  // degraded) down to the last survivor.
+  const size_t owner =
+      std::hash<std::string>{}(source_name) % shards_.size();
+  for (size_t offset = 0; offset < shards_.size(); ++offset) {
+    const size_t i = (owner + offset) % shards_.size();
+    if (!shards_[i]->alive) continue;
+    const Status sent = shards_[i]->pipe.Send(IpcType::kPairRequest, payload);
+    if (!sent.ok()) {
+      MarkDead(i, /*already_reaped=*/false);
+      continue;
+    }
+    auto reply = shards_[i]->pipe.Recv(deadline_ms);
+    if (!reply.ok() || reply.value().type != IpcType::kPairResponse) {
+      MarkDead(i, /*already_reaped=*/false);
+      continue;
+    }
+    StatusOr<PairAnswer> answer = DecodePairResponse(reply.value().payload);
+    if (!answer.ok() && answer.status().IsDataLoss()) {
+      MarkDead(i, /*already_reaped=*/false);
+      continue;
+    }
+    // Healthy reply — kNotFound included: every shard has the full map, so
+    // any shard's "no such pair" is authoritative.
+    RecordShardAnswered(i);
+    if (answer.ok()) {
+      ++pair_ok_;
+      if (offset > 0) ++pair_failover_;
+    } else {
+      ++pair_errors_;
+    }
+    return answer;
+  }
+  ++pair_errors_;
+  return Status::Unavailable(StrFormat(
+      "all %zu shards down; no shard could answer pair lookup",
+      shards_.size()));
+}
+
+Status ShardRouter::Reload(const std::string& index_path) {
+  // Same drill surface as AlignmentService::Reload: an armed
+  // `serve.reload` failpoint refuses the swap while the fleet keeps
+  // serving the current generation.
+  CEAFF_RETURN_IF_ERROR(failpoint::Hit("serve.reload"));
+  // Validate before touching the fleet: a corrupt artifact must refuse the
+  // swap while the current workers keep serving.
+  size_t n_targets = 0;
+  {
+    CEAFF_ASSIGN_OR_RETURN(AlignmentIndex probe,
+                           LoadAlignmentIndex(index_path));
+    n_targets = probe.num_targets();
+  }
+  if (n_targets < shards_.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "new index has %zu targets, fewer than the %zu shards",
+        n_targets, shards_.size()));
+  }
+
+  // Stop-the-world restart: deliberate, so the breaker is not fed.
+  for (auto& shard : shards_) {
+    if (!shard->alive) continue;
+    (void)shard->pipe.Send(IpcType::kShutdown, "");
+    shard->pipe.Close();
+    ::kill(shard->pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(shard->pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    shard->alive = false;
+    shard->probe_pending = false;
+  }
+
+  index_path_ = index_path;
+  const size_t n = shards_.size();
+  const size_t base = n_targets / n;
+  const size_t remainder = n_targets % n;
+  size_t cursor = 0;
+  for (size_t i = 0; i < n; ++i) {
+    shards_[i]->begin = cursor;
+    shards_[i]->end = cursor + base + (i < remainder ? 1 : 0);
+    cursor = shards_[i]->end;
+  }
+
+  Status last_error = Status::OK();
+  size_t alive = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Status spawned = SpawnShard(i);
+    if (spawned.ok()) {
+      ++shards_[i]->respawns;
+      ++alive;
+    } else {
+      last_error = spawned;
+      shards_[i]->breaker->RecordFailure(NowNanos());
+      CEAFF_LOG(Warning) << "shard " << i << " failed to restart on reload: "
+                         << spawned.ToString();
+    }
+  }
+  if (alive == 0) {
+    return Status(last_error.code(),
+                  "reload validated but no shard came back: " +
+                      last_error.message());
+  }
+  CEAFF_LOG(Info) << "sharded reload: " << alive << "/" << n
+                  << " shards serving " << index_path;
+  return Status::OK();
+}
+
+ShardRouter::HealthReport ShardRouter::CheckHealth() {
+  // Reap silent deaths first (a shard SIGKILLed from outside while no
+  // query was in flight looks alive until someone waits on it).
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardState& shard = *shards_[i];
+    if (!shard.alive) continue;
+    int wstatus = 0;
+    const pid_t reaped = ::waitpid(shard.pid, &wstatus, WNOHANG);
+    if (reaped == shard.pid || (reaped < 0 && errno == ECHILD)) {
+      MarkDead(i, /*already_reaped=*/true);
+    }
+  }
+  // Report what was observed, THEN repair: the first HEALTH after a kill
+  // states the degradation, the next one the recovery.
+  HealthReport report;
+  report.total = shards_.size();
+  for (const auto& shard : shards_) {
+    if (shard->alive) ++report.alive;
+  }
+  report.degraded = report.alive < report.total;
+  TryRespawnDeadShards();
+  return report;
+}
+
+std::string ShardRouter::StatsJson() const {
+  size_t alive = 0;
+  for (const auto& shard : shards_) {
+    if (shard->alive) ++alive;
+  }
+  std::string json = StrFormat(
+      "{\"shards\": %zu, \"alive\": %zu, "
+      "\"topk\": {\"ok\": %llu, \"degraded\": %llu, \"errors\": %llu}, "
+      "\"pair\": {\"ok\": %llu, \"failover\": %llu, \"errors\": %llu}, "
+      "\"per_shard\": [",
+      shards_.size(), alive, static_cast<unsigned long long>(topk_ok_),
+      static_cast<unsigned long long>(topk_degraded_),
+      static_cast<unsigned long long>(topk_errors_),
+      static_cast<unsigned long long>(pair_ok_),
+      static_cast<unsigned long long>(pair_failover_),
+      static_cast<unsigned long long>(pair_errors_));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const ShardState& shard = *shards_[i];
+    if (i > 0) json += ", ";
+    json += StrFormat(
+        "{\"shard\": %zu, \"pid\": %d, \"alive\": %s, \"begin\": %zu, "
+        "\"end\": %zu, \"deaths\": %llu, \"respawns\": %llu, "
+        "\"breaker_times_opened\": %llu}",
+        i, static_cast<int>(shard.pid), shard.alive ? "true" : "false",
+        shard.begin, shard.end, static_cast<unsigned long long>(shard.deaths),
+        static_cast<unsigned long long>(shard.respawns),
+        static_cast<unsigned long long>(shard.breaker->times_opened()));
+  }
+  json += "]}";
+  return json;
+}
+
+pid_t ShardRouter::shard_pid(size_t shard) const {
+  return shards_[shard]->pid;
+}
+
+bool ShardRouter::shard_alive(size_t shard) const {
+  return shards_[shard]->alive;
+}
+
+std::pair<size_t, size_t> ShardRouter::shard_range(size_t shard) const {
+  return {shards_[shard]->begin, shards_[shard]->end};
+}
+
+void ShardRouter::SetShardFailpoints(size_t shard, const std::string& spec) {
+  shards_[shard]->failpoint_spec = spec;
+}
+
+Status ShardRouter::RestartShard(size_t shard_idx) {
+  ShardState& shard = *shards_[shard_idx];
+  if (shard.alive) {
+    // Deliberate restart, not a failure: bypass the breaker bookkeeping.
+    shard.alive = false;
+    shard.pipe.Close();
+    ::kill(shard.pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(shard.pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    shard.probe_pending = false;
+  }
+  const Status spawned = SpawnShard(shard_idx);
+  if (spawned.ok()) ++shard.respawns;
+  return spawned;
+}
+
+}  // namespace ceaff::serve

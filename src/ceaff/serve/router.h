@@ -1,0 +1,186 @@
+#ifndef CEAFF_SERVE_ROUTER_H_
+#define CEAFF_SERVE_ROUTER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/circuit_breaker.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/serve/ipc.h"
+#include "ceaff/serve/service_types.h"
+#include "ceaff/serve/shard_worker.h"
+
+namespace ceaff::serve {
+
+struct ShardRouterOptions {
+  /// Worker processes to fork. Each owns a contiguous near-equal slice of
+  /// the target rows; every worker loads the full artifact (mmap shares the
+  /// pages) but scans only its slice.
+  size_t num_shards = 2;
+  /// Per-shard reply deadline when the request carries no deadline of its
+  /// own; with a deadline token, the shard gets min(remaining, this). This
+  /// is the admission budget flowing through: the shard aborts its scan at
+  /// the same instant the frontend's AdmissionController would have called
+  /// the request dead.
+  int64_t default_shard_deadline_ms = 5'000;
+  /// Handshake budget for a freshly forked worker (it must mmap-load the
+  /// index before it can answer the Ping).
+  int64_t spawn_handshake_ms = 30'000;
+  /// Per-shard respawn circuit breaker. A shard that keeps dying right
+  /// after spawn trips it open; its range is served degraded (no respawn
+  /// attempts, no fork storm) until the cooldown admits a half-open probe.
+  CircuitBreaker::Options respawn_breaker{
+      /*failure_threshold=*/3,
+      /*cooldown_ns=*/2'000'000'000ull,  // 2 s
+  };
+  /// A death within this window of the spawn counts as flapping and feeds
+  /// the breaker; a death after a long healthy run does not (a one-off kill
+  /// should respawn immediately, not march toward an open breaker).
+  uint64_t flap_window_ns = 10'000'000'000ull;  // 10 s
+  /// Per-shard failpoint specs applied in the child after the fork (tests:
+  /// crash exactly one shard). Missing/empty entries inherit the
+  /// environment's arms.
+  std::vector<std::string> shard_failpoints;
+};
+
+/// Supervisor + scatter/gather router over N forked shard workers.
+///
+/// Topology: the router forks each worker over its own AF_UNIX socketpair
+/// (no exec — the workers are the same binary image, which is what makes
+/// `shard_failpoints` and the in-process tests possible) and strictly
+/// ping-pongs one request per pipe. TOPK scatters to every live shard and
+/// merges the partial top-k lists by (combined desc, target id asc) — the
+/// same comparator the single-process heap uses, so a healthy merge is
+/// bit-identical to single-process mode. PAIR routes to the owning shard
+/// (hash of the name) with failover to any live shard: every worker holds
+/// the full maps, so PAIR never degrades while at least one shard lives.
+///
+/// Failure matrix (see DESIGN.md §12): a shard that dies mid-query
+/// (kUnavailable on its pipe) is reaped and its range dropped from the
+/// merge — the answer is served `degraded` from the survivors, never
+/// cached upstream, and counted. A shard that hangs past its deadline
+/// (kDeadlineExceeded) or returns a corrupt frame (kDataLoss) is SIGKILLed
+/// first, then treated the same — after a timeout or CRC mismatch the
+/// pipe's framing can no longer be trusted. Dead shards respawn through
+/// the per-shard circuit breaker; the respawn handshake alone never closes
+/// the breaker's probe — only the first successfully answered query does,
+/// so a worker that boots fine but dies on every query still trips open.
+///
+/// Threading: not thread-safe. One router per serving loop; the
+/// parallelism lives in the worker processes.
+class ShardRouter {
+ public:
+  ~ShardRouter();
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Validates the artifact (one full load in the router, discarded after
+  /// the shard ranges are computed), then forks and handshakes every
+  /// worker. Fails if fewer than one worker comes up.
+  static StatusOr<std::unique_ptr<ShardRouter>> Start(
+      const std::string& index_path, const ShardRouterOptions& options = {});
+
+  /// Scatter/gather top-k. `degraded` is set on the result whenever any
+  /// shard's range is missing from the merge (dead, breaker-open, or
+  /// failed mid-query); such answers must never be cached. Errors only
+  /// when NO shard produced an answer.
+  StatusOr<TopKResult> TopK(const std::string& query_name, size_t k,
+                            const CancellationToken* cancel = nullptr);
+
+  /// Exact pair lookup, routed to the owning shard with failover. Exact
+  /// (never degraded) while at least one shard is alive; kNotFound is
+  /// authoritative from any shard.
+  StatusOr<PairAnswer> LookupPair(const std::string& source_name,
+                                  const CancellationToken* cancel = nullptr);
+
+  struct HealthReport {
+    size_t alive = 0;
+    size_t total = 0;
+    bool degraded = false;  // alive < total
+  };
+
+  /// Reaps silently-dead workers (external SIGKILL), reports the state as
+  /// observed — THEN attempts respawns through the breakers. The ordering
+  /// is deliberate: the first HEALTH after a kill reports the degradation,
+  /// the next one reports the recovery.
+  HealthReport CheckHealth();
+
+  /// Hot-swaps the fleet to the artifact at `index_path`. The router
+  /// validates it with one full load first (a corrupt artifact refuses the
+  /// swap and the current fleet keeps serving, mirroring
+  /// AlignmentService::Reload), then restarts every worker stop-the-world
+  /// under the new path — there is no per-shard staggering, because two
+  /// workers serving different generations would break the bit-identity
+  /// guarantee of the merge. Shards that fail to come back are left dead
+  /// (their range degrades) and respawn later through their breakers.
+  Status Reload(const std::string& index_path);
+
+  /// Router + per-shard counters as JSON (served under "router" in STATS).
+  std::string StatsJson() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  pid_t shard_pid(size_t shard) const;
+  bool shard_alive(size_t shard) const;
+  std::pair<size_t, size_t> shard_range(size_t shard) const;
+  uint64_t degraded_answers() const { return topk_degraded_; }
+
+  /// Replaces the failpoint spec a future (re)spawn of `shard` arms in its
+  /// child. Test hook for the kill-a-shard drills.
+  void SetShardFailpoints(size_t shard, const std::string& spec);
+
+  /// Kills `shard` (if alive) and respawns it immediately with the current
+  /// spec, bypassing the breaker. Test hook.
+  Status RestartShard(size_t shard);
+
+ private:
+  struct ShardState {
+    MessagePipe pipe;
+    pid_t pid = -1;
+    bool alive = false;
+    size_t begin = 0;
+    size_t end = 0;
+    std::string failpoint_spec;
+    std::unique_ptr<CircuitBreaker> breaker;
+    /// Set on every (re)spawn, cleared by the first successfully answered
+    /// query (which records the breaker success). A death with the probe
+    /// still pending records a breaker failure regardless of the flap
+    /// window.
+    bool probe_pending = false;
+    uint64_t last_spawn_ns = 0;
+    uint64_t deaths = 0;
+    uint64_t respawns = 0;
+  };
+
+  ShardRouter(std::string index_path, const ShardRouterOptions& options);
+
+  /// Forks + handshakes shard `i`. Does NOT touch the breaker — callers
+  /// decide what a spawn failure means to it.
+  Status SpawnShard(size_t shard);
+  /// Marks a shard dead: closes the pipe, SIGKILLs (idempotent on a corpse)
+  /// and reaps the child, and feeds the breaker per the flap/probe rules.
+  void MarkDead(size_t shard, bool already_reaped);
+  /// Breaker-gated respawn pass over every dead shard.
+  void TryRespawnDeadShards();
+  /// Records a successfully answered query for the breaker probe.
+  void RecordShardAnswered(size_t shard);
+
+  std::string index_path_;  // updated by Reload
+  const ShardRouterOptions options_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+
+  uint64_t topk_ok_ = 0;
+  uint64_t topk_degraded_ = 0;
+  uint64_t topk_errors_ = 0;
+  uint64_t pair_ok_ = 0;
+  uint64_t pair_failover_ = 0;
+  uint64_t pair_errors_ = 0;
+};
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_ROUTER_H_

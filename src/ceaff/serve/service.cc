@@ -12,7 +12,7 @@
 #include "ceaff/common/logging.h"
 #include "ceaff/common/random.h"
 #include "ceaff/common/string_util.h"
-#include "ceaff/text/name_embedding.h"
+#include "ceaff/serve/topk_scan.h"
 
 namespace ceaff::serve {
 
@@ -34,18 +34,8 @@ uint64_t NowNanos() {
           .count());
 }
 
-/// Poll the cancellation token once per this many scored targets: frequent
-/// enough for millisecond deadlines, cheap enough to vanish in the scan.
-constexpr size_t kCancelStride = 1024;
-
 std::string CacheKey(const std::string& name, size_t k) {
   return StrFormat("k=%zu|%s", k, name.c_str());
-}
-
-float DotF(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
-  return acc;
 }
 
 /// RAII counter of requests currently inside the TopK path (queued pool
@@ -206,25 +196,8 @@ StatusOr<PairAnswer> AlignmentService::LookupPair(
     return cancelled;
   }
 
-  auto name_it = index->source_by_name.find(source_name);
-  if (name_it == index->source_by_name.end()) {
-    stats_.pair().Record(NanosSince(start), /*ok=*/false);
-    return Status::NotFound("unknown source entity '" + source_name + "'");
-  }
-  auto pair_it = index->pair_by_source.find(name_it->second);
-  if (pair_it == index->pair_by_source.end()) {
-    stats_.pair().Record(NanosSince(start), /*ok=*/false);
-    return Status::NotFound("source entity '" + source_name +
-                            "' has no committed pair");
-  }
-  const AlignedPair& pair = index->pairs[pair_it->second];
-  PairAnswer answer;
-  answer.source = pair.source;
-  answer.target = pair.target;
-  answer.source_name = index->source_names[pair.source];
-  answer.target_name = index->target_names[pair.target];
-  answer.score = pair.score;
-  stats_.pair().Record(NanosSince(start), /*ok=*/true);
+  StatusOr<PairAnswer> answer = LookupPairInIndex(*index, source_name);
+  stats_.pair().Record(NanosSince(start), answer.ok());
   return answer;
 }
 
@@ -232,148 +205,14 @@ StatusOr<TopKResult> AlignmentService::TopKUncached(
     const AlignmentIndex& index, const text::WordEmbeddingStore& embedder,
     const std::string& query_name, size_t k, bool allow_structural,
     const CancellationToken* cancel) const {
-  CEAFF_FAILPOINT("serve.topk.scan");
-
-  const size_t n_targets = index.num_targets();
-  if (n_targets == 0) {
-    return Status::FailedPrecondition("index has no target entities");
-  }
-
-  // --- String feature: trigram posting-list overlap -> set-Dice. Sparse:
-  // only targets sharing at least one trigram with the query get a score.
-  const std::vector<std::string> query_trigrams = NameTrigrams(query_name);
-  std::vector<float> string_scores(n_targets, 0.0f);
-  {
-    std::vector<uint32_t> overlap(n_targets, 0);
-    for (const std::string& trigram : query_trigrams) {
-      auto it = index.trigram_index.find(trigram);
-      if (it == index.trigram_index.end()) continue;
-      for (uint32_t target : index.trigram_postings[it->second]) {
-        ++overlap[target];
-      }
-    }
-    const size_t q = query_trigrams.size();
-    for (size_t t = 0; t < n_targets; ++t) {
-      if (overlap[t] == 0) continue;
-      const size_t denom = q + index.target_trigram_counts[t];
-      if (denom > 0) {
-        string_scores[t] = 2.0f * static_cast<float>(overlap[t]) /
-                           static_cast<float>(denom);
-      }
-    }
-  }
-
-  CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "topk string scan"));
-
-  // --- Semantic feature: embed the query name in the run's word-embedding
-  // space and take cosines against the stored (already L2-normalised)
-  // target name embeddings.
-  std::vector<float> query_emb;
-  bool have_semantic = false;
-  if (index.target_name_emb.rows() == n_targets &&
-      index.target_name_emb.cols() > 0) {
-    query_emb = text::EmbedName(embedder, query_name);
-    float norm = 0.0f;
-    for (float v : query_emb) norm += v * v;
-    if (norm > 0.0f) {
-      const float inv = 1.0f / std::sqrt(norm);
-      for (float& v : query_emb) v *= inv;
-      have_semantic = true;
-    }
-  }
-
-  // --- Structural feature: only meaningful when the query resolves to a
-  // known source entity AND the exporting run shipped GCN embeddings. At
-  // the textual-only degradation tier the feature is switched off wholesale
-  // (`allow_structural` = false) and its weight flows to the textual
-  // features below — the same renormalisation the pipeline applies when a
-  // feature is disabled, just triggered by load instead of configuration.
-  const float* query_struct = nullptr;
-  bool structural_used = false;
-  if (allow_structural && !index.source_struct_emb.empty() &&
-      !index.target_struct_emb.empty()) {
-    auto it = index.source_by_name.find(query_name);
-    if (it != index.source_by_name.end() &&
-        it->second < index.source_struct_emb.rows()) {
-      query_struct = index.source_struct_emb.row(it->second);
-      structural_used = true;
-    }
-  }
-
-  // Effective weights: features that cannot fire for this query hand their
-  // mass to the ones that can (mirroring the pipeline's behaviour when a
-  // feature is disabled).
-  double w_struct = structural_used ? index.weight_structural : 0.0;
-  double w_sem = have_semantic ? index.weight_semantic : 0.0;
-  double w_str = index.weight_string;
-  const double total = w_struct + w_sem + w_str;
-  if (total <= 0.0) {
-    return Status::FailedPrecondition(
-        "no serving feature can score query '" + query_name + "'");
-  }
-  w_struct /= total;
-  w_sem /= total;
-  w_str /= total;
-
-  // --- Full scan + min-heap top-k on the combined score.
-  const size_t want = std::min(k, n_targets);
-  using Entry = std::pair<float, uint32_t>;  // (combined, target id)
-  std::vector<Entry> heap;  // min-heap of the best `want` seen so far
-  heap.reserve(want + 1);
-  auto min_first = [](const Entry& a, const Entry& b) {
-    return a.first > b.first || (a.first == b.first && a.second < b.second);
-  };
-  const size_t dim_sem = index.target_name_emb.cols();
-  const size_t dim_struct = index.target_struct_emb.cols();
-  for (size_t t = 0; t < n_targets; ++t) {
-    if (t % kCancelStride == 0) {
-      CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "topk candidate scan"));
-    }
-    double combined = w_str * string_scores[t];
-    if (have_semantic) {
-      combined += w_sem * DotF(query_emb.data(),
-                               index.target_name_emb.row(t), dim_sem);
-    }
-    if (structural_used) {
-      combined += w_struct * DotF(query_struct,
-                                  index.target_struct_emb.row(t), dim_struct);
-    }
-    const Entry entry(static_cast<float>(combined),
-                      static_cast<uint32_t>(t));
-    if (heap.size() < want) {
-      heap.push_back(entry);
-      std::push_heap(heap.begin(), heap.end(), min_first);
-    } else if (min_first(entry, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), min_first);
-      heap.back() = entry;
-      std::push_heap(heap.begin(), heap.end(), min_first);
-    }
-  }
-  // sort_heap with the inverted comparator leaves the best candidate first.
-  std::sort_heap(heap.begin(), heap.end(), min_first);
-
-  TopKResult result;
-  result.query = query_name;
-  result.structural_used = structural_used;
-  result.candidates.reserve(heap.size());
-  for (const Entry& entry : heap) {
-    const uint32_t t = entry.second;
-    Candidate candidate;
-    candidate.target = t;
-    candidate.target_name = index.target_names[t];
-    candidate.combined = entry.first;
-    candidate.string_score = string_scores[t];
-    candidate.semantic_score =
-        have_semantic
-            ? DotF(query_emb.data(), index.target_name_emb.row(t), dim_sem)
-            : 0.0f;
-    candidate.structural_score =
-        structural_used
-            ? DotF(query_struct, index.target_struct_emb.row(t), dim_struct)
-            : 0.0f;
-    result.candidates.push_back(std::move(candidate));
-  }
-  return result;
+  // The scan itself lives in topk_scan.cc so the sharded workers run the
+  // exact same code over their row-range; single-process mode is the
+  // whole-range special case.
+  TopKScanRange range;
+  range.begin = 0;
+  range.end = index.num_targets();
+  return TopKScan(index, embedder, query_name, k, allow_structural, cancel,
+                  range);
 }
 
 StatusOr<TopKResult> AlignmentService::TopKPairOnly(

@@ -1,0 +1,53 @@
+#ifndef CEAFF_SERVE_SERVICE_TYPES_H_
+#define CEAFF_SERVE_SERVICE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ceaff/serve/degradation.h"
+
+namespace ceaff::serve {
+
+/// Answer to an exact pair lookup.
+struct PairAnswer {
+  uint32_t source = 0;
+  uint32_t target = 0;
+  std::string source_name;
+  std::string target_name;
+  /// Fused similarity the batch pipeline committed this pair at.
+  float score = 0.0f;
+};
+
+/// One retrieved candidate: per-feature scores plus their weighted
+/// combination under the index's stored adaptive fusion weights.
+struct Candidate {
+  uint32_t target = 0;
+  std::string target_name;
+  float combined = 0.0f;
+  float string_score = 0.0f;
+  float semantic_score = 0.0f;
+  float structural_score = 0.0f;
+};
+
+/// Result of one top-k retrieval, self-contained (names copied out of the
+/// snapshot) so it stays valid across hot reloads, inside the cache, and
+/// across the shard-worker IPC boundary.
+struct TopKResult {
+  std::string query;
+  /// True when the query name resolved to a known source entity, so the
+  /// structural feature participated; false means the structural weight was
+  /// redistributed over the textual features.
+  bool structural_used = false;
+  /// Degradation tier this answer was served at. Anything other than
+  /// kFull also sets `degraded`: the scores are the renormalised subset of
+  /// features the tier allows (CEAFF's usual weight redistribution), not
+  /// the full adaptive fusion.
+  ServiceTier tier = ServiceTier::kFull;
+  bool degraded = false;
+  std::vector<Candidate> candidates;  // descending combined score
+};
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_SERVICE_TYPES_H_

@@ -1,0 +1,42 @@
+#ifndef CEAFF_SERVE_SHARD_WORKER_H_
+#define CEAFF_SERVE_SHARD_WORKER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "ceaff/serve/ipc.h"
+
+namespace ceaff::serve {
+
+/// Everything a shard worker needs to know, decided by the router before
+/// the fork. The worker loads the FULL index artifact (mmap zero-copy makes
+/// that cheap — the file pages are shared between all workers anyway) but
+/// only ever scans targets in [target_begin, target_end); PAIR lookups use
+/// the full maps, so any single live shard answers them at full fidelity.
+struct ShardConfig {
+  size_t shard_id = 0;
+  size_t num_shards = 1;
+  /// Contiguous target row-range this shard owns, [begin, end).
+  size_t target_begin = 0;
+  size_t target_end = 0;
+  /// Artifact to load (file or generational directory).
+  std::string index_path;
+  /// Failpoint spec applied in the child AFTER the fork (empty = inherit
+  /// whatever CEAFF_FAILPOINTS armed). This is how drills crash exactly one
+  /// shard: the router's own process never arms the spec.
+  std::string failpoint_spec;
+};
+
+/// Body of a shard worker process. Called in the forked child with its end
+/// of the socketpair; serves Ping/TopK/Pair requests strictly one at a time
+/// until Shutdown or pipe EOF (router died). Returns the process exit code:
+/// 0 clean shutdown, 3 the index failed to load (mirrors ceaff_serve so a
+/// supervisor can tell a bad artifact from a crash), 1 on an unrecoverable
+/// pipe error. The caller must pass the result straight to _exit() — the
+/// child shares the parent's address space copy and must not run the
+/// parent's atexit handlers or flush its inherited stdio buffers.
+int ShardWorkerMain(MessagePipe pipe, const ShardConfig& config);
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_SHARD_WORKER_H_

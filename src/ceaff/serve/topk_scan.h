@@ -1,0 +1,53 @@
+#ifndef CEAFF_SERVE_TOPK_SCAN_H_
+#define CEAFF_SERVE_TOPK_SCAN_H_
+
+#include <cstddef>
+#include <string>
+
+#include "ceaff/common/cancellation.h"
+#include "ceaff/common/statusor.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/service_types.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::serve {
+
+/// The single definition of "score one query against the index" shared by
+/// the single-process AlignmentService and the sharded workers. A shard
+/// worker runs the exact same code restricted to its contiguous target
+/// row-range; because every target's string/semantic/structural scores
+/// depend only on the query and that target's own rows, a scatter/gather
+/// over disjoint ranges merged by (combined desc, target id asc) is
+/// bit-identical to one full scan — the property the router's healthy-path
+/// parity guarantee rests on.
+struct TopKScanRange {
+  /// Contiguous target rows [begin, end) this scan may score.
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Scores `query_name` against targets [range.begin, range.end) of `index`
+/// and returns the top min(k, range size) candidates ordered by combined
+/// score descending, ties broken toward the smaller target id. The
+/// structural feature participates only when `allow_structural` is set AND
+/// the query resolves to a known source entity with GCN embeddings;
+/// weights of features that cannot fire are renormalised over the rest.
+/// Polls `cancel` inside the scan. Evaluates the failpoint site
+/// "serve.topk.scan" on entry (chaos and crash drills arm it).
+StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
+                              const text::WordEmbeddingStore& embedder,
+                              const std::string& query_name, size_t k,
+                              bool allow_structural,
+                              const CancellationToken* cancel,
+                              const TopKScanRange& range);
+
+/// Exact committed-pair lookup over the full index (any process that
+/// loaded the artifact holds the complete source_by_name map, so every
+/// shard can answer this at full fidelity). kNotFound when the name is
+/// unknown or its entity ended up unmatched.
+StatusOr<PairAnswer> LookupPairInIndex(const AlignmentIndex& index,
+                                       const std::string& source_name);
+
+}  // namespace ceaff::serve
+
+#endif  // CEAFF_SERVE_TOPK_SCAN_H_

@@ -386,6 +386,68 @@ TEST(KernelStringTest, PrunedMatrixKeepsExactRowMaximaAndUpperBounds) {
   }
 }
 
+TEST(KernelStringTest, ChooseStringKernelPicksExactForShortNames) {
+  // Typical translated DBP15K names: short, one or two tokens.
+  const std::vector<std::string> src = {"alpha", "beta two", "gamma"};
+  const std::vector<std::string> tgt = {"uno", "dos", "tres"};
+  const auto choice = ChooseStringKernel(src, tgt);
+  EXPECT_FALSE(choice.pruned);
+  EXPECT_LT(choice.mean_chars, 32.0);
+}
+
+TEST(KernelStringTest, ChooseStringKernelPicksPrunedForLongMultiWordNames) {
+  std::vector<std::string> src(8), tgt(8);
+  for (size_t i = 0; i < 8; ++i) {
+    src[i] = "the quite long descriptive entity name number " +
+             std::to_string(i);
+    tgt[i] = "another rather long descriptive entity label number " +
+             std::to_string(i);
+  }
+  const auto choice = ChooseStringKernel(src, tgt);
+  EXPECT_TRUE(choice.pruned);
+  EXPECT_GE(choice.mean_chars, 32.0);
+  EXPECT_GE(choice.mean_tokens, 3.0);
+}
+
+TEST(KernelStringTest, ChooseStringKernelEmptyInputPicksExact) {
+  EXPECT_FALSE(ChooseStringKernel({}, {}).pruned);
+}
+
+TEST(KernelStringTest, AutoDispatchIsBitIdenticalOnShortNames) {
+  const auto src = RandomNames(15, 18, 30);
+  const auto tgt = RandomNames(15, 18, 31);
+  KernelContext ctx;
+  StringKernelChoice choice;
+  const Matrix autod = StringSimilarityMatrixAuto(ctx, src, tgt, &choice);
+  ASSERT_FALSE(choice.pruned);
+  EXPECT_TRUE(BitIdentical(autod, StringSimilarityMatrixK(ctx, src, tgt)));
+}
+
+TEST(KernelStringTest, AutoDispatchKeepsRowMaximaExactOnLongNames) {
+  std::vector<std::string> src(10), tgt(14);
+  Rng rng(32);
+  for (std::string& s : src) {
+    for (int w = 0; w < 6; ++w) s += RandomName(&rng, 10) + " ";
+  }
+  for (std::string& s : tgt) {
+    for (int w = 0; w < 6; ++w) s += RandomName(&rng, 10) + " ";
+  }
+  KernelContext ctx;
+  StringKernelChoice choice;
+  const Matrix autod = StringSimilarityMatrixAuto(ctx, src, tgt, &choice);
+  ASSERT_TRUE(choice.pruned);
+  const Matrix exact = text::StringSimilarityMatrix(src, tgt);
+  for (size_t r = 0; r < exact.rows(); ++r) {
+    float exact_max = 0.0f, auto_max = 0.0f;
+    for (size_t c = 0; c < exact.cols(); ++c) {
+      EXPECT_GE(autod.at(r, c), exact.at(r, c) - 1e-6f);
+      exact_max = std::max(exact_max, exact.at(r, c));
+      auto_max = std::max(auto_max, autod.at(r, c));
+    }
+    EXPECT_EQ(auto_max, exact_max) << "row " << r;
+  }
+}
+
 TEST(KernelStringTest, PrunedMatrixHonoursFloor) {
   const auto src = RandomNames(12, 18, 28);
   const auto tgt = RandomNames(12, 18, 29);

@@ -289,5 +289,80 @@ TEST(AlignmentIndexIoTest, SaveIsAtomicNoTmpLeftBehind) {
   EXPECT_TRUE(LoadAlignmentIndex(path).ok());
 }
 
+TEST(AlignmentIndexBytesTest, SerializeValidateRoundTrip) {
+  auto bytes = SerializeAlignmentIndex(SmallIndex());
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  EXPECT_TRUE(ValidateAlignmentIndexBytes(bytes.value()).ok());
+  // Any flipped bit fails validation (whole-container CRC).
+  std::string corrupt = bytes.value();
+  corrupt[corrupt.size() / 2] ^= 0x10;
+  EXPECT_EQ(ValidateAlignmentIndexBytes(corrupt).code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(ValidateAlignmentIndexBytes("").code(), StatusCode::kDataLoss);
+}
+
+TEST(AlignmentIndexGenerationalTest, DirectoryRoundTripAndHistory) {
+  ScratchDir dir("idx_gen");
+  const std::string store_dir = dir.File("store");
+  const AlignmentIndex index = SmallIndex();
+  // Explicit generational save creates the directory.
+  ASSERT_TRUE(SaveAlignmentIndexGenerational(index, store_dir).ok());
+  // SaveAlignmentIndex on the now-existing directory routes generationally:
+  // a second generation appears instead of a file named like the directory.
+  ASSERT_TRUE(SaveAlignmentIndex(index, store_dir).ok());
+  EXPECT_TRUE(std::filesystem::exists(store_dir + "/MANIFEST"));
+  EXPECT_TRUE(std::filesystem::exists(store_dir + "/index.g2"));
+
+  auto loaded = LoadAlignmentIndex(store_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->source_names, index.source_names);
+  EXPECT_EQ(loaded->pairs, index.pairs);
+}
+
+TEST(AlignmentIndexGenerationalTest, CorruptNewestFallsBackToPrevious) {
+  ScratchDir dir("idx_gen_fallback");
+  const std::string store_dir = dir.File("store");
+  const AlignmentIndex index = SmallIndex();
+  ASSERT_TRUE(SaveAlignmentIndexGenerational(index, store_dir).ok());
+  ASSERT_TRUE(SaveAlignmentIndexGenerational(index, store_dir).ok());
+  // Corrupt the newest generation on disk; the manifest still lists it.
+  const std::string newest = store_dir + "/index.g2";
+  ASSERT_TRUE(std::filesystem::exists(newest));
+  FlipBit(newest, FileSize(newest) / 2);
+
+  auto loaded = LoadAlignmentIndex(store_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->source_names, index.source_names);
+  // The corrupt generation was quarantined, not served.
+  EXPECT_FALSE(std::filesystem::exists(newest));
+  EXPECT_TRUE(std::filesystem::exists(newest + ".corrupt"));
+}
+
+TEST(AlignmentIndexGenerationalTest, AllGenerationsCorruptIsDataLoss) {
+  ScratchDir dir("idx_gen_allbad");
+  const std::string store_dir = dir.File("store");
+  ASSERT_TRUE(SaveAlignmentIndexGenerational(SmallIndex(), store_dir).ok());
+  const std::string only = store_dir + "/index.g1";
+  ASSERT_TRUE(std::filesystem::exists(only));
+  FlipBit(only, FileSize(only) / 2);
+  EXPECT_EQ(LoadAlignmentIndex(store_dir).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(AlignmentIndexGenerationalTest, KeepWindowBoundsHistory) {
+  ScratchDir dir("idx_gen_keep");
+  const std::string store_dir = dir.File("store");
+  const AlignmentIndex index = SmallIndex();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        SaveAlignmentIndexGenerational(index, store_dir, /*keep=*/2).ok());
+  }
+  // Only the two newest generations survive the GC window.
+  EXPECT_FALSE(std::filesystem::exists(store_dir + "/index.g2"));
+  EXPECT_TRUE(std::filesystem::exists(store_dir + "/index.g3"));
+  EXPECT_TRUE(std::filesystem::exists(store_dir + "/index.g4"));
+  EXPECT_TRUE(LoadAlignmentIndex(store_dir).ok());
+}
+
 }  // namespace
 }  // namespace ceaff::serve

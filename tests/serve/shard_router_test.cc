@@ -1,0 +1,341 @@
+#include "ceaff/serve/router.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ceaff/common/failpoint.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/ipc.h"
+#include "ceaff/serve/topk_scan.h"
+#include "serve/shard_test_util.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::serve {
+namespace {
+
+using ::ceaff::testing::ExpectCandidatesIdentical;
+using ::ceaff::testing::RangeReference;
+using ::ceaff::testing::ScratchDir;
+using ::ceaff::testing::ShardEmbedder;
+using ::ceaff::testing::ShardIndex;
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+TEST(IpcCodecTest, BinWriterReaderRoundTrip) {
+  BinWriter w;
+  w.U8(7);
+  w.U32(0xDEADBEEF);
+  w.U64(1ull << 40);
+  w.I64(-12345);
+  w.F32(0.1f);
+  w.Str("hello shard");
+  const std::string bytes = std::move(w).Take();
+
+  BinReader r(bytes);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f = 0.0f;
+  std::string s;
+  ASSERT_TRUE(r.U8(&u8));
+  ASSERT_TRUE(r.U32(&u32));
+  ASSERT_TRUE(r.U64(&u64));
+  ASSERT_TRUE(r.I64(&i64));
+  ASSERT_TRUE(r.F32(&f));
+  ASSERT_TRUE(r.Str(&s));
+  EXPECT_TRUE(r.Done());
+  EXPECT_EQ(u8, 7u);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 1ull << 40);
+  EXPECT_EQ(i64, -12345);
+  EXPECT_EQ(f, 0.1f);
+  EXPECT_EQ(s, "hello shard");
+
+  // Truncated payloads fail the typed getters, not crash.
+  const std::string truncated = bytes.substr(0, 3);
+  BinReader short_r(truncated);
+  uint32_t dummy = 0;
+  EXPECT_TRUE(short_r.U8(&u8));
+  EXPECT_FALSE(short_r.U32(&dummy));
+  EXPECT_FALSE(short_r.Done());
+}
+
+TEST(IpcCodecTest, TopKResponseRoundTripIsBitExact) {
+  TopKResult result;
+  result.query = "some query";
+  result.structural_used = true;
+  result.degraded = false;
+  // Scores chosen to have non-trivial float bit patterns.
+  result.candidates.push_back({3, "target a", 0.1f, 0.3f, 1.0f / 3.0f, 0.0f});
+  result.candidates.push_back({9, "target b", -0.0f, 0.7f, 0.2f, 0.99999f});
+
+  const std::string frame = EncodeTopKResponse(StatusOr<TopKResult>(result));
+  auto decoded = DecodeTopKResponse(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query, result.query);
+  EXPECT_EQ(decoded->structural_used, result.structural_used);
+  ASSERT_EQ(decoded->candidates.size(), result.candidates.size());
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    // Bit-pattern equality, not value equality: -0.0f must survive as
+    // -0.0f for the merge to stay deterministic.
+    EXPECT_EQ(std::memcmp(&decoded->candidates[i].combined,
+                          &result.candidates[i].combined, sizeof(float)),
+              0);
+    EXPECT_EQ(decoded->candidates[i].target, result.candidates[i].target);
+    EXPECT_EQ(decoded->candidates[i].target_name,
+              result.candidates[i].target_name);
+  }
+}
+
+TEST(IpcCodecTest, ErrorResponseCarriesStatusAcrossTheWire) {
+  const std::string frame = EncodeTopKResponse(
+      StatusOr<TopKResult>(Status::FailedPrecondition("no targets")));
+  auto decoded = DecodeTopKResponse(frame);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(decoded.status().message(), "no targets");
+}
+
+TEST(IpcCodecTest, TrailingGarbageIsDataLoss) {
+  std::string frame = EncodeTopKResponse(StatusOr<TopKResult>(TopKResult{}));
+  frame.push_back('\0');
+  EXPECT_EQ(DecodeTopKResponse(frame).status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// MessagePipe framing
+// ---------------------------------------------------------------------------
+
+TEST(MessagePipeTest, SendRecvAcrossPair) {
+  MessagePipe a, b;
+  ASSERT_TRUE(MessagePipe::CreatePair(&a, &b).ok());
+  ASSERT_TRUE(a.Send(IpcType::kPing, "payload bytes").ok());
+  auto msg = b.Recv(/*timeout_ms=*/1000);
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->type, IpcType::kPing);
+  EXPECT_EQ(msg->payload, "payload bytes");
+}
+
+TEST(MessagePipeTest, PeerCloseIsUnavailable) {
+  MessagePipe a, b;
+  ASSERT_TRUE(MessagePipe::CreatePair(&a, &b).ok());
+  b.Close();
+  EXPECT_EQ(a.Recv(100).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(a.Send(IpcType::kPing, "x").code(), StatusCode::kUnavailable);
+}
+
+TEST(MessagePipeTest, RecvTimeoutIsDeadlineExceeded) {
+  MessagePipe a, b;
+  ASSERT_TRUE(MessagePipe::CreatePair(&a, &b).ok());
+  EXPECT_EQ(a.Recv(/*timeout_ms=*/50).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(MessagePipeTest, CorruptFrameIsDataLoss) {
+  MessagePipe a, b;
+  ASSERT_TRUE(MessagePipe::CreatePair(&a, &b).ok());
+  // The corrupt-reply failpoint flips the frame CRC at send time; the
+  // receiver must refuse the frame rather than deliver corrupt bytes.
+  ASSERT_TRUE(failpoint::Configure("shard.ipc.corrupt_reply=error").ok());
+  ASSERT_TRUE(a.Send(IpcType::kPong, "soon to be corrupt").ok());
+  failpoint::Clear();
+  EXPECT_EQ(b.Recv(1000).status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Router scatter/gather
+// ---------------------------------------------------------------------------
+
+class ShardRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScratchDir>("shard_router");
+    index_ = ShardIndex(24);
+    index_path_ = dir_->File("shard.idx");
+    ASSERT_TRUE(SaveAlignmentIndex(index_, index_path_).ok());
+  }
+
+  std::vector<std::pair<size_t, size_t>> AliveRanges(
+      const ShardRouter& router) {
+    std::vector<std::pair<size_t, size_t>> ranges;
+    for (size_t i = 0; i < router.num_shards(); ++i) {
+      if (router.shard_alive(i)) ranges.push_back(router.shard_range(i));
+    }
+    return ranges;
+  }
+
+  std::unique_ptr<ScratchDir> dir_;
+  AlignmentIndex index_;
+  std::string index_path_;
+};
+
+TEST_F(ShardRouterTest, StartRejectsMissingOrCorruptIndex) {
+  EXPECT_FALSE(ShardRouter::Start("/nonexistent/index").ok());
+}
+
+TEST_F(ShardRouterTest, ShardRangesPartitionTheTargets) {
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  auto router = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  ASSERT_EQ((*router)->num_shards(), 3u);
+  size_t covered = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    const auto [begin, end] = (*router)->shard_range(i);
+    EXPECT_EQ(begin, covered);
+    EXPECT_GT(end, begin);
+    covered = end;
+  }
+  EXPECT_EQ(covered, index_.num_targets());
+}
+
+TEST_F(ShardRouterTest, ClampsShardCountToTargets) {
+  ShardRouterOptions options;
+  options.num_shards = 100;  // far more than 24 targets
+  auto router = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  EXPECT_LE((*router)->num_shards(), index_.num_targets());
+}
+
+TEST_F(ShardRouterTest, HealthyTopKIsBitIdenticalToSingleProcess) {
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  auto router = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  const auto store = ShardEmbedder(index_);
+  const std::vector<std::string> queries = {
+      "source entity 0", "target entity 7", "entirely unseen name",
+      "source entity 23", "tergat entity 11"};
+  for (const std::string& q : queries) {
+    auto got = (*router)->TopK(q, 5);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_FALSE(got->degraded) << q;
+    const TopKResult want = RangeReference(
+        index_, store, q, 5, {{0, index_.num_targets()}});
+    ExpectCandidatesIdentical(got->candidates, want.candidates);
+  }
+}
+
+TEST_F(ShardRouterTest, DeadShardMidQueryDegradesToSurvivorMerge) {
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  auto router_or = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router_or.ok()) << router_or.status().ToString();
+  ShardRouter& router = **router_or;
+
+  ASSERT_TRUE(router.shard_alive(1));
+  ASSERT_EQ(::kill(router.shard_pid(1), SIGKILL), 0);
+
+  // The kill is asynchronous; the router discovers it on the next
+  // scatter. The answer must come back degraded and exactly equal the
+  // reference merge over the surviving ranges.
+  auto got = router.TopK("source entity 3", 5);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->degraded);
+  EXPECT_FALSE(router.shard_alive(1));
+
+  const auto store = ShardEmbedder(index_);
+  const TopKResult want =
+      RangeReference(index_, store, "source entity 3", 5,
+                     AliveRanges(router));
+  ExpectCandidatesIdentical(got->candidates, want.candidates);
+  EXPECT_GE(router.degraded_answers(), 1u);
+}
+
+TEST_F(ShardRouterTest, RecoversToFullFidelityAfterRespawn) {
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  auto router_or = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router_or.ok()) << router_or.status().ToString();
+  ShardRouter& router = **router_or;
+
+  ASSERT_EQ(::kill(router.shard_pid(2), SIGKILL), 0);
+  auto degraded = router.TopK("source entity 9", 4);
+  ASSERT_TRUE(degraded.ok());
+  EXPECT_TRUE(degraded->degraded);
+
+  // First CheckHealth observes the degradation, then respawns; one kill of
+  // a healthy shard never trips the breaker.
+  auto report = router.CheckHealth();
+  EXPECT_TRUE(report.degraded);
+  report = router.CheckHealth();
+  EXPECT_FALSE(report.degraded) << report.alive << "/" << report.total;
+
+  const auto store = ShardEmbedder(index_);
+  auto got = router.TopK("source entity 9", 4);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->degraded);
+  const TopKResult want = RangeReference(
+      index_, store, "source entity 9", 4, {{0, index_.num_targets()}});
+  ExpectCandidatesIdentical(got->candidates, want.candidates);
+}
+
+TEST_F(ShardRouterTest, PairLookupFailsOverAndStaysExact) {
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  auto router_or = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router_or.ok()) << router_or.status().ToString();
+  ShardRouter& router = **router_or;
+
+  // Kill one shard; every name must still answer exactly from a survivor
+  // (all workers hold the full pair maps).
+  ASSERT_EQ(::kill(router.shard_pid(0), SIGKILL), 0);
+  for (size_t i = 0; i < index_.num_sources(); ++i) {
+    const std::string name = "source entity " + std::to_string(i);
+    auto got = router.LookupPair(name);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+    auto want = LookupPairInIndex(index_, name);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got->source, want->source);
+    EXPECT_EQ(got->target, want->target);
+    EXPECT_EQ(got->score, want->score);
+    EXPECT_EQ(got->target_name, want->target_name);
+  }
+  // kNotFound stays authoritative from any shard.
+  EXPECT_EQ(router.LookupPair("no such entity").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ShardRouterTest, ReloadSwapsFleetAndRefusesCorruptArtifact) {
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  auto router_or = ShardRouter::Start(index_path_, options);
+  ASSERT_TRUE(router_or.ok()) << router_or.status().ToString();
+  ShardRouter& router = **router_or;
+
+  // A corrupt replacement refuses the swap; the old fleet keeps serving.
+  const std::string bad = dir_->File("bad.idx");
+  ceaff::testing::WriteText(bad, "not an index");
+  EXPECT_FALSE(router.Reload(bad).ok());
+  EXPECT_TRUE(router.TopK("source entity 1", 3).ok());
+
+  // A valid replacement (different size) swaps every worker.
+  const AlignmentIndex bigger = ShardIndex(30);
+  const std::string next = dir_->File("next.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(bigger, next).ok());
+  ASSERT_TRUE(router.Reload(next).ok());
+  size_t covered = 0;
+  for (size_t i = 0; i < router.num_shards(); ++i) {
+    covered = router.shard_range(i).second;
+  }
+  EXPECT_EQ(covered, bigger.num_targets());
+
+  const auto store = ShardEmbedder(bigger);
+  auto got = router.TopK("source entity 27", 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->degraded);
+  const TopKResult want = RangeReference(
+      bigger, store, "source entity 27", 5, {{0, bigger.num_targets()}});
+  ExpectCandidatesIdentical(got->candidates, want.candidates);
+}
+
+}  // namespace
+}  // namespace ceaff::serve

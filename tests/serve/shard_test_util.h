@@ -1,0 +1,113 @@
+#ifndef CEAFF_TESTS_SERVE_SHARD_TEST_UTIL_H_
+#define CEAFF_TESTS_SERVE_SHARD_TEST_UTIL_H_
+
+/// Shared fixtures for the shard-router tests: a synthetic index large
+/// enough that a 3-4 way split leaves several targets per shard, plus
+/// reference implementations of the scatter/gather merge built directly on
+/// TopKScan — what the router must reproduce bit-for-bit.
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/service_types.h"
+#include "ceaff/serve/topk_scan.h"
+#include "ceaff/text/name_embedding.h"
+#include "ceaff/text/word_embedding.h"
+
+namespace ceaff::testing {
+
+/// `n`-entity index in the same shape as SmallIndex: gold pairs on the
+/// diagonal, hash-fallback name embeddings, identity-like structural
+/// embeddings.
+inline serve::AlignmentIndex ShardIndex(size_t n) {
+  serve::AlignmentIndexInput input;
+  input.dataset = "shard-test";
+  for (size_t i = 0; i < n; ++i) {
+    input.source_names.push_back("source entity " + std::to_string(i));
+    input.target_names.push_back("target entity " + std::to_string(i));
+    input.pairs.push_back(
+        {static_cast<uint32_t>(i), static_cast<uint32_t>(i), 0.8f});
+  }
+  input.weights = {0.4, 0.3, 0.3};
+  input.semantic_seed = 17;
+
+  const text::WordEmbeddingStore store(16, input.semantic_seed);
+  input.source_name_emb = text::EmbedNames(store, input.source_names);
+  input.target_name_emb = text::EmbedNames(store, input.target_names);
+  input.source_name_emb.L2NormalizeRows();
+  input.target_name_emb.L2NormalizeRows();
+
+  la::Matrix structural(n, n);
+  for (size_t i = 0; i < n; ++i) structural.at(i, i) = 1.0f;
+  input.source_struct_emb = structural;
+  input.target_struct_emb = structural;
+
+  auto index = serve::BuildAlignmentIndex(std::move(input));
+  CEAFF_CHECK(index.ok()) << index.status().ToString();
+  return std::move(index).value();
+}
+
+/// The query-side embedder the workers reconstruct from the index.
+inline text::WordEmbeddingStore ShardEmbedder(
+    const serve::AlignmentIndex& index) {
+  const size_t dim = index.target_name_emb.cols() > 0
+                         ? index.target_name_emb.cols()
+                         : index.source_name_emb.cols();
+  return text::WordEmbeddingStore(dim, index.semantic_seed);
+}
+
+/// Reference merge: per-range top-k via TopKScan, concatenated, sorted by
+/// the router's comparator (combined desc, target id asc), truncated to k.
+/// With the full [0, n) range this is exactly the single-process answer.
+inline serve::TopKResult RangeReference(
+    const serve::AlignmentIndex& index, const text::WordEmbeddingStore& store,
+    const std::string& query, size_t k,
+    const std::vector<std::pair<size_t, size_t>>& ranges) {
+  serve::TopKResult merged;
+  merged.query = query;
+  for (const auto& [begin, end] : ranges) {
+    serve::TopKScanRange range{begin, end};
+    auto part = serve::TopKScan(index, store, query, k,
+                                /*allow_structural=*/true,
+                                /*cancel=*/nullptr, range);
+    CEAFF_CHECK(part.ok()) << part.status().ToString();
+    merged.structural_used = part->structural_used;
+    merged.candidates.insert(merged.candidates.end(),
+                             part->candidates.begin(),
+                             part->candidates.end());
+  }
+  std::sort(merged.candidates.begin(), merged.candidates.end(),
+            [](const serve::Candidate& a, const serve::Candidate& b) {
+              if (a.combined != b.combined) return a.combined > b.combined;
+              return a.target < b.target;
+            });
+  if (merged.candidates.size() > k) merged.candidates.resize(k);
+  return merged;
+}
+
+/// Bitwise equality over two candidate lists (float payloads compared as
+/// exact values — the merge must not perturb a single ulp).
+inline void ExpectCandidatesIdentical(
+    const std::vector<serve::Candidate>& got,
+    const std::vector<serve::Candidate>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].target, want[i].target) << "rank " << i;
+    EXPECT_EQ(got[i].target_name, want[i].target_name) << "rank " << i;
+    EXPECT_EQ(got[i].combined, want[i].combined) << "rank " << i;
+    EXPECT_EQ(got[i].string_score, want[i].string_score) << "rank " << i;
+    EXPECT_EQ(got[i].semantic_score, want[i].semantic_score) << "rank " << i;
+    EXPECT_EQ(got[i].structural_score, want[i].structural_score)
+        << "rank " << i;
+  }
+}
+
+}  // namespace ceaff::testing
+
+#endif  // CEAFF_TESTS_SERVE_SHARD_TEST_UTIL_H_

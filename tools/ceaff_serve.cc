@@ -4,7 +4,15 @@
 // to stdout and serving statistics to stderr on exit.
 //
 //   ceaff_serve --index run.idx [--threads N] [--requests FILE]
-//               [--deadline_ms N] [--cache N] [--scrub_ms N]
+//               [--deadline_ms N] [--cache N] [--scrub_ms N] [--shards N]
+//
+// --shards=N with N >= 2 switches to crash-isolated sharded serving: this
+// process becomes the supervisor/router and forks N shard workers, each
+// scanning a contiguous target row-range (see serve/router.h). A worker
+// dying mid-query degrades that answer (marked `degraded=partial`) instead
+// of taking the service down; the worker respawns through a per-shard
+// circuit breaker. N=1 (the default) is the unchanged single-process fast
+// path.
 //
 // Lifecycle: SIGTERM (and SIGINT) triggers a graceful drain — intake stops
 // after the current line, requests already in flight finish, the final
@@ -27,6 +35,7 @@
 #include "ceaff/common/flags.h"
 #include "ceaff/serve/degradation.h"
 #include "ceaff/serve/protocol.h"
+#include "ceaff/serve/router.h"
 #include "ceaff/serve/service.h"
 
 namespace ceaff {
@@ -54,7 +63,7 @@ int Usage() {
                "usage: ceaff_serve --index FILE [--threads N] "
                "[--requests FILE]\n"
                "                   [--deadline_ms N] [--cache N] "
-               "[--scrub_ms N]\n"
+               "[--scrub_ms N] [--shards N]\n"
                "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/"
                "HEALTH/READY/QUIT)\n"
                "line by line from --requests or stdin; responses go to "
@@ -80,11 +89,188 @@ void PrintTopK(const serve::TopKResult& topk) {
   }
 }
 
+/// Request loop for sharded mode: the same line protocol, answered by the
+/// router's scatter/gather instead of an in-process AlignmentService.
+/// Degraded TOPK answers (a shard's range missing from the merge) print
+/// `degraded=partial`; HEALTH/READY report live-shard counts so a
+/// supervisor can see a shard die and come back.
+int RunSharded(const FlagParser& flags, size_t num_shards) {
+  const std::string index_path = flags.GetString("index", "");
+  serve::ShardRouterOptions options;
+  options.num_shards = num_shards;
+  const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
+  if (deadline_ms > 0) options.default_shard_deadline_ms = deadline_ms;
+
+  auto router_or = serve::ShardRouter::Start(index_path, options);
+  if (!router_or.ok()) {
+    std::fprintf(stderr, "ceaff_serve: cannot start sharded router: %s\n",
+                 router_or.status().ToString().c_str());
+    return 3;
+  }
+  std::unique_ptr<serve::ShardRouter> router = std::move(router_or).value();
+  std::fprintf(stderr, "sharded serving '%s': %zu shards\n",
+               index_path.c_str(), router->num_shards());
+  for (size_t i = 0; i < router->num_shards(); ++i) {
+    const auto range = router->shard_range(i);
+    std::fprintf(stderr, "shard %zu pid %d range [%zu, %zu)%s\n", i,
+                 static_cast<int>(router->shard_pid(i)), range.first,
+                 range.second, router->shard_alive(i) ? "" : " (down)");
+  }
+
+  std::ifstream file;
+  const std::string requests_path = flags.GetString("requests", "");
+  if (!requests_path.empty()) {
+    file.open(requests_path);
+    if (!file) {
+      std::fprintf(stderr, "ceaff_serve: cannot open requests file %s\n",
+                   requests_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = requests_path.empty() ? std::cin : file;
+
+  InstallDrainHandler();
+
+  auto print_topk = [](const serve::TopKResult& topk) {
+    if (topk.degraded) {
+      std::printf("OK TOPK %zu degraded=partial\n", topk.candidates.size());
+    } else {
+      std::printf("OK TOPK %zu\n", topk.candidates.size());
+    }
+    for (size_t r = 0; r < topk.candidates.size(); ++r) {
+      const serve::Candidate& c = topk.candidates[r];
+      std::printf("CAND %zu\t%s\t%.6f\t%.6f\t%.6f\t%.6f\n", r + 1,
+                  c.target_name.c_str(), c.combined, c.string_score,
+                  c.semantic_score, c.structural_score);
+    }
+  };
+
+  std::string line;
+  while (g_drain == 0 && std::getline(in, line)) {
+    auto request_or = serve::ParseRequest(line);
+    if (!request_or.ok()) {
+      if (request_or.status().code() == StatusCode::kNotFound) continue;
+      std::printf("%s\n",
+                  serve::FormatErrorResponse(request_or.status()).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    const serve::Request& request = request_or.value();
+
+    CancellationToken token;
+    const CancellationToken* cancel = nullptr;
+    if (deadline_ms > 0) {
+      token.SetDeadlineAfterMillis(deadline_ms);
+      cancel = &token;
+    }
+
+    switch (request.type) {
+      case serve::RequestType::kPair: {
+        auto answer = router->LookupPair(request.names[0], cancel);
+        if (answer.ok()) {
+          std::printf("OK PAIR %s\t%s\t%.6f\n",
+                      answer->source_name.c_str(),
+                      answer->target_name.c_str(), answer->score);
+        } else if (answer.status().code() == StatusCode::kNotFound) {
+          std::printf("NONE PAIR %s\n", request.names[0].c_str());
+        } else {
+          std::printf("%s\n",
+                      serve::FormatErrorResponse(answer.status()).c_str());
+        }
+        break;
+      }
+      case serve::RequestType::kTopK: {
+        auto topk = router->TopK(request.names[0], request.k, cancel);
+        if (topk.ok()) {
+          print_topk(topk.value());
+        } else {
+          std::printf("%s\n",
+                      serve::FormatErrorResponse(topk.status()).c_str());
+        }
+        break;
+      }
+      case serve::RequestType::kBatch: {
+        std::printf("OK BATCH %zu\n", request.names.size());
+        for (const std::string& name : request.names) {
+          auto topk = router->TopK(name, request.k, cancel);
+          if (topk.ok()) {
+            print_topk(topk.value());
+          } else {
+            std::printf("%s\n",
+                        serve::FormatErrorResponse(topk.status()).c_str());
+          }
+        }
+        break;
+      }
+      case serve::RequestType::kReload: {
+        Status st = router->Reload(request.path);
+        if (st.ok()) {
+          std::printf("OK RELOAD %s\n", request.path.c_str());
+        } else {
+          std::printf("%s\n", serve::FormatErrorResponse(st).c_str());
+        }
+        break;
+      }
+      case serve::RequestType::kStats:
+        std::printf("OK STATS {\"router\": %s}\n",
+                    router->StatsJson().c_str());
+        break;
+      case serve::RequestType::kHealth: {
+        const auto health = router->CheckHealth();
+        std::printf("OK HEALTH shards=%zu/%zu%s\n", health.alive,
+                    health.total, health.degraded ? " degraded" : "");
+        break;
+      }
+      case serve::RequestType::kReady: {
+        if (g_drain != 0) {
+          std::printf("ERR Unavailable draining\n");
+          break;
+        }
+        const auto health = router->CheckHealth();
+        if (health.alive == 0) {
+          std::printf("ERR Unavailable no live shards\n");
+        } else {
+          std::printf("OK READY shards=%zu/%zu\n", health.alive,
+                      health.total);
+        }
+        break;
+      }
+      case serve::RequestType::kQuit:
+        std::fflush(stdout);
+        std::fprintf(stderr, "final stats: {\"router\": %s}\n",
+                     router->StatsJson().c_str());
+        return 0;
+    }
+    std::fflush(stdout);
+  }
+
+  if (g_drain != 0) {
+    std::fprintf(stderr, "draining: intake stopped, flushing in-flight "
+                         "requests\n");
+  }
+  std::fflush(stdout);
+  std::fprintf(stderr, "final stats: {\"router\": %s}\n",
+               router->StatsJson().c_str());
+  return 0;
+}
+
 int Run(const FlagParser& flags) {
   const std::string index_path = flags.GetString("index", "");
   if (index_path.empty()) {
     std::fprintf(stderr, "ceaff_serve: --index FILE is required\n");
     return Usage();
+  }
+  const int64_t shards = flags.GetInt("shards", 1);
+  if (shards < 1) {
+    std::fprintf(stderr, "ceaff_serve: --shards must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1) {
+    // Touch the single-process-only flags so they do not warn as unknown.
+    (void)flags.GetInt("threads", 4);
+    (void)flags.GetInt("cache", 1024);
+    (void)flags.GetInt("scrub_ms", 0);
+    return RunSharded(flags, static_cast<size_t>(shards));
   }
   serve::ServiceOptions options;
   const int64_t threads = flags.GetInt("threads", 4);

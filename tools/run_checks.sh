@@ -8,8 +8,12 @@
 # a kernels smoke (the `bench`-labelled parity ctest plus a quick
 # micro_kernels run asserting a clean parity bill), an end-to-end serving
 # smoke (export an index from a tiny synthetic run, then drive ceaff_serve
-# against it), and an overload smoke (soak the service past capacity,
-# assert it sheds and that SIGTERM during the soak drains cleanly).
+# against it), an overload smoke (soak the service past capacity, assert
+# it sheds, that the failpoint chaos phases stay clean, and that SIGTERM
+# during the soak drains cleanly), and a sharded smoke (router + 3 shard
+# workers, SIGKILL one mid-session, assert degraded answers, HEALTH
+# degrade/recover, and healthy byte-identity with single-process mode);
+# the `shard`-labelled kill-a-shard drills also rerun under ASan.
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
 #                            [--skip-crash]
@@ -63,6 +67,9 @@ if [[ "$skip_crash" == 0 ]]; then
     echo "==> Crash-recovery drill under ASan"
     ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
       -L chaos -R 'CrashRecoveryTest|IndexCrashTest'
+    echo "==> Shard-kill drill under ASan"
+    ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" \
+      -L shard
   fi
 fi
 
@@ -144,6 +151,50 @@ if [[ "$skip_smoke" == 0 ]]; then
   # The 4x phase must have shed at least one request (goodput over queueing).
   grep -Eq '"shed": *[1-9]' "$smoke/BENCH_overload.json"
   grep -Eq '"other_errors": *0' "$smoke/BENCH_overload.json"
+  # The failpoint chaos phases ran, injected faults, and saw nothing else:
+  # the scan-error phase must record injected errors and every chaos phase
+  # must record zero unexpected ones.
+  grep -Eq '"name": "scan_error_1in20".*"injected_errors": [1-9]' \
+    "$smoke/BENCH_overload.json"
+  if grep -Eq '"unexpected_errors": [1-9]' "$smoke/BENCH_overload.json"; then
+    echo "chaos phase saw unexpected (non-injected) errors" >&2; exit 1
+  fi
+
+  echo "==> Sharded smoke: router + 3 shards, SIGKILL one, degrade + recover"
+  shard_fifo="$smoke/shard_req.fifo"
+  mkfifo "$shard_fifo"
+  "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --shards 3 \
+    < "$shard_fifo" > "$smoke/shard_out.txt" 2> "$smoke/shard_err.txt" &
+  shard_pid=$!
+  exec 9> "$shard_fifo"
+  # Healthy baseline TOPK, then wait for the reply before pulling a shard.
+  printf 'TOPK 5 %s\n' "$name" >&9
+  for _ in $(seq 100); do
+    grep -q 'OK TOPK' "$smoke/shard_out.txt" 2>/dev/null && break
+    sleep 0.2
+  done
+  grep -q 'OK TOPK 5$' "$smoke/shard_out.txt"
+  # SIGKILL shard 1 (pid from the router's startup log), mid-session.
+  victim="$(grep -oE 'shard 1 pid [0-9]+' "$smoke/shard_err.txt" \
+    | grep -oE '[0-9]+$')"
+  kill -9 "$victim"
+  # Degraded TOPK from the survivors, HEALTH observes the death, the next
+  # HEALTH reports the breaker-gated respawn, and the final TOPK is back
+  # to full fidelity.
+  printf 'TOPK 5 %s\nHEALTH\nHEALTH\nTOPK 5 %s\nQUIT\n' "$name" "$name" >&9
+  exec 9>&-
+  wait "$shard_pid"  # set -e: a router crash fails the sweep here
+  grep -q 'OK TOPK 5 degraded=partial' "$smoke/shard_out.txt"
+  grep -q 'OK HEALTH shards=2/3 degraded' "$smoke/shard_out.txt"
+  grep -q 'OK HEALTH shards=3/3' "$smoke/shard_out.txt"
+  # Healthy sharded replies are byte-identical to single-process serving:
+  # first and last TOPK blocks (reply line + 5 candidates) must equal the
+  # single-process answer for the same request.
+  printf 'TOPK 5 %s\nQUIT\n' "$name" \
+    | "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --threads 2 \
+    > "$smoke/single_out.txt"
+  head -n 6 "$smoke/shard_out.txt" | diff - <(head -n 6 "$smoke/single_out.txt")
+  tail -n 6 "$smoke/shard_out.txt" | diff - <(head -n 6 "$smoke/single_out.txt")
 
   echo "==> SIGTERM drill: drain mid-stream, exit 0, stats on stderr"
   "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --threads 2 \
