@@ -9,12 +9,21 @@
 // cores time-slice one core and cannot speed anything up, so judge the
 // scaling column against the cores that actually exist.
 //
+// The report also carries an ANN section (DESIGN.md §13): the synthetic
+// index gets IVF + int8 sections trained into it, and a recall@k-vs-QPS
+// curve compares the exhaustive scan against the ANN path at several
+// `nprobe` settings, plus the embedding-payload shrink from int8 coding.
+// Ground truth for recall is the exhaustive scan's own top-k.
+//
 // Environment overrides:
 //   CEAFF_SERVE_ENTITIES  target entities in the synthetic index (10000)
 //   CEAFF_SERVE_QUERIES   queries per measured run            (2000)
+//   CEAFF_SERVE_SHORTLIST ANN shortlist size for the curve    (AnnOptions default)
 //   CEAFF_SERVE_TOPK      k per query                         (10)
 //   CEAFF_SERVE_THREADS   comma-separated thread counts       (1,2,4,8)
+//   CEAFF_SERVE_NPROBES   comma-separated nprobe settings     (1,2,4,8,16)
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +36,7 @@
 #include "ceaff/common/string_util.h"
 #include "ceaff/common/thread_pool.h"
 #include "ceaff/common/timer.h"
+#include "ceaff/serve/ann_build.h"
 #include "ceaff/serve/service.h"
 #include "serve_synthetic.h"
 
@@ -43,14 +53,19 @@ size_t EnvSize(const char* name, size_t fallback) {
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
-std::vector<size_t> EnvThreadCounts() {
-  std::vector<size_t> counts;
-  const char* v = std::getenv("CEAFF_SERVE_THREADS");
-  const std::string spec = (v != nullptr && *v != '\0') ? v : "1,2,4,8";
+std::vector<size_t> EnvSizeList(const char* name, const char* fallback) {
+  std::vector<size_t> values;
+  const char* v = std::getenv(name);
+  const std::string spec = (v != nullptr && *v != '\0') ? v : fallback;
   for (const std::string& part : Split(spec, ',')) {
     const long long parsed = std::atoll(part.c_str());
-    if (parsed > 0) counts.push_back(static_cast<size_t>(parsed));
+    if (parsed > 0) values.push_back(static_cast<size_t>(parsed));
   }
+  return values;
+}
+
+std::vector<size_t> EnvThreadCounts() {
+  std::vector<size_t> counts = EnvSizeList("CEAFF_SERVE_THREADS", "1,2,4,8");
   if (counts.empty()) counts = {1, 8};
   return counts;
 }
@@ -61,6 +76,40 @@ struct RunResult {
   double qps = 0.0;
   size_t errors = 0;
 };
+
+/// One point of the recall@k-vs-QPS curve ("exhaustive" is the nprobe=0
+/// baseline; its recall is 1 by definition — it IS the ground truth).
+struct AnnPoint {
+  size_t nprobe = 0;  // 0 = exhaustive baseline
+  double qps = 0.0;
+  double recall = 0.0;
+  uint64_t fallbacks = 0;  // scans that fell back to the exhaustive loop
+};
+
+/// Mean recall@k of `service`'s top-k answers against `truth` (target-id
+/// lists from the exhaustive scan). Queries whose truth list is empty are
+/// skipped.
+double MeasureRecall(serve::AlignmentService* service,
+                     const std::vector<std::string>& queries, size_t k,
+                     const std::vector<std::vector<uint32_t>>& truth) {
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (truth[i].empty()) continue;
+    auto r = service->TopK(queries[i], k);
+    if (!r.ok()) continue;
+    size_t hit = 0;
+    for (const serve::Candidate& c : r->candidates) {
+      if (std::find(truth[i].begin(), truth[i].end(), c.target) !=
+          truth[i].end()) {
+        ++hit;
+      }
+    }
+    sum += static_cast<double>(hit) / static_cast<double>(truth[i].size());
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
 
 /// Runs `n_queries` TopK calls spread over `n_threads` plain worker threads
 /// (each thread issues its share in a tight loop — the service's own pool
@@ -100,12 +149,24 @@ int Main() {
   const size_t n_entities = EnvSize("CEAFF_SERVE_ENTITIES", 10000);
   const size_t n_queries = EnvSize("CEAFF_SERVE_QUERIES", 2000);
   const size_t k = EnvSize("CEAFF_SERVE_TOPK", 10);
+  const size_t shortlist =
+      EnvSize("CEAFF_SERVE_SHORTLIST", serve::AnnOptions{}.shortlist);
   const std::vector<size_t> thread_counts = EnvThreadCounts();
 
   std::fprintf(stderr, "building synthetic index (%zu entities)...\n",
                n_entities);
+  serve::AlignmentIndex raw_index = BuildSyntheticIndex(n_entities);
+  // Train the ANN sections in-place: the exhaustive runs below ignore them
+  // (ann.enabled defaults to false), and the curve runs probe them.
+  {
+    const Status ann_built = serve::BuildAnnSections(&raw_index);
+    if (!ann_built.ok()) {
+      std::fprintf(stderr, "warning: ANN sections not built: %s\n",
+                   ann_built.ToString().c_str());
+    }
+  }
   auto index = std::make_shared<const serve::AlignmentIndex>(
-      BuildSyntheticIndex(n_entities));
+      std::move(raw_index));
 
   // Query mix: half known source names (exercise the structural feature),
   // half perturbed unseen names (string/semantic only).
@@ -133,6 +194,57 @@ int Main() {
                  run.threads, run.seconds, run.qps, run.errors);
   }
 
+  // --- Recall@k-vs-QPS curve, single-threaded (the knob under test is the
+  // candidate stage, not thread scaling). Ground truth is the exhaustive
+  // scan's own top-k per query.
+  std::vector<AnnPoint> curve;
+  if (index->has_ann()) {
+    const std::vector<size_t> nprobes =
+        EnvSizeList("CEAFF_SERVE_NPROBES", "1,2,4,8,16");
+    std::vector<std::vector<uint32_t>> truth(queries.size());
+    auto measure_point = [&](const serve::AnnOptions& ann) {
+      serve::ServiceOptions options;
+      options.num_threads = 1;
+      options.cache_capacity = 0;
+      options.ann = ann;
+      serve::AlignmentService service(index, options);
+      (void)service.TopK(queries.front(), k);
+      AnnPoint point;
+      point.nprobe = ann.enabled ? ann.nprobe : 0;
+      if (ann.enabled) {
+        point.recall = MeasureRecall(&service, queries, k, truth);
+        point.fallbacks = service.Stats().ann.fallbacks;
+      } else {
+        // Baseline pass doubles as ground-truth collection.
+        for (size_t i = 0; i < queries.size(); ++i) {
+          auto r = service.TopK(queries[i], k);
+          if (!r.ok()) continue;
+          for (const serve::Candidate& c : r->candidates) {
+            truth[i].push_back(c.target);
+          }
+        }
+        point.recall = 1.0;
+      }
+      point.qps = MeasureQps(&service, queries, k, 1).qps;
+      return point;
+    };
+    curve.push_back(measure_point(serve::AnnOptions{}));
+    for (size_t nprobe : nprobes) {
+      serve::AnnOptions ann;
+      ann.enabled = true;
+      ann.nprobe = nprobe;
+      ann.shortlist = shortlist;
+      AnnPoint point = measure_point(ann);
+      curve.push_back(point);
+      std::fprintf(stderr,
+                   "ann nprobe=%zu  %.1f qps  recall@%zu=%.4f  "
+                   "fallbacks=%llu\n",
+                   point.nprobe, point.qps, k, point.recall,
+                   static_cast<unsigned long long>(point.fallbacks));
+    }
+    std::fprintf(stderr, "exhaustive baseline  %.1f qps\n", curve.front().qps);
+  }
+
   const double base_qps = runs.empty() ? 0.0 : runs.front().qps;
   std::string json = "{\n";
   json += StrFormat("  \"bench\": \"serve_throughput\",\n");
@@ -151,7 +263,48 @@ int Main() {
         base_qps > 0 ? run.qps / base_qps : 0.0, run.errors,
         i + 1 < runs.size() ? "," : "");
   }
-  json += "  ]\n}\n";
+  json += "  ]";
+  if (!curve.empty()) {
+    // Embedding payload: fp32 target matrices vs the int8 codes + per-row
+    // scales the v3 artifact stores instead.
+    const uint64_t fp32_bytes =
+        (static_cast<uint64_t>(index->target_name_emb.rows()) *
+             index->target_name_emb.cols() +
+         static_cast<uint64_t>(index->target_struct_emb.rows()) *
+             index->target_struct_emb.cols()) *
+        sizeof(float);
+    const uint64_t int8_bytes =
+        static_cast<uint64_t>(index->ann_codes.rows()) *
+            index->ann_codes.cols() +
+        static_cast<uint64_t>(index->ann_scales.rows()) * sizeof(float);
+    const double base = curve.front().qps;
+    json += ",\n  \"ann\": {\n";
+    json += StrFormat("    \"centroids\": %zu,\n",
+                      index->ann_centroids.rows());
+    json += StrFormat("    \"shortlist\": %zu,\n", shortlist);
+    json += StrFormat("    \"payload_fp32_bytes\": %llu,\n",
+                      static_cast<unsigned long long>(fp32_bytes));
+    json += StrFormat("    \"payload_int8_bytes\": %llu,\n",
+                      static_cast<unsigned long long>(int8_bytes));
+    json += StrFormat("    \"payload_shrink\": %.2f,\n",
+                      int8_bytes > 0 ? static_cast<double>(fp32_bytes) /
+                                           static_cast<double>(int8_bytes)
+                                     : 0.0);
+    json += "    \"curve\": [\n";
+    for (size_t i = 0; i < curve.size(); ++i) {
+      const AnnPoint& p = curve[i];
+      json += StrFormat(
+          "      {\"mode\": \"%s\", \"nprobe\": %zu, \"qps\": %.1f, "
+          "\"recall_at_k\": %.4f, \"speedup_vs_exhaustive\": %.2f, "
+          "\"fallbacks\": %llu}%s\n",
+          p.nprobe == 0 ? "exhaustive" : "ann", p.nprobe, p.qps, p.recall,
+          base > 0 ? p.qps / base : 0.0,
+          static_cast<unsigned long long>(p.fallbacks),
+          i + 1 < curve.size() ? "," : "");
+    }
+    json += "    ]\n  }";
+  }
+  json += "\n}\n";
 
   std::printf("%s", json.c_str());
   std::ofstream out("BENCH_serve.json", std::ios::trunc);

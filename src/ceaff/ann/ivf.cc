@@ -1,0 +1,136 @@
+#include "ceaff/ann/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "ceaff/common/random.h"
+
+namespace ceaff::ann {
+
+namespace {
+
+float SquaredL2(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+StatusOr<IvfIndex> TrainIvf(const la::Matrix& points,
+                            const IvfOptions& options) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("ivf training needs a non-empty matrix");
+  }
+  size_t k = options.num_centroids;
+  if (k == 0) {
+    k = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+  }
+  k = std::min(std::max<size_t>(k, 1), n);
+
+  // Seeded sample of k distinct rows as the initial centroids: a partial
+  // Fisher-Yates over the id array, deterministic in options.seed.
+  Rng rng(options.seed);
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + static_cast<size_t>(rng.NextBounded(n - i));
+    std::swap(ids[i], ids[j]);
+  }
+  IvfIndex index;
+  index.centroids = la::Matrix(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    const float* src = points.row(ids[c]);
+    std::copy(src, src + d, index.centroids.row(c));
+  }
+
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<double> sums(k * d);
+  std::vector<uint32_t> counts(k);
+  for (size_t iter = 0; iter < std::max<size_t>(options.max_iters, 1);
+       ++iter) {
+    // Assignment: nearest centroid by squared L2, ties toward the smaller
+    // centroid id (strict < keeps the first minimum).
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const float* p = points.row(i);
+      float best = std::numeric_limits<float>::infinity();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const float dist = SquaredL2(p, index.centroids.row(c), d);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (assign[i] != best_c) {
+        assign[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update: per-cluster means, accumulated in ascending row order in
+    // double precision. Empty clusters keep their previous centroid.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < n; ++i) {
+      double* sum = sums.data() + static_cast<size_t>(assign[i]) * d;
+      const float* p = points.row(i);
+      for (size_t j = 0; j < d; ++j) sum[j] += p[j];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      const double inv = 1.0 / counts[c];
+      const double* sum = sums.data() + c * d;
+      float* centroid = index.centroids.row(c);
+      for (size_t j = 0; j < d; ++j) {
+        centroid[j] = static_cast<float>(sum[j] * inv);
+      }
+    }
+  }
+
+  index.lists.assign(k, {});
+  for (size_t i = 0; i < n; ++i) {
+    index.lists[assign[i]].push_back(static_cast<uint32_t>(i));
+  }
+  return index;
+}
+
+std::vector<uint32_t> ProbeCentroids(const la::Matrix& centroids,
+                                     const float* q, size_t nprobe) {
+  const size_t k = centroids.rows();
+  const size_t d = centroids.cols();
+  std::vector<std::pair<float, uint32_t>> scored;
+  scored.reserve(k);
+  for (size_t c = 0; c < k; ++c) {
+    const float* row = centroids.row(c);
+    float dot = 0.0f;
+    for (size_t i = 0; i < d; ++i) dot += q[i] * row[i];
+    scored.emplace_back(dot, static_cast<uint32_t>(c));
+  }
+  const size_t want = std::min(nprobe, k);
+  auto better = [](const std::pair<float, uint32_t>& a,
+                   const std::pair<float, uint32_t>& b) {
+    return a.first > b.first ||
+           (a.first == b.first && a.second < b.second);
+  };
+  std::partial_sort(scored.begin(), scored.begin() + want, scored.end(),
+                    better);
+  std::vector<uint32_t> probes;
+  probes.reserve(want);
+  for (size_t i = 0; i < want; ++i) probes.push_back(scored[i].second);
+  return probes;
+}
+
+}  // namespace ceaff::ann

@@ -1,0 +1,52 @@
+#include "ceaff/ann/quantize.h"
+
+#include <cmath>
+
+namespace ceaff::ann {
+
+QuantizedRows QuantizeRowsInt8(const la::Matrix& m) {
+  QuantizedRows q;
+  q.codes = Int8Matrix(m.rows(), m.cols());
+  q.scales = la::Matrix(m.rows(), 1);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float* src = m.row(r);
+    float max_abs = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      const float a = std::fabs(src[c]);
+      if (a > max_abs) max_abs = a;
+    }
+    int8_t* dst = q.codes.row(r);
+    if (max_abs == 0.0f) {
+      q.scales.at(r, 0) = 0.0f;
+      continue;  // codes are already zero
+    }
+    const float scale = max_abs / 127.0f;
+    q.scales.at(r, 0) = scale;
+    const float inv = 127.0f / max_abs;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      // lrintf under the default round-to-nearest mode; the magnitude is
+      // bounded by 127 by construction but clamp anyway against rounding.
+      long code = std::lrintf(src[c] * inv);
+      if (code > 127) code = 127;
+      if (code < -127) code = -127;
+      dst[c] = static_cast<int8_t>(code);
+    }
+  }
+  return q;
+}
+
+void DequantizeRow(const int8_t* codes, float scale, size_t d, float* out) {
+  for (size_t i = 0; i < d; ++i) {
+    out[i] = scale * static_cast<float>(codes[i]);
+  }
+}
+
+float QuantizedDot(const float* q, const int8_t* codes, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    acc += q[i] * static_cast<float>(codes[i]);
+  }
+  return acc;
+}
+
+}  // namespace ceaff::ann

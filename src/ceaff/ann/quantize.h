@@ -1,0 +1,109 @@
+#ifndef CEAFF_ANN_QUANTIZE_H_
+#define CEAFF_ANN_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ceaff/common/logging.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::ann {
+
+/// Dense row-major int8 matrix — the storage type of the quantized
+/// embedding sections (DESIGN.md §13). Mirrors la::Matrix's ownership
+/// model: either owns its codes or is a read-only view over external
+/// memory (the mmap'd index artifact). Copying a view materialises it, so
+/// value semantics are preserved; the creator of a view keeps the
+/// underlying memory alive for the view's lifetime. int8 payloads have no
+/// alignment requirement, so any mapped address can back a view.
+class Int8Matrix {
+ public:
+  Int8Matrix() : rows_(0), cols_(0) {}
+
+  /// Allocates rows x cols, zero-initialised.
+  Int8Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  Int8Matrix(const Int8Matrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(other.data(), other.data() + other.size()) {}
+  Int8Matrix& operator=(const Int8Matrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_.assign(other.data(), other.data() + other.size());
+      view_ = nullptr;
+    }
+    return *this;
+  }
+  Int8Matrix(Int8Matrix&&) noexcept = default;
+  Int8Matrix& operator=(Int8Matrix&&) noexcept = default;
+
+  /// Read-only view over external row-major storage of rows x cols codes.
+  static Int8Matrix ConstView(const int8_t* data, size_t rows, size_t cols) {
+    Int8Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.view_ = data;
+    return m;
+  }
+
+  bool is_view() const { return view_ != nullptr; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+
+  int8_t* data() {
+    CEAFF_DCHECK(!is_view());
+    return data_.data();
+  }
+  const int8_t* data() const { return view_ ? view_ : data_.data(); }
+
+  int8_t* row(size_t r) {
+    CEAFF_DCHECK(!is_view());
+    CEAFF_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const int8_t* row(size_t r) const {
+    CEAFF_DCHECK(r < rows_);
+    return data() + r * cols_;
+  }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<int8_t> data_;
+  // Non-null iff this matrix is a ConstView; data_ is empty in that case.
+  const int8_t* view_ = nullptr;
+};
+
+/// Per-row symmetric int8 quantization of a float matrix: codes plus one
+/// scale per row (a rows x 1 matrix, so it reuses the index container's
+/// matrix section framing).
+struct QuantizedRows {
+  Int8Matrix codes;
+  la::Matrix scales;  // rows x 1
+};
+
+/// Quantizes every row independently: scale = max|x| / 127 and
+/// code = round(x / scale) clamped to [-127, 127], so
+/// |x - scale * code| <= scale / 2 element-wise. An all-zero row gets
+/// scale 0 and all-zero codes (decoding reproduces it exactly); +127/-127
+/// both stay representable (symmetric, no -128).
+QuantizedRows QuantizeRowsInt8(const la::Matrix& m);
+
+/// Reconstructs one row: out[i] = scale * codes[i]. `out` must hold `d`
+/// floats.
+void DequantizeRow(const int8_t* codes, float scale, size_t d, float* out);
+
+/// Unscaled asymmetric inner product sum_i q[i] * codes[i] — the shortlist
+/// scorer's kernel (the caller multiplies by the row scale). The query
+/// side stays float: only the stored side is quantized.
+float QuantizedDot(const float* q, const int8_t* codes, size_t d);
+
+}  // namespace ceaff::ann
+
+#endif  // CEAFF_ANN_QUANTIZE_H_

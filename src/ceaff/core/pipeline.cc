@@ -10,6 +10,7 @@
 #include "ceaff/la/kernels.h"
 #include "ceaff/la/ops.h"
 #include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/ann_build.h"
 #include "ceaff/text/levenshtein.h"
 #include "ceaff/text/name_embedding.h"
 #include "ceaff/text/ngram_similarity.h"
@@ -577,11 +578,27 @@ Status CeaffPipeline::ExportIndex(const CeaffFeatures& features,
 
   CEAFF_ASSIGN_OR_RETURN(serve::AlignmentIndex index,
                          serve::BuildAlignmentIndex(std::move(input)));
+  if (options_.export_ann) {
+    serve::AnnBuildOptions ann_options;
+    ann_options.num_centroids = options_.ann_centroids;
+    const Status ann = serve::BuildAnnSections(&index, ann_options);
+    if (ann.ok()) {
+      CEAFF_LOG(Info) << "trained ANN sections: "
+                      << index.ann_centroids.rows() << " centroids over "
+                      << index.ann_codes.rows() << " int8-coded targets";
+    } else if (ann.IsFailedPrecondition()) {
+      // No dense target features to quantize — export a plain v2 artifact.
+      CEAFF_LOG(Info) << "skipping ANN sections: " << ann.message();
+    } else {
+      return ann;
+    }
+  }
   CEAFF_RETURN_IF_ERROR(
       serve::SaveAlignmentIndex(index, options_.export_index_path));
   CEAFF_LOG(Info) << "exported alignment index (" << index.num_sources()
                   << " sources, " << index.num_targets() << " targets, "
-                  << index.pairs.size() << " pairs) to "
+                  << index.pairs.size() << " pairs"
+                  << (index.has_ann() ? ", ann" : "") << ") to "
                   << options_.export_index_path;
   return Status::OK();
 }

@@ -104,6 +104,15 @@ struct CeaffOptions {
   std::string export_index_path;
   /// Provenance tag stamped into the exported index.
   std::string export_dataset = "ceaff";
+  /// Train the ANN retrieval sections (IVF centroids + int8 codes; format
+  /// v3, see DESIGN.md §13) into the exported artifact. When the run has no
+  /// dense target features to quantize (semantic and structural both
+  /// disabled), the export silently stays a plain v2 artifact — the serving
+  /// side falls back to the exhaustive scan either way.
+  bool export_ann = true;
+  /// IVF centroid count for the exported ANN sections. 0 = auto
+  /// (ceil(sqrt(n_targets))).
+  size_t ann_centroids = 0;
   /// Worker threads for the compute kernels behind every feature stage
   /// (GCN forward/backward, cosine matrices, the Levenshtein scan, CSLS
   /// and Sinkhorn sweeps). The pipeline owns one shared ThreadPool and

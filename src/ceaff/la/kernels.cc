@@ -220,6 +220,29 @@ Matrix SpMMK(const KernelContext& ctx, const SparseMatrix& a, const Matrix& x) {
   const auto& row_ptr = a.row_ptr();
   const auto& col_idx = a.col_idx();
   const auto& values = a.values();
+  // SpMM panels are far cheaper than the dense kernels' (a row costs
+  // O(nnz_row·n), typically a handful of axpys), so on the sequential path
+  // the per-panel std::function dispatch and cancellation bookkeeping of
+  // ParallelPanels cost a measurable slice of the whole kernel. Run one
+  // fused CSR sweep instead, polling the token at the panel boundaries the
+  // parallel partition would have had — the per-row accumulation order is
+  // identical either way, so the result stays bit-identical.
+  if (ctx.pool == nullptr || ctx.pool->num_threads() <= 1) {
+    const size_t block = std::max<size_t>(1, ctx.opts.row_block);
+    for (size_t r = 0; r < a.rows(); ++r) {
+      if (r % block == 0 && ctx.cancel != nullptr &&
+          !ctx.cancel->Check("kernel panel").ok()) {
+        return out;  // partial; surfaced via KernelContext::CheckCancelled
+      }
+      float* orow = out.row(r);
+      for (uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const float v = values[k];
+        const float* drow = x.row(col_idx[k]);
+        for (size_t j = 0; j < n; ++j) orow[j] += v * drow[j];
+      }
+    }
+    return out;
+  }
   // Each task owns a panel of output rows; per row the nnz walk is the same
   // ascending order as SparseMatrix::Multiply, so the result is
   // bit-identical to it at any thread count.

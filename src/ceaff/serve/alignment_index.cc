@@ -24,8 +24,12 @@ constexpr char kMagic[8] = {'C', 'E', 'A', 'F', 'F', 'I', 'D', 'X'};
 /// v2 zero-pads each embedded matrix section to kSectionAlign so the float
 /// payloads are naturally aligned in the file and can be served as views
 /// straight out of a memory mapping. v1 (no pads) is still read, always
-/// through the heap-copy path.
-constexpr uint32_t kVersion = 2;
+/// through the heap-copy path. v3 appends the optional ANN sections (IVF
+/// centroids + posting lists + int8 codes/scales) after the trigram
+/// counts; an index without ANN sections serializes as v2, byte-identical
+/// to pre-ANN writers.
+constexpr uint32_t kVersionAnn = 3;
+constexpr uint32_t kVersionAligned = 2;
 constexpr uint32_t kMinVersion = 1;
 constexpr size_t kPrefixBytes = 16;
 constexpr size_t kFooterBytes = 4;
@@ -166,6 +170,30 @@ Status WriteBody(const AlignmentIndex& index, std::ostream& out, Crc32* crc) {
     for (uint32_t id : index.trigram_postings[i]) w.U32(id);
   }
   for (uint32_t c : index.target_trigram_counts) w.U32(c);
+  if (index.has_ann()) {
+    // ANN sections (v3 only — has_ann() drives the serialized version, so
+    // a v2 reader never sees these bytes). The float matrices reuse the
+    // aligned section framing and are zero-copy-able like any other; the
+    // int8 code payload is aligned too, purely for frame symmetry.
+    w.U64(index.ann_seed);
+    for (const la::Matrix* m : {&index.ann_centroids, &index.ann_scales}) {
+      w.AlignTo(kSectionAlign);
+      w.U64(m->rows());
+      w.U64(m->cols());
+      if (m->size() > 0) w.Bytes(m->data(), m->size() * sizeof(float));
+    }
+    w.U64(index.ann_lists.size());
+    for (const std::vector<uint32_t>& list : index.ann_lists) {
+      w.U32(static_cast<uint32_t>(list.size()));
+      for (uint32_t id : list) w.U32(id);
+    }
+    w.AlignTo(kSectionAlign);
+    w.U64(index.ann_codes.rows());
+    w.U64(index.ann_codes.cols());
+    if (index.ann_codes.size() > 0) {
+      w.Bytes(index.ann_codes.data(), index.ann_codes.size());
+    }
+  }
   if (!w.ok()) return Status::IOError("index body write failed");
   return Status::OK();
 }
@@ -204,6 +232,42 @@ StatusOr<la::Matrix> ReadMatrixAt(Reader& r, bool padded, bool zero_copy) {
   }
   la::Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
   std::memcpy(m.data(), payload, static_cast<size_t>(elems) * sizeof(float));
+  return m;
+}
+
+/// Reads one int8 matrix section (same aligned framing as the float
+/// sections; int8 payloads have no alignment requirement of their own, so
+/// zero-copy only needs a live backing buffer).
+StatusOr<ann::Int8Matrix> ReadInt8MatrixAt(Reader& r, bool zero_copy) {
+  if (!r.SkipAlignment(kSectionAlign)) {
+    return Status::DataLoss("cannot read int8 section padding");
+  }
+  uint64_t rows = 0, cols = 0;
+  if (!r.U64(&rows) || !r.U64(&cols)) {
+    return Status::DataLoss("cannot read int8 section shape");
+  }
+  const uint64_t elems = rows * cols;
+  if (cols != 0 && rows != elems / cols) {
+    return Status::DataLoss("int8 section shape overflows");
+  }
+  if (elems > r.remaining()) {
+    return Status::DataLoss("int8 section truncated");
+  }
+  const char* payload = r.cursor();
+  if (!r.Skip(static_cast<size_t>(elems))) {
+    return Status::DataLoss("cannot read int8 section payload");
+  }
+  if (elems == 0) {
+    return ann::Int8Matrix(static_cast<size_t>(rows),
+                           static_cast<size_t>(cols));
+  }
+  if (zero_copy) {
+    return ann::Int8Matrix::ConstView(
+        reinterpret_cast<const int8_t*>(payload), static_cast<size_t>(rows),
+        static_cast<size_t>(cols));
+  }
+  ann::Int8Matrix m(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  std::memcpy(m.data(), payload, static_cast<size_t>(elems));
   return m;
 }
 
@@ -266,6 +330,36 @@ StatusOr<AlignmentIndex> ReadBody(std::string_view body, uint32_t version,
   index.target_trigram_counts.resize(n_tgt);
   for (uint32_t& c : index.target_trigram_counts) {
     if (!r.U32(&c)) return Status::DataLoss("cannot read trigram counts");
+  }
+  if (version >= kVersionAnn) {
+    if (!r.U64(&index.ann_seed)) {
+      return Status::DataLoss("cannot read ann header");
+    }
+    for (la::Matrix* m : {&index.ann_centroids, &index.ann_scales}) {
+      auto section = ReadMatrixAt(r, /*padded=*/true, zero_copy);
+      if (!section.ok()) return section.status();
+      *m = std::move(section).value();
+    }
+    uint64_t n_lists = 0;
+    if (!r.U64(&n_lists) || n_lists > kMaxDeclaredElems) {
+      return Status::DataLoss("cannot read ann posting table size");
+    }
+    index.ann_lists.resize(n_lists);
+    for (std::vector<uint32_t>& list : index.ann_lists) {
+      uint32_t n_ids = 0;
+      if (!r.U32(&n_ids) || n_ids > kMaxDeclaredElems) {
+        return Status::DataLoss("cannot read ann posting list");
+      }
+      list.resize(n_ids);
+      for (uint32_t& id : list) {
+        if (!r.U32(&id)) {
+          return Status::DataLoss("cannot read ann posting list");
+        }
+      }
+    }
+    auto codes = ReadInt8MatrixAt(r, zero_copy);
+    if (!codes.ok()) return codes.status();
+    index.ann_codes = std::move(codes).value();
   }
   // Trailing slack after a clean parse means the writer and reader disagree
   // about the format — refuse rather than serve a partial view.
@@ -347,6 +441,36 @@ Status AlignmentIndex::Finalize() {
   }
   if (target_trigram_counts.size() != n_tgt) {
     return bad("trigram counts cover the wrong number of targets");
+  }
+  if (has_ann()) {
+    const size_t fused_dim = target_name_emb.cols() + target_struct_emb.cols();
+    if (fused_dim == 0 || ann_centroids.cols() != fused_dim) {
+      return bad("ann centroid dimension disagrees with the fused embedding");
+    }
+    if (ann_lists.size() != ann_centroids.rows()) {
+      return bad("ann posting table size disagrees with the centroid count");
+    }
+    if (ann_codes.rows() != n_tgt || ann_codes.cols() != fused_dim) {
+      return bad("ann code section has the wrong shape");
+    }
+    if (ann_scales.rows() != n_tgt || ann_scales.cols() != 1) {
+      return bad("ann scale section has the wrong shape");
+    }
+    size_t assigned = 0;
+    for (const std::vector<uint32_t>& list : ann_lists) {
+      for (uint32_t id : list) {
+        if (id >= n_tgt) return bad("ann posting references bad target");
+      }
+      assigned += list.size();
+    }
+    // The lists must partition the target id space: every target is
+    // findable through exactly one probed cell.
+    if (assigned != n_tgt) {
+      return bad("ann posting lists do not partition the targets");
+    }
+  } else if (!ann_lists.empty() || !ann_codes.empty() ||
+             !ann_scales.empty()) {
+    return bad("partial ann sections (no centroids)");
   }
 
   pair_by_source.clear();
@@ -479,10 +603,10 @@ StatusOr<AlignmentIndex> ParseIndexBytes(
     return Status::DataLoss(label +
                             ": bad magic, not a CEAFF alignment index");
   }
-  if (prefix.version < kMinVersion || prefix.version > kVersion) {
+  if (prefix.version < kMinVersion || prefix.version > kVersionAnn) {
     return Status::DataLoss(
         StrFormat("%s: unsupported index version %u (expected %u..%u)",
-                  label.c_str(), prefix.version, kMinVersion, kVersion));
+                  label.c_str(), prefix.version, kMinVersion, kVersionAnn));
   }
   uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, bytes.data() + bytes.size() - kFooterBytes,
@@ -565,7 +689,9 @@ StatusOr<AlignmentIndex> LoadAlignmentIndexGenerational(
 StatusOr<std::string> SerializeAlignmentIndex(const AlignmentIndex& index) {
   Prefix prefix;
   std::memcpy(prefix.magic, kMagic, sizeof(kMagic));
-  prefix.version = kVersion;
+  // ANN-less indexes keep writing v2 so their artifacts stay byte-identical
+  // to pre-ANN exports (and older readers keep loading them).
+  prefix.version = index.has_ann() ? kVersionAnn : kVersionAligned;
   prefix.reserved = 0;
 
   std::ostringstream out(std::ios::binary);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ceaff/ann/quantize.h"
 #include "ceaff/common/mmap_file.h"
 #include "ceaff/common/statusor.h"
 #include "ceaff/la/matrix.h"
@@ -42,7 +43,10 @@ struct AlignedPair {
 /// aligned within the file; the loader memory-maps the artifact and serves
 /// those payloads as read-only Matrix views straight out of the mapping
 /// (no heap copy of the embedding tables). Version-1 files and any file
-/// whose mapping fails are still loaded through the heap-copy path. A
+/// whose mapping fails are still loaded through the heap-copy path.
+/// Version 3 appends the optional ANN retrieval sections (IVF centroids +
+/// posting lists + int8-quantized fused embeddings, see below); exports
+/// without ANN sections still write version 2, byte-identical to before. A
 /// corrupted file — bad magic or version, truncation, bit flip — always
 /// fails the load with kDataLoss and can never be served from.
 ///
@@ -95,6 +99,32 @@ struct AlignmentIndex {
   /// |distinct padded trigrams| per target name — the denominator of the
   /// query-time set-Dice string score.
   std::vector<uint32_t> target_trigram_counts;
+
+  // ---- ANN retrieval sections (format v3; DESIGN.md §13) ----------------
+  //
+  // Optional: built offline by the export stage (serve/ann_build.h) from
+  // the fused per-target dense vector [name_emb ; struct_emb]. When absent
+  // (v1/v2 artifacts or exports with --export_ann=false) every field below
+  // is empty and TopKScan serves exhaustively.
+
+  /// IVF coarse index: k-means centroids over the fused target vectors
+  /// (num_centroids x fused_dim) and one posting list per centroid holding
+  /// the target ids assigned to it (ascending; the lists partition the
+  /// target id space).
+  la::Matrix ann_centroids;
+  std::vector<std::vector<uint32_t>> ann_lists;
+  /// Per-row symmetric int8 quantization of the fused target vectors:
+  /// codes (num_targets x fused_dim) and one scale per target
+  /// (num_targets x 1). The shortlist stage scores
+  /// scale[t] * dot(query_fused, codes[t]); the final ordering always
+  /// re-ranks with the full-precision embeddings above.
+  ann::Int8Matrix ann_codes;
+  la::Matrix ann_scales;
+  /// Seed the IVF training ran with (provenance; not used at query time).
+  uint64_t ann_seed = 0;
+
+  /// True when this artifact carries trained ANN sections.
+  bool has_ann() const { return !ann_centroids.empty(); }
 
   // ---- Derived lookup structures (built by Finalize, not serialized) ----
 
@@ -193,7 +223,7 @@ Status SaveAlignmentIndexGenerational(const AlignmentIndex& index,
 Status SaveAlignmentIndex(const AlignmentIndex& index,
                           const std::string& path);
 
-/// Loads and fully validates an index artifact: magic, version (1 or 2),
+/// Loads and fully validates an index artifact: magic, version (1..3),
 /// CRC over the entire file, then Finalize()'s invariant checks. kIOError
 /// when the file cannot be opened; kDataLoss when it exists but is
 /// corrupt. Never returns a partially valid index.

@@ -204,6 +204,9 @@ std::string EncodeTopKResult(const TopKResult& result) {
   w.U8(result.structural_used ? 1 : 0);
   w.U8(static_cast<uint8_t>(result.tier));
   w.U8(result.degraded ? 1 : 0);
+  w.U8(result.ann_used ? 1 : 0);
+  w.U32(result.ann_probes);
+  w.U32(result.ann_shortlist);
   w.U32(static_cast<uint32_t>(result.candidates.size()));
   for (const Candidate& c : result.candidates) {
     w.U32(c.target);
@@ -221,9 +224,12 @@ StatusOr<TopKResult> DecodeTopKResult(BinReader* reader) {
   uint8_t structural_used = 0;
   uint8_t tier = 0;
   uint8_t degraded = 0;
+  uint8_t ann_used = 0;
   uint32_t count = 0;
   if (!reader->Str(&result.query) || !reader->U8(&structural_used) ||
-      !reader->U8(&tier) || !reader->U8(&degraded) || !reader->U32(&count)) {
+      !reader->U8(&tier) || !reader->U8(&degraded) ||
+      !reader->U8(&ann_used) || !reader->U32(&result.ann_probes) ||
+      !reader->U32(&result.ann_shortlist) || !reader->U32(&count)) {
     return Status::DataLoss("malformed ipc topk payload");
   }
   if (tier > static_cast<uint8_t>(ServiceTier::kPairOnly)) {
@@ -232,6 +238,7 @@ StatusOr<TopKResult> DecodeTopKResult(BinReader* reader) {
   result.structural_used = structural_used != 0;
   result.tier = static_cast<ServiceTier>(tier);
   result.degraded = degraded != 0;
+  result.ann_used = ann_used != 0;
   result.candidates.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     Candidate c;

@@ -160,6 +160,7 @@ Status ShardRouter::SpawnShard(size_t shard_idx) {
     config.target_end = shard.end;
     config.index_path = index_path_;
     config.failpoint_spec = shard.failpoint_spec;
+    config.ann = options_.ann;
     // _exit, never exit: the child must not run the router's atexit
     // handlers or flush its inherited stdio state.
     ::_exit(ShardWorkerMain(std::move(child_end), config));
@@ -350,6 +351,12 @@ StatusOr<TopKResult> ShardRouter::TopK(const std::string& query_name,
   merged.degraded = parts.size() < shards_.size();
   for (TopKResult& part : parts) {
     merged.structural_used = merged.structural_used || part.structural_used;
+    // ANN bookkeeping is additive across the fleet: a merged answer "used
+    // ANN" when any shard's range went through the shortlist path (small
+    // ranges fall back exhaustively — which is exact, not degraded).
+    merged.ann_used = merged.ann_used || part.ann_used;
+    merged.ann_probes += part.ann_probes;
+    merged.ann_shortlist += part.ann_shortlist;
     for (Candidate& candidate : part.candidates) {
       merged.candidates.push_back(std::move(candidate));
     }
@@ -362,6 +369,11 @@ StatusOr<TopKResult> ShardRouter::TopK(const std::string& query_name,
     ++topk_degraded_;
   } else {
     ++topk_ok_;
+  }
+  if (merged.ann_used) {
+    ++ann_answers_;
+    ann_probes_ += merged.ann_probes;
+    ann_shortlisted_ += merged.ann_shortlist;
   }
   return merged;
 }
@@ -525,13 +537,18 @@ std::string ShardRouter::StatsJson() const {
       "{\"shards\": %zu, \"alive\": %zu, "
       "\"topk\": {\"ok\": %llu, \"degraded\": %llu, \"errors\": %llu}, "
       "\"pair\": {\"ok\": %llu, \"failover\": %llu, \"errors\": %llu}, "
+      "\"ann\": {\"answers\": %llu, \"probes\": %llu, "
+      "\"shortlisted\": %llu}, "
       "\"per_shard\": [",
       shards_.size(), alive, static_cast<unsigned long long>(topk_ok_),
       static_cast<unsigned long long>(topk_degraded_),
       static_cast<unsigned long long>(topk_errors_),
       static_cast<unsigned long long>(pair_ok_),
       static_cast<unsigned long long>(pair_failover_),
-      static_cast<unsigned long long>(pair_errors_));
+      static_cast<unsigned long long>(pair_errors_),
+      static_cast<unsigned long long>(ann_answers_),
+      static_cast<unsigned long long>(ann_probes_),
+      static_cast<unsigned long long>(ann_shortlisted_));
   for (size_t i = 0; i < shards_.size(); ++i) {
     const ShardState& shard = *shards_[i];
     if (i > 0) json += ", ";

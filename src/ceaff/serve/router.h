@@ -46,6 +46,9 @@ struct ShardRouterOptions {
   /// crash exactly one shard). Missing/empty entries inherit the
   /// environment's arms.
   std::vector<std::string> shard_failpoints;
+  /// ANN knobs, copied into every shard's config (the fleet must agree —
+  /// mixed settings would break the merge's determinism across respawns).
+  AnnOptions ann;
 };
 
 /// Supervisor + scatter/gather router over N forked shard workers.
@@ -179,6 +182,11 @@ class ShardRouter {
   uint64_t pair_ok_ = 0;
   uint64_t pair_failover_ = 0;
   uint64_t pair_errors_ = 0;
+  /// Merged-answer ANN counters: answers where any shard took the ANN
+  /// path, and probe/shortlist totals over those answers.
+  uint64_t ann_answers_ = 0;
+  uint64_t ann_probes_ = 0;
+  uint64_t ann_shortlisted_ = 0;
 };
 
 }  // namespace ceaff::serve

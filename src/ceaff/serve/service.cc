@@ -211,8 +211,14 @@ StatusOr<TopKResult> AlignmentService::TopKUncached(
   TopKScanRange range;
   range.begin = 0;
   range.end = index.num_targets();
-  return TopKScan(index, embedder, query_name, k, allow_structural, cancel,
-                  range);
+  StatusOr<TopKResult> result = TopKScan(index, embedder, query_name, k,
+                                         allow_structural, cancel, range,
+                                         options_.ann);
+  if (options_.ann.enabled && result.ok()) {
+    stats_.RecordAnnScan(result.value().ann_used, result.value().ann_probes,
+                         result.value().ann_shortlist);
+  }
+  return result;
 }
 
 StatusOr<TopKResult> AlignmentService::TopKPairOnly(

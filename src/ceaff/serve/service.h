@@ -22,6 +22,7 @@
 #include "ceaff/serve/lru_cache.h"
 #include "ceaff/serve/service_types.h"
 #include "ceaff/serve/serving_stats.h"
+#include "ceaff/serve/topk_scan.h"
 #include "ceaff/text/word_embedding.h"
 
 namespace ceaff::serve {
@@ -64,6 +65,11 @@ struct ServiceOptions {
   /// path through the reload circuit breaker. 0 disables the thread
   /// (ScrubOnce can still be called directly).
   uint64_t scrub_interval_ms = 0;
+
+  /// ANN candidate retrieval for the TopK scan (see serve/topk_scan.h for
+  /// the knobs and the automatic exhaustive-fallback matrix). Ignored —
+  /// exhaustive behaviour, no stats — unless `ann.enabled` is set.
+  AnnOptions ann;
 };
 
 /// Query service over one immutable AlignmentIndex snapshot.

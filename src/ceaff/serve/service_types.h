@@ -45,6 +45,15 @@ struct TopKResult {
   /// the full adaptive fusion.
   ServiceTier tier = ServiceTier::kFull;
   bool degraded = false;
+  /// True when the ANN candidate stage produced this answer (the returned
+  /// scores are still exact — ANN only selects which targets get scored).
+  /// False covers both "ANN disabled" and every automatic exhaustive
+  /// fallback. For a sharded answer: true when any shard used ANN, with
+  /// probes/shortlist summed over the shards that did.
+  bool ann_used = false;
+  /// IVF cells probed / candidates exactly re-ranked (0 when !ann_used).
+  uint32_t ann_probes = 0;
+  uint32_t ann_shortlist = 0;
   std::vector<Candidate> candidates;  // descending combined score
 };
 

@@ -103,6 +103,10 @@ ServingSnapshot ServingStats::Snapshot() const {
   snap.scrub.reloads_failed =
       scrub_reloads_failed_.load(std::memory_order_relaxed);
   snap.scrub.poisoned = poisoned_.load(std::memory_order_relaxed);
+  snap.ann.queries = ann_queries_.load(std::memory_order_relaxed);
+  snap.ann.fallbacks = ann_fallbacks_.load(std::memory_order_relaxed);
+  snap.ann.probes = ann_probes_.load(std::memory_order_relaxed);
+  snap.ann.shortlisted = ann_shortlisted_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -136,12 +140,20 @@ std::string ServingSnapshot::ToJson() const {
       static_cast<unsigned long long>(scrub.reloads_ok),
       static_cast<unsigned long long>(scrub.reloads_failed),
       scrub.poisoned ? "true" : "false");
-  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s,%s,%s}",
+  const std::string ann_json = StrFormat(
+      "\"ann\":{\"queries\":%llu,\"fallbacks\":%llu,\"probes\":%llu,"
+      "\"shortlisted\":%llu}",
+      static_cast<unsigned long long>(ann.queries),
+      static_cast<unsigned long long>(ann.fallbacks),
+      static_cast<unsigned long long>(ann.probes),
+      static_cast<unsigned long long>(ann.shortlisted));
+  return StrFormat("{\"uptime_seconds\":%.3f,%s,%s,%s,%s,%s,%s,%s}",
                    uptime_seconds, EndpointJson("pair", pair).c_str(),
                    EndpointJson("topk", topk).c_str(),
                    EndpointJson("batch", batch).c_str(),
                    EndpointJson("reload", reload).c_str(),
-                   degradation_json.c_str(), scrub_json.c_str());
+                   degradation_json.c_str(), scrub_json.c_str(),
+                   ann_json.c_str());
 }
 
 }  // namespace ceaff::serve

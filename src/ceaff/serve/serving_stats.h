@@ -118,6 +118,20 @@ struct ScrubSnapshot {
   bool poisoned = false;
 };
 
+/// Point-in-time view of the ANN candidate stage (zeros when ANN was never
+/// enabled).
+struct AnnSnapshot {
+  /// Scans answered through the ANN shortlist path.
+  uint64_t queries = 0;
+  /// Scans where ANN was requested but the scan fell back to exhaustive
+  /// (no ANN sections, shortlist < k, range too small, no dense feature,
+  /// or too few candidates).
+  uint64_t fallbacks = 0;
+  /// Totals over `queries` (divide for per-query averages).
+  uint64_t probes = 0;
+  uint64_t shortlisted = 0;
+};
+
 /// Per-endpoint serving statistics of one AlignmentService instance.
 struct ServingSnapshot {
   double uptime_seconds = 0.0;
@@ -127,6 +141,7 @@ struct ServingSnapshot {
   EndpointSnapshot reload;
   DegradationSnapshot degradation;
   ScrubSnapshot scrub;
+  AnnSnapshot ann;
 
   /// One-line JSON rendering (the `STATS` protocol response and the
   /// serve-throughput report embed this).
@@ -169,6 +184,18 @@ class ServingStats {
     poisoned_.store(poisoned, std::memory_order_relaxed);
   }
 
+  /// ANN bookkeeping: one call per scan that ran with ANN requested.
+  /// `used` distinguishes the shortlist path from an exhaustive fallback.
+  void RecordAnnScan(bool used, uint32_t probes, uint32_t shortlisted) {
+    if (used) {
+      ann_queries_.fetch_add(1, std::memory_order_relaxed);
+      ann_probes_.fetch_add(probes, std::memory_order_relaxed);
+      ann_shortlisted_.fetch_add(shortlisted, std::memory_order_relaxed);
+    } else {
+      ann_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   ServingSnapshot Snapshot() const;
 
  private:
@@ -184,6 +211,10 @@ class ServingStats {
   std::atomic<uint64_t> scrub_reloads_ok_{0};
   std::atomic<uint64_t> scrub_reloads_failed_{0};
   std::atomic<bool> poisoned_{false};
+  std::atomic<uint64_t> ann_queries_{0};
+  std::atomic<uint64_t> ann_fallbacks_{0};
+  std::atomic<uint64_t> ann_probes_{0};
+  std::atomic<uint64_t> ann_shortlisted_{0};
 };
 
 }  // namespace ceaff::serve

@@ -101,7 +101,7 @@ int ShardWorkerMain(MessagePipe pipe, const ShardConfig& config) {
         }
         StatusOr<TopKResult> result =
             TopKScan(index, embedder, request.query, request.k,
-                     request.allow_structural, cancel, range);
+                     request.allow_structural, cancel, range, config.ann);
         sent = pipe.Send(IpcType::kTopKResponse, EncodeTopKResponse(result));
         break;
       }

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "ceaff/serve/ipc.h"
+#include "ceaff/serve/topk_scan.h"
 
 namespace ceaff::serve {
 
@@ -25,6 +26,12 @@ struct ShardConfig {
   /// whatever CEAFF_FAILPOINTS armed). This is how drills crash exactly one
   /// shard: the router's own process never arms the spec.
   std::string failpoint_spec;
+  /// ANN knobs for this shard's scans, identical across the fleet (the
+  /// router copies its own options in). Each shard probes against the full
+  /// IVF index but keeps only candidates inside its row-range; ranges no
+  /// bigger than the shortlist fall back to the exhaustive loop, which is
+  /// exact by construction.
+  AnnOptions ann;
 };
 
 /// Body of a shard worker process. Called in the forked child with its end

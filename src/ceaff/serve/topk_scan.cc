@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "ceaff/ann/ivf.h"
+#include "ceaff/ann/quantize.h"
 #include "ceaff/common/failpoint.h"
 #include "ceaff/text/name_embedding.h"
 
@@ -30,7 +32,8 @@ StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
                               const std::string& query_name, size_t k,
                               bool allow_structural,
                               const CancellationToken* cancel,
-                              const TopKScanRange& range) {
+                              const TopKScanRange& range,
+                              const AnnOptions& ann) {
   CEAFF_FAILPOINT("serve.topk.scan");
 
   const size_t n_targets = index.num_targets();
@@ -126,7 +129,11 @@ StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
   w_sem /= total;
   w_str /= total;
 
-  // --- Range scan + min-heap top-k on the combined score.
+  // --- Top-k selection. Both paths score with the exact same arithmetic
+  // (`exact_combined`) and the exact same heap/comparator, so any target
+  // that reaches the final heap gets a score bit-identical to what the
+  // exhaustive scan would have given it — the ANN stage only decides WHICH
+  // targets get scored exactly, never HOW.
   const size_t want = std::min(k, end - begin);
   using Entry = std::pair<float, uint32_t>;  // (combined, target id)
   std::vector<Entry> heap;  // min-heap of the best `want` seen so far
@@ -134,12 +141,19 @@ StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
   auto min_first = [](const Entry& a, const Entry& b) {
     return a.first > b.first || (a.first == b.first && a.second < b.second);
   };
+  auto offer = [&](std::vector<Entry>* h, size_t cap, const Entry& entry) {
+    if (h->size() < cap) {
+      h->push_back(entry);
+      std::push_heap(h->begin(), h->end(), min_first);
+    } else if (cap > 0 && min_first(entry, h->front())) {
+      std::pop_heap(h->begin(), h->end(), min_first);
+      h->back() = entry;
+      std::push_heap(h->begin(), h->end(), min_first);
+    }
+  };
   const size_t dim_sem = index.target_name_emb.cols();
   const size_t dim_struct = index.target_struct_emb.cols();
-  for (size_t t = begin; t < end; ++t) {
-    if (t % kCancelStride == 0) {
-      CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "topk candidate scan"));
-    }
+  auto exact_combined = [&](size_t t) -> float {
     double combined = w_str * string_scores[t];
     if (have_semantic) {
       combined += w_sem * DotF(query_emb.data(),
@@ -149,15 +163,114 @@ StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
       combined += w_struct * DotF(query_struct,
                                   index.target_struct_emb.row(t), dim_struct);
     }
-    const Entry entry(static_cast<float>(combined),
-                      static_cast<uint32_t>(t));
-    if (heap.size() < want) {
-      heap.push_back(entry);
-      std::push_heap(heap.begin(), heap.end(), min_first);
-    } else if (min_first(entry, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), min_first);
-      heap.back() = entry;
-      std::push_heap(heap.begin(), heap.end(), min_first);
+    return static_cast<float>(combined);
+  };
+
+  // --- ANN candidate stage (see AnnOptions for the fallback matrix). The
+  // IVF cells and codes are built over the *unweighted* fused target
+  // vector [name_emb ; struct_emb]; folding this query's effective weights
+  // into the query side makes the quantized dot approximate exactly the
+  // dense part of `exact_combined`.
+  bool ann_used = false;
+  uint32_t ann_probes = 0;
+  uint32_t ann_shortlist = 0;
+  std::vector<uint32_t> shortlisted;
+  if (ann.enabled && k > 0 && index.has_ann() && ann.shortlist >= k &&
+      (end - begin) > ann.shortlist && (have_semantic || structural_used)) {
+    const size_t d = index.ann_centroids.cols();
+    std::vector<float> q_fused(d, 0.0f);
+    if (have_semantic) {
+      for (size_t i = 0; i < dim_sem; ++i) {
+        q_fused[i] = static_cast<float>(w_sem) * query_emb[i];
+      }
+    }
+    if (structural_used) {
+      for (size_t i = 0; i < dim_struct; ++i) {
+        q_fused[dim_sem + i] = static_cast<float>(w_struct) * query_struct[i];
+      }
+    }
+    const std::vector<uint32_t> probes =
+        ann::ProbeCentroids(index.ann_centroids, q_fused.data(), ann.nprobe);
+    std::vector<uint32_t> cand;
+    cand.reserve(ann.shortlist * 2);
+    std::vector<uint8_t> in_cand(n_targets, 0);
+    for (uint32_t c : probes) {
+      for (uint32_t t : index.ann_lists[c]) {
+        if (t >= begin && t < end && !in_cand[t]) {
+          in_cand[t] = 1;
+          cand.push_back(t);
+        }
+      }
+    }
+    // String-channel candidates: a target can win on its string score alone
+    // without being a dense neighbour, and `string_scores` is computed for
+    // the whole range anyway (the trigram pass is the cheap part of the
+    // scan). So the best `shortlist` targets *by string score* bypass the
+    // IVF probe outright — a relative rule, unlike an absolute floor, which
+    // on weak-match corpora (every top answer around 0.2) would admit
+    // nobody and silently gut recall. Zero-string targets are skipped: the
+    // string channel has nothing to say about them, and the dense probes
+    // already speak for them.
+    {
+      std::vector<Entry> string_heap;
+      string_heap.reserve(ann.shortlist + 1);
+      for (size_t t = begin; t < end; ++t) {
+        if (string_scores[t] > 0.0f) {
+          offer(&string_heap, ann.shortlist,
+                Entry(string_scores[t], static_cast<uint32_t>(t)));
+        }
+      }
+      for (const Entry& e : string_heap) {
+        if (!in_cand[e.second]) {
+          in_cand[e.second] = 1;
+          cand.push_back(e.second);
+        }
+      }
+    }
+    // Too few candidates to even fill the answer: exhaustive fallback keeps
+    // the "always min(k, range) results" contract.
+    if (cand.size() >= want) {
+      if (cand.size() > ann.shortlist) {
+        std::vector<Entry> approx_heap;
+        approx_heap.reserve(ann.shortlist + 1);
+        for (size_t i = 0; i < cand.size(); ++i) {
+          if (i % kCancelStride == 0) {
+            CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "topk ann shortlist"));
+          }
+          const uint32_t t = cand[i];
+          const float approx =
+              static_cast<float>(w_str) * string_scores[t] +
+              index.ann_scales.at(t, 0) *
+                  ann::QuantizedDot(q_fused.data(), index.ann_codes.row(t),
+                                    d);
+          offer(&approx_heap, ann.shortlist, Entry(approx, t));
+        }
+        shortlisted.reserve(approx_heap.size());
+        for (const Entry& e : approx_heap) shortlisted.push_back(e.second);
+      } else {
+        shortlisted = std::move(cand);
+      }
+      ann_used = true;
+      ann_probes = static_cast<uint32_t>(probes.size());
+      ann_shortlist = static_cast<uint32_t>(shortlisted.size());
+    }
+  }
+
+  if (ann_used) {
+    // Exact re-rank of the shortlist only.
+    for (size_t i = 0; i < shortlisted.size(); ++i) {
+      if (i % kCancelStride == 0) {
+        CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "topk ann rerank"));
+      }
+      const uint32_t t = shortlisted[i];
+      offer(&heap, want, Entry(exact_combined(t), t));
+    }
+  } else {
+    for (size_t t = begin; t < end; ++t) {
+      if (t % kCancelStride == 0) {
+        CEAFF_RETURN_IF_ERROR(CheckCancel(cancel, "topk candidate scan"));
+      }
+      offer(&heap, want, Entry(exact_combined(t), static_cast<uint32_t>(t)));
     }
   }
   // sort_heap with the inverted comparator leaves the best candidate first.
@@ -166,6 +279,9 @@ StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
   TopKResult result;
   result.query = query_name;
   result.structural_used = structural_used;
+  result.ann_used = ann_used;
+  result.ann_probes = ann_probes;
+  result.ann_shortlist = ann_shortlist;
   result.candidates.reserve(heap.size());
   for (const Entry& entry : heap) {
     const uint32_t t = entry.second;

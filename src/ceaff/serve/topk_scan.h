@@ -26,6 +26,26 @@ struct TopKScanRange {
   size_t end = 0;
 };
 
+/// ANN retrieval knobs (DESIGN.md §13). With `enabled` set and a v3
+/// artifact, the scan probes `nprobe` IVF cells (+ every trigram-matching
+/// target in range), keeps the best `shortlist` candidates by quantized
+/// approximate score, and re-ranks only those with the exact full-precision
+/// scoring — so the scores of the returned candidates are bit-identical to
+/// the exhaustive path's values for the same targets. The scan falls back
+/// to the exhaustive loop automatically when the artifact has no ANN
+/// sections, when shortlist < k (the shortlist could not even hold a full
+/// answer), when the range is no bigger than the shortlist (approximating
+/// would inspect every row anyway — this also makes sufficiently small
+/// shard ranges trivially exact), or when no dense feature fires for the
+/// query (nothing for the IVF probe to rank).
+struct AnnOptions {
+  bool enabled = false;
+  /// IVF cells probed per query.
+  size_t nprobe = 8;
+  /// Candidates kept for exact re-ranking.
+  size_t shortlist = 256;
+};
+
 /// Scores `query_name` against targets [range.begin, range.end) of `index`
 /// and returns the top min(k, range size) candidates ordered by combined
 /// score descending, ties broken toward the smaller target id. The
@@ -34,12 +54,15 @@ struct TopKScanRange {
 /// weights of features that cannot fire are renormalised over the rest.
 /// Polls `cancel` inside the scan. Evaluates the failpoint site
 /// "serve.topk.scan" on entry (chaos and crash drills arm it).
+/// `ann` selects the two-stage approximate path (see AnnOptions); the
+/// default keeps the exhaustive scan.
 StatusOr<TopKResult> TopKScan(const AlignmentIndex& index,
                               const text::WordEmbeddingStore& embedder,
                               const std::string& query_name, size_t k,
                               bool allow_structural,
                               const CancellationToken* cancel,
-                              const TopKScanRange& range);
+                              const TopKScanRange& range,
+                              const AnnOptions& ann = {});
 
 /// Exact committed-pair lookup over the full index (any process that
 /// loaded the artifact holds the complete source_by_name map, so every

@@ -1,0 +1,110 @@
+#include "ceaff/ann/ivf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::ann {
+namespace {
+
+/// Rows drawn from `clusters` well-separated Gaussian blobs, so k-means has
+/// real structure to find.
+la::Matrix ClusteredPoints(size_t n, size_t d, size_t clusters,
+                           uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t c = r % clusters;
+    float* row = m.row(r);
+    for (size_t j = 0; j < d; ++j) {
+      row[j] = static_cast<float>(10.0 * static_cast<double>(c == j % clusters)
+                                  + 0.1 * rng.NextGaussian());
+    }
+  }
+  return m;
+}
+
+TEST(TrainIvfTest, ListsPartitionTheInputRows) {
+  const la::Matrix points = ClusteredPoints(200, 8, 4, 2020);
+  IvfOptions options;
+  options.num_centroids = 4;
+  auto ivf = TrainIvf(points, options);
+  ASSERT_TRUE(ivf.ok()) << ivf.status().ToString();
+  EXPECT_EQ(ivf->centroids.rows(), 4u);
+  EXPECT_EQ(ivf->centroids.cols(), 8u);
+  ASSERT_EQ(ivf->lists.size(), 4u);
+
+  std::vector<int> seen(points.rows(), 0);
+  for (const auto& list : ivf->lists) {
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1], list[i]);  // ascending within a list
+    }
+    for (uint32_t id : list) {
+      ASSERT_LT(id, points.rows());
+      ++seen[id];
+    }
+  }
+  // Every row lands in exactly one list.
+  for (size_t r = 0; r < points.rows(); ++r) {
+    EXPECT_EQ(seen[r], 1) << "row " << r;
+  }
+}
+
+TEST(TrainIvfTest, AutoCentroidCountIsSqrtN) {
+  const la::Matrix points = ClusteredPoints(100, 4, 5, 1);
+  auto ivf = TrainIvf(points, IvfOptions{});
+  ASSERT_TRUE(ivf.ok());
+  EXPECT_EQ(ivf->centroids.rows(), 10u);  // ceil(sqrt(100))
+}
+
+TEST(TrainIvfTest, TrainingIsDeterministic) {
+  const la::Matrix points = ClusteredPoints(150, 6, 3, 77);
+  IvfOptions options;
+  options.num_centroids = 5;
+  options.seed = 42;
+  auto a = TrainIvf(points, options);
+  auto b = TrainIvf(points, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->lists, b->lists);
+  EXPECT_EQ(std::memcmp(a->centroids.data(), b->centroids.data(),
+                        a->centroids.size() * sizeof(float)),
+            0);
+}
+
+TEST(TrainIvfTest, MoreCentroidsThanRowsIsClamped) {
+  const la::Matrix points = ClusteredPoints(3, 4, 3, 5);
+  IvfOptions options;
+  options.num_centroids = 10;
+  auto ivf = TrainIvf(points, options);
+  ASSERT_TRUE(ivf.ok());
+  EXPECT_EQ(ivf->centroids.rows(), 3u);
+}
+
+TEST(TrainIvfTest, EmptyInputIsInvalidArgument) {
+  EXPECT_EQ(TrainIvf(la::Matrix(), IvfOptions{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProbeCentroidsTest, RanksByInnerProductWithTiesTowardSmallerId) {
+  la::Matrix centroids(4, 2);
+  centroids.at(0, 0) = 1.0f;  // dot(q) = 1
+  centroids.at(1, 0) = 3.0f;  // dot(q) = 3
+  centroids.at(2, 0) = 2.0f;  // dot(q) = 2
+  centroids.at(3, 0) = 3.0f;  // dot(q) = 3, tie with id 1
+  const float q[2] = {1.0f, 0.0f};
+
+  EXPECT_EQ(ProbeCentroids(centroids, q, 3),
+            (std::vector<uint32_t>{1, 3, 2}));
+  EXPECT_EQ(ProbeCentroids(centroids, q, 1), (std::vector<uint32_t>{1}));
+  // nprobe beyond the centroid count clamps to all of them.
+  EXPECT_EQ(ProbeCentroids(centroids, q, 99).size(), 4u);
+}
+
+}  // namespace
+}  // namespace ceaff::ann

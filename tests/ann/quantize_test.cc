@@ -1,0 +1,107 @@
+#include "ceaff/ann/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/la/matrix.h"
+
+namespace ceaff::ann {
+namespace {
+
+la::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  la::Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    float* row = m.row(r);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return m;
+}
+
+TEST(QuantizeTest, RoundTripErrorIsWithinHalfScale) {
+  const la::Matrix m = RandomMatrix(17, 48, 7);
+  const QuantizedRows q = QuantizeRowsInt8(m);
+  ASSERT_EQ(q.codes.rows(), m.rows());
+  ASSERT_EQ(q.codes.cols(), m.cols());
+  ASSERT_EQ(q.scales.rows(), m.rows());
+  ASSERT_EQ(q.scales.cols(), 1u);
+  std::vector<float> decoded(m.cols());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const float scale = q.scales.at(r, 0);
+    ASSERT_GT(scale, 0.0f);
+    DequantizeRow(q.codes.row(r), scale, m.cols(), decoded.data());
+    for (size_t c = 0; c < m.cols(); ++c) {
+      // Symmetric round-to-nearest: |x - scale*code| <= scale/2.
+      EXPECT_LE(std::abs(m.at(r, c) - decoded[c]), scale / 2.0f + 1e-7f)
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(QuantizeTest, RowMaximaHitFullCodeRange) {
+  la::Matrix m(1, 4);
+  m.at(0, 0) = 2.0f;
+  m.at(0, 1) = -2.0f;
+  m.at(0, 2) = 1.0f;
+  m.at(0, 3) = 0.0f;
+  const QuantizedRows q = QuantizeRowsInt8(m);
+  // max|x| maps to ±127 exactly; no -128 ever (symmetric range).
+  EXPECT_EQ(q.codes.row(0)[0], 127);
+  EXPECT_EQ(q.codes.row(0)[1], -127);
+  EXPECT_EQ(q.codes.row(0)[3], 0);
+  EXPECT_FLOAT_EQ(q.scales.at(0, 0), 2.0f / 127.0f);
+}
+
+TEST(QuantizeTest, ZeroRowsDecodeExactly) {
+  la::Matrix m(3, 8);
+  m.at(1, 2) = 1.5f;  // rows 0 and 2 stay all-zero
+  const QuantizedRows q = QuantizeRowsInt8(m);
+  EXPECT_EQ(q.scales.at(0, 0), 0.0f);
+  EXPECT_EQ(q.scales.at(2, 0), 0.0f);
+  std::vector<float> decoded(8, 42.0f);
+  DequantizeRow(q.codes.row(0), q.scales.at(0, 0), 8, decoded.data());
+  for (float v : decoded) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(QuantizeTest, QuantizedDotApproximatesExactDot) {
+  const la::Matrix m = RandomMatrix(5, 32, 11);
+  const la::Matrix queries = RandomMatrix(5, 32, 13);
+  const QuantizedRows q = QuantizeRowsInt8(m);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    float exact = 0.0f;
+    float max_abs_q = 0.0f;
+    for (size_t c = 0; c < m.cols(); ++c) {
+      exact += queries.at(r, c) * m.at(r, c);
+      max_abs_q = std::max(max_abs_q, std::abs(queries.at(r, c)));
+    }
+    const float approx =
+        q.scales.at(r, 0) * QuantizedDot(queries.row(r), q.codes.row(r), 32);
+    // Elementwise error <= scale/2, so the dot error is bounded by
+    // d * max|q| * scale / 2.
+    const float bound = 32.0f * max_abs_q * q.scales.at(r, 0) / 2.0f + 1e-5f;
+    EXPECT_LE(std::abs(approx - exact), bound) << "row " << r;
+  }
+}
+
+TEST(Int8MatrixTest, CopyingAViewMaterialises) {
+  std::vector<int8_t> storage = {1, -2, 3, 4, 5, -6};
+  const Int8Matrix view = Int8Matrix::ConstView(storage.data(), 2, 3);
+  EXPECT_TRUE(view.is_view());
+  EXPECT_EQ(view.row(1)[2], -6);
+
+  Int8Matrix copy = view;
+  EXPECT_FALSE(copy.is_view());
+  EXPECT_EQ(std::memcmp(copy.data(), storage.data(), storage.size()), 0);
+  // The copy no longer aliases the original storage.
+  storage[0] = 99;
+  EXPECT_EQ(copy.row(0)[0], 1);
+}
+
+}  // namespace
+}  // namespace ceaff::ann

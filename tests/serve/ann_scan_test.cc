@@ -1,0 +1,279 @@
+// TopKScan edge cases and the ANN-path contracts: exhaustive and ANN
+// answers agree bit-identically on overlapping targets, the shortlist
+// recalls (nearly) all of the true top-k on a corpus with real token
+// structure, and every leg of the fallback matrix actually falls back.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/random.h"
+#include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/ann_build.h"
+#include "ceaff/serve/service.h"
+#include "ceaff/serve/topk_scan.h"
+#include "ceaff/text/name_embedding.h"
+#include "ceaff/text/word_embedding.h"
+#include "serve/serve_test_util.h"
+
+namespace ceaff::serve {
+namespace {
+
+using ::ceaff::testing::SmallIndex;
+
+/// Synthetic corpus with genuine token structure: names are syllable
+/// compounds, embeddings come from the same hash-fallback store the serving
+/// path reconstructs, so semantically-near names share tokens and the IVF
+/// cells carry real signal. Mirrors the export stage, scaled down.
+AlignmentIndex SyntheticCorpus(size_t n, bool with_ann) {
+  static const char* kSyllables[] = {"al", "be", "cor", "da", "el", "fi",
+                                     "ga", "ho", "in", "ju", "ka", "lu"};
+  AlignmentIndexInput input;
+  input.dataset = "ann-scan-test";
+  input.weights = {0.3, 0.4, 0.3};
+  input.semantic_seed = 17;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = Rng::SplitMix64(i + 1);
+    std::string name;
+    for (size_t s = 0; s < 3; ++s) name += kSyllables[(x >> (4 * s)) % 12];
+    name += '_';
+    name += std::to_string(i);
+    input.source_names.push_back(name);
+    input.target_names.push_back(name + "_t");
+    input.pairs.push_back(
+        {static_cast<uint32_t>(i), static_cast<uint32_t>(i), 1.0f});
+  }
+  const text::WordEmbeddingStore store(16, input.semantic_seed);
+  input.source_name_emb = text::EmbedNames(store, input.source_names);
+  input.target_name_emb = text::EmbedNames(store, input.target_names);
+  input.source_name_emb.L2NormalizeRows();
+  input.target_name_emb.L2NormalizeRows();
+  Rng rng(2020);
+  la::Matrix structural(n, 8);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < 8; ++c) {
+      structural.at(r, c) = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  structural.L2NormalizeRows();
+  input.source_struct_emb = structural;
+  input.target_struct_emb = structural;
+
+  auto index = BuildAlignmentIndex(std::move(input));
+  CEAFF_CHECK(index.ok()) << index.status().ToString();
+  if (with_ann) {
+    const Status built = BuildAnnSections(&index.value());
+    CEAFF_CHECK(built.ok()) << built.ToString();
+  }
+  return std::move(index).value();
+}
+
+TopKScanRange FullRange(const AlignmentIndex& index) {
+  return {0, index.num_targets()};
+}
+
+class AnnScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    index_ = new AlignmentIndex(SyntheticCorpus(600, /*with_ann=*/true));
+    embedder_ = new text::WordEmbeddingStore(
+        index_->target_name_emb.cols(), index_->semantic_seed);
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete embedder_;
+    index_ = nullptr;
+    embedder_ = nullptr;
+  }
+  static AlignmentIndex* index_;
+  static text::WordEmbeddingStore* embedder_;
+};
+
+AlignmentIndex* AnnScanTest::index_ = nullptr;
+text::WordEmbeddingStore* AnnScanTest::embedder_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Edge cases (exhaustive and ANN alike).
+
+TEST_F(AnnScanTest, KZeroReturnsEmpty) {
+  for (const bool enabled : {false, true}) {
+    AnnOptions ann;
+    ann.enabled = enabled;
+    auto r = TopKScan(*index_, *embedder_, index_->source_names[0], 0, true,
+                      nullptr, FullRange(*index_), ann);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->candidates.empty());
+    EXPECT_FALSE(r->ann_used);  // shortlist >= k=0 but nothing to return
+  }
+}
+
+TEST_F(AnnScanTest, EmptyRangeIsInvalidArgument) {
+  for (const TopKScanRange range : {TopKScanRange{5, 5}, TopKScanRange{9, 3},
+                                    TopKScanRange{601, 700}}) {
+    auto r = TopKScan(*index_, *embedder_, index_->source_names[0], 10, true,
+                      nullptr, range);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(AnnScanTest, KLargerThanRangeReturnsTheWholeRange) {
+  const TopKScanRange range{10, 14};
+  auto r = TopKScan(*index_, *embedder_, index_->source_names[0], 100, true,
+                    nullptr, range);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->candidates.size(), 4u);
+  // Ordered by combined descending, ties toward smaller id.
+  for (size_t i = 1; i < r->candidates.size(); ++i) {
+    EXPECT_GE(r->candidates[i - 1].combined, r->candidates[i].combined);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ANN-vs-exhaustive parity.
+
+TEST_F(AnnScanTest, AnnShortlistRecallsTheExhaustiveTopK) {
+  const size_t k = 10;
+  AnnOptions ann;
+  ann.enabled = true;
+  ann.nprobe = 12;
+  ann.shortlist = 256;
+  double recall_sum = 0.0;
+  size_t queries = 0;
+  for (size_t i = 0; i < index_->num_sources(); i += 7) {
+    const std::string& query = index_->source_names[i];
+    auto exact = TopKScan(*index_, *embedder_, query, k, true, nullptr,
+                          FullRange(*index_));
+    auto approx = TopKScan(*index_, *embedder_, query, k, true, nullptr,
+                           FullRange(*index_), ann);
+    ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+    ASSERT_TRUE(approx.ok()) << approx.status().ToString();
+    EXPECT_TRUE(approx->ann_used);
+    EXPECT_GT(approx->ann_probes, 0u);
+    ASSERT_EQ(exact->candidates.size(), k);
+    ASSERT_EQ(approx->candidates.size(), k);
+    size_t hits = 0;
+    for (const Candidate& a : approx->candidates) {
+      for (const Candidate& e : exact->candidates) {
+        if (a.target == e.target) {
+          ++hits;
+          // Exact re-rank: a shortlisted target's score is bit-identical
+          // to the exhaustive path's score for the same target.
+          EXPECT_EQ(a.combined, e.combined) << "target " << a.target;
+          EXPECT_EQ(a.semantic_score, e.semantic_score);
+          EXPECT_EQ(a.structural_score, e.structural_score);
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(hits) / static_cast<double>(k);
+    ++queries;
+  }
+  ASSERT_GT(queries, 0u);
+  EXPECT_GE(recall_sum / static_cast<double>(queries), 0.95);
+}
+
+TEST_F(AnnScanTest, AnnIsDeterministic) {
+  AnnOptions ann;
+  ann.enabled = true;
+  const std::string& query = index_->source_names[3];
+  auto a = TopKScan(*index_, *embedder_, query, 10, true, nullptr,
+                    FullRange(*index_), ann);
+  auto b = TopKScan(*index_, *embedder_, query, 10, true, nullptr,
+                    FullRange(*index_), ann);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->candidates.size(), b->candidates.size());
+  for (size_t i = 0; i < a->candidates.size(); ++i) {
+    EXPECT_EQ(a->candidates[i].target, b->candidates[i].target);
+    EXPECT_EQ(a->candidates[i].combined, b->candidates[i].combined);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback matrix: each leg must quietly serve the exhaustive answer.
+
+TEST_F(AnnScanTest, FallsBackWhenArtifactHasNoAnnSections) {
+  const AlignmentIndex plain = SyntheticCorpus(300, /*with_ann=*/false);
+  AnnOptions ann;
+  ann.enabled = true;
+  auto r = TopKScan(plain, *embedder_, plain.source_names[0], 5, true,
+                    nullptr, FullRange(plain), ann);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->ann_used);
+  EXPECT_EQ(r->candidates.size(), 5u);
+}
+
+TEST_F(AnnScanTest, FallsBackWhenShortlistCannotHoldK) {
+  AnnOptions ann;
+  ann.enabled = true;
+  ann.shortlist = 4;
+  auto r = TopKScan(*index_, *embedder_, index_->source_names[0], 10, true,
+                    nullptr, FullRange(*index_), ann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->ann_used);
+  EXPECT_EQ(r->candidates.size(), 10u);
+}
+
+TEST_F(AnnScanTest, FallsBackWhenRangeIsNoBiggerThanShortlist) {
+  AnnOptions ann;
+  ann.enabled = true;
+  ann.shortlist = 64;
+  auto r = TopKScan(*index_, *embedder_, index_->source_names[0], 10, true,
+                    nullptr, TopKScanRange{0, 64}, ann);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->ann_used);
+  EXPECT_EQ(r->candidates.size(), 10u);
+}
+
+TEST_F(AnnScanTest, DisabledAnnNeverEngages) {
+  auto r = TopKScan(*index_, *embedder_, index_->source_names[0], 10, true,
+                    nullptr, FullRange(*index_));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->ann_used);
+  EXPECT_EQ(r->ann_probes, 0u);
+  EXPECT_EQ(r->ann_shortlist, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service plumbing: the ANN option flows through and shows in STATS.
+
+TEST(AnnServiceTest, ServiceCountsAnnQueriesAndFallbacks) {
+  auto index = std::make_shared<const AlignmentIndex>(
+      SyntheticCorpus(600, /*with_ann=*/true));
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  options.ann.enabled = true;
+  options.ann.shortlist = 128;
+  AlignmentService service(index, options);
+
+  auto r = service.TopK(index->source_names[0], 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->ann_used);
+  const ServingSnapshot snap = service.Stats();
+  EXPECT_EQ(snap.ann.queries, 1u);
+  EXPECT_EQ(snap.ann.fallbacks, 0u);
+  EXPECT_GT(snap.ann.probes, 0u);
+  EXPECT_GE(snap.ann.shortlisted, 10u);
+  EXPECT_NE(snap.ToJson().find("\"ann\""), std::string::npos);
+}
+
+TEST(AnnServiceTest, V2ArtifactWithAnnEnabledCountsFallbacks) {
+  auto index =
+      std::make_shared<const AlignmentIndex>(SmallIndex());  // no ANN
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  options.ann.enabled = true;
+  AlignmentService service(index, options);
+  auto r = service.TopK(index->source_names[0], 2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->ann_used);
+  const ServingSnapshot snap = service.Stats();
+  EXPECT_EQ(snap.ann.queries, 0u);
+  EXPECT_EQ(snap.ann.fallbacks, 1u);
+}
+
+}  // namespace
+}  // namespace ceaff::serve

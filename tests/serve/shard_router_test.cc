@@ -10,6 +10,7 @@
 
 #include "ceaff/common/failpoint.h"
 #include "ceaff/serve/alignment_index.h"
+#include "ceaff/serve/ann_build.h"
 #include "ceaff/serve/ipc.h"
 #include "ceaff/serve/topk_scan.h"
 #include "serve/shard_test_util.h"
@@ -73,6 +74,9 @@ TEST(IpcCodecTest, TopKResponseRoundTripIsBitExact) {
   result.query = "some query";
   result.structural_used = true;
   result.degraded = false;
+  result.ann_used = true;
+  result.ann_probes = 3;
+  result.ann_shortlist = 17;
   // Scores chosen to have non-trivial float bit patterns.
   result.candidates.push_back({3, "target a", 0.1f, 0.3f, 1.0f / 3.0f, 0.0f});
   result.candidates.push_back({9, "target b", -0.0f, 0.7f, 0.2f, 0.99999f});
@@ -222,6 +226,74 @@ TEST_F(ShardRouterTest, HealthyTopKIsBitIdenticalToSingleProcess) {
         index_, store, q, 5, {{0, index_.num_targets()}});
     ExpectCandidatesIdentical(got->candidates, want.candidates);
   }
+}
+
+TEST_F(ShardRouterTest, AnnOnSmallRangesFallsBackAndStaysBitIdentical) {
+  // 24 targets over 3 shards: every range is far below the shortlist, so
+  // each worker's scan falls back to the exhaustive loop — ANN on must be
+  // byte-for-byte the same as ANN off (and as single-process).
+  AlignmentIndex ann_index = ShardIndex(24);
+  ASSERT_TRUE(BuildAnnSections(&ann_index).ok());
+  const std::string path = dir_->File("ann_small.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(ann_index, path).ok());
+
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  options.ann.enabled = true;
+  auto router = ShardRouter::Start(path, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  const auto store = ShardEmbedder(ann_index);
+  for (const std::string q :
+       {"source entity 0", "entirely unseen name", "target entity 13"}) {
+    auto got = (*router)->TopK(q, 5);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_FALSE(got->degraded);
+    EXPECT_FALSE(got->ann_used) << q;  // every shard fell back
+    const TopKResult want = RangeReference(
+        ann_index, store, q, 5, {{0, ann_index.num_targets()}});
+    ExpectCandidatesIdentical(got->candidates, want.candidates);
+  }
+}
+
+TEST_F(ShardRouterTest, AnnEngagedShardsMatchTheRangeReference) {
+  // Large enough that each of the 2 shard ranges exceeds the shortlist:
+  // the workers genuinely take the ANN path, and the router's merge must
+  // equal the reference merge of per-range ANN scans with the identical
+  // config (the healthy-path bit-identity contract with ANN on).
+  AlignmentIndex ann_index = ShardIndex(400);
+  ASSERT_TRUE(BuildAnnSections(&ann_index).ok());
+  const std::string path = dir_->File("ann_large.idx");
+  ASSERT_TRUE(SaveAlignmentIndex(ann_index, path).ok());
+
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  options.ann.enabled = true;
+  options.ann.nprobe = 4;
+  options.ann.shortlist = 64;
+  auto router = ShardRouter::Start(path, options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  const auto store = ShardEmbedder(ann_index);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (size_t i = 0; i < (*router)->num_shards(); ++i) {
+    ranges.push_back((*router)->shard_range(i));
+  }
+  bool any_ann = false;
+  for (const std::string q :
+       {"source entity 7", "source entity 399", "entirely unseen name"}) {
+    auto got = (*router)->TopK(q, 10);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_FALSE(got->degraded);
+    any_ann = any_ann || got->ann_used;
+    if (got->ann_used) {
+      EXPECT_GT(got->ann_probes, 0u);
+    }
+    const TopKResult want =
+        RangeReference(ann_index, store, q, 10, ranges, options.ann);
+    ExpectCandidatesIdentical(got->candidates, want.candidates);
+  }
+  EXPECT_TRUE(any_ann);  // known-source queries must engage the ANN path
 }
 
 TEST_F(ShardRouterTest, DeadShardMidQueryDegradesToSurvivorMerge) {

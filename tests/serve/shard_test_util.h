@@ -68,14 +68,15 @@ inline text::WordEmbeddingStore ShardEmbedder(
 inline serve::TopKResult RangeReference(
     const serve::AlignmentIndex& index, const text::WordEmbeddingStore& store,
     const std::string& query, size_t k,
-    const std::vector<std::pair<size_t, size_t>>& ranges) {
+    const std::vector<std::pair<size_t, size_t>>& ranges,
+    const serve::AnnOptions& ann = {}) {
   serve::TopKResult merged;
   merged.query = query;
   for (const auto& [begin, end] : ranges) {
     serve::TopKScanRange range{begin, end};
     auto part = serve::TopKScan(index, store, query, k,
                                 /*allow_structural=*/true,
-                                /*cancel=*/nullptr, range);
+                                /*cancel=*/nullptr, range, ann);
     CEAFF_CHECK(part.ok()) << part.status().ToString();
     merged.structural_used = part->structural_used;
     merged.candidates.insert(merged.candidates.end(),

@@ -92,8 +92,9 @@ int Usage() {
                "[--theta2 X]\n"
                "           [--checkpoint_dir DIR] [--resume] "
                "[--deadline_ms N]\n"
-               "           [--export_index FILE] [--threads N] "
-               "[--block_size N]\n"
+               "           [--export_index FILE] [--export_ann BOOL] "
+               "[--ann_centroids N]\n"
+               "           [--threads N] [--block_size N]\n"
                "  eval     --data DIR --pred FILE\n"
                "common:    [--lenient_io] [--io_error_budget N]  skip up to N "
                "malformed\n"
@@ -194,6 +195,13 @@ int CmdAlign(const FlagParser& flags) {
   }
   options.export_index_path = flags.GetString("export_index", "");
   options.export_dataset = flags.GetString("export_dataset", "ceaff");
+  options.export_ann = flags.GetBool("export_ann", true);
+  int64_t ann_centroids = flags.GetInt("ann_centroids", 0);
+  if (ann_centroids < 0) {
+    std::fprintf(stderr, "align: --ann_centroids must be >= 0 (0 = auto)\n");
+    return 2;
+  }
+  options.ann_centroids = static_cast<size_t>(ann_centroids);
   int64_t threads = flags.GetInt("threads", 1);
   if (threads < 1) {
     std::fprintf(stderr, "align: --threads must be >= 1\n");

@@ -58,12 +58,28 @@ void InstallDrainHandler() {
   sigaction(SIGINT, &action, nullptr);
 }
 
+/// ANN knobs shared by the single-process and sharded modes. --ann=off (the
+/// default) keeps every scan on the exhaustive path even for v3 artifacts;
+/// --ann=on is still safe against v1/v2 artifacts — the scan falls back per
+/// query when the index carries no ANN sections.
+serve::AnnOptions ParseAnnFlags(const FlagParser& flags) {
+  serve::AnnOptions ann;
+  ann.enabled = flags.GetBool("ann", false);
+  const int64_t nprobe = flags.GetInt("nprobe", 8);
+  if (nprobe > 0) ann.nprobe = static_cast<size_t>(nprobe);
+  const int64_t shortlist = flags.GetInt("shortlist", 256);
+  if (shortlist > 0) ann.shortlist = static_cast<size_t>(shortlist);
+  return ann;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ceaff_serve --index FILE [--threads N] "
                "[--requests FILE]\n"
                "                   [--deadline_ms N] [--cache N] "
                "[--scrub_ms N] [--shards N]\n"
+               "                   [--ann on|off] [--nprobe N] "
+               "[--shortlist N]\n"
                "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/"
                "HEALTH/READY/QUIT)\n"
                "line by line from --requests or stdin; responses go to "
@@ -98,6 +114,7 @@ int RunSharded(const FlagParser& flags, size_t num_shards) {
   const std::string index_path = flags.GetString("index", "");
   serve::ShardRouterOptions options;
   options.num_shards = num_shards;
+  options.ann = ParseAnnFlags(flags);
   const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
   if (deadline_ms > 0) options.default_shard_deadline_ms = deadline_ms;
 
@@ -273,6 +290,7 @@ int Run(const FlagParser& flags) {
     return RunSharded(flags, static_cast<size_t>(shards));
   }
   serve::ServiceOptions options;
+  options.ann = ParseAnnFlags(flags);
   const int64_t threads = flags.GetInt("threads", 4);
   if (threads < 1) {
     std::fprintf(stderr, "ceaff_serve: --threads must be >= 1\n");

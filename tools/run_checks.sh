@@ -8,7 +8,10 @@
 # a kernels smoke (the `bench`-labelled parity ctest plus a quick
 # micro_kernels run asserting a clean parity bill), an end-to-end serving
 # smoke (export an index from a tiny synthetic run, then drive ceaff_serve
-# against it), an overload smoke (soak the service past capacity, assert
+# against it), an ANN smoke (the exported artifact must be format v3,
+# ANN answers must overlap >= 95% with exhaustive top-10 over 20 queries,
+# and STATS must show the ANN path engaged with zero fallbacks; the
+# `ann`-labelled suites also rerun under ASan), an overload smoke (soak the service past capacity, assert
 # it sheds, that the failpoint chaos phases stay clean, and that SIGTERM
 # during the soak drains cleanly), and a sharded smoke (router + 3 shard
 # workers, SIGKILL one mid-session, assert degraded answers, HEALTH
@@ -48,6 +51,8 @@ run_suite "$repo/build"
 if [[ "$skip_sanitize" == 0 ]]; then
   echo "==> ASan+UBSan build + tests (includes the serve hammer test)"
   run_suite "$repo/build-asan" -DCEAFF_SANITIZE=ON
+  echo "==> ANN suite under ASan"
+  ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" -L ann
 fi
 
 if [[ "$skip_tsan" == 0 ]]; then
@@ -142,6 +147,43 @@ if [[ "$skip_smoke" == 0 ]]; then
   grep -q 'ERR' "$smoke/fp_replies.txt"
   grep -q 'OK PAIR' "$smoke/fp_replies.txt"
   grep -q '"scrub"' "$smoke/fp_replies.txt"
+
+  echo "==> ANN smoke: v3 artifact, recall@10 vs exhaustive, ANN serving path"
+  # The serving smoke's corpus is too small for ANN to engage (the range
+  # must exceed the shortlist), so export a full-scale synthetic run.
+  # align --export_index trains ANN sections by default; the artifact must
+  # come out as format v3 (version u32 at byte 8).
+  "$repo/build/tools/ceaff" generate --config DBP15K_FR_EN \
+    --scale 1.0 --out "$smoke/data_ann"
+  "$repo/build/tools/ceaff" align --data "$smoke/data_ann" \
+    --gcn-epochs 3 --gcn-dim 16 --threads 2 \
+    --export_index "$smoke/ann.idx" --out "$smoke/pred_ann.tsv"
+  ver="$(od -An -t u4 -j 8 -N 4 "$smoke/ann.idx" | tr -d ' ')"
+  if [[ "$ver" != 3 ]]; then
+    echo "exported index is v$ver, expected v3 (ANN sections)" >&2; exit 1
+  fi
+  # recall@10 over 20 known sources: tag every CAND line with its query
+  # ordinal, then count how many (query, candidate) pairs the ANN answers
+  # share with the exhaustive ones. 20 queries x k=10 -> >= 190 of 200.
+  cand_set='/^OK TOPK/{q++} /^CAND/{print q "\t" $2}'
+  head -n 20 "$smoke/data_ann/entities1.tsv" | cut -f2 > "$smoke/ann_names.txt"
+  { while read -r n; do printf 'TOPK 10 %s\n' "$n"; done \
+      < "$smoke/ann_names.txt"; printf 'STATS\nQUIT\n'; } > "$smoke/ann_req.txt"
+  "$repo/build/tools/ceaff_serve" --index "$smoke/ann.idx" --threads 2 \
+    < "$smoke/ann_req.txt" > "$smoke/ann_exact.txt"
+  "$repo/build/tools/ceaff_serve" --index "$smoke/ann.idx" --threads 2 \
+    --ann on --nprobe 8 --shortlist 128 \
+    < "$smoke/ann_req.txt" > "$smoke/ann_approx.txt"
+  hits="$(comm -12 \
+    <(awk -F'\t' "$cand_set" "$smoke/ann_exact.txt" | sort) \
+    <(awk -F'\t' "$cand_set" "$smoke/ann_approx.txt" | sort) | wc -l)"
+  if [[ "$hits" -lt 190 ]]; then
+    echo "ANN recall@10 too low: $hits/200 overlap with exhaustive" >&2
+    exit 1
+  fi
+  # The ANN path actually answered (not the exhaustive fallback): STATS
+  # must report a nonzero ann query count and zero fallbacks.
+  grep -Eq '"ann":\{"queries":[1-9][0-9]*,"fallbacks":0,' "$smoke/ann_approx.txt"
 
   echo "==> Overload smoke: soak past capacity, assert the service sheds"
   (cd "$smoke" && \
