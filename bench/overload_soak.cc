@@ -36,6 +36,18 @@
 //   CEAFF_SOAK_PHASE_MS     soak duration per phase, ms          (1500)
 //   CEAFF_SOAK_MULTIPLIERS  comma-separated load multipliers     (0.5,1,2,4)
 //   CEAFF_SOAK_CHAOS        "0" skips the chaos phases           (on)
+//   CEAFF_SOAK_REPLICATION  "0" skips the replicated-fleet phase (on)
+//
+// Finally a *replication phase* measures what R-way shard replication
+// costs and buys: an in-process ShardRouter fleet (3 ranges x 2 replicas)
+// is driven by a single-threaded closed loop (the router is not
+// thread-safe; its parallelism lives in the worker processes). A
+// fault-free pass measures replicated goodput; a second pass SIGKILLs one
+// replica mid-loop and records the goodput delta plus the latency of
+// every query that took the failover path — the price of a worker loss as
+// a measured number, not just a pass/fail drill.
+
+#include <signal.h>
 
 #include <algorithm>
 #include <array>
@@ -57,6 +69,7 @@
 #include "ceaff/common/timer.h"
 #include "ceaff/serve/alignment_index.h"
 #include "ceaff/serve/degradation.h"
+#include "ceaff/serve/router.h"
 #include "ceaff/serve/service.h"
 #include "serve_synthetic.h"
 
@@ -409,6 +422,121 @@ int Main() {
     std::remove(chaos_index.c_str());
   }
 
+  // --- Replicated-fleet phase --------------------------------------------
+  struct ReplLoop {
+    uint64_t ok = 0;
+    uint64_t degraded = 0;
+    uint64_t errors = 0;
+    uint64_t failovers = 0;
+    double goodput_qps = 0.0;
+    double p99_ms = 0.0;
+    /// Worst latency among the queries that took the failover path (a
+    /// replica died mid-gather and the next one answered). 0 when none did.
+    double failover_latency_ms = 0.0;
+  };
+  struct ReplicationReport {
+    bool ran = false;
+    size_t ranges = 0;
+    size_t replicas = 0;
+    ReplLoop baseline;
+    ReplLoop failover;
+    /// Relative goodput of the failover pass vs the replicated baseline
+    /// (0 = a dead replica costs nothing, -0.25 = a quarter of the qps).
+    double goodput_delta = 0.0;
+  };
+  ReplicationReport repl;
+  const char* repl_env = std::getenv("CEAFF_SOAK_REPLICATION");
+  const bool repl_on =
+      repl_env == nullptr ||
+      (std::string(repl_env) != "0" && std::string(repl_env) != "off");
+  if (repl_on) {
+    const std::string repl_index = "soak_repl_index.tmp";
+    const Status saved = serve::SaveAlignmentIndex(*index, repl_index);
+    CEAFF_CHECK(saved.ok()) << saved.ToString();
+    serve::ShardRouterOptions router_options;
+    router_options.num_shards = 3;
+    router_options.num_replicas = 2;
+    auto started = serve::ShardRouter::Start(repl_index, router_options);
+    CEAFF_CHECK(started.ok()) << started.status().ToString();
+    std::unique_ptr<serve::ShardRouter> router = std::move(started.value());
+    repl.ran = true;
+    repl.ranges = router->num_ranges();
+    repl.replicas = router->num_replicas();
+
+    // Single-threaded closed loop against the router (not thread-safe).
+    // `victim` >= 0 SIGKILLs that worker once the loop is halfway through
+    // its budget; every query whose scatter recorded a failover gets its
+    // latency tracked separately.
+    const auto soak_router = [&](int victim, ReplLoop* out) {
+      std::vector<uint64_t> latencies;
+      uint64_t worst_failover_ns = 0;
+      const uint64_t failovers_at_start = router->failovers();
+      const uint64_t degraded_at_start = router->degraded_answers();
+      bool killed = victim < 0;
+      size_t i = 0;
+      WallTimer timer;
+      while (timer.ElapsedSeconds() * 1e3 <
+             static_cast<double>(phase_ms)) {
+        if (!killed &&
+            timer.ElapsedSeconds() * 1e3 >=
+                static_cast<double>(phase_ms) / 2.0 &&
+            router->shard_alive(static_cast<size_t>(victim))) {
+          ::kill(router->shard_pid(static_cast<size_t>(victim)), SIGKILL);
+          killed = true;
+        }
+        const std::string& q = queries[i++ % queries.size()];
+        const uint64_t failovers_before = router->failovers();
+        const auto t0 = std::chrono::steady_clock::now();
+        auto r = router->TopK(q, k);
+        const uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        if (r.ok()) {
+          out->ok += 1;
+          latencies.push_back(ns);
+          if (router->failovers() > failovers_before) {
+            worst_failover_ns = std::max(worst_failover_ns, ns);
+          }
+        } else {
+          out->errors += 1;
+        }
+      }
+      const double seconds = timer.ElapsedSeconds();
+      out->failovers = router->failovers() - failovers_at_start;
+      out->degraded = router->degraded_answers() - degraded_at_start;
+      out->goodput_qps =
+          seconds > 0 ? static_cast<double>(out->ok) / seconds : 0.0;
+      out->p99_ms = QuantileMs(&latencies, 0.99);
+      out->failover_latency_ms =
+          static_cast<double>(worst_failover_ns) / 1e6;
+    };
+
+    soak_router(/*victim=*/-1, &repl.baseline);
+    // Kill replica 0 of the middle range mid-pass; with R = 2 the answers
+    // must stay non-degraded through the loss.
+    soak_router(
+        static_cast<int>(router->worker_index(/*range=*/1, /*replica=*/0)),
+        &repl.failover);
+    if (repl.baseline.goodput_qps > 0) {
+      repl.goodput_delta =
+          repl.failover.goodput_qps / repl.baseline.goodput_qps - 1.0;
+    }
+    std::fprintf(
+        stderr,
+        "replication %zux%zu: baseline %.1f qps, one-replica-down %.1f qps "
+        "(%+.1f%%), failovers %llu, failover p-worst %.3f ms, degraded "
+        "%llu, errors %llu\n",
+        repl.ranges, repl.replicas, repl.baseline.goodput_qps,
+        repl.failover.goodput_qps, 100.0 * repl.goodput_delta,
+        static_cast<unsigned long long>(repl.failover.failovers),
+        repl.failover.failover_latency_ms,
+        static_cast<unsigned long long>(repl.failover.degraded),
+        static_cast<unsigned long long>(repl.failover.errors));
+    router.reset();  // reaps the fleet before the file goes away
+    std::remove(repl_index.c_str());
+  }
+
   const PhaseResult& peak = phases.back();
   std::string json = "{\n";
   json += "  \"bench\": \"overload_soak\",\n";
@@ -465,6 +593,27 @@ int Main() {
         i + 1 < chaos.size() ? "," : "");
   }
   json += "  ],\n";
+  if (repl.ran) {
+    json += StrFormat(
+        "  \"replication\": {\"ranges\": %zu, \"replicas\": %zu,\n"
+        "    \"baseline\": {\"goodput_qps\": %.1f, \"p99_ms\": %.3f, "
+        "\"ok\": %llu, \"degraded\": %llu, \"errors\": %llu},\n"
+        "    \"one_replica_down\": {\"goodput_qps\": %.1f, \"p99_ms\": "
+        "%.3f, \"ok\": %llu, \"degraded\": %llu, \"errors\": %llu, "
+        "\"failovers\": %llu, \"failover_latency_ms\": %.3f},\n"
+        "    \"goodput_delta\": %.4f},\n",
+        repl.ranges, repl.replicas, repl.baseline.goodput_qps,
+        repl.baseline.p99_ms,
+        static_cast<unsigned long long>(repl.baseline.ok),
+        static_cast<unsigned long long>(repl.baseline.degraded),
+        static_cast<unsigned long long>(repl.baseline.errors),
+        repl.failover.goodput_qps, repl.failover.p99_ms,
+        static_cast<unsigned long long>(repl.failover.ok),
+        static_cast<unsigned long long>(repl.failover.degraded),
+        static_cast<unsigned long long>(repl.failover.errors),
+        static_cast<unsigned long long>(repl.failover.failovers),
+        repl.failover.failover_latency_ms, repl.goodput_delta);
+  }
   json += StrFormat(
       "  \"peak\": {\"multiplier\": %.2f, \"shed_rate\": %.4f, "
       "\"p99_over_unloaded_p99\": %.2f}\n",

@@ -522,6 +522,57 @@ StatusOr<std::string> GenerationalStore::CurrentPath(
                           dir_);
 }
 
+StatusOr<uint64_t> GenerationalStore::CurrentGeneration(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.empty()) {
+    return Status::NotFound("artifact '" + name + "' has no generation in " +
+                            dir_);
+  }
+  return it->second.back().gen;
+}
+
+Status GenerationalStore::Quarantine(const std::string& name, uint64_t gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!initialized_) {
+    return Status::FailedPrecondition("GenerationalStore::Init not called");
+  }
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.empty()) {
+    return Status::NotFound("artifact '" + name + "' has no generation in " +
+                            dir_);
+  }
+  std::vector<GenerationEntry>& gens = it->second;
+  auto target = std::find_if(
+      gens.begin(), gens.end(),
+      [gen](const GenerationEntry& e) { return e.gen == gen; });
+  if (target == gens.end()) {
+    return Status::NotFound(StrFormat(
+        "artifact '%s' has no committed generation %llu", name.c_str(),
+        static_cast<unsigned long long>(gen)));
+  }
+  if (gens.size() == 1) {
+    return Status::FailedPrecondition(StrFormat(
+        "refusing to quarantine generation %llu of '%s': it is the only "
+        "committed generation (a rollback would have nothing to land on)",
+        static_cast<unsigned long long>(gen), name.c_str()));
+  }
+  const std::string path = GenPath(name, gen);
+  CEAFF_LOG(Warning) << "quarantining generation " << path
+                     << " as .corrupt by external verdict (canary rollback)";
+  std::error_code ec;
+  fs::rename(path, path + ".corrupt", ec);
+  if (ec) {
+    return Status::IOError("rename " + path + " -> " + path +
+                           ".corrupt: " + ec.message());
+  }
+  gens.erase(target);
+  // Commit point: the manifest no longer lists the quarantined generation,
+  // so the next reader's newest-first walk starts at the survivor.
+  return CommitManifestLocked();
+}
+
 std::vector<uint64_t> GenerationalStore::Generations(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -135,6 +135,20 @@ class GenerationalStore {
   /// Path of the newest committed generation. kNotFound when absent.
   StatusOr<std::string> CurrentPath(const std::string& name) const;
 
+  /// Number of the newest committed generation. kNotFound when absent.
+  StatusOr<uint64_t> CurrentGeneration(const std::string& name) const;
+
+  /// Quarantines generation `gen` of `name`: renames the file to
+  /// `*.corrupt` and commits its removal from the manifest, exactly what
+  /// Get() does to a generation that fails validation — but driven by an
+  /// external verdict (a serving canary that watched the generation
+  /// misbehave in production rather than fail a checksum). Refuses
+  /// (kFailedPrecondition) to quarantine the ONLY committed generation:
+  /// an automatic rollback must land on something, and a store with no
+  /// committed generations serves nothing at all. kNotFound when `gen` is
+  /// not committed.
+  Status Quarantine(const std::string& name, uint64_t gen);
+
   /// Committed generation numbers of `name`, oldest first (tests).
   std::vector<uint64_t> Generations(const std::string& name) const;
 

@@ -740,4 +740,32 @@ StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path) {
   return LoadAlignmentIndexFile(path);
 }
 
+StatusOr<uint64_t> AlignmentIndexDirGeneration(const std::string& path) {
+  if (!IsDirectory(path)) {
+    return Status::NotFound(path + " is not a generational index directory");
+  }
+  GenerationalStore store(path, IndexStoreOptions(/*keep_generations=*/2));
+  CEAFF_RETURN_IF_ERROR(store.Init());
+  return store.CurrentGeneration(kGenerationalArtifact);
+}
+
+StatusOr<std::string> AlignmentIndexDirCurrentFile(const std::string& path) {
+  if (!IsDirectory(path)) {
+    return Status::NotFound(path + " is not a generational index directory");
+  }
+  GenerationalStore store(path, IndexStoreOptions(/*keep_generations=*/2));
+  CEAFF_RETURN_IF_ERROR(store.Init());
+  return store.CurrentPath(kGenerationalArtifact);
+}
+
+Status QuarantineAlignmentIndexGeneration(const std::string& path,
+                                          uint64_t gen) {
+  if (!IsDirectory(path)) {
+    return Status::NotFound(path + " is not a generational index directory");
+  }
+  GenerationalStore store(path, IndexStoreOptions(/*keep_generations=*/2));
+  CEAFF_RETURN_IF_ERROR(store.Init());
+  return store.Quarantine(kGenerationalArtifact, gen);
+}
+
 }  // namespace ceaff::serve

@@ -242,6 +242,26 @@ Status SaveAlignmentIndex(const AlignmentIndex& index,
 /// newer generations are quarantined as `*.corrupt` and older ones tried.
 StatusOr<AlignmentIndex> LoadAlignmentIndex(const std::string& path);
 
+/// Store generation number the "index" artifact in a generational directory
+/// currently serves (the one LoadAlignmentIndex would pick). kNotFound when
+/// `path` is not a generational index directory or holds no committed
+/// generation — a flat index file has no generation to pin or roll back.
+StatusOr<uint64_t> AlignmentIndexDirGeneration(const std::string& path);
+
+/// Path of the concrete generation file the directory currently serves
+/// (`<path>/index.g<N>`). Shard workers load THIS file, not the directory,
+/// so a respawn mid-publish cannot silently pick up a newer generation
+/// under an old generation id. kNotFound for flat files / empty stores.
+StatusOr<std::string> AlignmentIndexDirCurrentFile(const std::string& path);
+
+/// Quarantines store generation `gen` of the index directory at `path`
+/// (renamed `*.corrupt`, dropped from the MANIFEST) so the next load falls
+/// back to the previous generation. This is the serving canary's rollback
+/// hook: the generation passed every checksum but misbehaved in
+/// production. Refuses to quarantine the only committed generation.
+Status QuarantineAlignmentIndexGeneration(const std::string& path,
+                                          uint64_t gen);
+
 }  // namespace ceaff::serve
 
 #endif  // CEAFF_SERVE_ALIGNMENT_INDEX_H_

@@ -207,6 +207,7 @@ std::string EncodeTopKResult(const TopKResult& result) {
   w.U8(result.ann_used ? 1 : 0);
   w.U32(result.ann_probes);
   w.U32(result.ann_shortlist);
+  w.U64(result.generation);
   w.U32(static_cast<uint32_t>(result.candidates.size()));
   for (const Candidate& c : result.candidates) {
     w.U32(c.target);
@@ -229,7 +230,8 @@ StatusOr<TopKResult> DecodeTopKResult(BinReader* reader) {
   if (!reader->Str(&result.query) || !reader->U8(&structural_used) ||
       !reader->U8(&tier) || !reader->U8(&degraded) ||
       !reader->U8(&ann_used) || !reader->U32(&result.ann_probes) ||
-      !reader->U32(&result.ann_shortlist) || !reader->U32(&count)) {
+      !reader->U32(&result.ann_shortlist) || !reader->U64(&result.generation) ||
+      !reader->U32(&count)) {
     return Status::DataLoss("malformed ipc topk payload");
   }
   if (tier > static_cast<uint8_t>(ServiceTier::kPairOnly)) {

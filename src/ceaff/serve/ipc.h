@@ -36,12 +36,17 @@ struct IpcMessage;
 /// numbers — the router never pipelines to a single shard.
 enum class IpcType : uint8_t {
   kPing = 1,          // router -> worker: are you up? body empty
-  kPong = 2,          // worker -> router: body = [u64 begin][u64 end]
+  kPong = 2,          // worker -> router: [u64 begin][u64 end][u64 generation]
   kTopKRequest = 3,   // [str query][u64 k][u8 allow_structural][u64 deadline_ms]
   kTopKResponse = 4,  // [u8 ok][Status | TopKResult]
   kPairRequest = 5,   // [str source_name]
   kPairResponse = 6,  // [u8 ok][Status | PairAnswer]
   kShutdown = 7,      // router -> worker: exit cleanly; no reply
+  kDrain = 8,         // router -> worker: finish up, ack, then exit. Used by
+                      // the rolling reload so a replica leaves the fleet at a
+                      // frame boundary instead of mid-reply.
+  kDrainAck = 9,      // worker -> router: body empty; the worker exits right
+                      // after this frame is on the wire
 };
 
 struct IpcMessage {

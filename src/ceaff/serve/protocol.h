@@ -50,6 +50,13 @@ namespace ceaff::serve {
 /// STATS gains a "router" object (per-shard pids, ranges, deaths,
 /// respawns, breaker state) next to the usual endpoint stats.
 ///
+/// Replicated mode (`--replicas=R`, R >= 2) additionally reports range
+/// coverage — the thing answer fidelity actually depends on:
+///   OK HEALTH shards=<alive>/<N*R> ranges=<covered>/<N> [degraded]
+/// (`degraded` only when some range has no live replica on the serving
+/// generation). STATS's "router" object gains replica/generation fields
+/// plus a "generation" block (reloads, canary state, rollbacks).
+///
 /// Hardening: a request line longer than kMaxRequestLineBytes or containing
 /// an embedded NUL byte is rejected up front (InvalidArgument) before any
 /// verb dispatch — a corrupt or adversarial request file must not make the

@@ -173,6 +173,9 @@ void AlignmentService::AdoptIndex(
     index_ = std::move(index);
     embedder_ = std::move(embedder);
   }
+  // Every adopted snapshot is a new generation; answers computed against
+  // it carry the new id (matching the sharded router's per-query stamp).
+  generation_.fetch_add(1, std::memory_order_relaxed);
   // The fresh snapshot supersedes whatever the scrubber condemned.
   poisoned_.store(false, std::memory_order_relaxed);
   stats_.SetPoisoned(false);
@@ -218,6 +221,9 @@ StatusOr<TopKResult> AlignmentService::TopKUncached(
     stats_.RecordAnnScan(result.value().ann_used, result.value().ann_probes,
                          result.value().ann_shortlist);
   }
+  if (result.ok()) {
+    result.value().generation = generation_.load(std::memory_order_relaxed);
+  }
   return result;
 }
 
@@ -236,6 +242,7 @@ StatusOr<TopKResult> AlignmentService::TopKPairOnly(
   const AlignedPair& pair = index.pairs[pair_it->second];
   TopKResult result;
   result.query = query_name;
+  result.generation = generation_.load(std::memory_order_relaxed);
   result.structural_used = false;
   Candidate candidate;
   candidate.target = pair.target;

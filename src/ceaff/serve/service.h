@@ -175,6 +175,13 @@ class AlignmentService {
   /// Whether the live snapshot is currently marked poisoned.
   bool poisoned() const { return poisoned_.load(std::memory_order_relaxed); }
 
+  /// Monotonic snapshot generation: 1 for the boot snapshot, +1 per
+  /// adopted reload. Stamped on every TopKResult (mirrors the sharded
+  /// router's per-query generation pin).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
  private:
   StatusOr<TopKResult> TopKUncached(const AlignmentIndex& index,
                                     const text::WordEmbeddingStore& embedder,
@@ -216,6 +223,7 @@ class AlignmentService {
   /// out of step and back off when a fresh snapshot is adopted.
   std::string last_index_path_;
   std::atomic<bool> poisoned_{false};
+  std::atomic<uint64_t> generation_{1};
   std::thread scrub_thread_;
   std::mutex scrub_mu_;
   std::condition_variable scrub_cv_;

@@ -54,6 +54,15 @@ struct TopKResult {
   /// IVF cells probed / candidates exactly re-ranked (0 when !ann_used).
   uint32_t ann_probes = 0;
   uint32_t ann_shortlist = 0;
+  /// Index generation this answer was computed against: a monotonically
+  /// increasing id bumped by every successful reload (single-process
+  /// service and sharded router alike; workers echo the id the router
+  /// spawned them with). A merged sharded answer is always internally
+  /// consistent — the router pins each scatter to replicas of a single
+  /// generation, so parts of different generations never meet in one
+  /// merge. 0 only for results that never passed through a serving layer
+  /// (raw TopKScan calls).
+  uint64_t generation = 0;
   std::vector<Candidate> candidates;  // descending combined score
 };
 

@@ -80,6 +80,7 @@ int ShardWorkerMain(MessagePipe pipe, const ShardConfig& config) {
         BinWriter w;
         w.U64(range.begin);
         w.U64(range.end);
+        w.U64(config.generation);
         sent = pipe.Send(IpcType::kPong, w.Take());
         break;
       }
@@ -102,6 +103,7 @@ int ShardWorkerMain(MessagePipe pipe, const ShardConfig& config) {
         StatusOr<TopKResult> result =
             TopKScan(index, embedder, request.query, request.k,
                      request.allow_structural, cancel, range, config.ann);
+        if (result.ok()) result->generation = config.generation;
         sent = pipe.Send(IpcType::kTopKResponse, EncodeTopKResponse(result));
         break;
       }
@@ -117,6 +119,12 @@ int ShardWorkerMain(MessagePipe pipe, const ShardConfig& config) {
         break;
       }
       case IpcType::kShutdown:
+        return 0;
+      case IpcType::kDrain:
+        // Rolling-reload handoff: the ack tells the router this worker left
+        // the fleet at a frame boundary (no reply will ever be torn). Exit
+        // immediately after — the replacement process is already queued.
+        (void)pipe.Send(IpcType::kDrainAck, "");
         return 0;
       default:
         // An unknown request type on a CRC-clean frame is a version skew

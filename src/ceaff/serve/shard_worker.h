@@ -20,6 +20,11 @@ struct ShardConfig {
   /// Contiguous target row-range this shard owns, [begin, end).
   size_t target_begin = 0;
   size_t target_end = 0;
+  /// Router-assigned generation id of the index this worker serves, echoed
+  /// in the Pong and stamped on every TopK answer. A worker never changes
+  /// generation — the rolling reload replaces the process instead — so the
+  /// router can pin a scatter to one generation by picking workers alone.
+  uint64_t generation = 0;
   /// Artifact to load (file or generational directory).
   std::string index_path;
   /// Failpoint spec applied in the child AFTER the fork (empty = inherit

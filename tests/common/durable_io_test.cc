@@ -323,6 +323,53 @@ TEST(GenerationalStoreTest, RemoveDropsAllGenerationsAndQuarantine) {
   EXPECT_EQ(store.Get("a").status().code(), StatusCode::kNotFound);
 }
 
+TEST(GenerationalStoreTest, CurrentGenerationTracksNewestCommit) {
+  ScratchDir dir("gen_current");
+  GenerationalStore store(dir.path());
+  ASSERT_TRUE(store.Init().ok());
+  EXPECT_EQ(store.CurrentGeneration("a").status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(store.Put("a", "v1").ok());
+  EXPECT_EQ(store.CurrentGeneration("a").value(), 1u);
+  ASSERT_TRUE(store.Put("a", "v2").ok());
+  EXPECT_EQ(store.CurrentGeneration("a").value(), 2u);
+}
+
+TEST(GenerationalStoreTest, QuarantineRollsBackToPreviousGeneration) {
+  ScratchDir dir("gen_quarantine");
+  GenerationalStore store(dir.path());
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("a", "good").ok());
+  ASSERT_TRUE(store.Put("a", "regressed").ok());
+
+  // External-verdict quarantine (the serving canary's rollback hook): the
+  // newest generation is dropped from the manifest and tombstoned, reads
+  // fall back to the previous one — quarantining the newest IS rollback.
+  ASSERT_TRUE(store.Quarantine("a", 2).ok());
+  EXPECT_EQ(store.CurrentGeneration("a").value(), 1u);
+  EXPECT_EQ(store.Get("a").value(), "good");
+  EXPECT_TRUE(fs::exists(dir.File("a.g2.corrupt")));
+  EXPECT_FALSE(fs::exists(dir.File("a.g2")));
+
+  // The verdict survives reopen: the manifest no longer lists g2.
+  GenerationalStore reopened(dir.path());
+  ASSERT_TRUE(reopened.Init().ok());
+  EXPECT_EQ(reopened.Get("a").value(), "good");
+  EXPECT_EQ(reopened.Generations("a"), (std::vector<uint64_t>{1}));
+}
+
+TEST(GenerationalStoreTest, QuarantineRefusesTheOnlyGeneration) {
+  ScratchDir dir("gen_quarantine_last");
+  GenerationalStore store(dir.path());
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("a", "only").ok());
+  EXPECT_EQ(store.Quarantine("a", 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Quarantine("a", 9).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Quarantine("missing", 1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Get("a").value(), "only");
+}
+
 TEST(GenerationalStoreTest, PutRejectsUnsafeNames) {
   ScratchDir dir("gen_names");
   GenerationalStore store(dir.path());

@@ -77,6 +77,7 @@ TEST(IpcCodecTest, TopKResponseRoundTripIsBitExact) {
   result.ann_used = true;
   result.ann_probes = 3;
   result.ann_shortlist = 17;
+  result.generation = 7;
   // Scores chosen to have non-trivial float bit patterns.
   result.candidates.push_back({3, "target a", 0.1f, 0.3f, 1.0f / 3.0f, 0.0f});
   result.candidates.push_back({9, "target b", -0.0f, 0.7f, 0.2f, 0.99999f});
@@ -86,6 +87,7 @@ TEST(IpcCodecTest, TopKResponseRoundTripIsBitExact) {
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->query, result.query);
   EXPECT_EQ(decoded->structural_used, result.structural_used);
+  EXPECT_EQ(decoded->generation, result.generation);
   ASSERT_EQ(decoded->candidates.size(), result.candidates.size());
   for (size_t i = 0; i < result.candidates.size(); ++i) {
     // Bit-pattern equality, not value equality: -0.0f must survive as

@@ -6,13 +6,17 @@
 //   ceaff_serve --index run.idx [--threads N] [--requests FILE]
 //               [--deadline_ms N] [--cache N] [--scrub_ms N] [--shards N]
 //
-// --shards=N with N >= 2 switches to crash-isolated sharded serving: this
-// process becomes the supervisor/router and forks N shard workers, each
-// scanning a contiguous target row-range (see serve/router.h). A worker
-// dying mid-query degrades that answer (marked `degraded=partial`) instead
-// of taking the service down; the worker respawns through a per-shard
-// circuit breaker. N=1 (the default) is the unchanged single-process fast
-// path.
+// --shards=N with N >= 2 (or --replicas=R with R >= 2) switches to
+// crash-isolated sharded serving: this process becomes the
+// supervisor/router and forks N×R shard workers — N contiguous target
+// row-ranges, each owned by R replicas (see serve/router.h). With R == 1 a
+// worker dying mid-query degrades that answer (marked `degraded=partial`)
+// until its breaker respawns it; with R >= 2 the scatter fails over to the
+// range's next replica, so losing any single worker keeps answers
+// bit-identical and non-degraded, RELOAD becomes a rolling restart that
+// never stops serving, and a post-reload canary auto-rolls-back a
+// regressed generation. --shards=1 --replicas=1 (the defaults) is the
+// unchanged single-process fast path.
 //
 // Lifecycle: SIGTERM (and SIGINT) triggers a graceful drain — intake stops
 // after the current line, requests already in flight finish, the final
@@ -62,15 +66,35 @@ void InstallDrainHandler() {
 /// default) keeps every scan on the exhaustive path even for v3 artifacts;
 /// --ann=on is still safe against v1/v2 artifacts — the scan falls back per
 /// query when the index carries no ANN sections.
-serve::AnnOptions ParseAnnFlags(const FlagParser& flags) {
-  serve::AnnOptions ann;
-  ann.enabled = flags.GetBool("ann", false);
+///
+/// Nonsensical values are rejected with an error naming the flag (a
+/// `--nprobe 0` that silently served the default would hide a typo'd
+/// deployment config until someone noticed recall was off). False return =
+/// the caller exits with the usage code.
+bool ParseAnnFlags(const FlagParser& flags, serve::AnnOptions* ann) {
+  ann->enabled = flags.GetBool("ann", false);
   const int64_t nprobe = flags.GetInt("nprobe", 8);
-  if (nprobe > 0) ann.nprobe = static_cast<size_t>(nprobe);
+  if (nprobe < 1) {
+    std::fprintf(stderr, "ceaff_serve: --nprobe must be >= 1 (got %lld)\n",
+                 static_cast<long long>(nprobe));
+    return false;
+  }
+  ann->nprobe = static_cast<size_t>(nprobe);
   const int64_t shortlist = flags.GetInt("shortlist", 256);
-  if (shortlist > 0) ann.shortlist = static_cast<size_t>(shortlist);
-  return ann;
+  if (shortlist < 1) {
+    std::fprintf(stderr,
+                 "ceaff_serve: --shortlist must be >= 1 (got %lld)\n",
+                 static_cast<long long>(shortlist));
+    return false;
+  }
+  ann->shortlist = static_cast<size_t>(shortlist);
+  return true;
 }
+
+/// Sane ceiling on the worker-process count: each worker costs the router
+/// a socketpair fd plus a forked process; past this the fleet is a fork
+/// bomb with extra steps, not a serving topology.
+constexpr int64_t kMaxWorkers = 64;
 
 int Usage() {
   std::fprintf(stderr,
@@ -78,6 +102,8 @@ int Usage() {
                "[--requests FILE]\n"
                "                   [--deadline_ms N] [--cache N] "
                "[--scrub_ms N] [--shards N]\n"
+               "                   [--replicas N] [--respawn_flap_ms N] "
+               "[--respawn_cooldown_ms N]\n"
                "                   [--ann on|off] [--nprobe N] "
                "[--shortlist N]\n"
                "Reads protocol requests (PAIR/TOPK/BATCH/RELOAD/STATS/"
@@ -110,13 +136,38 @@ void PrintTopK(const serve::TopKResult& topk) {
 /// Degraded TOPK answers (a shard's range missing from the merge) print
 /// `degraded=partial`; HEALTH/READY report live-shard counts so a
 /// supervisor can see a shard die and come back.
-int RunSharded(const FlagParser& flags, size_t num_shards) {
+int RunSharded(const FlagParser& flags, size_t num_shards,
+               size_t num_replicas) {
   const std::string index_path = flags.GetString("index", "");
   serve::ShardRouterOptions options;
   options.num_shards = num_shards;
-  options.ann = ParseAnnFlags(flags);
+  options.num_replicas = num_replicas;
+  serve::AnnOptions ann;
+  if (!ParseAnnFlags(flags, &ann)) return 2;
+  options.ann = ann;
   const int64_t deadline_ms = flags.GetInt("deadline_ms", 0);
   if (deadline_ms > 0) options.default_shard_deadline_ms = deadline_ms;
+  // Respawn-breaker tuning, surfaced as flags: the flap window (a death
+  // within it feeds the breaker) and the open-state cooldown before a
+  // half-open probe respawn.
+  const int64_t flap_ms = flags.GetInt("respawn_flap_ms", 10'000);
+  if (flap_ms < 1) {
+    std::fprintf(stderr,
+                 "ceaff_serve: --respawn_flap_ms must be >= 1 (got %lld)\n",
+                 static_cast<long long>(flap_ms));
+    return 2;
+  }
+  options.flap_window_ns = static_cast<uint64_t>(flap_ms) * 1'000'000ull;
+  const int64_t cooldown_ms = flags.GetInt("respawn_cooldown_ms", 2'000);
+  if (cooldown_ms < 1) {
+    std::fprintf(
+        stderr,
+        "ceaff_serve: --respawn_cooldown_ms must be >= 1 (got %lld)\n",
+        static_cast<long long>(cooldown_ms));
+    return 2;
+  }
+  options.respawn_breaker.cooldown_ns =
+      static_cast<uint64_t>(cooldown_ms) * 1'000'000ull;
 
   auto router_or = serve::ShardRouter::Start(index_path, options);
   if (!router_or.ok()) {
@@ -125,13 +176,26 @@ int RunSharded(const FlagParser& flags, size_t num_shards) {
     return 3;
   }
   std::unique_ptr<serve::ShardRouter> router = std::move(router_or).value();
-  std::fprintf(stderr, "sharded serving '%s': %zu shards\n",
-               index_path.c_str(), router->num_shards());
+  if (router->num_replicas() > 1) {
+    std::fprintf(stderr, "sharded serving '%s': %zu ranges x %zu replicas\n",
+                 index_path.c_str(), router->num_ranges(),
+                 router->num_replicas());
+  } else {
+    std::fprintf(stderr, "sharded serving '%s': %zu shards\n",
+                 index_path.c_str(), router->num_shards());
+  }
   for (size_t i = 0; i < router->num_shards(); ++i) {
     const auto range = router->shard_range(i);
-    std::fprintf(stderr, "shard %zu pid %d range [%zu, %zu)%s\n", i,
+    // The replica tag is appended only for replicated fleets so the R == 1
+    // stderr lines stay byte-compatible with the pre-replication drills.
+    std::string suffix;
+    if (router->num_replicas() > 1) {
+      suffix = " replica " + std::to_string(i % router->num_replicas());
+    }
+    std::fprintf(stderr, "shard %zu pid %d range [%zu, %zu)%s%s\n", i,
                  static_cast<int>(router->shard_pid(i)), range.first,
-                 range.second, router->shard_alive(i) ? "" : " (down)");
+                 range.second, suffix.c_str(),
+                 router->shard_alive(i) ? "" : " (down)");
   }
 
   std::ifstream file;
@@ -234,8 +298,17 @@ int RunSharded(const FlagParser& flags, size_t num_shards) {
         break;
       case serve::RequestType::kHealth: {
         const auto health = router->CheckHealth();
-        std::printf("OK HEALTH shards=%zu/%zu%s\n", health.alive,
-                    health.total, health.degraded ? " degraded" : "");
+        if (router->num_replicas() > 1) {
+          // Replicated fleets report range coverage too: dead workers with
+          // every range still covered means answers are still exact.
+          std::printf("OK HEALTH shards=%zu/%zu ranges=%zu/%zu%s\n",
+                      health.alive, health.total, health.ranges_covered,
+                      health.ranges_total,
+                      health.degraded ? " degraded" : "");
+        } else {
+          std::printf("OK HEALTH shards=%zu/%zu%s\n", health.alive,
+                      health.total, health.degraded ? " degraded" : "");
+        }
         break;
       }
       case serve::RequestType::kReady: {
@@ -279,18 +352,40 @@ int Run(const FlagParser& flags) {
   }
   const int64_t shards = flags.GetInt("shards", 1);
   if (shards < 1) {
-    std::fprintf(stderr, "ceaff_serve: --shards must be >= 1\n");
+    std::fprintf(stderr, "ceaff_serve: --shards must be >= 1 (got %lld)\n",
+                 static_cast<long long>(shards));
     return 2;
   }
-  if (shards > 1) {
+  const int64_t replicas = flags.GetInt("replicas", 1);
+  if (replicas < 1) {
+    std::fprintf(stderr,
+                 "ceaff_serve: --replicas must be >= 1 (got %lld)\n",
+                 static_cast<long long>(replicas));
+    return 2;
+  }
+  if (shards * replicas > kMaxWorkers) {
+    std::fprintf(stderr,
+                 "ceaff_serve: --shards x --replicas is %lld workers, over "
+                 "the fd/process budget of %lld\n",
+                 static_cast<long long>(shards * replicas),
+                 static_cast<long long>(kMaxWorkers));
+    return 2;
+  }
+  if (shards > 1 || replicas > 1) {
     // Touch the single-process-only flags so they do not warn as unknown.
     (void)flags.GetInt("threads", 4);
     (void)flags.GetInt("cache", 1024);
     (void)flags.GetInt("scrub_ms", 0);
-    return RunSharded(flags, static_cast<size_t>(shards));
+    return RunSharded(flags, static_cast<size_t>(shards),
+                      static_cast<size_t>(replicas));
   }
+  // Touch the sharded-only flags for the same reason.
+  (void)flags.GetInt("respawn_flap_ms", 10'000);
+  (void)flags.GetInt("respawn_cooldown_ms", 2'000);
   serve::ServiceOptions options;
-  options.ann = ParseAnnFlags(flags);
+  serve::AnnOptions ann;
+  if (!ParseAnnFlags(flags, &ann)) return 2;
+  options.ann = ann;
   const int64_t threads = flags.GetInt("threads", 4);
   if (threads < 1) {
     std::fprintf(stderr, "ceaff_serve: --threads must be >= 1\n");

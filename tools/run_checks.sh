@@ -15,8 +15,14 @@
 # it sheds, that the failpoint chaos phases stay clean, and that SIGTERM
 # during the soak drains cleanly), and a sharded smoke (router + 3 shard
 # workers, SIGKILL one mid-session, assert degraded answers, HEALTH
-# degrade/recover, and healthy byte-identity with single-process mode);
-# the `shard`-labelled kill-a-shard drills also rerun under ASan.
+# degrade/recover, and healthy byte-identity with single-process mode), a
+# replication drill (3 ranges x 2 replicas, SIGKILL one replica per range
+# in turn: every answer must stay byte-identical to single-process serving
+# and the degraded counter must stay 0), and a rolling-reload hammer
+# (RELOAD mid-session on a replicated fleet: zero failed queries, also
+# rerun under ASan); the `shard`-labelled drills — including the
+# replication/rolling-reload/rollback suite — also rerun under ASan, and
+# the RELOAD-vs-HEALTH-reap race test runs under TSan.
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
 #                            [--skip-crash]
@@ -59,9 +65,10 @@ if [[ "$skip_tsan" == 0 ]]; then
   echo "==> TSan build + concurrency & chaos tests"
   cmake -B "$repo/build-tsan" -S "$repo" -DCEAFF_TSAN=ON
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target common_test la_test serve_test serve_hammer_test serve_chaos_test
+    --target common_test la_test serve_test serve_hammer_test \
+      serve_chaos_test serve_shard_replication_test
   ctest --test-dir "$repo/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|IndexMmap|ParseRequest|Admission|RetryPolicy|CircuitBreaker|Degradation|OverloadChaos|Kernel'
+    -R 'ThreadPool|ParallelFor|ThreadLocalRng|Logging|Serve|AlignmentService|AlignmentIndex|IndexMmap|ParseRequest|Admission|RetryPolicy|CircuitBreaker|Degradation|OverloadChaos|Kernel|ShardReplicationTest.WorkerDeathMidReload'
 fi
 
 if [[ "$skip_crash" == 0 ]]; then
@@ -237,6 +244,73 @@ if [[ "$skip_smoke" == 0 ]]; then
     > "$smoke/single_out.txt"
   head -n 6 "$smoke/shard_out.txt" | diff - <(head -n 6 "$smoke/single_out.txt")
   tail -n 6 "$smoke/shard_out.txt" | diff - <(head -n 6 "$smoke/single_out.txt")
+
+  echo "==> Replication drill: 3 ranges x 2 replicas, SIGKILL one per range"
+  repl_fifo="$smoke/repl_req.fifo"
+  mkfifo "$repl_fifo"
+  "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" \
+    --shards 3 --replicas 2 \
+    < "$repl_fifo" > "$smoke/repl_out.txt" 2> "$smoke/repl_err.txt" &
+  repl_pid=$!
+  exec 8> "$repl_fifo"
+  repl_topk=0
+  wait_repl_topk() {
+    repl_topk=$((repl_topk + 1))
+    for _ in $(seq 100); do
+      if [[ "$(grep -c '^OK TOPK' "$smoke/repl_out.txt" 2>/dev/null)" \
+            -ge "$repl_topk" ]]; then return 0; fi
+      sleep 0.2
+    done
+    echo "timed out waiting for replicated TOPK reply $repl_topk" >&2
+    return 1
+  }
+  printf 'TOPK 5 %s\n' "$name" >&8; wait_repl_topk
+  # Kill replica 0 of each range in turn. Every answer while a worker is
+  # down must come from the failover path: full fidelity, never degraded.
+  for range in 0 1 2; do
+    victim="$(grep -oE "shard $((range * 2)) pid [0-9]+" \
+      "$smoke/repl_err.txt" | grep -oE '[0-9]+$')"
+    kill -9 "$victim"
+    printf 'TOPK 5 %s\n' "$name" >&8; wait_repl_topk
+    # Reap + breaker respawn before the next round's kill.
+    printf 'HEALTH\n' >&8
+  done
+  printf 'STATS\nQUIT\n' >&8
+  exec 8>&-
+  wait "$repl_pid"  # set -e: a router crash fails the sweep here
+  if grep -q 'degraded=partial' "$smoke/repl_out.txt"; then
+    echo "replicated fleet served a degraded answer" >&2; exit 1
+  fi
+  grep -q '"degraded": 0' "$smoke/repl_out.txt"
+  # Every TOPK block is byte-identical to single-process serving.
+  grep -v '^OK HEALTH' "$smoke/repl_out.txt" > "$smoke/repl_topk.txt"
+  for i in 0 1 2 3; do
+    sed -n "$((i * 6 + 1)),$((i * 6 + 6))p" "$smoke/repl_topk.txt" \
+      | diff - <(head -n 6 "$smoke/single_out.txt")
+  done
+
+  echo "==> Rolling-reload hammer: RELOAD under load, zero failed queries"
+  { for _ in $(seq 10); do printf 'TOPK 5 %s\n' "$name"; done
+    printf 'RELOAD %s\n' "$smoke/run.idx"
+    for _ in $(seq 10); do printf 'TOPK 5 %s\n' "$name"; done
+    printf 'STATS\nQUIT\n'; } > "$smoke/roll_req.txt"
+  run_roll_hammer() {
+    local serve_bin="$1" out="$2"
+    "$serve_bin" --index "$smoke/run.idx" --shards 2 --replicas 2 \
+      < "$smoke/roll_req.txt" > "$out" 2> /dev/null
+    if grep -q '^ERR' "$out"; then
+      echo "rolling reload failed a query" >&2; exit 1
+    fi
+    grep -q 'OK RELOAD' "$out"
+    [[ "$(grep -c '^OK TOPK 5$' "$out")" -eq 20 ]]
+    grep -q '"reloads": 1' "$out"
+  }
+  run_roll_hammer "$repo/build/tools/ceaff_serve" "$smoke/roll_out.txt"
+  if [[ "$skip_sanitize" == 0 ]]; then
+    echo "==> Rolling-reload hammer under ASan"
+    run_roll_hammer "$repo/build-asan/tools/ceaff_serve" \
+      "$smoke/roll_asan_out.txt"
+  fi
 
   echo "==> SIGTERM drill: drain mid-stream, exit 0, stats on stderr"
   "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --threads 2 \
