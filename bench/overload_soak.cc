@@ -67,6 +67,12 @@
 #include "ceaff/common/random.h"
 #include "ceaff/common/string_util.h"
 #include "ceaff/common/timer.h"
+#include "ceaff/delta/delta_apply.h"
+#include "ceaff/delta/delta_journal.h"
+#include "ceaff/delta/delta_patch.h"
+#include "ceaff/delta/delta_repair.h"
+#include "ceaff/delta/delta_state.h"
+#include "ceaff/la/kernels.h"
 #include "ceaff/serve/alignment_index.h"
 #include "ceaff/serve/degradation.h"
 #include "ceaff/serve/router.h"
@@ -537,6 +543,208 @@ int Main() {
     std::remove(repl_index.c_str());
   }
 
+  // --- Delta-ingestion phase ---------------------------------------------
+  // A live service keeps answering while a journaled patch batch runs the
+  // full apply cycle (bounded repair -> verification gate -> generational
+  // publish) in this process; the report records the apply latency and how
+  // many queries the service answered during it, then reloads the service
+  // onto the published generation and checks a patched entity is servable.
+  struct DeltaIngestReport {
+    bool ran = false;
+    size_t entities = 0;
+    size_t records = 0;
+    double apply_ms = 0.0;
+    double repair_ms = 0.0;
+    double verify_ms = 0.0;
+    double publish_ms = 0.0;
+    uint64_t queries_during_apply = 0;
+    uint64_t query_errors_during_apply = 0;
+    double qps_during_apply = 0.0;
+    uint64_t published_generation = 0;
+    bool reload_ok = false;
+    bool patched_entity_served = false;
+  };
+  DeltaIngestReport ingest;
+  const char* delta_env = std::getenv("CEAFF_SOAK_DELTA");
+  const bool delta_on =
+      delta_env == nullptr ||
+      (std::string(delta_env) != "0" && std::string(delta_env) != "off");
+  if (delta_on) {
+    const size_t n_delta = EnvSize("CEAFF_SOAK_DELTA_ENTITIES", 160);
+    const size_t n_records = EnvSize("CEAFF_SOAK_DELTA_RECORDS", 12);
+    la::KernelContext kernel_ctx;
+
+    // Baseline frozen-model state: ring + skip triples, most entities
+    // serving (same shape as the delta test fixtures, sized by env).
+    delta::DeltaState base;
+    base.dataset = "synthetic-delta-soak";
+    base.semantic_dim = 16;
+    base.semantic_seed = 17;
+    base.gcn_dim = 16;
+    base.gcn_seed = 2020;
+    base.two_stage = true;
+    base.textual_weights = {0.5, 0.5};
+    base.final_weights = {0.6, 0.4};
+    for (int g = 1; g <= 2; ++g) {
+      kg::KnowledgeGraph& graph = g == 1 ? base.kg1 : base.kg2;
+      for (size_t e = 0; e < n_delta; ++e) {
+        graph.AddEntity(StrFormat("soak%d:e%zu", g, e),
+                        StrFormat("%s side %d",
+                                  SyntheticName(e).c_str(), g));
+      }
+      for (size_t e = 0; e < n_delta; ++e) {
+        graph.AddTriple(StrFormat("soak%d:e%zu", g, e),
+                        StrFormat("soak%d:r0", g),
+                        StrFormat("soak%d:e%zu", g, (e + 1) % n_delta));
+        graph.AddTriple(StrFormat("soak%d:e%zu", g, e),
+                        StrFormat("soak%d:r1", g),
+                        StrFormat("soak%d:e%zu", g, (e + 3) % n_delta));
+      }
+    }
+    for (size_t e = 0; e + 2 < n_delta; ++e) {
+      base.source_ids.push_back(static_cast<uint32_t>(e));
+      base.target_ids.push_back(static_cast<uint32_t>(e));
+    }
+    base.x1 = delta::ExtendInputFeatures(la::Matrix(0, base.gcn_dim),
+                                         base.kg1, base.gcn_seed);
+    base.x2 = delta::ExtendInputFeatures(la::Matrix(0, base.gcn_dim),
+                                         base.kg2, base.gcn_seed);
+    base.src_name_emb = delta::RepairNameEmbeddings(
+        la::Matrix(), 0, base.source_ids, base.kg1, {}, base.semantic_dim,
+        base.semantic_seed);
+    base.tgt_name_emb = delta::RepairNameEmbeddings(
+        la::Matrix(), 0, base.target_ids, base.kg2, {}, base.semantic_dim,
+        base.semantic_seed);
+    Status recomputed =
+        delta::RecomputeStateExhaustive(&base, kernel_ctx);
+    CEAFF_CHECK(recomputed.ok()) << recomputed.ToString();
+
+    char delta_tmpl[] = "/tmp/ceaff_soak_delta_XXXXXX";
+    const char* delta_root = mkdtemp(delta_tmpl);
+    CEAFF_CHECK(delta_root != nullptr);
+    delta::DeltaApplyOptions apply_options;
+    apply_options.journal_dir = std::string(delta_root) + "/wal";
+    apply_options.state_dir = std::string(delta_root) + "/state";
+    apply_options.index_dir = std::string(delta_root) + "/index";
+    apply_options.verify.audit_rows = 4;
+    apply_options.export_ann = false;
+    {
+      auto store = delta::OpenDeltaStateStore(apply_options.state_dir);
+      CEAFF_CHECK(store.ok()) << store.status().ToString();
+      const Status saved = delta::SaveDeltaState(base, store->get());
+      CEAFF_CHECK(saved.ok()) << saved.ToString();
+    }
+    auto base_index = delta::BuildIndexFromState(base, false, 0);
+    CEAFF_CHECK(base_index.ok()) << base_index.status().ToString();
+    const Status index_saved = serve::SaveAlignmentIndexGenerational(
+        *base_index, apply_options.index_dir);
+    CEAFF_CHECK(index_saved.ok()) << index_saved.ToString();
+
+    // Journal the batch: new entities wired into the ring, served on the
+    // source side, plus a rename and a triple removal for coverage.
+    {
+      auto journal = delta::DeltaJournal::Open(apply_options.journal_dir);
+      CEAFF_CHECK(journal.ok()) << journal.status().ToString();
+      std::string patch_text;
+      for (size_t i = 0; i < n_records; i += 4) {
+        patch_text += StrFormat(
+            "add_entity\t1\tsoak1:new%zu\tdelta newcomer %zu\n", i, i);
+        patch_text += StrFormat(
+            "add_triple\t1\tsoak1:new%zu\tsoak1:r0\tsoak1:e%zu\n", i,
+            i % n_delta);
+        patch_text += StrFormat("serve_entity\t1\tsoak1:new%zu\n", i);
+        patch_text += StrFormat(
+            "rename_entity\t2\tsoak2:e%zu\trenamed by delta %zu\n",
+            i % n_delta, i);
+      }
+      auto records = delta::ParsePatchText(patch_text);
+      CEAFF_CHECK(records.ok()) << records.status().ToString();
+      records->resize(std::min(records->size(), n_records));
+      ingest.records = records->size();
+      for (const delta::PatchRecord& r : *records) {
+        auto id = (*journal)->Append(r);
+        CEAFF_CHECK(id.ok()) << id.status().ToString();
+      }
+    }
+
+    // Serve the baseline generation and keep one closed query loop running
+    // while the apply cycle executes on this thread.
+    serve::ServiceOptions delta_serve_options;
+    delta_serve_options.num_threads = 1;
+    serve::AlignmentService delta_service(
+        std::make_shared<const serve::AlignmentIndex>(*base_index),
+        delta_serve_options);
+    std::atomic<bool> apply_done{false};
+    std::atomic<uint64_t> served{0}, serve_errors{0};
+    std::thread query_loop([&] {
+      size_t i = 0;
+      while (!apply_done.load(std::memory_order_relaxed)) {
+        const std::string& q =
+            base_index->source_names[i++ % base_index->source_names.size()];
+        if (delta_service.TopK(q, k).ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          serve_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    WallTimer apply_timer;
+    auto report = delta::ApplyDelta(apply_options);
+    const double apply_seconds = apply_timer.ElapsedSeconds();
+    apply_done.store(true, std::memory_order_relaxed);
+    query_loop.join();
+    CEAFF_CHECK(report.ok()) << report.status().ToString();
+
+    ingest.ran = true;
+    ingest.entities = n_delta;
+    ingest.apply_ms = apply_seconds * 1e3;
+    ingest.repair_ms = report->seconds_repair * 1e3;
+    ingest.verify_ms = report->seconds_verify * 1e3;
+    ingest.publish_ms = report->seconds_publish * 1e3;
+    ingest.queries_during_apply = served.load();
+    ingest.query_errors_during_apply = serve_errors.load();
+    ingest.qps_during_apply =
+        apply_seconds > 0
+            ? static_cast<double>(ingest.queries_during_apply) /
+                  apply_seconds
+            : 0.0;
+    ingest.published_generation = report->published_index_generation;
+
+    // Hot-swap the service onto the published generation and prove the
+    // patch took: the journaled newcomer must be in the published name
+    // table (it may legitimately end up unmatched — sources now outnumber
+    // targets — so presence, not a committed pair, is the check).
+    ingest.reload_ok =
+        delta_service.Reload(apply_options.index_dir).ok();
+    auto published = serve::LoadAlignmentIndex(apply_options.index_dir);
+    if (published.ok()) {
+      for (const std::string& name : published->source_names) {
+        if (name == "delta newcomer 0") {
+          ingest.patched_entity_served = true;
+          break;
+        }
+      }
+    }
+    std::fprintf(
+        stderr,
+        "delta_ingest: %zu records over %zu entities, apply %.1f ms "
+        "(repair %.1f, verify %.1f, publish %.1f), served %llu queries "
+        "during apply (%.1f qps, %llu errors), generation %llu, reload %s, "
+        "patched entity %s\n",
+        ingest.records, ingest.entities, ingest.apply_ms, ingest.repair_ms,
+        ingest.verify_ms, ingest.publish_ms,
+        static_cast<unsigned long long>(ingest.queries_during_apply),
+        ingest.qps_during_apply,
+        static_cast<unsigned long long>(ingest.query_errors_during_apply),
+        static_cast<unsigned long long>(ingest.published_generation),
+        ingest.reload_ok ? "ok" : "FAILED",
+        ingest.patched_entity_served ? "served" : "MISSING");
+    std::string cleanup = std::string("rm -rf ") + delta_root;
+    if (std::system(cleanup.c_str()) != 0) {
+      std::fprintf(stderr, "warning: could not clean %s\n", delta_root);
+    }
+  }
+
   const PhaseResult& peak = phases.back();
   std::string json = "{\n";
   json += "  \"bench\": \"overload_soak\",\n";
@@ -613,6 +821,23 @@ int Main() {
         static_cast<unsigned long long>(repl.failover.errors),
         static_cast<unsigned long long>(repl.failover.failovers),
         repl.failover.failover_latency_ms, repl.goodput_delta);
+  }
+  if (ingest.ran) {
+    json += StrFormat(
+        "  \"delta_ingest\": {\"entities\": %zu, \"records\": %zu, "
+        "\"apply_ms\": %.3f, \"repair_ms\": %.3f, \"verify_ms\": %.3f, "
+        "\"publish_ms\": %.3f, \"queries_during_apply\": %llu, "
+        "\"query_errors_during_apply\": %llu, \"qps_during_apply\": %.1f, "
+        "\"published_generation\": %llu, \"reload_ok\": %s, "
+        "\"patched_entity_served\": %s},\n",
+        ingest.entities, ingest.records, ingest.apply_ms, ingest.repair_ms,
+        ingest.verify_ms, ingest.publish_ms,
+        static_cast<unsigned long long>(ingest.queries_during_apply),
+        static_cast<unsigned long long>(ingest.query_errors_during_apply),
+        ingest.qps_during_apply,
+        static_cast<unsigned long long>(ingest.published_generation),
+        ingest.reload_ok ? "true" : "false",
+        ingest.patched_entity_served ? "true" : "false");
   }
   json += StrFormat(
       "  \"peak\": {\"multiplier\": %.2f, \"shed_rate\": %.4f, "

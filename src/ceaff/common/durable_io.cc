@@ -339,6 +339,24 @@ Status GenerationalStore::Put(const std::string& name,
   return Status::OK();
 }
 
+void GenerationalStore::StampAccessLocked(const std::string& name,
+                                          uint64_t gen) const {
+  if (options_.gc_grace.count() <= 0) return;
+  access_stamps_[{name, gen}] = std::chrono::steady_clock::now();
+}
+
+bool GenerationalStore::InGraceLocked(const std::string& name,
+                                      uint64_t gen) const {
+  if (options_.gc_grace.count() <= 0) return false;
+  auto it = access_stamps_.find({name, gen});
+  if (it == access_stamps_.end()) return false;
+  if (std::chrono::steady_clock::now() - it->second >= options_.gc_grace) {
+    access_stamps_.erase(it);
+    return false;
+  }
+  return true;
+}
+
 void GenerationalStore::GcLocked(const std::string& name) {
   auto it = entries_.find(name);
   if (it == entries_.end()) return;
@@ -360,7 +378,12 @@ void GenerationalStore::GcLocked(const std::string& name) {
           if (std::find_if(gens.begin(), gens.end(),
                            [&e](const GenerationEntry& g) {
                              return g.gen == e.gen;
-                           }) == gens.end()) {
+                           }) == gens.end() &&
+              !InGraceLocked(name, e.gen)) {
+            // A dropped generation a reader resolved within the grace
+            // window stays on disk (it already left the manifest, so only
+            // that reader can still find it); the orphan sweep of a later
+            // Put removes it once the grace expires.
             ::unlink(GenPath(name, e.gen).c_str());
           }
         }
@@ -368,8 +391,10 @@ void GenerationalStore::GcLocked(const std::string& name) {
     }
   }
   // Orphans: generation files on disk that the manifest does not list
-  // (crash between file write and manifest commit). They were never
-  // committed, so dropping them is not data loss.
+  // (crash between file write and manifest commit, or a grace-protected
+  // generation from an earlier GC). Uncommitted ones were never visible,
+  // so dropping them is not data loss; grace-protected ones wait out
+  // their window.
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     const std::string fname = entry.path().filename().string();
@@ -382,7 +407,8 @@ void GenerationalStore::GcLocked(const std::string& name) {
     if (std::find_if(gens.begin(), gens.end(),
                      [gen](const GenerationEntry& g) {
                        return g.gen == gen;
-                     }) == gens.end()) {
+                     }) == gens.end() &&
+        !InGraceLocked(name, gen)) {
       std::error_code rm_ec;
       fs::remove(entry.path(), rm_ec);
     }
@@ -438,6 +464,7 @@ StatusOr<std::string> GenerationalStore::Get(
       }
     }
     if (verdict.ok()) {
+      StampAccessLocked(name, e.gen);
       if (quarantined_any) {
         // The quarantine shrank the committed set; persist that so the
         // next reader does not re-validate known-bad files. Best-effort —
@@ -513,6 +540,9 @@ StatusOr<std::string> GenerationalStore::CurrentPath(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end() && !it->second.empty()) {
+    // The caller is about to open this path outside the lock; start its
+    // GC grace window so a concurrent Put cannot unlink it first.
+    StampAccessLocked(name, it->second.back().gen);
     return GenPath(name, it->second.back().gen);
   }
   const std::string legacy = dir_ + "/" + name;

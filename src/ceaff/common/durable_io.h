@@ -1,6 +1,7 @@
 #ifndef CEAFF_COMMON_DURABLE_IO_H_
 #define CEAFF_COMMON_DURABLE_IO_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "ceaff/common/statusor.h"
@@ -105,6 +107,14 @@ class GenerationalStore {
     /// Failpoint scope for generation-file writes; manifest writes use
     /// `<scope>.manifest`.
     std::string failpoint_scope = "durable";
+    /// Grace window protecting concurrent readers from GC. A generation
+    /// whose path was handed out by Get/CurrentPath within this window is
+    /// not unlinked even when it falls out of the keep window — it leaves
+    /// the manifest immediately (new readers never see it) but stays on
+    /// disk until the window expires, so a reader that resolved the path
+    /// just before a Put can still open and read it. Expired stragglers
+    /// are swept by the next Put's GC pass. Zero disables the grace.
+    std::chrono::milliseconds gc_grace{5000};
   };
 
   explicit GenerationalStore(std::string dir);
@@ -171,12 +181,23 @@ class GenerationalStore {
   Status LoadOrRebuildManifestLocked();
   /// Unlinks generations beyond the keep window. Caller holds mu_.
   void GcLocked(const std::string& name);
+  /// Records that a reader was handed generation `gen` of `name` (starts
+  /// its GC grace window). Caller holds mu_.
+  void StampAccessLocked(const std::string& name, uint64_t gen) const;
+  /// Whether the grace window of (name, gen) is still running; expired
+  /// stamps are erased as a side effect. Caller holds mu_.
+  bool InGraceLocked(const std::string& name, uint64_t gen) const;
 
   std::string dir_;
   Options options_;
   mutable std::mutex mu_;
   /// name -> committed generations, oldest first.
   std::map<std::string, std::vector<GenerationEntry>> entries_;
+  /// (name, gen) -> last time a reader resolved that generation; consulted
+  /// by GcLocked so unlinks never race an in-flight read.
+  mutable std::map<std::pair<std::string, uint64_t>,
+                   std::chrono::steady_clock::time_point>
+      access_stamps_;
   bool initialized_ = false;
 };
 

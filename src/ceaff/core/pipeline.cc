@@ -200,6 +200,17 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
           tgt_or.value().rows() == n_test) {
         features.structural_src_emb = std::move(src_or).value();
         features.structural_tgt_emb = std::move(tgt_or).value();
+        // The GCN input features ride along too (for the delta-ingestion
+        // state export); their absence — checkpoints predating them — is
+        // tolerated and only surfaces if a delta export is attempted.
+        auto x1_or = store->LoadMatrix("structural.x1");
+        auto x2_or = store->LoadMatrix("structural.x2");
+        if (x1_or.ok() && x2_or.ok() &&
+            x1_or.value().rows() == pair_->kg1.num_entities() &&
+            x2_or.value().rows() == pair_->kg2.num_entities()) {
+          features.structural_x1 = std::move(x1_or).value();
+          features.structural_x2 = std::move(x2_or).value();
+        }
       } else if (!options_.export_index_path.empty()) {
         CEAFF_LOG(Warning)
             << "structural checkpoint lacks usable entity embeddings needed "
@@ -223,6 +234,8 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
                              gcn.Train(pair_->seed_alignment));
       features.structural_src_emb = GatherRows(gcn.embeddings1(), test_src);
       features.structural_tgt_emb = GatherRows(gcn.embeddings2(), test_tgt);
+      features.structural_x1 = gcn.features1();
+      features.structural_x2 = gcn.features2();
       CEAFF_ASSIGN_OR_RETURN(
           features.structural,
           la::CosineSimilarityChecked(rt.ctx, features.structural_src_emb,
@@ -242,6 +255,10 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
                                                 features.structural_src_emb));
         CEAFF_RETURN_IF_ERROR(store->SaveMatrix("structural.tgt_emb",
                                                 features.structural_tgt_emb));
+        CEAFF_RETURN_IF_ERROR(store->SaveMatrix("structural.x1",
+                                                features.structural_x1));
+        CEAFF_RETURN_IF_ERROR(store->SaveMatrix("structural.x2",
+                                                features.structural_x2));
       }
     }
     notify("structural", restored);
@@ -283,6 +300,17 @@ StatusOr<CeaffFeatures> CeaffPipeline::GenerateFeatures() {
           features.seed_string =
               text::NgramSimilarityMatrix(seed_src_names, seed_tgt_names);
         }
+      } else if (options_.force_exact_string_kernel) {
+        // Every cell exact — required when downstream consumers (the
+        // delta-ingestion export) recompute individual rows and compare
+        // bitwise; the pruned kernel's skipped cells would diverge.
+        features.string_sim =
+            la::StringSimilarityMatrixK(rt.ctx, src_names, tgt_names);
+        if (!seed_src.empty()) {
+          features.seed_string = la::StringSimilarityMatrixK(
+              rt.ctx, seed_src_names, seed_tgt_names);
+        }
+        CEAFF_RETURN_IF_ERROR(rt.ctx.CheckCancelled("string stage"));
       } else {
         // The Levenshtein scan dominates feature time on large splits; the
         // kernel splits it across the shared pool and polls the run's

@@ -57,6 +57,12 @@ struct CeaffOptions {
   /// ablation).
   enum class StringMetric { kLevenshteinRatio, kNgramDice };
   StringMetric string_metric = StringMetric::kLevenshteinRatio;
+  /// Force the exact Levenshtein kernel instead of the length-aware
+  /// auto-selection (which may pick the pruned row-max-exact kernel on
+  /// long-name corpora). Required by the delta-ingestion path: its bounded
+  /// repair recomputes individual matrix rows, which only matches the
+  /// batch computation when every cell is exact.
+  bool force_exact_string_kernel = false;
   FusionMode fusion_mode = FusionMode::kAdaptive;
   DecisionMode decision_mode = DecisionMode::kCollective;
   fusion::FusionOptions fusion;  // θ1 / θ2 ("w/o θ1,θ2" via use_score_clamp)
@@ -165,6 +171,14 @@ struct CeaffFeatures {
   /// them.
   la::Matrix structural_src_emb;
   la::Matrix structural_tgt_emb;
+  /// The trained GCN *input* feature matrices over ALL entities of each
+  /// graph (n x d). Kept because the propagation-only GCN (no weight
+  /// transform) makes Z = A·(A·X) a pure function of (A, X): persisting X
+  /// lets the delta path re-propagate structural embeddings after a graph
+  /// patch without retraining. Empty when the structural feature is
+  /// disabled or restored from a checkpoint that predates these artifacts.
+  la::Matrix structural_x1;
+  la::Matrix structural_x2;
   la::Matrix seed_structural;
   la::Matrix seed_semantic;
   la::Matrix seed_string;

@@ -1,0 +1,281 @@
+#include "ceaff/delta/delta_apply.h"
+
+#include <unistd.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ceaff/common/durable_io.h"
+#include "ceaff/common/failpoint.h"
+#include "ceaff/common/logging.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/common/timer.h"
+#include "ceaff/delta/delta_journal.h"
+#include "ceaff/matching/matching.h"
+#include "ceaff/serve/ann_build.h"
+
+namespace ceaff::delta {
+
+namespace {
+
+struct Runtime {
+  std::unique_ptr<ThreadPool> pool;
+  la::KernelContext ctx;
+};
+
+Runtime MakeRuntime(const DeltaApplyOptions& options) {
+  Runtime rt;
+  if (options.num_threads > 1) {
+    rt.pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  rt.ctx.pool = rt.pool.get();
+  rt.ctx.opts.OverrideBlock(options.block_size);
+  rt.ctx.cancel = options.cancel;
+  return rt;
+}
+
+Status WriteQuarantineMarker(const std::string& journal_dir,
+                             const Status& verdict) {
+  CEAFF_LOG(Error) << "quarantining delta batch: " << verdict
+                   << " — last good generation keeps serving; run the "
+                      "rebuild path to recover";
+  return WriteFileAtomic(QuarantineMarkerPath(journal_dir),
+                         verdict.ToString() + "\n", "delta.quarantine");
+}
+
+/// Publishes index (when configured) then state — in that order, so a
+/// crash between the two leaves the state watermark stale and the next
+/// cycle replays the same records and republishes both idempotently.
+Status PublishState(const DeltaState& state, const DeltaApplyOptions& options,
+                    DeltaApplyReport* report) {
+  if (!options.index_dir.empty()) {
+    CEAFF_FAILPOINT("delta.publish.index");
+    CEAFF_ASSIGN_OR_RETURN(
+        const serve::AlignmentIndex index,
+        BuildIndexFromState(state, options.export_ann,
+                            options.ann_centroids));
+    CEAFF_RETURN_IF_ERROR(
+        serve::SaveAlignmentIndexGenerational(index, options.index_dir));
+    CEAFF_ASSIGN_OR_RETURN(
+        report->published_index_generation,
+        serve::AlignmentIndexDirGeneration(options.index_dir));
+  }
+  CEAFF_FAILPOINT("delta.publish.state");
+  CEAFF_ASSIGN_OR_RETURN(const std::unique_ptr<GenerationalStore> store,
+                         OpenDeltaStateStore(options.state_dir));
+  return SaveDeltaState(state, store.get());
+}
+
+}  // namespace
+
+std::string QuarantineMarkerPath(const std::string& journal_dir) {
+  return journal_dir + "/QUARANTINE";
+}
+
+bool IsQuarantined(const std::string& journal_dir) {
+  return ::access(QuarantineMarkerPath(journal_dir).c_str(), F_OK) == 0;
+}
+
+StatusOr<DeltaApplyReport> ApplyDelta(const DeltaApplyOptions& options) {
+  if (IsQuarantined(options.journal_dir)) {
+    return Status::FailedPrecondition(
+        "delta journal at " + options.journal_dir +
+        " is quarantined by a failed batch; run the rebuild path "
+        "(RebuildDelta / `ceaff delta rebuild`) to recover");
+  }
+  CEAFF_ASSIGN_OR_RETURN(const std::unique_ptr<DeltaJournal> journal,
+                         DeltaJournal::Open(options.journal_dir));
+  CEAFF_ASSIGN_OR_RETURN(const std::unique_ptr<GenerationalStore> store,
+                         OpenDeltaStateStore(options.state_dir));
+  CEAFF_ASSIGN_OR_RETURN(DeltaState state, LoadDeltaState(store.get()));
+
+  DeltaApplyReport report;
+  report.watermark_before = state.watermark;
+  report.watermark_after = state.watermark;
+  CEAFF_ASSIGN_OR_RETURN(const std::vector<PatchRecord> records,
+                         journal->ReadAfter(state.watermark));
+  if (records.empty()) {
+    // Nothing past the watermark: publish NO new generation.
+    report.no_op = true;
+    return report;
+  }
+
+  const Runtime rt = MakeRuntime(options);
+  WallTimer timer;
+  StatusOr<RepairOutcome> outcome =
+      ApplyPatchesToState(state, records, rt.ctx);
+  if (!outcome.ok()) {
+    if (outcome.status().IsInvalidArgument()) {
+      // A malformed batch fails identically on every replay — quarantine
+      // instead of retrying forever.
+      CEAFF_RETURN_IF_ERROR(
+          WriteQuarantineMarker(options.journal_dir, outcome.status()));
+    }
+    return outcome.status();
+  }
+  report.seconds_repair = timer.ElapsedSeconds();
+  report.stats = outcome->stats;
+
+  timer.Restart();
+  const Status verdict = VerifyDeltaState(outcome->state, outcome->dirty_rows,
+                                          options.verify, rt.ctx);
+  report.seconds_verify = timer.ElapsedSeconds();
+  if (!verdict.ok()) {
+    if (verdict.IsDataLoss()) {
+      // A verification *verdict* failure (divergence, broken invariant):
+      // quarantine the batch. Transient failures (I/O, cancellation)
+      // propagate and the batch is retried by the next cycle.
+      CEAFF_RETURN_IF_ERROR(
+          WriteQuarantineMarker(options.journal_dir, verdict));
+    }
+    return verdict;
+  }
+
+  timer.Restart();
+  CEAFF_RETURN_IF_ERROR(PublishState(outcome->state, options, &report));
+  report.seconds_publish = timer.ElapsedSeconds();
+  report.watermark_after = outcome->state.watermark;
+  CEAFF_LOG(Info) << "delta apply: " << report.stats.records_applied
+                  << " records (watermark " << report.watermark_before
+                  << " -> " << report.watermark_after << "), "
+                  << report.stats.dirty_rows << " dirty rows, "
+                  << report.stats.dirty_cols << " dirty cols, "
+                  << report.stats.resorted_pref_rows
+                  << " preference rows re-sorted";
+  return report;
+}
+
+StatusOr<DeltaApplyReport> RebuildDelta(const DeltaApplyOptions& options) {
+  CEAFF_ASSIGN_OR_RETURN(const std::unique_ptr<DeltaJournal> journal,
+                         DeltaJournal::Open(options.journal_dir));
+  CEAFF_ASSIGN_OR_RETURN(const std::unique_ptr<GenerationalStore> store,
+                         OpenDeltaStateStore(options.state_dir));
+  CEAFF_ASSIGN_OR_RETURN(DeltaState state, LoadDeltaState(store.get()));
+
+  DeltaApplyReport report;
+  report.rebuilt = true;
+  report.watermark_before = state.watermark;
+  CEAFF_ASSIGN_OR_RETURN(const std::vector<PatchRecord> records,
+                         journal->ReadAfter(state.watermark));
+
+  const Runtime rt = MakeRuntime(options);
+  WallTimer timer;
+  if (!records.empty()) {
+    // Patch stage only — every derived quantity is recomputed from
+    // scratch below, so the bounded repair's dirty tracking is not needed
+    // (and, after a quarantine, not trusted).
+    CEAFF_ASSIGN_OR_RETURN(GraphPatchResult patched,
+                           ApplyGraphPatches(state, records));
+    const size_t old_sr = state.source_ids.size();
+    const size_t old_tc = state.target_ids.size();
+    report.stats = patched.stats;
+    state.kg1 = std::move(patched.kg1);
+    state.kg2 = std::move(patched.kg2);
+    state.source_ids = std::move(patched.source_ids);
+    state.target_ids = std::move(patched.target_ids);
+    state.watermark = records.back().id;
+    if (state.use_structural) {
+      state.x1 = ExtendInputFeatures(state.x1, state.kg1, state.gcn_seed);
+      state.x2 = ExtendInputFeatures(state.x2, state.kg2, state.gcn_seed);
+    }
+    if (state.use_semantic) {
+      state.src_name_emb = RepairNameEmbeddings(
+          state.src_name_emb, old_sr, state.source_ids, state.kg1,
+          patched.renamed1, state.semantic_dim, state.semantic_seed);
+      state.tgt_name_emb = RepairNameEmbeddings(
+          state.tgt_name_emb, old_tc, state.target_ids, state.kg2,
+          patched.renamed2, state.semantic_dim, state.semantic_seed);
+    }
+  }
+  CEAFF_RETURN_IF_ERROR(RecomputeStateExhaustive(&state, rt.ctx));
+  report.seconds_repair = timer.ElapsedSeconds();
+
+  timer.Restart();
+  CEAFF_RETURN_IF_ERROR(
+      VerifyDeltaState(state, /*dirty_rows=*/{}, options.verify, rt.ctx));
+  report.seconds_verify = timer.ElapsedSeconds();
+
+  timer.Restart();
+  CEAFF_RETURN_IF_ERROR(PublishState(state, options, &report));
+  report.seconds_publish = timer.ElapsedSeconds();
+  report.watermark_after = state.watermark;
+
+  const std::string marker = QuarantineMarkerPath(options.journal_dir);
+  if (::unlink(marker.c_str()) == 0) {
+    CEAFF_RETURN_IF_ERROR(FsyncDir(options.journal_dir));
+    CEAFF_LOG(Info) << "delta rebuild: quarantine cleared";
+  }
+  CEAFF_LOG(Info) << "delta rebuild: republished at watermark "
+                  << report.watermark_after;
+  return report;
+}
+
+StatusOr<serve::AlignmentIndex> BuildIndexFromState(const DeltaState& s,
+                                                    bool export_ann,
+                                                    size_t ann_centroids) {
+  serve::AlignmentIndexInput input;
+  input.dataset = s.dataset;
+  input.source_names = core::GatherNames(s.kg1, s.source_ids);
+  input.target_names = core::GatherNames(s.kg2, s.target_ids);
+
+  CEAFF_ASSIGN_OR_RETURN(
+      const matching::MatchResult match,
+      matching::DeferredAcceptanceWithPrefs(s.fused, s.prefs));
+  for (size_t i = 0; i < match.target_of_source.size(); ++i) {
+    const int64_t t = match.target_of_source[i];
+    if (t < 0) continue;
+    input.pairs.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(t),
+                           s.fused.at(i, static_cast<size_t>(t))});
+  }
+
+  // Flatten the frozen fusion weights to effective per-serving-feature
+  // weights, exactly as the batch pipeline's export stage does.
+  double w_struct = 0.0, w_sem = 0.0, w_str = 0.0;
+  if (s.two_stage && s.final_weights.size() >= 2 &&
+      s.textual_weights.size() >= 2) {
+    w_struct = s.final_weights[0];
+    w_sem = s.final_weights[1] * s.textual_weights[0];
+    w_str = s.final_weights[1] * s.textual_weights[1];
+  } else {
+    size_t idx = 0;
+    auto take = [&]() {
+      return idx < s.final_weights.size() ? s.final_weights[idx++] : 0.0;
+    };
+    if (s.use_structural) w_struct = take();
+    if (s.use_semantic) w_sem = take();
+    if (s.use_string) w_str = take();
+  }
+  input.weights = {w_struct, w_sem, w_str};
+
+  if (s.use_semantic) {
+    input.semantic_seed = s.semantic_seed;
+    input.source_name_emb = s.src_name_emb;
+    input.target_name_emb = s.tgt_name_emb;
+    input.source_name_emb.L2NormalizeRows();
+    input.target_name_emb.L2NormalizeRows();
+  }
+  if (!s.src_struct_emb.empty() && !s.tgt_struct_emb.empty()) {
+    input.source_struct_emb = s.src_struct_emb;
+    input.target_struct_emb = s.tgt_struct_emb;
+    input.source_struct_emb.L2NormalizeRows();
+    input.target_struct_emb.L2NormalizeRows();
+  }
+
+  CEAFF_ASSIGN_OR_RETURN(serve::AlignmentIndex index,
+                         serve::BuildAlignmentIndex(std::move(input)));
+  if (export_ann) {
+    serve::AnnBuildOptions ann_options;
+    ann_options.num_centroids = ann_centroids;
+    const Status ann = serve::BuildAnnSections(&index, ann_options);
+    if (!ann.ok() && !ann.IsFailedPrecondition()) return ann;
+    if (ann.IsFailedPrecondition()) {
+      CEAFF_LOG(Info) << "delta publish: skipping ANN sections: "
+                      << ann.message();
+    }
+  }
+  return index;
+}
+
+}  // namespace ceaff::delta

@@ -1,0 +1,99 @@
+#ifndef CEAFF_DELTA_DELTA_JOURNAL_H_
+#define CEAFF_DELTA_DELTA_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/delta/delta_patch.h"
+
+namespace ceaff::delta {
+
+/// Append-only write-ahead log of KG patches: the durable source of truth
+/// the repair path replays from.
+///
+/// Layout under `dir`: numbered segments `wal.<%08u>`, each
+///
+///   [8B magic "CEAFFWAL"][u32 version = 1][u64 segment seq]
+///   [u32 len][u32 crc32(payload)][payload]   ... repeated
+///
+/// where payload is EncodePatchPayload. All integers little-endian.
+///
+/// Durability contract of Append: the frame is written and fsynced before
+/// Append returns OK; record ids are assigned contiguously from
+/// last_record_id()+1. The in-memory id advances as soon as the frame is
+/// fully in the file — even when the subsequent fsync fails — so a retried
+/// batch never reuses an id that might already be on disk.
+///
+/// Recovery contract of Open: every segment but the newest must parse to
+/// its end (kDataLoss otherwise — middle-of-history corruption is not
+/// repairable by truncation). The newest segment may carry a torn tail
+/// from a crash mid-append; Open physically truncates it back to the last
+/// whole, CRC-valid record and fsyncs. A newest segment whose header
+/// itself is torn (crash mid-rotation) is deleted outright — it can hold
+/// no committed records.
+///
+/// Failpoint sites: `delta.journal.append.before_write`,
+/// `delta.journal.append.after_write` (frame written, not yet fsynced),
+/// `delta.journal.rotate` (before the new segment is created).
+///
+/// Not thread-safe; one writer per directory.
+class DeltaJournal {
+ public:
+  struct Options {
+    /// A segment at or past this size is closed and a fresh one started
+    /// before the next append.
+    uint64_t max_segment_bytes = 1ull << 20;
+  };
+
+  /// Opens (creating the directory and first segment if needed), replays
+  /// every segment to recover the last assigned record id, and repairs the
+  /// newest segment's tail as described above.
+  static StatusOr<std::unique_ptr<DeltaJournal>> Open(std::string dir,
+                                                      Options options);
+  static StatusOr<std::unique_ptr<DeltaJournal>> Open(std::string dir) {
+    return Open(std::move(dir), Options());
+  }
+
+  ~DeltaJournal();
+  DeltaJournal(const DeltaJournal&) = delete;
+  DeltaJournal& operator=(const DeltaJournal&) = delete;
+
+  /// Durably appends `record` (its `id` field is ignored) and returns the
+  /// assigned id.
+  StatusOr<uint64_t> Append(const PatchRecord& record);
+
+  /// Every journaled record with id > `watermark`, in append order. When
+  /// two committed records carry the same id (possible only after manual
+  /// journal surgery), the first wins.
+  StatusOr<std::vector<PatchRecord>> ReadAfter(uint64_t watermark) const;
+
+  /// Highest record id ever assigned (0 for an empty journal).
+  uint64_t last_record_id() const { return last_record_id_; }
+
+  const std::string& dir() const { return dir_; }
+
+  /// Segment sequence numbers on disk, ascending (tests).
+  std::vector<uint64_t> SegmentSeqs() const;
+
+ private:
+  DeltaJournal(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status OpenImpl();
+  Status RotateLocked();
+  std::string SegmentPath(uint64_t seq) const;
+
+  std::string dir_;
+  Options options_;
+  uint64_t last_record_id_ = 0;
+  uint64_t tail_seq_ = 0;
+  uint64_t tail_bytes_ = 0;
+  int tail_fd_ = -1;
+};
+
+}  // namespace ceaff::delta
+
+#endif  // CEAFF_DELTA_DELTA_JOURNAL_H_

@@ -1,0 +1,192 @@
+#include "ceaff/delta/delta_patch.h"
+
+#include <cstring>
+
+#include "ceaff/common/string_util.h"
+
+namespace ceaff::delta {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool TakeU32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  std::memcpy(v, in->data(), 4);
+  in->remove_prefix(4);
+  return true;
+}
+
+bool TakeU64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+bool TakeString(std::string_view* in, std::string* s) {
+  uint32_t len = 0;
+  if (!TakeU32(in, &len) || in->size() < len) return false;
+  s->assign(in->data(), len);
+  in->remove_prefix(len);
+  return true;
+}
+
+const char* OpName(PatchOp op) {
+  switch (op) {
+    case PatchOp::kAddEntity: return "add_entity";
+    case PatchOp::kAddTriple: return "add_triple";
+    case PatchOp::kRemoveTriple: return "remove_triple";
+    case PatchOp::kRenameEntity: return "rename_entity";
+    case PatchOp::kServeEntity: return "serve_entity";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string EncodePatchPayload(const PatchRecord& record) {
+  std::string out;
+  PutU64(&out, record.id);
+  out.push_back(static_cast<char>(record.op));
+  out.push_back(static_cast<char>(record.kg));
+  PutString(&out, record.uri);
+  PutString(&out, record.name);
+  PutString(&out, record.head);
+  PutString(&out, record.rel);
+  PutString(&out, record.tail);
+  return out;
+}
+
+StatusOr<PatchRecord> DecodePatchPayload(std::string_view payload) {
+  PatchRecord record;
+  std::string_view in = payload;
+  if (!TakeU64(&in, &record.id) || in.size() < 2) {
+    return Status::DataLoss("truncated patch payload");
+  }
+  const uint8_t op = static_cast<uint8_t>(in[0]);
+  record.kg = static_cast<uint8_t>(in[1]);
+  in.remove_prefix(2);
+  if (op < static_cast<uint8_t>(PatchOp::kAddEntity) ||
+      op > static_cast<uint8_t>(PatchOp::kServeEntity)) {
+    return Status::DataLoss(StrFormat("unknown patch op %u", op));
+  }
+  record.op = static_cast<PatchOp>(op);
+  if (record.kg != 1 && record.kg != 2) {
+    return Status::DataLoss(StrFormat("patch kg %u is not 1 or 2",
+                                      record.kg));
+  }
+  if (!TakeString(&in, &record.uri) || !TakeString(&in, &record.name) ||
+      !TakeString(&in, &record.head) || !TakeString(&in, &record.rel) ||
+      !TakeString(&in, &record.tail) || !in.empty()) {
+    return Status::DataLoss("malformed patch payload strings");
+  }
+  return record;
+}
+
+StatusOr<std::vector<PatchRecord>> ParsePatchText(std::string_view text) {
+  std::vector<PatchRecord> records;
+  size_t lineno = 0;
+  size_t pos = 0;
+  auto bad = [&lineno](const std::string& why) {
+    return Status::InvalidArgument(
+        StrFormat("patch line %zu: %s", lineno, why.c_str()));
+  };
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::vector<std::string> f = Split(std::string(line), '\t');
+    if (f.size() < 2) return bad("expected <op>\\t<kg>\\t...");
+    PatchRecord r;
+    if (f[1] == "1") {
+      r.kg = 1;
+    } else if (f[1] == "2") {
+      r.kg = 2;
+    } else {
+      return bad("kg field must be 1 or 2, got '" + f[1] + "'");
+    }
+    if (f[0] == "add_entity") {
+      if (f.size() != 3 && f.size() != 4) {
+        return bad("add_entity takes <kg>\\t<uri>[\\t<name>]");
+      }
+      r.op = PatchOp::kAddEntity;
+      r.uri = f[2];
+      if (f.size() == 4) r.name = f[3];
+    } else if (f[0] == "add_triple" || f[0] == "remove_triple") {
+      if (f.size() != 5) {
+        return bad(f[0] + " takes <kg>\\t<head>\\t<rel>\\t<tail>");
+      }
+      r.op = f[0] == "add_triple" ? PatchOp::kAddTriple
+                                  : PatchOp::kRemoveTriple;
+      r.head = f[2];
+      r.rel = f[3];
+      r.tail = f[4];
+    } else if (f[0] == "rename_entity") {
+      if (f.size() != 4) return bad("rename_entity takes <kg>\\t<uri>\\t<name>");
+      r.op = PatchOp::kRenameEntity;
+      r.uri = f[2];
+      r.name = f[3];
+    } else if (f[0] == "serve_entity") {
+      if (f.size() != 3) return bad("serve_entity takes <kg>\\t<uri>");
+      r.op = PatchOp::kServeEntity;
+      r.uri = f[2];
+    } else {
+      return bad("unknown op '" + f[0] + "'");
+    }
+    if (r.op == PatchOp::kAddEntity || r.op == PatchOp::kRenameEntity ||
+        r.op == PatchOp::kServeEntity) {
+      if (r.uri.empty()) return bad("entity uri must be non-empty");
+    } else if (r.head.empty() || r.rel.empty() || r.tail.empty()) {
+      return bad("triple uris must be non-empty");
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::string PatchToText(const PatchRecord& record) {
+  std::string out = OpName(record.op);
+  out += '\t';
+  out += record.kg == 1 ? '1' : '2';
+  switch (record.op) {
+    case PatchOp::kAddEntity:
+      out += '\t' + record.uri;
+      if (!record.name.empty()) out += '\t' + record.name;
+      break;
+    case PatchOp::kAddTriple:
+    case PatchOp::kRemoveTriple:
+      out += '\t' + record.head + '\t' + record.rel + '\t' + record.tail;
+      break;
+    case PatchOp::kRenameEntity:
+      out += '\t' + record.uri + '\t' + record.name;
+      break;
+    case PatchOp::kServeEntity:
+      out += '\t' + record.uri;
+      break;
+  }
+  return out;
+}
+
+}  // namespace ceaff::delta

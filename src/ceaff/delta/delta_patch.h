@@ -1,0 +1,90 @@
+#ifndef CEAFF_DELTA_DELTA_PATCH_H_
+#define CEAFF_DELTA_DELTA_PATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+
+namespace ceaff::delta {
+
+/// One incremental mutation of a served KG pair. Patches are the unit the
+/// delta journal (delta_journal.h) persists and the bounded-repair path
+/// (delta_repair.h) applies; they deliberately mirror the append-only
+/// contract of kg::KnowledgeGraph — entities and relations are only ever
+/// added or renamed, never removed, so dense ids stay stable across any
+/// patch sequence.
+enum class PatchOp : uint8_t {
+  /// Add a new entity (uri must not exist yet). `name` is the display
+  /// name; empty derives the default from the URI local name, like
+  /// KnowledgeGraph::AddEntity.
+  kAddEntity = 1,
+  /// Add the triple (head, rel, tail) by URI. Head and tail must already
+  /// exist; an unknown relation URI is interned.
+  kAddTriple = 2,
+  /// Remove the first triple equal to (head, rel, tail). All three URIs
+  /// must resolve and the triple must be present.
+  kRemoveTriple = 3,
+  /// Overwrite the display name of an existing entity.
+  kRenameEntity = 4,
+  /// Append an existing entity to the serving split (a new fused-matrix
+  /// row for kg 1, a new column for kg 2). The entity must not already be
+  /// serving.
+  kServeEntity = 5,
+};
+
+/// One journaled patch. `id` is the journal's monotonically increasing
+/// record id (0 before the record has been appended); replay idempotence
+/// rests on it — records with ids at or below the state watermark are
+/// skipped on ReadAfter.
+struct PatchRecord {
+  uint64_t id = 0;
+  PatchOp op = PatchOp::kAddEntity;
+  /// Which KG of the pair the patch mutates: 1 or 2.
+  uint8_t kg = 1;
+  /// Entity URI for kAddEntity / kRenameEntity / kServeEntity.
+  std::string uri;
+  /// Display name for kAddEntity / kRenameEntity.
+  std::string name;
+  /// Triple URIs for kAddTriple / kRemoveTriple.
+  std::string head;
+  std::string rel;
+  std::string tail;
+
+  bool operator==(const PatchRecord& other) const {
+    return id == other.id && op == other.op && kg == other.kg &&
+           uri == other.uri && name == other.name && head == other.head &&
+           rel == other.rel && tail == other.tail;
+  }
+};
+
+/// Serialises a record into the journal payload format (little-endian:
+/// u64 id, u8 op, u8 kg, then the five u32-length-prefixed strings).
+std::string EncodePatchPayload(const PatchRecord& record);
+
+/// Parses a journal payload. kDataLoss on truncation or an unknown op —
+/// the journal layer treats that as record corruption.
+StatusOr<PatchRecord> DecodePatchPayload(std::string_view payload);
+
+/// Parses the human-writable TSV patch format, one record per line:
+///
+///   add_entity\t<1|2>\t<uri>[\t<name>]
+///   add_triple\t<1|2>\t<head>\t<rel>\t<tail>
+///   remove_triple\t<1|2>\t<head>\t<rel>\t<tail>
+///   rename_entity\t<1|2>\t<uri>\t<new_name>
+///   serve_entity\t<1|2>\t<uri>
+///
+/// Blank lines and lines starting with '#' are skipped. InvalidArgument
+/// names the offending line number. Returned records carry id 0 (the
+/// journal assigns ids on append).
+StatusOr<std::vector<PatchRecord>> ParsePatchText(std::string_view text);
+
+/// The TSV line of a record (without trailing newline) — the inverse of
+/// ParsePatchText, for status output.
+std::string PatchToText(const PatchRecord& record);
+
+}  // namespace ceaff::delta
+
+#endif  // CEAFF_DELTA_DELTA_PATCH_H_

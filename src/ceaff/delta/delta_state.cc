@@ -1,0 +1,447 @@
+#include "ceaff/delta/delta_state.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "ceaff/common/crc32.h"
+#include "ceaff/common/string_util.h"
+#include "ceaff/la/matrix_io.h"
+#include "ceaff/matching/matching.h"
+#include "ceaff/text/name_embedding.h"
+
+namespace ceaff::delta {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'A', 'F', 'F', 'D', 'L', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kTrailerBytes = 4;
+
+// ---- little-endian stream writers/readers ----------------------------------
+
+void PutU8(std::ostream& out, uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.write(buf, 4);
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+void PutDouble(std::ostream& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.write(buf, 8);
+}
+
+void PutStr(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Status TakeU8(std::istream& in, uint8_t* v) {
+  char c;
+  if (!in.get(c)) return Status::DataLoss("truncated delta state (u8)");
+  *v = static_cast<uint8_t>(c);
+  return Status::OK();
+}
+
+Status TakeU32(std::istream& in, uint32_t* v) {
+  char buf[4];
+  if (!in.read(buf, 4)) return Status::DataLoss("truncated delta state (u32)");
+  std::memcpy(v, buf, 4);
+  return Status::OK();
+}
+
+Status TakeU64(std::istream& in, uint64_t* v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return Status::DataLoss("truncated delta state (u64)");
+  std::memcpy(v, buf, 8);
+  return Status::OK();
+}
+
+Status TakeDouble(std::istream& in, double* v) {
+  char buf[8];
+  if (!in.read(buf, 8)) {
+    return Status::DataLoss("truncated delta state (double)");
+  }
+  std::memcpy(v, buf, 8);
+  return Status::OK();
+}
+
+Status TakeStr(std::istream& in, std::string* s, uint64_t remaining) {
+  uint32_t len = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU32(in, &len));
+  if (len > remaining) return Status::DataLoss("oversized delta-state string");
+  s->resize(len);
+  if (len > 0 && !in.read(s->data(), len)) {
+    return Status::DataLoss("truncated delta state (string)");
+  }
+  return Status::OK();
+}
+
+Status TakeBool(std::istream& in, bool* v) {
+  uint8_t b = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU8(in, &b));
+  if (b > 1) return Status::DataLoss("delta-state bool out of range");
+  *v = b != 0;
+  return Status::OK();
+}
+
+void PutDoubleVec(std::ostream& out, const std::vector<double>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (double d : v) PutDouble(out, d);
+}
+
+Status TakeDoubleVec(std::istream& in, std::vector<double>* v) {
+  uint32_t n = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU32(in, &n));
+  if (n > 64) return Status::DataLoss("implausible delta-state weight count");
+  v->resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CEAFF_RETURN_IF_ERROR(TakeDouble(in, &(*v)[i]));
+  }
+  return Status::OK();
+}
+
+void PutU32Vec(std::ostream& out, const std::vector<uint32_t>& v) {
+  PutU64(out, v.size());
+  for (uint32_t x : v) PutU32(out, x);
+}
+
+Status TakeU32Vec(std::istream& in, std::vector<uint32_t>* v,
+                  uint64_t remaining) {
+  uint64_t n = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &n));
+  if (n * 4 > remaining) {
+    return Status::DataLoss("oversized delta-state id vector");
+  }
+  v->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    CEAFF_RETURN_IF_ERROR(TakeU32(in, &(*v)[i]));
+  }
+  return Status::OK();
+}
+
+void PutKg(std::ostream& out, const kg::KnowledgeGraph& g) {
+  PutU64(out, g.num_entities());
+  for (uint32_t e = 0; e < g.num_entities(); ++e) {
+    PutStr(out, g.entity_uri(e));
+    PutStr(out, g.entity_name(e));
+  }
+  PutU64(out, g.num_relations());
+  for (uint32_t r = 0; r < g.num_relations(); ++r) {
+    PutStr(out, g.relation_uri(r));
+  }
+  PutU64(out, g.num_triples());
+  for (const kg::Triple& t : g.triples()) {
+    PutU32(out, t.head);
+    PutU32(out, t.relation);
+    PutU32(out, t.tail);
+  }
+}
+
+Status TakeKg(std::istream& in, kg::KnowledgeGraph* g, uint64_t remaining) {
+  uint64_t num_entities = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &num_entities));
+  // Each entity costs at least the two length prefixes.
+  if (num_entities * 8 > remaining) {
+    return Status::DataLoss("oversized delta-state entity count");
+  }
+  for (uint64_t e = 0; e < num_entities; ++e) {
+    std::string uri, name;
+    CEAFF_RETURN_IF_ERROR(TakeStr(in, &uri, remaining));
+    CEAFF_RETURN_IF_ERROR(TakeStr(in, &name, remaining));
+    const uint32_t id = g->AddEntity(uri);
+    if (id != e) {
+      return Status::DataLoss("duplicate entity URI in delta-state snapshot");
+    }
+    // Set unconditionally: AddEntity derives a default from the URI, but
+    // the snapshot carries the exact (possibly empty) serving name.
+    g->SetEntityName(id, name);
+  }
+  uint64_t num_relations = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &num_relations));
+  if (num_relations * 4 > remaining) {
+    return Status::DataLoss("oversized delta-state relation count");
+  }
+  for (uint64_t r = 0; r < num_relations; ++r) {
+    std::string uri;
+    CEAFF_RETURN_IF_ERROR(TakeStr(in, &uri, remaining));
+    if (g->AddRelation(uri) != r) {
+      return Status::DataLoss(
+          "duplicate relation URI in delta-state snapshot");
+    }
+  }
+  uint64_t num_triples = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &num_triples));
+  if (num_triples * 12 > remaining) {
+    return Status::DataLoss("oversized delta-state triple count");
+  }
+  for (uint64_t t = 0; t < num_triples; ++t) {
+    uint32_t head, rel, tail;
+    CEAFF_RETURN_IF_ERROR(TakeU32(in, &head));
+    CEAFF_RETURN_IF_ERROR(TakeU32(in, &rel));
+    CEAFF_RETURN_IF_ERROR(TakeU32(in, &tail));
+    Status st = g->AddTriple(head, rel, tail);
+    if (!st.ok()) {
+      return Status::DataLoss("out-of-range triple in delta-state snapshot");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Remaining(std::istream& in, size_t total) {
+  const std::streampos pos = in.tellg();
+  if (pos < 0) return 0;
+  const size_t at = static_cast<size_t>(pos);
+  return at >= total ? 0 : total - at;
+}
+
+}  // namespace
+
+std::string SerializeDeltaState(const DeltaState& state) {
+  std::ostringstream out;
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(out, kVersion);
+  PutU64(out, state.watermark);
+  PutStr(out, state.dataset);
+  PutU32(out, state.semantic_dim);
+  PutU64(out, state.semantic_seed);
+  PutU32(out, state.gcn_dim);
+  PutU64(out, state.gcn_seed);
+  PutU8(out, state.use_structural ? 1 : 0);
+  PutU8(out, state.use_semantic ? 1 : 0);
+  PutU8(out, state.use_string ? 1 : 0);
+  PutU8(out, state.string_metric);
+  PutU8(out, state.two_stage ? 1 : 0);
+  PutU8(out, state.adj_functionality_weighted ? 1 : 0);
+  PutU8(out, state.adj_add_self_loops ? 1 : 0);
+  PutU8(out, state.adj_symmetric_normalize ? 1 : 0);
+  PutDoubleVec(out, state.textual_weights);
+  PutDoubleVec(out, state.final_weights);
+  PutKg(out, state.kg1);
+  PutKg(out, state.kg2);
+  PutU32Vec(out, state.source_ids);
+  PutU32Vec(out, state.target_ids);
+  for (const la::Matrix* m :
+       {&state.x1, &state.x2, &state.src_struct_emb, &state.tgt_struct_emb,
+        &state.src_name_emb, &state.tgt_name_emb, &state.fused}) {
+    // ostringstream never fails short of OOM; the Status is structural.
+    Status st = la::WriteMatrixSection(*m, out);
+    CEAFF_CHECK(st.ok()) << st.message();
+  }
+  PutU64(out, state.prefs.size());
+  PutU64(out, state.target_ids.size());
+  for (const std::vector<uint32_t>& row : state.prefs) {
+    CEAFF_CHECK(row.size() == state.target_ids.size());
+    for (uint32_t x : row) PutU32(out, x);
+  }
+  std::string bytes = std::move(out).str();
+  const uint32_t crc = Crc32Of(bytes.data(), bytes.size());
+  char trailer[4];
+  std::memcpy(trailer, &crc, 4);
+  bytes.append(trailer, 4);
+  return bytes;
+}
+
+Status ValidateDeltaStateBytes(const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + kTrailerBytes) {
+    return Status::DataLoss("delta state too small");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("bad delta-state magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 8, 4);
+  if (version != kVersion) {
+    return Status::DataLoss(
+        StrFormat("unsupported delta-state version %u", version));
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 4, 4);
+  const uint32_t actual = Crc32Of(bytes.data(), bytes.size() - 4);
+  if (stored != actual) {
+    return Status::DataLoss("delta-state CRC mismatch");
+  }
+  return Status::OK();
+}
+
+StatusOr<DeltaState> ParseDeltaState(std::string_view bytes) {
+  const std::string owned(bytes);
+  CEAFF_RETURN_IF_ERROR(ValidateDeltaStateBytes(owned));
+  const std::string content = owned.substr(0, owned.size() - kTrailerBytes);
+  std::istringstream in(content);
+  in.seekg(sizeof(kMagic) + 4);
+
+  DeltaState state;
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &state.watermark));
+  CEAFF_RETURN_IF_ERROR(
+      TakeStr(in, &state.dataset, Remaining(in, content.size())));
+  CEAFF_RETURN_IF_ERROR(TakeU32(in, &state.semantic_dim));
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &state.semantic_seed));
+  CEAFF_RETURN_IF_ERROR(TakeU32(in, &state.gcn_dim));
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &state.gcn_seed));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.use_structural));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.use_semantic));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.use_string));
+  CEAFF_RETURN_IF_ERROR(TakeU8(in, &state.string_metric));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.two_stage));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.adj_functionality_weighted));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.adj_add_self_loops));
+  CEAFF_RETURN_IF_ERROR(TakeBool(in, &state.adj_symmetric_normalize));
+  CEAFF_RETURN_IF_ERROR(TakeDoubleVec(in, &state.textual_weights));
+  CEAFF_RETURN_IF_ERROR(TakeDoubleVec(in, &state.final_weights));
+  CEAFF_RETURN_IF_ERROR(
+      TakeKg(in, &state.kg1, Remaining(in, content.size())));
+  CEAFF_RETURN_IF_ERROR(
+      TakeKg(in, &state.kg2, Remaining(in, content.size())));
+  CEAFF_RETURN_IF_ERROR(
+      TakeU32Vec(in, &state.source_ids, Remaining(in, content.size())));
+  CEAFF_RETURN_IF_ERROR(
+      TakeU32Vec(in, &state.target_ids, Remaining(in, content.size())));
+  for (la::Matrix* m :
+       {&state.x1, &state.x2, &state.src_struct_emb, &state.tgt_struct_emb,
+        &state.src_name_emb, &state.tgt_name_emb, &state.fused}) {
+    CEAFF_ASSIGN_OR_RETURN(
+        *m, la::ReadMatrixSection(in, Remaining(in, content.size())));
+  }
+  uint64_t pref_rows = 0;
+  uint64_t pref_cols = 0;
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &pref_rows));
+  CEAFF_RETURN_IF_ERROR(TakeU64(in, &pref_cols));
+  if (pref_rows != state.source_ids.size() ||
+      pref_cols != state.target_ids.size() ||
+      pref_rows * pref_cols * 4 > Remaining(in, content.size())) {
+    return Status::DataLoss("delta-state preference shape mismatch");
+  }
+  state.prefs.resize(pref_rows);
+  for (uint64_t r = 0; r < pref_rows; ++r) {
+    state.prefs[r].resize(pref_cols);
+    for (uint64_t c = 0; c < pref_cols; ++c) {
+      CEAFF_RETURN_IF_ERROR(TakeU32(in, &state.prefs[r][c]));
+    }
+  }
+  if (Remaining(in, content.size()) != 0) {
+    return Status::DataLoss("trailing bytes in delta state");
+  }
+  return state;
+}
+
+StatusOr<std::unique_ptr<GenerationalStore>> OpenDeltaStateStore(
+    const std::string& dir) {
+  GenerationalStore::Options options;
+  options.failpoint_scope = "delta_state";
+  auto store = std::make_unique<GenerationalStore>(dir, options);
+  CEAFF_RETURN_IF_ERROR(store->Init());
+  return store;
+}
+
+Status SaveDeltaState(const DeltaState& state, GenerationalStore* store) {
+  return store->Put("state", SerializeDeltaState(state));
+}
+
+StatusOr<DeltaState> LoadDeltaState(GenerationalStore* store) {
+  CEAFF_ASSIGN_OR_RETURN(std::string bytes,
+                         store->Get("state", ValidateDeltaStateBytes));
+  return ParseDeltaState(bytes);
+}
+
+StatusOr<DeltaState> BuildDeltaState(const kg::KgPair& pair,
+                                     const text::WordEmbeddingStore& store,
+                                     const core::CeaffOptions& options,
+                                     const core::CeaffFeatures& features,
+                                     const core::CeaffResult& result,
+                                     const std::string& dataset) {
+  if (options.use_attribute || options.use_relation) {
+    return Status::FailedPrecondition(
+        "delta export does not support the attribute/relation features");
+  }
+  if (options.csls_k > 0) {
+    return Status::FailedPrecondition(
+        "delta export does not support CSLS post-processing");
+  }
+  if (options.decision_mode != core::DecisionMode::kCollective) {
+    return Status::FailedPrecondition(
+        "delta export requires the collective (DAA) decision mode");
+  }
+  if (options.fusion_mode == core::FusionMode::kLearned) {
+    return Status::FailedPrecondition(
+        "delta export does not support learned fusion");
+  }
+  if (options.use_structural && options.gcn.use_weight_transform) {
+    return Status::FailedPrecondition(
+        "delta export requires the propagation-only GCN "
+        "(gcn.use_weight_transform = false)");
+  }
+  if (options.use_string &&
+      options.string_metric ==
+          core::CeaffOptions::StringMetric::kLevenshteinRatio &&
+      !options.force_exact_string_kernel) {
+    return Status::FailedPrecondition(
+        "delta export with the Levenshtein metric requires "
+        "force_exact_string_kernel (the banded auto-kernel depends on "
+        "global matrix shape)");
+  }
+  if (result.fused.empty() || result.match.target_of_source.empty()) {
+    return Status::FailedPrecondition("delta export needs a finished run");
+  }
+
+  DeltaState state;
+  state.watermark = 0;
+  state.dataset = dataset;
+  state.semantic_dim = static_cast<uint32_t>(store.dim());
+  state.semantic_seed = store.seed();
+  state.gcn_dim = static_cast<uint32_t>(options.gcn.dim);
+  state.gcn_seed = options.gcn.seed;
+  state.use_structural = options.use_structural;
+  state.use_semantic = options.use_semantic;
+  state.use_string = options.use_string;
+  state.string_metric = static_cast<uint8_t>(options.string_metric);
+  state.two_stage = options.fusion_mode == core::FusionMode::kAdaptive &&
+                    options.use_structural && options.use_semantic &&
+                    options.use_string;
+  state.adj_functionality_weighted = options.adjacency.functionality_weighted;
+  state.adj_add_self_loops = options.adjacency.add_self_loops;
+  state.adj_symmetric_normalize = options.adjacency.symmetric_normalize;
+  state.textual_weights = result.textual_weights;
+  state.final_weights = result.final_weights;
+  state.kg1 = pair.kg1;
+  state.kg2 = pair.kg2;
+  core::TestIds(pair, &state.source_ids, &state.target_ids);
+  if (state.source_ids.empty() || state.target_ids.empty()) {
+    return Status::FailedPrecondition("delta export needs a test split");
+  }
+
+  if (options.use_structural) {
+    if (features.structural_x1.empty() || features.structural_x2.empty() ||
+        features.structural_src_emb.empty() ||
+        features.structural_tgt_emb.empty()) {
+      return Status::FailedPrecondition(
+          "delta export needs the GCN input features and raw embeddings "
+          "(structural stage restored from a pre-delta checkpoint?)");
+    }
+    state.x1 = features.structural_x1;
+    state.x2 = features.structural_x2;
+    state.src_struct_emb = features.structural_src_emb;
+    state.tgt_struct_emb = features.structural_tgt_emb;
+  }
+  if (options.use_semantic) {
+    state.src_name_emb = text::EmbedNames(
+        store, core::GatherNames(pair.kg1, state.source_ids));
+    state.tgt_name_emb = text::EmbedNames(
+        store, core::GatherNames(pair.kg2, state.target_ids));
+  }
+  state.fused = result.fused;
+  state.prefs = matching::BuildPreferenceLists(result.fused);
+  return state;
+}
+
+}  // namespace ceaff::delta

@@ -97,6 +97,18 @@ class GcnAligner {
   const la::Matrix& embeddings1() const { return z1_; }
   const la::Matrix& embeddings2() const { return z2_; }
 
+  /// Trained input feature matrices X1 / X2 — the frozen-model inputs the
+  /// incremental delta path persists. In the default propagation-only
+  /// configuration (use_weight_transform = false) the forward pass is a
+  /// pure function of (A, X), so a caller holding X can recompute any
+  /// embedding row after a local adjacency change without retraining.
+  const la::Matrix& features1() const { return x1_; }
+  const la::Matrix& features2() const { return x2_; }
+
+  /// Whether this aligner applies the W1/W2 weight transforms (the delta
+  /// path only supports the propagation-only default).
+  bool uses_weight_transform() const { return options_.use_weight_transform; }
+
   /// Runs a forward pass with current parameters and refreshes
   /// embeddings1/2. Train() already leaves them fresh.
   void Forward();

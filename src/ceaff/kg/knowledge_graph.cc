@@ -57,6 +57,17 @@ void KnowledgeGraph::AddTriple(const std::string& head_uri,
   triples_.push_back({h, r, t});
 }
 
+Status KnowledgeGraph::RemoveTriple(EntityId head, RelationId relation,
+                                    EntityId tail) {
+  const Triple target{head, relation, tail};
+  auto it = std::find(triples_.begin(), triples_.end(), target);
+  if (it == triples_.end()) {
+    return Status::NotFound("triple not present in graph");
+  }
+  triples_.erase(it);
+  return Status::OK();
+}
+
 AttributeId KnowledgeGraph::AddAttribute(const std::string& uri) {
   auto it = attribute_index_.find(uri);
   if (it != attribute_index_.end()) return it->second;

@@ -72,6 +72,12 @@ class KnowledgeGraph {
   Status AddAttributeTriple(EntityId entity, AttributeId attribute,
                             const std::string& value);
 
+  /// Removes the first triple equal to (head, relation, tail), preserving
+  /// the order of the remaining triples. Entities and relations are never
+  /// removed — ids stay dense and stable, which the incremental delta path
+  /// relies on. NotFound when no such triple exists.
+  Status RemoveTriple(EntityId head, RelationId relation, EntityId tail);
+
   size_t num_entities() const { return entity_uris_.size(); }
   size_t num_relations() const { return relation_uris_.size(); }
   size_t num_triples() const { return triples_.size(); }

@@ -74,23 +74,12 @@ MatchResult GreedyOneToOne(const la::Matrix& similarity) {
   return result;
 }
 
-namespace {
-
-/// Shared Gale–Shapley engine; `trace` and `cancel` may be null. The
-/// cancellation token is polled once per n1 proposals (one nominal
-/// "round"), so even adversarial instances with O(n1·n2) proposals stay
-/// responsive without paying an atomic load per proposal.
-StatusOr<MatchResult> DaaImpl(const la::Matrix& similarity,
-                              std::vector<DaaTraceEvent>* trace,
-                              const CancellationToken* cancel) {
-  const size_t n1 = similarity.rows();
-  const size_t n2 = similarity.cols();
-  MatchResult result;
-  result.target_of_source.assign(n1, -1);
-  if (n1 == 0 || n2 == 0) return result;
-
+std::vector<std::vector<uint32_t>> BuildPreferenceLists(
+    const la::Matrix& similarity) {
   // Preference lists of sources: target indices sorted by descending score,
   // ties to the lower index (deterministic).
+  const size_t n1 = similarity.rows();
+  const size_t n2 = similarity.cols();
   std::vector<std::vector<uint32_t>> prefs(n1);
   for (size_t i = 0; i < n1; ++i) {
     const float* row = similarity.row(i);
@@ -101,6 +90,33 @@ StatusOr<MatchResult> DaaImpl(const la::Matrix& similarity,
                 return row[a] != row[b] ? row[a] > row[b] : a < b;
               });
   }
+  return prefs;
+}
+
+namespace {
+
+/// Shared Gale–Shapley engine; `trace`, `cancel` and `prefs` may be null
+/// (null prefs are built from the matrix). The cancellation token is
+/// polled once per n1 proposals (one nominal "round"), so even adversarial
+/// instances with O(n1·n2) proposals stay responsive without paying an
+/// atomic load per proposal.
+StatusOr<MatchResult> DaaImpl(const la::Matrix& similarity,
+                              std::vector<DaaTraceEvent>* trace,
+                              const CancellationToken* cancel,
+                              const std::vector<std::vector<uint32_t>>*
+                                  caller_prefs = nullptr) {
+  const size_t n1 = similarity.rows();
+  const size_t n2 = similarity.cols();
+  MatchResult result;
+  result.target_of_source.assign(n1, -1);
+  if (n1 == 0 || n2 == 0) return result;
+
+  std::vector<std::vector<uint32_t>> own_prefs;
+  if (caller_prefs == nullptr) {
+    own_prefs = BuildPreferenceLists(similarity);
+  }
+  const std::vector<std::vector<uint32_t>>& prefs =
+      caller_prefs != nullptr ? *caller_prefs : own_prefs;
 
   // Target-side preference: j prefers i over i' iff sim(i,j) > sim(i',j),
   // ties to the lower source index — compared directly on the matrix.
@@ -162,6 +178,23 @@ MatchResult DeferredAcceptance(const la::Matrix& similarity) {
 StatusOr<MatchResult> DeferredAcceptanceChecked(
     const la::Matrix& similarity, const CancellationToken* cancel) {
   return DaaImpl(similarity, nullptr, cancel);
+}
+
+StatusOr<MatchResult> DeferredAcceptanceWithPrefs(
+    const la::Matrix& similarity,
+    const std::vector<std::vector<uint32_t>>& prefs,
+    const CancellationToken* cancel) {
+  if (prefs.size() != similarity.rows()) {
+    return Status::InvalidArgument(
+        "preference lists do not match similarity rows");
+  }
+  for (const std::vector<uint32_t>& row : prefs) {
+    if (row.size() != similarity.cols()) {
+      return Status::InvalidArgument(
+          "a preference list does not cover every target");
+    }
+  }
+  return DaaImpl(similarity, nullptr, cancel, &prefs);
 }
 
 MatchResult DeferredAcceptanceTraced(const la::Matrix& similarity,

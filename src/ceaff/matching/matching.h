@@ -48,6 +48,25 @@ MatchResult DeferredAcceptance(const la::Matrix& similarity);
 StatusOr<MatchResult> DeferredAcceptanceChecked(
     const la::Matrix& similarity, const CancellationToken* cancel);
 
+/// The preference lists DeferredAcceptance builds internally: row i holds
+/// every target id sorted by descending similarity(i, ·), ties to the
+/// lower index. Exposed so incremental callers (the delta-repair path) can
+/// persist the lists, patch only the rows whose scores changed, and replay
+/// the proposal loop without re-sorting every row.
+std::vector<std::vector<uint32_t>> BuildPreferenceLists(
+    const la::Matrix& similarity);
+
+/// DeferredAcceptance over caller-provided preference lists. `prefs` must
+/// be exactly what BuildPreferenceLists(similarity) would return (every
+/// row a permutation of all target ids in descending-score order); the
+/// target-side comparisons still read `similarity` directly. The result is
+/// bit-identical to DeferredAcceptance(similarity). InvalidArgument on a
+/// shape mismatch.
+StatusOr<MatchResult> DeferredAcceptanceWithPrefs(
+    const la::Matrix& similarity,
+    const std::vector<std::vector<uint32_t>>& prefs,
+    const CancellationToken* cancel = nullptr);
+
 /// Target-proposing deferred acceptance: the mirror matching in which
 /// targets propose to sources. Gale–Shapley is proposer-optimal, so this
 /// yields the *target-optimal* (source-pessimal) stable matching; where it

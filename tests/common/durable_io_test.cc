@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ceaff/common/failpoint.h"
@@ -165,6 +167,66 @@ TEST(GenerationalStoreTest, KeepWindowGarbageCollectsOldGenerations) {
   EXPECT_TRUE(fs::exists(dir.File("a.g3")));
   EXPECT_TRUE(fs::exists(dir.File("a.g4")));
   EXPECT_EQ(store.Get("a").value(), "v4");
+}
+
+TEST(GenerationalStoreTest, GcGraceKeepsGenerationAReaderJustResolved) {
+  ScratchDir dir("gen_gc_grace");
+  GenerationalStore::Options options;
+  options.keep_generations = 1;
+  options.gc_grace = std::chrono::milliseconds(60000);
+  GenerationalStore store(dir.path(), options);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("a", "v1").ok());
+
+  // A reader resolves generation 1's path (think: a serving process about
+  // to mmap the file) ...
+  auto path = store.CurrentPath("a");
+  ASSERT_TRUE(path.ok());
+  EXPECT_TRUE(path.value().ends_with("a.g1"));
+
+  // ... and a writer Puts twice before the reader opens it. Generation 1
+  // leaves the manifest (new readers land on g3) but the file the first
+  // reader holds a path to must still be openable.
+  ASSERT_TRUE(store.Put("a", "v2").ok());
+  ASSERT_TRUE(store.Put("a", "v3").ok());
+  EXPECT_EQ(store.Generations("a"), (std::vector<uint64_t>{3}));
+  EXPECT_EQ(MustRead(path.value()), "v1");
+  // g2 was never handed to any reader, so it is GC'd normally.
+  EXPECT_FALSE(fs::exists(dir.File("a.g2")));
+  EXPECT_EQ(store.Get("a").value(), "v3");
+}
+
+TEST(GenerationalStoreTest, ZeroGcGraceRestoresEagerUnlink) {
+  ScratchDir dir("gen_gc_nograce");
+  GenerationalStore::Options options;
+  options.keep_generations = 1;
+  options.gc_grace = std::chrono::milliseconds(0);
+  GenerationalStore store(dir.path(), options);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("a", "v1").ok());
+  ASSERT_TRUE(store.CurrentPath("a").ok());
+  ASSERT_TRUE(store.Put("a", "v2").ok());
+  EXPECT_FALSE(fs::exists(dir.File("a.g1")));
+  EXPECT_TRUE(fs::exists(dir.File("a.g2")));
+}
+
+TEST(GenerationalStoreTest, ExpiredGraceOrphanIsSweptByNextPut) {
+  ScratchDir dir("gen_gc_expire");
+  GenerationalStore::Options options;
+  options.keep_generations = 1;
+  options.gc_grace = std::chrono::milliseconds(1);
+  GenerationalStore store(dir.path(), options);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Put("a", "v1").ok());
+  ASSERT_TRUE(store.CurrentPath("a").ok());
+  ASSERT_TRUE(store.Put("a", "v2").ok());
+  // Whether g1 survived that Put depends on timing; after the 1 ms grace
+  // has certainly elapsed, the next Put's orphan sweep must remove it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(store.Put("a", "v3").ok());
+  EXPECT_FALSE(fs::exists(dir.File("a.g1")));
+  EXPECT_FALSE(fs::exists(dir.File("a.g2")));
+  EXPECT_TRUE(fs::exists(dir.File("a.g3")));
 }
 
 TEST(GenerationalStoreTest, CorruptNewestGenerationQuarantinesAndFallsBack) {

@@ -19,10 +19,13 @@
 #include <string>
 
 #include "ceaff/common/cancellation.h"
+#include "ceaff/common/durable_io.h"
 #include "ceaff/common/flags.h"
 #include "ceaff/common/timer.h"
 #include "ceaff/core/pipeline.h"
 #include "ceaff/data/synthetic.h"
+#include "ceaff/delta/delta_apply.h"
+#include "ceaff/delta/delta_journal.h"
 #include "ceaff/kg/io.h"
 #include "ceaff/text/embedding_io.h"
 
@@ -56,9 +59,16 @@ ParseOptions IoOptionsFromFlags(const FlagParser& flags) {
   return options;
 }
 
-/// Prints per-file skip summaries of a lenient load to stderr.
+/// Every ParseReport produced by this process's loads, accumulated so the
+/// end-of-run ingestion summary (and the --lenient_drop_threshold exit
+/// verdict) covers all of them.
+std::vector<ParseReport> g_parse_reports;
+
+/// Prints per-file skip summaries of a lenient load to stderr and records
+/// the reports for the end-of-run summary.
 void ReportParseIssues(const std::vector<ParseReport>& reports) {
   for (const ParseReport& report : reports) {
+    g_parse_reports.push_back(report);
     if (report.clean()) continue;
     std::fprintf(stderr, "warning: %s\n", report.ToString().c_str());
     for (const ParseIssue& issue : report.issues) {
@@ -66,6 +76,39 @@ void ReportParseIssues(const std::vector<ParseReport>& reports) {
                    issue.reason.c_str());
     }
   }
+}
+
+/// End-of-run ingestion summary: per-file totals plus the overall drop
+/// fraction. When --lenient_io skipped more than --lenient_drop_threshold
+/// of all records, an otherwise-successful run exits 3 — so automation
+/// notices a silently decaying input feed even though the run "worked".
+int FinishWithIngestSummary(const FlagParser& flags, int rc) {
+  const double threshold = flags.GetDouble("lenient_drop_threshold", 0.01);
+  size_t loaded = 0, skipped = 0, dirty_files = 0;
+  for (const ParseReport& report : g_parse_reports) {
+    loaded += report.records_loaded;
+    skipped += report.issues.size();
+    if (!report.clean()) ++dirty_files;
+  }
+  if (skipped == 0) return rc;
+  std::fprintf(stderr,
+               "ingestion summary: %zu files (%zu with skips), %zu records "
+               "loaded, %zu lines skipped\n",
+               g_parse_reports.size(), dirty_files, loaded, skipped);
+  for (const ParseReport& report : g_parse_reports) {
+    if (report.clean()) continue;
+    std::fprintf(stderr, "  %s\n", report.ToString().c_str());
+  }
+  const double dropped =
+      static_cast<double>(skipped) / static_cast<double>(loaded + skipped);
+  if (rc == 0 && dropped > threshold) {
+    std::fprintf(stderr,
+                 "error: lenient ingestion dropped %.2f%% of input lines "
+                 "(threshold %.2f%%, --lenient_drop_threshold)\n",
+                 dropped * 100.0, threshold * 100.0);
+    return 3;
+  }
+  return rc;
 }
 
 /// Loads a dataset honouring --lenient_io / --io_error_budget.
@@ -79,7 +122,7 @@ Status LoadDataset(const FlagParser& flags, const std::string& dir,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ceaff <generate|stats|align|eval> [--flags]\n"
+               "usage: ceaff <generate|stats|align|eval|delta> [--flags]\n"
                "  generate --config NAME --scale S --out DIR [--seed N]\n"
                "  stats    --data DIR\n"
                "  align    --data DIR [--out FILE] [--fusion adaptive|fixed|"
@@ -95,10 +138,21 @@ int Usage() {
                "           [--export_index FILE] [--export_ann BOOL] "
                "[--ann_centroids N]\n"
                "           [--threads N] [--block_size N]\n"
+               "           [--export_delta_state DIR]  also publish a delta "
+               "ingestion state\n"
                "  eval     --data DIR --pred FILE\n"
+               "  delta    <append|apply|rebuild|status> --journal DIR "
+               "--state DIR\n"
+               "           [--index DIR] [--patch FILE] [--audit_rows N] "
+               "[--audit_tolerance X]\n"
+               "           [--export_ann BOOL] [--ann_centroids N] "
+               "[--threads N]\n"
                "common:    [--lenient_io] [--io_error_budget N]  skip up to N "
                "malformed\n"
-               "           input lines instead of failing on the first one\n");
+               "           input lines instead of failing on the first one\n"
+               "           [--lenient_drop_threshold F]  exit 3 when lenient "
+               "ingestion\n"
+               "           drops more than this fraction (default 0.01)\n");
   return 2;
 }
 
@@ -262,29 +316,62 @@ int CmdAlign(const FlagParser& flags) {
     std::printf("loaded %zu pretrained vectors from %s\n",
                 store.explicit_tokens().size(), embeddings_path.c_str());
   }
+  const std::string delta_state_dir = flags.GetString("export_delta_state", "");
+  if (!delta_state_dir.empty()) {
+    // The delta repair path recomputes individual matrix rows and demands
+    // bit-exact agreement, which the pruned Levenshtein kernel cannot give.
+    options.force_exact_string_kernel = true;
+  }
+
   core::CeaffPipeline pipe(&pair, &store, options);
   WallTimer timer;
-  auto result = pipe.Run();
-  if (!result.ok()) return Fail(result.status());
+  core::CeaffResult result;
+  if (delta_state_dir.empty()) {
+    auto result_or = pipe.Run();
+    if (!result_or.ok()) return Fail(result_or.status());
+    result = std::move(*result_or);
+  } else {
+    // Delta export needs the intermediate features (frozen GCN inputs,
+    // embeddings), so drive the stages by hand instead of Run().
+    auto features_or = pipe.GenerateFeatures();
+    if (!features_or.ok()) return Fail(features_or.status());
+    auto result_or = pipe.RunOnFeatures(*features_or);
+    if (!result_or.ok()) return Fail(result_or.status());
+    result = std::move(*result_or);
+    if (!options.export_index_path.empty()) {
+      st = pipe.ExportIndex(*features_or, result);
+      if (!st.ok()) return Fail(st);
+    }
+    auto state_or = delta::BuildDeltaState(pair, store, options, *features_or,
+                                           result, options.export_dataset);
+    if (!state_or.ok()) return Fail(state_or.status());
+    auto dstore_or = delta::OpenDeltaStateStore(delta_state_dir);
+    if (!dstore_or.ok()) return Fail(dstore_or.status());
+    st = delta::SaveDeltaState(*state_or, dstore_or->get());
+    if (!st.ok()) return Fail(st);
+    std::printf("exported delta state (%zu x %zu serving split) to %s\n",
+                state_or->source_ids.size(), state_or->target_ids.size(),
+                delta_state_dir.c_str());
+  }
 
   std::printf("accuracy: %.4f  (hits@10 %.4f, mrr %.4f)  in %.2fs\n",
-              result->accuracy, result->ranking.hits_at_10,
-              result->ranking.mrr, timer.ElapsedSeconds());
+              result.accuracy, result.ranking.hits_at_10,
+              result.ranking.mrr, timer.ElapsedSeconds());
   if (!options.export_index_path.empty()) {
     std::printf("exported alignment index to %s\n",
                 options.export_index_path.c_str());
   }
-  if (!result->final_weights.empty()) {
+  if (!result.final_weights.empty()) {
     std::printf("final fusion weights:");
-    for (double w : result->final_weights) std::printf(" %.3f", w);
+    for (double w : result.final_weights) std::printf(" %.3f", w);
     std::printf("\n");
   }
 
   std::string out = flags.GetString("out", "");
   if (!out.empty()) {
     std::vector<kg::AlignmentPair> predicted;
-    for (size_t i = 0; i < result->match.target_of_source.size(); ++i) {
-      int64_t t = result->match.target_of_source[i];
+    for (size_t i = 0; i < result.match.target_of_source.size(); ++i) {
+      int64_t t = result.match.target_of_source[i];
       if (t < 0) continue;
       predicted.push_back(
           {pair.test_alignment[i].source,
@@ -296,6 +383,132 @@ int CmdAlign(const FlagParser& flags) {
                 out.c_str());
   }
   return 0;
+}
+
+void PrintDeltaReport(const delta::DeltaApplyReport& report) {
+  if (report.no_op) {
+    std::printf("delta: no records past watermark %llu — nothing published\n",
+                static_cast<unsigned long long>(report.watermark_before));
+    return;
+  }
+  std::printf("delta %s: watermark %llu -> %llu, %zu records "
+              "(+%zu entities, +%zu/-%zu triples, %zu renames, %zu served)\n",
+              report.rebuilt ? "rebuild" : "apply",
+              static_cast<unsigned long long>(report.watermark_before),
+              static_cast<unsigned long long>(report.watermark_after),
+              report.stats.records_applied, report.stats.entities_added,
+              report.stats.triples_added, report.stats.triples_removed,
+              report.stats.entities_renamed, report.stats.serve_added);
+  std::printf("delta timing: repair %.3fs, verify %.3fs, publish %.3fs"
+              "  dirty rows/cols %zu/%zu, re-sorted pref rows %zu\n",
+              report.seconds_repair, report.seconds_verify,
+              report.seconds_publish, report.stats.dirty_rows,
+              report.stats.dirty_cols, report.stats.resorted_pref_rows);
+  if (report.published_index_generation != 0) {
+    std::printf("delta: serving index now at generation %llu\n",
+                static_cast<unsigned long long>(
+                    report.published_index_generation));
+  }
+}
+
+int CmdDelta(const FlagParser& flags) {
+  // main() hands FlagParser argv+1, and Parse itself skips its argv[0]
+  // ("delta"), so the action is the first positional.
+  const std::vector<std::string>& pos = flags.positional();
+  const std::string action = pos.empty() ? "" : pos[0];
+  delta::DeltaApplyOptions options;
+  options.journal_dir = flags.GetString("journal", "");
+  options.state_dir = flags.GetString("state", "");
+  options.index_dir = flags.GetString("index", "");
+  options.verify.audit_rows =
+      static_cast<size_t>(flags.GetInt("audit_rows", 8));
+  options.verify.audit_tolerance = flags.GetDouble("audit_tolerance", 0.0);
+  options.export_ann = flags.GetBool("export_ann", true);
+  options.ann_centroids =
+      static_cast<size_t>(flags.GetInt("ann_centroids", 0));
+  options.num_threads = static_cast<size_t>(flags.GetInt("threads", 1));
+  options.block_size = static_cast<size_t>(flags.GetInt("block_size", 0));
+  options.cancel = &g_cancel;
+  std::signal(SIGINT, HandleSigint);
+  if (options.journal_dir.empty()) {
+    std::fprintf(stderr, "delta: --journal DIR is required\n");
+    return 2;
+  }
+
+  if (action == "append") {
+    const std::string patch_path = flags.GetString("patch", "");
+    if (patch_path.empty()) {
+      std::fprintf(stderr, "delta append: --patch FILE is required\n");
+      return 2;
+    }
+    auto text_or = ReadFileToString(patch_path);
+    if (!text_or.ok()) return Fail(text_or.status());
+    auto records_or = delta::ParsePatchText(*text_or);
+    if (!records_or.ok()) return Fail(records_or.status());
+    auto journal_or = delta::DeltaJournal::Open(options.journal_dir);
+    if (!journal_or.ok()) return Fail(journal_or.status());
+    uint64_t first = 0, last = 0;
+    for (const delta::PatchRecord& record : *records_or) {
+      auto id_or = (*journal_or)->Append(record);
+      if (!id_or.ok()) return Fail(id_or.status());
+      if (first == 0) first = *id_or;
+      last = *id_or;
+    }
+    std::printf("delta append: journaled %zu records (ids %llu..%llu) to "
+                "%s\n",
+                records_or->size(), static_cast<unsigned long long>(first),
+                static_cast<unsigned long long>(last),
+                options.journal_dir.c_str());
+    return 0;
+  }
+  if (action == "apply" || action == "rebuild") {
+    if (options.state_dir.empty()) {
+      std::fprintf(stderr, "delta %s: --state DIR is required\n",
+                   action.c_str());
+      return 2;
+    }
+    auto report_or = action == "apply" ? delta::ApplyDelta(options)
+                                       : delta::RebuildDelta(options);
+    if (!report_or.ok()) {
+      const int rc = Fail(report_or.status());
+      // A quarantined batch is a distinct, scriptable condition: the last
+      // good generation still serves, and `delta rebuild` recovers.
+      return delta::IsQuarantined(options.journal_dir) ? 4 : rc;
+    }
+    PrintDeltaReport(*report_or);
+    return 0;
+  }
+  if (action == "status") {
+    auto journal_or = delta::DeltaJournal::Open(options.journal_dir);
+    if (!journal_or.ok()) return Fail(journal_or.status());
+    std::printf("journal %s: last record id %llu, %zu segment(s)%s\n",
+                options.journal_dir.c_str(),
+                static_cast<unsigned long long>(
+                    (*journal_or)->last_record_id()),
+                (*journal_or)->SegmentSeqs().size(),
+                delta::IsQuarantined(options.journal_dir)
+                    ? ", QUARANTINED (run `ceaff delta rebuild`)"
+                    : "");
+    if (!options.state_dir.empty()) {
+      auto store_or = delta::OpenDeltaStateStore(options.state_dir);
+      if (!store_or.ok()) return Fail(store_or.status());
+      auto state_or = delta::LoadDeltaState(store_or->get());
+      if (!state_or.ok()) return Fail(state_or.status());
+      auto pending_or = (*journal_or)->ReadAfter(state_or->watermark);
+      if (!pending_or.ok()) return Fail(pending_or.status());
+      std::printf("state %s: watermark %llu, %zu x %zu serving split, %zu "
+                  "pending record(s)\n",
+                  options.state_dir.c_str(),
+                  static_cast<unsigned long long>(state_or->watermark),
+                  state_or->source_ids.size(), state_or->target_ids.size(),
+                  pending_or->size());
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "delta: unknown action '%s' (append|apply|rebuild|status)\n",
+               action.c_str());
+  return 2;
 }
 
 int CmdEval(const FlagParser& flags) {
@@ -348,11 +561,13 @@ int main(int argc, char** argv) {
     rc = CmdAlign(flags);
   } else if (cmd == "eval") {
     rc = CmdEval(flags);
+  } else if (cmd == "delta") {
+    rc = CmdDelta(flags);
   } else {
     return Usage();
   }
   for (const std::string& f : flags.UnreadFlags()) {
     std::fprintf(stderr, "warning: unknown flag --%s ignored\n", f.c_str());
   }
-  return rc;
+  return FinishWithIngestSummary(flags, rc);
 }

@@ -20,9 +20,14 @@
 # in turn: every answer must stay byte-identical to single-process serving
 # and the degraded counter must stay 0), and a rolling-reload hammer
 # (RELOAD mid-session on a replicated fleet: zero failed queries, also
-# rerun under ASan); the `shard`-labelled drills — including the
-# replication/rolling-reload/rollback suite — also rerun under ASan, and
-# the RELOAD-vs-HEALTH-reap race test runs under TSan.
+# rerun under ASan), and a delta smoke (journal a patch batch, apply it
+# beside a live server and assert RELOAD serves the patch, then SIGKILL
+# mid-publish and assert the journal replay converges on the next apply);
+# the `shard`-labelled drills — including the
+# replication/rolling-reload/rollback suite — also rerun under ASan, the
+# `delta`-labelled suites (WAL units, repair-vs-rebuild equivalence,
+# kill-at-every-site crash drills) also rerun under ASan, and the
+# RELOAD-vs-HEALTH-reap race test runs under TSan.
 #
 # Usage: tools/run_checks.sh [--skip-sanitize] [--skip-tsan] [--skip-smoke]
 #                            [--skip-crash]
@@ -59,6 +64,8 @@ if [[ "$skip_sanitize" == 0 ]]; then
   run_suite "$repo/build-asan" -DCEAFF_SANITIZE=ON
   echo "==> ANN suite under ASan"
   ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" -L ann
+  echo "==> Delta-ingestion suite under ASan"
+  ctest --test-dir "$repo/build-asan" --output-on-failure -j "$jobs" -L delta
 fi
 
 if [[ "$skip_tsan" == 0 ]]; then
@@ -311,6 +318,80 @@ if [[ "$skip_smoke" == 0 ]]; then
     run_roll_hammer "$repo/build-asan/tools/ceaff_serve" \
       "$smoke/roll_asan_out.txt"
   fi
+
+  echo "==> Delta smoke: journal -> apply -> RELOAD, kill mid-apply -> replay"
+  # The delta workflow needs the generational (directory) index form: the
+  # pre-created directory routes --export_index through the keep-N store
+  # that `delta apply` republishes into and RELOAD hot-swaps from.
+  delta="$smoke/delta"
+  mkdir -p "$delta/index"
+  "$repo/build/tools/ceaff" align --data "$smoke/data" \
+    --gcn-epochs 3 --gcn-dim 16 --threads 2 \
+    --export_delta_state "$delta/state" --export_index "$delta/index" \
+    --out "$delta/pred.tsv"
+  # Patch: rename a known matched source entity (the PAIR probe — its new
+  # name only answers once the publish is served) plus a brand-new served
+  # entity for add/serve coverage.
+  uri="$(head -n 1 "$smoke/data/entities1.tsv" | cut -f1)"
+  printf 'rename_entity\t1\t%s\tdelta renamed smoke entity\n' "$uri" \
+    > "$delta/patch.tsv"
+  printf 'add_entity\t1\thttp://smoke/brand_new\tbrand new smoke entity\n' \
+    >> "$delta/patch.tsv"
+  printf 'serve_entity\t1\thttp://smoke/brand_new\n' >> "$delta/patch.tsv"
+  "$repo/build/tools/ceaff" delta append \
+    --journal "$delta/wal" --patch "$delta/patch.tsv"
+  # Serve the pre-apply generation: the renamed name must NOT answer yet.
+  delta_fifo="$delta/req.fifo"
+  mkfifo "$delta_fifo"
+  "$repo/build/tools/ceaff_serve" --index "$delta/index" --threads 2 \
+    < "$delta_fifo" > "$delta/serve_out.txt" 2> /dev/null &
+  delta_pid=$!
+  exec 7> "$delta_fifo"
+  printf 'PAIR delta renamed smoke entity\n' >&7
+  for _ in $(seq 100); do
+    grep -q '^NONE PAIR' "$delta/serve_out.txt" 2>/dev/null && break
+    sleep 0.2
+  done
+  grep -q '^NONE PAIR' "$delta/serve_out.txt"
+  # Apply the journaled batch while the service keeps running, then RELOAD
+  # the same directory: the renamed entity must now answer its PAIR.
+  "$repo/build/tools/ceaff" delta apply --journal "$delta/wal" \
+    --state "$delta/state" --index "$delta/index" | tee "$delta/apply.txt"
+  grep -q 'watermark 0 -> 3' "$delta/apply.txt"
+  printf 'RELOAD %s\nPAIR delta renamed smoke entity\nQUIT\n' \
+    "$delta/index" >&7
+  exec 7>&-
+  wait "$delta_pid"  # set -e: a serve crash fails the sweep here
+  grep -q 'OK RELOAD' "$delta/serve_out.txt"
+  grep -q 'OK PAIR' "$delta/serve_out.txt"
+  # Kill mid-apply at the state-publish site: the journal and the last
+  # good generations must survive, and a plain replay must converge.
+  printf 'add_entity\t1\thttp://smoke/later\tlater smoke entity\n' \
+    > "$delta/patch2.tsv"
+  printf 'serve_entity\t1\thttp://smoke/later\n' >> "$delta/patch2.tsv"
+  "$repo/build/tools/ceaff" delta append \
+    --journal "$delta/wal" --patch "$delta/patch2.tsv"
+  rc=0
+  CEAFF_FAILPOINTS='delta.publish.state=crash' \
+    "$repo/build/tools/ceaff" delta apply --journal "$delta/wal" \
+      --state "$delta/state" --index "$delta/index" >/dev/null 2>&1 || rc=$?
+  if [[ "$rc" != 77 ]]; then
+    echo "delta apply crash action exited $rc, expected 77" >&2; exit 1
+  fi
+  # Old-or-new: the store still serves the pre-crash state (watermark 3,
+  # pending records), never a torn one, and a crash never quarantines.
+  "$repo/build/tools/ceaff" delta status \
+    --journal "$delta/wal" --state "$delta/state" | tee "$delta/status.txt"
+  grep -q 'watermark 3' "$delta/status.txt"
+  grep -q '2 pending' "$delta/status.txt"
+  # The replay folds the survivors in and drains the journal.
+  "$repo/build/tools/ceaff" delta apply --journal "$delta/wal" \
+    --state "$delta/state" --index "$delta/index" | tee "$delta/replay.txt"
+  grep -q 'watermark 3 -> 5' "$delta/replay.txt"
+  "$repo/build/tools/ceaff" delta status \
+    --journal "$delta/wal" --state "$delta/state" | tee "$delta/status2.txt"
+  grep -q 'watermark 5' "$delta/status2.txt"
+  grep -q '0 pending' "$delta/status2.txt"
 
   echo "==> SIGTERM drill: drain mid-stream, exit 0, stats on stderr"
   "$repo/build/tools/ceaff_serve" --index "$smoke/run.idx" --threads 2 \
