@@ -4,15 +4,22 @@
 // once and the blocked kernel at several thread counts, reporting GFLOP/s
 // (or Mcell/s for the string kernels) and the speedup over naive.
 //
-//   micro_kernels [--out FILE] [--quick] [--smoke]
+//   micro_kernels [--out FILE] [--quick] [--smoke] [--autotune]
 //
 //   --out FILE   where to write the JSON (default BENCH_kernels.json in
 //                the working directory, matching overload_soak's
 //                BENCH_overload.json convention)
 //   --quick      small shapes only (fast CI sanity run)
-//   --smoke      no timing at all: run the kernel-vs-naive parity checks
-//                on small shapes and exit non-zero on any divergence —
-//                this is what the `bench` ctest label runs
+//   --smoke      run the kernel-vs-naive parity checks on small shapes
+//                plus a perf-regression gate (tuned kernel vs naive, with
+//                a 10% tolerance; timing is skipped under sanitizers or
+//                CEAFF_SKIP_PERF_GATE=1) and exit non-zero on any failure
+//                — this is what the `bench` ctest label runs
+//   --autotune   additionally benchmark each GEMM/SpMM shape with a
+//                measured per-shape configuration (la/autotune.h),
+//                emitting *_tuned rows next to the default-config rows;
+//                every tuned output is parity-checked bit-identical to
+//                the default-config output
 //
 // Every timed configuration is also parity-checked (bit-identical or the
 // documented O(d·eps) tolerance), so a benchmark run can never report a
@@ -22,6 +29,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -30,11 +38,24 @@
 
 #include "ceaff/common/random.h"
 #include "ceaff/common/thread_pool.h"
+#include "ceaff/la/autotune.h"
 #include "ceaff/la/csls.h"
 #include "ceaff/la/kernels.h"
 #include "ceaff/la/ops.h"
 #include "ceaff/la/sparse_matrix.h"
 #include "ceaff/text/levenshtein.h"
+
+// Timing gates are meaningless under sanitizer instrumentation (10-50x
+// uniform slowdowns with different constants per code path), so the smoke
+// perf gate detects it at compile time and degrades to parity-only.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CEAFF_BENCH_SANITIZED 1
+#endif
+#if !defined(CEAFF_BENCH_SANITIZED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CEAFF_BENCH_SANITIZED 1
+#endif
+#endif
 
 namespace {
 
@@ -94,6 +115,11 @@ struct BenchRow {
 std::vector<BenchRow> g_rows;
 int g_failures = 0;
 
+/// Non-null when --autotune is set: a shared in-memory tuner (no persisted
+/// cache — rows must reflect this run's measurements) consulted by the
+/// GEMM/SpMM benches for their *_tuned rows.
+la::KernelAutotuner* g_tuner = nullptr;
+
 void Fail(const std::string& what) {
   std::fprintf(stderr, "PARITY FAILURE: %s\n", what.c_str());
   ++g_failures;
@@ -148,6 +174,23 @@ void BenchCosine(size_t n, size_t d, const std::vector<int>& thread_counts,
     }
     g_rows.push_back({"cosine_kernel", shape, threads, s, flops / s / 1e9,
                       "gflops", naive_s / s});
+
+    if (g_tuner != nullptr) {
+      KernelContext tuned = ctx;
+      tuned.tuner = g_tuner;
+      // First call pays the measurement; timed reps then use the cached
+      // choice, which is what a warmed workload sees.
+      (void)la::CosineSimilarityK(tuned, a, b);
+      Matrix tout;
+      const double ts =
+          TimeBest(reps, [&] { tout = la::CosineSimilarityK(tuned, a, b); });
+      if (!BitIdentical(tout, out)) {
+        Fail("cosine tuned config not bit-identical to default at " +
+             std::string(shape));
+      }
+      g_rows.push_back({"cosine_tuned", shape, threads, ts, flops / ts / 1e9,
+                        "gflops", naive_s / ts});
+    }
   }
 }
 
@@ -180,6 +223,21 @@ void BenchMatMulBT(size_t m, size_t n, size_t d,
     }
     g_rows.push_back({"matmul_bt_kernel", shape, threads, s, flops / s / 1e9,
                       "gflops", naive_s / s});
+
+    if (g_tuner != nullptr) {
+      KernelContext tuned = ctx;
+      tuned.tuner = g_tuner;
+      (void)la::MatMulBTK(tuned, a, b);
+      Matrix tout;
+      const double ts =
+          TimeBest(reps, [&] { tout = la::MatMulBTK(tuned, a, b); });
+      if (!BitIdentical(tout, out)) {
+        Fail("matmul_bt tuned config not bit-identical to default at " +
+             std::string(shape));
+      }
+      g_rows.push_back({"matmul_bt_tuned", shape, threads, ts,
+                        flops / ts / 1e9, "gflops", naive_s / ts});
+    }
   }
 }
 
@@ -380,11 +438,101 @@ void BenchSpmm(size_t n, size_t d, size_t nnz_per_row,
     }
     g_rows.push_back({"spmm_kernel", shape, threads, s, flops / s / 1e9,
                       "gflops", naive_s / s});
+
+    if (g_tuner != nullptr) {
+      KernelContext tuned = ctx;
+      tuned.tuner = g_tuner;
+      (void)la::SpMMK(tuned, a, x);
+      Matrix tout;
+      const double ts = TimeBest(reps, [&] { tout = la::SpMMK(tuned, a, x); });
+      if (!BitIdentical(tout, out)) {
+        Fail("spmm tuned config not bit-identical to default at " +
+             std::string(shape));
+      }
+      g_rows.push_back({"spmm_tuned", shape, threads, ts, flops / ts / 1e9,
+                        "gflops", naive_s / ts});
+    }
   }
 }
 
-/// --smoke: fast parity-only pass over small shapes (no timing). Exits
-/// non-zero on any divergence; this is the `bench`-labelled ctest entry.
+/// The --smoke perf-regression gate: times naive vs tuned kernel on modest
+/// shapes (min-of-5 wall) and fails when a tuned kernel is more than 10%
+/// slower than its naive baseline — the blocked kernels exist to beat
+/// naive, so losing to it by a margin is a regression no matter what the
+/// absolute numbers are. Skipped under sanitizers and when
+/// CEAFF_SKIP_PERF_GATE=1 (debug boxes); the bit-identity parity checks in
+/// RunSmoke still run either way.
+[[maybe_unused]] void RunSmokePerfGate() {
+  constexpr double kTolerance = 1.10;
+  constexpr int kReps = 7;
+  la::AutotuneOptions tune_options;
+  tune_options.mode = la::AutotuneMode::kOn;
+  la::KernelAutotuner tuner(tune_options);
+  if (!tuner.Init().ok()) {
+    Fail("perf gate: tuner init failed");
+    return;
+  }
+  KernelContext ctx;
+  ctx.tuner = &tuner;
+
+  const auto gate = [&](const char* name, double naive_s, double tuned_s) {
+    if (tuned_s > naive_s * kTolerance) {
+      Fail(std::string("perf gate: tuned ") + name + " is " +
+           std::to_string(tuned_s / naive_s) + "x the naive baseline " +
+           "(tolerance " + std::to_string(kTolerance) + "x)");
+    } else {
+      std::fprintf(stderr, "perf gate: %-10s tuned/naive = %.2f (<= %.2f)\n",
+                   name, tuned_s / naive_s, kTolerance);
+    }
+  };
+
+  {
+    const Matrix a = RandomMatrix(256, 64, 11);
+    const Matrix b = RandomMatrix(256, 64, 12);
+    Matrix out;
+    (void)la::MatMulBTK(ctx, a, b);  // pay the measurement outside the gate
+    const double tuned_s =
+        TimeBest(kReps, [&] { out = la::MatMulBTK(ctx, a, b); });
+    const double naive_s = TimeBest(kReps, [&] { out = la::MatMulBT(a, b); });
+    gate("matmul_bt", naive_s, tuned_s);
+  }
+  {
+    const Matrix a = RandomMatrix(256, 48, 13);
+    const Matrix b = RandomMatrix(256, 48, 14);
+    Matrix out;
+    (void)la::CosineSimilarityK(ctx, a, b);
+    const double tuned_s =
+        TimeBest(kReps, [&] { out = la::CosineSimilarityK(ctx, a, b); });
+    const double naive_s =
+        TimeBest(kReps, [&] { out = la::CosineSimilarity(a, b); });
+    gate("cosine", naive_s, tuned_s);
+  }
+  {
+    Rng rng(15);
+    std::vector<la::Triplet> triplets;
+    const size_t n = 4000, nnz_per_row = 8, d = 32;
+    triplets.reserve(n * nnz_per_row);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < nnz_per_row; ++i) {
+        triplets.push_back({static_cast<uint32_t>(r),
+                            static_cast<uint32_t>(rng.NextBounded(n)),
+                            static_cast<float>(rng.NextUniform(-1.0, 1.0))});
+      }
+    }
+    const la::SparseMatrix a =
+        la::SparseMatrix::Build(n, n, std::move(triplets));
+    const Matrix x = RandomMatrix(n, d, 16);
+    Matrix out;
+    (void)la::SpMMK(ctx, a, x);
+    const double tuned_s = TimeBest(kReps, [&] { out = la::SpMMK(ctx, a, x); });
+    const double naive_s = TimeBest(kReps, [&] { out = a.Multiply(x); });
+    gate("spmm", naive_s, tuned_s);
+  }
+}
+
+/// --smoke: fast parity pass over small shapes plus the perf-regression
+/// gate above. Exits non-zero on any divergence or timing regression; this
+/// is the `bench`-labelled ctest entry.
 int RunSmoke() {
   ThreadPool pool(4);
   KernelContext seq;
@@ -426,8 +574,55 @@ int RunSmoke() {
       Fail("csls parity");
     }
   }
+  {
+    // Tuned-config bit-identity: whatever blocking the tuner measures for
+    // these shapes must reproduce the default-config output exactly.
+    la::AutotuneOptions tune_options;
+    tune_options.mode = la::AutotuneMode::kOn;
+    la::KernelAutotuner tuner(tune_options);
+    if (!tuner.Init().ok()) {
+      Fail("smoke: tuner init");
+    } else {
+      KernelContext tuned_par = par;
+      tuned_par.tuner = &tuner;
+      const Matrix a = RandomMatrix(63, 33, 8);
+      const Matrix b = RandomMatrix(49, 33, 9);
+      if (!BitIdentical(la::MatMulBTK(tuned_par, a, b),
+                        la::MatMulBTK(par, a, b))) {
+        Fail("matmul_bt tuned config not bit-identical to default");
+      }
+      Rng rng(10);
+      std::vector<la::Triplet> triplets;
+      for (size_t r = 0; r < 61; ++r) {
+        for (size_t i = 0; i < 5; ++i) {
+          triplets.push_back({static_cast<uint32_t>(r),
+                              static_cast<uint32_t>(rng.NextBounded(61)),
+                              static_cast<float>(rng.NextUniform(-1.0, 1.0))});
+        }
+      }
+      const la::SparseMatrix sp =
+          la::SparseMatrix::Build(61, 61, std::move(triplets));
+      const Matrix x = RandomMatrix(61, 17, 11);
+      if (!BitIdentical(la::SpMMK(tuned_par, sp, x), la::SpMMK(par, sp, x))) {
+        Fail("spmm tuned config not bit-identical to default");
+      }
+    }
+  }
+
+  const char* skip_gate = std::getenv("CEAFF_SKIP_PERF_GATE");
+#if defined(CEAFF_BENCH_SANITIZED)
+  std::fprintf(stderr, "perf gate: skipped (sanitizer build)\n");
+#else
+  if (skip_gate != nullptr && skip_gate[0] == '1') {
+    std::fprintf(stderr, "perf gate: skipped (CEAFF_SKIP_PERF_GATE=1)\n");
+  } else {
+    RunSmokePerfGate();
+  }
+#endif
+  (void)skip_gate;
+
   std::fprintf(stderr, "kernels smoke: %s\n",
-               g_failures == 0 ? "all parity checks passed" : "FAILED");
+               g_failures == 0 ? "all checks passed" : "FAILED");
   return g_failures == 0 ? 0 : 1;
 }
 
@@ -463,21 +658,37 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_kernels.json";
   bool quick = false;
   bool smoke = false;
+  bool autotune = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--autotune") {
+      autotune = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: micro_kernels [--out FILE] [--quick] [--smoke]\n");
+                   "usage: micro_kernels [--out FILE] [--quick] [--smoke] "
+                   "[--autotune]\n");
       return 2;
     }
   }
   if (smoke) return RunSmoke();
+
+  std::unique_ptr<la::KernelAutotuner> tuner;
+  if (autotune) {
+    la::AutotuneOptions tune_options;
+    tune_options.mode = la::AutotuneMode::kOn;
+    tuner = std::make_unique<la::KernelAutotuner>(tune_options);
+    if (!tuner->Init().ok()) {
+      std::fprintf(stderr, "cannot initialise the autotuner\n");
+      return 2;
+    }
+    g_tuner = tuner.get();
+  }
 
   const std::vector<int> threads = {1, 2, 4, 8};
   if (quick) {
@@ -488,17 +699,17 @@ int main(int argc, char** argv) {
     BenchCsls(256, 10, threads, 3);
     BenchSpmm(2000, 32, 8, threads, 3);
   } else {
-    BenchCosine(512, 64, threads, 3);
+    BenchCosine(512, 64, threads, 5);
     // The tracked headline shape: 2k x 2k pairwise cosine at d = 128.
-    BenchCosine(2048, 128, threads, 3);
-    BenchMatMulBT(1024, 1024, 128, threads, 3);
+    BenchCosine(2048, 128, threads, 5);
+    BenchMatMulBT(1024, 1024, 128, threads, 5);
     BenchStringMatrix(400, threads, 3);
     // Long multi-word near-duplicate names: the shape the pruned kernel
     // (and the pipeline's length-aware dispatch) is for — row maxima are
     // high, so the length-ratio bound skips most of the row.
     BenchStringMatrixMultiWord(400, threads, 3);
-    BenchCsls(1024, 10, threads, 3);
-    BenchSpmm(20000, 64, 10, threads, 3);
+    BenchCsls(1024, 10, threads, 5);
+    BenchSpmm(20000, 64, 10, threads, 5);
   }
   WriteJson(out);
 

@@ -1,0 +1,197 @@
+#ifndef CEAFF_LA_AUTOTUNE_H_
+#define CEAFF_LA_AUTOTUNE_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ceaff/common/statusor.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/la/kernels.h"
+
+namespace ceaff {
+class GenerationalStore;
+}
+
+namespace ceaff::la {
+
+/// Measured per-shape kernel tuning (DESIGN.md §16).
+///
+/// The static KernelOptions defaults in la/kernels.h are a single point in
+/// a space whose optimum moves with the shape, the thread count and the
+/// machine's cache hierarchy: BENCH_kernels.json shows the 1024x1024 d=128
+/// GEMM *losing* 1.7x when fanned out over an oversubscribed box, while the
+/// 2048x2048 cosine wants a different column panel than the 512x512 one.
+/// KernelAutotuner closes that gap empirically: for a (kernel, m, n, d,
+/// nthreads) shape class it times a small candidate grid of KernelOptions —
+/// row/col block sizes derived from the detected L1/L2 sizes, plus a
+/// serialize-vs-fan-out grain choice — on a sampled sub-problem with
+/// deterministic synthetic data, and caches the fastest. Because blocking
+/// parameters only ever partition output elements (the determinism contract
+/// in la/kernels.h), a tuned configuration is bit-identical to the default
+/// one; tuning can change *when* an element is computed, never its value.
+///
+/// Results live in an in-process map and, when a cache directory is
+/// configured, persist as a CRC-trailed `tune_cache` artifact in a
+/// GenerationalStore — torn or bit-flipped files are quarantined and the
+/// tuner falls back to an older generation or re-measures, never to wrong
+/// blocking silently (wrong blocking is only slow, but a garbled file must
+/// not poison the choices either).
+///
+/// Kernels that consult the tuner (via KernelContext::tuner): the
+/// MatMulBTK/CosineSimilarityK family ("matmul_bt"), MatMulK ("matmul") and
+/// SpMMK ("spmm"). Other kernels keep the context's static options.
+
+/// What the tuner is allowed to do when a shape class has no cached
+/// measurement yet.
+enum class AutotuneMode {
+  /// Never consult the cache or measure; kernels keep their static options.
+  kOff,
+  /// Measure missing shape classes on first use (milliseconds per class,
+  /// amortized across the run) and cache the winner.
+  kOn,
+  /// Reuse persisted measurements only; a miss keeps the static options.
+  /// The serving mode: no query ever pays a measurement.
+  kCacheOnly,
+};
+
+/// Parses "on" / "off" / "cache-only" (the --autotune flag spelling).
+StatusOr<AutotuneMode> ParseAutotuneMode(std::string_view text);
+const char* AutotuneModeName(AutotuneMode mode);
+
+/// Data-cache sizes the candidate grid is derived from.
+struct CpuCacheInfo {
+  size_t l1d_bytes = 32 * 1024;
+  size_t l2_bytes = 1024 * 1024;
+  /// False when sysfs was unreadable and the safe fallbacks above are in
+  /// effect.
+  bool detected = false;
+};
+
+/// Reads /sys/devices/system/cpu/cpu0/cache/index*/{size,level,type};
+/// any failure (no sysfs, container without the mount, unparsable sizes)
+/// falls back to the CpuCacheInfo defaults with detected = false.
+CpuCacheInfo DetectCpuCaches();
+
+struct AutotuneOptions {
+  AutotuneMode mode = AutotuneMode::kOn;
+  /// GenerationalStore directory for the persisted tune_cache; empty keeps
+  /// measurements in-process only.
+  std::string cache_dir;
+  /// Timing repetitions per candidate; the minimum is kept (rejects
+  /// scheduler noise, and the first rep's cold caches, better than a mean).
+  int sample_reps = 3;
+  /// Row/column budget of the sampled sub-problem a candidate is timed on.
+  size_t max_sample_rows = 192;
+  size_t max_sample_cols = 512;
+  /// Cache sizes used to build the candidate grid; zero fields are filled
+  /// from DetectCpuCaches() at Init.
+  CpuCacheInfo caches{0, 0, false};
+};
+
+/// One cached decision, keyed by the bucketed shape class.
+struct TuneEntry {
+  std::string kernel;
+  size_t m_bucket = 0;
+  size_t n_bucket = 0;
+  size_t d_bucket = 0;
+  size_t threads = 1;
+  KernelOptions opts;
+  /// The winner's sampled wall seconds (0 for entries loaded from disk
+  /// before this process measured anything).
+  double sample_seconds = 0.0;
+  /// False for entries loaded from the persisted cache.
+  bool measured_here = false;
+};
+
+/// A shape to pre-measure (the `ceaff tune` verb and serve's load-time
+/// warm pass hand these in).
+struct TuneShape {
+  std::string kernel;  // "matmul_bt", "matmul" or "spmm"
+  size_t m = 0;
+  size_t n = 0;
+  size_t d = 0;  // inner dim for the GEMMs, avg nnz/row for spmm
+};
+
+class KernelAutotuner {
+ public:
+  explicit KernelAutotuner(AutotuneOptions options);
+  /// Flushes unsaved measurements best-effort (a failed write warns, it
+  /// cannot fail a destructor).
+  ~KernelAutotuner();
+
+  KernelAutotuner(const KernelAutotuner&) = delete;
+  KernelAutotuner& operator=(const KernelAutotuner&) = delete;
+
+  /// Fills unset cache sizes and, when a cache_dir is configured, opens
+  /// the GenerationalStore and loads the newest valid tune_cache
+  /// generation (corrupt generations are quarantined by the store; an
+  /// empty or absent cache is not an error).
+  Status Init();
+
+  /// The kernel-facing hook: returns the cached (or, in kOn mode, freshly
+  /// measured) KernelOptions for this shape class, or `base` unchanged
+  /// when the mode is kOff, the kernel has no measurement recipe, or a
+  /// kCacheOnly lookup misses. Thread-safe; measurement runs on the
+  /// caller's pool with the tuner detached, so it never recurses.
+  KernelOptions Choose(const char* kernel, size_t m, size_t n, size_t d,
+                       ThreadPool* pool, const KernelOptions& base);
+
+  /// Pre-measures every (shape x thread-count) class in kOn fashion
+  /// regardless of mode — the explicit warm path (`ceaff tune`, serve at
+  /// index load). Pools of each requested size are created internally;
+  /// already-cached classes are skipped.
+  Status Warm(const std::vector<TuneShape>& shapes,
+              const std::vector<size_t>& thread_counts);
+
+  /// Persists the current table to cache_dir (no-op without one, or when
+  /// nothing changed since the last flush).
+  Status Flush();
+
+  /// Human-readable dump of the chosen table, one line per shape class.
+  std::string TableText() const;
+
+  /// Serialised tune_cache bytes (the persisted format, CRC trailer
+  /// included) — exposed for tests.
+  std::string Serialize() const;
+
+  size_t entries() const;
+  /// Shape classes measured by this process (vs loaded from the cache).
+  size_t measured_count() const;
+  /// Choose() calls answered from the table without measuring.
+  size_t cache_hits() const;
+
+  const AutotuneOptions& options() const { return options_; }
+
+  /// Shape-class bucketing: the next power of two >= v (>= 16, so near
+  /// neighbours share a measurement). Exposed for tests.
+  static size_t Bucket(size_t v);
+
+ private:
+  struct Key {
+    std::string kernel;
+    size_t m, n, d, threads;
+    bool operator<(const Key& o) const;
+  };
+
+  /// Measures the candidate grid for one shape class. Caller holds mu_.
+  KernelOptions MeasureLocked(const Key& key, ThreadPool* pool);
+  Status ParseTable(const std::string& bytes);
+
+  AutotuneOptions options_;
+  std::unique_ptr<GenerationalStore> store_;
+  mutable std::mutex mu_;
+  std::map<Key, TuneEntry> table_;
+  size_t measured_ = 0;
+  mutable size_t hits_ = 0;
+  bool dirty_ = false;
+  bool initialized_ = false;
+};
+
+}  // namespace ceaff::la
+
+#endif  // CEAFF_LA_AUTOTUNE_H_

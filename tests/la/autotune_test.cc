@@ -1,0 +1,347 @@
+// Tests for the kernel autotuner (la/autotune.h): mode parsing, shape
+// bucketing, cache detection fallbacks, the Choose() fast paths, persisted
+// tune_cache round-trips, corrupt-cache quarantine, a kill-at-every-site
+// crash drill on Flush, and the load-bearing property of the whole
+// subsystem — a tuned configuration is bit-identical to the default one,
+// at any shape and any thread count, because blocking only ever
+// partitions output elements.
+
+#include "ceaff/la/autotune.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ceaff/common/durable_io.h"
+#include "ceaff/common/random.h"
+#include "ceaff/common/thread_pool.h"
+#include "ceaff/la/kernels.h"
+#include "ceaff/la/sparse_matrix.h"
+#include "testing/crash_harness.h"
+#include "testing/fault_injection.h"
+
+namespace ceaff::la {
+namespace {
+
+namespace fs = std::filesystem;
+using ::ceaff::testing::ScratchDir;
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = static_cast<float>(rng.NextUniform(-1.0, 1.0));
+    }
+  }
+  return m;
+}
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, size_t nnz,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz);
+  for (size_t i = 0; i < nnz; ++i) {
+    triplets.push_back({static_cast<uint32_t>(rng.NextBounded(rows)),
+                        static_cast<uint32_t>(rng.NextBounded(cols)),
+                        static_cast<float>(rng.NextUniform(-1.0, 1.0))});
+  }
+  return SparseMatrix::Build(rows, cols, std::move(triplets));
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return a.size() == 0 ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Small, fast tuner options for tests: tiny samples, two reps.
+AutotuneOptions FastOptions(AutotuneMode mode, std::string cache_dir = "") {
+  AutotuneOptions o;
+  o.mode = mode;
+  o.cache_dir = std::move(cache_dir);
+  o.sample_reps = 2;
+  o.max_sample_rows = 48;
+  o.max_sample_cols = 48;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing: mode parsing, bucketing, cache detection
+// ---------------------------------------------------------------------------
+
+TEST(AutotuneModeTest, ParsesAllSpellingsAndRejectsGarbage) {
+  ASSERT_TRUE(ParseAutotuneMode("on").ok());
+  EXPECT_EQ(*ParseAutotuneMode("on"), AutotuneMode::kOn);
+  EXPECT_EQ(*ParseAutotuneMode("off"), AutotuneMode::kOff);
+  EXPECT_EQ(*ParseAutotuneMode("cache-only"), AutotuneMode::kCacheOnly);
+  EXPECT_FALSE(ParseAutotuneMode("").ok());
+  EXPECT_FALSE(ParseAutotuneMode("fast").ok());
+  EXPECT_FALSE(ParseAutotuneMode("ON ").ok());
+  EXPECT_STREQ(AutotuneModeName(AutotuneMode::kCacheOnly), "cache-only");
+}
+
+TEST(AutotuneBucketTest, NextPowerOfTwoWithFloorSixteen) {
+  EXPECT_EQ(KernelAutotuner::Bucket(0), 16u);
+  EXPECT_EQ(KernelAutotuner::Bucket(1), 16u);
+  EXPECT_EQ(KernelAutotuner::Bucket(16), 16u);
+  EXPECT_EQ(KernelAutotuner::Bucket(17), 32u);
+  EXPECT_EQ(KernelAutotuner::Bucket(1000), 1024u);
+  EXPECT_EQ(KernelAutotuner::Bucket(1024), 1024u);
+  EXPECT_EQ(KernelAutotuner::Bucket(1025), 2048u);
+}
+
+TEST(AutotuneCacheDetectTest, AlwaysYieldsUsableSizes) {
+  // Whether sysfs was readable or the fallbacks kicked in, the grid
+  // derivation must get plausible nonzero sizes.
+  const CpuCacheInfo info = DetectCpuCaches();
+  EXPECT_GE(info.l1d_bytes, 8u * 1024);
+  EXPECT_GE(info.l2_bytes, 128u * 1024);
+  EXPECT_GE(info.l2_bytes, info.l1d_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Choose() fast paths
+// ---------------------------------------------------------------------------
+
+TEST(AutotuneChooseTest, OffModeReturnsBaseUntouched) {
+  KernelAutotuner tuner(FastOptions(AutotuneMode::kOff));
+  ASSERT_TRUE(tuner.Init().ok());
+  KernelOptions base;
+  base.row_block = 7;
+  base.col_block = 11;
+  base.grain = 13;
+  const KernelOptions got =
+      tuner.Choose("matmul_bt", 128, 128, 64, nullptr, base);
+  EXPECT_EQ(got.row_block, 7u);
+  EXPECT_EQ(got.col_block, 11u);
+  EXPECT_EQ(got.grain, 13u);
+  EXPECT_EQ(tuner.entries(), 0u);
+}
+
+TEST(AutotuneChooseTest, UnknownKernelReturnsBase) {
+  KernelAutotuner tuner(FastOptions(AutotuneMode::kOn));
+  ASSERT_TRUE(tuner.Init().ok());
+  KernelOptions base;
+  base.row_block = 7;
+  const KernelOptions got =
+      tuner.Choose("sinkhorn", 128, 128, 64, nullptr, base);
+  EXPECT_EQ(got.row_block, 7u);
+  EXPECT_EQ(tuner.entries(), 0u);
+  EXPECT_EQ(tuner.measured_count(), 0u);
+}
+
+TEST(AutotuneChooseTest, MeasuresOnceThenHitsForTheWholeBucket) {
+  KernelAutotuner tuner(FastOptions(AutotuneMode::kOn));
+  ASSERT_TRUE(tuner.Init().ok());
+  KernelOptions base;
+  (void)tuner.Choose("matmul_bt", 100, 90, 32, nullptr, base);
+  EXPECT_EQ(tuner.measured_count(), 1u);
+  EXPECT_EQ(tuner.entries(), 1u);
+  // 100 and 120 both bucket to 128; 90 and 70 both bucket to 128/... —
+  // nearby shapes share the measurement instead of re-timing.
+  (void)tuner.Choose("matmul_bt", 120, 70, 30, nullptr, base);
+  EXPECT_EQ(tuner.measured_count(), 1u);
+  EXPECT_GE(tuner.cache_hits(), 1u);
+}
+
+TEST(AutotuneChooseTest, CacheOnlyMissKeepsStaticOptions) {
+  KernelAutotuner tuner(FastOptions(AutotuneMode::kCacheOnly));
+  ASSERT_TRUE(tuner.Init().ok());
+  KernelOptions base;
+  base.col_block = 37;
+  const KernelOptions got = tuner.Choose("spmm", 500, 64, 10, nullptr, base);
+  EXPECT_EQ(got.col_block, 37u);
+  EXPECT_EQ(tuner.measured_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: round-trip determinism, corrupt-cache quarantine
+// ---------------------------------------------------------------------------
+
+TEST(AutotunePersistTest, CacheOnlyReloadMakesTheSameChoices) {
+  ScratchDir dir("tune_roundtrip");
+  const std::vector<TuneShape> shapes = {
+      {"matmul_bt", 96, 96, 32}, {"matmul", 64, 64, 32}, {"spmm", 400, 32, 6}};
+
+  KernelAutotuner writer(FastOptions(AutotuneMode::kOn, dir.path()));
+  ASSERT_TRUE(writer.Init().ok());
+  ASSERT_TRUE(writer.Warm(shapes, {1, 2}).ok());
+  EXPECT_GT(writer.measured_count(), 0u);
+  ASSERT_TRUE(writer.Flush().ok());
+
+  KernelAutotuner reader(FastOptions(AutotuneMode::kCacheOnly, dir.path()));
+  ASSERT_TRUE(reader.Init().ok());
+  EXPECT_EQ(reader.entries(), writer.entries());
+  EXPECT_EQ(reader.measured_count(), 0u);
+
+  // Same cache file => same choices, for every shape class and thread
+  // count, without a single new measurement.
+  ThreadPool pool(2);
+  KernelOptions base;
+  for (const TuneShape& s : shapes) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      const KernelOptions a =
+          writer.Choose(s.kernel.c_str(), s.m, s.n, s.d, p, base);
+      const KernelOptions b =
+          reader.Choose(s.kernel.c_str(), s.m, s.n, s.d, p, base);
+      EXPECT_EQ(a.row_block, b.row_block) << s.kernel;
+      EXPECT_EQ(a.col_block, b.col_block) << s.kernel;
+      EXPECT_EQ(a.grain, b.grain) << s.kernel;
+    }
+  }
+  EXPECT_EQ(reader.measured_count(), 0u);
+
+  // The serialized table round-trips byte-for-byte (entry lines, host
+  // line, CRC trailer): a third process would load exactly this state.
+  EXPECT_EQ(writer.Serialize(), reader.Serialize());
+}
+
+TEST(AutotunePersistTest, CorruptCacheIsQuarantinedAndRebuilt) {
+  ScratchDir dir("tune_corrupt");
+  {
+    KernelAutotuner writer(FastOptions(AutotuneMode::kOn, dir.path()));
+    ASSERT_TRUE(writer.Init().ok());
+    ASSERT_TRUE(writer.Warm({{"matmul_bt", 64, 64, 32}}, {1}).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  // Flip a byte in the committed generation: the CRC trailer must reject
+  // it on the next load.
+  const std::string gen_path = dir.File("tune_cache.g1");
+  ASSERT_TRUE(fs::exists(gen_path)) << gen_path;
+  {
+    std::fstream f(gen_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(32);
+    f.put('#');
+  }
+
+  KernelAutotuner reborn(FastOptions(AutotuneMode::kOn, dir.path()));
+  ASSERT_TRUE(reborn.Init().ok()) << "corrupt cache must not fail startup";
+  EXPECT_EQ(reborn.entries(), 0u) << "garbled entries must not be loaded";
+  EXPECT_TRUE(fs::exists(gen_path + ".corrupt"))
+      << "failing generation should be quarantined, not deleted";
+
+  // The tuner re-measures and the next flush publishes a fresh
+  // generation over the quarantined one.
+  KernelOptions base;
+  (void)reborn.Choose("matmul_bt", 64, 64, 32, nullptr, base);
+  EXPECT_EQ(reborn.measured_count(), 1u);
+  ASSERT_TRUE(reborn.Flush().ok());
+
+  KernelAutotuner reader(FastOptions(AutotuneMode::kCacheOnly, dir.path()));
+  ASSERT_TRUE(reader.Init().ok());
+  EXPECT_EQ(reader.entries(), 1u);
+}
+
+TEST(AutotunePersistTest, TruncatedCacheIsRejected) {
+  ScratchDir dir("tune_torn");
+  {
+    KernelAutotuner writer(FastOptions(AutotuneMode::kOn, dir.path()));
+    ASSERT_TRUE(writer.Init().ok());
+    ASSERT_TRUE(writer.Warm({{"spmm", 200, 16, 4}}, {1}).ok());
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  const std::string gen_path = dir.File("tune_cache.g1");
+  ASSERT_TRUE(fs::exists(gen_path));
+  // Tear the tail off (CRC trailer gone entirely).
+  fs::resize_file(gen_path, fs::file_size(gen_path) / 2);
+
+  KernelAutotuner reborn(FastOptions(AutotuneMode::kCacheOnly, dir.path()));
+  ASSERT_TRUE(reborn.Init().ok());
+  EXPECT_EQ(reborn.entries(), 0u);
+}
+
+// Kill -9 at every durability site Flush crosses (the store runs with
+// failpoint scope "tune"): after any torn write, a fresh tuner must start
+// cleanly — either loading the previous consistent generation or empty,
+// never crashing and never loading garbage.
+TEST(AutotuneCrashTest, FlushSurvivesKillAtEverySite) {
+  std::string dir;
+  const auto prepare = [&] {
+    char tmpl[] = "/tmp/ceaff_tune_crash_XXXXXX";
+    const char* d = mkdtemp(tmpl);
+    ASSERT_NE(d, nullptr);
+    dir = d;
+  };
+  const auto operation = [&]() -> Status {
+    KernelAutotuner tuner(FastOptions(AutotuneMode::kOn, dir));
+    Status st = tuner.Init();
+    if (!st.ok()) return st;
+    st = tuner.Warm({{"matmul_bt", 48, 48, 16}}, {1});
+    if (!st.ok()) return st;
+    return tuner.Flush();
+  };
+  const auto verify = [&](const std::string& site, bool crashed) {
+    KernelAutotuner tuner(FastOptions(AutotuneMode::kCacheOnly, dir));
+    ASSERT_TRUE(tuner.Init().ok())
+        << "recovery failed after crash at " << site
+        << " (crashed=" << crashed << ")";
+    // Whatever survived must be a consistent table: zero entries (nothing
+    // committed) or the one warmed class.
+    EXPECT_LE(tuner.entries(), 1u) << "site " << site;
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  };
+  ceaff::testing::RunCrashDrill(
+      prepare, operation, verify,
+      {.site_prefix = "tune",
+       .iterations = ceaff::testing::CrashIterationsFromEnv(3)});
+}
+
+// ---------------------------------------------------------------------------
+// The determinism contract: tuned == default, bit for bit
+// ---------------------------------------------------------------------------
+
+// Property test across random shapes and thread counts: for every kernel
+// the tuner knows, the tuned configuration's output is byte-identical to
+// the static default configuration's. This is what makes autotuning safe
+// to enable anywhere — it can change when an element is computed, never
+// its value.
+TEST(AutotuneBitIdentityTest, TunedMatchesDefaultAcrossShapesAndThreads) {
+  Rng rng(2026);
+  KernelAutotuner tuner(FastOptions(AutotuneMode::kOn));
+  ASSERT_TRUE(tuner.Init().ok());
+  ThreadPool pool2(2);
+  ThreadPool pool3(3);
+  ThreadPool* pools[] = {nullptr, &pool2, &pool3};
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const size_t m = 1 + rng.NextBounded(120);
+    const size_t n = 1 + rng.NextBounded(120);
+    const size_t d = 1 + rng.NextBounded(48);
+    const Matrix a = RandomMatrix(m, d, 100 + trial);
+    const Matrix bt = RandomMatrix(n, d, 200 + trial);
+    const Matrix b = RandomMatrix(d, n, 300 + trial);
+    const SparseMatrix sp = RandomSparse(m, m, m * 4, 400 + trial);
+    const Matrix x = RandomMatrix(m, n, 500 + trial);
+
+    for (ThreadPool* pool : pools) {
+      KernelContext plain;
+      plain.pool = pool;
+      KernelContext tuned = plain;
+      tuned.tuner = &tuner;
+
+      EXPECT_TRUE(
+          BitIdentical(MatMulBTK(plain, a, bt), MatMulBTK(tuned, a, bt)))
+          << "matmul_bt " << m << "x" << n << "x" << d << " threads "
+          << (pool ? pool->num_threads() : 1);
+      EXPECT_TRUE(BitIdentical(MatMulK(plain, a, b), MatMulK(tuned, a, b)))
+          << "matmul " << m << "x" << n << "x" << d;
+      EXPECT_TRUE(BitIdentical(SpMMK(plain, sp, x), SpMMK(tuned, sp, x)))
+          << "spmm " << m << "x" << n;
+    }
+  }
+  EXPECT_GT(tuner.entries(), 0u);
+}
+
+}  // namespace
+}  // namespace ceaff::la

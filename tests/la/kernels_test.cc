@@ -224,6 +224,53 @@ TEST(KernelSpmmTest, SpMMTransposedMatchesCsrReferenceBitwise) {
   EXPECT_TRUE(BitIdentical(fast, naive));
 }
 
+// The fused single-sweep CSR path is the default for the parallel case
+// too: pin bitwise parity against the CSR reference at every thread count
+// a deployment plausibly runs, not just the 4 threads CheckDeterministic
+// uses. Includes a shape big enough to cross the prefetch footprint gate
+// in both directions (x below and above the 1 MiB threshold).
+TEST(KernelSpmmTest, FusedSweepMatchesReferenceAtEveryThreadCount) {
+  const struct {
+    size_t rows, cols, nnz, d;
+  } shapes[] = {{30, 40, 150, 9}, {257, 300, 2000, 33}, {1200, 4500, 9000, 64}};
+  for (const auto& s : shapes) {
+    const SparseMatrix a = RandomSparse(s.rows, s.cols, s.nnz, 19 + s.rows);
+    const Matrix x = RandomMatrix(s.cols, s.d, 20 + s.rows);
+    const Matrix naive = a.Multiply(x);
+    for (const size_t threads : {1, 2, 3, 4, 8}) {
+      ThreadPool pool(threads);
+      KernelContext ctx;
+      ctx.pool = &pool;
+      EXPECT_TRUE(BitIdentical(SpMMK(ctx, a, x), naive))
+          << s.rows << "x" << s.cols << " at " << threads << " threads";
+    }
+  }
+}
+
+// The tuner's serialize-grain candidate sets grain >= rows so the whole
+// kernel runs as one inline panel without pool dispatch. That must be a
+// pure scheduling change: bit-identical to the fanned-out result, for
+// dense and sparse kernels alike.
+TEST(KernelSpmmTest, SerializeGrainIsBitIdenticalToFanOut) {
+  const SparseMatrix a = RandomSparse(90, 110, 700, 21);
+  const Matrix x = RandomMatrix(110, 13, 22);
+  const Matrix da = RandomMatrix(61, 35, 23);
+  const Matrix db = RandomMatrix(47, 35, 24);
+
+  ThreadPool pool(4);
+  KernelContext fan;
+  fan.pool = &pool;
+  KernelContext serial = fan;
+  serial.opts.grain = 1u << 20;  // >= rows: single inline panel
+
+  EXPECT_TRUE(BitIdentical(SpMMK(fan, a, x), SpMMK(serial, a, x)));
+  EXPECT_TRUE(BitIdentical(MatMulBTK(fan, da, db), MatMulBTK(serial, da, db)));
+
+  KernelContext seq;  // and both equal the no-pool path
+  EXPECT_TRUE(BitIdentical(SpMMK(seq, a, x), SpMMK(serial, a, x)));
+  EXPECT_TRUE(BitIdentical(MatMulBTK(seq, da, db), MatMulBTK(serial, da, db)));
+}
+
 // ---------------------------------------------------------------------------
 // Sinkhorn normalisation
 // ---------------------------------------------------------------------------

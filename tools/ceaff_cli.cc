@@ -15,12 +15,14 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 
 #include "ceaff/common/cancellation.h"
 #include "ceaff/common/durable_io.h"
 #include "ceaff/common/flags.h"
+#include "ceaff/common/string_util.h"
 #include "ceaff/common/timer.h"
 #include "ceaff/core/pipeline.h"
 #include "ceaff/data/synthetic.h"
@@ -57,6 +59,21 @@ ParseOptions IoOptionsFromFlags(const FlagParser& flags) {
   options.max_errors = static_cast<size_t>(
       flags.GetInt("io_error_budget", 100));
   return options;
+}
+
+/// Reads the shared --autotune / --tune_cache flags. False (after printing
+/// a usage error) on a bad mode spelling.
+bool AutotuneFromFlags(const FlagParser& flags, const char* cmd,
+                       la::AutotuneMode* mode, std::string* cache_dir) {
+  const std::string text = flags.GetString("autotune", "off");
+  auto mode_or = la::ParseAutotuneMode(text);
+  if (!mode_or.ok()) {
+    std::fprintf(stderr, "%s: %s\n", cmd, mode_or.status().message().c_str());
+    return false;
+  }
+  *mode = *mode_or;
+  *cache_dir = flags.GetString("tune_cache", "");
+  return true;
 }
 
 /// Every ParseReport produced by this process's loads, accumulated so the
@@ -122,7 +139,8 @@ Status LoadDataset(const FlagParser& flags, const std::string& dir,
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ceaff <generate|stats|align|eval|delta> [--flags]\n"
+               "usage: ceaff <generate|stats|align|eval|delta|tune> "
+               "[--flags]\n"
                "  generate --config NAME --scale S --out DIR [--seed N]\n"
                "  stats    --data DIR\n"
                "  align    --data DIR [--out FILE] [--fusion adaptive|fixed|"
@@ -138,6 +156,7 @@ int Usage() {
                "           [--export_index FILE] [--export_ann BOOL] "
                "[--ann_centroids N]\n"
                "           [--threads N] [--block_size N]\n"
+               "           [--autotune on|off|cache-only] [--tune_cache DIR]\n"
                "           [--export_delta_state DIR]  also publish a delta "
                "ingestion state\n"
                "  eval     --data DIR --pred FILE\n"
@@ -147,6 +166,11 @@ int Usage() {
                "[--audit_tolerance X]\n"
                "           [--export_ann BOOL] [--ann_centroids N] "
                "[--threads N]\n"
+               "           [--autotune on|off|cache-only] [--tune_cache DIR]\n"
+               "  tune     [--tune_cache DIR] [--threads N] "
+               "[--shapes kernel:MxNxD,...]\n"
+               "           measure kernel blocking for a shape grid and "
+               "persist the table\n"
                "common:    [--lenient_io] [--io_error_budget N]  skip up to N "
                "malformed\n"
                "           input lines instead of failing on the first one\n"
@@ -268,6 +292,10 @@ int CmdAlign(const FlagParser& flags) {
     return 2;
   }
   options.block_size = static_cast<size_t>(block_size);
+  if (!AutotuneFromFlags(flags, "align", &options.autotune,
+                         &options.tune_cache_dir)) {
+    return 2;
+  }
   options.use_structural = !flags.GetBool("no-structural", false);
   options.use_semantic = !flags.GetBool("no-semantic", false);
   options.use_string = !flags.GetBool("no-string", false);
@@ -428,6 +456,10 @@ int CmdDelta(const FlagParser& flags) {
       static_cast<size_t>(flags.GetInt("ann_centroids", 0));
   options.num_threads = static_cast<size_t>(flags.GetInt("threads", 1));
   options.block_size = static_cast<size_t>(flags.GetInt("block_size", 0));
+  if (!AutotuneFromFlags(flags, "delta", &options.autotune,
+                         &options.tune_cache_dir)) {
+    return 2;
+  }
   options.cancel = &g_cancel;
   std::signal(SIGINT, HandleSigint);
   if (options.journal_dir.empty()) {
@@ -511,6 +543,87 @@ int CmdDelta(const FlagParser& flags) {
   return 2;
 }
 
+/// Parses one --shapes element like "matmul_bt:1024x1024x128".
+bool ParseTuneShape(const std::string& text, la::TuneShape* shape) {
+  const std::vector<std::string> halves = Split(text, ':');
+  if (halves.size() != 2) return false;
+  shape->kernel = halves[0];
+  if (shape->kernel != "matmul_bt" && shape->kernel != "matmul" &&
+      shape->kernel != "spmm") {
+    return false;
+  }
+  const std::vector<std::string> dims = Split(halves[1], 'x');
+  if (dims.size() != 3) return false;
+  char* end = nullptr;
+  shape->m = std::strtoull(dims[0].c_str(), &end, 10);
+  if (*end != '\0') return false;
+  shape->n = std::strtoull(dims[1].c_str(), &end, 10);
+  if (*end != '\0') return false;
+  shape->d = std::strtoull(dims[2].c_str(), &end, 10);
+  if (*end != '\0') return false;
+  return shape->m > 0 && shape->n > 0 && shape->d > 0;
+}
+
+/// `ceaff tune`: pre-warms the persistent tune cache by measuring a shape
+/// grid, then dumps the chosen table. Align/serve/delta runs pointed at
+/// the same --tune_cache (typically with --autotune cache-only) reuse the
+/// measurements instead of paying them at work time.
+int CmdTune(const FlagParser& flags) {
+  const std::string cache_dir = flags.GetString("tune_cache", "");
+  const int64_t threads = flags.GetInt("threads", 4);
+  if (threads < 1) {
+    std::fprintf(stderr, "tune: --threads must be >= 1\n");
+    return 2;
+  }
+  std::vector<la::TuneShape> shapes;
+  const std::string shapes_flag = flags.GetString("shapes", "");
+  if (shapes_flag.empty()) {
+    // The default grid covers the shapes the align pipeline and bench
+    // suite actually hit: similarity GEMMs at DBP15K-ish sizes plus the
+    // GCN SpMM (d = avg nnz/row there).
+    shapes = {{"matmul_bt", 512, 512, 64},   {"matmul_bt", 1024, 1024, 128},
+              {"matmul_bt", 2048, 2048, 128}, {"matmul", 512, 512, 128},
+              {"spmm", 20000, 64, 10}};
+  } else {
+    for (const std::string& item : Split(shapes_flag, ',')) {
+      la::TuneShape shape;
+      if (!ParseTuneShape(item, &shape)) {
+        std::fprintf(stderr,
+                     "tune: bad --shapes element '%s' (want "
+                     "kernel:MxNxD with kernel in "
+                     "matmul_bt|matmul|spmm)\n",
+                     item.c_str());
+        return 2;
+      }
+      shapes.push_back(shape);
+    }
+  }
+
+  la::AutotuneOptions options;
+  options.mode = la::AutotuneMode::kOn;
+  options.cache_dir = cache_dir;
+  la::KernelAutotuner tuner(options);
+  Status st = tuner.Init();
+  if (!st.ok()) return Fail(st);
+  const la::CpuCacheInfo& caches = tuner.options().caches;
+  std::fprintf(stderr, "tune: L1d %zu KiB, L2 %zu KiB (%s)\n",
+               caches.l1d_bytes / 1024, caches.l2_bytes / 1024,
+               caches.detected ? "detected" : "fallback defaults");
+
+  std::vector<size_t> thread_counts{1};
+  if (threads > 1) thread_counts.push_back(static_cast<size_t>(threads));
+  WallTimer timer;
+  st = tuner.Warm(shapes, thread_counts);
+  if (!st.ok()) return Fail(st);
+  std::printf("%s", tuner.TableText().c_str());
+  std::printf("tune: %zu shape classes (%zu measured now) in %.2fs%s%s\n",
+              tuner.entries(), tuner.measured_count(), timer.ElapsedSeconds(),
+              cache_dir.empty() ? "; not persisted (pass --tune_cache DIR)"
+                                : ", persisted to ",
+              cache_dir.c_str());
+  return 0;
+}
+
 int CmdEval(const FlagParser& flags) {
   std::string dir = flags.GetString("data", "");
   std::string pred = flags.GetString("pred", "");
@@ -563,6 +676,8 @@ int main(int argc, char** argv) {
     rc = CmdEval(flags);
   } else if (cmd == "delta") {
     rc = CmdDelta(flags);
+  } else if (cmd == "tune") {
+    rc = CmdTune(flags);
   } else {
     return Usage();
   }
